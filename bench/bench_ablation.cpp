@@ -1,0 +1,152 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. constraint reuse (session query-graph cache) on/off — isolates the
+//      extraction-time win of composition;
+//   2. PIER exposure on/off — isolates the sequential-depth effect on
+//      coverage of the transformed module;
+//   3. ATPG backtrack-budget sweep — coverage/efficiency saturation;
+//   4. per-level simplification (fixpoint optimization) on/off — isolates
+//      the virtual-logic gate-count win of composition.
+#include "harness.hpp"
+
+#include "atpg/bist.hpp"
+#include "atpg/engine.hpp"
+#include "core/transform.hpp"
+#include "synth/optimizer.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using namespace factor;
+using namespace factor::bench;
+
+void ablation_constraint_reuse(Context& ctx) {
+    std::printf("Ablation 1: constraint reuse across MUTs\n");
+    std::printf("%-12s %14s %14s %12s\n", "Mode", "TotalExtr(s)", "CacheHits",
+                "Misses");
+    for (core::Mode mode : {core::Mode::Flat, core::Mode::Composed}) {
+        core::ExtractionSession session(*ctx.elaborated, mode, ctx.diags);
+        double total = 0;
+        size_t hits = 0;
+        size_t misses = 0;
+        for (const auto& mut : ctx.muts) {
+            auto cs = session.extract(*mut.node);
+            total += cs.extraction_seconds;
+            hits += cs.cache_hits;
+            misses += cs.cache_misses;
+        }
+        std::printf("%-12s %14s %14zu %12zu\n",
+                    mode == core::Mode::Flat ? "flat" : "composed",
+                    util::fixed(total, 4).c_str(), hits, misses);
+    }
+    std::printf("\n");
+}
+
+void ablation_pier(Context& ctx, double budget) {
+    std::printf("Ablation 2: PIER exposure (regfile_struct transformed module)\n");
+    std::printf("%-10s %10s %10s %12s %10s\n", "PIERs", "Exposed", "Cov%",
+                "Eff%", "TG(s)");
+    const auto* mut = ctx.muts[1].node; // regfile_struct
+    for (bool expose : {false, true}) {
+        core::ExtractionSession session(*ctx.elaborated, core::Mode::Composed,
+                                        ctx.diags);
+        core::TransformOptions topts;
+        topts.expose_piers = expose;
+        topts.pier.max_load_depth = 1;
+        topts.pier.max_store_depth = 2;
+        auto tm = ctx.builder().build(*mut, session, topts);
+        atpg::EngineOptions opts;
+        opts.scope_prefix = tm.mut_prefix;
+        opts.time_budget_s = budget;
+        auto r = atpg::run_atpg(tm.netlist, opts);
+        std::printf("%-10s %10zu %10s %12s %10s\n", expose ? "on" : "off",
+                    tm.piers_exposed,
+                    util::fixed(r.coverage_percent, 2).c_str(),
+                    util::fixed(r.efficiency_percent, 2).c_str(),
+                    util::fixed(r.test_gen_seconds, 2).c_str());
+    }
+    std::printf("\n");
+}
+
+void ablation_backtracks(Context& ctx, double budget) {
+    std::printf("Ablation 3: backtrack budget sweep (arm_alu transformed)\n");
+    std::printf("%-12s %10s %12s %10s\n", "Backtracks", "Cov%", "Eff%",
+                "TG(s)");
+    core::ExtractionSession session(*ctx.elaborated, core::Mode::Composed,
+                                    ctx.diags);
+    core::TransformOptions topts;
+    auto tm = ctx.builder().build(*ctx.muts[0].node, session, topts);
+    for (uint32_t bt : {10u, 100u, 1000u, 5000u}) {
+        atpg::EngineOptions opts;
+        opts.scope_prefix = tm.mut_prefix;
+        opts.max_backtracks = bt;
+        opts.time_budget_s = budget;
+        auto r = atpg::run_atpg(tm.netlist, opts);
+        std::printf("%-12u %10s %12s %10s\n", bt,
+                    util::fixed(r.coverage_percent, 2).c_str(),
+                    util::fixed(r.efficiency_percent, 2).c_str(),
+                    util::fixed(r.test_gen_seconds, 2).c_str());
+    }
+    std::printf("\n");
+}
+
+void ablation_granularity(Context& ctx) {
+    std::printf("Ablation 4: extraction granularity (virtual-logic gates)\n");
+    std::printf("%-16s %16s %18s\n", "Module", "module-grained",
+                "statement-grained");
+    for (const auto& mut : ctx.muts) {
+        size_t per_mode[2] = {0, 0};
+        for (core::Mode mode : {core::Mode::Flat, core::Mode::Composed}) {
+            core::ExtractionSession session(*ctx.elaborated, mode, ctx.diags);
+            core::TransformOptions topts;
+            topts.pier_allowlist = designs::arm2z_piers();
+            auto tm = ctx.builder().build(*mut.node, session, topts);
+            per_mode[mode == core::Mode::Flat ? 0 : 1] = tm.surrounding_gates;
+        }
+        std::printf("%-16s %16zu %18zu\n", mut.name.c_str(), per_mode[0],
+                    per_mode[1]);
+    }
+    std::printf("\n");
+}
+
+void ablation_bist_vs_factor(Context& ctx, double budget) {
+    std::printf("Ablation 5: LFSR BIST vs FACTOR flow (MUT fault coverage)\n");
+    std::printf("%-16s %12s %14s\n", "Module", "BIST cov%", "FACTOR cov%");
+    auto full = ctx.builder().full_design();
+    core::ExtractionSession session(*ctx.elaborated, core::Mode::Composed,
+                                    ctx.diags);
+    for (const auto& mut : ctx.muts) {
+        atpg::BistOptions bopts;
+        bopts.patterns = 4096;
+        bopts.scope_prefix = core::TransformBuilder::net_prefix(*mut.node);
+        auto bist = atpg::run_bist(full, bopts);
+
+        core::TransformOptions topts;
+        topts.pier_allowlist = designs::arm2z_piers();
+        auto tm = ctx.builder().build(*mut.node, session, topts);
+        atpg::EngineOptions opts;
+        opts.scope_prefix = tm.mut_prefix;
+        opts.time_budget_s = budget;
+        auto factor_run = atpg::run_atpg(tm.netlist, opts);
+
+        std::printf("%-16s %12s %14s\n", mut.name.c_str(),
+                    util::fixed(bist.coverage_percent, 2).c_str(),
+                    util::fixed(factor_run.coverage_percent, 2).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+    auto ctx = load_arm2z();
+    double budget = atpg_budget_seconds(10.0);
+    ablation_constraint_reuse(*ctx);
+    ablation_pier(*ctx, budget);
+    ablation_backtracks(*ctx, budget);
+    ablation_granularity(*ctx);
+    ablation_bist_vs_factor(*ctx, budget);
+    return 0;
+}

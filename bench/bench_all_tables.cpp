@@ -1,0 +1,35 @@
+// Prints every table of the paper's evaluation section in order, sharing
+// one loaded design. This is the one-shot reproduction driver; see
+// EXPERIMENTS.md for the paper-vs-measured discussion.
+#include "harness.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace factor::bench;
+    auto ctx = load_arm2z();
+    double budget = atpg_budget_seconds(15.0);
+
+    std::printf("== FACTOR reproduction: all tables (ATPG budget %.1fs) ==\n\n",
+                budget);
+    print_table1(*ctx);
+
+    auto flat_rows = compute_transform_rows(*ctx, factor::core::Mode::Flat);
+    print_table2_or_3(*ctx, factor::core::Mode::Flat, flat_rows);
+
+    auto comp_rows =
+        compute_transform_rows(*ctx, factor::core::Mode::Composed);
+    print_table2_or_3(*ctx, factor::core::Mode::Composed, comp_rows);
+
+    auto raw = compute_table4(*ctx, budget);
+    print_table4(raw);
+
+    auto t5 = compute_table5_or_6(*ctx, factor::core::Mode::Flat, budget);
+    print_table5_or_6(factor::core::Mode::Flat, t5);
+
+    auto t6 = compute_table5_or_6(*ctx, factor::core::Mode::Composed, budget);
+    print_table5_or_6(factor::core::Mode::Composed, t6);
+
+    print_testability_report(*ctx);
+    return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the hot engine components:
+// parsing, elaboration, synthesis, optimization, fault simulation and
+// PODEM. These are throughput numbers for the library itself, not paper
+// tables.
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/podem.hpp"
+#include "designs/designs.hpp"
+#include "elab/elaborator.hpp"
+#include "rtl/parser.hpp"
+#include "synth/optimizer.hpp"
+#include "synth/synthesizer.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace factor;
+
+struct Arm2z {
+    std::unique_ptr<rtl::Design> design;
+    util::DiagEngine diags;
+    std::unique_ptr<elab::ElaboratedDesign> elaborated;
+    synth::Netlist netlist;
+
+    Arm2z() {
+        design = std::make_unique<rtl::Design>();
+        rtl::Parser::parse_source(designs::arm2z_source(), "arm2z.v", *design,
+                                  diags);
+        elab::Elaborator el(*design, diags);
+        elaborated = el.elaborate(designs::kArm2zTop);
+        synth::Synthesizer s(*design, diags);
+        netlist = s.run(elaborated->root());
+        (void)synth::optimize(netlist);
+    }
+};
+
+Arm2z& shared() {
+    static Arm2z instance;
+    return instance;
+}
+
+void BM_ParseArm2z(benchmark::State& state) {
+    for (auto _ : state) {
+        rtl::Design d;
+        util::DiagEngine diags;
+        rtl::Parser::parse_source(designs::arm2z_source(), "arm2z.v", d, diags);
+        benchmark::DoNotOptimize(d.modules.size());
+    }
+}
+BENCHMARK(BM_ParseArm2z);
+
+void BM_ElaborateArm2z(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        rtl::Design d;
+        util::DiagEngine diags;
+        rtl::Parser::parse_source(designs::arm2z_source(), "arm2z.v", d, diags);
+        state.ResumeTiming();
+        elab::Elaborator el(d, diags);
+        auto e = el.elaborate(designs::kArm2zTop);
+        benchmark::DoNotOptimize(e->instance_count());
+    }
+}
+BENCHMARK(BM_ElaborateArm2z);
+
+void BM_SynthesizeArm2z(benchmark::State& state) {
+    auto& a = shared();
+    for (auto _ : state) {
+        synth::Synthesizer s(*a.design, a.diags);
+        auto nl = s.run(a.elaborated->root());
+        benchmark::DoNotOptimize(nl.num_gates());
+    }
+}
+BENCHMARK(BM_SynthesizeArm2z);
+
+void BM_OptimizeArm2z(benchmark::State& state) {
+    auto& a = shared();
+    synth::Synthesizer s(*a.design, a.diags);
+    auto raw = s.run(a.elaborated->root());
+    for (auto _ : state) {
+        synth::Netlist copy = raw;
+        auto stats = synth::optimize(copy);
+        benchmark::DoNotOptimize(stats.gates_after);
+    }
+}
+BENCHMARK(BM_OptimizeArm2z);
+
+void BM_GoodSimulation64x8(benchmark::State& state) {
+    auto& a = shared();
+    atpg::FaultSimulator sim(a.netlist);
+    std::mt19937_64 rng(42);
+    auto seq = sim.random_sequence(rng, 8);
+    for (auto _ : state) {
+        auto po = sim.simulate_good(seq);
+        benchmark::DoNotOptimize(po.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 8);
+}
+BENCHMARK(BM_GoodSimulation64x8);
+
+void BM_FaultSim100Faults(benchmark::State& state) {
+    auto& a = shared();
+    atpg::FaultSimulator sim(a.netlist);
+    atpg::FaultList list(a.netlist);
+    std::mt19937_64 rng(42);
+    auto seq = sim.random_sequence(rng, 8);
+    auto good = sim.simulate_good(seq);
+    size_t n = std::min<size_t>(100, list.size());
+    for (auto _ : state) {
+        size_t detected = 0;
+        for (size_t i = 0; i < n; ++i) {
+            detected +=
+                sim.detect_mask(list.faults()[i].fault, seq, good) != 0;
+        }
+        benchmark::DoNotOptimize(detected);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FaultSim100Faults);
+
+void BM_PodemCombinational(benchmark::State& state) {
+    // Stand-alone ALU: combinational PODEM throughput.
+    auto& a = shared();
+    const auto* alu = a.elaborated->find_by_path("arm2z.exu.alu");
+    synth::Synthesizer s(*a.design, a.diags);
+    auto nl = s.run(*alu);
+    (void)synth::optimize(nl);
+    atpg::FaultList list(nl);
+    atpg::TimeFramePodem podem(nl, atpg::PodemOptions{});
+    size_t n = std::min<size_t>(50, list.size());
+    for (auto _ : state) {
+        size_t ok = 0;
+        for (size_t i = 0; i < n; ++i) {
+            auto r = podem.generate(list.faults()[i].fault, 1);
+            ok += r.outcome == atpg::PodemOutcome::Success;
+        }
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PodemCombinational);
+
+} // namespace
+
+BENCHMARK_MAIN();

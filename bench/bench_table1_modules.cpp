@@ -1,0 +1,11 @@
+// Reproduces Table 1: characteristics of the modules under test in arm2z
+// (hierarchy level, port bits, gate counts, collapsed stuck-at faults),
+// plus the §4.2 testability findings FACTOR surfaces during extraction.
+#include "harness.hpp"
+
+int main() {
+    auto ctx = factor::bench::load_arm2z();
+    factor::bench::print_table1(*ctx);
+    factor::bench::print_testability_report(*ctx);
+    return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 2: transformed modules built WITHOUT constraint
+// composition (the conventional single-pass methodology).
+#include "harness.hpp"
+
+int main() {
+    auto ctx = factor::bench::load_arm2z();
+    auto rows =
+        factor::bench::compute_transform_rows(*ctx, factor::core::Mode::Flat);
+    factor::bench::print_table2_or_3(*ctx, factor::core::Mode::Flat, rows);
+    return 0;
+}

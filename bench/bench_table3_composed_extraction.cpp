@@ -1,0 +1,12 @@
+// Reproduces Table 3: transformed modules built WITH constraint
+// composition — the paper's contribution. Extraction reuses the session
+// query graph across modules, so later rows extract faster than Table 2's.
+#include "harness.hpp"
+
+int main() {
+    auto ctx = factor::bench::load_arm2z();
+    auto rows = factor::bench::compute_transform_rows(
+        *ctx, factor::core::Mode::Composed);
+    factor::bench::print_table2_or_3(*ctx, factor::core::Mode::Composed, rows);
+    return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 4: raw test generation. Targeting a module's faults at
+// full-processor level collapses under the ATPG budget; the stand-alone
+// module is easy. Budget per run: FACTOR_BENCH_BUDGET (default 15 s).
+#include "harness.hpp"
+
+int main() {
+    auto ctx = factor::bench::load_arm2z();
+    double budget = factor::bench::atpg_budget_seconds(15.0);
+    auto rows = factor::bench::compute_table4(*ctx, budget);
+    factor::bench::print_table4(rows);
+    return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Table 5: test generation on the transformed modules built
+// WITHOUT composition.
+#include "harness.hpp"
+
+int main() {
+    auto ctx = factor::bench::load_arm2z();
+    double budget = factor::bench::atpg_budget_seconds(15.0);
+    auto rows = factor::bench::compute_table5_or_6(
+        *ctx, factor::core::Mode::Flat, budget);
+    factor::bench::print_table5_or_6(factor::core::Mode::Flat, rows);
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Shared harness for the paper-table benches. Each bench binary prints one
+// table of Vedula & Abraham (DATE 2002) computed on the arm2z benchmark
+// design; bench_all_tables prints all of them.
+//
+// Budgets are deliberately tight: the whole point of Table 4 is that
+// processor-level sequential ATPG exhausts any realistic budget. Override
+// the per-run budget with the FACTOR_BENCH_BUDGET environment variable
+// (seconds, floating point).
+#pragma once
+
+#include "atpg/engine.hpp"
+#include "core/extractor.hpp"
+#include "core/transform.hpp"
+#include "designs/designs.hpp"
+#include "elab/elaborator.hpp"
+#include "rtl/ast.hpp"
+#include "util/diagnostics.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace factor::bench {
+
+struct MutRef {
+    std::string name; // the paper's row label
+    const elab::InstNode* node = nullptr;
+};
+
+/// Loaded + elaborated arm2z with the four evaluation MUTs resolved.
+struct Context {
+    std::unique_ptr<rtl::Design> design;
+    util::DiagEngine diags;
+    std::unique_ptr<elab::ElaboratedDesign> elaborated;
+    std::vector<MutRef> muts;
+
+    core::TransformBuilder& builder();
+
+  private:
+    std::unique_ptr<core::TransformBuilder> builder_;
+};
+
+[[nodiscard]] std::unique_ptr<Context> load_arm2z();
+
+/// Per-run ATPG wall-clock budget in seconds (FACTOR_BENCH_BUDGET or the
+/// default).
+[[nodiscard]] double atpg_budget_seconds(double fallback);
+
+// ---- Table computations (reused across binaries) ---------------------------
+
+void print_table1(Context& ctx);
+
+struct TransformRow {
+    std::string name;
+    core::TransformedModule tm;
+    size_t surrounding_before = 0;
+};
+
+/// Tables 2/3: run the extraction+synthesis flow for every MUT in `mode`.
+[[nodiscard]] std::vector<TransformRow> compute_transform_rows(Context& ctx,
+                                                               core::Mode mode);
+void print_table2_or_3(Context& ctx, core::Mode mode,
+                       const std::vector<TransformRow>& rows);
+
+struct RawAtpgRow {
+    std::string name;
+    atpg::EngineResult processor_level;
+    atpg::EngineResult standalone;
+};
+
+/// Table 4: raw test generation, processor level vs stand-alone.
+[[nodiscard]] std::vector<RawAtpgRow> compute_table4(Context& ctx,
+                                                     double budget_s);
+void print_table4(const std::vector<RawAtpgRow>& rows);
+
+struct TransformedAtpgRow {
+    std::string name;
+    atpg::EngineResult result;
+    double extraction_s = 0.0;
+    double synthesis_s = 0.0;
+};
+
+/// Tables 5/6: test generation on the transformed modules of `mode`.
+[[nodiscard]] std::vector<TransformedAtpgRow>
+compute_table5_or_6(Context& ctx, core::Mode mode, double budget_s);
+void print_table5_or_6(core::Mode mode,
+                       const std::vector<TransformedAtpgRow>& rows);
+
+/// §4.2 testability summary for every MUT.
+void print_testability_report(Context& ctx);
+
+} // namespace factor::bench

@@ -1,0 +1,58 @@
+// Constraint writer demo: extract the functional constraints of a MUT and
+// emit them as synthesizable Verilog (the paper's FACTOR output), then
+// prove the text round-trips through this library's own front end.
+//
+// Build & run:  ./examples/write_constraints [output.v]
+#include "core/extractor.hpp"
+#include "core/writer.hpp"
+#include "designs/designs.hpp"
+#include "elab/elaborator.hpp"
+#include "rtl/parser.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace factor;
+
+int main(int argc, char** argv) {
+    rtl::Design design;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(designs::mini_soc_source(), "mini_soc.v",
+                              design, diags);
+    elab::Elaborator elaborator(design, diags);
+    auto elaborated = elaborator.elaborate(designs::kMiniSocTop);
+    if (!elaborated) {
+        std::fprintf(stderr, "%s", diags.dump().c_str());
+        return 1;
+    }
+
+    const auto* mut = elaborated->find_by_path("mini_soc.alu");
+    core::ExtractionSession session(*elaborated, core::Mode::Composed, diags);
+    auto cs = session.extract(*mut);
+
+    core::ConstraintWriter writer(*elaborated, cs);
+    std::string verilog = writer.write_verilog();
+    std::printf("// constraints for MUT %s (top: %s)\n%s",
+                mut->path().c_str(), writer.top_name().c_str(),
+                verilog.c_str());
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        out << verilog;
+        std::printf("// written to %s\n", argv[1]);
+    }
+
+    // Round-trip check: the emitted constraints parse and elaborate.
+    rtl::Design reparsed;
+    util::DiagEngine rediags;
+    rtl::Parser::parse_source(verilog, "<emitted>", reparsed, rediags);
+    elab::Elaborator re_el(reparsed, rediags);
+    auto re = re_el.elaborate(writer.top_name());
+    if (!re || rediags.has_errors()) {
+        std::fprintf(stderr, "round-trip FAILED:\n%s", rediags.dump().c_str());
+        return 1;
+    }
+    std::printf("// round-trip OK: %zu instances after re-elaboration\n",
+                re->instance_count());
+    return 0;
+}

@@ -1,0 +1,389 @@
+#include "analysis/def_use.hpp"
+
+#include "util/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace factor::analysis {
+
+namespace {
+
+void dedup(std::vector<std::string>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+void collect_lvalue_signals(const rtl::Expr& lhs, std::vector<std::string>& out) {
+    switch (lhs.kind) {
+    case rtl::ExprKind::Ident:
+    case rtl::ExprKind::BitSelect:
+    case rtl::ExprKind::PartSelect:
+        out.push_back(lhs.ident);
+        break;
+    case rtl::ExprKind::Concat:
+        for (const auto& op : lhs.ops) collect_lvalue_signals(*op, out);
+        break;
+    default:
+        break;
+    }
+}
+
+void collect_lvalue_index_signals(const rtl::Expr& lhs,
+                                  std::vector<std::string>& out) {
+    if (lhs.kind == rtl::ExprKind::BitSelect) {
+        rtl::collect_idents(*lhs.ops[0], out);
+    } else if (lhs.kind == rtl::ExprKind::Concat) {
+        for (const auto& op : lhs.ops) collect_lvalue_index_signals(*op, out);
+    }
+}
+
+void collect_lhs_signals(const rtl::Stmt& s, std::vector<std::string>& out) {
+    if (s.kind == rtl::StmtKind::Assign && s.lhs) {
+        collect_lvalue_signals(*s.lhs, out);
+    }
+    if (s.then_s) collect_lhs_signals(*s.then_s, out);
+    if (s.else_s) collect_lhs_signals(*s.else_s, out);
+    if (s.body) collect_lhs_signals(*s.body, out);
+    for (const auto& item : s.items) {
+        if (item.body) collect_lhs_signals(*item.body, out);
+    }
+    for (const auto& st : s.stmts) {
+        if (st) collect_lhs_signals(*st, out);
+    }
+}
+
+util::SourceLoc SiteRef::loc() const {
+    switch (kind) {
+    case SiteKind::ContAssign: return assign != nullptr ? assign->loc : util::SourceLoc{};
+    case SiteKind::ProcAssign: return stmt != nullptr ? stmt->loc : util::SourceLoc{};
+    case SiteKind::InstanceConn: return inst != nullptr ? inst->loc : util::SourceLoc{};
+    case SiteKind::Port: return port != nullptr ? port->loc : util::SourceLoc{};
+    }
+    return {};
+}
+
+std::string SiteRef::describe() const {
+    std::ostringstream os;
+    switch (kind) {
+    case SiteKind::ContAssign:
+        os << "continuous assignment at " << loc().str();
+        break;
+    case SiteKind::ProcAssign:
+        os << "procedural assignment at " << loc().str();
+        break;
+    case SiteKind::InstanceConn:
+        os << "port '" << (conn != nullptr ? conn->port : "?")
+           << "' of instance '" << (inst != nullptr ? inst->inst_name : "?")
+           << "' at " << loc().str();
+        break;
+    case SiteKind::Port:
+        os << (port != nullptr ? std::string(to_string(port->dir)) : "?")
+           << " port '" << (port != nullptr ? port->name : "?") << "'";
+        break;
+    }
+    return os.str();
+}
+
+ModuleAnalysis::ModuleAnalysis(const rtl::Module& m) : module_(m) {
+    scan_ports();
+    scan_cont_assigns();
+    scan_always_blocks();
+    scan_instances();
+}
+
+void ModuleAnalysis::add_def(const std::string& signal, SiteRef site) {
+    auto& v = defs_[signal];
+    if (std::find(v.begin(), v.end(), site) == v.end()) v.push_back(site);
+}
+
+void ModuleAnalysis::add_use(const std::string& signal, SiteRef site) {
+    auto& v = uses_[signal];
+    if (std::find(v.begin(), v.end(), site) == v.end()) v.push_back(site);
+}
+
+void ModuleAnalysis::scan_ports() {
+    for (const auto& p : module_.ports) {
+        SiteRef site;
+        site.kind = SiteKind::Port;
+        site.port = &p;
+        if (p.dir == rtl::PortDir::Input) {
+            add_def(p.name, site);
+        } else if (p.dir == rtl::PortDir::Output) {
+            add_use(p.name, site);
+        } else {
+            add_def(p.name, site);
+            add_use(p.name, site);
+        }
+    }
+}
+
+void ModuleAnalysis::scan_cont_assigns() {
+    for (const auto& a : module_.assigns) {
+        SiteRef site;
+        site.kind = SiteKind::ContAssign;
+        site.assign = &a;
+        std::vector<std::string> written;
+        collect_lvalue_signals(*a.lhs, written);
+        for (const auto& s : written) add_def(s, site);
+        std::vector<std::string> read;
+        rtl::collect_idents(*a.rhs, read);
+        collect_lvalue_index_signals(*a.lhs, read);
+        dedup(read);
+        for (const auto& s : read) add_use(s, site);
+    }
+}
+
+void ModuleAnalysis::scan_always_blocks() {
+    for (const auto& b : module_.always_blocks) {
+        if (!b.body) continue;
+        std::vector<const rtl::Stmt*> stack;
+        scan_stmt(b, *b.body, stack);
+    }
+}
+
+void ModuleAnalysis::scan_stmt(const rtl::AlwaysBlock& block,
+                               const rtl::Stmt& s,
+                               std::vector<const rtl::Stmt*>& stack) {
+    switch (s.kind) {
+    case rtl::StmtKind::Assign: {
+        SiteRef site;
+        site.kind = SiteKind::ProcAssign;
+        site.block = &block;
+        site.stmt = &s;
+        owner_[&s] = &block;
+        enclosing_[&s] = stack;
+
+        std::vector<std::string> written;
+        collect_lvalue_signals(*s.lhs, written);
+        // Loop induction variables are compile-time names, not signals.
+        for (const auto& w : written) {
+            if (std::find(loop_vars_.begin(), loop_vars_.end(), w) ==
+                loop_vars_.end()) {
+                add_def(w, site);
+            }
+        }
+        std::vector<std::string> read;
+        rtl::collect_idents(*s.rhs, read);
+        collect_lvalue_index_signals(*s.lhs, read);
+        // Control dependence: signals in enclosing conditions influence this
+        // assignment, so they count as uses here. This is what lets
+        // find_prop_paths follow a MUT output that steers control logic.
+        for (const rtl::Stmt* enc : stack) {
+            if (enc->cond) rtl::collect_idents(*enc->cond, read);
+        }
+        // The sensitivity list (clock/reset edges) gates the assignment too.
+        for (const auto& sens : block.sens) read.push_back(sens.signal);
+        dedup(read);
+        for (const auto& r : read) {
+            if (std::find(loop_vars_.begin(), loop_vars_.end(), r) ==
+                loop_vars_.end()) {
+                add_use(r, site);
+            }
+        }
+        break;
+    }
+    case rtl::StmtKind::If: {
+        stack.push_back(&s);
+        if (s.then_s) scan_stmt(block, *s.then_s, stack);
+        if (s.else_s) scan_stmt(block, *s.else_s, stack);
+        stack.pop_back();
+        break;
+    }
+    case rtl::StmtKind::Case: {
+        stack.push_back(&s);
+        for (const auto& item : s.items) {
+            if (item.body) scan_stmt(block, *item.body, stack);
+        }
+        stack.pop_back();
+        break;
+    }
+    case rtl::StmtKind::For: {
+        if (s.init && s.init->kind == rtl::StmtKind::Assign &&
+            s.init->lhs->kind == rtl::ExprKind::Ident) {
+            loop_vars_.push_back(s.init->lhs->ident);
+        }
+        stack.push_back(&s);
+        if (s.body) scan_stmt(block, *s.body, stack);
+        stack.pop_back();
+        break;
+    }
+    case rtl::StmtKind::Block: {
+        for (const auto& st : s.stmts) {
+            if (st) scan_stmt(block, *st, stack);
+        }
+        break;
+    }
+    case rtl::StmtKind::Null:
+        break;
+    }
+}
+
+void ModuleAnalysis::scan_instances() {
+    for (const auto& inst : module_.instances) {
+        for (const auto& c : inst.conns) {
+            if (!c.expr) continue;
+            SiteRef site;
+            site.kind = SiteKind::InstanceConn;
+            site.inst = &inst;
+            site.conn = &c;
+            // Direction is resolved against the child module by the
+            // extractor; here we conservatively record both chains so a
+            // standalone ModuleAnalysis stays useful without the design:
+            // output connections define their net, input connections use it.
+            // Without the child's port table we register the connection as
+            // both a potential def and use of every referenced signal; the
+            // extractor filters by actual direction.
+            std::vector<std::string> sigs;
+            rtl::collect_idents(*c.expr, sigs);
+            dedup(sigs);
+            for (const auto& s : sigs) {
+                add_def(s, site);
+                add_use(s, site);
+            }
+        }
+    }
+}
+
+namespace {
+const std::vector<SiteRef> kEmptySites;
+} // namespace
+
+const std::vector<SiteRef>& ModuleAnalysis::defs(const std::string& signal) const {
+    auto it = defs_.find(signal);
+    return it != defs_.end() ? it->second : kEmptySites;
+}
+
+const std::vector<SiteRef>& ModuleAnalysis::uses(const std::string& signal) const {
+    auto it = uses_.find(signal);
+    return it != uses_.end() ? it->second : kEmptySites;
+}
+
+std::vector<const rtl::Stmt*>
+ModuleAnalysis::enclosing(const rtl::Stmt* stmt) const {
+    auto it = enclosing_.find(stmt);
+    return it != enclosing_.end() ? it->second
+                                  : std::vector<const rtl::Stmt*>{};
+}
+
+std::vector<std::string> ModuleAnalysis::rhs_signals(const SiteRef& site) const {
+    std::vector<std::string> out;
+    switch (site.kind) {
+    case SiteKind::ContAssign:
+        rtl::collect_idents(*site.assign->rhs, out);
+        collect_lvalue_index_signals(*site.assign->lhs, out);
+        break;
+    case SiteKind::ProcAssign:
+        rtl::collect_idents(*site.stmt->rhs, out);
+        collect_lvalue_index_signals(*site.stmt->lhs, out);
+        break;
+    case SiteKind::InstanceConn:
+    case SiteKind::Port:
+        break;
+    }
+    dedup(out);
+    // Loop induction variables are not hardware signals.
+    std::erase_if(out, [&](const std::string& s) {
+        return std::find(loop_vars_.begin(), loop_vars_.end(), s) !=
+               loop_vars_.end();
+    });
+    return out;
+}
+
+std::vector<std::string>
+ModuleAnalysis::control_signals(const SiteRef& site) const {
+    std::vector<std::string> out;
+    if (site.kind != SiteKind::ProcAssign) return out;
+    for (const rtl::Stmt* enc : enclosing(site.stmt)) {
+        if (enc->cond) rtl::collect_idents(*enc->cond, out);
+        // case labels are constants in the subset; conditions carry the
+        // controlling signals.
+    }
+    for (const auto& s : site.block->sens) out.push_back(s.signal);
+    dedup(out);
+    std::erase_if(out, [&](const std::string& s) {
+        return std::find(loop_vars_.begin(), loop_vars_.end(), s) !=
+               loop_vars_.end();
+    });
+    return out;
+}
+
+std::vector<std::string> ModuleAnalysis::lhs_signals(const SiteRef& site) const {
+    std::vector<std::string> out;
+    switch (site.kind) {
+    case SiteKind::ContAssign:
+        collect_lvalue_signals(*site.assign->lhs, out);
+        break;
+    case SiteKind::ProcAssign:
+        collect_lvalue_signals(*site.stmt->lhs, out);
+        break;
+    case SiteKind::InstanceConn:
+    case SiteKind::Port:
+        break;
+    }
+    dedup(out);
+    return out;
+}
+
+std::vector<std::string> ModuleAnalysis::signals() const {
+    std::vector<std::string> out;
+    for (const auto& p : module_.ports) out.push_back(p.name);
+    for (const auto& n : module_.nets) out.push_back(n.name);
+    for (const auto& [name, sites] : defs_) out.push_back(name);
+    for (const auto& [name, sites] : uses_) out.push_back(name);
+    dedup(out);
+    std::erase_if(out, [&](const std::string& s) {
+        return std::find(loop_vars_.begin(), loop_vars_.end(), s) !=
+               loop_vars_.end();
+    });
+    return out;
+}
+
+std::vector<std::string> ModuleAnalysis::undriven_signals() const {
+    std::vector<std::string> out;
+    for (const auto& name : signals()) {
+        const rtl::Port* p = module_.find_port(name);
+        if (p != nullptr && p->dir != rtl::PortDir::Output) continue;
+        if (!uses(name).empty() && defs(name).empty()) out.push_back(name);
+    }
+    return out;
+}
+
+std::vector<std::string> ModuleAnalysis::unused_signals() const {
+    std::vector<std::string> out;
+    for (const auto& name : signals()) {
+        const rtl::Port* p = module_.find_port(name);
+        if (p != nullptr && p->dir != rtl::PortDir::Input) continue;
+        if (!defs(name).empty() && uses(name).empty()) out.push_back(name);
+    }
+    return out;
+}
+
+bool ModuleAnalysis::only_constant_defs(const std::string& signal) const {
+    const auto& sites = defs(signal);
+    if (sites.empty()) return false;
+    for (const auto& site : sites) {
+        const rtl::Expr* rhs = nullptr;
+        if (site.kind == SiteKind::ContAssign) {
+            rhs = site.assign->rhs.get();
+        } else if (site.kind == SiteKind::ProcAssign) {
+            rhs = site.stmt->rhs.get();
+        } else {
+            return false; // port or instance: not a hard-coded constant
+        }
+        if (rhs == nullptr || !rtl::is_constant_expr(*rhs)) return false;
+    }
+    return true;
+}
+
+const ModuleAnalysis& AnalysisCache::get(const rtl::Module& m) {
+    auto it = cache_.find(&m);
+    if (it == cache_.end()) {
+        it = cache_.emplace(&m, std::make_unique<ModuleAnalysis>(m)).first;
+    }
+    return *it->second;
+}
+
+} // namespace factor::analysis

@@ -1,0 +1,133 @@
+// Def-use and use-def chains at statement granularity, the data structure
+// FACTOR's extraction subroutines traverse (paper §3, Figure 2).
+//
+// For every signal of a module the analysis records:
+//   * def sites — places the signal is assigned: continuous assignments,
+//     procedural assignments inside always blocks, instance output
+//     connections, or the module input port itself;
+//   * use sites — places the signal is read: assignment right-hand sides,
+//     conditional/loop controls (via the enclosing-context maps), instance
+//     input connections, sensitivity lists, or the module output port.
+//
+// Each procedural statement additionally knows its chain of enclosing
+// conditional statements ("enclosing conditional statements, loops and
+// concurrency constructs" in the paper's pseudo-code), which is what pulls
+// control logic into the extracted constraints.
+#pragma once
+
+#include "rtl/ast.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace factor::analysis {
+
+enum class SiteKind {
+    ContAssign,   // assign lhs = rhs
+    ProcAssign,   // lhs = rhs / lhs <= rhs inside an always block
+    InstanceConn, // connection on a child instance port
+    Port,         // the module boundary itself
+};
+
+/// A definition or use site. Exactly the pointers relevant to `kind` are
+/// non-null; the rest stay null.
+struct SiteRef {
+    SiteKind kind = SiteKind::Port;
+    const rtl::ContAssign* assign = nullptr;  // ContAssign
+    const rtl::AlwaysBlock* block = nullptr;  // ProcAssign: owning block
+    const rtl::Stmt* stmt = nullptr;          // ProcAssign: the assignment
+    const rtl::Instance* inst = nullptr;      // InstanceConn
+    const rtl::PortConn* conn = nullptr;      // InstanceConn
+    const rtl::Port* port = nullptr;          // Port
+
+    [[nodiscard]] bool operator==(const SiteRef& o) const {
+        return kind == o.kind && assign == o.assign && stmt == o.stmt &&
+               inst == o.inst && conn == o.conn && port == o.port;
+    }
+    [[nodiscard]] util::SourceLoc loc() const;
+    /// Human-readable description for testability traces.
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Def-use analysis of a single module (shared across all instances of the
+/// module type). The module must be elaborated (no parameters, resolved
+/// ranges).
+class ModuleAnalysis {
+  public:
+    explicit ModuleAnalysis(const rtl::Module& m);
+
+    [[nodiscard]] const rtl::Module& module() const { return module_; }
+
+    /// Definition sites of `signal` (its use-def chain heads).
+    [[nodiscard]] const std::vector<SiteRef>& defs(const std::string& signal) const;
+    /// Use sites of `signal` (its def-use chain heads).
+    [[nodiscard]] const std::vector<SiteRef>& uses(const std::string& signal) const;
+
+    /// Enclosing conditional/loop statements of a procedural assignment,
+    /// outermost first. Empty for non-procedural sites.
+    [[nodiscard]] std::vector<const rtl::Stmt*> enclosing(const rtl::Stmt* stmt) const;
+
+    /// Signals read by the right-hand side of a definition site (the
+    /// "rhs_driving_signals" of find_source_logic step 6). For a ProcAssign
+    /// this is the assignment's own RHS plus any lhs index expressions.
+    [[nodiscard]] std::vector<std::string> rhs_signals(const SiteRef& site) const;
+
+    /// Signals read by the conditions of every statement enclosing a
+    /// definition site (the "enc_driving_signals" of step 5), plus the
+    /// owning always block's sensitivity list for sequential blocks.
+    [[nodiscard]] std::vector<std::string> control_signals(const SiteRef& site) const;
+
+    /// Signals written by the statement of a use site (the
+    /// "lhs_driven_signals" of find_prop_paths step 5).
+    [[nodiscard]] std::vector<std::string> lhs_signals(const SiteRef& site) const;
+
+    /// All signal names that appear in the module (declared or referenced).
+    [[nodiscard]] std::vector<std::string> signals() const;
+
+    /// Signals whose use-def chain is empty although they are read somewhere
+    /// and are not input ports — the paper's testability red flag.
+    [[nodiscard]] std::vector<std::string> undriven_signals() const;
+    /// Signals that are driven but never read and are not output ports.
+    [[nodiscard]] std::vector<std::string> unused_signals() const;
+
+    /// True if every definition of `signal` assigns a constant expression
+    /// (the arm_alu "hard-coded values" warning of §4.2).
+    [[nodiscard]] bool only_constant_defs(const std::string& signal) const;
+
+  private:
+    void scan_cont_assigns();
+    void scan_always_blocks();
+    void scan_instances();
+    void scan_ports();
+    void scan_stmt(const rtl::AlwaysBlock& block, const rtl::Stmt& s,
+                   std::vector<const rtl::Stmt*>& stack);
+    void add_def(const std::string& signal, SiteRef site);
+    void add_use(const std::string& signal, SiteRef site);
+
+    const rtl::Module& module_;
+    std::map<std::string, std::vector<SiteRef>> defs_;
+    std::map<std::string, std::vector<SiteRef>> uses_;
+    std::map<const rtl::Stmt*, std::vector<const rtl::Stmt*>> enclosing_;
+    std::map<const rtl::Stmt*, const rtl::AlwaysBlock*> owner_;
+    std::vector<std::string> loop_vars_;
+};
+
+/// Cache of per-module analyses, keyed by module identity.
+class AnalysisCache {
+  public:
+    const ModuleAnalysis& get(const rtl::Module& m);
+
+  private:
+    std::map<const rtl::Module*, std::unique_ptr<ModuleAnalysis>> cache_;
+};
+
+/// Signals written anywhere below `s` (helper shared with the extractor).
+void collect_lhs_signals(const rtl::Stmt& s, std::vector<std::string>& out);
+/// Signals written by an lvalue expression.
+void collect_lvalue_signals(const rtl::Expr& lhs, std::vector<std::string>& out);
+/// Signals read by an lvalue expression (bit-select indices).
+void collect_lvalue_index_signals(const rtl::Expr& lhs,
+                                  std::vector<std::string>& out);
+
+} // namespace factor::analysis

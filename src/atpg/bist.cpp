@@ -1,0 +1,114 @@
+#include "atpg/bist.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace factor::atpg {
+
+using synth::Netlist;
+
+Lfsr::Lfsr(unsigned width, std::vector<unsigned> taps, uint64_t seed)
+    : width_(width), taps_(std::move(taps)),
+      state_(seed & ((width >= 64) ? ~0ull : ((1ull << width) - 1))) {
+    if (width_ < 2 || width_ > 64) {
+        throw util::FactorError("Lfsr width out of range");
+    }
+    if (state_ == 0) state_ = 1;
+}
+
+Lfsr Lfsr::maximal(unsigned width, uint64_t seed) {
+    // Standard maximal-length feedback taps (XOR form, 0-based positions).
+    switch (width) {
+    case 2: return Lfsr(2, {1, 0}, seed);
+    case 3: return Lfsr(3, {2, 1}, seed);
+    case 4: return Lfsr(4, {3, 2}, seed);
+    case 5: return Lfsr(5, {4, 2}, seed);
+    case 6: return Lfsr(6, {5, 4}, seed);
+    case 7: return Lfsr(7, {6, 5}, seed);
+    case 8: return Lfsr(8, {7, 5, 4, 3}, seed);
+    case 16: return Lfsr(16, {15, 14, 12, 3}, seed);
+    case 24: return Lfsr(24, {23, 22, 21, 16}, seed);
+    case 32: return Lfsr(32, {31, 21, 1, 0}, seed);
+    default:
+        if (width < 8) return Lfsr(width, {width - 1, width - 2}, seed);
+        // Fallback: not guaranteed maximal but long-period.
+        return Lfsr(width, {width - 1, width - 2, width / 2, 0}, seed);
+    }
+}
+
+uint64_t Lfsr::step() {
+    uint64_t fb = 0;
+    for (unsigned t : taps_) fb ^= (state_ >> t) & 1;
+    state_ = ((state_ << 1) | fb) &
+             ((width_ >= 64) ? ~0ull : ((1ull << width_) - 1));
+    if (state_ == 0) state_ = 1; // escape the degenerate fixed point
+    return state_;
+}
+
+Misr::Misr(unsigned width, uint64_t seed)
+    : width_(width),
+      state_(seed & ((width >= 64) ? ~0ull : ((1ull << width) - 1))) {
+    if (width_ < 2 || width_ > 64) {
+        throw util::FactorError("Misr width out of range");
+    }
+}
+
+void Misr::absorb(uint64_t word) {
+    uint64_t mask = (width_ >= 64) ? ~0ull : ((1ull << width_) - 1);
+    uint64_t rotated = ((state_ << 1) | (state_ >> (width_ - 1))) & mask;
+    state_ = rotated ^ (word & mask);
+}
+
+BistResult run_bist(const Netlist& nl, const BistOptions& options) {
+    BistResult result;
+    FaultList list(nl, options.scope_prefix);
+    FaultSimulator sim(nl);
+
+    const size_t num_pis = nl.inputs().size();
+    // One LFSR word per 64 input bits, stepped per frame.
+    const size_t lanes = (num_pis + 31) / 32;
+    std::vector<Lfsr> gens;
+    for (size_t l = 0; l < lanes; ++l) {
+        gens.push_back(Lfsr::maximal(32, options.seed + l * 977));
+    }
+
+    Misr misr(32, 0);
+    size_t applied = 0;
+    while (applied < options.patterns) {
+        // Build one sequence; each of the 64 parallel slots gets its own
+        // LFSR phase so a batch covers 64 * frames patterns.
+        Sequence seq;
+        for (size_t f = 0; f < options.frames_per_sequence; ++f) {
+            Frame frame;
+            frame.pi.resize(num_pis);
+            for (size_t i = 0; i < num_pis; ++i) {
+                uint64_t bits = 0;
+                for (unsigned p = 0; p < 64; ++p) {
+                    Lfsr& g = gens[i / 32];
+                    // Derive one pseudo-random bit per (pattern, pin).
+                    uint64_t s = g.step();
+                    bits |= ((s >> (i % 32)) & 1) << p;
+                }
+                frame.pi[i] = V64{bits, ~bits};
+            }
+            seq.push_back(std::move(frame));
+            applied += 64;
+            if (applied >= options.patterns) break;
+        }
+        (void)sim.run_and_drop(list, seq);
+        // Good-machine signature over PO stream (slot 0 of each frame).
+        auto good = sim.simulate_good(seq);
+        for (const auto& frame_pos : good) {
+            uint64_t word = 0;
+            for (size_t o = 0; o < frame_pos.size() && o < 32; ++o) {
+                if (frame_pos[o].one & 1) word |= (1ull << o);
+            }
+            misr.absorb(word);
+        }
+    }
+    result.patterns_applied = applied;
+    result.coverage_percent = list.coverage_percent();
+    result.good_signature = misr.signature();
+    return result;
+}
+
+} // namespace factor::atpg

@@ -1,0 +1,71 @@
+// Built-in self-test primitives of the paper's era: an LFSR pattern
+// generator and a MISR response compactor, plus a helper that measures the
+// stuck-at coverage a pure LFSR-driven BIST session achieves. Used by the
+// ablation benches to contrast pseudo-random BIST with the deterministic
+// FACTOR flow on the same fault lists.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace factor::atpg {
+
+/// Fibonacci LFSR with configurable width and feedback taps.
+class Lfsr {
+  public:
+    /// `taps` are bit positions (0-based) XORed into the feedback;
+    /// `seed` must be non-zero for a non-degenerate sequence.
+    Lfsr(unsigned width, std::vector<unsigned> taps, uint64_t seed = 1);
+
+    /// A maximal-length LFSR for widths 2..32 (standard polynomials).
+    [[nodiscard]] static Lfsr maximal(unsigned width, uint64_t seed = 1);
+
+    /// Current state (width bits).
+    [[nodiscard]] uint64_t state() const { return state_; }
+    /// Advance one step and return the new state.
+    uint64_t step();
+
+    [[nodiscard]] unsigned width() const { return width_; }
+
+  private:
+    unsigned width_;
+    std::vector<unsigned> taps_;
+    uint64_t state_;
+};
+
+/// Multiple-input signature register: XOR-compacts one word per cycle into
+/// a rotating signature.
+class Misr {
+  public:
+    explicit Misr(unsigned width, uint64_t seed = 0);
+    void absorb(uint64_t word);
+    [[nodiscard]] uint64_t signature() const { return state_; }
+
+  private:
+    unsigned width_;
+    uint64_t state_;
+};
+
+struct BistResult {
+    size_t patterns_applied = 0;
+    double coverage_percent = 0.0;
+    uint64_t good_signature = 0; // MISR signature of the fault-free machine
+};
+
+struct BistOptions {
+    size_t patterns = 1024;  // LFSR patterns (frames) to apply
+    size_t frames_per_sequence = 16;
+    uint64_t seed = 1;
+    std::string scope_prefix;
+};
+
+/// Drive `nl` with LFSR-generated stimulus, fault-simulate with dropping,
+/// and compute the good-machine MISR signature over the primary outputs.
+[[nodiscard]] BistResult run_bist(const synth::Netlist& nl,
+                                  const BistOptions& options = {});
+
+} // namespace factor::atpg

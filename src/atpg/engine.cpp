@@ -1,0 +1,143 @@
+#include "atpg/engine.hpp"
+
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+namespace factor::atpg {
+
+std::string EngineResult::summary() const {
+    std::ostringstream os;
+    os << "faults=" << total_faults << " detected=" << detected
+       << " untestable=" << untestable << " aborted=" << aborted
+       << " coverage=" << util::fixed(coverage_percent, 2) << "%"
+       << " efficiency=" << util::fixed(efficiency_percent, 2) << "%"
+       << " time=" << util::fixed(test_gen_seconds, 3) << "s";
+    if (budget_exhausted) os << " (budget exhausted)";
+    return os.str();
+}
+
+EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
+    util::Stopwatch watch;
+    util::Deadline deadline(options.time_budget_s);
+
+    EngineResult result;
+    FaultList list(nl, options.scope_prefix);
+    result.total_faults = list.size();
+    if (list.size() == 0) {
+        result.test_gen_seconds = watch.seconds();
+        return result;
+    }
+
+    FaultSimulator sim(nl);
+    std::mt19937_64 rng(options.seed);
+
+    // ---- Phase 1: random patterns with fault dropping ----------------------
+    size_t stale = 0;
+    for (size_t batch = 0; batch < options.random_batches; ++batch) {
+        if (deadline.expired()) break;
+        Sequence seq = sim.random_sequence(rng, options.random_frames);
+        size_t newly = sim.run_and_drop(list, seq);
+        result.random_sequences += 64;
+        if (newly == 0) {
+            if (++stale >= options.random_stale_limit) break;
+        } else {
+            stale = 0;
+        }
+    }
+
+    // ---- Phase 2: deterministic PODEM --------------------------------------
+    const bool combinational = nl.dff_count() == 0;
+    PodemOptions popts;
+    popts.max_backtracks = options.max_backtracks;
+    TimeFramePodem podem(nl, popts);
+
+    for (auto& entry : list.faults()) {
+        if (entry.status != FaultStatus::Undetected) continue;
+        if (deadline.expired()) {
+            result.budget_exhausted = true;
+            break;
+        }
+
+        bool done = false;
+        bool all_depths_no_test = true;
+        size_t max_frames = combinational ? 1 : options.max_frames;
+        for (size_t k = 1; k <= max_frames && !done; ++k) {
+            if (deadline.expired()) {
+                result.budget_exhausted = true;
+                all_depths_no_test = false;
+                break;
+            }
+            PodemResult pr = podem.generate(entry.fault, k);
+            switch (pr.outcome) {
+            case PodemOutcome::Success: {
+                ++result.deterministic_tests;
+                if (options.collect_tests) result.tests.push_back(pr.test);
+                Sequence seq = broadcast(pr.test, nl.inputs().size());
+                size_t newly = sim.run_and_drop(list, seq);
+                (void)newly;
+                if (entry.status != FaultStatus::Detected) {
+                    // PODEM said detected but the conservative simulator
+                    // disagreed (X-pessimism across frames); count the
+                    // fault as aborted rather than trusting the search.
+                    entry.status = FaultStatus::Aborted;
+                }
+                done = true;
+                break;
+            }
+            case PodemOutcome::Abort:
+                all_depths_no_test = false;
+                break; // try a deeper unroll
+            case PodemOutcome::NoTest:
+                break; // exhausted at this depth; deeper may still work
+            }
+        }
+        if (done) continue;
+        if (entry.status != FaultStatus::Undetected) continue;
+        if (combinational && all_depths_no_test) {
+            // Exhausting the decision space of the single frame of a
+            // combinational circuit is a redundancy proof.
+            entry.status = FaultStatus::Untestable;
+        } else {
+            entry.status = FaultStatus::Aborted;
+        }
+    }
+
+    // Any fault still undetected after the loop (e.g. budget break) aborts.
+    for (auto& entry : list.faults()) {
+        if (entry.status == FaultStatus::Undetected) {
+            entry.status = FaultStatus::Aborted;
+        }
+    }
+
+    // ---- Static compaction of the collected deterministic tests ------------
+    if (options.collect_tests && !result.tests.empty()) {
+        result.tests_before_compaction = result.tests.size();
+        // Reverse-order pass: later tests were generated for the harder
+        // faults and tend to cover many earlier ones.
+        FaultList compaction_list(nl, options.scope_prefix);
+        std::vector<ScalarSequence> kept;
+        for (auto it = result.tests.rbegin(); it != result.tests.rend();
+             ++it) {
+            Sequence seq = broadcast(*it, nl.inputs().size());
+            if (sim.run_and_drop(compaction_list, seq) > 0) {
+                kept.push_back(std::move(*it));
+            }
+        }
+        std::reverse(kept.begin(), kept.end());
+        result.tests = std::move(kept);
+    }
+
+    result.detected = list.count(FaultStatus::Detected);
+    result.untestable = list.count(FaultStatus::Untestable);
+    result.aborted = list.count(FaultStatus::Aborted);
+    result.coverage_percent = list.coverage_percent();
+    result.efficiency_percent = list.efficiency_percent();
+    result.test_gen_seconds = watch.seconds();
+    return result;
+}
+
+} // namespace factor::atpg

@@ -1,0 +1,150 @@
+#include "atpg/equiv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <sstream>
+
+namespace factor::atpg {
+
+using synth::Netlist;
+using synth::NetId;
+
+namespace {
+
+/// Input/output correspondence between two netlists.
+struct InterfaceMap {
+    bool ok = false;
+    std::string problem;
+    // For each A input index, the B input index.
+    std::vector<size_t> b_input_of;
+    // For each A output index, the B output index.
+    std::vector<size_t> b_output_of;
+};
+
+InterfaceMap match_interfaces(const Netlist& a, const Netlist& b) {
+    InterfaceMap m;
+    std::map<std::string, size_t> b_inputs;
+    for (size_t i = 0; i < b.inputs().size(); ++i) {
+        b_inputs[b.net_name(b.inputs()[i])] = i;
+    }
+    for (size_t i = 0; i < a.inputs().size(); ++i) {
+        const std::string& name = a.net_name(a.inputs()[i]);
+        auto it = b_inputs.find(name);
+        if (it == b_inputs.end()) {
+            m.problem = "input '" + name + "' missing in B";
+            return m;
+        }
+        m.b_input_of.push_back(it->second);
+    }
+    std::map<std::string, size_t> b_outputs;
+    for (size_t i = 0; i < b.outputs().size(); ++i) {
+        b_outputs[b.output_name(i)] = i;
+    }
+    for (size_t i = 0; i < a.outputs().size(); ++i) {
+        auto it = b_outputs.find(a.output_name(i));
+        if (it == b_outputs.end()) {
+            m.problem = "output '" + a.output_name(i) + "' missing in B";
+            return m;
+        }
+        m.b_output_of.push_back(it->second);
+    }
+    m.ok = true;
+    return m;
+}
+
+/// Compare PO values for one frame batch; returns a mismatch description
+/// or nullopt.
+std::optional<std::string>
+compare_frames(const Netlist& a, const std::vector<std::vector<V64>>& pa,
+               const std::vector<std::vector<V64>>& pb,
+               const InterfaceMap& im) {
+    for (size_t f = 0; f < pa.size(); ++f) {
+        for (size_t o = 0; o < pa[f].size(); ++o) {
+            V64 va = pa[f][o];
+            V64 vb = pb[f][im.b_output_of[o]];
+            uint64_t both = va.known() & vb.known();
+            uint64_t diff = (va.one ^ vb.one) & both;
+            uint64_t lost = va.known() & ~vb.known();
+            if (diff == 0 && lost == 0) continue;
+            uint64_t bad = diff != 0 ? diff : lost;
+            int pattern = __builtin_ctzll(bad);
+            std::ostringstream os;
+            os << "output '" << a.output_name(o) << "' frame " << f
+               << " pattern " << pattern
+               << (diff != 0 ? ": values differ" : ": definedness lost");
+            return os.str();
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+EquivResult check_equivalence(const Netlist& a, const Netlist& b,
+                              const EquivOptions& options) {
+    EquivResult result;
+    InterfaceMap im = match_interfaces(a, b);
+    if (!im.ok) {
+        result.mismatch = im.problem;
+        return result;
+    }
+
+    FaultSimulator sim_a(a);
+    FaultSimulator sim_b(b);
+
+    const bool combinational = a.dff_count() == 0 && b.dff_count() == 0;
+    const size_t n = a.inputs().size();
+
+    if (combinational && n <= options.exhaustive_input_limit) {
+        result.exhaustive = true;
+        const uint64_t total = uint64_t{1} << n;
+        for (uint64_t base = 0; base < total; base += 64) {
+            Frame fa;
+            fa.pi.resize(n);
+            for (size_t i = 0; i < n; ++i) {
+                uint64_t ones = 0;
+                for (uint64_t p = 0; p < 64 && base + p < total; ++p) {
+                    if (((base + p) >> i) & 1) ones |= (1ull << p);
+                }
+                fa.pi[i] = V64{ones, ~ones};
+            }
+            Frame fb;
+            fb.pi.resize(b.inputs().size(), V64::all_x());
+            for (size_t i = 0; i < n; ++i) fb.pi[im.b_input_of[i]] = fa.pi[i];
+
+            auto pa = sim_a.simulate_good({fa});
+            auto pb = sim_b.simulate_good({fb});
+            if (auto bad = compare_frames(a, pa, pb, im)) {
+                result.mismatch = *bad + " (exhaustive, base pattern " +
+                                  std::to_string(base) + ")";
+                return result;
+            }
+        }
+        result.equivalent = true;
+        return result;
+    }
+
+    std::mt19937_64 rng(options.seed);
+    for (size_t batch = 0; batch < options.random_batches; ++batch) {
+        Sequence sa = sim_a.random_sequence(rng, options.random_frames);
+        Sequence sb;
+        for (const Frame& f : sa) {
+            Frame fb;
+            fb.pi.resize(b.inputs().size(), V64::all_x());
+            for (size_t i = 0; i < n; ++i) fb.pi[im.b_input_of[i]] = f.pi[i];
+            sb.push_back(std::move(fb));
+        }
+        auto pa = sim_a.simulate_good(sa);
+        auto pb = sim_b.simulate_good(sb);
+        if (auto bad = compare_frames(a, pa, pb, im)) {
+            result.mismatch = *bad + " (random batch " +
+                              std::to_string(batch) + ")";
+            return result;
+        }
+    }
+    result.equivalent = true;
+    return result;
+}
+
+} // namespace factor::atpg

@@ -1,0 +1,47 @@
+// Simulation-based equivalence checking between two netlists with
+// name-matched interfaces. Combinational designs with few inputs are
+// checked exhaustively; everything else gets randomized multi-frame
+// checking. Used to validate the optimizer and the constraint-writer
+// round trip; a mismatch returns a concrete counterexample.
+//
+// Comparison rule under three-valued simulation: wherever both outputs are
+// binary they must agree, and B (the "after" netlist) must be at least as
+// defined as A wherever A is binary — rewrites may only ever reduce
+// pessimism, never change a defined value.
+#pragma once
+
+#include "atpg/fault_sim.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace factor::atpg {
+
+struct EquivOptions {
+    /// Inputs at or below this count (combinational only) are exhausted.
+    size_t exhaustive_input_limit = 16;
+    /// Random batches (64 sequences each) for the randomized mode.
+    size_t random_batches = 16;
+    /// Frames per random sequence (sequential state exploration).
+    size_t random_frames = 8;
+    uint64_t seed = 0xec;
+};
+
+struct EquivResult {
+    bool equivalent = false;
+    bool exhaustive = false; // proof, not sampling
+    std::string mismatch;    // human-readable counterexample when !equivalent
+
+    explicit operator bool() const { return equivalent; }
+};
+
+/// Check B against A. Interfaces are matched by input net name and output
+/// port name; a mismatched interface is reported as non-equivalent.
+[[nodiscard]] EquivResult check_equivalence(const synth::Netlist& a,
+                                            const synth::Netlist& b,
+                                            const EquivOptions& options = {});
+
+} // namespace factor::atpg

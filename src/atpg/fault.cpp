@@ -1,0 +1,159 @@
+#include "atpg/fault.hpp"
+
+#include "util/strings.hpp"
+
+#include <sstream>
+
+namespace factor::atpg {
+
+using synth::Gate;
+using synth::GateId;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+std::string FaultEntry::describe(const Netlist& nl) const {
+    std::ostringstream os;
+    if (fault.is_stem()) {
+        os << nl.net_name(fault.net);
+    } else {
+        const Gate& g = nl.gate(fault.gate);
+        os << to_string(g.type) << "@" << nl.net_name(g.out) << "/in"
+           << fault.pin << " (branch of " << nl.net_name(fault.net) << ")";
+    }
+    os << (fault.sa1 ? " SA1" : " SA0");
+    return os.str();
+}
+
+namespace {
+
+/// Is the input-pin fault with stuck value `sa1` equivalent to an output
+/// fault of gate type `t`? (Controlling-value collapsing.)
+bool input_fault_collapses(GateType t, bool sa1) {
+    switch (t) {
+    case GateType::Buf:
+    case GateType::Dff:
+    case GateType::Not:
+        return true; // both polarities map onto the output fault
+    case GateType::And:
+    case GateType::Nand:
+        return !sa1; // input SA0 == output SA0 / SA1
+    case GateType::Or:
+    case GateType::Nor:
+        return sa1; // input SA1 == output SA1 / SA0
+    default:
+        return false; // XOR/XNOR/MUX: all input faults distinct
+    }
+}
+
+} // namespace
+
+FaultList::FaultList(const Netlist& nl, const std::string& scope_prefix) {
+    auto fanout = nl.build_fanout();
+
+    auto in_scope = [&](NetId n) {
+        return scope_prefix.empty() ||
+               util::starts_with(nl.net_name(n), scope_prefix);
+    };
+
+    // Count pins per net (a gate may read the same net twice).
+    std::vector<uint32_t> reader_pins(nl.num_nets(), 0);
+    for (const Gate& g : nl.gates()) {
+        for (NetId in : g.ins) ++reader_pins[in];
+    }
+
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        GateId d = nl.driver(n);
+        const bool is_pi = d == Netlist::kNoGate;
+        if (is_pi) {
+            // Undriven internal nets are permanently unknown; faults there
+            // are untestable by construction and excluded up front. Primary
+            // inputs do get stem faults.
+            bool is_input = false;
+            for (NetId pi : nl.inputs()) is_input |= (pi == n);
+            if (!is_input) continue;
+        } else if (synth::is_const(nl.gate(d).type)) {
+            continue; // tie cells: no useful fault site
+        }
+        if (reader_pins[n] == 0) {
+            bool is_output = false;
+            for (NetId po : nl.outputs()) is_output |= (po == n);
+            if (!is_output) continue; // dangling net
+        }
+        if (!in_scope(n)) continue;
+
+        for (bool sa1 : {false, true}) {
+            ++uncollapsed_;
+            // A stem fault on a single-reader net collapses into the reader
+            // pin's fault, which itself may collapse into the reader's
+            // output fault; keep the stem as the canonical representative
+            // unless the gate-input rule removes it.
+            bool collapsed = false;
+            if (reader_pins[n] == 1) {
+                // Find the unique reader.
+                for (GateId g : fanout[n]) {
+                    const Gate& gate = nl.gate(g);
+                    for (size_t i = 0; i < gate.ins.size(); ++i) {
+                        if (gate.ins[i] == n &&
+                            input_fault_collapses(gate.type, sa1) &&
+                            in_scope(gate.out)) {
+                            collapsed = true;
+                        }
+                    }
+                }
+            }
+            if (collapsed) continue;
+            FaultEntry e;
+            e.fault.net = n;
+            e.fault.sa1 = sa1;
+            faults_.push_back(e);
+        }
+
+        // Branch faults for fanout > 1. The reading gate must also lie in
+        // scope so a module's targeted fault universe does not depend on
+        // how much surrounding logic happens to read its outputs.
+        if (reader_pins[n] > 1) {
+            for (GateId g : fanout[n]) {
+                const Gate& gate = nl.gate(g);
+                if (!in_scope(gate.out)) continue;
+                for (size_t i = 0; i < gate.ins.size(); ++i) {
+                    if (gate.ins[i] != n) continue;
+                    for (bool sa1 : {false, true}) {
+                        ++uncollapsed_;
+                        if (input_fault_collapses(gate.type, sa1)) continue;
+                        FaultEntry e;
+                        e.fault.net = n;
+                        e.fault.gate = g;
+                        e.fault.pin = static_cast<int>(i);
+                        e.fault.sa1 = sa1;
+                        faults_.push_back(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+size_t FaultList::count(FaultStatus s) const {
+    size_t n = 0;
+    for (const auto& f : faults_) {
+        if (f.status == s) ++n;
+    }
+    return n;
+}
+
+double FaultList::coverage_percent() const {
+    if (faults_.empty()) return 0.0;
+    return 100.0 * static_cast<double>(count(FaultStatus::Detected)) /
+           static_cast<double>(faults_.size());
+}
+
+double FaultList::efficiency_percent() const {
+    if (faults_.empty()) return 0.0;
+    return 100.0 *
+           static_cast<double>(count(FaultStatus::Detected) +
+                               count(FaultStatus::Untestable)) /
+           static_cast<double>(faults_.size());
+}
+
+} // namespace factor::atpg

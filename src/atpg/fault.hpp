@@ -1,0 +1,77 @@
+// Single stuck-at fault model with structural equivalence collapsing.
+//
+// Fault sites follow the classic convention: a "stem" fault lives on a net
+// (equivalently, on its driver's output or the primary input), and "branch"
+// faults live on individual gate input pins of nets with fanout greater
+// than one. Equivalence collapsing removes controlling-value input faults
+// that are indistinguishable from the gate's output fault (AND: input SA0 ==
+// output SA0; OR: input SA1 == output SA1; BUF/NOT/DFF: both).
+#pragma once
+
+#include "synth/netlist.hpp"
+
+#include <string>
+#include <vector>
+
+namespace factor::atpg {
+
+struct Fault {
+    // Stem fault: gate == kNoGate, net is the site.
+    // Branch fault: gate/pin identify the reading pin, net is the branch net.
+    synth::NetId net = synth::kNoNet;
+    synth::GateId gate = synth::Netlist::kNoGate;
+    int pin = -1;
+    bool sa1 = false;
+
+    [[nodiscard]] bool is_stem() const {
+        return gate == synth::Netlist::kNoGate;
+    }
+    [[nodiscard]] bool operator==(const Fault&) const = default;
+};
+
+enum class FaultStatus : uint8_t {
+    Undetected,
+    Detected,
+    Untestable, // proven redundant by exhaustive search
+    Aborted,    // backtrack/time budget exhausted
+};
+
+struct FaultEntry {
+    Fault fault;
+    FaultStatus status = FaultStatus::Undetected;
+    /// Human-readable site, e.g. "exec.alu.sum[3] SA0" or
+    /// "AND_57/in2 (branch of exec.cin) SA1".
+    std::string describe(const synth::Netlist& nl) const;
+};
+
+/// Builds the collapsed fault list of a netlist. `scope_prefix` (optional)
+/// restricts faults to sites whose net name starts with the prefix — this is
+/// how "targeting faults in the MUT" at processor level is expressed.
+class FaultList {
+  public:
+    explicit FaultList(const synth::Netlist& nl,
+                       const std::string& scope_prefix = "");
+
+    [[nodiscard]] const std::vector<FaultEntry>& faults() const {
+        return faults_;
+    }
+    [[nodiscard]] std::vector<FaultEntry>& faults() { return faults_; }
+    [[nodiscard]] size_t size() const { return faults_.size(); }
+
+    /// Number of uncollapsed fault sites considered (before equivalence
+    /// collapsing), for reporting.
+    [[nodiscard]] size_t uncollapsed_count() const { return uncollapsed_; }
+
+    [[nodiscard]] size_t count(FaultStatus s) const;
+
+    /// Fault coverage: detected / total (%).
+    [[nodiscard]] double coverage_percent() const;
+    /// ATPG efficiency: (detected + untestable) / total (%).
+    [[nodiscard]] double efficiency_percent() const;
+
+  private:
+    std::vector<FaultEntry> faults_;
+    size_t uncollapsed_ = 0;
+};
+
+} // namespace factor::atpg

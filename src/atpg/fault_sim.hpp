@@ -1,0 +1,76 @@
+// Sequential fault simulation, 64 test sequences in parallel
+// (parallel-pattern single-fault propagation).
+//
+// The simulator drives the netlist as a synchronous machine: every frame it
+// applies one input vector per sequence, evaluates the combinational logic
+// in levelized order under three-valued semantics, samples the primary
+// outputs, and clocks the DFF state. Flip-flops start unknown (X); a fault
+// counts as detected in a sequence only when a primary output is binary in
+// both machines and differs — the conservative definite-detection rule.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "atpg/logic.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace factor::atpg {
+
+/// One frame of stimuli: a V64 per primary input (bit p = sequence p).
+/// Inputs left X are legal (e.g. PODEM don't-cares).
+struct Frame {
+    std::vector<V64> pi; // indexed like Netlist::inputs()
+};
+
+/// A multi-frame stimulus for 64 parallel sequences.
+using Sequence = std::vector<Frame>;
+
+/// A single scalar test sequence (one value per PI per frame), produced by
+/// the deterministic generator. X entries are don't-cares.
+struct ScalarSequence {
+    std::vector<std::vector<V5>> frames; // frames[f][pi]
+
+    [[nodiscard]] size_t num_frames() const { return frames.size(); }
+};
+
+/// Expand a scalar sequence into a parallel Sequence occupying bit 0.
+[[nodiscard]] Sequence broadcast(const ScalarSequence& s, size_t num_pis);
+
+class FaultSimulator {
+  public:
+    explicit FaultSimulator(const synth::Netlist& nl);
+
+    /// Good-machine simulation; returns PO values per frame.
+    [[nodiscard]] std::vector<std::vector<V64>>
+    simulate_good(const Sequence& seq) const;
+
+    /// Detection mask for one fault: bit p set iff sequence p definitely
+    /// detects the fault. `good_po` must come from simulate_good(seq).
+    [[nodiscard]] uint64_t
+    detect_mask(const Fault& fault, const Sequence& seq,
+                const std::vector<std::vector<V64>>& good_po) const;
+
+    /// Fault-simulate `seq` against all Undetected faults in `list`,
+    /// marking Detected entries. Returns the number of newly detected
+    /// faults.
+    size_t run_and_drop(FaultList& list, const Sequence& seq) const;
+
+    /// Uniformly random binary stimulus for 64 sequences x `frames` frames.
+    [[nodiscard]] Sequence random_sequence(std::mt19937_64& rng,
+                                           size_t frames) const;
+
+    [[nodiscard]] const synth::Netlist& netlist() const { return nl_; }
+
+  private:
+    void eval_frame(std::vector<V64>& value, const Frame& frame,
+                    const std::vector<V64>& state, const Fault* fault) const;
+
+    const synth::Netlist& nl_;
+    std::vector<synth::GateId> topo_;
+    std::vector<synth::GateId> dffs_;
+};
+
+} // namespace factor::atpg

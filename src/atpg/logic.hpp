@@ -1,0 +1,129 @@
+// Logic value encodings used by the test tools.
+//
+//  * V64 — three-valued (0/1/X) values for 64 test sequences in parallel
+//    (parallel-pattern simulation). Encoded as two masks with the invariant
+//    one & zero == 0; a bit set in neither mask is X.
+//  * V5  — the scalar five-valued D-calculus {0,1,X,D,DB} used by PODEM.
+#pragma once
+
+#include <cstdint>
+
+namespace factor::atpg {
+
+struct V64 {
+    uint64_t one = 0;
+    uint64_t zero = 0;
+
+    [[nodiscard]] static V64 all_x() { return {0, 0}; }
+    [[nodiscard]] static V64 all0() { return {0, ~0ull}; }
+    [[nodiscard]] static V64 all1() { return {~0ull, 0}; }
+
+    /// Patterns where the value is binary (not X).
+    [[nodiscard]] uint64_t known() const { return one | zero; }
+
+    [[nodiscard]] bool operator==(const V64&) const = default;
+};
+
+[[nodiscard]] inline V64 v_not(V64 a) { return {a.zero, a.one}; }
+[[nodiscard]] inline V64 v_and(V64 a, V64 b) {
+    return {a.one & b.one, a.zero | b.zero};
+}
+[[nodiscard]] inline V64 v_or(V64 a, V64 b) {
+    return {a.one | b.one, a.zero & b.zero};
+}
+[[nodiscard]] inline V64 v_xor(V64 a, V64 b) {
+    return {(a.one & b.zero) | (a.zero & b.one),
+            (a.one & b.one) | (a.zero & b.zero)};
+}
+/// out = sel ? b : a, with the "both sides agree" term keeping the output
+/// binary under an unknown select.
+[[nodiscard]] inline V64 v_mux(V64 sel, V64 a, V64 b) {
+    return {(sel.one & b.one) | (sel.zero & a.one) | (a.one & b.one),
+            (sel.one & b.zero) | (sel.zero & a.zero) | (a.zero & b.zero)};
+}
+
+enum class V5 : uint8_t { Zero, One, X, D, DB };
+
+/// Good-machine component of a V5 value (0/1/X as V5::Zero/One/X).
+[[nodiscard]] constexpr V5 good_of(V5 v) {
+    switch (v) {
+    case V5::D: return V5::One;
+    case V5::DB: return V5::Zero;
+    default: return v;
+    }
+}
+
+/// Faulty-machine component of a V5 value.
+[[nodiscard]] constexpr V5 faulty_of(V5 v) {
+    switch (v) {
+    case V5::D: return V5::Zero;
+    case V5::DB: return V5::One;
+    default: return v;
+    }
+}
+
+[[nodiscard]] constexpr V5 combine(V5 good, V5 faulty) {
+    if (good == V5::X || faulty == V5::X) return V5::X;
+    if (good == faulty) return good;
+    return good == V5::One ? V5::D : V5::DB;
+}
+
+[[nodiscard]] constexpr V5 v5_not(V5 a) {
+    switch (a) {
+    case V5::Zero: return V5::One;
+    case V5::One: return V5::Zero;
+    case V5::X: return V5::X;
+    case V5::D: return V5::DB;
+    case V5::DB: return V5::D;
+    }
+    return V5::X;
+}
+
+[[nodiscard]] constexpr V5 v5_binary(bool one) { return one ? V5::One : V5::Zero; }
+
+[[nodiscard]] constexpr V5 v5_and(V5 a, V5 b) {
+    if (a == V5::Zero || b == V5::Zero) return V5::Zero;
+    if (a == V5::One) return b;
+    if (b == V5::One) return a;
+    if (a == b) return a;                // D&D=D, DB&DB=DB, X&X=X
+    return (a == V5::X || b == V5::X) ? V5::X : V5::Zero; // D & DB = 0
+}
+
+[[nodiscard]] constexpr V5 v5_or(V5 a, V5 b) {
+    return v5_not(v5_and(v5_not(a), v5_not(b)));
+}
+
+[[nodiscard]] constexpr V5 v5_xor(V5 a, V5 b) {
+    if (a == V5::X || b == V5::X) return V5::X;
+    // Evaluate good/faulty machines separately; exact for all D cases.
+    bool good = (good_of(a) == V5::One) != (good_of(b) == V5::One);
+    bool faulty = (faulty_of(a) == V5::One) != (faulty_of(b) == V5::One);
+    if (good == faulty) return v5_binary(good);
+    return good ? V5::D : V5::DB;
+}
+
+[[nodiscard]] constexpr V5 v5_mux(V5 sel, V5 a, V5 b) {
+    if (sel == V5::Zero) return a;
+    if (sel == V5::One) return b;
+    if (a == b) return a;
+    if (sel == V5::X) return V5::X;
+    // sel is D or DB: good and faulty machines pick different data inputs.
+    V5 good_sel_val = good_of(sel) == V5::One ? good_of(b) : good_of(a);
+    V5 faulty_sel_val = faulty_of(sel) == V5::One ? faulty_of(b) : faulty_of(a);
+    if (good_sel_val == V5::X || faulty_sel_val == V5::X) return V5::X;
+    if (good_sel_val == faulty_sel_val) return good_sel_val;
+    return good_sel_val == V5::One ? V5::D : V5::DB;
+}
+
+[[nodiscard]] constexpr const char* to_string(V5 v) {
+    switch (v) {
+    case V5::Zero: return "0";
+    case V5::One: return "1";
+    case V5::X: return "X";
+    case V5::D: return "D";
+    case V5::DB: return "D'";
+    }
+    return "?";
+}
+
+} // namespace factor::atpg

@@ -1,0 +1,413 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace factor::atpg {
+
+using synth::Gate;
+using synth::GateId;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+TimeFramePodem::TimeFramePodem(const Netlist& nl, PodemOptions options)
+    : nl_(nl), options_(options), topo_(nl.levelize()), dffs_(nl.dffs()) {
+    pi_index_of_net_.assign(nl.num_nets(), SIZE_MAX);
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+        pi_index_of_net_[nl.inputs()[i]] = i;
+    }
+}
+
+namespace {
+
+/// Apply the fault effect at its site: the faulty machine is stuck.
+V5 faulted(V5 good_side, bool sa1) {
+    V5 g = good_of(good_side);
+    if (g == V5::X) return V5::X;
+    bool gv = g == V5::One;
+    if (gv == sa1) return v5_binary(gv); // not activated
+    return gv ? V5::D : V5::DB;
+}
+
+} // namespace
+
+V5 TimeFramePodem::input_value(const Fault& fault, size_t frame, GateId g,
+                               size_t pin) const {
+    V5 v = at(frame, nl_.gate(g).ins[pin]);
+    if (!fault.is_stem() && fault.gate == g &&
+        fault.pin == static_cast<int>(pin)) {
+        return faulted(v, fault.sa1);
+    }
+    return v;
+}
+
+void TimeFramePodem::simulate(const Fault& fault, size_t frames) {
+    const size_t num_pis = nl_.inputs().size();
+    for (size_t f = 0; f < frames; ++f) {
+        // Primary inputs.
+        for (size_t i = 0; i < num_pis; ++i) {
+            V5 v = assigned_[f * num_pis + i] ? pi_values_[f * num_pis + i]
+                                              : V5::X;
+            at(f, nl_.inputs()[i]) = v;
+        }
+        // Undriven internal nets: X. (They are never written below.)
+        // Flip-flop outputs.
+        for (GateId d : dffs_) {
+            const Gate& g = nl_.gate(d);
+            V5 q = f == 0 ? V5::X : at(f - 1, g.ins[0]);
+            if (fault.is_stem() && fault.net == g.out) q = faulted(q, fault.sa1);
+            at(f, g.out) = q;
+        }
+        // Stem fault on a primary input.
+        if (fault.is_stem() && pi_index_of_net_[fault.net] != SIZE_MAX) {
+            at(f, fault.net) = faulted(at(f, fault.net), fault.sa1);
+        }
+
+        for (GateId gid : topo_) {
+            const Gate& g = nl_.gate(gid);
+            V5 out = V5::X;
+            switch (g.type) {
+            case GateType::Const0: out = V5::Zero; break;
+            case GateType::Const1: out = V5::One; break;
+            case GateType::Buf: out = input_value(fault, f, gid, 0); break;
+            case GateType::Not:
+                out = v5_not(input_value(fault, f, gid, 0));
+                break;
+            case GateType::And:
+            case GateType::Nand: {
+                out = V5::One;
+                for (size_t i = 0; i < g.ins.size(); ++i) {
+                    out = v5_and(out, input_value(fault, f, gid, i));
+                }
+                if (g.type == GateType::Nand) out = v5_not(out);
+                break;
+            }
+            case GateType::Or:
+            case GateType::Nor: {
+                out = V5::Zero;
+                for (size_t i = 0; i < g.ins.size(); ++i) {
+                    out = v5_or(out, input_value(fault, f, gid, i));
+                }
+                if (g.type == GateType::Nor) out = v5_not(out);
+                break;
+            }
+            case GateType::Xor:
+                out = v5_xor(input_value(fault, f, gid, 0),
+                             input_value(fault, f, gid, 1));
+                break;
+            case GateType::Xnor:
+                out = v5_not(v5_xor(input_value(fault, f, gid, 0),
+                                    input_value(fault, f, gid, 1)));
+                break;
+            case GateType::Mux:
+                out = v5_mux(input_value(fault, f, gid, 0),
+                             input_value(fault, f, gid, 1),
+                             input_value(fault, f, gid, 2));
+                break;
+            case GateType::Dff:
+                continue;
+            }
+            if (fault.is_stem() && fault.net == g.out) {
+                out = faulted(out, fault.sa1);
+            }
+            at(f, g.out) = out;
+        }
+    }
+}
+
+bool TimeFramePodem::test_found(size_t frames) const {
+    for (size_t f = 0; f < frames; ++f) {
+        for (NetId po : nl_.outputs()) {
+            V5 v = at(f, po);
+            if (v == V5::D || v == V5::DB) return true;
+        }
+    }
+    return false;
+}
+
+void TimeFramePodem::collect_objectives(const Fault& fault, size_t frames,
+                                        std::vector<Objective>& out) const {
+    // Phase 1: fault activation. The site must carry D/D' in some frame.
+    bool activated = false;
+    for (size_t f = 0; f < frames && !activated; ++f) {
+        V5 v = fault.is_stem()
+                   ? at(f, fault.net)
+                   : input_value(fault, f, fault.gate,
+                                 static_cast<size_t>(fault.pin));
+        activated = v == V5::D || v == V5::DB;
+    }
+    if (!activated) {
+        for (size_t f = 0; f < frames; ++f) {
+            V5 v = at(f, fault.net);
+            if (v == V5::X) {
+                Objective obj;
+                obj.valid = true;
+                obj.frame = f;
+                obj.net = fault.net;
+                obj.value = !fault.sa1; // drive the opposite of the stuck value
+                out.push_back(obj);
+            }
+        }
+        return;
+    }
+
+    // Phase 2: propagation. One candidate per D-frontier gate (output X,
+    // at least one input D/D').
+    for (size_t f = 0; f < frames; ++f) {
+        for (GateId gid : topo_) {
+            const Gate& g = nl_.gate(gid);
+            if (at(f, g.out) != V5::X) continue;
+            bool has_d = false;
+            for (size_t i = 0; i < g.ins.size(); ++i) {
+                V5 v = input_value(fault, f, gid, i);
+                has_d |= (v == V5::D || v == V5::DB);
+            }
+            if (!has_d) continue;
+
+            // Choose an X input and its non-controlling value.
+            switch (g.type) {
+            case GateType::And:
+            case GateType::Nand:
+            case GateType::Or:
+            case GateType::Nor: {
+                bool noncontrol =
+                    g.type == GateType::And || g.type == GateType::Nand;
+                for (size_t i = 0; i < g.ins.size(); ++i) {
+                    if (input_value(fault, f, gid, i) == V5::X) {
+                        Objective obj;
+                        obj.valid = true;
+                        obj.frame = f;
+                        obj.net = g.ins[i];
+                        obj.value = noncontrol;
+                        out.push_back(obj);
+                        break;
+                    }
+                }
+                break;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                for (size_t i = 0; i < g.ins.size(); ++i) {
+                    if (input_value(fault, f, gid, i) == V5::X) {
+                        Objective obj;
+                        obj.valid = true;
+                        obj.frame = f;
+                        obj.net = g.ins[i];
+                        obj.value = false; // either value propagates
+                        out.push_back(obj);
+                        break;
+                    }
+                }
+                break;
+            }
+            case GateType::Mux: {
+                V5 sel = input_value(fault, f, gid, 0);
+                V5 a0 = input_value(fault, f, gid, 1);
+                V5 a1 = input_value(fault, f, gid, 2);
+                Objective obj;
+                obj.valid = true;
+                obj.frame = f;
+                if (a0 == V5::D || a0 == V5::DB) {
+                    if (sel == V5::X) {
+                        obj.net = g.ins[0];
+                        obj.value = false;
+                        out.push_back(obj);
+                    }
+                } else if (a1 == V5::D || a1 == V5::DB) {
+                    if (sel == V5::X) {
+                        obj.net = g.ins[0];
+                        obj.value = true;
+                        out.push_back(obj);
+                    }
+                } else {
+                    // D on the select: make the data inputs differ.
+                    if (a0 == V5::X) {
+                        obj.net = g.ins[1];
+                        obj.value = a1 == V5::Zero;
+                        out.push_back(obj);
+                    } else if (a1 == V5::X) {
+                        obj.net = g.ins[2];
+                        obj.value = a0 == V5::Zero;
+                        out.push_back(obj);
+                    }
+                }
+                break;
+            }
+            default:
+                break;
+            }
+        }
+    }
+}
+
+TimeFramePodem::Objective TimeFramePodem::backtrace(Objective obj) const {
+    // Walk from the objective toward an unassigned primary input, mapping
+    // the desired value through each gate.
+    for (int guard = 0; guard < 100000; ++guard) {
+        NetId n = obj.net;
+        size_t f = obj.frame;
+
+        size_t pi = pi_index_of_net_[n];
+        if (pi != SIZE_MAX) {
+            if (pi_assigned(f, pi)) return Objective{}; // already fixed
+            return obj;
+        }
+        GateId d = nl_.driver(n);
+        if (d == Netlist::kNoGate) return Objective{}; // X source
+        const Gate& g = nl_.gate(d);
+        switch (g.type) {
+        case GateType::Const0:
+        case GateType::Const1:
+            return Objective{};
+        case GateType::Buf:
+            obj.net = g.ins[0];
+            break;
+        case GateType::Not:
+            obj.net = g.ins[0];
+            obj.value = !obj.value;
+            break;
+        case GateType::Dff: {
+            if (f == 0) return Objective{}; // unknown initial state
+            obj.frame = f - 1;
+            obj.net = g.ins[0];
+            break;
+        }
+        case GateType::And:
+        case GateType::Nand:
+        case GateType::Or:
+        case GateType::Nor: {
+            bool v = obj.value;
+            if (g.type == GateType::Nand || g.type == GateType::Nor) v = !v;
+            // Choose an input with X to justify through.
+            NetId chosen = synth::kNoNet;
+            for (NetId in : g.ins) {
+                if (at(f, in) == V5::X) {
+                    chosen = in;
+                    break;
+                }
+            }
+            if (chosen == synth::kNoNet) return Objective{};
+            obj.net = chosen;
+            obj.value = v;
+            break;
+        }
+        case GateType::Xor:
+        case GateType::Xnor: {
+            V5 a = at(f, g.ins[0]);
+            V5 b = at(f, g.ins[1]);
+            bool v = obj.value;
+            if (g.type == GateType::Xnor) v = !v;
+            if (a == V5::X) {
+                bool other = b == V5::One || b == V5::D;
+                bool other_known = b != V5::X;
+                obj.net = g.ins[0];
+                obj.value = other_known ? (v != other) : v;
+            } else if (b == V5::X) {
+                bool other = a == V5::One || a == V5::D;
+                obj.net = g.ins[1];
+                obj.value = v != other;
+            } else {
+                return Objective{};
+            }
+            break;
+        }
+        case GateType::Mux: {
+            V5 sel = at(f, g.ins[0]);
+            if (sel == V5::Zero || sel == V5::DB) {
+                obj.net = g.ins[1];
+            } else if (sel == V5::One || sel == V5::D) {
+                obj.net = g.ins[2];
+            } else {
+                // Unknown select: justify the select low, then data 0.
+                V5 a0 = at(f, g.ins[1]);
+                if (a0 == V5::X) {
+                    obj.net = g.ins[0];
+                    obj.value = false;
+                } else {
+                    obj.net = g.ins[0];
+                    // Select the side that can still produce the value.
+                    bool a0v = a0 == V5::One || a0 == V5::D;
+                    obj.value = a0v != obj.value; // mismatch -> try other side
+                }
+            }
+            break;
+        }
+        }
+    }
+    return Objective{};
+}
+
+PodemResult TimeFramePodem::generate(const Fault& fault, size_t frames) {
+    PodemResult result;
+    const size_t num_pis = nl_.inputs().size();
+    values_.assign(frames * nl_.num_nets(), V5::X);
+    pi_values_.assign(frames * num_pis, V5::X);
+    assigned_.assign(frames * num_pis, 0);
+
+    std::vector<Decision> stack;
+    simulate(fault, frames);
+
+    while (true) {
+        if (test_found(frames)) {
+            result.outcome = PodemOutcome::Success;
+            result.test.frames.assign(frames, std::vector<V5>(num_pis, V5::X));
+            for (const Decision& d : stack) {
+                result.test.frames[d.frame][d.pi] = v5_binary(d.value);
+            }
+            return result;
+        }
+
+        std::vector<Objective> candidates;
+        collect_objectives(fault, frames, candidates);
+        Objective pi_obj;
+        for (const Objective& obj : candidates) {
+            pi_obj = backtrace(obj);
+            if (pi_obj.valid) break;
+        }
+
+        if (!pi_obj.valid) {
+            // Conflict: flip the most recent unflipped decision.
+            bool recovered = false;
+            while (!stack.empty()) {
+                Decision& d = stack.back();
+                size_t idx = d.frame * num_pis + d.pi;
+                if (!d.flipped) {
+                    d.flipped = true;
+                    d.value = !d.value;
+                    pi_values_[idx] = v5_binary(d.value);
+                    ++result.backtracks;
+                    if (result.backtracks > options_.max_backtracks) {
+                        result.outcome = PodemOutcome::Abort;
+                        return result;
+                    }
+                    recovered = true;
+                    break;
+                }
+                assigned_[idx] = 0;
+                pi_values_[idx] = V5::X;
+                stack.pop_back();
+            }
+            if (!recovered) {
+                result.outcome = PodemOutcome::NoTest;
+                return result;
+            }
+            simulate(fault, frames);
+            continue;
+        }
+
+        size_t pi = pi_index_of_net_[pi_obj.net];
+        assert(pi != SIZE_MAX);
+        Decision d;
+        d.frame = pi_obj.frame;
+        d.pi = pi;
+        d.value = pi_obj.value;
+        stack.push_back(d);
+        size_t idx = d.frame * num_pis + d.pi;
+        assigned_[idx] = 1;
+        pi_values_[idx] = v5_binary(d.value);
+        simulate(fault, frames);
+    }
+}
+
+} // namespace factor::atpg

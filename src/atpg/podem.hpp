@@ -1,0 +1,104 @@
+// Deterministic test generation: PODEM over a time-frame-expanded circuit.
+//
+// The sequential netlist is unrolled k frames deep: every net gets one copy
+// per frame, DFF outputs in frame f read the DFF data input of frame f-1,
+// and frame-0 flip-flop outputs are unknown (unknown initial state). The
+// target fault is present in every frame. PODEM searches over primary-input
+// assignments (per frame) only, with the classic objective / backtrace /
+// imply loop in the five-valued D-calculus; a test succeeds when a D or D'
+// reaches a primary output of any frame.
+//
+// The search is budgeted by a backtrack limit; exceeding it aborts the
+// fault (counted against ATPG efficiency, like a commercial tool's aborted
+// faults). Untestability is proven only for purely combinational netlists,
+// where exhausting the decision space at one frame is a redundancy proof.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/logic.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace factor::atpg {
+
+enum class PodemOutcome {
+    Success,    // test found
+    NoTest,     // decision space exhausted at this depth (proof only if
+                // the circuit is combinational)
+    Abort,      // backtrack budget exhausted
+};
+
+struct PodemResult {
+    PodemOutcome outcome = PodemOutcome::NoTest;
+    ScalarSequence test;       // valid when outcome == Success
+    uint32_t backtracks = 0;
+};
+
+struct PodemOptions {
+    uint32_t max_backtracks = 1000;
+};
+
+class TimeFramePodem {
+  public:
+    TimeFramePodem(const synth::Netlist& nl, PodemOptions options);
+
+    /// Attempt to generate a test for `fault` using a `frames`-deep unroll.
+    [[nodiscard]] PodemResult generate(const Fault& fault, size_t frames);
+
+  private:
+    struct Decision {
+        size_t frame;
+        size_t pi; // index into Netlist::inputs()
+        bool value;
+        bool flipped = false;
+    };
+
+    // --- simulation over the unrolled circuit -------------------------------
+    void simulate(const Fault& fault, size_t frames);
+    [[nodiscard]] V5 input_value(const Fault& fault, size_t frame,
+                                 synth::GateId g, size_t pin) const;
+    [[nodiscard]] V5& at(size_t frame, synth::NetId n) {
+        return values_[frame * nl_.num_nets() + n];
+    }
+    [[nodiscard]] V5 at(size_t frame, synth::NetId n) const {
+        return values_[frame * nl_.num_nets() + n];
+    }
+
+    /// True if any PO of any frame carries D/D'.
+    [[nodiscard]] bool test_found(size_t frames) const;
+
+    // --- PODEM machinery -----------------------------------------------------
+    struct Objective {
+        bool valid = false;
+        size_t frame = 0;
+        synth::NetId net = synth::kNoNet;
+        bool value = false;
+    };
+    /// Collect candidate objectives in preference order: fault activation
+    /// (one candidate per frame whose site is still X) or, once activated,
+    /// one candidate per D-frontier gate. Several candidates matter because
+    /// a candidate can be unjustifiable (e.g. it leads only into the
+    /// unknown initial state) while a later frame works fine.
+    void collect_objectives(const Fault& fault, size_t frames,
+                            std::vector<Objective>& out) const;
+    /// Map an objective to an unassigned PI; invalid if no path exists.
+    [[nodiscard]] Objective backtrace(Objective obj) const;
+
+    [[nodiscard]] bool pi_assigned(size_t frame, size_t pi) const {
+        return assigned_[frame * nl_.inputs().size() + pi];
+    }
+
+    const synth::Netlist& nl_;
+    PodemOptions options_;
+    std::vector<synth::GateId> topo_;
+    std::vector<synth::GateId> dffs_;
+    std::vector<V5> values_;      // frames * num_nets
+    std::vector<V5> pi_values_;   // frames * num_pis (assigned values)
+    std::vector<char> assigned_;  // frames * num_pis
+    std::vector<size_t> pi_index_of_net_; // net -> PI index or SIZE_MAX
+};
+
+} // namespace factor::atpg

@@ -1,0 +1,231 @@
+#include "atpg/scoap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace factor::atpg {
+
+using synth::Gate;
+using synth::GateId;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+namespace {
+
+constexpr double kInf = ScoapMeasures::kUnreachable;
+
+double add(double a, double b) {
+    double s = a + b;
+    return s >= kInf ? kInf : s;
+}
+
+} // namespace
+
+double ScoapMeasures::difficulty(NetId n) const {
+    return std::max({cc0[n], cc1[n], co[n]});
+}
+
+std::vector<ScoapMeasures::HardNet>
+ScoapMeasures::hardest(const Netlist& nl, size_t k) const {
+    std::vector<HardNet> all;
+    all.reserve(nl.num_nets());
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        // Skip constants; their difficulty is definitionally infinite on
+        // one side and that is not actionable.
+        GateId d = nl.driver(n);
+        if (d != Netlist::kNoGate && synth::is_const(nl.gate(d).type)) {
+            continue;
+        }
+        all.push_back(HardNet{n, difficulty(n)});
+    }
+    std::sort(all.begin(), all.end(), [](const HardNet& a, const HardNet& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.net < b.net;
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+}
+
+ScoapMeasures compute_scoap(const Netlist& nl, const ScoapOptions& options) {
+    ScoapMeasures m;
+    m.cc0.assign(nl.num_nets(), kInf);
+    m.cc1.assign(nl.num_nets(), kInf);
+    m.co.assign(nl.num_nets(), kInf);
+
+    for (NetId n : nl.inputs()) {
+        m.cc0[n] = 1.0;
+        m.cc1[n] = 1.0;
+    }
+
+    // --- controllability: relax to fixpoint (loops through DFFs) ------------
+    for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+        bool changed = false;
+        auto update = [&](NetId n, double c0, double c1) {
+            if (c0 < m.cc0[n]) {
+                m.cc0[n] = c0;
+                changed = true;
+            }
+            if (c1 < m.cc1[n]) {
+                m.cc1[n] = c1;
+                changed = true;
+            }
+        };
+        for (const Gate& g : nl.gates()) {
+            const auto& ins = g.ins;
+            double c0 = kInf;
+            double c1 = kInf;
+            switch (g.type) {
+            case GateType::Const0:
+                c0 = 0.0;
+                break;
+            case GateType::Const1:
+                c1 = 0.0;
+                break;
+            case GateType::Buf:
+                c0 = add(m.cc0[ins[0]], 1);
+                c1 = add(m.cc1[ins[0]], 1);
+                break;
+            case GateType::Not:
+                c0 = add(m.cc1[ins[0]], 1);
+                c1 = add(m.cc0[ins[0]], 1);
+                break;
+            case GateType::And:
+            case GateType::Nand: {
+                double all1 = 1.0;
+                double any0 = kInf;
+                for (NetId in : ins) {
+                    all1 = add(all1, m.cc1[in]);
+                    any0 = std::min(any0, m.cc0[in]);
+                }
+                any0 = add(any0, 1);
+                if (g.type == GateType::And) {
+                    c1 = all1;
+                    c0 = any0;
+                } else {
+                    c0 = all1;
+                    c1 = any0;
+                }
+                break;
+            }
+            case GateType::Or:
+            case GateType::Nor: {
+                double all0 = 1.0;
+                double any1 = kInf;
+                for (NetId in : ins) {
+                    all0 = add(all0, m.cc0[in]);
+                    any1 = std::min(any1, m.cc1[in]);
+                }
+                any1 = add(any1, 1);
+                if (g.type == GateType::Or) {
+                    c0 = all0;
+                    c1 = any1;
+                } else {
+                    c1 = all0;
+                    c0 = any1;
+                }
+                break;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                double a0 = m.cc0[ins[0]], a1 = m.cc1[ins[0]];
+                double b0 = m.cc0[ins[1]], b1 = m.cc1[ins[1]];
+                double same = std::min(add(a0, b0), add(a1, b1));
+                double diff = std::min(add(a0, b1), add(a1, b0));
+                if (g.type == GateType::Xor) {
+                    c0 = add(same, 1);
+                    c1 = add(diff, 1);
+                } else {
+                    c1 = add(same, 1);
+                    c0 = add(diff, 1);
+                }
+                break;
+            }
+            case GateType::Mux: {
+                double s0 = m.cc0[ins[0]], s1 = m.cc1[ins[0]];
+                double a0 = m.cc0[ins[1]], a1 = m.cc1[ins[1]];
+                double b0 = m.cc0[ins[2]], b1 = m.cc1[ins[2]];
+                c0 = add(std::min(add(s0, a0), add(s1, b0)), 1);
+                c1 = add(std::min(add(s0, a1), add(s1, b1)), 1);
+                break;
+            }
+            case GateType::Dff:
+                c0 = add(m.cc0[ins[0]], options.dff_penalty);
+                c1 = add(m.cc1[ins[0]], options.dff_penalty);
+                break;
+            }
+            update(g.out, c0, c1);
+        }
+        if (!changed) break;
+    }
+
+    // --- observability: relax backwards from the primary outputs ------------
+    for (NetId n : nl.outputs()) m.co[n] = 0.0;
+    for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+        bool changed = false;
+        auto update = [&](NetId n, double v) {
+            if (v < m.co[n]) {
+                m.co[n] = v;
+                changed = true;
+            }
+        };
+        for (const Gate& g : nl.gates()) {
+            double out_co = m.co[g.out];
+            if (out_co >= kInf) continue;
+            const auto& ins = g.ins;
+            switch (g.type) {
+            case GateType::Const0:
+            case GateType::Const1:
+                break;
+            case GateType::Buf:
+            case GateType::Not:
+                update(ins[0], add(out_co, 1));
+                break;
+            case GateType::And:
+            case GateType::Nand:
+            case GateType::Or:
+            case GateType::Nor: {
+                const bool and_like =
+                    g.type == GateType::And || g.type == GateType::Nand;
+                for (size_t i = 0; i < ins.size(); ++i) {
+                    double side = 1.0;
+                    for (size_t j = 0; j < ins.size(); ++j) {
+                        if (j == i) continue;
+                        side = add(side, and_like ? m.cc1[ins[j]]
+                                                  : m.cc0[ins[j]]);
+                    }
+                    update(ins[i], add(out_co, side));
+                }
+                break;
+            }
+            case GateType::Xor:
+            case GateType::Xnor: {
+                for (size_t i = 0; i < 2; ++i) {
+                    NetId other = ins[1 - i];
+                    double side =
+                        std::min(m.cc0[other], m.cc1[other]);
+                    update(ins[i], add(out_co, add(side, 1)));
+                }
+                break;
+            }
+            case GateType::Mux: {
+                // Data inputs: select must route them through.
+                update(ins[1], add(out_co, add(m.cc0[ins[0]], 1)));
+                update(ins[2], add(out_co, add(m.cc1[ins[0]], 1)));
+                // Select: the two data inputs must differ.
+                double differ = std::min(add(m.cc0[ins[1]], m.cc1[ins[2]]),
+                                         add(m.cc1[ins[1]], m.cc0[ins[2]]));
+                update(ins[0], add(out_co, add(differ, 1)));
+                break;
+            }
+            case GateType::Dff:
+                update(ins[0], add(out_co, options.dff_penalty));
+                break;
+            }
+        }
+        if (!changed) break;
+    }
+    return m;
+}
+
+} // namespace factor::atpg

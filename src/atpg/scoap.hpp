@@ -1,0 +1,56 @@
+// SCOAP-style testability measures on the gate netlist: combinational
+// 0/1-controllability (CC0/CC1) per net and observability (CO), with a
+// fixed additive penalty for crossing a flip-flop. FACTOR's testability
+// report uses these to rank the nets behind its warnings: a hard-coded
+// constraint shows up as an unbounded controllability, a dead observation
+// path as unbounded observability.
+#pragma once
+
+#include "synth/netlist.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace factor::atpg {
+
+struct ScoapMeasures {
+    // Indexed by NetId. kUnreachable means the value/observation cannot be
+    // established at all (e.g. nets tied to the opposite constant, or nets
+    // with no path to a primary output).
+    static constexpr double kUnreachable = 1e18;
+    std::vector<double> cc0;
+    std::vector<double> cc1;
+    std::vector<double> co;
+
+    [[nodiscard]] bool controllable(synth::NetId n) const {
+        return cc0[n] < kUnreachable && cc1[n] < kUnreachable;
+    }
+    [[nodiscard]] bool observable(synth::NetId n) const {
+        return co[n] < kUnreachable;
+    }
+
+    /// Combined per-net difficulty (max of the three measures; unreachable
+    /// dominates).
+    [[nodiscard]] double difficulty(synth::NetId n) const;
+
+    struct HardNet {
+        synth::NetId net;
+        double score;
+    };
+    /// The k hardest-to-test nets, hardest first (ties by net id).
+    [[nodiscard]] std::vector<HardNet> hardest(const synth::Netlist& nl,
+                                               size_t k) const;
+};
+
+struct ScoapOptions {
+    /// Additive cost of crossing a flip-flop (sequential depth penalty).
+    double dff_penalty = 10.0;
+    /// Relaxation iterations for feedback loops.
+    unsigned max_iterations = 64;
+};
+
+[[nodiscard]] ScoapMeasures compute_scoap(const synth::Netlist& nl,
+                                          const ScoapOptions& options = {});
+
+} // namespace factor::atpg

@@ -1,0 +1,112 @@
+#include "atpg/vectors.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace factor::atpg {
+
+void write_vectors(std::ostream& os, const synth::Netlist& nl,
+                   const std::vector<ScalarSequence>& tests) {
+    os << "# factor test vectors\n";
+    os << "inputs " << nl.inputs().size() << "\n";
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+        os << "pin " << i << " " << nl.net_name(nl.inputs()[i]) << "\n";
+    }
+    for (const auto& t : tests) {
+        os << "test\n";
+        for (const auto& frame : t.frames) {
+            for (V5 v : frame) {
+                switch (v) {
+                case V5::Zero: os << '0'; break;
+                case V5::One: os << '1'; break;
+                default: os << 'X'; break;
+                }
+            }
+            os << "\n";
+        }
+        os << "end\n";
+    }
+}
+
+std::string vectors_to_string(const synth::Netlist& nl,
+                              const std::vector<ScalarSequence>& tests) {
+    std::ostringstream os;
+    write_vectors(os, nl, tests);
+    return os.str();
+}
+
+VectorParseResult read_vectors(std::istream& is) {
+    VectorParseResult r;
+    std::string line;
+    bool in_test = false;
+    ScalarSequence current;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "inputs") {
+            ls >> r.num_inputs;
+        } else if (word == "pin") {
+            continue; // annotation only
+        } else if (word == "test") {
+            if (in_test) {
+                r.error = "line " + std::to_string(line_no) +
+                          ": 'test' inside a test";
+                return r;
+            }
+            in_test = true;
+            current = ScalarSequence{};
+        } else if (word == "end") {
+            if (!in_test) {
+                r.error = "line " + std::to_string(line_no) +
+                          ": 'end' outside a test";
+                return r;
+            }
+            in_test = false;
+            r.tests.push_back(std::move(current));
+        } else if (in_test) {
+            std::vector<V5> frame;
+            frame.reserve(word.size());
+            for (char c : word) {
+                switch (c) {
+                case '0': frame.push_back(V5::Zero); break;
+                case '1': frame.push_back(V5::One); break;
+                case 'X':
+                case 'x': frame.push_back(V5::X); break;
+                default:
+                    r.error = "line " + std::to_string(line_no) +
+                              ": bad value character '" + c + "'";
+                    return r;
+                }
+            }
+            if (r.num_inputs != 0 && frame.size() != r.num_inputs) {
+                r.error = "line " + std::to_string(line_no) + ": frame has " +
+                          std::to_string(frame.size()) + " values, expected " +
+                          std::to_string(r.num_inputs);
+                return r;
+            }
+            current.frames.push_back(std::move(frame));
+        } else {
+            r.error = "line " + std::to_string(line_no) +
+                      ": unexpected content outside a test";
+            return r;
+        }
+    }
+    if (in_test) {
+        r.error = "unterminated test at end of file";
+        return r;
+    }
+    r.ok = true;
+    return r;
+}
+
+VectorParseResult read_vectors_from_string(const std::string& s) {
+    std::istringstream is(s);
+    return read_vectors(is);
+}
+
+} // namespace factor::atpg

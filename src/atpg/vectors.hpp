@@ -1,0 +1,44 @@
+// Test-vector serialization: a small line-oriented text format for the
+// sequences the ATPG engine produces, so patterns survive a run and can be
+// replayed (or shipped to a tester flow).
+//
+// Format:
+//   # comment
+//   inputs <n>                      -- pin count, must match the netlist
+//   pin <index> <name>              -- optional name annotations
+//   test                            -- starts a sequence
+//   <frame>                         -- one line per frame: chars 0 1 X
+//   end
+//
+// Values are ordered like Netlist::inputs().
+#pragma once
+
+#include "atpg/fault_sim.hpp"
+#include "synth/netlist.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace factor::atpg {
+
+/// Serialize sequences for `nl` (names included for readability).
+void write_vectors(std::ostream& os, const synth::Netlist& nl,
+                   const std::vector<ScalarSequence>& tests);
+
+/// Convenience: to a string.
+[[nodiscard]] std::string vectors_to_string(
+    const synth::Netlist& nl, const std::vector<ScalarSequence>& tests);
+
+struct VectorParseResult {
+    bool ok = false;
+    std::string error;
+    size_t num_inputs = 0;
+    std::vector<ScalarSequence> tests;
+};
+
+/// Parse a vector file; checks frame widths against the declared count.
+[[nodiscard]] VectorParseResult read_vectors(std::istream& is);
+[[nodiscard]] VectorParseResult read_vectors_from_string(const std::string& s);
+
+} // namespace factor::atpg

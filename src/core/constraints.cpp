@@ -1,0 +1,97 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace factor::core {
+
+std::string TestabilityIssue::describe() const {
+    std::ostringstream os;
+    switch (kind) {
+    case Kind::EmptyUseDefChain:
+        os << "empty use-def chain: no path from the chip interface to '";
+        break;
+    case Kind::EmptyDefUseChain:
+        os << "empty def-use chain: no path to the chip interface from '";
+        break;
+    case Kind::HardCodedConstraint:
+        os << "hard-coded constraint: only constant values drive '";
+        break;
+    }
+    os << signal << "' in " << instance_path;
+    if (!trace.empty()) {
+        os << " (trace:";
+        for (const auto& t : trace) os << " " << t;
+        os << ")";
+    }
+    return os.str();
+}
+
+void NodeMarks::merge(const NodeMarks& o) {
+    whole = whole || o.whole;
+    assigns.insert(o.assigns.begin(), o.assigns.end());
+    stmts.insert(o.stmts.begin(), o.stmts.end());
+}
+
+namespace {
+
+void collect_assign_stmts(const rtl::Stmt& s,
+                          std::set<const rtl::Stmt*>& out) {
+    if (s.kind == rtl::StmtKind::Assign) out.insert(&s);
+    if (s.then_s) collect_assign_stmts(*s.then_s, out);
+    if (s.else_s) collect_assign_stmts(*s.else_s, out);
+    if (s.body) collect_assign_stmts(*s.body, out);
+    for (const auto& item : s.items) {
+        if (item.body) collect_assign_stmts(*item.body, out);
+    }
+    for (const auto& sub : s.stmts) {
+        if (sub) collect_assign_stmts(*sub, out);
+    }
+}
+
+} // namespace
+
+void NodeMarks::mark_all_items(const rtl::Module& m) {
+    for (const auto& a : m.assigns) assigns.insert(&a);
+    for (const auto& b : m.always_blocks) {
+        if (b.body) collect_assign_stmts(*b.body, stmts);
+    }
+}
+
+void ConstraintSet::merge(const ConstraintSet& o) {
+    for (const auto& [node, m] : o.marks) {
+        marks[node].merge(m);
+    }
+    issues.insert(issues.end(), o.issues.begin(), o.issues.end());
+}
+
+const NodeMarks* ConstraintSet::marks_for(const elab::InstNode* n) const {
+    auto it = marks.find(n);
+    return it != marks.end() ? &it->second : nullptr;
+}
+
+size_t ConstraintSet::item_count() const {
+    size_t n = 0;
+    for (const auto& [node, m] : marks) {
+        n += m.assigns.size() + m.stmts.size() + (m.whole ? 1 : 0);
+    }
+    return n;
+}
+
+void ConstraintSet::dedup_issues() {
+    std::sort(issues.begin(), issues.end(),
+              [](const TestabilityIssue& a, const TestabilityIssue& b) {
+                  return std::tie(a.kind, a.instance_path, a.signal) <
+                         std::tie(b.kind, b.instance_path, b.signal);
+              });
+    issues.erase(std::unique(issues.begin(), issues.end(),
+                             [](const TestabilityIssue& a,
+                                const TestabilityIssue& b) {
+                                 return a.kind == b.kind &&
+                                        a.instance_path == b.instance_path &&
+                                        a.signal == b.signal;
+                             }),
+                 issues.end());
+}
+
+} // namespace factor::core

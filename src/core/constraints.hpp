@@ -1,0 +1,85 @@
+// Constraint sets: the output of FACTOR's extraction subroutines.
+//
+// A ConstraintSet records, per elaborated instance, exactly which RTL items
+// (continuous assignments, procedural assignment statements, whole child
+// instances) belong to the functional constraints of a module under test:
+// the source logic that drives its inputs and the propagation logic that
+// carries its outputs to the chip interface. It also accumulates the
+// testability findings made along the way (empty def-use / use-def chains,
+// hard-coded constant constraints), each with the signal trace the paper's
+// tool prints for the designer.
+#pragma once
+
+#include "analysis/def_use.hpp"
+#include "elab/elaborator.hpp"
+#include "rtl/ast.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace factor::core {
+
+/// A testability problem found during extraction (paper §3 last paragraph
+/// and §4.2).
+struct TestabilityIssue {
+    enum class Kind {
+        EmptyUseDefChain,   // signal read but never driven: no path from the
+                            // chip interface to the MUT input
+        EmptyDefUseChain,   // signal driven but never observed: no path from
+                            // the MUT output to the chip interface
+        HardCodedConstraint // signal only ever assigned constants (arm_alu
+                            // control-input case)
+    };
+
+    Kind kind = Kind::EmptyUseDefChain;
+    std::string instance_path; // where the problem lives
+    std::string signal;
+    /// The aborted path: signals walked from the MUT up to the dead end.
+    std::vector<std::string> trace;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Marked items within one instance.
+struct NodeMarks {
+    bool whole = false; // entire instance included (the MUT subtree)
+    std::set<const rtl::ContAssign*> assigns;
+    std::set<const rtl::Stmt*> stmts; // procedural assignments
+
+    [[nodiscard]] bool empty() const {
+        return !whole && assigns.empty() && stmts.empty();
+    }
+    void merge(const NodeMarks& o);
+
+    /// Coarsen to module granularity: mark every continuous assignment and
+    /// every procedural assignment of `m`. This is how the conventional
+    /// (non-compositional) methodology of Tupuri et al. takes surrounding
+    /// logic — whole module environments, leaving the pruning to synthesis.
+    void mark_all_items(const rtl::Module& m);
+};
+
+/// The extracted functional constraints for one MUT.
+struct ConstraintSet {
+    const elab::InstNode* mut = nullptr;
+    std::map<const elab::InstNode*, NodeMarks> marks;
+    std::vector<TestabilityIssue> issues;
+
+    // Extraction statistics (reported in Tables 2/3).
+    double extraction_seconds = 0.0;
+    size_t cache_hits = 0;
+    size_t cache_misses = 0;
+
+    void merge(const ConstraintSet& o);
+
+    [[nodiscard]] const NodeMarks* marks_for(const elab::InstNode* n) const;
+
+    /// Total number of marked RTL items across all instances.
+    [[nodiscard]] size_t item_count() const;
+
+    /// Deduplicate issues (the same dead end can be reached repeatedly).
+    void dedup_issues();
+};
+
+} // namespace factor::core

@@ -1,0 +1,377 @@
+#include "core/extractor.hpp"
+
+#include "util/stopwatch.hpp"
+
+#include <algorithm>
+
+namespace factor::core {
+
+using analysis::SiteKind;
+using analysis::SiteRef;
+using elab::InstNode;
+
+namespace {
+
+/// Resolve the child-module port a connection binds, handling positional
+/// connections. Returns null if unresolvable.
+const rtl::Port* port_of_conn(const rtl::Module& child_mod,
+                              const rtl::Instance& inst,
+                              const rtl::PortConn& conn) {
+    if (!conn.port.empty()) return child_mod.find_port(conn.port);
+    for (size_t i = 0; i < inst.conns.size(); ++i) {
+        if (&inst.conns[i] == &conn) {
+            return i < child_mod.ports.size() ? &child_mod.ports[i] : nullptr;
+        }
+    }
+    return nullptr;
+}
+
+/// Find the connection for a given child port name (named or positional).
+const rtl::PortConn* conn_of_port(const rtl::Module& child_mod,
+                                  const rtl::Instance& inst,
+                                  const std::string& port_name) {
+    bool positional = !inst.conns.empty() && inst.conns.front().port.empty();
+    if (positional) {
+        for (size_t i = 0; i < inst.conns.size() && i < child_mod.ports.size();
+             ++i) {
+            if (child_mod.ports[i].name == port_name) return &inst.conns[i];
+        }
+        return nullptr;
+    }
+    for (const auto& c : inst.conns) {
+        if (c.port == port_name) return &c;
+    }
+    return nullptr;
+}
+
+bool node_inside(const InstNode* node, const InstNode* subtree_root) {
+    for (const InstNode* n = node; n != nullptr; n = n->parent) {
+        if (n == subtree_root) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+ExtractionSession::ExtractionSession(const elab::ElaboratedDesign& design,
+                                     Mode mode, util::DiagEngine& diags)
+    : design_(design), mode_(mode), diags_(diags) {}
+
+const InstNode* ExtractionSession::child_node(const InstNode* parent,
+                                              const rtl::Instance* inst) const {
+    for (const auto& c : parent->children) {
+        if (c->inst == inst) return c.get();
+    }
+    return nullptr;
+}
+
+namespace {
+
+std::string node_net_prefix(const InstNode& node) {
+    if (node.parent == nullptr) return "";
+    return node_net_prefix(*node.parent) + node.inst_name + ".";
+}
+
+} // namespace
+
+void ExtractionSession::set_pier_registers(std::set<std::string> bases) {
+    if (piers_ == bases) return;
+    if (!graph_.empty()) {
+        throw util::FactorError(
+            "set_pier_registers after extraction started: the cached query "
+            "graph would be inconsistent");
+    }
+    piers_ = std::move(bases);
+}
+
+bool ExtractionSession::is_pier(const InstNode* node,
+                                const std::string& signal) const {
+    if (piers_.empty()) return false;
+    return piers_.count(node_net_prefix(*node) + signal) != 0;
+}
+
+ConstraintSet ExtractionSession::extract(const InstNode& mut) {
+    util::Stopwatch watch;
+    if (mode_ == Mode::Flat) {
+        // Conventional methodology: nothing carries over between MUTs.
+        graph_.clear();
+    }
+    const size_t hits_before = hits_;
+    const size_t misses_before = misses_;
+
+    ConstraintSet cs;
+    cs.mut = &mut;
+    cs.marks[&mut].whole = true;
+
+    if (mut.parent != nullptr) {
+        std::set<QueryKey> visited;
+        const InstNode* parent = mut.parent;
+        const rtl::Instance& inst = *mut.inst;
+        const rtl::Module& mut_mod = *mut.module;
+        for (const auto& port : mut_mod.ports) {
+            const rtl::PortConn* conn = conn_of_port(mut_mod, inst, port.name);
+            if (conn == nullptr || conn->expr == nullptr) continue;
+            std::vector<std::string> sigs;
+            if (port.dir == rtl::PortDir::Output) {
+                analysis::collect_lvalue_signals(*conn->expr, sigs);
+            } else {
+                rtl::collect_idents(*conn->expr, sigs);
+            }
+            std::sort(sigs.begin(), sigs.end());
+            sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+            Dir dir =
+                port.dir == rtl::PortDir::Output ? Dir::Prop : Dir::Source;
+            for (const auto& s : sigs) {
+                visit(QueryKey{parent, s, dir}, cs, visited);
+            }
+        }
+    }
+
+    if (mode_ == Mode::Flat) {
+        // Conventional methodology (Tupuri et al.): the surrounding logic
+        // is taken at module granularity — once any statement of a module
+        // participates, the whole module environment is synthesized and
+        // redundancy removal is left entirely to the synthesis tool. The
+        // compositional mode keeps the statement-level slices.
+        for (auto& [node, marks] : cs.marks) {
+            if (!marks.whole && !marks.empty()) {
+                marks.mark_all_items(*node->module);
+            }
+        }
+    }
+
+    cs.dedup_issues();
+    cs.extraction_seconds = watch.seconds();
+    cs.cache_hits = hits_ - hits_before;
+    cs.cache_misses = misses_ - misses_before;
+    return cs;
+}
+
+void ExtractionSession::visit(const QueryKey& key, ConstraintSet& out,
+                              std::set<QueryKey>& visited) {
+    // Iterative DFS; the query graph is cyclic and can be deep.
+    std::vector<QueryKey> stack{key};
+    while (!stack.empty()) {
+        QueryKey k = std::move(stack.back());
+        stack.pop_back();
+        if (!visited.insert(k).second) continue;
+        // Everything inside the MUT subtree is included whole; constraint
+        // queries stop at its boundary.
+        if (out.mut != nullptr && node_inside(k.node, out.mut)) continue;
+
+        QueryNode& node = graph_[k];
+        if (!node.expanded) {
+            ++misses_;
+            expand(k, node);
+        } else {
+            ++hits_;
+        }
+        for (const auto& [inode, assign] : node.assigns) {
+            out.marks[inode].assigns.insert(assign);
+        }
+        for (const auto& [inode, stmt] : node.stmts) {
+            out.marks[inode].stmts.insert(stmt);
+        }
+        out.issues.insert(out.issues.end(), node.issues.begin(),
+                          node.issues.end());
+        stack.insert(stack.end(), node.next.begin(), node.next.end());
+    }
+}
+
+void ExtractionSession::expand(const QueryKey& key, QueryNode& node) {
+    node.expanded = true;
+    if (key.dir == Dir::Source) {
+        expand_source(key, node);
+    } else {
+        expand_prop(key, node);
+    }
+    // Deduplicate successor queries.
+    std::sort(node.next.begin(), node.next.end());
+    node.next.erase(std::unique(node.next.begin(), node.next.end()),
+                    node.next.end());
+}
+
+void ExtractionSession::expand_source(const QueryKey& key, QueryNode& node) {
+    const InstNode* inode = key.node;
+    const rtl::Module& mod = *inode->module;
+    const analysis::ModuleAnalysis& an = analyses_.get(mod);
+
+    // PIER cut: the register is directly loadable from the chip interface,
+    // so its driving cone need not be extracted at all — test patterns set
+    // it with a load instruction (paper §2.1).
+    if (is_pier(inode, key.signal)) return;
+
+    const auto& defs = an.defs(key.signal);
+    bool any_def = false;
+
+    for (const SiteRef& site : defs) {
+        switch (site.kind) {
+        case SiteKind::Port: {
+            if (site.port->dir != rtl::PortDir::Input &&
+                site.port->dir != rtl::PortDir::Inout) {
+                continue;
+            }
+            any_def = true;
+            if (inode->parent == nullptr) {
+                break; // chip-level primary input: driven by the tester
+            }
+            const rtl::PortConn* conn =
+                conn_of_port(mod, *inode->inst, site.port->name);
+            if (conn == nullptr || conn->expr == nullptr) {
+                TestabilityIssue issue;
+                issue.kind = TestabilityIssue::Kind::EmptyUseDefChain;
+                issue.instance_path = inode->path();
+                issue.signal = key.signal;
+                issue.trace = {inode->path() + "." + site.port->name +
+                               " (unconnected port)"};
+                node.issues.push_back(std::move(issue));
+                break;
+            }
+            std::vector<std::string> sigs;
+            rtl::collect_idents(*conn->expr, sigs);
+            for (const auto& s : sigs) {
+                node.next.push_back(QueryKey{inode->parent, s, Dir::Source});
+            }
+            break;
+        }
+        case SiteKind::ContAssign: {
+            any_def = true;
+            node.assigns.emplace_back(inode, site.assign);
+            for (const auto& s : an.rhs_signals(site)) {
+                node.next.push_back(QueryKey{inode, s, Dir::Source});
+            }
+            break;
+        }
+        case SiteKind::ProcAssign: {
+            any_def = true;
+            node.stmts.emplace_back(inode, site.stmt);
+            for (const auto& s : an.rhs_signals(site)) {
+                node.next.push_back(QueryKey{inode, s, Dir::Source});
+            }
+            for (const auto& s : an.control_signals(site)) {
+                node.next.push_back(QueryKey{inode, s, Dir::Source});
+            }
+            break;
+        }
+        case SiteKind::InstanceConn: {
+            const InstNode* child = child_node(inode, site.inst);
+            if (child == nullptr) continue;
+            const rtl::Port* port =
+                port_of_conn(*child->module, *site.inst, *site.conn);
+            if (port == nullptr || port->dir != rtl::PortDir::Output) {
+                continue; // the connection uses, not defines, this signal
+            }
+            any_def = true;
+            node.next.push_back(QueryKey{child, port->name, Dir::Source});
+            break;
+        }
+        }
+    }
+
+    if (!any_def) {
+        TestabilityIssue issue;
+        issue.kind = TestabilityIssue::Kind::EmptyUseDefChain;
+        issue.instance_path = inode->path();
+        issue.signal = key.signal;
+        issue.trace = {inode->path() + "." + key.signal};
+        node.issues.push_back(std::move(issue));
+    } else if (an.only_constant_defs(key.signal)) {
+        TestabilityIssue issue;
+        issue.kind = TestabilityIssue::Kind::HardCodedConstraint;
+        issue.instance_path = inode->path();
+        issue.signal = key.signal;
+        issue.trace = {inode->path() + "." + key.signal};
+        node.issues.push_back(std::move(issue));
+    }
+}
+
+void ExtractionSession::expand_prop(const QueryKey& key, QueryNode& node) {
+    const InstNode* inode = key.node;
+    const rtl::Module& mod = *inode->module;
+    const analysis::ModuleAnalysis& an = analyses_.get(mod);
+
+    const auto& uses = an.uses(key.signal);
+    bool any_use = false;
+
+    for (const SiteRef& site : uses) {
+        switch (site.kind) {
+        case SiteKind::Port: {
+            if (site.port->dir != rtl::PortDir::Output &&
+                site.port->dir != rtl::PortDir::Inout) {
+                continue;
+            }
+            any_use = true;
+            if (inode->parent == nullptr) {
+                break; // chip-level primary output: observed by the tester
+            }
+            const rtl::PortConn* conn =
+                conn_of_port(mod, *inode->inst, site.port->name);
+            if (conn == nullptr || conn->expr == nullptr) {
+                TestabilityIssue issue;
+                issue.kind = TestabilityIssue::Kind::EmptyDefUseChain;
+                issue.instance_path = inode->path();
+                issue.signal = key.signal;
+                issue.trace = {inode->path() + "." + site.port->name +
+                               " (unconnected port)"};
+                node.issues.push_back(std::move(issue));
+                break;
+            }
+            std::vector<std::string> sigs;
+            analysis::collect_lvalue_signals(*conn->expr, sigs);
+            for (const auto& s : sigs) {
+                node.next.push_back(QueryKey{inode->parent, s, Dir::Prop});
+            }
+            break;
+        }
+        case SiteKind::ContAssign:
+        case SiteKind::ProcAssign: {
+            any_use = true;
+            if (site.kind == SiteKind::ContAssign) {
+                node.assigns.emplace_back(inode, site.assign);
+            } else {
+                node.stmts.emplace_back(inode, site.stmt);
+            }
+            // Propagate through the targets. A PIER target is itself an
+            // observation point (the value is stored out through the chip
+            // interface), so propagation stops there.
+            for (const auto& s : an.lhs_signals(site)) {
+                if (is_pier(inode, s)) continue;
+                node.next.push_back(QueryKey{inode, s, Dir::Prop});
+            }
+            // Side inputs must be justified to sensitize the path.
+            for (const auto& s : an.rhs_signals(site)) {
+                if (s == key.signal) continue;
+                node.next.push_back(QueryKey{inode, s, Dir::Source});
+            }
+            for (const auto& s : an.control_signals(site)) {
+                if (s == key.signal) continue;
+                node.next.push_back(QueryKey{inode, s, Dir::Source});
+            }
+            break;
+        }
+        case SiteKind::InstanceConn: {
+            const InstNode* child = child_node(inode, site.inst);
+            if (child == nullptr) continue;
+            const rtl::Port* port =
+                port_of_conn(*child->module, *site.inst, *site.conn);
+            if (port == nullptr || port->dir != rtl::PortDir::Input) {
+                continue; // output connections define, not use
+            }
+            any_use = true;
+            node.next.push_back(QueryKey{child, port->name, Dir::Prop});
+            break;
+        }
+        }
+    }
+
+    if (!any_use) {
+        TestabilityIssue issue;
+        issue.kind = TestabilityIssue::Kind::EmptyDefUseChain;
+        issue.instance_path = inode->path();
+        issue.signal = key.signal;
+        issue.trace = {inode->path() + "." + key.signal};
+        node.issues.push_back(std::move(issue));
+    }
+}
+
+} // namespace factor::core

@@ -1,0 +1,132 @@
+// FACTOR's functional constraint extraction (paper §3, Figure 3).
+//
+// For a module under test (MUT) embedded anywhere in the elaborated
+// hierarchy, the extractor walks:
+//
+//   find_source_logic(signal, module)  — use-def chains upward/inward: the
+//     logic cone driving each MUT input, across module boundaries up to the
+//     chip interface, pulling in every enclosing conditional / loop context
+//     and the source cones of their controlling signals;
+//
+//   find_prop_paths(signal, module)    — def-use chains downward/outward:
+//     the logic through which each MUT output reaches a chip-level output,
+//     pulling in (via find_source_logic) the side inputs needed to
+//     sensitize those paths.
+//
+// Internally each (instance, signal, direction) query expands once into a
+// node of a session-wide query graph holding its directly marked RTL items
+// and its successor queries; a constraint set is a linear DFS over that
+// graph. Designs are full of feedback (register file <-> forwarding <->
+// ALU), so the graph is cyclic — the DFS visited set handles that.
+//
+// Two operating modes mirror the paper's comparison:
+//
+//   Mode::Flat      — the conventional single-pass methodology (Tupuri et
+//     al.): every MUT extraction starts from scratch (the query graph is
+//     dropped between MUTs) and the resulting constraint blob gets one
+//     monolithic simplification pass.
+//
+//   Mode::Composed  — this paper's contribution: expanded queries are kept
+//     in the session and *reused* across hierarchy levels and across MUTs
+//     ("the constraints extracted at higher levels were reused"), and each
+//     level's slice is simplified before composition (modeled by fixpoint
+//     optimization of the composed netlist; see DESIGN.md).
+#pragma once
+
+#include "analysis/def_use.hpp"
+#include "core/constraints.hpp"
+#include "elab/elaborator.hpp"
+#include "util/diagnostics.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace factor::core {
+
+enum class Mode { Flat, Composed };
+
+/// An extraction session over one elaborated design. In Composed mode the
+/// session owns the cross-MUT query graph; Flat mode rebuilds it for every
+/// extraction.
+class ExtractionSession {
+  public:
+    ExtractionSession(const elab::ElaboratedDesign& design, Mode mode,
+                      util::DiagEngine& diags);
+
+    /// Declare PIER registers (paper §2.1): hierarchical net-name bases
+    /// (e.g. "exu.bank.core.r3") of registers the chip interface reaches
+    /// through load/store instructions. Source queries stop at a PIER (it
+    /// is directly controllable) and propagation queries stop at a PIER
+    /// write (it is directly observable) — this is how FACTOR "identifies
+    /// internal registers that can be used to further reduce the ATPG
+    /// view". Must be set before the first extract(); changing the set
+    /// mid-session would invalidate cached queries and throws.
+    void set_pier_registers(std::set<std::string> bases);
+
+    /// Extract the functional constraints for the MUT at `mut`. The MUT
+    /// subtree itself is marked whole; everything else is the extracted
+    /// source/propagation slice.
+    [[nodiscard]] ConstraintSet extract(const elab::InstNode& mut);
+
+    [[nodiscard]] Mode mode() const { return mode_; }
+    [[nodiscard]] const elab::ElaboratedDesign& design() const {
+        return design_;
+    }
+
+    /// Cumulative query-graph statistics across the session: hits are
+    /// queries answered from already-expanded nodes, misses are fresh
+    /// expansions.
+    [[nodiscard]] size_t total_cache_hits() const { return hits_; }
+    [[nodiscard]] size_t total_cache_misses() const { return misses_; }
+
+  private:
+    enum class Dir { Source, Prop };
+
+    struct QueryKey {
+        const elab::InstNode* node;
+        std::string signal;
+        Dir dir;
+        [[nodiscard]] auto operator<=>(const QueryKey&) const = default;
+    };
+
+    /// One expanded query: the items it marks directly plus its successor
+    /// queries. Expansion happens at most once per session (Composed) or
+    /// per extraction (Flat).
+    struct QueryNode {
+        bool expanded = false;
+        std::vector<std::pair<const elab::InstNode*, const rtl::ContAssign*>>
+            assigns;
+        std::vector<std::pair<const elab::InstNode*, const rtl::Stmt*>> stmts;
+        std::vector<TestabilityIssue> issues;
+        std::vector<QueryKey> next;
+    };
+
+    /// DFS entry point: expand (if needed) and accumulate into `out`.
+    void visit(const QueryKey& key, ConstraintSet& out,
+               std::set<QueryKey>& visited);
+
+    void expand(const QueryKey& key, QueryNode& node);
+    void expand_source(const QueryKey& key, QueryNode& node);
+    void expand_prop(const QueryKey& key, QueryNode& node);
+
+    /// Child node of `parent` for an AST instance, or null.
+    [[nodiscard]] const elab::InstNode*
+    child_node(const elab::InstNode* parent, const rtl::Instance* inst) const;
+
+    [[nodiscard]] bool is_pier(const elab::InstNode* node,
+                               const std::string& signal) const;
+
+    const elab::ElaboratedDesign& design_;
+    Mode mode_;
+    util::DiagEngine& diags_;
+    analysis::AnalysisCache analyses_;
+
+    std::map<QueryKey, QueryNode> graph_;
+    std::set<std::string> piers_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+};
+
+} // namespace factor::core

@@ -1,0 +1,85 @@
+#include "core/pier.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace factor::core {
+
+using synth::Gate;
+using synth::GateId;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+namespace {
+
+constexpr size_t kInf = std::numeric_limits<size_t>::max();
+
+/// 0-1 BFS over nets: crossing a DFF costs 1, combinational gates cost 0.
+/// `forward` walks driver->reader, otherwise reader->driver.
+std::vector<size_t> seq_distance(const Netlist& nl,
+                                 const std::vector<NetId>& sources,
+                                 bool forward) {
+    std::vector<size_t> dist(nl.num_nets(), kInf);
+    auto fanout = nl.build_fanout();
+    std::deque<NetId> queue;
+    for (NetId s : sources) {
+        if (dist[s] != 0) {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while (!queue.empty()) {
+        NetId n = queue.front();
+        queue.pop_front();
+        size_t d = dist[n];
+        auto relax = [&](NetId to, size_t w) {
+            if (d + w < dist[to]) {
+                dist[to] = d + w;
+                if (w == 0) {
+                    queue.push_front(to);
+                } else {
+                    queue.push_back(to);
+                }
+            }
+        };
+        if (forward) {
+            for (GateId g : fanout[n]) {
+                const Gate& gate = nl.gate(g);
+                relax(gate.out, gate.type == GateType::Dff ? 1 : 0);
+            }
+        } else {
+            GateId g = nl.driver(n);
+            if (g == Netlist::kNoGate) continue;
+            const Gate& gate = nl.gate(g);
+            for (NetId in : gate.ins) {
+                relax(in, gate.type == GateType::Dff ? 1 : 0);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+std::vector<PierInfo> find_piers(const Netlist& nl,
+                                 const PierOptions& options) {
+    std::vector<size_t> from_pi =
+        seq_distance(nl, nl.inputs(), /*forward=*/true);
+    std::vector<size_t> to_po =
+        seq_distance(nl, nl.outputs(), /*forward=*/false);
+
+    std::vector<PierInfo> piers;
+    for (GateId g : nl.dffs()) {
+        const Gate& gate = nl.gate(g);
+        size_t load = from_pi[gate.ins[0]];
+        size_t store = to_po[gate.out];
+        if (load <= options.max_load_depth &&
+            store <= options.max_store_depth) {
+            piers.push_back(PierInfo{nl.net_name(gate.out), load, store});
+        }
+    }
+    return piers;
+}
+
+} // namespace factor::core

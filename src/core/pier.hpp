@@ -1,0 +1,39 @@
+// PIER identification (paper §2.1): Primary Input/output-accessible
+// Registers — registers that processor load/store style paths make directly
+// controllable and observable from the chip interface. In the ATPG view
+// they are promoted to pseudo primary inputs/outputs, cutting the
+// sequential depth of the transformed module.
+//
+// The analysis is structural, on the gate netlist: a register qualifies
+// when its data input is reachable from a primary input through
+// combinational logic only (it can be "loaded" in one cycle) and its output
+// reaches a primary output crossing at most `max_store_depth` flip-flops
+// (it can be "stored" within a couple of cycles).
+#pragma once
+
+#include "synth/netlist.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace factor::core {
+
+struct PierOptions {
+    /// Max sequential crossings from a PI to the register's data input.
+    size_t max_load_depth = 0;
+    /// Max sequential crossings from the register output to a PO.
+    size_t max_store_depth = 1;
+};
+
+struct PierInfo {
+    std::string register_net; // the DFF output net name
+    size_t load_depth = 0;
+    size_t store_depth = 0;
+};
+
+/// Identify PIERs in `nl`. Returns one entry per qualifying register.
+[[nodiscard]] std::vector<PierInfo> find_piers(const synth::Netlist& nl,
+                                               const PierOptions& options);
+
+} // namespace factor::core

@@ -1,0 +1,30 @@
+#include "core/testability.hpp"
+
+#include <sstream>
+
+namespace factor::core {
+
+TestabilityReport make_testability_report(const ConstraintSet& cs) {
+    TestabilityReport r;
+    std::ostringstream os;
+    os << "Testability report for MUT "
+       << (cs.mut != nullptr ? cs.mut->path() : "<none>") << "\n";
+    if (cs.issues.empty()) {
+        os << "  no testability issues found\n";
+    }
+    for (const auto& issue : cs.issues) {
+        switch (issue.kind) {
+        case TestabilityIssue::Kind::EmptyUseDefChain: ++r.empty_use_def; break;
+        case TestabilityIssue::Kind::EmptyDefUseChain: ++r.empty_def_use; break;
+        case TestabilityIssue::Kind::HardCodedConstraint: ++r.hard_coded; break;
+        }
+        os << "  warning: " << issue.describe() << "\n";
+    }
+    os << "  summary: " << r.empty_use_def << " empty use-def chain(s), "
+       << r.empty_def_use << " empty def-use chain(s), " << r.hard_coded
+       << " hard-coded constraint(s)\n";
+    r.text = os.str();
+    return r;
+}
+
+} // namespace factor::core

@@ -1,0 +1,22 @@
+// Testability reporting (paper §4.2): renders the issues FACTOR gathers
+// during extraction — before any ATPG runs — into a designer-facing report,
+// including the affected MUT signal and the trace of the aborted path.
+#pragma once
+
+#include "core/constraints.hpp"
+
+#include <string>
+
+namespace factor::core {
+
+struct TestabilityReport {
+    size_t empty_use_def = 0;
+    size_t empty_def_use = 0;
+    size_t hard_coded = 0;
+    std::string text;
+};
+
+/// Build the report for one MUT's constraints.
+[[nodiscard]] TestabilityReport make_testability_report(const ConstraintSet& cs);
+
+} // namespace factor::core

@@ -1,0 +1,216 @@
+#include "core/transform.hpp"
+
+#include "atpg/fault.hpp"
+#include "synth/optimizer.hpp"
+#include "synth/transforms.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+#include <set>
+
+namespace factor::core {
+
+using elab::InstNode;
+
+namespace {
+
+/// Synthesizer filter backed by a ConstraintSet.
+class ConstraintFilter : public synth::ItemFilter {
+  public:
+    explicit ConstraintFilter(const ConstraintSet& cs) : cs_(cs) {
+        collect(cs.mut != nullptr ? root_of(cs.mut) : nullptr);
+    }
+
+    [[nodiscard]] bool include_assign(const InstNode& node,
+                                      const rtl::ContAssign& a) const override {
+        if (whole(&node)) return true;
+        const NodeMarks* m = cs_.marks_for(&node);
+        return m != nullptr && m->assigns.count(&a) != 0;
+    }
+
+    [[nodiscard]] bool include_stmt(const InstNode& node,
+                                    const rtl::Stmt& s) const override {
+        if (whole(&node)) return true;
+        const NodeMarks* m = cs_.marks_for(&node);
+        return m != nullptr && m->stmts.count(&s) != 0;
+    }
+
+    [[nodiscard]] bool include_instance(const InstNode& child) const override {
+        return involved_.count(&child) != 0;
+    }
+
+  private:
+    [[nodiscard]] static const InstNode* root_of(const InstNode* n) {
+        while (n->parent != nullptr) n = n->parent;
+        return n;
+    }
+
+    [[nodiscard]] bool whole(const InstNode* node) const {
+        for (const InstNode* n = node; n != nullptr; n = n->parent) {
+            if (n == cs_.mut) return true;
+            const NodeMarks* m = cs_.marks_for(n);
+            if (m != nullptr && m->whole) return true;
+        }
+        return false;
+    }
+
+    bool collect(const InstNode* node) {
+        if (node == nullptr) return false;
+        bool inv = whole(node);
+        const NodeMarks* m = cs_.marks_for(node);
+        if (m != nullptr && !m->empty()) inv = true;
+        for (const auto& c : node->children) {
+            if (collect(c.get())) inv = true;
+        }
+        if (inv) involved_.insert(node);
+        return inv;
+    }
+
+    const ConstraintSet& cs_;
+    std::set<const InstNode*> involved_;
+};
+
+} // namespace
+
+TransformBuilder::TransformBuilder(const elab::ElaboratedDesign& design,
+                                   util::DiagEngine& diags)
+    : design_(design), diags_(diags) {}
+
+std::string TransformBuilder::net_prefix(const InstNode& node) {
+    if (node.parent == nullptr) return "";
+    return net_prefix(*node.parent) + node.inst_name + ".";
+}
+
+size_t TransformBuilder::gates_under(const synth::Netlist& nl,
+                                     const std::string& prefix) {
+    size_t n = 0;
+    for (const synth::Gate& g : nl.gates()) {
+        if (synth::is_const(g.type) || g.type == synth::GateType::Buf) continue;
+        if (util::starts_with(nl.net_name(g.out), prefix)) ++n;
+    }
+    return n;
+}
+
+namespace {
+
+/// Strip a trailing "[i]" bit index from a net name.
+std::string net_base(const std::string& name) {
+    auto pos = name.rfind('[');
+    return pos == std::string::npos ? name : name.substr(0, pos);
+}
+
+} // namespace
+
+TransformedModule TransformBuilder::build(const InstNode& mut,
+                                          ExtractionSession& session,
+                                          const TransformOptions& options) {
+    TransformedModule tm;
+    const std::set<std::string> allowlist(options.pier_allowlist.begin(),
+                                          options.pier_allowlist.end());
+    if (options.expose_piers && !allowlist.empty()) {
+        session.set_pier_registers(allowlist);
+    }
+
+    tm.constraints = session.extract(mut);
+    tm.extraction_seconds = tm.constraints.extraction_seconds;
+    tm.mut_prefix = net_prefix(mut);
+
+    util::Stopwatch synth_watch;
+    ConstraintFilter filter(tm.constraints);
+    synth::Synthesizer synth(design_.design(), diags_);
+    tm.netlist = synth.run(design_.root(), &filter);
+
+    // Extraction-cut PIERs left their register nets undriven; they are
+    // directly loadable, so they become pseudo primary inputs (not unknown).
+    if (options.expose_piers && !allowlist.empty()) {
+        for (synth::NetId n = 0; n < tm.netlist.num_nets(); ++n) {
+            if (tm.netlist.is_driven(n)) continue;
+            if (allowlist.count(net_base(tm.netlist.net_name(n))) != 0) {
+                tm.netlist.mark_input(n);
+                ++tm.piers_exposed;
+            }
+        }
+    }
+
+    // "The redundant logic or the dead code at each level of hierarchy is
+    // eliminated during synthesis." Both modes get the same optimization
+    // effort; what differs is what was extracted — whole module
+    // environments (flat) versus composed statement-level slices.
+    (void)synth::optimize(tm.netlist);
+    tm.synthesis_seconds = synth_watch.seconds();
+
+    if (options.expose_piers) {
+        std::set<std::string> pier_nets;
+        if (allowlist.empty()) {
+            // Structural analysis picks the exposure candidates.
+            for (const auto& p : find_piers(tm.netlist, options.pier)) {
+                pier_nets.insert(p.register_net);
+            }
+        }
+        auto stats = synth::expose_registers(
+            tm.netlist, [&](const std::string& name) {
+                if (!allowlist.empty()) {
+                    return allowlist.count(net_base(name)) != 0;
+                }
+                return pier_nets.count(name) != 0;
+            });
+        tm.piers_exposed += stats.registers_exposed;
+        // Exposure leaves dangling logic; clean it up.
+        synth::OptOptions cleanup;
+        cleanup.max_iterations = 1;
+        (void)synth::optimize(tm.netlist, cleanup);
+    }
+
+    tm.mut_gates = gates_under(tm.netlist, tm.mut_prefix);
+    tm.surrounding_gates = tm.netlist.logic_gate_count() - tm.mut_gates;
+
+    // Connected interface counts.
+    auto fanout = tm.netlist.build_fanout();
+    for (synth::NetId n : tm.netlist.inputs()) {
+        if (!fanout[n].empty()) ++tm.num_pis;
+    }
+    for (synth::NetId n : tm.netlist.outputs()) {
+        if (tm.netlist.is_driven(n)) ++tm.num_pos;
+    }
+    return tm;
+}
+
+synth::Netlist TransformBuilder::standalone(const InstNode& mut) {
+    synth::Synthesizer synth(design_.design(), diags_);
+    synth::Netlist nl = synth.run(mut);
+    (void)synth::optimize(nl);
+    return nl;
+}
+
+synth::Netlist TransformBuilder::full_design() {
+    synth::Synthesizer synth(design_.design(), diags_);
+    synth::Netlist nl = synth.run(design_.root());
+    (void)synth::optimize(nl);
+    return nl;
+}
+
+ModuleCharacteristics
+TransformBuilder::characteristics(const InstNode& mut) {
+    ModuleCharacteristics c;
+    c.name = mut.module->name;
+    c.hierarchy_level = mut.level;
+    for (const auto& p : mut.module->ports) {
+        if (p.dir == rtl::PortDir::Input) {
+            c.primary_inputs += p.range.width();
+        } else if (p.dir == rtl::PortDir::Output) {
+            c.primary_outputs += p.range.width();
+        }
+    }
+    synth::Netlist alone = standalone(mut);
+    c.gates_in_module = alone.logic_gate_count();
+    atpg::FaultList faults(alone);
+    c.stuck_at_faults = faults.size();
+
+    synth::Netlist full = full_design();
+    size_t subtree = gates_under(full, net_prefix(mut));
+    size_t total = full.logic_gate_count();
+    c.gates_in_surrounding = total >= subtree ? total - subtree : 0;
+    return c;
+}
+
+} // namespace factor::core

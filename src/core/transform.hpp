@@ -1,0 +1,97 @@
+// Transformed-module construction: the end-to-end FACTOR flow for one MUT.
+//
+//   extract constraints  ->  synthesize (MUT + marked virtual logic)  ->
+//   optimize ("synthesis removes the redundant constraints")          ->
+//   expose PIERs                                                      ->
+//   a gate netlist ready for the ATPG engine, plus the statistics the
+//   paper reports in Tables 2 and 3.
+//
+// The two modes differ exactly as in the paper (see extractor.hpp):
+// Mode::Flat re-extracts everything per MUT and gets a single monolithic
+// simplification pass; Mode::Composed reuses cached constraints and composes
+// per-level-simplified slices (modeled as fixpoint optimization).
+#pragma once
+
+#include "core/constraints.hpp"
+#include "core/extractor.hpp"
+#include "core/pier.hpp"
+#include "elab/elaborator.hpp"
+#include "synth/netlist.hpp"
+#include "synth/synthesizer.hpp"
+
+#include <memory>
+#include <string>
+
+namespace factor::core {
+
+struct TransformOptions {
+    bool expose_piers = true;
+    /// Explicit PIER register list: hierarchical net-name bases of the
+    /// registers the ISA reaches via load/store (e.g. "exu.bank.core.r3").
+    /// When non-empty it drives both the extraction cut (source cones stop
+    /// at PIERs, propagation stops at PIER writes) and the netlist
+    /// exposure. When empty, the structural find_piers() analysis selects
+    /// exposure candidates and no extraction cut is applied.
+    std::vector<std::string> pier_allowlist;
+    PierOptions pier;
+};
+
+/// A MUT's ATPG view plus the bookkeeping for the result tables.
+struct TransformedModule {
+    synth::Netlist netlist;
+    std::string mut_prefix; // hierarchical net-name prefix of MUT nets
+    ConstraintSet constraints;
+
+    double extraction_seconds = 0.0;
+    double synthesis_seconds = 0.0;
+    size_t surrounding_gates = 0; // virtual logic gate count
+    size_t mut_gates = 0;
+    size_t num_pis = 0; // connected primary inputs
+    size_t num_pos = 0; // driven primary outputs
+    size_t piers_exposed = 0;
+};
+
+/// Characteristics of a module in its design context (Table 1).
+struct ModuleCharacteristics {
+    std::string name;
+    int hierarchy_level = 0;
+    size_t primary_inputs = 0;  // port bits
+    size_t primary_outputs = 0; // port bits
+    size_t gates_in_module = 0;
+    size_t gates_in_surrounding = 0;
+    size_t stuck_at_faults = 0; // collapsed, stand-alone module
+};
+
+class TransformBuilder {
+  public:
+    TransformBuilder(const elab::ElaboratedDesign& design,
+                     util::DiagEngine& diags);
+
+    /// Run the FACTOR flow for `mut` using `session`'s mode and cache.
+    [[nodiscard]] TransformedModule build(const elab::InstNode& mut,
+                                          ExtractionSession& session,
+                                          const TransformOptions& options);
+
+    /// Synthesize the MUT alone (its ports become primary I/O) — the
+    /// "stand-alone module" of Table 4.
+    [[nodiscard]] synth::Netlist standalone(const elab::InstNode& mut);
+
+    /// Synthesize and optimize the full design.
+    [[nodiscard]] synth::Netlist full_design();
+
+    /// Table 1 characteristics for `mut`.
+    [[nodiscard]] ModuleCharacteristics characteristics(const elab::InstNode& mut);
+
+    /// Hierarchical net-name prefix of an instance node ("" for the root).
+    [[nodiscard]] static std::string net_prefix(const elab::InstNode& node);
+
+    /// Gates whose output net lives under `prefix`.
+    [[nodiscard]] static size_t gates_under(const synth::Netlist& nl,
+                                            const std::string& prefix);
+
+  private:
+    const elab::ElaboratedDesign& design_;
+    util::DiagEngine& diags_;
+};
+
+} // namespace factor::core

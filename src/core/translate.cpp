@@ -1,0 +1,197 @@
+#include "core/translate.hpp"
+
+#include "atpg/fault.hpp"
+
+#include <algorithm>
+
+namespace factor::core {
+
+using atpg::ScalarSequence;
+using atpg::V5;
+using synth::NetId;
+
+namespace {
+
+/// Split "base[bit]" into its parts; bit = 0 and base = name for scalars.
+std::pair<std::string, uint32_t> split_bit(const std::string& name) {
+    auto pos = name.rfind('[');
+    if (pos == std::string::npos || name.back() != ']') return {name, 0};
+    uint32_t bit = 0;
+    try {
+        bit = static_cast<uint32_t>(std::stoul(name.substr(pos + 1)));
+    } catch (...) {
+        return {name, 0};
+    }
+    return {name.substr(0, pos), bit};
+}
+
+} // namespace
+
+PatternTranslator::PatternTranslator(const synth::Netlist& chip,
+                                     const synth::Netlist& transformed)
+    : chip_(chip), transformed_(transformed) {
+    for (size_t i = 0; i < chip.inputs().size(); ++i) {
+        chip_pi_[chip.net_name(chip.inputs()[i])] = i;
+    }
+    shared_pi_.assign(transformed.inputs().size(), SIZE_MAX);
+    pier_bit_.assign(transformed.inputs().size(), std::nullopt);
+    for (size_t i = 0; i < transformed.inputs().size(); ++i) {
+        const std::string& name = transformed.net_name(transformed.inputs()[i]);
+        auto it = chip_pi_.find(name);
+        if (it != chip_pi_.end()) {
+            shared_pi_[i] = it->second;
+        } else {
+            auto [base, bit] = split_bit(name);
+            pier_bit_[i] = PierBit{base, bit};
+        }
+    }
+}
+
+void PatternTranslator::apply_pins(std::vector<V5>& frame,
+                                   const PinFrame& pins) const {
+    for (const auto& [base, value] : pins.pins) {
+        // Scalar pin?
+        auto it = chip_pi_.find(base);
+        if (it != chip_pi_.end()) {
+            frame[it->second] = (value & 1) != 0 ? V5::One : V5::Zero;
+            continue;
+        }
+        // Bus: assign every "base[i]" input present on the chip.
+        for (uint32_t bit = 0; bit < 64; ++bit) {
+            auto bi = chip_pi_.find(base + "[" + std::to_string(bit) + "]");
+            if (bi == chip_pi_.end()) {
+                if (bit > 0) break;
+                continue;
+            }
+            frame[bi->second] =
+                ((value >> bit) & 1) != 0 ? V5::One : V5::Zero;
+        }
+    }
+}
+
+ScalarSequence PatternTranslator::expand(const PinSequence& seq,
+                                         const PinFrame& idle) const {
+    ScalarSequence out;
+    for (const PinFrame& f : seq) {
+        std::vector<V5> frame(chip_.inputs().size(), V5::X);
+        apply_pins(frame, idle);
+        apply_pins(frame, f);
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+std::optional<TranslationResult>
+PatternTranslator::translate(const ScalarSequence& test,
+                             const PierAccessSpec& spec) const {
+    TranslationResult result;
+
+    // 1. Reset prefix.
+    for (auto& f : expand(spec.reset, spec.idle).frames) {
+        result.sequence.frames.push_back(std::move(f));
+    }
+
+    // 2. Gather the PIER register values required by the test's first
+    //    frame (only those can be honored by a load-before-window
+    //    protocol; later-frame pseudo-input changes cannot be applied and
+    //    are validated away by chip-level fault simulation).
+    std::map<std::string, uint64_t> reg_values;
+    std::map<std::string, bool> reg_needed;
+    if (!test.frames.empty()) {
+        const auto& f0 = test.frames[0];
+        for (size_t i = 0; i < f0.size() && i < pier_bit_.size(); ++i) {
+            if (!pier_bit_[i].has_value()) continue;
+            if (f0[i] == V5::X) continue;
+            const PierBit& pb = *pier_bit_[i];
+            reg_needed[pb.base] = true;
+            if (f0[i] == V5::One) {
+                reg_values[pb.base] |= (uint64_t{1} << pb.bit);
+            } else {
+                reg_values[pb.base] |= 0; // explicit zero bit
+            }
+        }
+    }
+
+    // 3. Load protocols.
+    for (const auto& [base, needed] : reg_needed) {
+        if (!needed) continue;
+        if (!spec.load) return std::nullopt;
+        PinSequence load_seq = spec.load(base, reg_values[base]);
+        if (load_seq.empty()) return std::nullopt;
+        for (auto& f : expand(load_seq, spec.idle).frames) {
+            result.sequence.frames.push_back(std::move(f));
+        }
+        ++result.loads;
+    }
+
+    // 4. The test window: copy the chip-pin assignments of every frame
+    //    (pseudo pins are dropped; idle defaults fill unassigned control
+    //    pins so the window does not reset the machine by accident).
+    for (const auto& tf : test.frames) {
+        std::vector<V5> frame(chip_.inputs().size(), V5::X);
+        apply_pins(frame, spec.idle);
+        for (size_t i = 0; i < tf.size() && i < shared_pi_.size(); ++i) {
+            if (shared_pi_[i] == SIZE_MAX) continue;
+            if (tf[i] != V5::X) frame[shared_pi_[i]] = tf[i];
+        }
+        result.sequence.frames.push_back(std::move(frame));
+    }
+
+    // 5. Store protocols: expose every PIER register the view observes so
+    //    fault effects captured in registers reach the pins.
+    if (spec.store) {
+        std::vector<std::string> bases;
+        for (const auto& [base, needed] : reg_needed) bases.push_back(base);
+        // Also store registers whose $next output the view observes.
+        for (size_t i = 0; i < transformed_.outputs().size(); ++i) {
+            const std::string& po = transformed_.output_name(i);
+            if (po.size() > 5 && po.substr(po.size() - 5) == "$next") {
+                auto [base, bit] = split_bit(po.substr(0, po.size() - 5));
+                bases.push_back(base);
+            }
+        }
+        std::sort(bases.begin(), bases.end());
+        bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+        for (const auto& base : bases) {
+            PinSequence store_seq = spec.store(base);
+            if (store_seq.empty()) continue;
+            for (auto& f : expand(store_seq, spec.idle).frames) {
+                result.sequence.frames.push_back(std::move(f));
+            }
+            ++result.stores;
+        }
+    }
+    return result;
+}
+
+std::vector<ScalarSequence>
+PatternTranslator::translate_all(const std::vector<ScalarSequence>& tests,
+                                 const PierAccessSpec& spec,
+                                 size_t* dropped) const {
+    std::vector<ScalarSequence> out;
+    size_t failed = 0;
+    for (const auto& t : tests) {
+        auto r = translate(t, spec);
+        if (r.has_value()) {
+            out.push_back(std::move(r->sequence));
+        } else {
+            ++failed;
+        }
+    }
+    if (dropped != nullptr) *dropped = failed;
+    return out;
+}
+
+double PatternTranslator::verified_coverage(
+    const synth::Netlist& chip, const std::string& scope_prefix,
+    const std::vector<ScalarSequence>& chip_tests) {
+    atpg::FaultList list(chip, scope_prefix);
+    if (list.size() == 0) return 0.0;
+    atpg::FaultSimulator sim(chip);
+    for (const auto& t : chip_tests) {
+        (void)sim.run_and_drop(list, atpg::broadcast(t, chip.inputs().size()));
+    }
+    return list.coverage_percent();
+}
+
+} // namespace factor::core

@@ -1,0 +1,112 @@
+// Chip-level pattern translation (paper §2.1: "the patterns obtained are
+// later translated back to the chip level").
+//
+// A transformed-module test drives two kinds of inputs: real chip pins and
+// PIER pseudo-inputs (register values). Translation turns such a test into
+// a sequence the physical chip can execute:
+//
+//   [reset prefix] [PIER load protocol per register] [the test's chip-pin
+//   frames] [PIER store protocol for observation]
+//
+// The load/store protocols are design-specific instruction sequences
+// supplied through a PierAccessSpec (see designs/arm2z_isa.hpp for the
+// arm2z implementation). Because a translated sequence only establishes
+// the PIER values present in the test's first frame, translation is
+// validated — not assumed: verified_coverage() fault-simulates the
+// translated sequences on the full chip netlist and reports how much of
+// the transformed-module coverage actually survives at the pins.
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace factor::core {
+
+/// One frame of named pin assignments: bus base name -> value. Multi-bit
+/// buses expand against the chip netlist's "name[i]" primary inputs. Pins
+/// not mentioned stay unknown (X).
+struct PinFrame {
+    std::map<std::string, uint64_t> pins;
+};
+using PinSequence = std::vector<PinFrame>;
+
+/// Design-specific access protocol for PIER registers.
+struct PierAccessSpec {
+    /// Chip-level sequence that loads `value` into the register named by
+    /// `reg_base` (hierarchical net-name base, e.g. "exu.bank.core.r3").
+    /// An empty result means the register is not loadable this way.
+    std::function<PinSequence(const std::string& reg_base, uint64_t value)>
+        load;
+    /// Chip-level sequence that exposes the register at chip outputs.
+    std::function<PinSequence(const std::string& reg_base)> store;
+    /// Safe defaults applied to every translated frame for pins the test
+    /// leaves unknown (e.g. keep reset deasserted and interrupts masked).
+    PinFrame idle;
+    /// Initialization prefix executed once per translated test.
+    PinSequence reset;
+};
+
+struct TranslationResult {
+    atpg::ScalarSequence sequence; // chip-level frames
+    size_t loads = 0;              // PIER load protocols emitted
+    size_t stores = 0;             // PIER store protocols appended
+};
+
+/// Translates transformed-module tests onto the chip interface.
+class PatternTranslator {
+  public:
+    /// `chip` is the full-design netlist; `transformed` the MUT's ATPG view
+    /// whose tests will be translated. Primary inputs are matched by name.
+    PatternTranslator(const synth::Netlist& chip,
+                      const synth::Netlist& transformed);
+
+    /// Translate one test. Returns nullopt if the test drives a pseudo
+    /// input whose register the spec cannot load.
+    [[nodiscard]] std::optional<TranslationResult>
+    translate(const atpg::ScalarSequence& test,
+              const PierAccessSpec& spec) const;
+
+    /// Translate a batch, dropping untranslatable tests.
+    [[nodiscard]] std::vector<atpg::ScalarSequence>
+    translate_all(const std::vector<atpg::ScalarSequence>& tests,
+                  const PierAccessSpec& spec, size_t* dropped = nullptr) const;
+
+    /// Fault-simulate chip-level sequences against the faults under
+    /// `scope_prefix` on the chip netlist; returns achieved coverage (%).
+    [[nodiscard]] static double
+    verified_coverage(const synth::Netlist& chip,
+                      const std::string& scope_prefix,
+                      const std::vector<atpg::ScalarSequence>& chip_tests);
+
+    /// Expand a PinSequence into chip-level frames (exposed for tests).
+    [[nodiscard]] atpg::ScalarSequence
+    expand(const PinSequence& seq, const PinFrame& idle) const;
+
+  private:
+    /// Apply one named-pin frame onto a chip frame vector.
+    void apply_pins(std::vector<atpg::V5>& frame, const PinFrame& pins) const;
+
+    const synth::Netlist& chip_;
+    const synth::Netlist& transformed_;
+    // chip PI name -> index.
+    std::map<std::string, size_t> chip_pi_;
+    // transformed PI index -> chip PI index (same pin), or SIZE_MAX for
+    // pseudo inputs.
+    std::vector<size_t> shared_pi_;
+    // transformed PI index -> (register base, bit) for pseudo inputs.
+    struct PierBit {
+        std::string base;
+        uint32_t bit = 0;
+    };
+    std::vector<std::optional<PierBit>> pier_bit_;
+};
+
+} // namespace factor::core

@@ -1,0 +1,263 @@
+#include "core/writer.hpp"
+
+#include "rtl/printer.hpp"
+#include "util/diagnostics.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace factor::core {
+
+using elab::InstNode;
+
+namespace {
+
+/// Keep only marked assignments beneath `s`; drop conditional wrappers that
+/// end up empty.
+rtl::StmtPtr filter_stmt(const rtl::Stmt& s,
+                         const std::set<const rtl::Stmt*>& keep) {
+    switch (s.kind) {
+    case rtl::StmtKind::Assign:
+        return keep.count(&s) != 0 ? rtl::clone(s) : nullptr;
+    case rtl::StmtKind::Block: {
+        auto out = std::make_unique<rtl::Stmt>();
+        out->kind = rtl::StmtKind::Block;
+        out->loc = s.loc;
+        out->label = s.label;
+        for (const auto& sub : s.stmts) {
+            if (!sub) continue;
+            if (auto f = filter_stmt(*sub, keep)) out->stmts.push_back(std::move(f));
+        }
+        return out->stmts.empty() ? nullptr : std::move(out);
+    }
+    case rtl::StmtKind::If: {
+        rtl::StmtPtr t = s.then_s ? filter_stmt(*s.then_s, keep) : nullptr;
+        rtl::StmtPtr e = s.else_s ? filter_stmt(*s.else_s, keep) : nullptr;
+        if (!t && !e) return nullptr;
+        auto out = std::make_unique<rtl::Stmt>();
+        out->kind = rtl::StmtKind::If;
+        out->loc = s.loc;
+        out->cond = rtl::clone(*s.cond);
+        out->then_s = std::move(t);
+        out->else_s = std::move(e);
+        return out;
+    }
+    case rtl::StmtKind::Case: {
+        auto out = std::make_unique<rtl::Stmt>();
+        out->kind = rtl::StmtKind::Case;
+        out->loc = s.loc;
+        out->casez = s.casez;
+        out->cond = rtl::clone(*s.cond);
+        for (const auto& item : s.items) {
+            if (!item.body) continue;
+            if (auto body = filter_stmt(*item.body, keep)) {
+                rtl::CaseItem ci;
+                for (const auto& l : item.labels) ci.labels.push_back(rtl::clone(*l));
+                ci.body = std::move(body);
+                out->items.push_back(std::move(ci));
+            }
+        }
+        return out->items.empty() ? nullptr : std::move(out);
+    }
+    case rtl::StmtKind::For: {
+        rtl::StmtPtr body = s.body ? filter_stmt(*s.body, keep) : nullptr;
+        if (!body) return nullptr;
+        auto out = std::make_unique<rtl::Stmt>();
+        out->kind = rtl::StmtKind::For;
+        out->loc = s.loc;
+        if (s.init) out->init = rtl::clone(*s.init);
+        if (s.cond) out->cond = rtl::clone(*s.cond);
+        if (s.step) out->step = rtl::clone(*s.step);
+        out->body = std::move(body);
+        return out;
+    }
+    case rtl::StmtKind::Null:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+class WriterImpl {
+  public:
+    WriterImpl(const elab::ElaboratedDesign& design, const ConstraintSet& cs)
+        : design_(design), cs_(cs) {
+        mark_involved(&design.root());
+    }
+
+    std::string run() {
+        emitted_source_.clear();
+        (void)emit(&design_.root());
+        return emitted_source_;
+    }
+
+    std::string top_variant() {
+        if (variant_of_.count(&design_.root()) == 0) (void)run();
+        return variant_of_.at(&design_.root());
+    }
+
+  private:
+    bool in_mut(const InstNode* node) const {
+        for (const InstNode* n = node; n != nullptr; n = n->parent) {
+            if (n == cs_.mut) return true;
+        }
+        return false;
+    }
+
+    bool whole(const InstNode* node) const {
+        if (in_mut(node)) return true;
+        const NodeMarks* m = cs_.marks_for(node);
+        return m != nullptr && m->whole;
+    }
+
+    /// A node is involved when it carries marks, belongs to the MUT
+    /// subtree, or has an involved descendant (it must at least pass the
+    /// instance chain through).
+    bool mark_involved(const InstNode* node) {
+        bool inv = whole(node);
+        const NodeMarks* m = cs_.marks_for(node);
+        if (m != nullptr && !m->empty()) inv = true;
+        for (const auto& c : node->children) {
+            if (mark_involved(c.get())) inv = true;
+        }
+        if (inv) involved_.insert(node);
+        return inv;
+    }
+
+    /// Emit (once) the module variant for `node`; returns its name.
+    std::string emit(const InstNode* node) {
+        // Children first so instance statements can reference their names.
+        std::map<const rtl::Instance*, std::string> child_variant;
+        std::ostringstream sig;
+        sig << node->module->name << "|";
+        for (const auto& c : node->children) {
+            if (involved_.count(c.get()) == 0) continue;
+            std::string v = emit(c.get());
+            child_variant[c->inst] = v;
+            sig << c->inst->inst_name << "=" << v << ";";
+        }
+
+        const bool full = whole(node);
+        const NodeMarks* m = cs_.marks_for(node);
+        if (full) {
+            sig << "whole";
+        } else if (m != nullptr) {
+            for (const auto* a : m->assigns) sig << "a" << a->id << ",";
+            for (const auto* s : m->stmts) sig << "s" << s << ",";
+        }
+
+        auto it = variant_by_sig_.find(sig.str());
+        if (it != variant_by_sig_.end()) {
+            variant_of_[node] = it->second;
+            return it->second;
+        }
+
+        std::string name = node->module->name;
+        int& count = variants_of_module_[name];
+        ++count;
+        if (count > 1) name += "_cs" + std::to_string(count);
+        variant_by_sig_[sig.str()] = name;
+        variant_of_[node] = name;
+
+        auto copy = build_module(node, full, m, child_variant);
+        copy->name = name;
+        emitted_source_ += rtl::to_verilog(*copy);
+        emitted_source_ += "\n";
+        return name;
+    }
+
+    std::unique_ptr<rtl::Module>
+    build_module(const InstNode* node, bool full, const NodeMarks* m,
+                 const std::map<const rtl::Instance*, std::string>& child_variant) {
+        auto copy = rtl::clone(*node->module);
+        if (!full) {
+            // Prune continuous assignments.
+            std::set<int> keep_assign_ids;
+            if (m != nullptr) {
+                for (const auto* a : m->assigns) keep_assign_ids.insert(a->id);
+            }
+            std::vector<rtl::ContAssign> kept;
+            for (auto& a : copy->assigns) {
+                if (keep_assign_ids.count(a.id) != 0) kept.push_back(std::move(a));
+            }
+            copy->assigns = std::move(kept);
+
+            // Prune always blocks statement-by-statement. The marks refer
+            // to original Stmt pointers, so filter the original bodies and
+            // replace the cloned ones.
+            std::set<const rtl::Stmt*> keep_stmts;
+            if (m != nullptr) keep_stmts = m->stmts;
+            std::vector<rtl::AlwaysBlock> blocks;
+            for (size_t i = 0; i < node->module->always_blocks.size(); ++i) {
+                const auto& orig = node->module->always_blocks[i];
+                if (!orig.body) continue;
+                auto body = filter_stmt(*orig.body, keep_stmts);
+                if (!body) continue;
+                rtl::AlwaysBlock b;
+                b.is_comb = orig.is_comb;
+                b.sens = orig.sens;
+                b.loc = orig.loc;
+                b.id = static_cast<int>(blocks.size());
+                b.body = std::move(body);
+                blocks.push_back(std::move(b));
+            }
+            copy->always_blocks = std::move(blocks);
+        }
+
+        // Prune / retarget instances.
+        std::vector<rtl::Instance> insts;
+        for (auto& inst : copy->instances) {
+            // Match the cloned instance to the original by id.
+            const rtl::Instance* orig = nullptr;
+            for (const auto& oi : node->module->instances) {
+                if (oi.id == inst.id) orig = &oi;
+            }
+            auto cv = orig != nullptr ? child_variant.find(orig)
+                                      : child_variant.end();
+            if (cv == child_variant.end()) {
+                if (!full) continue; // child contributes nothing: drop
+                // Full modules keep all instances; the child was emitted as
+                // whole too (it is inside the MUT subtree), so the original
+                // name is correct only if it was emitted. Emit it now.
+                for (const auto& c : node->children) {
+                    if (c->inst == orig) {
+                        inst.module_name = emit(c.get());
+                        break;
+                    }
+                }
+                insts.push_back(std::move(inst));
+                continue;
+            }
+            inst.module_name = cv->second;
+            insts.push_back(std::move(inst));
+        }
+        copy->instances = std::move(insts);
+        return copy;
+    }
+
+    const elab::ElaboratedDesign& design_;
+    const ConstraintSet& cs_;
+    std::set<const InstNode*> involved_;
+    std::map<std::string, std::string> variant_by_sig_;
+    std::map<std::string, int> variants_of_module_;
+    std::map<const InstNode*, std::string> variant_of_;
+    std::string emitted_source_;
+};
+
+} // namespace
+
+ConstraintWriter::ConstraintWriter(const elab::ElaboratedDesign& design,
+                                   const ConstraintSet& cs)
+    : design_(design), cs_(cs) {}
+
+std::string ConstraintWriter::write_verilog() const {
+    WriterImpl impl(design_, cs_);
+    return impl.run();
+}
+
+std::string ConstraintWriter::top_name() const {
+    WriterImpl impl(design_, cs_);
+    return impl.top_variant();
+}
+
+} // namespace factor::core

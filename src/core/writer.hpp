@@ -1,0 +1,40 @@
+// Constraint writer: renders an extracted ConstraintSet back to
+// synthesizable Verilog (paper §3: "FACTOR writes out the constraints in
+// the form of synthesizable Verilog netlists. It retains the original
+// directory structure instead of creating unique instances or renaming
+// nets").
+//
+// Every instance with marked items becomes a pruned copy of its module:
+// unmarked assignments disappear, conditional wrappers survive only where a
+// marked statement lives beneath them, and child instances are kept only
+// when the child contributes constraints. Module names are preserved; a
+// "_cs<N>" suffix is added only when the same module type is needed with
+// two different mark subsets.
+#pragma once
+
+#include "core/constraints.hpp"
+#include "elab/elaborator.hpp"
+
+#include <string>
+
+namespace factor::core {
+
+class ConstraintWriter {
+  public:
+    ConstraintWriter(const elab::ElaboratedDesign& design,
+                     const ConstraintSet& cs);
+
+    /// Full Verilog source: pruned surrounding modules plus the complete
+    /// MUT subtree, rooted at the (pruned) top module. The result parses
+    /// and elaborates with this library's own front end.
+    [[nodiscard]] std::string write_verilog() const;
+
+    /// Name of the emitted top module.
+    [[nodiscard]] std::string top_name() const;
+
+  private:
+    const elab::ElaboratedDesign& design_;
+    const ConstraintSet& cs_;
+};
+
+} // namespace factor::core

@@ -1,0 +1,100 @@
+#include "designs/arm2z_isa.hpp"
+
+namespace factor::designs {
+
+uint16_t arm2z_nop() { return static_cast<uint16_t>(0b111u << 13); }
+
+uint16_t arm2z_load(unsigned rd, unsigned rn, unsigned imm3) {
+    return static_cast<uint16_t>((0b010u << 13) | ((rd & 7u) << 6) |
+                                 ((rn & 7u) << 3) | (imm3 & 7u));
+}
+
+uint16_t arm2z_store(unsigned rs, unsigned rn, unsigned imm3) {
+    return static_cast<uint16_t>((0b011u << 13) | ((rs & 7u) << 6) |
+                                 ((rn & 7u) << 3) | (imm3 & 7u));
+}
+
+uint16_t arm2z_mov_imm(unsigned rd, unsigned imm6) {
+    return static_cast<uint16_t>((0b001u << 13) | (12u << 9) |
+                                 ((rd & 7u) << 6) | (imm6 & 0x3fu));
+}
+
+uint16_t arm2z_alu_reg(unsigned alu_op, unsigned rd, unsigned rn,
+                       unsigned rm) {
+    return static_cast<uint16_t>((0b000u << 13) | ((alu_op & 15u) << 9) |
+                                 ((rd & 7u) << 6) | ((rn & 7u) << 3) |
+                                 (rm & 7u));
+}
+
+PinFrame arm2z_idle_frame() {
+    PinFrame f;
+    f.pins["rst"] = 0;
+    f.pins["instr_in"] = arm2z_nop();
+    f.pins["irq"] = 0;
+    f.pins["fiq"] = 0;
+    f.pins["irq_mask"] = 1;
+    f.pins["fiq_mask"] = 1;
+    return f;
+}
+
+PinSequence arm2z_reset_sequence() {
+    PinFrame f = arm2z_idle_frame();
+    f.pins["rst"] = 1;
+    return {f};
+}
+
+PinSequence arm2z_pier_load(unsigned reg_index, uint64_t value) {
+    // Cycle t:   LOAD rN, [r0+0] decodes.
+    // Cycle t+1: the load is in EX; data_in is sampled into the writeback
+    //            register at the end of this cycle.
+    // Cycle t+2: writeback commits rN.
+    PinSequence seq;
+    PinFrame issue = arm2z_idle_frame();
+    issue.pins["instr_in"] = arm2z_load(reg_index);
+    seq.push_back(issue);
+
+    PinFrame mem = arm2z_idle_frame();
+    mem.pins["data_in"] = value & 0xffff;
+    seq.push_back(mem);
+
+    seq.push_back(arm2z_idle_frame()); // writeback
+    return seq;
+}
+
+PinSequence arm2z_pier_store(unsigned reg_index) {
+    // Cycle t:   STORE rN decodes (rm = rN read from the bank).
+    // Cycle t+1: mem_write pulses and data_out carries the register.
+    PinSequence seq;
+    PinFrame issue = arm2z_idle_frame();
+    issue.pins["instr_in"] = arm2z_store(reg_index);
+    seq.push_back(issue);
+    seq.push_back(arm2z_idle_frame()); // data_out observation window
+    return seq;
+}
+
+unsigned arm2z_pier_index(const std::string& reg_base) {
+    auto pos = reg_base.rfind(".r");
+    if (pos == std::string::npos || pos + 2 >= reg_base.size()) return 8;
+    char c = reg_base[pos + 2];
+    if (c < '0' || c > '7' || pos + 3 != reg_base.size()) return 8;
+    return static_cast<unsigned>(c - '0');
+}
+
+core::PierAccessSpec make_arm2z_pier_spec() {
+    core::PierAccessSpec spec;
+    spec.idle = arm2z_idle_frame();
+    spec.reset = arm2z_reset_sequence();
+    spec.load = [](const std::string& base, uint64_t value) -> PinSequence {
+        unsigned idx = arm2z_pier_index(base);
+        if (idx > 7) return {};
+        return arm2z_pier_load(idx, value);
+    };
+    spec.store = [](const std::string& base) -> PinSequence {
+        unsigned idx = arm2z_pier_index(base);
+        if (idx > 7) return {};
+        return arm2z_pier_store(idx);
+    };
+    return spec;
+}
+
+} // namespace factor::designs

@@ -1,0 +1,58 @@
+// arm2z instruction encoders and the PIER load/store access protocol.
+//
+// The FACTOR flow tests a module inside its transformed view, where PIER
+// registers are pseudo primary inputs/outputs. Applying those tests to the
+// real chip requires an instruction-level protocol that loads a register
+// from the pins and stores it back out — exactly the "patterns are later
+// translated back to the chip level" step of the paper. This header
+// provides the arm2z ISA encodings and builds the core::PierAccessSpec the
+// generic translator consumes.
+#pragma once
+
+#include "core/translate.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace factor::designs {
+
+using core::PinFrame;
+using core::PinSequence;
+
+// ---- instruction encoders (see arm_decode in arm2z.v) ----------------------
+
+/// NOP (opclass 111).
+[[nodiscard]] uint16_t arm2z_nop();
+/// LOAD rd, [rn + imm3] (opclass 010): rd <- data_in two cycles later.
+[[nodiscard]] uint16_t arm2z_load(unsigned rd, unsigned rn = 0,
+                                  unsigned imm3 = 0);
+/// STORE rs, [rn + imm3] (opclass 011): data_out <- rs one cycle later.
+[[nodiscard]] uint16_t arm2z_store(unsigned rs, unsigned rn = 0,
+                                   unsigned imm3 = 0);
+/// MOV rd, #imm6 (ALU-immediate, op 12). imm6 is sign-extended by decode.
+[[nodiscard]] uint16_t arm2z_mov_imm(unsigned rd, unsigned imm6);
+/// ALU register operation rd <- rn op rm (opclass 000).
+[[nodiscard]] uint16_t arm2z_alu_reg(unsigned alu_op, unsigned rd,
+                                     unsigned rn, unsigned rm);
+
+// ---- pin-level protocol frames ---------------------------------------------
+
+/// A safe "do nothing" frame: nop instruction, interrupts masked, no reset.
+[[nodiscard]] PinFrame arm2z_idle_frame();
+/// Reset prefix: one frame with rst asserted (brings all state to known).
+[[nodiscard]] PinSequence arm2z_reset_sequence();
+/// Load `value` into architectural register `rN` through the LOAD path:
+/// issue LOAD, present the value on data_in in the execute cycle, wait for
+/// writeback.
+[[nodiscard]] PinSequence arm2z_pier_load(unsigned reg_index, uint64_t value);
+/// Make register `rN` appear on data_out via STORE.
+[[nodiscard]] PinSequence arm2z_pier_store(unsigned reg_index);
+
+/// Parse the register index from a PIER base name such as
+/// "exu.bank.core.r3"; returns 8 (invalid) if the name does not match.
+[[nodiscard]] unsigned arm2z_pier_index(const std::string& reg_base);
+
+/// The complete access spec the core::PatternTranslator consumes for arm2z.
+[[nodiscard]] core::PierAccessSpec make_arm2z_pier_spec();
+
+} // namespace factor::designs

@@ -1,0 +1,1250 @@
+#include "designs/designs.hpp"
+
+#include "rtl/parser.hpp"
+#include "util/diagnostics.hpp"
+
+namespace factor::designs {
+
+const char* arm2z_source() {
+    return R"V(
+// arm2z: a 16-bit ARM2-flavoured processor used as the FACTOR evaluation
+// vehicle. Module roster and embedding depths mirror the paper's Table 1.
+
+// ---------------------------------------------------------------- arm_alu
+// 13 control inputs; in arm_decode, 10 of them are driven from hard-coded
+// values selected by the decoded ALU operation (the paper's 4.2 case).
+module arm_alu (
+  input [15:0] a,
+  input [15:0] b,
+  input cin,
+  input ctl_and, ctl_or, ctl_xor, ctl_add, ctl_sub,
+  input ctl_mova, ctl_movb, ctl_mvnb, ctl_bic,
+  input inv_a, use_cin, flags_only, set_flags,
+  output [15:0] result,
+  output flag_n, flag_z, flag_c, flag_v,
+  output wb_inhibit
+);
+  wire [15:0] opa = inv_a ? ~a : a;
+  wire [15:0] opb = ctl_sub ? ~b : b;
+  wire carry0 = ctl_sub ? 1'b1 : 1'b0;
+  wire carry_in = use_cin ? cin : carry0;
+  wire [16:0] sum = {1'b0, opa} + {1'b0, opb} + {16'b0, carry_in};
+
+  wire [15:0] and_r = ctl_bic ? (opa & ~b) : (opa & opb);
+  wire [15:0] or_r  = opa | opb;
+  wire [15:0] xor_r = opa ^ opb;
+
+  reg [15:0] res;
+  always @(*) begin
+    res = 16'h0;
+    if (ctl_and) res = and_r;
+    else if (ctl_bic) res = and_r;
+    else if (ctl_or) res = or_r;
+    else if (ctl_xor) res = xor_r;
+    else if (ctl_add) res = sum[15:0];
+    else if (ctl_sub) res = sum[15:0];
+    else if (ctl_movb) res = b;
+    else if (ctl_mvnb) res = ~b;
+    else if (ctl_mova) res = opa;
+  end
+
+  assign result = res;
+  assign flag_n = set_flags & res[15];
+  assign flag_z = set_flags & (res == 16'h0);
+  assign flag_c = set_flags & ((ctl_add | ctl_sub) & sum[16]);
+  assign flag_v = set_flags & ((ctl_add | ctl_sub) &
+                  ((opa[15] == opb[15]) & (sum[15] != opa[15])));
+  assign wb_inhibit = flags_only;
+endmodule
+
+// ---------------------------------------------------------- regfile_struct
+// The register file core: biggest module, embedded deepest (level 4).
+module regfile_struct (
+  input clk,
+  input rst,
+  input we,
+  input [2:0] waddr,
+  input [15:0] wdata,
+  input [2:0] raddr_a,
+  input [2:0] raddr_b,
+  output [15:0] rdata_a,
+  output [15:0] rdata_b
+);
+  reg [15:0] r0, r1, r2, r3, r4, r5, r6, r7;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      r0 <= 16'h0; r1 <= 16'h0; r2 <= 16'h0; r3 <= 16'h0;
+      r4 <= 16'h0; r5 <= 16'h0; r6 <= 16'h0; r7 <= 16'h0;
+    end
+    else if (we) begin
+      case (waddr)
+        3'd0: r0 <= wdata;
+        3'd1: r1 <= wdata;
+        3'd2: r2 <= wdata;
+        3'd3: r3 <= wdata;
+        3'd4: r4 <= wdata;
+        3'd5: r5 <= wdata;
+        3'd6: r6 <= wdata;
+        default: r7 <= wdata;
+      endcase
+    end
+  end
+
+  reg [15:0] sel_a;
+  always @(*) begin
+    case (raddr_a)
+      3'd0: sel_a = r0;
+      3'd1: sel_a = r1;
+      3'd2: sel_a = r2;
+      3'd3: sel_a = r3;
+      3'd4: sel_a = r4;
+      3'd5: sel_a = r5;
+      3'd6: sel_a = r6;
+      default: sel_a = r7;
+    endcase
+  end
+
+  reg [15:0] sel_b;
+  always @(*) begin
+    case (raddr_b)
+      3'd0: sel_b = r0;
+      3'd1: sel_b = r1;
+      3'd2: sel_b = r2;
+      3'd3: sel_b = r3;
+      3'd4: sel_b = r4;
+      3'd5: sel_b = r5;
+      3'd6: sel_b = r6;
+      default: sel_b = r7;
+    endcase
+  end
+
+  assign rdata_a = sel_a;
+  assign rdata_b = sel_b;
+endmodule
+
+// ----------------------------------------------------------------- regbank
+// Wrapper adding write-through bypass around the register file core.
+module regbank (
+  input clk,
+  input rst,
+  input we,
+  input [2:0] waddr,
+  input [15:0] wdata,
+  input [2:0] raddr_a,
+  input [2:0] raddr_b,
+  output [15:0] rdata_a,
+  output [15:0] rdata_b
+);
+  wire [15:0] core_a;
+  wire [15:0] core_b;
+
+  regfile_struct core (
+    .clk(clk), .rst(rst), .we(we), .waddr(waddr), .wdata(wdata),
+    .raddr_a(raddr_a), .raddr_b(raddr_b),
+    .rdata_a(core_a), .rdata_b(core_b)
+  );
+
+  assign rdata_a = (we & (waddr == raddr_a)) ? wdata : core_a;
+  assign rdata_b = (we & (waddr == raddr_b)) ? wdata : core_b;
+endmodule
+
+// --------------------------------------------------------------- arm_shift
+module arm_shift (
+  input [15:0] din,
+  input [1:0] op,      // 0 LSL, 1 LSR, 2 ASR, 3 ROR
+  input [3:0] amt,
+  input bypass,
+  output [15:0] dout,
+  output shift_carry
+);
+  wire [15:0] lsl_r = din << amt;
+  wire [15:0] lsr_r = din >> amt;
+  wire [15:0] sign_mask = din[15] ? ~(16'hffff >> amt) : 16'h0;
+  wire [15:0] asr_r = lsr_r | sign_mask;
+  wire [15:0] ror_r = (din >> amt) | (din << (16 - {12'b0, amt}));
+
+  reg [15:0] shifted;
+  always @(*) begin
+    case (op)
+      2'd0: shifted = lsl_r;
+      2'd1: shifted = lsr_r;
+      2'd2: shifted = asr_r;
+      default: shifted = ror_r;
+    endcase
+  end
+
+  assign dout = bypass ? din : shifted;
+  assign shift_carry = (amt != 4'd0) & (op == 2'd0 ? din[15] : din[0]);
+endmodule
+
+// ------------------------------------------------------------- arm_forward
+// Forwarding / hazard detection unit (level 3, inside arm_decode).
+module arm_forward (
+  input ex_valid,
+  input [2:0] ex_rd,
+  input ex_is_load,
+  input mem_valid,
+  input [2:0] mem_rd,
+  input [2:0] rn,
+  input [2:0] rm,
+  input rm_used,
+  output [1:0] fwd_a,
+  output [1:0] fwd_b,
+  output stall
+);
+  wire hit_ex_a  = ex_valid & (ex_rd == rn);
+  wire hit_mem_a = mem_valid & (mem_rd == rn);
+  wire hit_ex_b  = ex_valid & (ex_rd == rm) & rm_used;
+  wire hit_mem_b = mem_valid & (mem_rd == rm) & rm_used;
+
+  assign fwd_a = hit_ex_a ? 2'd1 : (hit_mem_a ? 2'd2 : 2'd0);
+  assign fwd_b = hit_ex_b ? 2'd1 : (hit_mem_b ? 2'd2 : 2'd0);
+  assign stall = ex_is_load & ex_valid & ((ex_rd == rn) | ((ex_rd == rm) & rm_used));
+endmodule
+
+// ----------------------------------------------------------------- arm_exc
+// Exception/interrupt unit (level 2).
+module arm_exc (
+  input clk,
+  input rst,
+  input irq,
+  input fiq,
+  input swi,
+  input undef,
+  input irq_mask,
+  input fiq_mask,
+  input ack,
+  output exc_active,
+  output [15:0] vector,
+  output [1:0] exc_mode
+);
+  localparam MODE_NONE = 2'd0;
+  localparam MODE_FIQ  = 2'd1;
+  localparam MODE_IRQ  = 2'd2;
+  localparam MODE_SWI  = 2'd3;
+
+  reg [1:0] mode;
+  reg undef_seen;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      mode <= MODE_NONE;
+      undef_seen <= 1'b0;
+    end
+    else begin
+      if (undef) undef_seen <= 1'b1;
+      if (ack) mode <= MODE_NONE;
+      else if (mode == MODE_NONE) begin
+        if (fiq & ~fiq_mask) mode <= MODE_FIQ;
+        else if (irq & ~irq_mask) mode <= MODE_IRQ;
+        else if (swi | undef) mode <= MODE_SWI;
+      end
+    end
+  end
+
+  assign exc_active = mode != MODE_NONE;
+  assign exc_mode = mode;
+  assign vector = (mode == MODE_FIQ) ? 16'h001c :
+                  (mode == MODE_IRQ) ? 16'h0018 :
+                  (mode == MODE_SWI) ? (undef_seen ? 16'h0004 : 16'h0008) :
+                  16'h0000;
+endmodule
+
+// --------------------------------------------------------------- arm_fetch
+module arm_fetch (
+  input clk,
+  input rst,
+  input stall,
+  input take_branch,
+  input [15:0] btarget,
+  input exc,
+  input [15:0] evector,
+  output [15:0] pc,
+  output [15:0] pc_plus
+);
+  reg [15:0] pc_r;
+  wire [15:0] inc = pc_r + 16'd2;
+
+  always @(posedge clk) begin
+    if (rst) pc_r <= 16'h0;
+    else if (~stall) begin
+      if (exc) pc_r <= evector;
+      else if (take_branch) pc_r <= btarget;
+      else pc_r <= inc;
+    end
+  end
+
+  assign pc = pc_r;
+  assign pc_plus = inc;
+endmodule
+
+// -------------------------------------------------------------- arm_decode
+// Instruction decode; contains the forwarding unit.
+module arm_decode (
+  input [15:0] instr,
+  input ex_valid,
+  input [2:0] ex_rd_in,
+  input ex_is_load_in,
+  input mem_valid,
+  input [2:0] mem_rd_in,
+  output [2:0] rd,
+  output [2:0] rn,
+  output [2:0] rm,
+  output [15:0] imm,
+  output use_imm,
+  output is_load,
+  output is_store,
+  output is_branch,
+  output [2:0] branch_cond,
+  output [15:0] branch_off,
+  output is_swi,
+  output is_undef,
+  output wb_en,
+  output reg ctl_and, output reg ctl_or, output reg ctl_xor,
+  output reg ctl_add, output reg ctl_sub,
+  output reg ctl_mova, output reg ctl_movb, output reg ctl_mvnb,
+  output reg ctl_bic,
+  output reg inv_a, output reg use_cin, output reg flags_only,
+  output set_flags,
+  output [1:0] shift_op,
+  output [3:0] shift_amt,
+  output use_shift,
+  output [1:0] fwd_a,
+  output [1:0] fwd_b,
+  output stall
+);
+  wire [2:0] opclass = instr[15:13];
+  wire [3:0] alu_op = instr[12:9];
+
+  wire is_alu_reg = opclass == 3'b000;
+  wire is_alu_imm = opclass == 3'b001;
+  wire is_alu = is_alu_reg | is_alu_imm;
+  wire is_shift_cls = opclass == 3'b101;
+  wire is_sys = opclass == 3'b110;
+
+  assign is_load  = opclass == 3'b010;
+  assign is_store = opclass == 3'b011;
+  assign is_branch = opclass == 3'b100;
+  assign is_swi = is_sys & (instr[12:10] == 3'b000);
+  assign is_undef = is_sys & (instr[12:10] == 3'b111);
+
+  assign rd = instr[8:6];
+  assign rn = (is_alu_imm | is_load | is_store) ? instr[5:3] :
+              (is_shift_cls ? instr[5:3] : instr[5:3]);
+  assign rm = is_store ? instr[8:6] : instr[2:0];
+
+  wire [15:0] imm6 = {{10{instr[5]}}, instr[5:0]};
+  wire [15:0] imm3 = {13'b0, instr[2:0]};
+  assign imm = is_alu_imm ? imm6 : imm3;
+  assign use_imm = is_alu_imm | is_load | is_store;
+
+  assign branch_cond = instr[12:10];
+  assign branch_off = {{6{instr[9]}}, instr[9:0]};
+
+  assign wb_en = is_alu | is_load | is_shift_cls;
+  assign set_flags = is_alu;
+
+  assign shift_op = instr[12:11];
+  assign shift_amt = {1'b0, instr[2:0]};
+  assign use_shift = is_shift_cls;
+
+  // Hard-coded ALU control values selected by the decoded operation — the
+  // testability case the paper discusses in section 4.2.
+  always @(*) begin
+    ctl_and = 1'b0; ctl_or = 1'b0; ctl_xor = 1'b0;
+    ctl_add = 1'b0; ctl_sub = 1'b0;
+    ctl_mova = 1'b0; ctl_movb = 1'b0; ctl_mvnb = 1'b0; ctl_bic = 1'b0;
+    inv_a = 1'b0; use_cin = 1'b0; flags_only = 1'b0;
+    case (alu_op)
+      4'd0: ctl_and = 1'b1;
+      4'd1: ctl_or = 1'b1;
+      4'd2: ctl_xor = 1'b1;
+      4'd3: ctl_add = 1'b1;
+      4'd4: begin ctl_add = 1'b1; use_cin = 1'b1; end
+      4'd5: ctl_sub = 1'b1;
+      4'd6: begin ctl_sub = 1'b1; use_cin = 1'b1; end
+      4'd7: begin ctl_sub = 1'b1; inv_a = 1'b1; end
+      4'd8: begin ctl_sub = 1'b1; flags_only = 1'b1; end
+      4'd9: begin ctl_add = 1'b1; flags_only = 1'b1; end
+      4'd10: begin ctl_and = 1'b1; flags_only = 1'b1; end
+      4'd11: begin ctl_xor = 1'b1; flags_only = 1'b1; end
+      4'd12: ctl_movb = 1'b1;
+      4'd13: ctl_mvnb = 1'b1;
+      4'd14: ctl_bic = 1'b1;
+      default: ctl_mova = 1'b1;
+    endcase
+  end
+
+  wire rm_used = is_alu_reg | is_store;
+
+  arm_forward fwd (
+    .ex_valid(ex_valid), .ex_rd(ex_rd_in), .ex_is_load(ex_is_load_in),
+    .mem_valid(mem_valid), .mem_rd(mem_rd_in),
+    .rn(rn), .rm(rm), .rm_used(rm_used),
+    .fwd_a(fwd_a), .fwd_b(fwd_b), .stall(stall)
+  );
+endmodule
+
+// ---------------------------------------------------------------- arm_exec
+// Execute stage: ALU + barrel shifter + register bank + pipeline registers.
+module arm_exec (
+  input clk,
+  input rst,
+  input [2:0] rd_in,
+  input [2:0] rn,
+  input [2:0] rm,
+  input [15:0] imm,
+  input use_imm,
+  input ctl_and, ctl_or, ctl_xor, ctl_add, ctl_sub,
+  input ctl_mova, ctl_movb, ctl_mvnb, ctl_bic,
+  input inv_a, use_cin, flags_only, set_flags,
+  input [1:0] shift_op,
+  input [3:0] shift_amt,
+  input use_shift,
+  input is_load,
+  input is_store,
+  input wb_en,
+  input [1:0] fwd_a,
+  input [1:0] fwd_b,
+  input stall,
+  input [15:0] load_data,
+  output [15:0] result_out,
+  output [15:0] store_data,
+  output [15:0] mem_addr,
+  output [2:0] ex_rd,
+  output ex_valid,
+  output ex_is_load_o,
+  output ex_is_store_o,
+  output [2:0] mem_rd,
+  output mem_valid,
+  output flag_n, flag_z, flag_c, flag_v
+);
+  // Writeback stage signals (defined below, used by the bank).
+  reg [15:0] mem_result_r;
+  reg [2:0] mem_rd_r;
+  reg mem_we_r;
+
+  wire [15:0] rdata_a;
+  wire [15:0] rdata_b;
+
+  regbank bank (
+    .clk(clk), .rst(rst),
+    .we(mem_we_r), .waddr(mem_rd_r), .wdata(mem_result_r),
+    .raddr_a(rn), .raddr_b(rm),
+    .rdata_a(rdata_a), .rdata_b(rdata_b)
+  );
+
+  // EX stage pipeline registers.
+  reg [15:0] ex_result_r;
+  reg [15:0] ex_store_r;
+  reg [2:0] ex_rd_r;
+  reg ex_we_r;
+  reg ex_is_load_r;
+  reg ex_is_store_r;
+
+  // Operand forwarding.
+  wire [15:0] op_a = (fwd_a == 2'd1) ? ex_result_r :
+                     ((fwd_a == 2'd2) ? mem_result_r : rdata_a);
+  wire [15:0] op_b_reg = (fwd_b == 2'd1) ? ex_result_r :
+                         ((fwd_b == 2'd2) ? mem_result_r : rdata_b);
+  wire [15:0] op_b_pre = use_imm ? imm : op_b_reg;
+
+  wire [15:0] op_b;
+  wire shift_carry;
+  arm_shift sh (
+    .din(op_b_pre), .op(shift_op), .amt(shift_amt),
+    .bypass(~use_shift), .dout(op_b), .shift_carry(shift_carry)
+  );
+
+  // Flags register.
+  reg flag_n_r, flag_z_r, flag_c_r, flag_v_r;
+
+  wire [15:0] alu_result;
+  wire a_n, a_z, a_c, a_v, wb_inhibit;
+  arm_alu alu (
+    .a(op_a), .b(op_b), .cin(flag_c_r),
+    .ctl_and(ctl_and), .ctl_or(ctl_or), .ctl_xor(ctl_xor),
+    .ctl_add(ctl_add), .ctl_sub(ctl_sub),
+    .ctl_mova(ctl_mova), .ctl_movb(ctl_movb), .ctl_mvnb(ctl_mvnb),
+    .ctl_bic(ctl_bic),
+    .inv_a(inv_a), .use_cin(use_cin), .flags_only(flags_only),
+    .set_flags(set_flags),
+    .result(alu_result),
+    .flag_n(a_n), .flag_z(a_z), .flag_c(a_c), .flag_v(a_v),
+    .wb_inhibit(wb_inhibit)
+  );
+
+  wire [15:0] ea = op_a + imm; // load/store effective address
+
+  always @(posedge clk) begin
+    if (rst) begin
+      flag_n_r <= 1'b0; flag_z_r <= 1'b0;
+      flag_c_r <= 1'b0; flag_v_r <= 1'b0;
+    end
+    else if (set_flags & ~stall) begin
+      flag_n_r <= a_n; flag_z_r <= a_z;
+      flag_c_r <= a_c; flag_v_r <= a_v;
+    end
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ex_result_r <= 16'h0;
+      ex_store_r <= 16'h0;
+      ex_rd_r <= 3'd0;
+      ex_we_r <= 1'b0;
+      ex_is_load_r <= 1'b0;
+      ex_is_store_r <= 1'b0;
+    end
+    else if (~stall) begin
+      ex_result_r <= (is_load | is_store) ? ea : alu_result;
+      ex_store_r <= op_b_reg;
+      ex_rd_r <= rd_in;
+      ex_we_r <= wb_en & ~wb_inhibit;
+      ex_is_load_r <= is_load;
+      ex_is_store_r <= is_store;
+    end
+    else begin
+      ex_we_r <= 1'b0;
+      ex_is_load_r <= 1'b0;
+      ex_is_store_r <= 1'b0;
+    end
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      mem_result_r <= 16'h0;
+      mem_rd_r <= 3'd0;
+      mem_we_r <= 1'b0;
+    end
+    else begin
+      mem_result_r <= ex_is_load_r ? load_data : ex_result_r;
+      mem_rd_r <= ex_rd_r;
+      mem_we_r <= ex_we_r;
+    end
+  end
+
+  assign result_out = mem_result_r;
+  assign store_data = ex_store_r;
+  assign mem_addr = ex_result_r;
+  assign ex_rd = ex_rd_r;
+  assign ex_valid = ex_we_r;
+  assign ex_is_load_o = ex_is_load_r;
+  assign ex_is_store_o = ex_is_store_r;
+  assign mem_rd = mem_rd_r;
+  assign mem_valid = mem_we_r;
+  assign flag_n = flag_n_r;
+  assign flag_z = flag_z_r;
+  assign flag_c = flag_c_r;
+  assign flag_v = flag_v_r;
+endmodule
+
+// -------------------------------------------------------------- arm_sysctl
+// System control block: timer, watchdog, cycle counter and a debug shift
+// chain. Deliberately outside the data/control cone of the evaluation MUTs
+// (its outputs go to dedicated pins), like the peripherals a core-level
+// hierarchical test methodology never needs to drag along.
+module sys_timer (
+  input clk,
+  input rst,
+  input timer_en,
+  input [15:0] reload,
+  output timer_tick
+);
+  reg [15:0] cnt;
+  always @(posedge clk) begin
+    if (rst) cnt <= 16'h0;
+    else if (timer_en) begin
+      if (cnt == 16'h0) cnt <= reload;
+      else cnt <= cnt - 16'h1;
+    end
+  end
+  assign timer_tick = timer_en & (cnt == 16'h0);
+endmodule
+
+module sys_watchdog (
+  input clk,
+  input rst,
+  input kick,
+  input [11:0] limit,
+  output wdog_bark
+);
+  reg [11:0] cnt;
+  always @(posedge clk) begin
+    if (rst | kick) cnt <= 12'h0;
+    else if (cnt != limit) cnt <= cnt + 12'h1;
+  end
+  assign wdog_bark = cnt == limit;
+endmodule
+
+module sys_perfctr (
+  input clk,
+  input rst,
+  input ev_fetch,
+  input ev_mem,
+  output [15:0] cycles,
+  output [15:0] events
+);
+  reg [15:0] cyc;
+  reg [15:0] evt;
+  always @(posedge clk) begin
+    if (rst) begin
+      cyc <= 16'h0;
+      evt <= 16'h0;
+    end
+    else begin
+      cyc <= cyc + 16'h1;
+      if (ev_fetch | ev_mem) evt <= evt + 16'h1;
+    end
+  end
+  assign cycles = cyc;
+  assign events = evt;
+endmodule
+
+module sys_mul (
+  input clk,
+  input rst,
+  input start,
+  input [15:0] ma,
+  input [15:0] mb,
+  output [15:0] product_lo,
+  output [15:0] product_hi,
+  output busy
+);
+  // One-shot 16x16 multiply with registered operands and result.
+  reg [15:0] ra;
+  reg [15:0] rb;
+  reg [15:0] lo;
+  reg [15:0] hi;
+  reg running;
+  wire [31:0] full = {16'h0, ra} * {16'h0, rb};
+  always @(posedge clk) begin
+    if (rst) begin
+      ra <= 16'h0;
+      rb <= 16'h0;
+      lo <= 16'h0;
+      hi <= 16'h0;
+      running <= 1'b0;
+    end
+    else if (start & ~running) begin
+      ra <= ma;
+      rb <= mb;
+      running <= 1'b1;
+    end
+    else if (running) begin
+      lo <= full[15:0];
+      hi <= full[31:16];
+      running <= 1'b0;
+    end
+  end
+  assign product_lo = lo;
+  assign product_hi = hi;
+  assign busy = running;
+endmodule
+
+module sys_crc16 (
+  input clk,
+  input rst,
+  input enable,
+  input din,
+  output [15:0] crc
+);
+  // CCITT polynomial x^16 + x^12 + x^5 + 1, bit-serial.
+  reg [15:0] r;
+  wire fb = r[15] ^ din;
+  always @(posedge clk) begin
+    if (rst) r <= 16'hffff;
+    else if (enable)
+      r <= {r[14:12], r[11] ^ fb, r[10:4], r[3] ^ fb, r[2:0], fb};
+  end
+  assign crc = r;
+endmodule
+
+module sys_uart_tx (
+  input clk,
+  input rst,
+  input send,
+  input [7:0] tx_data,
+  output tx,
+  output tx_busy
+);
+  localparam IDLE = 2'd0;
+  localparam START = 2'd1;
+  localparam DATA = 2'd2;
+  localparam STOP = 2'd3;
+  reg [1:0] state;
+  reg [2:0] bitpos;
+  reg [7:0] shifter;
+  reg line;
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= IDLE;
+      bitpos <= 3'd0;
+      shifter <= 8'h0;
+      line <= 1'b1;
+    end
+    else begin
+      case (state)
+        IDLE: begin
+          line <= 1'b1;
+          if (send) begin
+            shifter <= tx_data;
+            state <= START;
+          end
+        end
+        START: begin
+          line <= 1'b0;
+          bitpos <= 3'd0;
+          state <= DATA;
+        end
+        DATA: begin
+          line <= shifter[0];
+          shifter <= {1'b0, shifter[7:1]};
+          if (bitpos == 3'd7) state <= STOP;
+          else bitpos <= bitpos + 3'd1;
+        end
+        default: begin
+          line <= 1'b1;
+          state <= IDLE;
+        end
+      endcase
+    end
+  end
+  assign tx = line;
+  assign tx_busy = state != IDLE;
+endmodule
+
+module arm_sysctl (
+  input clk,
+  input rst,
+  input [15:0] cfg,
+  input dbg_shift_in,
+  input dbg_shift_en,
+  input ev_fetch,
+  input ev_mem,
+  input [1:0] exc_mode_in,
+  input [15:0] cp_a,
+  input [15:0] cp_b,
+  input cp_start,
+  input [7:0] uart_data,
+  input uart_send,
+  output timer_tick,
+  output wdog_bark,
+  output [15:0] perf_cycles,
+  output [15:0] perf_events,
+  output dbg_shift_out,
+  output [7:0] status,
+  output [15:0] cp_lo,
+  output [15:0] cp_hi,
+  output cp_busy,
+  output uart_tx,
+  output uart_busy,
+  output [15:0] crc_out
+);
+  sys_timer timer (
+    .clk(clk), .rst(rst), .timer_en(cfg[0]), .reload({4'h0, cfg[15:4]}),
+    .timer_tick(timer_tick)
+  );
+  sys_watchdog wdog (
+    .clk(clk), .rst(rst), .kick(cfg[1]), .limit(cfg[15:4]),
+    .wdog_bark(wdog_bark)
+  );
+  sys_perfctr perf (
+    .clk(clk), .rst(rst), .ev_fetch(ev_fetch), .ev_mem(ev_mem),
+    .cycles(perf_cycles), .events(perf_events)
+  );
+
+  sys_mul mul (
+    .clk(clk), .rst(rst), .start(cp_start), .ma(cp_a), .mb(cp_b),
+    .product_lo(cp_lo), .product_hi(cp_hi), .busy(cp_busy)
+  );
+
+  sys_crc16 crc (
+    .clk(clk), .rst(rst), .enable(dbg_shift_en), .din(dbg_shift_in),
+    .crc(crc_out)
+  );
+
+  sys_uart_tx uart (
+    .clk(clk), .rst(rst), .send(uart_send), .tx_data(uart_data),
+    .tx(uart_tx), .tx_busy(uart_busy)
+  );
+
+  // 16-bit debug shift chain.
+  reg [15:0] dbg;
+  always @(posedge clk) begin
+    if (rst) dbg <= 16'h0;
+    else if (dbg_shift_en) dbg <= {dbg[14:0], dbg_shift_in};
+  end
+  assign dbg_shift_out = dbg[15];
+  assign status = {timer_tick, wdog_bark, exc_mode_in, dbg[3:0]};
+endmodule
+
+// ------------------------------------------------------------------- arm2z
+module arm2z (
+  input clk,
+  input rst,
+  input [15:0] instr_in,
+  input [15:0] data_in,
+  input irq,
+  input fiq,
+  input irq_mask,
+  input fiq_mask,
+  input [15:0] sys_cfg,
+  input dbg_shift_in,
+  input dbg_shift_en,
+  input [15:0] cp_a,
+  input [15:0] cp_b,
+  input cp_start,
+  input [7:0] uart_data,
+  input uart_send,
+  output [15:0] iaddr_out,
+  output [15:0] dmem_addr,
+  output [15:0] data_out,
+  output mem_read,
+  output mem_write,
+  output exc_active_o,
+  output [15:0] result_dbg,
+  output [3:0] flags_dbg,
+  output timer_tick_o,
+  output wdog_bark_o,
+  output [15:0] perf_cycles_o,
+  output [15:0] perf_events_o,
+  output dbg_shift_out,
+  output [7:0] sys_status,
+  output [15:0] cp_lo,
+  output [15:0] cp_hi,
+  output cp_busy,
+  output uart_tx,
+  output uart_busy,
+  output [15:0] crc_out
+);
+  wire [2:0] rd, rn, rm;
+  wire [15:0] imm;
+  wire use_imm, is_load, is_store, is_branch, is_swi, is_undef, wb_en;
+  wire [2:0] branch_cond;
+  wire [15:0] branch_off;
+  wire ctl_and, ctl_or, ctl_xor, ctl_add, ctl_sub;
+  wire ctl_mova, ctl_movb, ctl_mvnb, ctl_bic;
+  wire inv_a, use_cin, flags_only, set_flags;
+  wire [1:0] shift_op;
+  wire [3:0] shift_amt;
+  wire use_shift;
+  wire [1:0] fwd_a, fwd_b;
+  wire stall;
+
+  wire [2:0] ex_rd_w, mem_rd_w;
+  wire ex_valid_w, mem_valid_w, ex_is_load_w, ex_is_store_w;
+  wire flag_n, flag_z, flag_c, flag_v;
+
+  arm_decode dec (
+    .instr(instr_in),
+    .ex_valid(ex_valid_w), .ex_rd_in(ex_rd_w), .ex_is_load_in(ex_is_load_w),
+    .mem_valid(mem_valid_w), .mem_rd_in(mem_rd_w),
+    .rd(rd), .rn(rn), .rm(rm),
+    .imm(imm), .use_imm(use_imm),
+    .is_load(is_load), .is_store(is_store),
+    .is_branch(is_branch), .branch_cond(branch_cond),
+    .branch_off(branch_off),
+    .is_swi(is_swi), .is_undef(is_undef),
+    .wb_en(wb_en),
+    .ctl_and(ctl_and), .ctl_or(ctl_or), .ctl_xor(ctl_xor),
+    .ctl_add(ctl_add), .ctl_sub(ctl_sub),
+    .ctl_mova(ctl_mova), .ctl_movb(ctl_movb), .ctl_mvnb(ctl_mvnb),
+    .ctl_bic(ctl_bic),
+    .inv_a(inv_a), .use_cin(use_cin), .flags_only(flags_only),
+    .set_flags(set_flags),
+    .shift_op(shift_op), .shift_amt(shift_amt), .use_shift(use_shift),
+    .fwd_a(fwd_a), .fwd_b(fwd_b), .stall(stall)
+  );
+
+  wire exc_active;
+  wire [15:0] evector;
+  wire [1:0] exc_mode;
+
+  arm_exc exc (
+    .clk(clk), .rst(rst),
+    .irq(irq), .fiq(fiq), .swi(is_swi), .undef(is_undef),
+    .irq_mask(irq_mask), .fiq_mask(fiq_mask),
+    .ack(exc_active & ~stall),
+    .exc_active(exc_active), .vector(evector), .exc_mode(exc_mode)
+  );
+
+  // Branch condition evaluation against the architectural flags.
+  reg cond_true;
+  always @(*) begin
+    case (branch_cond)
+      3'd0: cond_true = 1'b1;                 // AL
+      3'd1: cond_true = flag_z;               // EQ
+      3'd2: cond_true = ~flag_z;              // NE
+      3'd3: cond_true = flag_c;               // CS
+      3'd4: cond_true = flag_n;               // MI
+      3'd5: cond_true = flag_v;               // VS
+      3'd6: cond_true = flag_c & ~flag_z;     // HI
+      default: cond_true = ~flag_n;           // PL
+    endcase
+  end
+
+  wire take_branch = is_branch & cond_true;
+
+  wire [15:0] pc;
+  wire [15:0] pc_plus;
+  wire [15:0] btarget = pc + {branch_off[14:0], 1'b0};
+
+  arm_fetch ifu (
+    .clk(clk), .rst(rst), .stall(stall),
+    .take_branch(take_branch), .btarget(btarget),
+    .exc(exc_active), .evector(evector),
+    .pc(pc), .pc_plus(pc_plus)
+  );
+
+  wire [15:0] result_w;
+  wire [15:0] store_data_w;
+  wire [15:0] mem_addr_w;
+
+  arm_exec exu (
+    .clk(clk), .rst(rst),
+    .rd_in(rd), .rn(rn), .rm(rm),
+    .imm(imm), .use_imm(use_imm),
+    .ctl_and(ctl_and), .ctl_or(ctl_or), .ctl_xor(ctl_xor),
+    .ctl_add(ctl_add), .ctl_sub(ctl_sub),
+    .ctl_mova(ctl_mova), .ctl_movb(ctl_movb), .ctl_mvnb(ctl_mvnb),
+    .ctl_bic(ctl_bic),
+    .inv_a(inv_a), .use_cin(use_cin), .flags_only(flags_only),
+    .set_flags(set_flags),
+    .shift_op(shift_op), .shift_amt(shift_amt), .use_shift(use_shift),
+    .is_load(is_load), .is_store(is_store), .wb_en(wb_en),
+    .fwd_a(fwd_a), .fwd_b(fwd_b), .stall(stall),
+    .load_data(data_in),
+    .result_out(result_w), .store_data(store_data_w), .mem_addr(mem_addr_w),
+    .ex_rd(ex_rd_w), .ex_valid(ex_valid_w),
+    .ex_is_load_o(ex_is_load_w), .ex_is_store_o(ex_is_store_w),
+    .mem_rd(mem_rd_w), .mem_valid(mem_valid_w),
+    .flag_n(flag_n), .flag_z(flag_z), .flag_c(flag_c), .flag_v(flag_v)
+  );
+
+  arm_sysctl sysctl (
+    .clk(clk), .rst(rst), .cfg(sys_cfg),
+    .dbg_shift_in(dbg_shift_in), .dbg_shift_en(dbg_shift_en),
+    .ev_fetch(~stall), .ev_mem(ex_is_load_w | ex_is_store_w),
+    .exc_mode_in(exc_mode),
+    .cp_a(cp_a), .cp_b(cp_b), .cp_start(cp_start),
+    .uart_data(uart_data), .uart_send(uart_send),
+    .timer_tick(timer_tick_o), .wdog_bark(wdog_bark_o),
+    .perf_cycles(perf_cycles_o), .perf_events(perf_events_o),
+    .dbg_shift_out(dbg_shift_out), .status(sys_status),
+    .cp_lo(cp_lo), .cp_hi(cp_hi), .cp_busy(cp_busy),
+    .uart_tx(uart_tx), .uart_busy(uart_busy), .crc_out(crc_out)
+  );
+
+  assign iaddr_out = pc;
+  assign dmem_addr = mem_addr_w;
+  assign data_out = store_data_w;
+  assign mem_read = ex_is_load_w;
+  assign mem_write = ex_is_store_w;
+  assign exc_active_o = exc_active;
+  assign result_dbg = result_w;
+  assign flags_dbg = {flag_n, flag_z, flag_c, flag_v};
+endmodule
+)V";
+}
+
+const char* mini_soc_source() {
+    return R"V(
+// mini_soc: small two-level design used by the quickstart example and the
+// integration tests. The embedded mini_alu is the MUT.
+module mini_alu (
+  input [7:0] x,
+  input [7:0] y,
+  input [1:0] sel,
+  output [7:0] out,
+  output zero
+);
+  reg [7:0] r;
+  always @(*) begin
+    case (sel)
+      2'd0: r = x + y;
+      2'd1: r = x - y;
+      2'd2: r = x & y;
+      default: r = x | y;
+    endcase
+  end
+  assign out = r;
+  assign zero = r == 8'h0;
+endmodule
+
+module mini_ctrl (
+  input [3:0] op,
+  output [1:0] alu_sel,
+  output wr_en
+);
+  assign alu_sel = (op == 4'd0) ? 2'd0 :
+                   ((op == 4'd1) ? 2'd1 :
+                    ((op == 4'd2) ? 2'd2 : 2'd3));
+  assign wr_en = op != 4'hf;
+endmodule
+
+module mini_soc (
+  input clk,
+  input rst,
+  input [7:0] in_a,
+  input [7:0] in_b,
+  input [3:0] op,
+  output [7:0] acc_out,
+  output zero_out
+);
+  wire [1:0] alu_sel;
+  wire wr_en;
+  mini_ctrl ctrl (.op(op), .alu_sel(alu_sel), .wr_en(wr_en));
+
+  reg [7:0] acc;
+  wire [7:0] alu_out;
+  wire alu_zero;
+
+  mini_alu alu (
+    .x(acc), .y(in_b), .sel(alu_sel),
+    .out(alu_out), .zero(alu_zero)
+  );
+
+  always @(posedge clk) begin
+    if (rst) acc <= 8'h0;
+    else if (wr_en) acc <= (op == 4'h8) ? in_a : alu_out;
+  end
+
+  assign acc_out = acc;
+  assign zero_out = alu_zero;
+endmodule
+)V";
+}
+
+const char* counter_source() {
+    return R"V(
+module counter8 (
+  input clk,
+  input rst,
+  input en,
+  input clear,
+  output [7:0] count,
+  output wrap
+);
+  reg [7:0] c;
+  always @(posedge clk) begin
+    if (rst) c <= 8'h0;
+    else if (clear) c <= 8'h0;
+    else if (en) c <= c + 8'h1;
+  end
+  assign count = c;
+  assign wrap = c == 8'hff;
+endmodule
+)V";
+}
+
+const char* traffic_source() {
+    return R"V(
+module traffic (
+  input clk,
+  input rst,
+  input car_waiting,
+  output [1:0] main_light,   // 0 red, 1 yellow, 2 green
+  output [1:0] side_light
+);
+  localparam S_MAIN_GREEN = 2'd0;
+  localparam S_MAIN_YELLOW = 2'd1;
+  localparam S_SIDE_GREEN = 2'd2;
+  localparam S_SIDE_YELLOW = 2'd3;
+
+  reg [1:0] state;
+  reg [2:0] timer;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_MAIN_GREEN;
+      timer <= 3'd0;
+    end
+    else begin
+      case (state)
+        S_MAIN_GREEN: begin
+          if (car_waiting & (timer >= 3'd4)) begin
+            state <= S_MAIN_YELLOW;
+            timer <= 3'd0;
+          end
+          else timer <= timer + 3'd1;
+        end
+        S_MAIN_YELLOW: begin
+          if (timer >= 3'd1) begin
+            state <= S_SIDE_GREEN;
+            timer <= 3'd0;
+          end
+          else timer <= timer + 3'd1;
+        end
+        S_SIDE_GREEN: begin
+          if (timer >= 3'd3) begin
+            state <= S_SIDE_YELLOW;
+            timer <= 3'd0;
+          end
+          else timer <= timer + 3'd1;
+        end
+        default: begin
+          if (timer >= 3'd1) begin
+            state <= S_MAIN_GREEN;
+            timer <= 3'd0;
+          end
+          else timer <= timer + 3'd1;
+        end
+      endcase
+    end
+  end
+
+  assign main_light = (state == S_MAIN_GREEN) ? 2'd2 :
+                      ((state == S_MAIN_YELLOW) ? 2'd1 : 2'd0);
+  assign side_light = (state == S_SIDE_GREEN) ? 2'd2 :
+                      ((state == S_SIDE_YELLOW) ? 2'd1 : 2'd0);
+endmodule
+)V";
+}
+
+const char* fir4_source() {
+    return R"V(
+// fir4: a 4-tap FIR filter. Four instances of the same mac8 module make it
+// the multi-instance benchmark for hierarchical extraction.
+module mac8 (
+  input [7:0] x,
+  input [7:0] c,
+  input [15:0] acc_in,
+  output [15:0] acc_out
+);
+  wire [15:0] prod = {8'h0, x} * {8'h0, c};
+  assign acc_out = acc_in + prod;
+endmodule
+
+module tapline (
+  input clk,
+  input rst,
+  input en,
+  input [7:0] din,
+  output [7:0] t0,
+  output [7:0] t1,
+  output [7:0] t2,
+  output [7:0] t3
+);
+  reg [7:0] r0, r1, r2, r3;
+  always @(posedge clk) begin
+    if (rst) begin
+      r0 <= 8'h0; r1 <= 8'h0; r2 <= 8'h0; r3 <= 8'h0;
+    end
+    else if (en) begin
+      r0 <= din;
+      r1 <= r0;
+      r2 <= r1;
+      r3 <= r2;
+    end
+  end
+  assign t0 = r0;
+  assign t1 = r1;
+  assign t2 = r2;
+  assign t3 = r3;
+endmodule
+
+module coeff_bank (
+  input clk,
+  input rst,
+  input we,
+  input [1:0] waddr,
+  input [7:0] wdata,
+  output [7:0] c0,
+  output [7:0] c1,
+  output [7:0] c2,
+  output [7:0] c3
+);
+  reg [7:0] k0, k1, k2, k3;
+  always @(posedge clk) begin
+    if (rst) begin
+      k0 <= 8'h0; k1 <= 8'h0; k2 <= 8'h0; k3 <= 8'h0;
+    end
+    else if (we) begin
+      case (waddr)
+        2'd0: k0 <= wdata;
+        2'd1: k1 <= wdata;
+        2'd2: k2 <= wdata;
+        default: k3 <= wdata;
+      endcase
+    end
+  end
+  assign c0 = k0;
+  assign c1 = k1;
+  assign c2 = k2;
+  assign c3 = k3;
+endmodule
+
+module fir4 (
+  input clk,
+  input rst,
+  input en,
+  input [7:0] sample_in,
+  input cwe,
+  input [1:0] caddr,
+  input [7:0] cdata,
+  output [15:0] y,
+  output [7:0] tap_dbg
+);
+  wire [7:0] t0, t1, t2, t3;
+  tapline taps (
+    .clk(clk), .rst(rst), .en(en), .din(sample_in),
+    .t0(t0), .t1(t1), .t2(t2), .t3(t3)
+  );
+
+  wire [7:0] c0, c1, c2, c3;
+  coeff_bank coeffs (
+    .clk(clk), .rst(rst), .we(cwe), .waddr(caddr), .wdata(cdata),
+    .c0(c0), .c1(c1), .c2(c2), .c3(c3)
+  );
+
+  wire [15:0] a0, a1, a2, a3;
+  mac8 m0 (.x(t0), .c(c0), .acc_in(16'h0), .acc_out(a0));
+  mac8 m1 (.x(t1), .c(c1), .acc_in(a0), .acc_out(a1));
+  mac8 m2 (.x(t2), .c(c2), .acc_in(a1), .acc_out(a2));
+  mac8 m3 (.x(t3), .c(c3), .acc_in(a2), .acc_out(a3));
+
+  reg [15:0] y_r;
+  always @(posedge clk) begin
+    if (rst) y_r <= 16'h0;
+    else y_r <= a3;
+  end
+  assign y = y_r;
+  assign tap_dbg = t3;
+endmodule
+)V";
+}
+
+std::unique_ptr<rtl::Design> parse_design(const char* source,
+                                          const std::string& name) {
+    auto design = std::make_unique<rtl::Design>();
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(source, name, *design, diags);
+    if (diags.has_errors()) {
+        throw util::FactorError("built-in design '" + name +
+                                "' failed to parse:\n" + diags.dump());
+    }
+    return design;
+}
+
+const std::vector<std::string>& arm2z_piers() {
+    static const std::vector<std::string> kPiers = {
+        "exu.bank.core.r0", "exu.bank.core.r1", "exu.bank.core.r2",
+        "exu.bank.core.r3", "exu.bank.core.r4", "exu.bank.core.r5",
+        "exu.bank.core.r6", "exu.bank.core.r7",
+    };
+    return kPiers;
+}
+
+const std::vector<Arm2zMut>& arm2z_muts() {
+    static const std::vector<Arm2zMut> kMuts = {
+        {"arm_alu", "arm2z.exu.alu"},
+        {"regfile_struct", "arm2z.exu.bank.core"},
+        {"arm_exc", "arm2z.exc"},
+        {"arm_forward", "arm2z.dec.fwd"},
+    };
+    return kMuts;
+}
+
+} // namespace factor::designs

@@ -1,0 +1,64 @@
+// Built-in benchmark designs, embedded as Verilog source.
+//
+// arm2z is the stand-in for the paper's ARM-2 class-project model (see
+// DESIGN.md for the substitution note): a 16-bit ARM-flavoured processor
+// with the same module roster and structural properties as Table 1 —
+// arm_alu (13 control inputs, 10 of them driven from hard-coded values
+// selected by the decoded ALU operation), regfile_struct (largest and most
+// deeply embedded module, level 4), arm_exc (exception unit) and
+// arm_forward (forwarding/hazard unit). The register file registers are
+// load/store reachable, so the PIER analysis discovers them.
+//
+// The smaller designs (mini_soc, counter8, traffic) serve the examples and
+// the test suite.
+#pragma once
+
+#include "rtl/ast.hpp"
+#include "util/diagnostics.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace factor::designs {
+
+/// Verilog source of the arm2z processor.
+[[nodiscard]] const char* arm2z_source();
+/// Verilog source of the two-level mini SoC used by the quickstart.
+[[nodiscard]] const char* mini_soc_source();
+/// An 8-bit counter with enable/clear (test design).
+[[nodiscard]] const char* counter_source();
+/// A traffic-light FSM (test design).
+[[nodiscard]] const char* traffic_source();
+/// A 4-tap FIR filter with four instances of one MAC module — the
+/// generality benchmark (multi-instance extraction, DSP-style datapath).
+[[nodiscard]] const char* fir4_source();
+
+/// Parse one of the built-in sources into a fresh Design; throws
+/// util::FactorError if it fails to parse (it is a bug in this library).
+[[nodiscard]] std::unique_ptr<rtl::Design> parse_design(const char* source,
+                                                        const std::string& name);
+
+/// One module-under-test of the arm2z evaluation (a Table 1 row).
+struct Arm2zMut {
+    std::string display_name;  // the paper's row label, e.g. "regfile_struct"
+    std::string instance_path; // elaborated path, e.g. "arm2z.exec.bank.core"
+};
+
+/// The evaluation MUTs in table order.
+[[nodiscard]] const std::vector<Arm2zMut>& arm2z_muts();
+
+/// PIERs of arm2z: the architecturally load/store-accessible registers
+/// (the ISA reaches r0..r7 through LOAD/STORE instructions). These are the
+/// registers FACTOR uses to cut the ATPG view and reduce sequential depth;
+/// names are hierarchical net-name bases relative to the top.
+[[nodiscard]] const std::vector<std::string>& arm2z_piers();
+
+/// Top module names.
+inline constexpr const char* kArm2zTop = "arm2z";
+inline constexpr const char* kMiniSocTop = "mini_soc";
+inline constexpr const char* kCounterTop = "counter8";
+inline constexpr const char* kTrafficTop = "traffic";
+inline constexpr const char* kFir4Top = "fir4";
+
+} // namespace factor::designs

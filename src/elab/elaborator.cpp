@@ -1,0 +1,482 @@
+#include "elab/elaborator.hpp"
+
+#include "rtl/const_eval.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace factor::elab {
+
+using rtl::ConstEnv;
+using util::BitVec;
+
+std::string InstNode::path() const {
+    if (parent == nullptr) return module != nullptr ? module->name : "";
+    return parent->path() + "." + inst_name;
+}
+
+namespace {
+
+void collect_pre_order(const InstNode* n, std::vector<const InstNode*>& out) {
+    out.push_back(n);
+    for (const auto& c : n->children) collect_pre_order(c.get(), out);
+}
+
+} // namespace
+
+const InstNode*
+ElaboratedDesign::find_by_module(const std::string& module_name) const {
+    for (const InstNode* n : all_nodes()) {
+        if (n->module != nullptr && n->module->name == module_name) return n;
+    }
+    return nullptr;
+}
+
+const InstNode* ElaboratedDesign::find_by_path(const std::string& dotted) const {
+    auto parts = util::split(dotted, '.');
+    if (parts.empty()) return nullptr;
+    const InstNode* n = root_.get();
+    if (n == nullptr || n->module == nullptr || n->module->name != parts[0]) {
+        return nullptr;
+    }
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const InstNode* next = nullptr;
+        for (const auto& c : n->children) {
+            if (c->inst_name == parts[i]) {
+                next = c.get();
+                break;
+            }
+        }
+        if (next == nullptr) return nullptr;
+        n = next;
+    }
+    return n;
+}
+
+std::vector<const InstNode*> ElaboratedDesign::all_nodes() const {
+    std::vector<const InstNode*> out;
+    if (root_) collect_pre_order(root_.get(), out);
+    return out;
+}
+
+Elaborator::Elaborator(rtl::Design& design, util::DiagEngine& diags)
+    : design_(design), diags_(diags) {}
+
+std::unique_ptr<ElaboratedDesign>
+Elaborator::elaborate(const std::string& top_name) {
+    rtl::Module* top = design_.find(top_name);
+    if (top == nullptr) {
+        diags_.error({}, "top module '" + top_name + "' not found");
+        return nullptr;
+    }
+
+    const rtl::Module* resolved_top = specialize(*top, {});
+    if (resolved_top == nullptr || diags_.has_errors()) return nullptr;
+
+    std::vector<std::string> stack;
+    auto root = build_tree(*resolved_top, /*inst_name=*/"", /*parent=*/nullptr,
+                           /*inst=*/nullptr, /*level=*/1, stack);
+    if (!root || diags_.has_errors()) return nullptr;
+
+    auto out = std::make_unique<ElaboratedDesign>();
+    out->design_ = &design_;
+    out->top_ = resolved_top;
+    out->root_ = std::move(root);
+    return out;
+}
+
+const rtl::Module*
+Elaborator::specialize(const rtl::Module& m,
+                       const std::map<std::string, BitVec>& overrides) {
+    // Build the full parameter environment: defaults overridden where given,
+    // localparams evaluated in order.
+    ConstEnv env;
+    for (const auto& p : m.params) {
+        if (!p.local) {
+            auto it = overrides.find(p.name);
+            if (it != overrides.end()) {
+                env[p.name] = it->second;
+                continue;
+            }
+        }
+        auto v = p.value ? rtl::const_eval(*p.value, env) : std::nullopt;
+        if (!v) {
+            diags_.error(p.loc, "parameter '" + p.name + "' of module '" +
+                                    m.name + "' is not a constant");
+            return nullptr;
+        }
+        env[p.name] = *v;
+    }
+    for (const auto& [name, value] : overrides) {
+        bool known = false;
+        for (const auto& p : m.params) {
+            known |= (!p.local && p.name == name);
+        }
+        if (!known) {
+            diags_.error(m.loc, "override of unknown parameter '" + name +
+                                    "' on module '" + m.name + "'");
+            (void)value;
+        }
+    }
+
+    // Parameter-free modules need no specialization: fold in place once
+    // (a no-op substitution that still resolves nothing) and reuse.
+    if (m.params.empty()) {
+        auto it = folded_.find(&m);
+        if (it != folded_.end()) return &m;
+        auto& mutable_m = const_cast<rtl::Module&>(m);
+        fold_module(mutable_m, env);
+        check_module(mutable_m);
+        folded_[&m] = true;
+        return &m;
+    }
+
+    // Parameterized modules are always specialized from the pristine AST —
+    // including the all-defaults case — so that later overrides never see
+    // already-burned ranges. Mangle a stable name from the bindings; the
+    // defaults variant keeps the original module name.
+    std::ostringstream mangled;
+    mangled << m.name;
+    for (const auto& [name, value] : overrides) {
+        mangled << "$" << name << "_" << value.value();
+    }
+    auto it = specialized_.find(mangled.str());
+    if (it != specialized_.end()) return it->second;
+
+    auto copy = rtl::clone(m);
+    copy->name = mangled.str();
+    // Rewrite parameter defaults to the resolved values so the copy is
+    // self-contained.
+    for (auto& p : copy->params) {
+        p.value = rtl::make_number(env.at(p.name), p.loc);
+    }
+    fold_module(*copy, env);
+    check_module(*copy);
+    const rtl::Module* result = &design_.add(std::move(copy));
+    specialized_[mangled.str()] = result;
+    return result;
+}
+
+void Elaborator::fold_module(rtl::Module& m, const ConstEnv& env) {
+    auto fold_range = [&](rtl::Range& r, const util::SourceLoc& loc) {
+        if (!r.unresolved()) return;
+        auto msb = rtl::const_eval_int(*r.msb_expr, env);
+        auto lsb = rtl::const_eval_int(*r.lsb_expr, env);
+        if (!msb || !lsb || *msb < *lsb || *lsb < 0) {
+            diags_.error(loc, "cannot resolve range bounds in module '" +
+                                  m.name + "'");
+            return;
+        }
+        r.msb = *msb;
+        r.lsb = *lsb;
+        r.msb_expr.reset();
+        r.lsb_expr.reset();
+    };
+    for (auto& p : m.ports) fold_range(p.range, p.loc);
+    for (auto& d : m.nets) fold_range(d.range, d.loc);
+    for (auto& a : m.assigns) {
+        fold_expr(a.lhs, env);
+        fold_expr(a.rhs, env);
+    }
+    for (auto& b : m.always_blocks) {
+        if (b.body) fold_stmt(*b.body, env);
+    }
+    for (auto& inst : m.instances) {
+        for (auto& o : inst.param_overrides) fold_expr(o.value, env);
+        for (auto& c : inst.conns) {
+            if (c.expr) fold_expr(c.expr, env);
+        }
+    }
+}
+
+void Elaborator::fold_expr(rtl::ExprPtr& e, const ConstEnv& env) {
+    if (!e) return;
+    if (e->kind == rtl::ExprKind::Ident) {
+        auto it = env.find(e->ident);
+        if (it != env.end()) {
+            e = rtl::make_number(it->second, e->loc);
+        }
+        return;
+    }
+    // A select whose base is a parameter folds to a constant outright.
+    if ((e->kind == rtl::ExprKind::BitSelect ||
+         e->kind == rtl::ExprKind::PartSelect) &&
+        env.count(e->ident) != 0) {
+        for (auto& op : e->ops) fold_expr(op, env);
+        if (e->kind == rtl::ExprKind::PartSelect && e->msb < 0 &&
+            e->ops.size() >= 2) {
+            auto msb = rtl::const_eval_int(*e->ops[0], env);
+            auto lsb = rtl::const_eval_int(*e->ops[1], env);
+            if (msb && lsb) {
+                e->msb = *msb;
+                e->lsb = *lsb;
+            }
+        }
+        if (auto v = rtl::const_eval(*e, env)) {
+            e = rtl::make_number(*v, e->loc);
+            return;
+        }
+        diags_.error(e->loc, "cannot fold select on parameter '" + e->ident +
+                                 "'");
+        return;
+    }
+    for (auto& op : e->ops) fold_expr(op, env);
+    switch (e->kind) {
+    case rtl::ExprKind::PartSelect: {
+        if (e->msb < 0 && e->ops.size() >= 2) {
+            auto msb = rtl::const_eval_int(*e->ops[0], env);
+            auto lsb = rtl::const_eval_int(*e->ops[1], env);
+            if (msb && lsb && *msb >= *lsb && *lsb >= 0) {
+                e->msb = *msb;
+                e->lsb = *lsb;
+            } else {
+                diags_.error(e->loc, "cannot resolve part-select bounds on '" +
+                                         e->ident + "'");
+            }
+        }
+        break;
+    }
+    case rtl::ExprKind::Replicate: {
+        if (e->rep_count == 0 && e->ops.size() >= 2) {
+            auto n = rtl::const_eval_int(*e->ops[1], env);
+            if (n && *n > 0) {
+                e->rep_count = static_cast<uint32_t>(*n);
+                e->ops.pop_back();
+            } else {
+                diags_.error(e->loc, "cannot resolve replication count");
+            }
+        }
+        break;
+    }
+    case rtl::ExprKind::BitSelect: {
+        // A constant bit-select on a parameter was already folded via the
+        // Ident path inside const_eval; nothing further to do here.
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+void Elaborator::fold_stmt(rtl::Stmt& s, const ConstEnv& env) {
+    fold_expr(s.lhs, env);
+    fold_expr(s.rhs, env);
+    fold_expr(s.cond, env);
+    if (s.then_s) fold_stmt(*s.then_s, env);
+    if (s.else_s) fold_stmt(*s.else_s, env);
+    if (s.init) fold_stmt(*s.init, env);
+    if (s.step) fold_stmt(*s.step, env);
+    if (s.body) fold_stmt(*s.body, env);
+    for (auto& item : s.items) {
+        for (auto& l : item.labels) fold_expr(l, env);
+        if (item.body) fold_stmt(*item.body, env);
+    }
+    for (auto& st : s.stmts) {
+        if (st) fold_stmt(*st, env);
+    }
+}
+
+namespace {
+
+/// Collect loop induction variables (for-loop init targets) in a statement
+/// tree; these are compile-time names, not hardware signals.
+void collect_loop_vars(const rtl::Stmt& s, std::vector<std::string>& out) {
+    if (s.kind == rtl::StmtKind::For && s.init &&
+        s.init->kind == rtl::StmtKind::Assign &&
+        s.init->lhs->kind == rtl::ExprKind::Ident) {
+        out.push_back(s.init->lhs->ident);
+    }
+    if (s.then_s) collect_loop_vars(*s.then_s, out);
+    if (s.else_s) collect_loop_vars(*s.else_s, out);
+    if (s.body) collect_loop_vars(*s.body, out);
+    for (const auto& item : s.items) {
+        if (item.body) collect_loop_vars(*item.body, out);
+    }
+    for (const auto& st : s.stmts) {
+        if (st) collect_loop_vars(*st, out);
+    }
+}
+
+void collect_stmt_idents(const rtl::Stmt& s, std::vector<std::string>& out) {
+    if (s.lhs) rtl::collect_idents(*s.lhs, out);
+    if (s.rhs) rtl::collect_idents(*s.rhs, out);
+    if (s.cond) rtl::collect_idents(*s.cond, out);
+    if (s.then_s) collect_stmt_idents(*s.then_s, out);
+    if (s.else_s) collect_stmt_idents(*s.else_s, out);
+    if (s.init) collect_stmt_idents(*s.init, out);
+    if (s.step) collect_stmt_idents(*s.step, out);
+    if (s.body) collect_stmt_idents(*s.body, out);
+    for (const auto& item : s.items) {
+        for (const auto& l : item.labels) rtl::collect_idents(*l, out);
+        if (item.body) collect_stmt_idents(*item.body, out);
+    }
+    for (const auto& st : s.stmts) {
+        if (st) collect_stmt_idents(*st, out);
+    }
+}
+
+} // namespace
+
+void Elaborator::check_module(const rtl::Module& m) {
+    // Every referenced identifier must be a declared port, net or a loop
+    // induction variable (parameters were folded away above).
+    std::vector<std::string> loop_vars;
+    std::vector<std::string> used;
+    for (const auto& a : m.assigns) {
+        rtl::collect_idents(*a.lhs, used);
+        rtl::collect_idents(*a.rhs, used);
+    }
+    for (const auto& b : m.always_blocks) {
+        for (const auto& s : b.sens) used.push_back(s.signal);
+        if (b.body) {
+            collect_stmt_idents(*b.body, used);
+            collect_loop_vars(*b.body, loop_vars);
+        }
+    }
+    for (const auto& inst : m.instances) {
+        for (const auto& c : inst.conns) {
+            if (c.expr) rtl::collect_idents(*c.expr, used);
+        }
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    for (const auto& name : used) {
+        if (m.find_port(name) != nullptr || m.find_net(name) != nullptr) continue;
+        if (std::find(loop_vars.begin(), loop_vars.end(), name) !=
+            loop_vars.end()) {
+            continue;
+        }
+        diags_.error(m.loc, "module '" + m.name + "': reference to undeclared signal '" +
+                                name + "'");
+    }
+}
+
+void Elaborator::check_instance_conns(const rtl::Module& parent,
+                                      const rtl::Instance& inst,
+                                      const rtl::Module& target) {
+    bool positional = !inst.conns.empty() && inst.conns.front().port.empty();
+    if (positional && inst.conns.size() > target.ports.size()) {
+        diags_.error(inst.loc, "instance '" + inst.inst_name + "' has " +
+                                   std::to_string(inst.conns.size()) +
+                                   " connections but '" + target.name +
+                                   "' has only " +
+                                   std::to_string(target.ports.size()) +
+                                   " ports");
+        return;
+    }
+    std::vector<std::string> seen;
+    for (size_t i = 0; i < inst.conns.size(); ++i) {
+        const auto& c = inst.conns[i];
+        const rtl::Port* port = nullptr;
+        if (c.port.empty()) {
+            if (!positional) {
+                diags_.error(inst.loc,
+                             "mixed positional and named connections on '" +
+                                 inst.inst_name + "'");
+                return;
+            }
+            port = &target.ports[i];
+        } else {
+            port = target.find_port(c.port);
+            if (port == nullptr) {
+                diags_.error(inst.loc, "instance '" + inst.inst_name +
+                                           "' connects unknown port '" +
+                                           c.port + "' of '" + target.name +
+                                           "'");
+                continue;
+            }
+            if (std::find(seen.begin(), seen.end(), c.port) != seen.end()) {
+                diags_.error(inst.loc, "port '" + c.port +
+                                           "' connected twice on instance '" +
+                                           inst.inst_name + "'");
+            }
+            seen.push_back(c.port);
+        }
+        if (c.expr == nullptr) continue; // explicitly open
+        // Width check (best effort): only for simple ident connections.
+        if (c.expr->kind == rtl::ExprKind::Ident) {
+            uint32_t pw = port->range.width();
+            uint32_t ew = parent.signal_width(c.expr->ident);
+            if (ew != 0 && pw != ew) {
+                diags_.warning(inst.loc,
+                               "width mismatch on '" + inst.inst_name + "." +
+                                   port->name + "': port is " +
+                                   std::to_string(pw) + " bits, '" +
+                                   c.expr->ident + "' is " +
+                                   std::to_string(ew) + " bits");
+            }
+        }
+    }
+}
+
+std::unique_ptr<InstNode>
+Elaborator::build_tree(const rtl::Module& m, const std::string& inst_name,
+                       InstNode* parent, const rtl::Instance* inst, int level,
+                       std::vector<std::string>& stack) {
+    if (std::find(stack.begin(), stack.end(), m.name) != stack.end()) {
+        diags_.error(m.loc, "recursive instantiation of module '" + m.name + "'");
+        return nullptr;
+    }
+    stack.push_back(m.name);
+
+    auto node = std::make_unique<InstNode>();
+    node->inst_name = inst_name;
+    node->module = &m;
+    node->parent = parent;
+    node->inst = inst;
+    node->level = level;
+
+    for (const auto& child_inst : m.instances) {
+        const rtl::Module* target = design_.find(child_inst.module_name);
+        if (target == nullptr) {
+            diags_.error(child_inst.loc, "instance '" + child_inst.inst_name +
+                                             "' of unknown module '" +
+                                             child_inst.module_name + "'");
+            continue;
+        }
+        std::map<std::string, BitVec> overrides;
+        bool override_ok = true;
+        size_t positional_idx = 0;
+        std::vector<const rtl::ParamDecl*> public_params;
+        for (const auto& p : target->params) {
+            if (!p.local) public_params.push_back(&p);
+        }
+        for (const auto& o : child_inst.param_overrides) {
+            auto v = o.value ? rtl::const_eval(*o.value, {}) : std::nullopt;
+            if (!v) {
+                diags_.error(child_inst.loc,
+                             "non-constant parameter override on '" +
+                                 child_inst.inst_name + "'");
+                override_ok = false;
+                break;
+            }
+            std::string pname = o.name;
+            if (pname.empty()) {
+                if (positional_idx >= public_params.size()) {
+                    diags_.error(child_inst.loc,
+                                 "too many positional parameter overrides on '" +
+                                     child_inst.inst_name + "'");
+                    override_ok = false;
+                    break;
+                }
+                pname = public_params[positional_idx++]->name;
+            }
+            overrides[pname] = *v;
+        }
+        if (!override_ok) continue;
+
+        const rtl::Module* resolved = specialize(*target, overrides);
+        if (resolved == nullptr) continue;
+        check_instance_conns(m, child_inst, *resolved);
+
+        auto child = build_tree(*resolved, child_inst.inst_name, node.get(),
+                                &child_inst, level + 1, stack);
+        if (child) node->children.push_back(std::move(child));
+    }
+
+    stack.pop_back();
+    return node;
+}
+
+} // namespace factor::elab

@@ -1,0 +1,111 @@
+// Elaboration: turns a parsed Design into a resolved, hierarchical design
+// database (the paper's Figure 2 connectivity tree at whole-design scope).
+//
+//  * Parameter resolution — module parameters and localparams are evaluated;
+//    instances with overrides get a specialized (uniquified) copy of the
+//    target module. After elaboration no expression references a parameter.
+//  * Range resolution — all declaration ranges, part-select bounds and
+//    replication counts are folded to integers.
+//  * Semantic checks — undeclared signals, unknown instance targets, bad
+//    port names, width mismatches (warning), multiply-driven signals.
+//  * Instance tree — every reachable instance with its hierarchy level
+//    (top = 1), supporting path and module-type lookups used by FACTOR.
+#pragma once
+
+#include "rtl/ast.hpp"
+#include "util/diagnostics.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace factor::elab {
+
+/// One node of the elaborated instance tree.
+struct InstNode {
+    std::string inst_name;            // "" for the top node
+    const rtl::Module* module = nullptr;
+    InstNode* parent = nullptr;
+    const rtl::Instance* inst = nullptr; // AST instance in parent (null for top)
+    int level = 1;                    // top = 1, its children = 2, ...
+    std::vector<std::unique_ptr<InstNode>> children;
+
+    /// Dotted path from the top, e.g. "arm2z.exec.alu". The top node's path
+    /// is its module name.
+    [[nodiscard]] std::string path() const;
+};
+
+/// The resolved design: owns nothing from the original Design but refers
+/// into it (including any specialized module copies added to it).
+class ElaboratedDesign {
+  public:
+    [[nodiscard]] const rtl::Module& top() const { return *top_; }
+    [[nodiscard]] const InstNode& root() const { return *root_; }
+    [[nodiscard]] const rtl::Design& design() const { return *design_; }
+
+    /// First node (pre-order) whose module type matches `module_name`;
+    /// null if the type is not instantiated.
+    [[nodiscard]] const InstNode* find_by_module(const std::string& module_name) const;
+
+    /// Node at a dotted instance path ("top.exec.alu"); null if absent.
+    [[nodiscard]] const InstNode* find_by_path(const std::string& dotted) const;
+
+    /// All nodes in pre-order (top first).
+    [[nodiscard]] std::vector<const InstNode*> all_nodes() const;
+
+    /// Total number of instances (including top).
+    [[nodiscard]] size_t instance_count() const { return all_nodes().size(); }
+
+  private:
+    friend class Elaborator;
+    rtl::Design* design_ = nullptr;
+    const rtl::Module* top_ = nullptr;
+    std::unique_ptr<InstNode> root_;
+};
+
+class Elaborator {
+  public:
+    Elaborator(rtl::Design& design, util::DiagEngine& diags);
+
+    /// Elaborate with `top_name` as the root module. Returns null and
+    /// reports diagnostics on failure. The Design is mutated: parameterized
+    /// expressions are folded in place and specialized module copies may be
+    /// appended.
+    [[nodiscard]] std::unique_ptr<ElaboratedDesign>
+    elaborate(const std::string& top_name);
+
+  private:
+    /// Resolve `m` under the given parameter override bindings. Returns the
+    /// module to instantiate: `m` itself (folded in place) for default
+    /// bindings, or a memoized specialized copy otherwise.
+    const rtl::Module* specialize(const rtl::Module& m,
+                                  const std::map<std::string, util::BitVec>& overrides);
+
+    void fold_module(rtl::Module& m,
+                     const std::map<std::string, util::BitVec>& env);
+    void fold_expr(rtl::ExprPtr& e,
+                   const std::map<std::string, util::BitVec>& env);
+    void fold_stmt(rtl::Stmt& s,
+                   const std::map<std::string, util::BitVec>& env);
+
+    void check_module(const rtl::Module& m);
+    void check_instance_conns(const rtl::Module& parent,
+                              const rtl::Instance& inst,
+                              const rtl::Module& target);
+
+    std::unique_ptr<InstNode> build_tree(const rtl::Module& m,
+                                         const std::string& inst_name,
+                                         InstNode* parent,
+                                         const rtl::Instance* inst, int level,
+                                         std::vector<std::string>& stack);
+
+    rtl::Design& design_;
+    util::DiagEngine& diags_;
+    // Memoized specializations: mangled name -> module.
+    std::map<std::string, const rtl::Module*> specialized_;
+    // Modules already folded with their default environment.
+    std::map<const rtl::Module*, bool> folded_;
+};
+
+} // namespace factor::elab

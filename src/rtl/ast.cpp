@@ -1,0 +1,327 @@
+#include "rtl/ast.hpp"
+
+namespace factor::rtl {
+
+const char* to_string(UnaryOp op) {
+    switch (op) {
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Minus: return "-";
+    case UnaryOp::LogNot: return "!";
+    case UnaryOp::BitNot: return "~";
+    case UnaryOp::RedAnd: return "&";
+    case UnaryOp::RedOr: return "|";
+    case UnaryOp::RedXor: return "^";
+    case UnaryOp::RedNand: return "~&";
+    case UnaryOp::RedNor: return "~|";
+    case UnaryOp::RedXnor: return "~^";
+    }
+    return "?";
+}
+
+const char* to_string(BinaryOp op) {
+    switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::BitXnor: return "~^";
+    case BinaryOp::LogAnd: return "&&";
+    case BinaryOp::LogOr: return "||";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Neq: return "!=";
+    case BinaryOp::CaseEq: return "===";
+    case BinaryOp::CaseNeq: return "!==";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    }
+    return "?";
+}
+
+const char* to_string(PortDir d) {
+    switch (d) {
+    case PortDir::Input: return "input";
+    case PortDir::Output: return "output";
+    case PortDir::Inout: return "inout";
+    }
+    return "?";
+}
+
+ExprPtr make_number(util::BitVec v, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Number;
+    e->value = v;
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_ident(std::string name, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ident;
+    e->ident = std::move(name);
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_unary(UnaryOp op, ExprPtr operand, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->uop = op;
+    e->ops.push_back(std::move(operand));
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->bop = op;
+    e->ops.push_back(std::move(lhs));
+    e->ops.push_back(std::move(rhs));
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_ternary(ExprPtr cond, ExprPtr t, ExprPtr f, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ternary;
+    e->ops.push_back(std::move(cond));
+    e->ops.push_back(std::move(t));
+    e->ops.push_back(std::move(f));
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_bit_select(std::string base, ExprPtr index, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::BitSelect;
+    e->ident = std::move(base);
+    e->ops.push_back(std::move(index));
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr make_part_select(std::string base, int32_t msb, int32_t lsb,
+                         SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::PartSelect;
+    e->ident = std::move(base);
+    e->msb = msb;
+    e->lsb = lsb;
+    e->loc = std::move(loc);
+    return e;
+}
+
+ExprPtr clone(const Expr& e) {
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->loc = e.loc;
+    out->value = e.value;
+    out->ident = e.ident;
+    out->uop = e.uop;
+    out->bop = e.bop;
+    out->rep_count = e.rep_count;
+    out->msb = e.msb;
+    out->lsb = e.lsb;
+    out->ops.reserve(e.ops.size());
+    for (const auto& op : e.ops) {
+        out->ops.push_back(clone(*op));
+    }
+    return out;
+}
+
+void collect_idents(const Expr& e, std::vector<std::string>& out) {
+    if (e.kind == ExprKind::Ident || e.kind == ExprKind::BitSelect ||
+        e.kind == ExprKind::PartSelect) {
+        out.push_back(e.ident);
+    }
+    for (const auto& op : e.ops) {
+        collect_idents(*op, out);
+    }
+}
+
+bool is_constant_expr(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Number:
+        return true;
+    case ExprKind::Unary:
+    case ExprKind::Binary:
+    case ExprKind::Ternary:
+    case ExprKind::Concat:
+    case ExprKind::Replicate: {
+        for (const auto& op : e.ops) {
+            if (!is_constant_expr(*op)) return false;
+        }
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+StmtPtr clone(const Stmt& s) {
+    auto out = std::make_unique<Stmt>();
+    out->kind = s.kind;
+    out->loc = s.loc;
+    out->nonblocking = s.nonblocking;
+    out->casez = s.casez;
+    out->label = s.label;
+    if (s.lhs) out->lhs = clone(*s.lhs);
+    if (s.rhs) out->rhs = clone(*s.rhs);
+    if (s.cond) out->cond = clone(*s.cond);
+    if (s.then_s) out->then_s = clone(*s.then_s);
+    if (s.else_s) out->else_s = clone(*s.else_s);
+    if (s.init) out->init = clone(*s.init);
+    if (s.step) out->step = clone(*s.step);
+    if (s.body) out->body = clone(*s.body);
+    out->items.reserve(s.items.size());
+    for (const auto& item : s.items) {
+        CaseItem ci;
+        ci.labels.reserve(item.labels.size());
+        for (const auto& l : item.labels) ci.labels.push_back(clone(*l));
+        if (item.body) ci.body = clone(*item.body);
+        out->items.push_back(std::move(ci));
+    }
+    out->stmts.reserve(s.stmts.size());
+    for (const auto& st : s.stmts) out->stmts.push_back(clone(*st));
+    return out;
+}
+
+Range Range::cloned() const {
+    Range out(msb, lsb);
+    if (msb_expr) out.msb_expr = clone(*msb_expr);
+    if (lsb_expr) out.lsb_expr = clone(*lsb_expr);
+    return out;
+}
+
+std::unique_ptr<Module> clone(const Module& m) {
+    auto out = std::make_unique<Module>();
+    out->name = m.name;
+    out->loc = m.loc;
+    out->ports.reserve(m.ports.size());
+    for (const auto& p : m.ports) {
+        out->ports.push_back(Port{p.name, p.dir, p.range.cloned(), p.is_reg, p.loc});
+    }
+    out->nets.reserve(m.nets.size());
+    for (const auto& d : m.nets) {
+        out->nets.push_back(NetDecl{d.name, d.is_reg, d.range.cloned(), d.loc});
+    }
+    out->params.reserve(m.params.size());
+    for (const auto& p : m.params) {
+        ParamDecl pd;
+        pd.name = p.name;
+        pd.local = p.local;
+        pd.loc = p.loc;
+        if (p.value) pd.value = clone(*p.value);
+        out->params.push_back(std::move(pd));
+    }
+    out->assigns.reserve(m.assigns.size());
+    for (const auto& a : m.assigns) {
+        ContAssign ca;
+        ca.lhs = clone(*a.lhs);
+        ca.rhs = clone(*a.rhs);
+        ca.loc = a.loc;
+        ca.id = a.id;
+        out->assigns.push_back(std::move(ca));
+    }
+    out->always_blocks.reserve(m.always_blocks.size());
+    for (const auto& b : m.always_blocks) {
+        AlwaysBlock ab;
+        ab.is_comb = b.is_comb;
+        ab.sens = b.sens;
+        if (b.body) ab.body = clone(*b.body);
+        ab.loc = b.loc;
+        ab.id = b.id;
+        out->always_blocks.push_back(std::move(ab));
+    }
+    out->instances.reserve(m.instances.size());
+    for (const auto& i : m.instances) {
+        Instance inst;
+        inst.module_name = i.module_name;
+        inst.inst_name = i.inst_name;
+        inst.loc = i.loc;
+        inst.id = i.id;
+        for (const auto& po : i.param_overrides) {
+            ParamOverride o;
+            o.name = po.name;
+            if (po.value) o.value = clone(*po.value);
+            inst.param_overrides.push_back(std::move(o));
+        }
+        for (const auto& c : i.conns) {
+            PortConn pc;
+            pc.port = c.port;
+            if (c.expr) pc.expr = clone(*c.expr);
+            inst.conns.push_back(std::move(pc));
+        }
+        out->instances.push_back(std::move(inst));
+    }
+    return out;
+}
+
+bool AlwaysBlock::is_sequential() const {
+    for (const auto& s : sens) {
+        if (s.edge != EdgeKind::Level) return true;
+    }
+    return false;
+}
+
+const Port* Module::find_port(const std::string& n) const {
+    for (const auto& p : ports) {
+        if (p.name == n) return &p;
+    }
+    return nullptr;
+}
+
+const NetDecl* Module::find_net(const std::string& n) const {
+    for (const auto& d : nets) {
+        if (d.name == n) return &d;
+    }
+    return nullptr;
+}
+
+const ParamDecl* Module::find_param(const std::string& n) const {
+    for (const auto& p : params) {
+        if (p.name == n) return &p;
+    }
+    return nullptr;
+}
+
+const Instance* Module::find_instance(const std::string& inst) const {
+    for (const auto& i : instances) {
+        if (i.inst_name == inst) return &i;
+    }
+    return nullptr;
+}
+
+uint32_t Module::signal_width(const std::string& n) const {
+    return signal_range(n).valid() ? signal_range(n).width()
+                                   : (find_port(n) || find_net(n) ? 1u : 0u);
+}
+
+Range Module::signal_range(const std::string& n) const {
+    // Returns resolved integer bounds only (valid after elaboration).
+    if (const Port* p = find_port(n)) return Range(p->range.msb, p->range.lsb);
+    if (const NetDecl* d = find_net(n)) return Range(d->range.msb, d->range.lsb);
+    return Range{};
+}
+
+Module* Design::find(const std::string& name) const {
+    for (const auto& m : modules) {
+        if (m->name == name) return m.get();
+    }
+    return nullptr;
+}
+
+Module& Design::add(std::unique_ptr<Module> m) {
+    modules.push_back(std::move(m));
+    return *modules.back();
+}
+
+} // namespace factor::rtl

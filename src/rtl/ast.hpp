@@ -1,0 +1,281 @@
+// Abstract syntax tree for the Verilog-subset front end.
+//
+// The tree mirrors the paper's Figure 2 "internal data structure": a module
+// owns parameters, ports, nets, continuous assigns, always blocks and
+// instances; statements inside always blocks form the conditional /
+// loop / concurrency nesting that the extraction subroutines walk.
+//
+// Nodes use a flat tagged-struct representation (kind enum + owned child
+// pointers). Every statement-level construct has a stable identity (its
+// address within the owning module), which the def-use analysis uses to
+// reference definitions and uses.
+#pragma once
+
+#include "util/bitvec.hpp"
+#include "util/diagnostics.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace factor::rtl {
+
+using util::SourceLoc;
+
+// ---------------------------------------------------------------- Expressions
+
+enum class ExprKind {
+    Number,     // literal constant
+    Ident,      // signal or parameter reference
+    Unary,      // uop ops[0]
+    Binary,     // ops[0] bop ops[1]
+    Ternary,    // ops[0] ? ops[1] : ops[2]
+    Concat,     // {ops...}
+    Replicate,  // {rep_count{ops[0]}}
+    BitSelect,  // ident[ops[0]]
+    PartSelect, // ident[msb:lsb] (constant bounds)
+};
+
+enum class UnaryOp {
+    Plus, Minus, LogNot, BitNot,
+    RedAnd, RedOr, RedXor, RedNand, RedNor, RedXnor,
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    BitAnd, BitOr, BitXor, BitXnor,
+    LogAnd, LogOr,
+    Eq, Neq, CaseEq, CaseNeq,
+    Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+[[nodiscard]] const char* to_string(UnaryOp op);
+[[nodiscard]] const char* to_string(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    ExprKind kind = ExprKind::Number;
+    SourceLoc loc;
+
+    util::BitVec value;              // Number
+    std::string ident;               // Ident / BitSelect / PartSelect base
+    UnaryOp uop = UnaryOp::Plus;     // Unary
+    BinaryOp bop = BinaryOp::Add;    // Binary
+    std::vector<ExprPtr> ops;        // operands (see ExprKind comments)
+    uint32_t rep_count = 0;          // Replicate
+    int32_t msb = -1, lsb = -1;      // PartSelect bounds
+
+    [[nodiscard]] bool is(ExprKind k) const { return kind == k; }
+};
+
+[[nodiscard]] ExprPtr make_number(util::BitVec v, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_ident(std::string name, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_unary(UnaryOp op, ExprPtr operand, SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                                  SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_ternary(ExprPtr cond, ExprPtr t, ExprPtr f,
+                                   SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_bit_select(std::string base, ExprPtr index,
+                                      SourceLoc loc = {});
+[[nodiscard]] ExprPtr make_part_select(std::string base, int32_t msb,
+                                       int32_t lsb, SourceLoc loc = {});
+
+/// Deep copy.
+[[nodiscard]] ExprPtr clone(const Expr& e);
+
+/// Append every identifier referenced by `e` (including select bases and
+/// index expressions) to `out`, in evaluation order, with repetition.
+void collect_idents(const Expr& e, std::vector<std::string>& out);
+
+/// True if the expression is a constant literal (possibly nested in
+/// concat/replicate/unary of constants).
+[[nodiscard]] bool is_constant_expr(const Expr& e);
+
+// ----------------------------------------------------------------- Statements
+
+enum class StmtKind {
+    Block,    // begin ... end
+    Assign,   // lhs = rhs (blocking) or lhs <= rhs (nonblocking)
+    If,       // if (cond) then_s [else else_s]
+    Case,     // case/casez (subject) items endcase
+    For,      // for (init; cond; step) body
+    Null,     // ;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CaseItem {
+    std::vector<ExprPtr> labels; // empty => default
+    StmtPtr body;
+};
+
+struct Stmt {
+    StmtKind kind = StmtKind::Null;
+    SourceLoc loc;
+
+    // Assign
+    ExprPtr lhs;
+    ExprPtr rhs;
+    bool nonblocking = false;
+
+    // If
+    ExprPtr cond; // also: Case subject, For condition
+    StmtPtr then_s;
+    StmtPtr else_s;
+
+    // Case
+    std::vector<CaseItem> items;
+    bool casez = false;
+
+    // For
+    StmtPtr init;
+    StmtPtr step;
+    StmtPtr body;
+
+    // Block
+    std::vector<StmtPtr> stmts;
+    std::string label;
+};
+
+[[nodiscard]] StmtPtr clone(const Stmt& s);
+
+// --------------------------------------------------------------- Module items
+
+enum class PortDir { Input, Output, Inout };
+
+[[nodiscard]] const char* to_string(PortDir d);
+
+/// A vector range [msb:lsb]; invalid() means a 1-bit scalar.
+///
+/// Bounds may be parameterized expressions (e.g. [WIDTH-1:0]); the parser
+/// stores the expressions and the elaborator folds them into the integer
+/// msb/lsb fields, which all downstream passes rely on.
+struct Range {
+    int32_t msb = -1;
+    int32_t lsb = -1;
+    ExprPtr msb_expr; // null once resolved or for scalars
+    ExprPtr lsb_expr;
+
+    Range() = default;
+    Range(int32_t m, int32_t l) : msb(m), lsb(l) {}
+
+    [[nodiscard]] bool valid() const { return msb >= 0 && lsb >= 0; }
+    [[nodiscard]] bool unresolved() const {
+        return msb_expr != nullptr && !valid();
+    }
+    [[nodiscard]] uint32_t width() const {
+        return valid() ? static_cast<uint32_t>(msb - lsb + 1) : 1u;
+    }
+    [[nodiscard]] Range cloned() const;
+    [[nodiscard]] bool same_bounds(const Range& o) const {
+        return msb == o.msb && lsb == o.lsb;
+    }
+};
+
+struct Port {
+    std::string name;
+    PortDir dir = PortDir::Input;
+    Range range;
+    bool is_reg = false;
+    SourceLoc loc;
+};
+
+struct NetDecl {
+    std::string name;
+    bool is_reg = false;
+    Range range;
+    SourceLoc loc;
+};
+
+struct ParamDecl {
+    std::string name;
+    ExprPtr value;
+    bool local = false;
+    SourceLoc loc;
+};
+
+struct ContAssign {
+    ExprPtr lhs;
+    ExprPtr rhs;
+    SourceLoc loc;
+    int id = -1; // stable index within owning module
+};
+
+enum class EdgeKind { Level, Pos, Neg };
+
+struct SensItem {
+    EdgeKind edge = EdgeKind::Level;
+    std::string signal;
+};
+
+struct AlwaysBlock {
+    bool is_comb = false;        // @(*) or level-sensitive list
+    std::vector<SensItem> sens;  // empty when is_comb via @(*)
+    StmtPtr body;
+    SourceLoc loc;
+    int id = -1;
+
+    /// True when any sensitivity item is edge triggered.
+    [[nodiscard]] bool is_sequential() const;
+};
+
+struct PortConn {
+    std::string port; // empty for positional connections
+    ExprPtr expr;     // null for explicitly open connections: .p()
+};
+
+struct ParamOverride {
+    std::string name; // empty for positional overrides
+    ExprPtr value;
+};
+
+struct Instance {
+    std::string module_name;
+    std::string inst_name;
+    std::vector<ParamOverride> param_overrides;
+    std::vector<PortConn> conns;
+    SourceLoc loc;
+    int id = -1;
+};
+
+struct Module {
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<NetDecl> nets;
+    std::vector<ParamDecl> params;
+    std::vector<ContAssign> assigns;
+    std::vector<AlwaysBlock> always_blocks;
+    std::vector<Instance> instances;
+    SourceLoc loc;
+
+    [[nodiscard]] const Port* find_port(const std::string& name) const;
+    [[nodiscard]] const NetDecl* find_net(const std::string& name) const;
+    [[nodiscard]] const ParamDecl* find_param(const std::string& name) const;
+    [[nodiscard]] const Instance* find_instance(const std::string& inst) const;
+
+    /// Declared width of a signal (port or net); 0 if unknown.
+    [[nodiscard]] uint32_t signal_width(const std::string& name) const;
+    /// Declared range of a signal; invalid Range for scalars/unknowns.
+    [[nodiscard]] Range signal_range(const std::string& name) const;
+    [[nodiscard]] bool is_port(const std::string& name) const {
+        return find_port(name) != nullptr;
+    }
+};
+
+/// Deep copy of a module (used to create parameter-specialized variants).
+[[nodiscard]] std::unique_ptr<Module> clone(const Module& m);
+
+/// A parsed source set: all modules, looked up by name.
+struct Design {
+    std::vector<std::unique_ptr<Module>> modules;
+
+    [[nodiscard]] Module* find(const std::string& name) const;
+    Module& add(std::unique_ptr<Module> m);
+};
+
+} // namespace factor::rtl

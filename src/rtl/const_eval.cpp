@@ -1,0 +1,125 @@
+#include "rtl/const_eval.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace factor::rtl {
+
+using util::BitVec;
+
+std::optional<BitVec> const_eval(const Expr& e, const ConstEnv& env) {
+    try {
+        switch (e.kind) {
+        case ExprKind::Number:
+            return e.value;
+        case ExprKind::Ident: {
+            auto it = env.find(e.ident);
+            if (it == env.end()) return std::nullopt;
+            return it->second;
+        }
+        case ExprKind::Unary: {
+            auto v = const_eval(*e.ops[0], env);
+            if (!v) return std::nullopt;
+            switch (e.uop) {
+            case UnaryOp::Plus: return *v;
+            case UnaryOp::Minus: return BitVec(v->width(), 0) - *v;
+            case UnaryOp::LogNot: return BitVec(1, v->is_zero() ? 1 : 0);
+            case UnaryOp::BitNot: return ~*v;
+            case UnaryOp::RedAnd: return v->reduce_and();
+            case UnaryOp::RedOr: return v->reduce_or();
+            case UnaryOp::RedXor: return v->reduce_xor();
+            case UnaryOp::RedNand: return ~v->reduce_and();
+            case UnaryOp::RedNor: return ~v->reduce_or();
+            case UnaryOp::RedXnor: return ~v->reduce_xor();
+            }
+            return std::nullopt;
+        }
+        case ExprKind::Binary: {
+            auto a = const_eval(*e.ops[0], env);
+            auto b = const_eval(*e.ops[1], env);
+            if (!a || !b) return std::nullopt;
+            switch (e.bop) {
+            case BinaryOp::Add: return *a + *b;
+            case BinaryOp::Sub: return *a - *b;
+            case BinaryOp::Mul: return *a * *b;
+            case BinaryOp::Div:
+                if (b->is_zero()) return std::nullopt;
+                return BitVec(std::max(a->width(), b->width()),
+                              a->value() / b->value());
+            case BinaryOp::Mod:
+                if (b->is_zero()) return std::nullopt;
+                return BitVec(std::max(a->width(), b->width()),
+                              a->value() % b->value());
+            case BinaryOp::BitAnd: return *a & *b;
+            case BinaryOp::BitOr: return *a | *b;
+            case BinaryOp::BitXor: return *a ^ *b;
+            case BinaryOp::BitXnor: return ~(*a ^ *b);
+            case BinaryOp::LogAnd:
+                return BitVec(1, (!a->is_zero() && !b->is_zero()) ? 1 : 0);
+            case BinaryOp::LogOr:
+                return BitVec(1, (!a->is_zero() || !b->is_zero()) ? 1 : 0);
+            case BinaryOp::Eq:
+            case BinaryOp::CaseEq:
+                return a->eq(*b);
+            case BinaryOp::Neq:
+            case BinaryOp::CaseNeq:
+                return ~a->eq(*b);
+            case BinaryOp::Lt: return a->lt(*b);
+            case BinaryOp::Le: return ~b->lt(*a);
+            case BinaryOp::Gt: return b->lt(*a);
+            case BinaryOp::Ge: return ~a->lt(*b);
+            case BinaryOp::Shl: return a->shl(static_cast<uint32_t>(b->value() & 0xff));
+            case BinaryOp::Shr: return a->shr(static_cast<uint32_t>(b->value() & 0xff));
+            }
+            return std::nullopt;
+        }
+        case ExprKind::Ternary: {
+            auto c = const_eval(*e.ops[0], env);
+            if (!c) return std::nullopt;
+            return const_eval(c->is_zero() ? *e.ops[2] : *e.ops[1], env);
+        }
+        case ExprKind::Concat: {
+            std::optional<BitVec> acc;
+            for (const auto& op : e.ops) {
+                auto v = const_eval(*op, env);
+                if (!v) return std::nullopt;
+                acc = acc ? acc->concat(*v) : *v;
+            }
+            return acc;
+        }
+        case ExprKind::Replicate: {
+            auto v = const_eval(*e.ops[0], env);
+            if (!v || e.rep_count == 0) return std::nullopt;
+            return v->replicate(e.rep_count);
+        }
+        case ExprKind::BitSelect: {
+            auto it = env.find(e.ident);
+            if (it == env.end()) return std::nullopt;
+            auto idx = const_eval(*e.ops[0], env);
+            if (!idx || idx->value() >= it->second.width()) return std::nullopt;
+            return it->second.slice(static_cast<uint32_t>(idx->value()),
+                                    static_cast<uint32_t>(idx->value()));
+        }
+        case ExprKind::PartSelect: {
+            auto it = env.find(e.ident);
+            if (it == env.end() || e.msb < 0 || e.lsb < 0) return std::nullopt;
+            if (static_cast<uint32_t>(e.msb) >= it->second.width()) {
+                return std::nullopt;
+            }
+            return it->second.slice(static_cast<uint32_t>(e.msb),
+                                    static_cast<uint32_t>(e.lsb));
+        }
+        }
+    } catch (const util::FactorError&) {
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::optional<int32_t> const_eval_int(const Expr& e, const ConstEnv& env) {
+    auto v = const_eval(e, env);
+    if (!v) return std::nullopt;
+    if (v->value() > 0x7fffffffull) return std::nullopt;
+    return static_cast<int32_t>(v->value());
+}
+
+} // namespace factor::rtl

@@ -1,0 +1,28 @@
+// Constant-expression evaluation over an environment of named constants
+// (module parameters). Used by the elaborator to resolve ranges, part-select
+// bounds and parameter values, and by the synthesizer for constant folding.
+#pragma once
+
+#include "rtl/ast.hpp"
+#include "util/bitvec.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace factor::rtl {
+
+using ConstEnv = std::map<std::string, util::BitVec>;
+
+/// Evaluate `e` if every leaf is a literal or a name bound in `env`.
+/// Returns nullopt for non-constant expressions or evaluation errors
+/// (division by zero, width overflow).
+[[nodiscard]] std::optional<util::BitVec> const_eval(const Expr& e,
+                                                     const ConstEnv& env);
+
+/// Evaluate to a signed 32-bit integer (for range bounds / replication
+/// counts). Returns nullopt if not constant or out of range.
+[[nodiscard]] std::optional<int32_t> const_eval_int(const Expr& e,
+                                                    const ConstEnv& env);
+
+} // namespace factor::rtl

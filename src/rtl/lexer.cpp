@@ -1,0 +1,330 @@
+#include "rtl/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace factor::rtl {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keyword_map() {
+    static const std::unordered_map<std::string_view, TokKind> kMap = {
+        {"module", TokKind::KwModule},
+        {"endmodule", TokKind::KwEndmodule},
+        {"input", TokKind::KwInput},
+        {"output", TokKind::KwOutput},
+        {"inout", TokKind::KwInout},
+        {"wire", TokKind::KwWire},
+        {"reg", TokKind::KwReg},
+        {"integer", TokKind::KwInteger},
+        {"parameter", TokKind::KwParameter},
+        {"localparam", TokKind::KwLocalparam},
+        {"assign", TokKind::KwAssign},
+        {"always", TokKind::KwAlways},
+        {"posedge", TokKind::KwPosedge},
+        {"negedge", TokKind::KwNegedge},
+        {"or", TokKind::KwOr},
+        {"begin", TokKind::KwBegin},
+        {"end", TokKind::KwEnd},
+        {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},
+        {"case", TokKind::KwCase},
+        {"casez", TokKind::KwCasez},
+        {"casex", TokKind::KwCasex},
+        {"endcase", TokKind::KwEndcase},
+        {"default", TokKind::KwDefault},
+        {"for", TokKind::KwFor},
+        {"initial", TokKind::KwInitial},
+        {"function", TokKind::KwFunction},
+        {"endfunction", TokKind::KwEndfunction},
+    };
+    return kMap;
+}
+
+} // namespace
+
+const char* tok_kind_name(TokKind k) {
+    switch (k) {
+    case TokKind::End: return "end-of-input";
+    case TokKind::Ident: return "identifier";
+    case TokKind::Number: return "number";
+    case TokKind::KwModule: return "'module'";
+    case TokKind::KwEndmodule: return "'endmodule'";
+    case TokKind::KwInput: return "'input'";
+    case TokKind::KwOutput: return "'output'";
+    case TokKind::KwInout: return "'inout'";
+    case TokKind::KwWire: return "'wire'";
+    case TokKind::KwReg: return "'reg'";
+    case TokKind::KwInteger: return "'integer'";
+    case TokKind::KwParameter: return "'parameter'";
+    case TokKind::KwLocalparam: return "'localparam'";
+    case TokKind::KwAssign: return "'assign'";
+    case TokKind::KwAlways: return "'always'";
+    case TokKind::KwPosedge: return "'posedge'";
+    case TokKind::KwNegedge: return "'negedge'";
+    case TokKind::KwOr: return "'or'";
+    case TokKind::KwBegin: return "'begin'";
+    case TokKind::KwEnd: return "'end'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwCase: return "'case'";
+    case TokKind::KwCasez: return "'casez'";
+    case TokKind::KwCasex: return "'casex'";
+    case TokKind::KwEndcase: return "'endcase'";
+    case TokKind::KwDefault: return "'default'";
+    case TokKind::KwFor: return "'for'";
+    case TokKind::KwInitial: return "'initial'";
+    case TokKind::KwFunction: return "'function'";
+    case TokKind::KwEndfunction: return "'endfunction'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Comma: return "','";
+    case TokKind::Colon: return "':'";
+    case TokKind::Dot: return "'.'";
+    case TokKind::Hash: return "'#'";
+    case TokKind::At: return "'@'";
+    case TokKind::Question: return "'?'";
+    case TokKind::Assign: return "'='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Amp: return "'&'";
+    case TokKind::AmpAmp: return "'&&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::PipePipe: return "'||'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::TildeCaret: return "'~^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::BangEq: return "'!='";
+    case TokKind::EqEqEq: return "'==='";
+    case TokKind::BangEqEq: return "'!=='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::LtEq: return "'<='";
+    case TokKind::Gt: return "'>'";
+    case TokKind::GtEq: return "'>='";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+    case TokKind::NandRed: return "'~&'";
+    case TokKind::NorRed: return "'~|'";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string_view text, std::string file, util::DiagEngine& diags)
+    : text_(text), file_(std::move(file)), diags_(diags) {}
+
+util::SourceLoc Lexer::loc() const { return util::SourceLoc{file_, line_, col_}; }
+
+char Lexer::peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+    while (!eof()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!eof() && peek() != '\n') advance();
+        } else if (c == '/' && peek(1) == '*') {
+            auto start = loc();
+            advance();
+            advance();
+            bool closed = false;
+            while (!eof()) {
+                if (peek() == '*' && peek(1) == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed) diags_.error(start, "unterminated block comment");
+        } else if (c == '`') {
+            // Compiler directives (`timescale, `define, ...) — skip the line.
+            while (!eof() && peek() != '\n') advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+    auto l = loc();
+    std::string text;
+    while (!eof()) {
+        char c = peek();
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+            text.push_back(advance());
+        } else {
+            break;
+        }
+    }
+    auto it = keyword_map().find(text);
+    if (it != keyword_map().end()) {
+        return Token{it->second, std::move(text), l};
+    }
+    return Token{TokKind::Ident, std::move(text), l};
+}
+
+Token Lexer::lex_number() {
+    auto l = loc();
+    std::string text;
+    auto take_digits = [&] {
+        while (!eof()) {
+            char c = peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+                text.push_back(advance());
+            } else {
+                break;
+            }
+        }
+    };
+    if (peek() != '\'') take_digits();
+    // Optional based part: e.g. the "'hff" in "8'hff", or a bare "'b1".
+    if (peek() == '\'') {
+        text.push_back(advance()); // '
+        if (!eof()) text.push_back(advance()); // base char
+        take_digits();
+    }
+    return Token{TokKind::Number, std::move(text), l};
+}
+
+Token Lexer::lex_operator() {
+    auto l = loc();
+    char c = advance();
+    auto two = [&](char next, TokKind yes, TokKind no) {
+        if (peek() == next) {
+            advance();
+            return Token{yes, std::string(1, c) + next, l};
+        }
+        return Token{no, std::string(1, c), l};
+    };
+    switch (c) {
+    case '(': return Token{TokKind::LParen, "(", l};
+    case ')': return Token{TokKind::RParen, ")", l};
+    case '[': return Token{TokKind::LBracket, "[", l};
+    case ']': return Token{TokKind::RBracket, "]", l};
+    case '{': return Token{TokKind::LBrace, "{", l};
+    case '}': return Token{TokKind::RBrace, "}", l};
+    case ';': return Token{TokKind::Semi, ";", l};
+    case ',': return Token{TokKind::Comma, ",", l};
+    case ':': return Token{TokKind::Colon, ":", l};
+    case '.': return Token{TokKind::Dot, ".", l};
+    case '#': return Token{TokKind::Hash, "#", l};
+    case '@': return Token{TokKind::At, "@", l};
+    case '?': return Token{TokKind::Question, "?", l};
+    case '+': return Token{TokKind::Plus, "+", l};
+    case '-': return Token{TokKind::Minus, "-", l};
+    case '*': return Token{TokKind::Star, "*", l};
+    case '/': return Token{TokKind::Slash, "/", l};
+    case '%': return Token{TokKind::Percent, "%", l};
+    case '&': return two('&', TokKind::AmpAmp, TokKind::Amp);
+    case '|': return two('|', TokKind::PipePipe, TokKind::Pipe);
+    case '^':
+        if (peek() == '~') {
+            advance();
+            return Token{TokKind::TildeCaret, "^~", l};
+        }
+        return Token{TokKind::Caret, "^", l};
+    case '~':
+        if (peek() == '^') {
+            advance();
+            return Token{TokKind::TildeCaret, "~^", l};
+        }
+        if (peek() == '&') {
+            advance();
+            return Token{TokKind::NandRed, "~&", l};
+        }
+        if (peek() == '|') {
+            advance();
+            return Token{TokKind::NorRed, "~|", l};
+        }
+        return Token{TokKind::Tilde, "~", l};
+    case '!':
+        if (peek() == '=') {
+            advance();
+            if (peek() == '=') {
+                advance();
+                return Token{TokKind::BangEqEq, "!==", l};
+            }
+            return Token{TokKind::BangEq, "!=", l};
+        }
+        return Token{TokKind::Bang, "!", l};
+    case '=':
+        if (peek() == '=') {
+            advance();
+            if (peek() == '=') {
+                advance();
+                return Token{TokKind::EqEqEq, "===", l};
+            }
+            return Token{TokKind::EqEq, "==", l};
+        }
+        return Token{TokKind::Assign, "=", l};
+    case '<':
+        if (peek() == '=') {
+            advance();
+            return Token{TokKind::LtEq, "<=", l};
+        }
+        if (peek() == '<') {
+            advance();
+            return Token{TokKind::Shl, "<<", l};
+        }
+        return Token{TokKind::Lt, "<", l};
+    case '>':
+        if (peek() == '=') {
+            advance();
+            return Token{TokKind::GtEq, ">=", l};
+        }
+        if (peek() == '>') {
+            advance();
+            return Token{TokKind::Shr, ">>", l};
+        }
+        return Token{TokKind::Gt, ">", l};
+    default:
+        diags_.error(l, std::string("unexpected character '") + c + "'");
+        return Token{TokKind::End, "", l};
+    }
+}
+
+std::vector<Token> Lexer::tokenize() {
+    std::vector<Token> out;
+    while (true) {
+        skip_whitespace_and_comments();
+        if (eof()) break;
+        char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            out.push_back(lex_identifier_or_keyword());
+        } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            out.push_back(lex_number());
+        } else {
+            Token t = lex_operator();
+            if (t.kind != TokKind::End) out.push_back(t);
+        }
+    }
+    out.push_back(Token{TokKind::End, "", loc()});
+    return out;
+}
+
+} // namespace factor::rtl

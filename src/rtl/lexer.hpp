@@ -1,0 +1,41 @@
+// Lexer for the synthesizable Verilog subset accepted by FACTOR.
+#pragma once
+
+#include "rtl/token.hpp"
+#include "util/diagnostics.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace factor::rtl {
+
+class Lexer {
+  public:
+    /// `file` is used only for diagnostics.
+    Lexer(std::string_view text, std::string file, util::DiagEngine& diags);
+
+    /// Tokenize the whole buffer. The returned vector always ends with an
+    /// End token. Lexical errors are reported to the DiagEngine and the
+    /// offending character is skipped.
+    [[nodiscard]] std::vector<Token> tokenize();
+
+  private:
+    [[nodiscard]] util::SourceLoc loc() const;
+    [[nodiscard]] char peek(size_t ahead = 0) const;
+    char advance();
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    void skip_whitespace_and_comments();
+    [[nodiscard]] Token lex_identifier_or_keyword();
+    [[nodiscard]] Token lex_number();
+    [[nodiscard]] Token lex_operator();
+
+    std::string_view text_;
+    std::string file_;
+    util::DiagEngine& diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+};
+
+} // namespace factor::rtl

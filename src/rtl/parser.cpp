@@ -1,0 +1,848 @@
+#include "rtl/parser.hpp"
+
+#include "rtl/const_eval.hpp"
+
+#include <cassert>
+
+namespace factor::rtl {
+
+using util::BitVec;
+
+namespace {
+
+/// Binary operator precedence; higher binds tighter. Mirrors Verilog.
+int binary_precedence(TokKind k) {
+    switch (k) {
+    case TokKind::PipePipe: return 1;
+    case TokKind::AmpAmp: return 2;
+    case TokKind::Pipe: return 3;
+    case TokKind::Caret:
+    case TokKind::TildeCaret: return 4;
+    case TokKind::Amp: return 5;
+    case TokKind::EqEq:
+    case TokKind::BangEq:
+    case TokKind::EqEqEq:
+    case TokKind::BangEqEq: return 6;
+    case TokKind::Lt:
+    case TokKind::LtEq:
+    case TokKind::Gt:
+    case TokKind::GtEq: return 7;
+    case TokKind::Shl:
+    case TokKind::Shr: return 8;
+    case TokKind::Plus:
+    case TokKind::Minus: return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent: return 10;
+    default: return -1;
+    }
+}
+
+BinaryOp binary_op_for(TokKind k) {
+    switch (k) {
+    case TokKind::PipePipe: return BinaryOp::LogOr;
+    case TokKind::AmpAmp: return BinaryOp::LogAnd;
+    case TokKind::Pipe: return BinaryOp::BitOr;
+    case TokKind::Caret: return BinaryOp::BitXor;
+    case TokKind::TildeCaret: return BinaryOp::BitXnor;
+    case TokKind::Amp: return BinaryOp::BitAnd;
+    case TokKind::EqEq: return BinaryOp::Eq;
+    case TokKind::BangEq: return BinaryOp::Neq;
+    case TokKind::EqEqEq: return BinaryOp::CaseEq;
+    case TokKind::BangEqEq: return BinaryOp::CaseNeq;
+    case TokKind::Lt: return BinaryOp::Lt;
+    case TokKind::LtEq: return BinaryOp::Le;
+    case TokKind::Gt: return BinaryOp::Gt;
+    case TokKind::GtEq: return BinaryOp::Ge;
+    case TokKind::Shl: return BinaryOp::Shl;
+    case TokKind::Shr: return BinaryOp::Shr;
+    case TokKind::Plus: return BinaryOp::Add;
+    case TokKind::Minus: return BinaryOp::Sub;
+    case TokKind::Star: return BinaryOp::Mul;
+    case TokKind::Slash: return BinaryOp::Div;
+    case TokKind::Percent: return BinaryOp::Mod;
+    default: break;
+    }
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+}
+
+} // namespace
+
+Parser::Parser(std::vector<Token> tokens, util::DiagEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+    assert(!tokens_.empty() && tokens_.back().kind == TokKind::End);
+}
+
+const Token& Parser::peek(size_t ahead) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+}
+
+const Token& Parser::advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+}
+
+bool Parser::consume_if(TokKind k) {
+    if (at(k)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+bool Parser::expect(TokKind k, const char* context) {
+    if (consume_if(k)) return true;
+    diags_.error(peek().loc, std::string("expected ") + tok_kind_name(k) +
+                                 " in " + context + ", got " +
+                                 tok_kind_name(peek().kind) +
+                                 (peek().text.empty() ? "" : " '" + peek().text + "'"));
+    return false;
+}
+
+void Parser::error_here(const std::string& message) {
+    diags_.error(peek().loc, message);
+}
+
+void Parser::synchronize() {
+    while (!at(TokKind::End) && !at(TokKind::KwEndmodule) &&
+           !at(TokKind::KwModule)) {
+        if (advance().kind == TokKind::Semi) return;
+    }
+}
+
+void Parser::parse_into(Design& design) {
+    while (!at(TokKind::End)) {
+        if (at(TokKind::KwModule)) {
+            auto m = parse_module();
+            if (m) {
+                if (design.find(m->name) != nullptr) {
+                    diags_.error(m->loc, "duplicate module '" + m->name + "'");
+                } else {
+                    design.add(std::move(m));
+                }
+            }
+        } else {
+            error_here("expected 'module' at top level");
+            advance();
+        }
+    }
+}
+
+void Parser::parse_source(std::string_view text, const std::string& file,
+                          Design& design, util::DiagEngine& diags) {
+    Lexer lexer(text, file, diags);
+    Parser parser(lexer.tokenize(), diags);
+    parser.parse_into(design);
+}
+
+ExprPtr Parser::parse_standalone_expr() {
+    auto e = parse_expr();
+    if (!at(TokKind::End)) {
+        error_here("trailing tokens after expression");
+    }
+    return e;
+}
+
+std::unique_ptr<Module> Parser::parse_module() {
+    auto m = std::make_unique<Module>();
+    m->loc = peek().loc;
+    expect(TokKind::KwModule, "module declaration");
+    if (!at(TokKind::Ident)) {
+        error_here("expected module name");
+        synchronize();
+        return nullptr;
+    }
+    m->name = advance().text;
+
+    if (at(TokKind::Hash)) parse_header_params(*m);
+
+    std::set<std::string> pending_dirs;
+    if (consume_if(TokKind::LParen)) {
+        if (!at(TokKind::RParen)) parse_port_list(*m, pending_dirs);
+        expect(TokKind::RParen, "module port list");
+    }
+    expect(TokKind::Semi, "module header");
+
+    while (!at(TokKind::KwEndmodule) && !at(TokKind::End)) {
+        parse_item(*m, pending_dirs);
+    }
+    expect(TokKind::KwEndmodule, "module body");
+
+    for (const auto& name : pending_dirs) {
+        diags_.error(m->loc, "port '" + name + "' of module '" + m->name +
+                                 "' has no direction declaration");
+    }
+    return m;
+}
+
+void Parser::parse_header_params(Module& m) {
+    expect(TokKind::Hash, "parameter header");
+    expect(TokKind::LParen, "parameter header");
+    while (!at(TokKind::RParen) && !at(TokKind::End)) {
+        consume_if(TokKind::KwParameter);
+        // Parameters may declare a range which we ignore for value params.
+        if (at(TokKind::LBracket)) (void)parse_range_opt();
+        if (!at(TokKind::Ident)) {
+            error_here("expected parameter name");
+            synchronize();
+            return;
+        }
+        ParamDecl p;
+        p.loc = peek().loc;
+        p.name = advance().text;
+        expect(TokKind::Assign, "parameter declaration");
+        p.value = parse_expr();
+        m.params.push_back(std::move(p));
+        if (!consume_if(TokKind::Comma)) break;
+    }
+    expect(TokKind::RParen, "parameter header");
+}
+
+void Parser::parse_port_list(Module& m, std::set<std::string>& pending_dirs) {
+    // Two styles:
+    //   ANSI:     (input wire [3:0] a, b, output reg c)
+    //   non-ANSI: (a, b, c) with directions declared in the body.
+    PortDir dir = PortDir::Input;
+    bool have_ansi_ctx = false;
+    bool is_reg = false;
+    Range range;
+
+    while (true) {
+        if (at(TokKind::KwInput) || at(TokKind::KwOutput) ||
+            at(TokKind::KwInout)) {
+            TokKind k = advance().kind;
+            dir = k == TokKind::KwInput    ? PortDir::Input
+                  : k == TokKind::KwOutput ? PortDir::Output
+                                           : PortDir::Inout;
+            have_ansi_ctx = true;
+            is_reg = false;
+            consume_if(TokKind::KwWire);
+            if (consume_if(TokKind::KwReg)) is_reg = true;
+            range = parse_range_opt();
+        }
+        if (!at(TokKind::Ident)) {
+            error_here("expected port name");
+            return;
+        }
+        Port p;
+        p.loc = peek().loc;
+        p.name = advance().text;
+        p.dir = dir;
+        p.is_reg = is_reg;
+        p.range = range.cloned();
+        if (!have_ansi_ctx) pending_dirs.insert(p.name);
+        if (m.find_port(p.name) != nullptr) {
+            diags_.error(p.loc, "duplicate port '" + p.name + "'");
+        } else {
+            m.ports.push_back(std::move(p));
+        }
+        if (!consume_if(TokKind::Comma)) break;
+    }
+}
+
+void Parser::parse_item(Module& m, std::set<std::string>& pending_dirs) {
+    switch (peek().kind) {
+    case TokKind::KwInput:
+    case TokKind::KwOutput:
+    case TokKind::KwInout:
+        parse_port_decl(m, pending_dirs);
+        break;
+    case TokKind::KwWire:
+    case TokKind::KwReg:
+    case TokKind::KwInteger:
+        parse_net_decl(m);
+        break;
+    case TokKind::KwParameter:
+        advance();
+        parse_param_decl(m, /*local=*/false);
+        break;
+    case TokKind::KwLocalparam:
+        advance();
+        parse_param_decl(m, /*local=*/true);
+        break;
+    case TokKind::KwAssign:
+        parse_cont_assign(m);
+        break;
+    case TokKind::KwAlways:
+        parse_always(m);
+        break;
+    case TokKind::Ident:
+        parse_instance(m);
+        break;
+    case TokKind::KwInitial:
+        error_here("'initial' blocks are not part of the synthesizable subset");
+        synchronize();
+        break;
+    case TokKind::KwFunction:
+        error_here("functions are not supported; inline the logic");
+        while (!at(TokKind::KwEndfunction) && !at(TokKind::End)) advance();
+        consume_if(TokKind::KwEndfunction);
+        break;
+    default:
+        error_here(std::string("unexpected token ") +
+                   tok_kind_name(peek().kind) + " in module body");
+        synchronize();
+        break;
+    }
+}
+
+void Parser::parse_port_decl(Module& m, std::set<std::string>& pending_dirs) {
+    TokKind k = advance().kind;
+    PortDir dir = k == TokKind::KwInput    ? PortDir::Input
+                  : k == TokKind::KwOutput ? PortDir::Output
+                                           : PortDir::Inout;
+    bool is_reg = false;
+    consume_if(TokKind::KwWire);
+    if (consume_if(TokKind::KwReg)) is_reg = true;
+    Range range = parse_range_opt();
+
+    while (true) {
+        if (!at(TokKind::Ident)) {
+            error_here("expected port name in direction declaration");
+            synchronize();
+            return;
+        }
+        auto loc = peek().loc;
+        std::string name = advance().text;
+        bool found = false;
+        for (auto& p : m.ports) {
+            if (p.name == name) {
+                p.dir = dir;
+                p.is_reg = is_reg;
+                p.range = range.cloned();
+                pending_dirs.erase(name);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            diags_.error(loc, "direction declared for '" + name +
+                                  "' which is not in the port list");
+        }
+        if (!consume_if(TokKind::Comma)) break;
+    }
+    expect(TokKind::Semi, "port declaration");
+}
+
+void Parser::parse_net_decl(Module& m) {
+    TokKind k = advance().kind;
+    bool is_reg = k != TokKind::KwWire;
+    Range range;
+    if (k == TokKind::KwInteger) {
+        range = Range(31, 0);
+    } else {
+        range = parse_range_opt();
+    }
+
+    while (true) {
+        if (!at(TokKind::Ident)) {
+            error_here("expected net name in declaration");
+            synchronize();
+            return;
+        }
+        NetDecl d;
+        d.loc = peek().loc;
+        d.name = advance().text;
+        d.is_reg = is_reg;
+        d.range = range.cloned();
+        if (m.find_net(d.name) != nullptr || m.find_port(d.name) != nullptr) {
+            diags_.error(d.loc, "duplicate declaration of '" + d.name + "'");
+        }
+        std::string name = d.name;
+        auto loc = d.loc;
+        m.nets.push_back(std::move(d));
+        // Declaration assignment: wire x = expr;
+        if (consume_if(TokKind::Assign)) {
+            ContAssign ca;
+            ca.lhs = make_ident(name, loc);
+            ca.rhs = parse_expr();
+            ca.loc = loc;
+            ca.id = static_cast<int>(m.assigns.size());
+            if (is_reg) {
+                diags_.error(loc, "declaration assignment on reg '" + name +
+                                      "' is not supported");
+            } else {
+                m.assigns.push_back(std::move(ca));
+            }
+        }
+        if (!consume_if(TokKind::Comma)) break;
+    }
+    expect(TokKind::Semi, "net declaration");
+}
+
+void Parser::parse_param_decl(Module& m, bool local) {
+    while (true) {
+        if (at(TokKind::LBracket)) (void)parse_range_opt();
+        if (!at(TokKind::Ident)) {
+            error_here("expected parameter name");
+            synchronize();
+            return;
+        }
+        ParamDecl p;
+        p.loc = peek().loc;
+        p.name = advance().text;
+        p.local = local;
+        expect(TokKind::Assign, "parameter declaration");
+        p.value = parse_expr();
+        if (m.find_param(p.name) != nullptr) {
+            diags_.error(p.loc, "duplicate parameter '" + p.name + "'");
+        } else {
+            m.params.push_back(std::move(p));
+        }
+        if (!consume_if(TokKind::Comma)) break;
+    }
+    expect(TokKind::Semi, "parameter declaration");
+}
+
+void Parser::parse_cont_assign(Module& m) {
+    expect(TokKind::KwAssign, "continuous assignment");
+    while (true) {
+        ContAssign ca;
+        ca.loc = peek().loc;
+        ca.lhs = parse_lvalue();
+        if (ca.lhs && !check_lvalue(*ca.lhs)) {
+            diags_.error(ca.loc, "illegal target of continuous assignment");
+        }
+        expect(TokKind::Assign, "continuous assignment");
+        ca.rhs = parse_expr();
+        ca.id = static_cast<int>(m.assigns.size());
+        if (ca.lhs && ca.rhs) m.assigns.push_back(std::move(ca));
+        if (!consume_if(TokKind::Comma)) break;
+    }
+    expect(TokKind::Semi, "continuous assignment");
+}
+
+void Parser::parse_always(Module& m) {
+    AlwaysBlock b;
+    b.loc = peek().loc;
+    expect(TokKind::KwAlways, "always block");
+    expect(TokKind::At, "always block");
+    if (consume_if(TokKind::Star)) {
+        b.is_comb = true;
+    } else {
+        expect(TokKind::LParen, "sensitivity list");
+        if (consume_if(TokKind::Star)) {
+            b.is_comb = true;
+        } else {
+            while (true) {
+                SensItem s;
+                if (consume_if(TokKind::KwPosedge)) {
+                    s.edge = EdgeKind::Pos;
+                } else if (consume_if(TokKind::KwNegedge)) {
+                    s.edge = EdgeKind::Neg;
+                }
+                if (!at(TokKind::Ident)) {
+                    error_here("expected signal in sensitivity list");
+                    break;
+                }
+                s.signal = advance().text;
+                b.sens.push_back(std::move(s));
+                if (!consume_if(TokKind::KwOr) && !consume_if(TokKind::Comma)) {
+                    break;
+                }
+            }
+            if (!b.sens.empty() && !b.is_sequential()) b.is_comb = true;
+        }
+        expect(TokKind::RParen, "sensitivity list");
+    }
+    b.body = parse_stmt();
+    b.id = static_cast<int>(m.always_blocks.size());
+    if (b.body) m.always_blocks.push_back(std::move(b));
+}
+
+void Parser::parse_instance(Module& m) {
+    Instance inst;
+    inst.loc = peek().loc;
+    inst.module_name = advance().text;
+
+    if (consume_if(TokKind::Hash)) {
+        expect(TokKind::LParen, "parameter overrides");
+        while (!at(TokKind::RParen) && !at(TokKind::End)) {
+            ParamOverride o;
+            if (consume_if(TokKind::Dot)) {
+                if (!at(TokKind::Ident)) {
+                    error_here("expected parameter name after '.'");
+                    break;
+                }
+                o.name = advance().text;
+                expect(TokKind::LParen, "parameter override");
+                o.value = parse_expr();
+                expect(TokKind::RParen, "parameter override");
+            } else {
+                o.value = parse_expr();
+            }
+            inst.param_overrides.push_back(std::move(o));
+            if (!consume_if(TokKind::Comma)) break;
+        }
+        expect(TokKind::RParen, "parameter overrides");
+    }
+
+    if (!at(TokKind::Ident)) {
+        error_here("expected instance name");
+        synchronize();
+        return;
+    }
+    inst.inst_name = advance().text;
+
+    expect(TokKind::LParen, "instance connections");
+    if (!at(TokKind::RParen)) {
+        while (true) {
+            PortConn c;
+            if (consume_if(TokKind::Dot)) {
+                if (!at(TokKind::Ident)) {
+                    error_here("expected port name after '.'");
+                    break;
+                }
+                c.port = advance().text;
+                expect(TokKind::LParen, "port connection");
+                if (!at(TokKind::RParen)) c.expr = parse_expr();
+                expect(TokKind::RParen, "port connection");
+            } else {
+                c.expr = parse_expr();
+            }
+            inst.conns.push_back(std::move(c));
+            if (!consume_if(TokKind::Comma)) break;
+        }
+    }
+    expect(TokKind::RParen, "instance connections");
+    expect(TokKind::Semi, "instance");
+
+    if (m.find_instance(inst.inst_name) != nullptr) {
+        diags_.error(inst.loc, "duplicate instance name '" + inst.inst_name + "'");
+        return;
+    }
+    inst.id = static_cast<int>(m.instances.size());
+    m.instances.push_back(std::move(inst));
+}
+
+Range Parser::parse_range_opt() {
+    Range r;
+    if (!consume_if(TokKind::LBracket)) return r;
+    r.msb_expr = parse_expr();
+    expect(TokKind::Colon, "range");
+    r.lsb_expr = parse_expr();
+    expect(TokKind::RBracket, "range");
+    // Resolve literal bounds right away; parameterized bounds resolve at
+    // elaboration.
+    ConstEnv empty;
+    if (r.msb_expr && r.lsb_expr) {
+        auto m = const_eval_int(*r.msb_expr, empty);
+        auto l = const_eval_int(*r.lsb_expr, empty);
+        if (m && l) {
+            r.msb = *m;
+            r.lsb = *l;
+            r.msb_expr.reset();
+            r.lsb_expr.reset();
+        }
+    }
+    return r;
+}
+
+StmtPtr Parser::parse_stmt() {
+    auto loc = peek().loc;
+    switch (peek().kind) {
+    case TokKind::KwBegin: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Block;
+        s->loc = loc;
+        if (consume_if(TokKind::Colon)) {
+            if (at(TokKind::Ident)) s->label = advance().text;
+        }
+        while (!at(TokKind::KwEnd) && !at(TokKind::End)) {
+            auto inner = parse_stmt();
+            if (!inner) break;
+            s->stmts.push_back(std::move(inner));
+        }
+        expect(TokKind::KwEnd, "begin/end block");
+        return s;
+    }
+    case TokKind::KwIf: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::If;
+        s->loc = loc;
+        expect(TokKind::LParen, "if statement");
+        s->cond = parse_expr();
+        expect(TokKind::RParen, "if statement");
+        s->then_s = parse_stmt();
+        if (consume_if(TokKind::KwElse)) s->else_s = parse_stmt();
+        return s;
+    }
+    case TokKind::KwCase:
+    case TokKind::KwCasez:
+    case TokKind::KwCasex: {
+        bool z = peek().kind != TokKind::KwCase;
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Case;
+        s->casez = z;
+        s->loc = loc;
+        expect(TokKind::LParen, "case statement");
+        s->cond = parse_expr();
+        expect(TokKind::RParen, "case statement");
+        while (!at(TokKind::KwEndcase) && !at(TokKind::End)) {
+            CaseItem item;
+            if (consume_if(TokKind::KwDefault)) {
+                consume_if(TokKind::Colon);
+            } else {
+                while (true) {
+                    item.labels.push_back(parse_expr());
+                    if (!consume_if(TokKind::Comma)) break;
+                }
+                expect(TokKind::Colon, "case item");
+            }
+            item.body = parse_stmt();
+            s->items.push_back(std::move(item));
+        }
+        expect(TokKind::KwEndcase, "case statement");
+        return s;
+    }
+    case TokKind::KwFor: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::For;
+        s->loc = loc;
+        expect(TokKind::LParen, "for loop");
+        s->init = parse_assign_stmt(/*expect_semi=*/false);
+        expect(TokKind::Semi, "for loop");
+        s->cond = parse_expr();
+        expect(TokKind::Semi, "for loop");
+        s->step = parse_assign_stmt(/*expect_semi=*/false);
+        expect(TokKind::RParen, "for loop");
+        s->body = parse_stmt();
+        return s;
+    }
+    case TokKind::Semi: {
+        advance();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Null;
+        s->loc = loc;
+        return s;
+    }
+    case TokKind::Ident:
+    case TokKind::LBrace:
+        return parse_assign_stmt(/*expect_semi=*/true);
+    default:
+        error_here(std::string("unexpected token ") +
+                   tok_kind_name(peek().kind) + " at start of statement");
+        synchronize();
+        return nullptr;
+    }
+}
+
+StmtPtr Parser::parse_assign_stmt(bool expect_semi) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->loc = peek().loc;
+    s->lhs = parse_lvalue();
+    if (s->lhs && !check_lvalue(*s->lhs)) {
+        diags_.error(s->loc, "illegal assignment target");
+    }
+    if (consume_if(TokKind::LtEq)) {
+        s->nonblocking = true;
+    } else {
+        expect(TokKind::Assign, "assignment");
+    }
+    s->rhs = parse_expr();
+    if (expect_semi) expect(TokKind::Semi, "assignment");
+    if (!s->lhs || !s->rhs) return nullptr;
+    return s;
+}
+
+ExprPtr Parser::parse_expr() { return parse_ternary(); }
+
+ExprPtr Parser::parse_lvalue() {
+    auto loc = peek().loc;
+    if (at(TokKind::Ident)) return parse_ident_expr();
+    if (consume_if(TokKind::LBrace)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Concat;
+        e->loc = loc;
+        while (true) {
+            auto part = parse_lvalue();
+            if (!part) return nullptr;
+            e->ops.push_back(std::move(part));
+            if (!consume_if(TokKind::Comma)) break;
+        }
+        expect(TokKind::RBrace, "lvalue concatenation");
+        return e;
+    }
+    error_here("expected an assignment target");
+    return nullptr;
+}
+
+ExprPtr Parser::parse_ternary() {
+    auto cond = parse_binary(1);
+    if (!cond) return nullptr;
+    if (!consume_if(TokKind::Question)) return cond;
+    auto loc = cond->loc;
+    auto t = parse_ternary();
+    expect(TokKind::Colon, "conditional expression");
+    auto f = parse_ternary();
+    if (!t || !f) return nullptr;
+    return make_ternary(std::move(cond), std::move(t), std::move(f), loc);
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+    auto lhs = parse_unary();
+    if (!lhs) return nullptr;
+    while (true) {
+        int prec = binary_precedence(peek().kind);
+        if (prec < min_prec) return lhs;
+        TokKind op_tok = advance().kind;
+        auto rhs = parse_binary(prec + 1);
+        if (!rhs) return nullptr;
+        auto loc = lhs->loc;
+        lhs = make_binary(binary_op_for(op_tok), std::move(lhs),
+                          std::move(rhs), loc);
+    }
+}
+
+ExprPtr Parser::parse_unary() {
+    auto loc = peek().loc;
+    UnaryOp op;
+    switch (peek().kind) {
+    case TokKind::Plus: op = UnaryOp::Plus; break;
+    case TokKind::Minus: op = UnaryOp::Minus; break;
+    case TokKind::Bang: op = UnaryOp::LogNot; break;
+    case TokKind::Tilde: op = UnaryOp::BitNot; break;
+    case TokKind::Amp: op = UnaryOp::RedAnd; break;
+    case TokKind::Pipe: op = UnaryOp::RedOr; break;
+    case TokKind::Caret: op = UnaryOp::RedXor; break;
+    case TokKind::NandRed: op = UnaryOp::RedNand; break;
+    case TokKind::NorRed: op = UnaryOp::RedNor; break;
+    case TokKind::TildeCaret: op = UnaryOp::RedXnor; break;
+    default:
+        return parse_primary();
+    }
+    advance();
+    auto operand = parse_unary();
+    if (!operand) return nullptr;
+    return make_unary(op, std::move(operand), loc);
+}
+
+ExprPtr Parser::parse_primary() {
+    auto loc = peek().loc;
+    switch (peek().kind) {
+    case TokKind::Number: {
+        BitVec v;
+        std::string text = advance().text;
+        if (!BitVec::parse_verilog(text, v)) {
+            diags_.error(loc, "malformed number literal '" + text + "'");
+            return nullptr;
+        }
+        return make_number(v, loc);
+    }
+    case TokKind::Ident:
+        return parse_ident_expr();
+    case TokKind::LParen: {
+        advance();
+        auto e = parse_expr();
+        expect(TokKind::RParen, "parenthesized expression");
+        return e;
+    }
+    case TokKind::LBrace:
+        return parse_concat_or_replicate();
+    default:
+        error_here(std::string("unexpected token ") +
+                   tok_kind_name(peek().kind) + " in expression");
+        return nullptr;
+    }
+}
+
+ExprPtr Parser::parse_ident_expr() {
+    auto loc = peek().loc;
+    std::string name = advance().text;
+    if (!consume_if(TokKind::LBracket)) return make_ident(std::move(name), loc);
+
+    auto first = parse_expr();
+    if (!first) return nullptr;
+    if (consume_if(TokKind::Colon)) {
+        auto second = parse_expr();
+        expect(TokKind::RBracket, "part select");
+        if (!second) return nullptr;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::PartSelect;
+        e->loc = loc;
+        e->ident = std::move(name);
+        // Resolve literal bounds immediately; parameterized bounds are kept
+        // as ops[0]/ops[1] for the elaborator.
+        ConstEnv empty;
+        auto m = const_eval_int(*first, empty);
+        auto l = const_eval_int(*second, empty);
+        if (m && l) {
+            e->msb = *m;
+            e->lsb = *l;
+        }
+        e->ops.push_back(std::move(first));
+        e->ops.push_back(std::move(second));
+        return e;
+    }
+    expect(TokKind::RBracket, "bit select");
+    return make_bit_select(std::move(name), std::move(first), loc);
+}
+
+ExprPtr Parser::parse_concat_or_replicate() {
+    auto loc = peek().loc;
+    expect(TokKind::LBrace, "concatenation");
+    auto first = parse_expr();
+    if (!first) return nullptr;
+
+    if (at(TokKind::LBrace)) {
+        // Replication: {count{expr}}
+        advance();
+        auto inner = parse_expr();
+        expect(TokKind::RBrace, "replication");
+        expect(TokKind::RBrace, "replication");
+        if (!inner) return nullptr;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Replicate;
+        e->loc = loc;
+        e->ops.push_back(std::move(inner));
+        ConstEnv empty;
+        if (auto n = const_eval_int(*first, empty); n && *n > 0) {
+            e->rep_count = static_cast<uint32_t>(*n);
+        } else {
+            // Parameterized count: keep the expression for the elaborator.
+            e->rep_count = 0;
+            e->ops.push_back(std::move(first));
+        }
+        return e;
+    }
+
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Concat;
+    e->loc = loc;
+    e->ops.push_back(std::move(first));
+    while (consume_if(TokKind::Comma)) {
+        auto part = parse_expr();
+        if (!part) return nullptr;
+        e->ops.push_back(std::move(part));
+    }
+    expect(TokKind::RBrace, "concatenation");
+    return e;
+}
+
+bool Parser::check_lvalue(const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Ident:
+    case ExprKind::BitSelect:
+    case ExprKind::PartSelect:
+        return true;
+    case ExprKind::Concat: {
+        for (const auto& op : e.ops) {
+            if (!check_lvalue(*op)) return false;
+        }
+        return !e.ops.empty();
+    }
+    default:
+        return false;
+    }
+}
+
+} // namespace factor::rtl

@@ -1,0 +1,84 @@
+// Recursive-descent parser for the synthesizable Verilog subset.
+//
+// Supported constructs: module declarations (ANSI and non-ANSI headers),
+// input/output/inout ports, wire/reg/integer declarations, parameter and
+// localparam declarations (header and body), continuous assignments, always
+// blocks (edge- and level-sensitive), begin/end, if/else, case/casez/casex,
+// bounded for loops, module instances with named/positional connections and
+// parameter overrides, and the full operator expression grammar including
+// concatenation, replication, bit- and part-selects.
+#pragma once
+
+#include "rtl/ast.hpp"
+#include "rtl/lexer.hpp"
+#include "util/diagnostics.hpp"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace factor::rtl {
+
+class Parser {
+  public:
+    Parser(std::vector<Token> tokens, util::DiagEngine& diags);
+
+    /// Parse all modules in the token stream into `design`.
+    void parse_into(Design& design);
+
+    /// Convenience: lex + parse a source buffer.
+    static void parse_source(std::string_view text, const std::string& file,
+                             Design& design, util::DiagEngine& diags);
+
+    /// Parse a standalone expression (testing hook). Returns null on error.
+    [[nodiscard]] ExprPtr parse_standalone_expr();
+
+  private:
+    // --- token plumbing -----------------------------------------------------
+    [[nodiscard]] const Token& peek(size_t ahead = 0) const;
+    [[nodiscard]] bool at(TokKind k) const { return peek().kind == k; }
+    const Token& advance();
+    bool consume_if(TokKind k);
+    /// Consume a token of kind `k` or report an error. Returns true if it
+    /// was consumed.
+    bool expect(TokKind k, const char* context);
+    void error_here(const std::string& message);
+    /// Skip tokens until after the next ';' (or a module boundary).
+    void synchronize();
+
+    // --- grammar ------------------------------------------------------------
+    [[nodiscard]] std::unique_ptr<Module> parse_module();
+    void parse_header_params(Module& m);
+    void parse_port_list(Module& m, std::set<std::string>& pending_dirs);
+    void parse_item(Module& m, std::set<std::string>& pending_dirs);
+    void parse_port_decl(Module& m, std::set<std::string>& pending_dirs);
+    void parse_net_decl(Module& m);
+    void parse_param_decl(Module& m, bool local);
+    void parse_cont_assign(Module& m);
+    void parse_always(Module& m);
+    void parse_instance(Module& m);
+    [[nodiscard]] Range parse_range_opt();
+    [[nodiscard]] StmtPtr parse_stmt();
+    [[nodiscard]] StmtPtr parse_assign_stmt(bool expect_semi);
+
+    [[nodiscard]] ExprPtr parse_expr();
+    /// Restricted expression for assignment targets: identifier (with
+    /// optional select) or a concatenation of lvalues. Using the full
+    /// expression grammar here would mis-parse "q <= x" as a comparison.
+    [[nodiscard]] ExprPtr parse_lvalue();
+    [[nodiscard]] ExprPtr parse_ternary();
+    [[nodiscard]] ExprPtr parse_binary(int min_prec);
+    [[nodiscard]] ExprPtr parse_unary();
+    [[nodiscard]] ExprPtr parse_primary();
+    [[nodiscard]] ExprPtr parse_ident_expr();
+    [[nodiscard]] ExprPtr parse_concat_or_replicate();
+
+    /// Validate that `e` is a legal assignment target.
+    [[nodiscard]] bool check_lvalue(const Expr& e);
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    util::DiagEngine& diags_;
+};
+
+} // namespace factor::rtl

@@ -1,0 +1,273 @@
+#include "rtl/printer.hpp"
+
+#include "util/diagnostics.hpp"
+
+#include <sstream>
+
+namespace factor::rtl {
+
+namespace {
+
+void print_expr(std::ostream& os, const Expr& e);
+
+void print_range(std::ostream& os, const Range& r) {
+    if (r.valid()) {
+        os << "[" << r.msb << ":" << r.lsb << "] ";
+    } else if (r.msb_expr && r.lsb_expr) {
+        os << "[" << to_verilog(*r.msb_expr) << ":" << to_verilog(*r.lsb_expr)
+           << "] ";
+    }
+}
+
+void print_expr(std::ostream& os, const Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Number:
+        // Unsized literals (parsed to the default 32 bits) read better and
+        // round-trip identically as plain decimals.
+        if (e.value.width() == 32) {
+            os << e.value.value();
+        } else {
+            os << e.value.to_verilog();
+        }
+        break;
+    case ExprKind::Ident:
+        os << e.ident;
+        break;
+    case ExprKind::Unary:
+        os << "(" << to_string(e.uop);
+        print_expr(os, *e.ops[0]);
+        os << ")";
+        break;
+    case ExprKind::Binary:
+        os << "(";
+        print_expr(os, *e.ops[0]);
+        os << " " << to_string(e.bop) << " ";
+        print_expr(os, *e.ops[1]);
+        os << ")";
+        break;
+    case ExprKind::Ternary:
+        os << "(";
+        print_expr(os, *e.ops[0]);
+        os << " ? ";
+        print_expr(os, *e.ops[1]);
+        os << " : ";
+        print_expr(os, *e.ops[2]);
+        os << ")";
+        break;
+    case ExprKind::Concat: {
+        os << "{";
+        for (size_t i = 0; i < e.ops.size(); ++i) {
+            if (i != 0) os << ", ";
+            print_expr(os, *e.ops[i]);
+        }
+        os << "}";
+        break;
+    }
+    case ExprKind::Replicate:
+        os << "{";
+        if (e.rep_count > 0) {
+            os << e.rep_count;
+        } else if (e.ops.size() > 1) {
+            print_expr(os, *e.ops[1]);
+        }
+        os << "{";
+        print_expr(os, *e.ops[0]);
+        os << "}}";
+        break;
+    case ExprKind::BitSelect:
+        os << e.ident << "[";
+        print_expr(os, *e.ops[0]);
+        os << "]";
+        break;
+    case ExprKind::PartSelect:
+        os << e.ident << "[";
+        if (e.msb >= 0) {
+            os << e.msb << ":" << e.lsb;
+        } else if (e.ops.size() >= 2) {
+            print_expr(os, *e.ops[0]);
+            os << ":";
+            print_expr(os, *e.ops[1]);
+        }
+        os << "]";
+        break;
+    }
+}
+
+std::string indent_str(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent) {
+    const std::string pad = indent_str(indent);
+    switch (s.kind) {
+    case StmtKind::Block:
+        os << pad << "begin";
+        if (!s.label.empty()) os << " : " << s.label;
+        os << "\n";
+        for (const auto& st : s.stmts) print_stmt(os, *st, indent + 1);
+        os << pad << "end\n";
+        break;
+    case StmtKind::Assign:
+        os << pad << to_verilog(*s.lhs) << (s.nonblocking ? " <= " : " = ")
+           << to_verilog(*s.rhs) << ";\n";
+        break;
+    case StmtKind::If:
+        os << pad << "if (" << to_verilog(*s.cond) << ")\n";
+        if (s.then_s) {
+            print_stmt(os, *s.then_s, indent + 1);
+        } else {
+            os << indent_str(indent + 1) << ";\n";
+        }
+        if (s.else_s) {
+            os << pad << "else\n";
+            print_stmt(os, *s.else_s, indent + 1);
+        }
+        break;
+    case StmtKind::Case: {
+        os << pad << (s.casez ? "casez" : "case") << " (" << to_verilog(*s.cond)
+           << ")\n";
+        for (const auto& item : s.items) {
+            if (item.labels.empty()) {
+                os << indent_str(indent + 1) << "default:\n";
+            } else {
+                os << indent_str(indent + 1);
+                for (size_t i = 0; i < item.labels.size(); ++i) {
+                    if (i != 0) os << ", ";
+                    os << to_verilog(*item.labels[i]);
+                }
+                os << ":\n";
+            }
+            if (item.body) print_stmt(os, *item.body, indent + 2);
+        }
+        os << pad << "endcase\n";
+        break;
+    }
+    case StmtKind::For: {
+        auto inline_assign = [](const Stmt& a) {
+            return to_verilog(*a.lhs) + " = " + to_verilog(*a.rhs);
+        };
+        os << pad << "for (" << (s.init ? inline_assign(*s.init) : "") << "; "
+           << (s.cond ? to_verilog(*s.cond) : "") << "; "
+           << (s.step ? inline_assign(*s.step) : "") << ")\n";
+        if (s.body) print_stmt(os, *s.body, indent + 1);
+        break;
+    }
+    case StmtKind::Null:
+        os << pad << ";\n";
+        break;
+    }
+}
+
+} // namespace
+
+std::string to_verilog(const Expr& e) {
+    std::ostringstream os;
+    print_expr(os, e);
+    return os.str();
+}
+
+std::string to_verilog(const Stmt& s, int indent) {
+    std::ostringstream os;
+    print_stmt(os, s, indent);
+    return os.str();
+}
+
+std::string to_verilog(const Module& m) {
+    std::ostringstream os;
+    os << "module " << m.name;
+    if (!m.params.empty()) {
+        bool any_nonlocal = false;
+        for (const auto& p : m.params) any_nonlocal |= !p.local;
+        if (any_nonlocal) {
+            os << " #(";
+            bool first = true;
+            for (const auto& p : m.params) {
+                if (p.local) continue;
+                if (!first) os << ", ";
+                first = false;
+                os << "parameter " << p.name << " = " << to_verilog(*p.value);
+            }
+            os << ")";
+        }
+    }
+    os << " (";
+    for (size_t i = 0; i < m.ports.size(); ++i) {
+        if (i != 0) os << ", ";
+        const Port& p = m.ports[i];
+        os << to_string(p.dir) << " ";
+        if (p.is_reg) os << "reg ";
+        print_range(os, p.range);
+        os << p.name;
+    }
+    os << ");\n";
+
+    for (const auto& p : m.params) {
+        if (!p.local) continue;
+        os << "  localparam " << p.name << " = " << to_verilog(*p.value)
+           << ";\n";
+    }
+    for (const auto& d : m.nets) {
+        os << "  " << (d.is_reg ? "reg " : "wire ");
+        print_range(os, d.range);
+        os << d.name << ";\n";
+    }
+    for (const auto& a : m.assigns) {
+        os << "  assign " << to_verilog(*a.lhs) << " = " << to_verilog(*a.rhs)
+           << ";\n";
+    }
+    for (const auto& b : m.always_blocks) {
+        os << "  always @(";
+        if (b.is_comb && b.sens.empty()) {
+            os << "*";
+        } else {
+            for (size_t i = 0; i < b.sens.size(); ++i) {
+                if (i != 0) os << " or ";
+                if (b.sens[i].edge == EdgeKind::Pos) os << "posedge ";
+                if (b.sens[i].edge == EdgeKind::Neg) os << "negedge ";
+                os << b.sens[i].signal;
+            }
+        }
+        os << ")\n";
+        if (b.body) os << to_verilog(*b.body, 2);
+    }
+    for (const auto& inst : m.instances) {
+        os << "  " << inst.module_name;
+        if (!inst.param_overrides.empty()) {
+            os << " #(";
+            for (size_t i = 0; i < inst.param_overrides.size(); ++i) {
+                if (i != 0) os << ", ";
+                const auto& o = inst.param_overrides[i];
+                if (!o.name.empty()) {
+                    os << "." << o.name << "(" << to_verilog(*o.value) << ")";
+                } else {
+                    os << to_verilog(*o.value);
+                }
+            }
+            os << ")";
+        }
+        os << " " << inst.inst_name << " (";
+        for (size_t i = 0; i < inst.conns.size(); ++i) {
+            if (i != 0) os << ", ";
+            const auto& c = inst.conns[i];
+            if (!c.port.empty()) {
+                os << "." << c.port << "(";
+                if (c.expr) os << to_verilog(*c.expr);
+                os << ")";
+            } else if (c.expr) {
+                os << to_verilog(*c.expr);
+            }
+        }
+        os << ");\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+std::string to_verilog(const Design& d) {
+    std::string out;
+    for (const auto& m : d.modules) {
+        out += to_verilog(*m);
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace factor::rtl

@@ -1,0 +1,17 @@
+// Pretty printer: renders AST nodes back to synthesizable Verilog source.
+// Used by the FACTOR constraint writer to emit extracted constraint netlists
+// and by tests to round-trip the parser.
+#pragma once
+
+#include "rtl/ast.hpp"
+
+#include <string>
+
+namespace factor::rtl {
+
+[[nodiscard]] std::string to_verilog(const Expr& e);
+[[nodiscard]] std::string to_verilog(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string to_verilog(const Module& m);
+[[nodiscard]] std::string to_verilog(const Design& d);
+
+} // namespace factor::rtl

@@ -1,0 +1,44 @@
+// Token definitions for the Verilog-subset lexer.
+#pragma once
+
+#include "util/diagnostics.hpp"
+
+#include <string>
+
+namespace factor::rtl {
+
+enum class TokKind {
+    End,
+    Ident,
+    Number,     // full literal text, e.g. "8'hff" or "42"
+    // Keywords
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout,
+    KwWire, KwReg, KwInteger, KwParameter, KwLocalparam,
+    KwAssign, KwAlways, KwPosedge, KwNegedge, KwOr,
+    KwBegin, KwEnd, KwIf, KwElse, KwCase, KwCasez, KwCasex,
+    KwEndcase, KwDefault, KwFor, KwInitial, KwFunction, KwEndfunction,
+    // Punctuation
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Comma, Colon, Dot, Hash, At, Question,
+    // Operators
+    Assign,      // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, AmpAmp, Pipe, PipePipe, Caret, TildeCaret,
+    Tilde, Bang,
+    EqEq, BangEq, EqEqEq, BangEqEq,
+    Lt, LtEq, Gt, GtEq, Shl, Shr,
+    NandRed,     // ~&
+    NorRed,      // ~|
+};
+
+[[nodiscard]] const char* tok_kind_name(TokKind k);
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    util::SourceLoc loc;
+
+    [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+};
+
+} // namespace factor::rtl

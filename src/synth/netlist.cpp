@@ -1,0 +1,231 @@
+#include "synth/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace factor::synth {
+
+using util::FactorError;
+
+const char* to_string(GateType t) {
+    switch (t) {
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Or: return "OR";
+    case GateType::Nand: return "NAND";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+    case GateType::Dff: return "DFF";
+    }
+    return "?";
+}
+
+bool is_const(GateType t) {
+    return t == GateType::Const0 || t == GateType::Const1;
+}
+
+bool is_symmetric(GateType t) {
+    switch (t) {
+    case GateType::And:
+    case GateType::Or:
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+        return true;
+    default:
+        return false;
+    }
+}
+
+NetId Netlist::new_net(std::string name) {
+    NetId id = static_cast<NetId>(net_names_.size());
+    net_names_.push_back(std::move(name));
+    driver_.push_back(kNoGate);
+    return id;
+}
+
+NetId Netlist::add_gate(GateType type, std::vector<NetId> ins,
+                        const std::string& name_hint) {
+    NetId out = new_net(name_hint.empty()
+                            ? name_prefix_ + to_string(type) + "_" +
+                                  std::to_string(gates_.size())
+                            : name_hint);
+    add_gate_driving(out, type, std::move(ins));
+    return out;
+}
+
+void Netlist::add_gate_driving(NetId out, GateType type,
+                               std::vector<NetId> ins) {
+    if (out >= net_names_.size()) throw FactorError("add_gate: bad output net");
+    if (driver_[out] != kNoGate) {
+        throw FactorError("add_gate: net '" + net_names_[out] +
+                          "' already driven");
+    }
+    for (NetId in : ins) {
+        if (in >= net_names_.size()) throw FactorError("add_gate: bad input net");
+    }
+    driver_[out] = static_cast<GateId>(gates_.size());
+    gates_.push_back(Gate{type, out, std::move(ins)});
+}
+
+NetId Netlist::const0() {
+    if (const0_ == kNoNet) const0_ = add_gate(GateType::Const0, {}, "const0");
+    return const0_;
+}
+
+NetId Netlist::const1() {
+    if (const1_ == kNoNet) const1_ = add_gate(GateType::Const1, {}, "const1");
+    return const1_;
+}
+
+void Netlist::mark_input(NetId n) {
+    if (is_driven(n)) {
+        throw FactorError("mark_input: net '" + net_names_[n] + "' is driven");
+    }
+    if (std::find(inputs_.begin(), inputs_.end(), n) == inputs_.end()) {
+        inputs_.push_back(n);
+    }
+}
+
+void Netlist::mark_output(NetId n, const std::string& port_name) {
+    outputs_.push_back(n);
+    output_names_.push_back(port_name.empty() ? net_names_[n] : port_name);
+}
+
+size_t Netlist::logic_gate_count() const {
+    size_t n = 0;
+    for (const auto& g : gates_) {
+        if (!is_const(g.type) && g.type != GateType::Buf) ++n;
+    }
+    return n;
+}
+
+size_t Netlist::dff_count() const {
+    size_t n = 0;
+    for (const auto& g : gates_) {
+        if (g.type == GateType::Dff) ++n;
+    }
+    return n;
+}
+
+std::vector<GateId> Netlist::dffs() const {
+    std::vector<GateId> out;
+    for (GateId i = 0; i < gates_.size(); ++i) {
+        if (gates_[i].type == GateType::Dff) out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<GateId> Netlist::levelize() const {
+    // Kahn's algorithm over combinational gates; DFF outputs are sources.
+    std::vector<uint32_t> pending(gates_.size(), 0);
+    std::vector<std::vector<GateId>> fanout = build_fanout();
+    std::vector<GateId> ready;
+    for (GateId i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        if (g.type == GateType::Dff) continue; // sequential: not levelized
+        uint32_t deps = 0;
+        for (NetId in : g.ins) {
+            GateId d = driver_[in];
+            if (d != kNoGate && gates_[d].type != GateType::Dff) ++deps;
+        }
+        pending[i] = deps;
+        if (deps == 0) ready.push_back(i);
+    }
+    std::vector<GateId> order;
+    order.reserve(gates_.size());
+    size_t head = 0;
+    std::vector<GateId> queue = std::move(ready);
+    while (head < queue.size()) {
+        GateId g = queue[head++];
+        order.push_back(g);
+        for (GateId f : fanout[gates_[g].out]) {
+            if (gates_[f].type == GateType::Dff) continue;
+            if (--pending[f] == 0) queue.push_back(f);
+        }
+    }
+    size_t comb = 0;
+    for (const auto& g : gates_) {
+        if (g.type != GateType::Dff) ++comb;
+    }
+    if (order.size() != comb) {
+        throw FactorError("combinational cycle detected in netlist");
+    }
+    return order;
+}
+
+std::vector<std::vector<GateId>> Netlist::build_fanout() const {
+    std::vector<std::vector<GateId>> fanout(net_names_.size());
+    for (GateId i = 0; i < gates_.size(); ++i) {
+        for (NetId in : gates_[i].ins) fanout[in].push_back(i);
+    }
+    return fanout;
+}
+
+void Netlist::check() const {
+    for (GateId i = 0; i < gates_.size(); ++i) {
+        const Gate& g = gates_[i];
+        if (g.out >= net_names_.size()) throw FactorError("gate with bad output");
+        if (driver_[g.out] != i) throw FactorError("driver table inconsistent");
+        size_t n = g.ins.size();
+        switch (g.type) {
+        case GateType::Const0:
+        case GateType::Const1:
+            if (n != 0) throw FactorError("constant with inputs");
+            break;
+        case GateType::Buf:
+        case GateType::Not:
+        case GateType::Dff:
+            if (n != 1) throw FactorError(std::string(to_string(g.type)) +
+                                          " must have exactly 1 input");
+            break;
+        case GateType::And:
+        case GateType::Or:
+        case GateType::Nand:
+        case GateType::Nor:
+            if (n < 2) throw FactorError(std::string(to_string(g.type)) +
+                                         " needs >= 2 inputs");
+            break;
+        case GateType::Xor:
+        case GateType::Xnor:
+            if (n != 2) throw FactorError("XOR/XNOR must have 2 inputs");
+            break;
+        case GateType::Mux:
+            if (n != 3) throw FactorError("MUX must have 3 inputs");
+            break;
+        }
+    }
+    for (NetId n : inputs_) {
+        if (is_driven(n)) throw FactorError("primary input is driven");
+    }
+    (void)levelize(); // throws on combinational cycles
+}
+
+std::string Netlist::dump() const {
+    std::ostringstream os;
+    os << "netlist: " << num_gates() << " gates (" << logic_gate_count()
+       << " logic, " << dff_count() << " dff), " << inputs_.size() << " PI, "
+       << outputs_.size() << " PO\n";
+    for (NetId n : inputs_) os << "  input  " << net_names_[n] << "\n";
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+        os << "  output " << output_names_[i] << " = "
+           << net_names_[outputs_[i]] << "\n";
+    }
+    for (const Gate& g : gates_) {
+        os << "  " << net_names_[g.out] << " = " << to_string(g.type) << "(";
+        for (size_t i = 0; i < g.ins.size(); ++i) {
+            if (i != 0) os << ", ";
+            os << net_names_[g.ins[i]];
+        }
+        os << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace factor::synth

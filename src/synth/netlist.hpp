@@ -1,0 +1,144 @@
+// Gate-level netlist: the synthesizer's output and the ATPG engine's input.
+//
+// The cell library is deliberately small (the classic ATPG set): constants,
+// BUF/NOT, 2+-input AND/OR/NAND/NOR/XOR/XNOR, a 2:1 MUX and a D flip-flop.
+// All state elements are single-clock DFFs; asynchronous behaviour is folded
+// into synchronous next-state logic by the synthesizer (see DESIGN.md).
+#pragma once
+
+#include "util/diagnostics.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace factor::synth {
+
+using NetId = uint32_t;
+using GateId = uint32_t;
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+enum class GateType : uint8_t {
+    Const0,
+    Const1,
+    Buf,  // 1 input
+    Not,  // 1 input
+    And,  // 2+ inputs
+    Or,   // 2+ inputs
+    Nand, // 2+ inputs
+    Nor,  // 2+ inputs
+    Xor,  // exactly 2 inputs
+    Xnor, // exactly 2 inputs
+    Mux,  // ins = {sel, a, b}: out = sel ? b : a
+    Dff,  // ins = {d}; out = q
+};
+
+[[nodiscard]] const char* to_string(GateType t);
+/// True for Const0/Const1.
+[[nodiscard]] bool is_const(GateType t);
+/// True when input order does not matter (AND/OR/NAND/NOR/XOR/XNOR).
+[[nodiscard]] bool is_symmetric(GateType t);
+
+struct Gate {
+    GateType type = GateType::Buf;
+    NetId out = kNoNet;
+    std::vector<NetId> ins;
+};
+
+/// A flattened single-clock gate netlist.
+///
+/// Nets are pure identifiers; at most one gate drives a net. Nets without a
+/// driving gate are primary inputs. Primary outputs name driven nets.
+class Netlist {
+  public:
+    // ----- construction -----------------------------------------------------
+    /// Create a fresh net. `name` is for reports/debug; may repeat.
+    NetId new_net(std::string name);
+
+    /// Add a gate driving a fresh net; returns that net.
+    NetId add_gate(GateType type, std::vector<NetId> ins,
+                   const std::string& name_hint = "");
+
+    /// Add a gate driving an existing (so far undriven) net.
+    void add_gate_driving(NetId out, GateType type, std::vector<NetId> ins);
+
+    /// Lazily-created shared constant nets.
+    NetId const0();
+    NetId const1();
+
+    /// Prefix applied to auto-generated gate output names (set to the
+    /// current instance path during synthesis so gates attribute to their
+    /// module for fault scoping and the per-module gate counts).
+    void set_name_prefix(std::string prefix) {
+        name_prefix_ = std::move(prefix);
+    }
+    [[nodiscard]] const std::string& name_prefix() const {
+        return name_prefix_;
+    }
+
+    void mark_input(NetId n);
+    void mark_output(NetId n, const std::string& port_name = "");
+
+    // ----- queries ----------------------------------------------------------
+    [[nodiscard]] size_t num_nets() const { return net_names_.size(); }
+    [[nodiscard]] size_t num_gates() const { return gates_.size(); }
+    [[nodiscard]] const Gate& gate(GateId g) const { return gates_[g]; }
+    [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+    [[nodiscard]] const std::string& net_name(NetId n) const {
+        return net_names_[n];
+    }
+    void set_net_name(NetId n, std::string name) {
+        net_names_[n] = std::move(name);
+    }
+
+    /// Driving gate of a net, or kNoGate.
+    static constexpr GateId kNoGate = std::numeric_limits<GateId>::max();
+    [[nodiscard]] GateId driver(NetId n) const { return driver_[n]; }
+    [[nodiscard]] bool is_driven(NetId n) const { return driver_[n] != kNoGate; }
+
+    [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+    [[nodiscard]] const std::vector<NetId>& outputs() const { return outputs_; }
+    [[nodiscard]] const std::string& output_name(size_t i) const {
+        return output_names_[i];
+    }
+
+    /// Logic-gate count excluding constants and buffers (the paper's "gate"
+    /// numbers; buffers are wiring artifacts, constants are tie cells).
+    [[nodiscard]] size_t logic_gate_count() const;
+    /// Number of D flip-flops.
+    [[nodiscard]] size_t dff_count() const;
+
+    /// All DFF gate ids.
+    [[nodiscard]] std::vector<GateId> dffs() const;
+
+    /// Combinational topological order of gate ids (DFF outputs and primary
+    /// inputs are sources; DFFs themselves are excluded). Throws FactorError
+    /// on a combinational cycle.
+    [[nodiscard]] std::vector<GateId> levelize() const;
+
+    /// Fanout lists: for each net, the gates reading it.
+    [[nodiscard]] std::vector<std::vector<GateId>> build_fanout() const;
+
+    /// Validate structural invariants (single driver, inputs undriven,
+    /// arities). Throws FactorError with a description on violation.
+    void check() const;
+
+    /// Human-readable dump for debugging/tests.
+    [[nodiscard]] std::string dump() const;
+
+  private:
+    std::vector<Gate> gates_;
+    std::vector<std::string> net_names_;
+    std::vector<GateId> driver_;
+    std::vector<NetId> inputs_;
+    std::vector<NetId> outputs_;
+    std::vector<std::string> output_names_;
+    NetId const0_ = kNoNet;
+    NetId const1_ = kNoNet;
+    std::string name_prefix_;
+
+    friend class Optimizer;
+};
+
+} // namespace factor::synth

@@ -1,0 +1,286 @@
+#include "synth/optimizer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace factor::synth {
+
+namespace {
+
+/// One rebuild pass: simplify + hash + sweep. Returns the new netlist and
+/// whether anything changed.
+class RebuildPass {
+  public:
+    RebuildPass(const Netlist& old, const OptOptions& options)
+        : old_(old), options_(options) {}
+
+    Netlist run(bool& changed) {
+        compute_liveness();
+        premap_sources();
+        process_comb();
+        process_dffs();
+        finish_interface();
+        changed = out_.num_gates() != old_.num_gates();
+        return std::move(out_);
+    }
+
+  private:
+    // ----- liveness on the old netlist --------------------------------------
+    void compute_liveness() {
+        live_net_.assign(old_.num_nets(), false);
+        std::vector<NetId> work;
+        for (NetId n : old_.outputs()) {
+            if (!live_net_[n]) {
+                live_net_[n] = true;
+                work.push_back(n);
+            }
+        }
+        while (!work.empty()) {
+            NetId n = work.back();
+            work.pop_back();
+            GateId d = old_.driver(n);
+            if (d == Netlist::kNoGate) continue;
+            for (NetId in : old_.gate(d).ins) {
+                if (!live_net_[in]) {
+                    live_net_[in] = true;
+                    work.push_back(in);
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] bool gate_live(const Gate& g) const {
+        return live_net_[g.out];
+    }
+
+    // ----- helpers on the new netlist ---------------------------------------
+    enum class CV { Zero, One, Other };
+
+    [[nodiscard]] CV cv(NetId n) const {
+        GateId d = out_.driver(n);
+        if (d == Netlist::kNoGate) return CV::Other;
+        GateType t = out_.gate(d).type;
+        if (t == GateType::Const0) return CV::Zero;
+        if (t == GateType::Const1) return CV::One;
+        return CV::Other;
+    }
+
+    /// If `n` is driven by NOT(x) in the new netlist, return x.
+    [[nodiscard]] NetId not_input(NetId n) const {
+        GateId d = out_.driver(n);
+        if (d == Netlist::kNoGate) return kNoNet;
+        const Gate& g = out_.gate(d);
+        return g.type == GateType::Not ? g.ins[0] : kNoNet;
+    }
+
+    NetId hashed_gate(GateType type, std::vector<NetId> ins) {
+        std::vector<NetId> key_ins = ins;
+        if (is_symmetric(type)) std::sort(key_ins.begin(), key_ins.end());
+        // Hash within the owning instance only (the domain is the
+        // hierarchical prefix of the gate being rebuilt). Merging identical
+        // gates across module boundaries would reattach one module's net
+        // names to another's logic, corrupting per-module gate counts and
+        // fault scoping — the moral equivalent of synthesizing with
+        // boundary optimization disabled.
+        auto key = std::make_tuple(current_domain_, type, std::move(key_ins));
+        auto it = hash_.find(key);
+        if (it != hash_.end()) return it->second;
+        NetId n = out_.add_gate(type, std::move(ins));
+        hash_.emplace(std::move(key), n);
+        return n;
+    }
+
+    NetId mk_not(NetId a) {
+        switch (cv(a)) {
+        case CV::Zero: return out_.const1();
+        case CV::One: return out_.const0();
+        case CV::Other: break;
+        }
+        if (NetId x = not_input(a); x != kNoNet) return x;
+        return hashed_gate(GateType::Not, {a});
+    }
+
+    NetId mk_andor(GateType type, std::vector<NetId> ins) {
+        const bool is_and = type == GateType::And;
+        const CV absorb = is_and ? CV::Zero : CV::One;
+        const CV identity = is_and ? CV::One : CV::Zero;
+        std::vector<NetId> kept;
+        for (NetId in : ins) {
+            CV c = cv(in);
+            if (c == absorb) return is_and ? out_.const0() : out_.const1();
+            if (c == identity) continue;
+            kept.push_back(in);
+        }
+        std::sort(kept.begin(), kept.end());
+        kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+        // Complementary pair?
+        for (NetId in : kept) {
+            NetId x = not_input(in);
+            if (x != kNoNet &&
+                std::binary_search(kept.begin(), kept.end(), x)) {
+                return is_and ? out_.const0() : out_.const1();
+            }
+        }
+        if (kept.empty()) return is_and ? out_.const1() : out_.const0();
+        if (kept.size() == 1) return kept[0];
+        return hashed_gate(type, std::move(kept));
+    }
+
+    NetId mk_xor(NetId a, NetId b) {
+        if (a == b) return out_.const0();
+        CV ca = cv(a);
+        CV cb = cv(b);
+        if (ca == CV::Zero) return b;
+        if (cb == CV::Zero) return a;
+        if (ca == CV::One) return mk_not(b);
+        if (cb == CV::One) return mk_not(a);
+        if (not_input(a) == b || not_input(b) == a) return out_.const1();
+        return hashed_gate(GateType::Xor, {a, b});
+    }
+
+    NetId mk_mux(NetId sel, NetId a0, NetId a1) {
+        CV cs = cv(sel);
+        if (cs == CV::Zero) return a0;
+        if (cs == CV::One) return a1;
+        if (a0 == a1) return a0;
+        CV c0 = cv(a0);
+        CV c1 = cv(a1);
+        if (c0 == CV::Zero && c1 == CV::One) return sel;
+        if (c0 == CV::One && c1 == CV::Zero) return mk_not(sel);
+        if (c0 == CV::Zero) return mk_andor(GateType::And, {sel, a1});
+        if (c1 == CV::Zero) return mk_andor(GateType::And, {mk_not(sel), a0});
+        if (c0 == CV::One) return mk_andor(GateType::Or, {mk_not(sel), a1});
+        if (c1 == CV::One) return mk_andor(GateType::Or, {sel, a0});
+        if (a1 == sel) return mk_andor(GateType::Or, {sel, a0});  // sel?sel:a0
+        if (a0 == sel) return mk_andor(GateType::And, {sel, a1}); // sel?a1:sel
+        return hashed_gate(GateType::Mux, {sel, a0, a1});
+    }
+
+    // ----- passes ------------------------------------------------------------
+    void premap_sources() {
+        map_.assign(old_.num_nets(), kNoNet);
+        // Primary inputs keep their identity and name.
+        for (NetId n : old_.inputs()) {
+            NetId nn = out_.new_net(old_.net_name(n));
+            out_.mark_input(nn);
+            map_[n] = nn;
+        }
+        // DFF outputs are sources for combinational mapping.
+        for (GateId g : old_.dffs()) {
+            if (!gate_live(old_.gate(g))) continue;
+            NetId q = old_.gate(g).out;
+            map_[q] = out_.new_net(old_.net_name(q));
+        }
+    }
+
+    [[nodiscard]] NetId mapped(NetId old_net) {
+        NetId n = map_[old_net];
+        if (n == kNoNet) {
+            // Undriven (unknown) net in the old netlist: preserve as an
+            // undriven net so downstream X semantics survive.
+            n = out_.new_net(old_.net_name(old_net));
+            map_[old_net] = n;
+        }
+        return n;
+    }
+
+    void process_comb() {
+        for (GateId gid : old_.levelize()) {
+            const Gate& g = old_.gate(gid);
+            if (!gate_live(g)) continue;
+            const std::string& gname = old_.net_name(g.out);
+            auto dot = gname.rfind('.');
+            current_domain_ =
+                dot == std::string::npos ? std::string() : gname.substr(0, dot);
+            std::vector<NetId> ins;
+            ins.reserve(g.ins.size());
+            for (NetId in : g.ins) ins.push_back(mapped(in));
+            const NetId nets_before = static_cast<NetId>(out_.num_nets());
+            NetId result = kNoNet;
+            switch (g.type) {
+            case GateType::Const0: result = out_.const0(); break;
+            case GateType::Const1: result = out_.const1(); break;
+            case GateType::Buf: result = ins[0]; break;
+            case GateType::Not: result = mk_not(ins[0]); break;
+            case GateType::And:
+            case GateType::Or:
+                result = mk_andor(g.type, std::move(ins));
+                break;
+            case GateType::Nand:
+                result = mk_not(mk_andor(GateType::And, std::move(ins)));
+                break;
+            case GateType::Nor:
+                result = mk_not(mk_andor(GateType::Or, std::move(ins)));
+                break;
+            case GateType::Xor: result = mk_xor(ins[0], ins[1]); break;
+            case GateType::Xnor: result = mk_not(mk_xor(ins[0], ins[1])); break;
+            case GateType::Mux: result = mk_mux(ins[0], ins[1], ins[2]); break;
+            case GateType::Dff: continue; // handled separately
+            }
+            // Keep the original net name on freshly created gates so
+            // hierarchical attribution (fault scoping, per-module gate
+            // counts) survives optimization.
+            if (result != kNoNet && result >= nets_before) {
+                out_.set_net_name(result, old_.net_name(g.out));
+            }
+            map_[g.out] = result;
+        }
+    }
+
+    void process_dffs() {
+        std::map<NetId, NetId> dff_by_d; // d -> q (register merging)
+        for (GateId gid : old_.dffs()) {
+            const Gate& g = old_.gate(gid);
+            if (!gate_live(g)) continue;
+            NetId q = map_[g.out];
+            NetId d = mapped(g.ins[0]);
+            if (options_.merge_registers) {
+                auto it = dff_by_d.find(d);
+                if (it != dff_by_d.end()) {
+                    // Equivalent register: forward the kept one's output.
+                    // (Combinational fanout already read `q`, so drive it
+                    // with a buffer; the next iteration elides it.)
+                    out_.add_gate_driving(q, GateType::Buf, {it->second});
+                    continue;
+                }
+                dff_by_d.emplace(d, q);
+            }
+            out_.add_gate_driving(q, GateType::Dff, {d});
+        }
+    }
+
+    void finish_interface() {
+        for (size_t i = 0; i < old_.outputs().size(); ++i) {
+            out_.mark_output(mapped(old_.outputs()[i]), old_.output_name(i));
+        }
+    }
+
+    const Netlist& old_;
+    const OptOptions& options_;
+    Netlist out_;
+    std::vector<bool> live_net_;
+    std::vector<NetId> map_;
+    std::string current_domain_;
+    std::map<std::tuple<std::string, GateType, std::vector<NetId>>, NetId>
+        hash_;
+};
+
+} // namespace
+
+OptStats optimize(Netlist& nl, const OptOptions& options) {
+    OptStats stats;
+    stats.gates_before = nl.num_gates();
+    for (unsigned i = 0; i < options.max_iterations; ++i) {
+        ++stats.iterations;
+        bool changed = false;
+        RebuildPass pass(nl, options);
+        Netlist next = pass.run(changed);
+        nl = std::move(next);
+        if (!changed) break;
+    }
+    stats.gates_after = nl.num_gates();
+    return stats;
+}
+
+} // namespace factor::synth

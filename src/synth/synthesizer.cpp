@@ -1,0 +1,1044 @@
+#include "synth/synthesizer.hpp"
+
+#include "rtl/const_eval.hpp"
+#include "rtl/printer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace factor::synth {
+
+using rtl::ExprKind;
+using util::BitVec;
+
+Synthesizer::Synthesizer(const rtl::Design& design, util::DiagEngine& diags,
+                         Options options)
+    : design_(design), diags_(diags), options_(options) {}
+
+void Synthesizer::error(const util::SourceLoc& loc, const std::string& msg) {
+    diags_.error(loc, msg);
+}
+
+// --------------------------------------------------------------------- gates
+
+namespace {
+
+/// Constant-ness of a net for build-time folding.
+enum class CV { Zero, One, Other };
+
+CV const_value(const Netlist& nl, NetId n) {
+    GateId d = nl.driver(n);
+    if (d == Netlist::kNoGate) return CV::Other;
+    GateType t = nl.gate(d).type;
+    if (t == GateType::Const0) return CV::Zero;
+    if (t == GateType::Const1) return CV::One;
+    return CV::Other;
+}
+
+} // namespace
+
+NetId Synthesizer::mk_not(NetId a) {
+    switch (const_value(*nl_, a)) {
+    case CV::Zero: return nl_->const1();
+    case CV::One: return nl_->const0();
+    case CV::Other: break;
+    }
+    return nl_->add_gate(GateType::Not, {a});
+}
+
+NetId Synthesizer::mk_and(NetId a, NetId b) {
+    CV ca = const_value(*nl_, a);
+    CV cb = const_value(*nl_, b);
+    if (ca == CV::Zero || cb == CV::Zero) return nl_->const0();
+    if (ca == CV::One) return b;
+    if (cb == CV::One) return a;
+    if (a == b) return a;
+    return nl_->add_gate(GateType::And, {a, b});
+}
+
+NetId Synthesizer::mk_or(NetId a, NetId b) {
+    CV ca = const_value(*nl_, a);
+    CV cb = const_value(*nl_, b);
+    if (ca == CV::One || cb == CV::One) return nl_->const1();
+    if (ca == CV::Zero) return b;
+    if (cb == CV::Zero) return a;
+    if (a == b) return a;
+    return nl_->add_gate(GateType::Or, {a, b});
+}
+
+NetId Synthesizer::mk_xor(NetId a, NetId b) {
+    CV ca = const_value(*nl_, a);
+    CV cb = const_value(*nl_, b);
+    if (a == b) return nl_->const0();
+    if (ca == CV::Zero) return b;
+    if (cb == CV::Zero) return a;
+    if (ca == CV::One) return mk_not(b);
+    if (cb == CV::One) return mk_not(a);
+    return nl_->add_gate(GateType::Xor, {a, b});
+}
+
+NetId Synthesizer::mk_xnor(NetId a, NetId b) { return mk_not(mk_xor(a, b)); }
+
+NetId Synthesizer::mk_mux(NetId sel, NetId a0, NetId a1) {
+    CV cs = const_value(*nl_, sel);
+    if (cs == CV::Zero) return a0;
+    if (cs == CV::One) return a1;
+    if (a0 == a1) return a0;
+    CV c0 = const_value(*nl_, a0);
+    CV c1 = const_value(*nl_, a1);
+    if (c0 == CV::Zero && c1 == CV::One) return sel;
+    if (c0 == CV::One && c1 == CV::Zero) return mk_not(sel);
+    if (c0 == CV::Zero) return mk_and(sel, a1);
+    if (c1 == CV::Zero) return mk_and(mk_not(sel), a0);
+    if (c0 == CV::One) return mk_or(mk_not(sel), a1);
+    if (c1 == CV::One) return mk_or(sel, a0);
+    return nl_->add_gate(GateType::Mux, {sel, a0, a1});
+}
+
+NetId Synthesizer::mk_tree(GateType type, const Bits& ins) {
+    assert(!ins.empty());
+    if (ins.size() == 1) return ins[0];
+    // Balanced reduction using the 2-input builders (which fold constants).
+    Bits cur = ins;
+    auto combine = [&](NetId a, NetId b) {
+        switch (type) {
+        case GateType::And: return mk_and(a, b);
+        case GateType::Or: return mk_or(a, b);
+        case GateType::Xor: return mk_xor(a, b);
+        default: throw util::FactorError("mk_tree: unsupported gate type");
+        }
+    };
+    while (cur.size() > 1) {
+        Bits next;
+        for (size_t i = 0; i + 1 < cur.size(); i += 2) {
+            next.push_back(combine(cur[i], cur[i + 1]));
+        }
+        if (cur.size() % 2 == 1) next.push_back(cur.back());
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+NetId Synthesizer::to_bool(const Bits& b) {
+    assert(!b.empty());
+    return b.size() == 1 ? b[0] : mk_tree(GateType::Or, b);
+}
+
+NetId Synthesizer::eq_bits(const Bits& a, const Bits& b) {
+    size_t w = std::max(a.size(), b.size());
+    Bits ea = resize(a, w);
+    Bits eb = resize(b, w);
+    Bits terms;
+    for (size_t i = 0; i < w; ++i) terms.push_back(mk_xnor(ea[i], eb[i]));
+    return mk_tree(GateType::And, terms);
+}
+
+Synthesizer::Bits Synthesizer::add_bits(const Bits& a, const Bits& b,
+                                        NetId carry_in) {
+    size_t w = std::max(a.size(), b.size());
+    Bits ea = resize(a, w);
+    Bits eb = resize(b, w);
+    Bits sum(w);
+    NetId carry = carry_in;
+    for (size_t i = 0; i < w; ++i) {
+        NetId axb = mk_xor(ea[i], eb[i]);
+        sum[i] = mk_xor(axb, carry);
+        carry = mk_or(mk_and(ea[i], eb[i]), mk_and(carry, axb));
+    }
+    return sum;
+}
+
+NetId Synthesizer::lt_bits(const Bits& a, const Bits& b) {
+    // Unsigned a < b  <=>  borrow out of (a - b). Compute a + ~b + 1 and
+    // invert the final carry.
+    size_t w = std::max(a.size(), b.size());
+    Bits ea = resize(a, w);
+    Bits eb = resize(b, w);
+    NetId carry = nl_->const1();
+    for (size_t i = 0; i < w; ++i) {
+        NetId nb = mk_not(eb[i]);
+        NetId axb = mk_xor(ea[i], nb);
+        carry = mk_or(mk_and(ea[i], nb), mk_and(carry, axb));
+    }
+    return mk_not(carry);
+}
+
+Synthesizer::Bits Synthesizer::mul_bits(const Bits& a, const Bits& b) {
+    size_t w = std::max(a.size(), b.size());
+    Bits ea = resize(a, w);
+    Bits eb = resize(b, w);
+    Bits acc(w, nl_->const0());
+    for (size_t i = 0; i < w; ++i) {
+        // partial = (a << i) masked by b[i]
+        Bits partial(w, nl_->const0());
+        for (size_t j = i; j < w; ++j) {
+            partial[j] = mk_and(ea[j - i], eb[i]);
+        }
+        acc = add_bits(acc, partial, nl_->const0());
+    }
+    return acc;
+}
+
+Synthesizer::Bits Synthesizer::shift_bits(const Bits& a, const Bits& amount,
+                                          bool left) {
+    Bits cur = a;
+    size_t w = a.size();
+    // Barrel shifter over the meaningful amount bits.
+    for (size_t j = 0; j < amount.size(); ++j) {
+        size_t dist = size_t{1} << j;
+        if (j >= 16 || dist >= 2 * w) {
+            // Any set high bit shifts everything out.
+            Bits zeroed(w, nl_->const0());
+            cur = mux_bits(amount[j], cur, zeroed);
+            continue;
+        }
+        Bits shifted(w, nl_->const0());
+        for (size_t i = 0; i < w; ++i) {
+            if (left) {
+                if (i >= dist) shifted[i] = cur[i - dist];
+            } else {
+                if (i + dist < w) shifted[i] = cur[i + dist];
+            }
+        }
+        cur = mux_bits(amount[j], cur, shifted);
+    }
+    return cur;
+}
+
+Synthesizer::Bits Synthesizer::const_bits(const BitVec& v) {
+    Bits out(v.width());
+    for (uint32_t i = 0; i < v.width(); ++i) {
+        out[i] = v.bit(i) ? nl_->const1() : nl_->const0();
+    }
+    return out;
+}
+
+Synthesizer::Bits Synthesizer::resize(Bits b, size_t width) {
+    while (b.size() < width) b.push_back(nl_->const0());
+    b.resize(width);
+    return b;
+}
+
+Synthesizer::Bits Synthesizer::mux_bits(NetId sel, const Bits& a0,
+                                        const Bits& a1) {
+    size_t w = std::max(a0.size(), a1.size());
+    Bits e0 = resize(a0, w);
+    Bits e1 = resize(a1, w);
+    Bits out(w);
+    for (size_t i = 0; i < w; ++i) out[i] = mk_mux(sel, e0[i], e1[i]);
+    return out;
+}
+
+// ------------------------------------------------------------------ run
+
+Netlist Synthesizer::run(const elab::InstNode& root, const ItemFilter* filter) {
+    Netlist nl;
+    nl_ = &nl;
+    contexts_.clear();
+    clock_name_.clear();
+    warned_multiclock_ = false;
+
+    ItemFilter default_filter;
+    const ItemFilter& f = filter != nullptr ? *filter : default_filter;
+
+    // Pass 1: declare all signals of every included instance.
+    struct Pending {
+        const elab::InstNode* node;
+        InstCtx* ctx;
+    };
+    std::vector<Pending> order;
+    std::map<const elab::InstNode*, InstCtx*> ctx_of;
+
+    auto declare_rec = [&](auto&& self, const elab::InstNode& node,
+                           const std::string& prefix) -> void {
+        auto ctx = std::make_unique<InstCtx>();
+        ctx->node = &node;
+        ctx->prefix = prefix;
+        declare_signals(*ctx);
+        ctx_of[&node] = ctx.get();
+        order.push_back(Pending{&node, ctx.get()});
+        contexts_.push_back(std::move(ctx));
+        for (const auto& child : node.children) {
+            if (!f.include_instance(*child)) continue;
+            std::string child_prefix =
+                options_.hierarchical_names
+                    ? prefix + child->inst_name + "."
+                    : prefix;
+            self(self, *child, child_prefix);
+        }
+    };
+    declare_rec(declare_rec, root, "");
+
+    // Root ports become the netlist interface.
+    InstCtx& root_ctx = *ctx_of.at(&root);
+    for (const auto& p : root.module->ports) {
+        Bits& bits = root_ctx.nets.at(p.name);
+        if (p.dir == rtl::PortDir::Input) {
+            for (NetId b : bits) nl.mark_input(b);
+        }
+    }
+
+    // Pass 2: wire everything.
+    for (const auto& pending : order) {
+        wire_instance(*pending.ctx, f);
+        for (const auto& child : pending.node->children) {
+            auto it = ctx_of.find(child.get());
+            if (it == ctx_of.end()) continue; // filtered out
+            wire_child_connections(*pending.ctx, *it->second, *child->inst);
+        }
+    }
+
+    // Mark outputs last (bit order LSB..MSB with indexed names).
+    for (const auto& p : root.module->ports) {
+        if (p.dir != rtl::PortDir::Output) continue;
+        Bits& bits = root_ctx.nets.at(p.name);
+        int32_t lsb = root_ctx.lsb.at(p.name);
+        for (size_t i = 0; i < bits.size(); ++i) {
+            std::string pname =
+                bits.size() == 1
+                    ? p.name
+                    : p.name + "[" + std::to_string(lsb + static_cast<int32_t>(i)) + "]";
+            nl.mark_output(bits[i], pname);
+        }
+    }
+
+    nl_ = nullptr;
+    contexts_.clear();
+    return nl;
+}
+
+void Synthesizer::declare_signals(InstCtx& ctx) {
+    auto declare = [&](const std::string& name, const rtl::Range& r) {
+        if (ctx.nets.count(name) != 0) return;
+        uint32_t w = r.width();
+        int32_t lsb = r.valid() ? r.lsb : 0;
+        Bits bits(w);
+        for (uint32_t i = 0; i < w; ++i) {
+            std::string n = ctx.prefix + name;
+            if (w > 1) n += "[" + std::to_string(lsb + static_cast<int32_t>(i)) + "]";
+            bits[i] = nl_->new_net(std::move(n));
+        }
+        ctx.nets[name] = std::move(bits);
+        ctx.lsb[name] = lsb;
+    };
+    for (const auto& p : ctx.node->module->ports) declare(p.name, p.range);
+    for (const auto& d : ctx.node->module->nets) declare(d.name, d.range);
+}
+
+void Synthesizer::wire_instance(InstCtx& ctx, const ItemFilter& filter) {
+    nl_->set_name_prefix(ctx.prefix);
+    const rtl::Module& m = *ctx.node->module;
+    for (const auto& a : m.assigns) {
+        if (!filter.include_assign(*ctx.node, a)) continue;
+        synth_cont_assign(ctx, a);
+    }
+    for (const auto& b : m.always_blocks) {
+        synth_always(ctx, b, filter);
+    }
+}
+
+void Synthesizer::wire_child_connections(InstCtx& parent, InstCtx& child,
+                                         const rtl::Instance& inst) {
+    nl_->set_name_prefix(parent.prefix);
+    const rtl::Module& child_mod = *child.node->module;
+    bool positional = !inst.conns.empty() && inst.conns.front().port.empty();
+    for (size_t i = 0; i < inst.conns.size(); ++i) {
+        const rtl::PortConn& c = inst.conns[i];
+        const rtl::Port* port = nullptr;
+        if (positional) {
+            if (i >= child_mod.ports.size()) break;
+            port = &child_mod.ports[i];
+        } else {
+            port = child_mod.find_port(c.port);
+        }
+        if (port == nullptr || c.expr == nullptr) continue;
+        Bits& port_bits = child.nets.at(port->name);
+        if (port->dir == rtl::PortDir::Input) {
+            Bits value = eval(parent, nullptr, *c.expr);
+            value = resize(std::move(value), port_bits.size());
+            for (size_t b = 0; b < port_bits.size(); ++b) {
+                if (!nl_->is_driven(port_bits[b])) {
+                    nl_->add_gate_driving(port_bits[b], GateType::Buf,
+                                          {value[b]});
+                }
+            }
+        } else if (port->dir == rtl::PortDir::Output) {
+            assign_lvalue(parent, nullptr, *c.expr, port_bits);
+        } else {
+            error(inst.loc, "inout ports are not supported (instance '" +
+                                inst.inst_name + "')");
+        }
+    }
+}
+
+void Synthesizer::synth_cont_assign(InstCtx& ctx, const rtl::ContAssign& a) {
+    Bits rhs = eval(ctx, nullptr, *a.rhs);
+    assign_lvalue(ctx, nullptr, *a.lhs, std::move(rhs));
+}
+
+void Synthesizer::synth_always(InstCtx& ctx, const rtl::AlwaysBlock& b,
+                               const ItemFilter& filter) {
+    if (!b.body) return;
+
+    ProcState st;
+    st.ctx = &ctx;
+    st.block = &b;
+    exec_stmt(st, *b.body, filter);
+
+    if (!b.is_sequential()) {
+        // Combinational: drive the declared nets; unassigned paths would be
+        // latches — warn and leave the bit undriven (unknown to the ATPG).
+        for (auto& [name, bits] : st.bound) {
+            Bits& decl = ctx.nets.at(name);
+            bool latch_warned = false;
+            for (size_t i = 0; i < bits.size() && i < decl.size(); ++i) {
+                if (bits[i] == kNoNet) {
+                    if (!latch_warned) {
+                        diags_.warning(b.loc,
+                                       "signal '" + ctx.prefix + name +
+                                           "' is not assigned on all paths "
+                                           "(latch); treated as unknown");
+                        latch_warned = true;
+                    }
+                    continue;
+                }
+                if (nl_->is_driven(decl[i])) {
+                    diags_.warning(b.loc, "multiple drivers on '" +
+                                              ctx.prefix + name +
+                                              "'; keeping the first");
+                    continue;
+                }
+                nl_->add_gate_driving(decl[i], GateType::Buf, {bits[i]});
+            }
+        }
+        return;
+    }
+
+    // Sequential: identify the clock (edge signals not read by the body);
+    // edge signals that are read become part of the synchronous next-state
+    // function (asynchronous resets folded to synchronous — see DESIGN.md).
+    std::vector<std::string> read;
+    {
+        std::vector<std::string> tmp;
+        // Conservative read set: every identifier in the block body.
+        struct Walk {
+            static void stmt(const rtl::Stmt& s, std::vector<std::string>& out) {
+                if (s.lhs) {
+                    for (const auto& op : s.lhs->ops) rtl::collect_idents(*op, out);
+                }
+                if (s.rhs) rtl::collect_idents(*s.rhs, out);
+                if (s.cond) rtl::collect_idents(*s.cond, out);
+                if (s.then_s) stmt(*s.then_s, out);
+                if (s.else_s) stmt(*s.else_s, out);
+                if (s.init) stmt(*s.init, out);
+                if (s.step) stmt(*s.step, out);
+                if (s.body) stmt(*s.body, out);
+                for (const auto& item : s.items) {
+                    for (const auto& l : item.labels) rtl::collect_idents(*l, out);
+                    if (item.body) stmt(*item.body, out);
+                }
+                for (const auto& sub : s.stmts) {
+                    if (sub) stmt(*sub, out);
+                }
+            }
+        };
+        Walk::stmt(*b.body, tmp);
+        read = std::move(tmp);
+    }
+    for (const auto& s : b.sens) {
+        if (s.edge == rtl::EdgeKind::Level) continue;
+        bool is_read =
+            std::find(read.begin(), read.end(), s.signal) != read.end();
+        if (is_read) continue; // folded reset
+        if (clock_name_.empty()) {
+            clock_name_ = s.signal;
+        } else if (clock_name_ != s.signal && !warned_multiclock_) {
+            diags_.warning(b.loc, "multiple clocks ('" + clock_name_ +
+                                      "', '" + s.signal +
+                                      "'); modeled as one test clock");
+            warned_multiclock_ = true;
+        }
+    }
+
+    for (auto& [name, bits] : st.bound) {
+        Bits& decl = ctx.nets.at(name);
+        for (size_t i = 0; i < bits.size() && i < decl.size(); ++i) {
+            NetId d = bits[i] == kNoNet ? decl[i] : bits[i];
+            if (nl_->is_driven(decl[i])) {
+                diags_.warning(b.loc, "multiple drivers on register '" +
+                                          ctx.prefix + name +
+                                          "'; keeping the first");
+                continue;
+            }
+            nl_->add_gate_driving(decl[i], GateType::Dff, {d});
+        }
+    }
+}
+
+void Synthesizer::exec_stmt(ProcState& st, const rtl::Stmt& s,
+                            const ItemFilter& filter) {
+    switch (s.kind) {
+    case rtl::StmtKind::Assign: {
+        if (!filter.include_stmt(*st.ctx->node, s)) return;
+        // Loop-variable assignment is compile time, handled in For.
+        if (s.lhs->kind == ExprKind::Ident &&
+            st.loop_env.count(s.lhs->ident) != 0) {
+            auto v = rtl::const_eval(*s.rhs, st.loop_env);
+            if (!v) {
+                error(s.loc, "loop variable '" + s.lhs->ident +
+                                 "' assigned a non-constant value");
+                return;
+            }
+            st.loop_env[s.lhs->ident] = *v;
+            return;
+        }
+        exec_assign(st, s);
+        return;
+    }
+    case rtl::StmtKind::Block: {
+        for (const auto& sub : s.stmts) {
+            if (sub) exec_stmt(st, *sub, filter);
+        }
+        return;
+    }
+    case rtl::StmtKind::If: {
+        // A compile-time condition (loop-var dependent) selects statically.
+        if (auto cv = rtl::const_eval(*s.cond, st.loop_env);
+            cv && rtl::is_constant_expr(*s.cond)) {
+            if (!cv->is_zero()) {
+                if (s.then_s) exec_stmt(st, *s.then_s, filter);
+            } else if (s.else_s) {
+                exec_stmt(st, *s.else_s, filter);
+            }
+            return;
+        }
+        NetId cond = to_bool(eval(*st.ctx, &st, *s.cond));
+        auto base = st.bound;
+        if (s.then_s) exec_stmt(st, *s.then_s, filter);
+        auto then_bound = std::move(st.bound);
+        st.bound = base;
+        if (s.else_s) exec_stmt(st, *s.else_s, filter);
+        auto else_bound = std::move(st.bound);
+        st.bound = std::move(base);
+        merge_branches(st, cond, std::move(then_bound), std::move(else_bound));
+        return;
+    }
+    case rtl::StmtKind::Case: {
+        Bits subject = eval(*st.ctx, &st, *s.cond);
+        // Build a priority chain: first matching item wins; default catches
+        // the rest regardless of its position.
+        const rtl::CaseItem* default_item = nullptr;
+        std::vector<const rtl::CaseItem*> labeled;
+        for (const auto& item : s.items) {
+            if (item.labels.empty()) {
+                default_item = &item;
+            } else {
+                labeled.push_back(&item);
+            }
+        }
+        // Recursive lambda building nested if/else over the labeled items.
+        auto chain = [&](auto&& self, size_t idx) -> void {
+            if (idx >= labeled.size()) {
+                if (default_item != nullptr && default_item->body) {
+                    exec_stmt(st, *default_item->body, filter);
+                }
+                return;
+            }
+            const rtl::CaseItem& item = *labeled[idx];
+            Bits match_terms;
+            for (const auto& l : item.labels) {
+                Bits lb = eval(*st.ctx, &st, *l);
+                match_terms.push_back(eq_bits(subject, lb));
+            }
+            NetId cond = mk_tree(GateType::Or, match_terms);
+            auto base = st.bound;
+            if (item.body) exec_stmt(st, *item.body, filter);
+            auto then_bound = std::move(st.bound);
+            st.bound = base;
+            self(self, idx + 1);
+            auto else_bound = std::move(st.bound);
+            st.bound = std::move(base);
+            merge_branches(st, cond, std::move(then_bound),
+                           std::move(else_bound));
+        };
+        chain(chain, 0);
+        return;
+    }
+    case rtl::StmtKind::For: {
+        if (!s.init || s.init->kind != rtl::StmtKind::Assign ||
+            s.init->lhs->kind != ExprKind::Ident) {
+            error(s.loc, "for-loop initializer must assign a loop variable");
+            return;
+        }
+        const std::string var = s.init->lhs->ident;
+        auto v0 = rtl::const_eval(*s.init->rhs, st.loop_env);
+        if (!v0) {
+            error(s.loc, "for-loop initializer is not constant");
+            return;
+        }
+        st.loop_env[var] = *v0;
+        uint32_t iters = 0;
+        while (true) {
+            auto cv = s.cond ? rtl::const_eval(*s.cond, st.loop_env)
+                             : std::nullopt;
+            if (!cv) {
+                error(s.loc, "for-loop condition is not compile-time constant");
+                break;
+            }
+            if (cv->is_zero()) break;
+            if (++iters > options_.max_loop_iterations) {
+                error(s.loc, "for-loop exceeds unroll limit");
+                break;
+            }
+            if (s.body) exec_stmt(st, *s.body, filter);
+            if (!s.step || s.step->kind != rtl::StmtKind::Assign ||
+                s.step->lhs->kind != ExprKind::Ident ||
+                s.step->lhs->ident != var) {
+                error(s.loc, "for-loop step must update the loop variable");
+                break;
+            }
+            auto vn = rtl::const_eval(*s.step->rhs, st.loop_env);
+            if (!vn) {
+                error(s.loc, "for-loop step is not constant");
+                break;
+            }
+            st.loop_env[var] = *vn;
+        }
+        st.loop_env.erase(var);
+        return;
+    }
+    case rtl::StmtKind::Null:
+        return;
+    }
+}
+
+void Synthesizer::exec_assign(ProcState& st, const rtl::Stmt& s) {
+    Bits rhs = eval(*st.ctx, &st, *s.rhs);
+    assign_lvalue(*st.ctx, &st, *s.lhs, std::move(rhs));
+}
+
+void Synthesizer::merge_branches(ProcState& st, NetId cond,
+                                 std::map<std::string, Bits>&& then_bound,
+                                 std::map<std::string, Bits>&& else_bound) {
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : then_bound) keys.push_back(k);
+    for (const auto& [k, v] : else_bound) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    for (const auto& k : keys) {
+        const Bits* tb = then_bound.count(k) ? &then_bound.at(k) : nullptr;
+        const Bits* eb = else_bound.count(k) ? &else_bound.at(k) : nullptr;
+        Bits base;
+        if (st.bound.count(k)) {
+            base = st.bound.at(k);
+        } else {
+            base.assign(st.ctx->nets.at(k).size(), kNoNet);
+        }
+        size_t w = base.size();
+        Bits merged(w);
+        const Bits& decl = st.ctx->nets.at(k);
+        const bool sequential =
+            st.block != nullptr && st.block->is_sequential();
+        for (size_t i = 0; i < w; ++i) {
+            NetId t = tb != nullptr && i < tb->size() ? (*tb)[i] : base[i];
+            NetId e = eb != nullptr && i < eb->size() ? (*eb)[i] : base[i];
+            if (t == e) {
+                merged[i] = t;
+                continue;
+            }
+            if (t == kNoNet || e == kNoNet) {
+                if (!sequential) {
+                    // A combinational path leaves the bit unassigned: that
+                    // is a latch; keep it "unassigned" so synth_always can
+                    // warn and treat the value as unknown.
+                    merged[i] = kNoNet;
+                    continue;
+                }
+                // Sequential hold semantics: the unassigned side keeps the
+                // register value (its declared net is the DFF output).
+            }
+            NetId tv = t == kNoNet ? decl[i] : t;
+            NetId ev = e == kNoNet ? decl[i] : e;
+            merged[i] = mk_mux(cond, ev, tv);
+        }
+        st.bound[k] = std::move(merged);
+    }
+}
+
+Synthesizer::Bits Synthesizer::read_signal(InstCtx& ctx, ProcState* st,
+                                           const std::string& name,
+                                           const util::SourceLoc& loc) {
+    // Combinational (blocking-style) blocks read values assigned earlier in
+    // the block. Sequential blocks follow nonblocking semantics: every read
+    // sees the pre-clock register value (the declared net, i.e. the DFF
+    // output), never this cycle's pending update.
+    const bool sequential =
+        st != nullptr && st->block != nullptr && st->block->is_sequential();
+    if (st != nullptr && !sequential) {
+        auto it = st->bound.find(name);
+        if (it != st->bound.end()) {
+            Bits out = it->second;
+            const Bits& decl = ctx.nets.at(name);
+            for (size_t i = 0; i < out.size(); ++i) {
+                if (out[i] == kNoNet) out[i] = decl[i];
+            }
+            return out;
+        }
+    }
+    auto it = ctx.nets.find(name);
+    if (it == ctx.nets.end()) {
+        error(loc, "reference to unknown signal '" + name + "' in module '" +
+                       ctx.node->module->name + "'");
+        return {nl_->const0()};
+    }
+    return it->second;
+}
+
+void Synthesizer::assign_lvalue(InstCtx& ctx, ProcState* st,
+                                const rtl::Expr& lhs, Bits rhs) {
+    auto drive_decl_bit = [&](NetId decl_bit, NetId value) {
+        if (nl_->is_driven(decl_bit)) {
+            diags_.warning(lhs.loc, "multiple drivers on '" +
+                                        nl_->net_name(decl_bit) +
+                                        "'; keeping the first");
+            return;
+        }
+        nl_->add_gate_driving(decl_bit, GateType::Buf, {value});
+    };
+
+    // Procedural current value of the full signal, for partial updates.
+    auto current_bits = [&](const std::string& name) -> Bits {
+        const Bits& decl = ctx.nets.at(name);
+        if (st != nullptr) {
+            auto it = st->bound.find(name);
+            if (it != st->bound.end()) return it->second;
+        }
+        return Bits(decl.size(), kNoNet);
+    };
+
+    switch (lhs.kind) {
+    case ExprKind::Ident: {
+        auto it = ctx.nets.find(lhs.ident);
+        if (it == ctx.nets.end()) {
+            error(lhs.loc, "assignment to unknown signal '" + lhs.ident + "'");
+            return;
+        }
+        Bits value = resize(std::move(rhs), it->second.size());
+        if (st != nullptr) {
+            st->bound[lhs.ident] = std::move(value);
+        } else {
+            for (size_t i = 0; i < it->second.size(); ++i) {
+                drive_decl_bit(it->second[i], value[i]);
+            }
+        }
+        return;
+    }
+    case ExprKind::PartSelect: {
+        auto it = ctx.nets.find(lhs.ident);
+        if (it == ctx.nets.end() || lhs.msb < 0) {
+            error(lhs.loc, "bad part-select assignment target");
+            return;
+        }
+        int32_t lsb_off = ctx.lsb.at(lhs.ident);
+        int32_t lo = lhs.lsb - lsb_off;
+        int32_t hi = lhs.msb - lsb_off;
+        if (lo < 0 || hi >= static_cast<int32_t>(it->second.size())) {
+            error(lhs.loc, "part-select out of declared range on '" +
+                               lhs.ident + "'");
+            return;
+        }
+        Bits value = resize(std::move(rhs), static_cast<size_t>(hi - lo + 1));
+        if (st != nullptr) {
+            Bits cur = current_bits(lhs.ident);
+            for (int32_t i = lo; i <= hi; ++i) {
+                cur[static_cast<size_t>(i)] = value[static_cast<size_t>(i - lo)];
+            }
+            st->bound[lhs.ident] = std::move(cur);
+        } else {
+            for (int32_t i = lo; i <= hi; ++i) {
+                drive_decl_bit(it->second[static_cast<size_t>(i)],
+                               value[static_cast<size_t>(i - lo)]);
+            }
+        }
+        return;
+    }
+    case ExprKind::BitSelect: {
+        auto it = ctx.nets.find(lhs.ident);
+        if (it == ctx.nets.end()) {
+            error(lhs.loc, "bad bit-select assignment target");
+            return;
+        }
+        int32_t lsb_off = ctx.lsb.at(lhs.ident);
+        // Constant index?
+        rtl::ConstEnv env = st != nullptr ? st->loop_env : rtl::ConstEnv{};
+        if (auto idx = rtl::const_eval_int(*lhs.ops[0], env)) {
+            int32_t i = *idx - lsb_off;
+            if (i < 0 || i >= static_cast<int32_t>(it->second.size())) {
+                error(lhs.loc, "bit-select out of range on '" + lhs.ident + "'");
+                return;
+            }
+            Bits value = resize(std::move(rhs), 1);
+            if (st != nullptr) {
+                Bits cur = current_bits(lhs.ident);
+                cur[static_cast<size_t>(i)] = value[0];
+                st->bound[lhs.ident] = std::move(cur);
+            } else {
+                drive_decl_bit(it->second[static_cast<size_t>(i)], value[0]);
+            }
+            return;
+        }
+        // Variable index: procedural only — every bit muxes between its
+        // current value and the RHS under an index-match condition.
+        if (st == nullptr) {
+            error(lhs.loc, "variable bit-select is not allowed in a "
+                           "continuous assignment");
+            return;
+        }
+        Bits idx_bits = eval(ctx, st, *lhs.ops[0]);
+        Bits value = resize(std::move(rhs), 1);
+        Bits cur = current_bits(lhs.ident);
+        const Bits& decl = it->second;
+        for (size_t i = 0; i < cur.size(); ++i) {
+            BitVec pos(std::max<uint32_t>(
+                           1, static_cast<uint32_t>(idx_bits.size())),
+                       static_cast<uint64_t>(static_cast<int64_t>(i) + lsb_off));
+            NetId match = eq_bits(idx_bits, const_bits(pos));
+            NetId old = cur[i] == kNoNet ? decl[i] : cur[i];
+            cur[i] = mk_mux(match, old, value[0]);
+        }
+        st->bound[lhs.ident] = std::move(cur);
+        return;
+    }
+    case ExprKind::Concat: {
+        // ops[0] is the most significant part; assign slices LSB-first from
+        // the last operand backwards.
+        size_t total = 0;
+        std::vector<size_t> widths(lhs.ops.size());
+        for (size_t i = 0; i < lhs.ops.size(); ++i) {
+            const rtl::Expr& part = *lhs.ops[i];
+            size_t w = 0;
+            if (part.kind == ExprKind::Ident) {
+                w = ctx.nets.count(part.ident)
+                        ? ctx.nets.at(part.ident).size()
+                        : 0;
+            } else if (part.kind == ExprKind::PartSelect && part.msb >= 0) {
+                w = static_cast<size_t>(part.msb - part.lsb + 1);
+            } else if (part.kind == ExprKind::BitSelect) {
+                w = 1;
+            }
+            if (w == 0) {
+                error(lhs.loc, "unsupported concat assignment target part");
+                return;
+            }
+            widths[i] = w;
+            total += w;
+        }
+        Bits value = resize(std::move(rhs), total);
+        size_t off = 0;
+        for (size_t i = lhs.ops.size(); i-- > 0;) {
+            Bits slice(value.begin() + static_cast<long>(off),
+                       value.begin() + static_cast<long>(off + widths[i]));
+            assign_lvalue(ctx, st, *lhs.ops[i], std::move(slice));
+            off += widths[i];
+        }
+        return;
+    }
+    default:
+        error(lhs.loc, "unsupported assignment target");
+    }
+}
+
+Synthesizer::Bits Synthesizer::eval(InstCtx& ctx, ProcState* st,
+                                    const rtl::Expr& e) {
+    switch (e.kind) {
+    case ExprKind::Number:
+        return const_bits(e.value);
+    case ExprKind::Ident: {
+        if (st != nullptr) {
+            auto it = st->loop_env.find(e.ident);
+            if (it != st->loop_env.end()) return const_bits(it->second);
+        }
+        return read_signal(ctx, st, e.ident, e.loc);
+    }
+    case ExprKind::Unary: {
+        Bits a = eval(ctx, st, *e.ops[0]);
+        switch (e.uop) {
+        case rtl::UnaryOp::Plus: return a;
+        case rtl::UnaryOp::Minus: {
+            Bits zero(a.size(), nl_->const0());
+            Bits na(a.size());
+            for (size_t i = 0; i < a.size(); ++i) na[i] = mk_not(a[i]);
+            return add_bits(zero, na, nl_->const1());
+        }
+        case rtl::UnaryOp::LogNot: return {mk_not(to_bool(a))};
+        case rtl::UnaryOp::BitNot: {
+            Bits out(a.size());
+            for (size_t i = 0; i < a.size(); ++i) out[i] = mk_not(a[i]);
+            return out;
+        }
+        case rtl::UnaryOp::RedAnd: return {mk_tree(GateType::And, a)};
+        case rtl::UnaryOp::RedOr: return {mk_tree(GateType::Or, a)};
+        case rtl::UnaryOp::RedXor: return {mk_tree(GateType::Xor, a)};
+        case rtl::UnaryOp::RedNand: return {mk_not(mk_tree(GateType::And, a))};
+        case rtl::UnaryOp::RedNor: return {mk_not(mk_tree(GateType::Or, a))};
+        case rtl::UnaryOp::RedXnor: return {mk_not(mk_tree(GateType::Xor, a))};
+        }
+        return {nl_->const0()};
+    }
+    case ExprKind::Binary:
+        return eval_binary(ctx, st, e);
+    case ExprKind::Ternary: {
+        NetId sel = to_bool(eval(ctx, st, *e.ops[0]));
+        Bits t = eval(ctx, st, *e.ops[1]);
+        Bits f = eval(ctx, st, *e.ops[2]);
+        return mux_bits(sel, f, t);
+    }
+    case ExprKind::Concat: {
+        Bits out;
+        for (size_t i = e.ops.size(); i-- > 0;) {
+            Bits part = eval(ctx, st, *e.ops[i]);
+            out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+    }
+    case ExprKind::Replicate: {
+        Bits part = eval(ctx, st, *e.ops[0]);
+        Bits out;
+        for (uint32_t i = 0; i < e.rep_count; ++i) {
+            out.insert(out.end(), part.begin(), part.end());
+        }
+        if (out.empty()) out.push_back(nl_->const0());
+        return out;
+    }
+    case ExprKind::BitSelect: {
+        Bits base = read_signal(ctx, st, e.ident, e.loc);
+        int32_t lsb_off = ctx.lsb.count(e.ident) ? ctx.lsb.at(e.ident) : 0;
+        rtl::ConstEnv env = st != nullptr ? st->loop_env : rtl::ConstEnv{};
+        if (auto idx = rtl::const_eval_int(*e.ops[0], env)) {
+            int32_t i = *idx - lsb_off;
+            if (i < 0 || i >= static_cast<int32_t>(base.size())) {
+                error(e.loc, "bit-select out of range on '" + e.ident + "'");
+                return {nl_->const0()};
+            }
+            return {base[static_cast<size_t>(i)]};
+        }
+        // Variable index: mux tree over the bits.
+        Bits idx_bits = eval(ctx, st, *e.ops[0]);
+        NetId out = nl_->const0();
+        for (size_t i = 0; i < base.size(); ++i) {
+            BitVec pos(std::max<uint32_t>(
+                           1, static_cast<uint32_t>(idx_bits.size())),
+                       static_cast<uint64_t>(static_cast<int64_t>(i) + lsb_off));
+            NetId match = eq_bits(idx_bits, const_bits(pos));
+            out = mk_mux(match, out, base[i]);
+        }
+        return {out};
+    }
+    case ExprKind::PartSelect: {
+        Bits base = read_signal(ctx, st, e.ident, e.loc);
+        int32_t lsb_off = ctx.lsb.count(e.ident) ? ctx.lsb.at(e.ident) : 0;
+        if (e.msb < 0) {
+            error(e.loc, "unresolved part-select on '" + e.ident + "'");
+            return {nl_->const0()};
+        }
+        int32_t lo = e.lsb - lsb_off;
+        int32_t hi = e.msb - lsb_off;
+        if (lo < 0 || hi >= static_cast<int32_t>(base.size()) || lo > hi) {
+            error(e.loc, "part-select out of range on '" + e.ident + "'");
+            return {nl_->const0()};
+        }
+        return Bits(base.begin() + lo, base.begin() + hi + 1);
+    }
+    }
+    return {nl_->const0()};
+}
+
+Synthesizer::Bits Synthesizer::eval_binary(InstCtx& ctx, ProcState* st,
+                                           const rtl::Expr& e) {
+    using rtl::BinaryOp;
+    // Logical operators evaluate operand truthiness.
+    if (e.bop == BinaryOp::LogAnd || e.bop == BinaryOp::LogOr) {
+        NetId a = to_bool(eval(ctx, st, *e.ops[0]));
+        NetId b = to_bool(eval(ctx, st, *e.ops[1]));
+        return {e.bop == BinaryOp::LogAnd ? mk_and(a, b) : mk_or(a, b)};
+    }
+    Bits a = eval(ctx, st, *e.ops[0]);
+    Bits b = eval(ctx, st, *e.ops[1]);
+    switch (e.bop) {
+    case BinaryOp::Add:
+        return add_bits(a, b, nl_->const0());
+    case BinaryOp::Sub: {
+        size_t w = std::max(a.size(), b.size());
+        Bits eb = resize(b, w);
+        for (auto& bit : eb) bit = mk_not(bit);
+        return add_bits(resize(a, w), eb, nl_->const1());
+    }
+    case BinaryOp::Mul:
+        return mul_bits(a, b);
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+        error(e.loc, "division/modulo of non-constants is not synthesizable "
+                     "in this subset");
+        return Bits(std::max(a.size(), b.size()), nl_->const0());
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor:
+    case BinaryOp::BitXnor: {
+        size_t w = std::max(a.size(), b.size());
+        Bits ea = resize(a, w);
+        Bits eb = resize(b, w);
+        Bits out(w);
+        for (size_t i = 0; i < w; ++i) {
+            switch (e.bop) {
+            case BinaryOp::BitAnd: out[i] = mk_and(ea[i], eb[i]); break;
+            case BinaryOp::BitOr: out[i] = mk_or(ea[i], eb[i]); break;
+            case BinaryOp::BitXor: out[i] = mk_xor(ea[i], eb[i]); break;
+            default: out[i] = mk_xnor(ea[i], eb[i]); break;
+            }
+        }
+        return out;
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::CaseEq:
+        return {eq_bits(a, b)};
+    case BinaryOp::Neq:
+    case BinaryOp::CaseNeq:
+        return {mk_not(eq_bits(a, b))};
+    case BinaryOp::Lt:
+        return {lt_bits(a, b)};
+    case BinaryOp::Gt:
+        return {lt_bits(b, a)};
+    case BinaryOp::Le:
+        return {mk_not(lt_bits(b, a))};
+    case BinaryOp::Ge:
+        return {mk_not(lt_bits(a, b))};
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: {
+        // Constant shift amounts become pure rewiring.
+        rtl::ConstEnv env = st != nullptr ? st->loop_env : rtl::ConstEnv{};
+        if (auto n = rtl::const_eval_int(*e.ops[1], env)) {
+            size_t w = a.size();
+            Bits out(w, nl_->const0());
+            for (size_t i = 0; i < w; ++i) {
+                if (e.bop == BinaryOp::Shl) {
+                    if (i >= static_cast<size_t>(*n)) {
+                        out[i] = a[i - static_cast<size_t>(*n)];
+                    }
+                } else {
+                    if (i + static_cast<size_t>(*n) < w) {
+                        out[i] = a[i + static_cast<size_t>(*n)];
+                    }
+                }
+            }
+            return out;
+        }
+        return shift_bits(a, b, e.bop == BinaryOp::Shl);
+    }
+    default:
+        break;
+    }
+    return {nl_->const0()};
+}
+
+} // namespace factor::synth

@@ -1,0 +1,158 @@
+// RTL-to-gate synthesis: bit-blasts an elaborated design (or any subtree /
+// filtered slice of it) into a flat gate Netlist.
+//
+// This plays the role of the commercial synthesis tool in the paper's flow:
+// FACTOR writes constraint slices, and "the redundant logic or dead code at
+// each level of hierarchy is eliminated during synthesis" — here by the
+// companion Optimizer.
+//
+// Modeling decisions (documented in DESIGN.md):
+//  * Single test clock: every edge-triggered always block becomes DFFs on an
+//    implicit global clock; asynchronous set/reset terms fold into the
+//    synchronous next-state expression.
+//  * Nets that remain undriven inside the cone (constraint slices cut them)
+//    are not primary inputs — the ATPG engine treats them as unknown (X),
+//    matching the paper's "no path from the chip interface" semantics.
+//    Only the root instance's ports become primary inputs/outputs.
+//  * Unassigned paths through combinational always blocks would infer
+//    latches; the synthesizer warns and treats the value as unknown.
+#pragma once
+
+#include "elab/elaborator.hpp"
+#include "rtl/ast.hpp"
+#include "synth/netlist.hpp"
+#include "util/diagnostics.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace factor::synth {
+
+/// Selects which RTL items take part in synthesis. The FACTOR extractor
+/// provides a filter that keeps only the marked constraint slice; the
+/// default includes everything.
+class ItemFilter {
+  public:
+    virtual ~ItemFilter() = default;
+    [[nodiscard]] virtual bool include_assign(const elab::InstNode& node,
+                                              const rtl::ContAssign& a) const {
+        (void)node;
+        (void)a;
+        return true;
+    }
+    /// Procedural assignment statements inside always blocks.
+    [[nodiscard]] virtual bool include_stmt(const elab::InstNode& node,
+                                            const rtl::Stmt& s) const {
+        (void)node;
+        (void)s;
+        return true;
+    }
+    /// Whole child instance subtrees.
+    [[nodiscard]] virtual bool include_instance(const elab::InstNode& child) const {
+        (void)child;
+        return true;
+    }
+};
+
+class Synthesizer {
+  public:
+    struct Options {
+        /// Prefix flattened net names with the instance path.
+        bool hierarchical_names = true;
+        /// Upper bound on for-loop unrolling before an error is reported.
+        uint32_t max_loop_iterations = 4096;
+    };
+
+    Synthesizer(const rtl::Design& design, util::DiagEngine& diags)
+        : Synthesizer(design, diags, Options()) {}
+    Synthesizer(const rtl::Design& design, util::DiagEngine& diags,
+                Options options);
+
+    /// Synthesize the hierarchy rooted at `root`. The root's ports become
+    /// the netlist's primary inputs/outputs. `filter` (optional) restricts
+    /// the RTL items included.
+    [[nodiscard]] Netlist run(const elab::InstNode& root,
+                              const ItemFilter* filter = nullptr);
+
+  private:
+    using Bits = std::vector<NetId>;
+
+    struct InstCtx {
+        const elab::InstNode* node = nullptr;
+        std::string prefix;
+        // Declared nets per signal, LSB first.
+        std::map<std::string, Bits> nets;
+        // Declared LSB offset per signal (range [15:8] => 8).
+        std::map<std::string, int32_t> lsb;
+    };
+
+    /// Per-always-block symbolic execution state.
+    struct ProcState {
+        InstCtx* ctx = nullptr;
+        const rtl::AlwaysBlock* block = nullptr;
+        // Values bound so far for the block's target signals; kNoNet bits
+        // mean "not yet assigned on this path".
+        std::map<std::string, Bits> bound;
+        // Compile-time loop variables.
+        std::map<std::string, util::BitVec> loop_env;
+    };
+
+    void declare_signals(InstCtx& ctx);
+    void wire_instance(InstCtx& ctx, const ItemFilter& filter);
+    void wire_child_connections(InstCtx& parent, InstCtx& child,
+                                const rtl::Instance& inst);
+
+    void synth_cont_assign(InstCtx& ctx, const rtl::ContAssign& a);
+    void synth_always(InstCtx& ctx, const rtl::AlwaysBlock& b,
+                      const ItemFilter& filter);
+    void exec_stmt(ProcState& st, const rtl::Stmt& s, const ItemFilter& filter);
+    void exec_assign(ProcState& st, const rtl::Stmt& s);
+    void merge_branches(ProcState& st, NetId cond,
+                        std::map<std::string, Bits>&& then_bound,
+                        std::map<std::string, Bits>&& else_bound);
+
+    // Expression evaluation.
+    [[nodiscard]] Bits eval(InstCtx& ctx, ProcState* st, const rtl::Expr& e);
+    [[nodiscard]] Bits eval_binary(InstCtx& ctx, ProcState* st,
+                                   const rtl::Expr& e);
+    [[nodiscard]] Bits read_signal(InstCtx& ctx, ProcState* st,
+                                   const std::string& name,
+                                   const util::SourceLoc& loc);
+
+    /// Assign `rhs` to an lvalue: continuous (drives declared nets directly)
+    /// when st == nullptr, procedural (updates st->bound) otherwise.
+    void assign_lvalue(InstCtx& ctx, ProcState* st, const rtl::Expr& lhs,
+                       Bits rhs);
+
+    // Gate-building helpers.
+    [[nodiscard]] NetId mk_not(NetId a);
+    [[nodiscard]] NetId mk_and(NetId a, NetId b);
+    [[nodiscard]] NetId mk_or(NetId a, NetId b);
+    [[nodiscard]] NetId mk_xor(NetId a, NetId b);
+    [[nodiscard]] NetId mk_xnor(NetId a, NetId b);
+    [[nodiscard]] NetId mk_mux(NetId sel, NetId a0, NetId a1);
+    [[nodiscard]] NetId mk_tree(GateType type, const Bits& ins);
+    [[nodiscard]] NetId to_bool(const Bits& b);
+    [[nodiscard]] NetId eq_bits(const Bits& a, const Bits& b);
+    [[nodiscard]] NetId lt_bits(const Bits& a, const Bits& b);
+    [[nodiscard]] Bits add_bits(const Bits& a, const Bits& b, NetId carry_in);
+    [[nodiscard]] Bits mul_bits(const Bits& a, const Bits& b);
+    [[nodiscard]] Bits shift_bits(const Bits& a, const Bits& amount, bool left);
+    [[nodiscard]] Bits const_bits(const util::BitVec& v);
+    [[nodiscard]] Bits resize(Bits b, size_t width);
+    [[nodiscard]] Bits mux_bits(NetId sel, const Bits& a0, const Bits& a1);
+
+    void error(const util::SourceLoc& loc, const std::string& msg);
+
+    const rtl::Design& design_;
+    util::DiagEngine& diags_;
+    Options options_;
+
+    Netlist* nl_ = nullptr; // valid during run()
+    std::vector<std::unique_ptr<InstCtx>> contexts_;
+    bool warned_multiclock_ = false;
+    std::string clock_name_;
+};
+
+} // namespace factor::synth

@@ -1,0 +1,32 @@
+#include "synth/transforms.hpp"
+
+namespace factor::synth {
+
+ExposeStats expose_registers(
+    Netlist& nl, const std::function<bool(const std::string&)>& select) {
+    ExposeStats stats;
+    Netlist out;
+
+    // Identity net mapping keeps this transform simple and predictable.
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        NetId nn = out.new_net(nl.net_name(n));
+        (void)nn;
+    }
+    for (const Gate& g : nl.gates()) {
+        if (g.type == GateType::Dff && select(nl.net_name(g.out))) {
+            ++stats.registers_exposed;
+            out.mark_input(g.out);
+            out.mark_output(g.ins[0], nl.net_name(g.out) + "$next");
+            continue;
+        }
+        out.add_gate_driving(g.out, g.type, g.ins);
+    }
+    for (NetId n : nl.inputs()) out.mark_input(n);
+    for (size_t i = 0; i < nl.outputs().size(); ++i) {
+        out.mark_output(nl.outputs()[i], nl.output_name(i));
+    }
+    nl = std::move(out);
+    return stats;
+}
+
+} // namespace factor::synth

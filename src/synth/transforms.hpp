@@ -1,0 +1,28 @@
+// Netlist transforms used by the FACTOR flow.
+//
+// expose_registers implements the PIER mechanism (paper §2.1): registers
+// that are reachable from the chip interface through load/store instructions
+// are made directly controllable and observable in the ATPG view, cutting
+// the sequential depth of the transformed module. Selected D flip-flops are
+// replaced by a pseudo primary input (the register value) and a pseudo
+// primary output (its next-state function).
+#pragma once
+
+#include "synth/netlist.hpp"
+
+#include <functional>
+#include <string>
+
+namespace factor::synth {
+
+struct ExposeStats {
+    size_t registers_exposed = 0;
+};
+
+/// Rebuild `nl` with every DFF whose output-net name satisfies `select`
+/// turned into a pseudo input/output pair. The pseudo output is named
+/// "<reg>$next".
+ExposeStats expose_registers(Netlist& nl,
+                             const std::function<bool(const std::string&)>& select);
+
+} // namespace factor::synth

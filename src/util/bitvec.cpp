@@ -1,0 +1,150 @@
+#include "util/bitvec.hpp"
+
+#include "util/diagnostics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace factor::util {
+
+BitVec::BitVec(uint32_t width, uint64_t value) {
+    if (width == 0 || width > kMaxWidth) {
+        throw FactorError("BitVec width out of range: " + std::to_string(width));
+    }
+    width_ = width;
+    value_ = value & mask(width);
+}
+
+bool BitVec::parse_verilog(const std::string& text, BitVec& out) {
+    std::string s;
+    s.reserve(text.size());
+    for (char c : text) {
+        if (c != '_') s.push_back(c);
+    }
+    if (s.empty()) return false;
+
+    auto tick = s.find('\'');
+    uint32_t width = 32;
+    int base = 10;
+    std::string digits;
+    if (tick == std::string::npos) {
+        digits = s;
+    } else {
+        if (tick > 0) {
+            try {
+                width = static_cast<uint32_t>(std::stoul(s.substr(0, tick)));
+            } catch (...) {
+                return false;
+            }
+        }
+        if (tick + 1 >= s.size()) return false;
+        char b = static_cast<char>(std::tolower(static_cast<unsigned char>(s[tick + 1])));
+        switch (b) {
+        case 'b': base = 2; break;
+        case 'o': base = 8; break;
+        case 'd': base = 10; break;
+        case 'h': base = 16; break;
+        default: return false;
+        }
+        digits = s.substr(tick + 2);
+    }
+    if (digits.empty() || width == 0 || width > kMaxWidth) return false;
+
+    uint64_t value = 0;
+    for (char c : digits) {
+        int d;
+        char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (lc >= '0' && lc <= '9') {
+            d = lc - '0';
+        } else if (lc >= 'a' && lc <= 'f') {
+            d = 10 + (lc - 'a');
+        } else {
+            return false;
+        }
+        if (d >= base) return false;
+        value = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(d);
+    }
+    out = BitVec(width, value);
+    return true;
+}
+
+BitVec BitVec::resized(uint32_t width) const { return BitVec(width, value_); }
+
+BitVec BitVec::slice(uint32_t hi, uint32_t lo) const {
+    if (hi < lo || hi >= width_) {
+        throw FactorError("BitVec::slice out of range");
+    }
+    return BitVec(hi - lo + 1, value_ >> lo);
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ & o.value_);
+}
+BitVec BitVec::operator|(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ | o.value_);
+}
+BitVec BitVec::operator^(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ ^ o.value_);
+}
+BitVec BitVec::operator~() const { return BitVec(width_, ~value_); }
+BitVec BitVec::operator+(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ + o.value_);
+}
+BitVec BitVec::operator-(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ - o.value_);
+}
+BitVec BitVec::operator*(const BitVec& o) const {
+    uint32_t w = std::max(width_, o.width_);
+    return BitVec(w, value_ * o.value_);
+}
+BitVec BitVec::shl(uint32_t n) const {
+    return BitVec(width_, n >= 64 ? 0 : value_ << n);
+}
+BitVec BitVec::shr(uint32_t n) const {
+    return BitVec(width_, n >= 64 ? 0 : value_ >> n);
+}
+
+BitVec BitVec::eq(const BitVec& o) const {
+    return BitVec(1, value_ == o.value_ ? 1 : 0);
+}
+BitVec BitVec::lt(const BitVec& o) const {
+    return BitVec(1, value_ < o.value_ ? 1 : 0);
+}
+BitVec BitVec::reduce_and() const {
+    return BitVec(1, value_ == mask(width_) ? 1 : 0);
+}
+BitVec BitVec::reduce_or() const { return BitVec(1, value_ != 0 ? 1 : 0); }
+BitVec BitVec::reduce_xor() const {
+    return BitVec(1, static_cast<uint64_t>(__builtin_parityll(value_)));
+}
+
+BitVec BitVec::concat(const BitVec& o) const {
+    uint32_t w = width_ + o.width_;
+    if (w > kMaxWidth) throw FactorError("BitVec::concat exceeds 64 bits");
+    return BitVec(w, (value_ << o.width_) | o.value_);
+}
+
+BitVec BitVec::replicate(uint32_t n) const {
+    if (n == 0 || width_ * n > kMaxWidth) {
+        throw FactorError("BitVec::replicate exceeds 64 bits");
+    }
+    BitVec out(width_ * n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+        out = BitVec(out.width_, (out.value_ << width_) | value_);
+    }
+    return out;
+}
+
+std::string BitVec::to_verilog() const {
+    std::ostringstream os;
+    os << width_ << "'h" << std::hex << value_;
+    return os.str();
+}
+
+} // namespace factor::util

@@ -1,0 +1,74 @@
+// Two-state bit-vector constant with explicit width, used for Verilog
+// literal values, parameter evaluation and constant folding in the
+// synthesizer. Widths are limited to 64 bits, which covers the synthesizable
+// subset this project accepts (the benchmark designs use <= 32-bit vectors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace factor::util {
+
+class BitVec {
+  public:
+    static constexpr uint32_t kMaxWidth = 64;
+
+    BitVec() = default;
+    BitVec(uint32_t width, uint64_t value);
+
+    /// Parse a Verilog literal: "8'hff", "4'b1010", "3'o7", "16'd42", "42".
+    /// Returns false on malformed input. Unsized literals get width 32.
+    static bool parse_verilog(const std::string& text, BitVec& out);
+
+    [[nodiscard]] uint32_t width() const { return width_; }
+    [[nodiscard]] uint64_t value() const { return value_; }
+    [[nodiscard]] bool bit(uint32_t i) const { return ((value_ >> i) & 1u) != 0; }
+    [[nodiscard]] bool is_zero() const { return value_ == 0; }
+
+    /// Truncate or zero-extend to `width` bits.
+    [[nodiscard]] BitVec resized(uint32_t width) const;
+
+    /// Bits [hi:lo] as a new vector of width hi-lo+1.
+    [[nodiscard]] BitVec slice(uint32_t hi, uint32_t lo) const;
+
+    // Bitwise / arithmetic operators follow simplified Verilog semantics:
+    // operands are extended to the max width first; arithmetic wraps.
+    [[nodiscard]] BitVec operator&(const BitVec& o) const;
+    [[nodiscard]] BitVec operator|(const BitVec& o) const;
+    [[nodiscard]] BitVec operator^(const BitVec& o) const;
+    [[nodiscard]] BitVec operator~() const;
+    [[nodiscard]] BitVec operator+(const BitVec& o) const;
+    [[nodiscard]] BitVec operator-(const BitVec& o) const;
+    [[nodiscard]] BitVec operator*(const BitVec& o) const;
+    [[nodiscard]] BitVec shl(uint32_t n) const;
+    [[nodiscard]] BitVec shr(uint32_t n) const;
+
+    // Comparisons / reductions return a 1-bit vector.
+    [[nodiscard]] BitVec eq(const BitVec& o) const;
+    [[nodiscard]] BitVec lt(const BitVec& o) const; // unsigned
+    [[nodiscard]] BitVec reduce_and() const;
+    [[nodiscard]] BitVec reduce_or() const;
+    [[nodiscard]] BitVec reduce_xor() const;
+
+    /// {this, o} — this becomes the high part.
+    [[nodiscard]] BitVec concat(const BitVec& o) const;
+    /// {n{this}}
+    [[nodiscard]] BitVec replicate(uint32_t n) const;
+
+    [[nodiscard]] bool operator==(const BitVec& o) const {
+        return width_ == o.width_ && value_ == o.value_;
+    }
+
+    /// Render as a sized Verilog hex literal, e.g. "8'h2a".
+    [[nodiscard]] std::string to_verilog() const;
+
+  private:
+    [[nodiscard]] static uint64_t mask(uint32_t width) {
+        return width >= 64 ? ~0ull : ((1ull << width) - 1ull);
+    }
+
+    uint32_t width_ = 1;
+    uint64_t value_ = 0;
+};
+
+} // namespace factor::util

@@ -1,0 +1,51 @@
+#include "util/diagnostics.hpp"
+
+#include <sstream>
+
+namespace factor::util {
+
+std::string SourceLoc::str() const {
+    std::ostringstream os;
+    os << (file.empty() ? "<input>" : file);
+    if (valid()) {
+        os << ":" << line << ":" << col;
+    }
+    return os.str();
+}
+
+const char* to_string(Severity s) {
+    switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string Diagnostic::str() const {
+    std::ostringstream os;
+    os << loc.str() << ": " << to_string(severity) << ": " << message;
+    return os.str();
+}
+
+void DiagEngine::report(Severity sev, SourceLoc loc, std::string message) {
+    if (sev == Severity::Error) {
+        ++error_count_;
+    }
+    diags_.push_back(Diagnostic{sev, std::move(loc), std::move(message)});
+}
+
+std::string DiagEngine::dump() const {
+    std::ostringstream os;
+    for (const auto& d : diags_) {
+        os << d.str() << "\n";
+    }
+    return os.str();
+}
+
+void DiagEngine::clear() {
+    diags_.clear();
+    error_count_ = 0;
+}
+
+} // namespace factor::util

@@ -1,0 +1,72 @@
+// Diagnostic engine: source locations, error/warning collection, and the
+// exception type thrown on unrecoverable front-end errors.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace factor::util {
+
+/// A position in a source buffer (1-based line/column; 0 means "unknown").
+struct SourceLoc {
+    std::string file;
+    uint32_t line = 0;
+    uint32_t col = 0;
+
+    [[nodiscard]] std::string str() const;
+    [[nodiscard]] bool valid() const { return line != 0; }
+};
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// One reported problem with location and message.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one or more source files.
+/// The front end reports through this engine rather than throwing so a
+/// single run can surface every problem in a file.
+class DiagEngine {
+  public:
+    void report(Severity sev, SourceLoc loc, std::string message);
+    void error(SourceLoc loc, std::string message) {
+        report(Severity::Error, std::move(loc), std::move(message));
+    }
+    void warning(SourceLoc loc, std::string message) {
+        report(Severity::Warning, std::move(loc), std::move(message));
+    }
+    void note(SourceLoc loc, std::string message) {
+        report(Severity::Note, std::move(loc), std::move(message));
+    }
+
+    [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+    [[nodiscard]] size_t error_count() const { return error_count_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+    /// All diagnostics rendered one per line.
+    [[nodiscard]] std::string dump() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t error_count_ = 0;
+};
+
+/// Thrown for unrecoverable conditions (internal invariant violations,
+/// callers asking for results after hard errors).
+class FactorError : public std::runtime_error {
+  public:
+    explicit FactorError(const std::string& what) : std::runtime_error(what) {}
+};
+
+} // namespace factor::util

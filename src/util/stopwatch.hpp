@@ -1,0 +1,46 @@
+// Monotonic stopwatch used by the benches to report extraction / synthesis /
+// test-generation times (the paper's time columns).
+#pragma once
+
+#include <chrono>
+
+namespace factor::util {
+
+class Stopwatch {
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Deadline helper for budgeted ATPG runs: expired() flips to true once the
+/// wall-clock budget is consumed. A non-positive budget means "no limit".
+class Deadline {
+  public:
+    explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+    [[nodiscard]] bool expired() const {
+        return budget_ > 0.0 && watch_.seconds() >= budget_;
+    }
+    [[nodiscard]] double remaining() const {
+        return budget_ <= 0.0 ? 1e30 : budget_ - watch_.seconds();
+    }
+
+  private:
+    double budget_;
+    Stopwatch watch_;
+};
+
+} // namespace factor::util

@@ -1,0 +1,24 @@
+// Small string utilities shared by the front end and the report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace factor::util {
+
+[[nodiscard]] std::string trim(std::string_view s);
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` is a legal (non-escaped) Verilog identifier.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// Render a double with fixed precision (report tables).
+[[nodiscard]] std::string fixed(double v, int precision);
+
+} // namespace factor::util

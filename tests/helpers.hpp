@@ -1,0 +1,149 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include "elab/elaborator.hpp"
+#include "rtl/parser.hpp"
+#include "synth/netlist.hpp"
+#include "synth/optimizer.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace factor::test {
+
+/// A parsed + elaborated design bundle with everything tests usually need.
+struct Bundle {
+    std::unique_ptr<rtl::Design> design;
+    util::DiagEngine diags;
+    std::unique_ptr<elab::ElaboratedDesign> elaborated;
+
+    [[nodiscard]] const elab::InstNode& root() const {
+        return elaborated->root();
+    }
+};
+
+/// Parse and elaborate; fails the test (via ADD_FAILURE) on any error.
+inline std::unique_ptr<Bundle> compile(const std::string& source,
+                                       const std::string& top) {
+    auto b = std::make_unique<Bundle>();
+    b->design = std::make_unique<rtl::Design>();
+    rtl::Parser::parse_source(source, "<test>", *b->design, b->diags);
+    if (b->diags.has_errors()) {
+        ADD_FAILURE() << "parse errors:\n" << b->diags.dump();
+        return nullptr;
+    }
+    elab::Elaborator el(*b->design, b->diags);
+    b->elaborated = el.elaborate(top);
+    if (!b->elaborated || b->diags.has_errors()) {
+        ADD_FAILURE() << "elaboration errors:\n" << b->diags.dump();
+        return nullptr;
+    }
+    return b;
+}
+
+/// Synthesize the root (optionally optimized).
+inline synth::Netlist synthesize(Bundle& b, bool optimize_netlist = true) {
+    synth::Synthesizer s(*b.design, b.diags);
+    synth::Netlist nl = s.run(b.root());
+    EXPECT_FALSE(b.diags.has_errors()) << b.diags.dump();
+    if (optimize_netlist) (void)synth::optimize(nl);
+    return nl;
+}
+
+/// Find a primary input index by name; -1 if absent.
+inline int pi_index(const synth::Netlist& nl, const std::string& name) {
+    for (size_t i = 0; i < nl.inputs().size(); ++i) {
+        if (nl.net_name(nl.inputs()[i]) == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/// Find a primary output index by (port) name; -1 if absent.
+inline int po_index(const synth::Netlist& nl, const std::string& name) {
+    for (size_t i = 0; i < nl.outputs().size(); ++i) {
+        if (nl.output_name(i) == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace factor::test
+
+#include "atpg/fault_sim.hpp"
+
+namespace factor::test {
+
+/// Cycle-by-cycle functional simulation harness over the 3-valued
+/// simulator (sequence bit 0 only). Drives named PIs, reads named POs.
+class SimHarness {
+  public:
+    explicit SimHarness(const synth::Netlist& nl) : nl_(nl), sim_(nl) {
+        frame_.pi.assign(nl.inputs().size(), atpg::V64::all_x());
+    }
+
+    /// Set a scalar signal or a multi-bit bus (PI names "bus[i]" or "bus").
+    void set(const std::string& name, uint64_t value) {
+        bool found = false;
+        for (size_t i = 0; i < nl_.inputs().size(); ++i) {
+            const std::string& n = nl_.net_name(nl_.inputs()[i]);
+            if (n == name) {
+                frame_.pi[i] = bit(value & 1);
+                found = true;
+            } else if (n.size() > name.size() && n.compare(0, name.size(), name) == 0 &&
+                       n[name.size()] == '[') {
+                size_t idx = std::stoul(n.substr(name.size() + 1));
+                frame_.pi[i] = bit((value >> idx) & 1);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << "no primary input named " << name;
+    }
+
+    /// Clock one cycle with the current input frame.
+    void step() {
+        seq_.push_back(frame_);
+        po_ = sim_.simulate_good(seq_).back();
+    }
+
+    /// Read a PO bus value; unknown bits read as 0 and set `had_x`.
+    [[nodiscard]] uint64_t get(const std::string& name, bool* had_x = nullptr) const {
+        uint64_t v = 0;
+        bool found = false;
+        bool any_x = false;
+        for (size_t i = 0; i < nl_.outputs().size(); ++i) {
+            const std::string& n = nl_.output_name(i);
+            size_t idx = 0;
+            if (n == name) {
+                found = true;
+            } else if (n.size() > name.size() && n.compare(0, name.size(), name) == 0 &&
+                       n[name.size()] == '[') {
+                idx = std::stoul(n.substr(name.size() + 1));
+                found = true;
+            } else {
+                continue;
+            }
+            atpg::V64 val = po_[i];
+            if (val.one & 1) v |= (uint64_t{1} << idx);
+            if ((val.known() & 1) == 0) any_x = true;
+        }
+        EXPECT_TRUE(found) << "no primary output named " << name;
+        if (had_x != nullptr) *had_x = any_x;
+        return v;
+    }
+
+  private:
+    static atpg::V64 bit(uint64_t b) {
+        return b != 0 ? atpg::V64::all1() : atpg::V64::all0();
+    }
+
+    const synth::Netlist& nl_;
+    atpg::FaultSimulator sim_;
+    atpg::Frame frame_;
+    atpg::Sequence seq_;
+    std::vector<atpg::V64> po_;
+};
+
+} // namespace factor::test

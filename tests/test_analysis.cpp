@@ -1,0 +1,188 @@
+// Tests for the def-use / use-def analysis (the paper's Figure 2 data
+// structure).
+#include "helpers.hpp"
+
+#include "analysis/def_use.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+using analysis::ModuleAnalysis;
+using analysis::SiteKind;
+
+std::unique_ptr<Bundle> tiny() {
+    return compile(R"(
+module child (input ci, output co);
+  assign co = ~ci;
+endmodule
+module m (input clk, input a, input b, input sel, output reg q,
+          output w, output deadport);
+  wire t;
+  wire unused_wire;
+  wire undriven;
+  reg hard;
+  assign t = a & b;
+  assign w = t | undriven;
+  assign unused_wire = a ^ b;
+  always @(posedge clk) begin
+    if (sel) q <= t;
+    else q <= b;
+  end
+  always @(*) hard = 1'b1;
+  child u (.ci(t), .co(deadport));
+endmodule)",
+                   "m");
+}
+
+TEST(Analysis, DefsOfContAssign) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    const auto& defs = an.defs("t");
+    // One real def (the assign); the instance connection is recorded
+    // conservatively as def+use and filtered by direction downstream.
+    const analysis::SiteRef* assign_def = nullptr;
+    size_t assign_defs = 0;
+    for (const auto& d : defs) {
+        if (d.kind == SiteKind::ContAssign) {
+            assign_def = &d;
+            ++assign_defs;
+        }
+    }
+    ASSERT_EQ(assign_defs, 1u);
+    auto rhs = an.rhs_signals(*assign_def);
+    EXPECT_EQ(rhs.size(), 2u);
+}
+
+TEST(Analysis, InputPortIsADef) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    const auto& defs = an.defs("a");
+    ASSERT_EQ(defs.size(), 1u);
+    EXPECT_EQ(defs[0].kind, SiteKind::Port);
+}
+
+TEST(Analysis, OutputPortIsAUse) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    bool port_use = false;
+    for (const auto& u : an.uses("w")) {
+        port_use |= u.kind == SiteKind::Port;
+    }
+    EXPECT_TRUE(port_use);
+}
+
+TEST(Analysis, ProcAssignDefsWithEnclosingContext) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    const auto& defs = an.defs("q");
+    ASSERT_EQ(defs.size(), 2u); // both branches
+    EXPECT_EQ(defs[0].kind, SiteKind::ProcAssign);
+    auto enc = an.enclosing(defs[0].stmt);
+    ASSERT_EQ(enc.size(), 1u);
+    EXPECT_EQ(enc[0]->kind, rtl::StmtKind::If);
+    auto ctrl = an.control_signals(defs[0]);
+    // sel from the if, clk from the sensitivity list.
+    EXPECT_NE(std::find(ctrl.begin(), ctrl.end(), "sel"), ctrl.end());
+    EXPECT_NE(std::find(ctrl.begin(), ctrl.end(), "clk"), ctrl.end());
+}
+
+TEST(Analysis, ConditionSignalsCountAsUses) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    bool used_in_proc = false;
+    for (const auto& u : an.uses("sel")) {
+        used_in_proc |= u.kind == SiteKind::ProcAssign;
+    }
+    EXPECT_TRUE(used_in_proc);
+}
+
+TEST(Analysis, InstanceConnectionsAppear) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    bool t_feeds_child = false;
+    for (const auto& u : an.uses("t")) {
+        t_feeds_child |= u.kind == SiteKind::InstanceConn;
+    }
+    EXPECT_TRUE(t_feeds_child);
+    bool deadport_from_child = false;
+    for (const auto& d : an.defs("deadport")) {
+        deadport_from_child |= d.kind == SiteKind::InstanceConn;
+    }
+    EXPECT_TRUE(deadport_from_child);
+}
+
+TEST(Analysis, UndrivenSignalsDetected) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    auto undriven = an.undriven_signals();
+    EXPECT_NE(std::find(undriven.begin(), undriven.end(), "undriven"),
+              undriven.end());
+    EXPECT_EQ(std::find(undriven.begin(), undriven.end(), "t"), undriven.end());
+}
+
+TEST(Analysis, UnusedSignalsDetected) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    auto unused = an.unused_signals();
+    EXPECT_NE(std::find(unused.begin(), unused.end(), "unused_wire"),
+              unused.end());
+}
+
+TEST(Analysis, HardCodedConstantDefs) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    EXPECT_TRUE(an.only_constant_defs("hard"));
+    EXPECT_FALSE(an.only_constant_defs("t"));
+    EXPECT_FALSE(an.only_constant_defs("a")); // input port
+}
+
+TEST(Analysis, LhsSignalsOfSites) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    const auto& defs = an.defs("q");
+    auto lhs = an.lhs_signals(defs[0]);
+    ASSERT_EQ(lhs.size(), 1u);
+    EXPECT_EQ(lhs[0], "q");
+}
+
+TEST(Analysis, LoopVariablesAreNotSignals) {
+    auto b = compile(R"(
+module rev (input [3:0] a, output reg [3:0] y);
+  integer i;
+  always @(*) begin
+    y = 4'h0;
+    for (i = 0; i < 4; i = i + 1)
+      y[i] = a[3 - i];
+  end
+endmodule)",
+                     "rev");
+    ASSERT_TRUE(b);
+    ModuleAnalysis an(*b->root().module);
+    auto sigs = an.signals();
+    EXPECT_EQ(std::find(sigs.begin(), sigs.end(), "i"), sigs.end());
+    EXPECT_TRUE(an.defs("i").empty());
+}
+
+TEST(Analysis, CacheReturnsSameInstance) {
+    auto b = tiny();
+    ASSERT_TRUE(b);
+    analysis::AnalysisCache cache;
+    const auto& a1 = cache.get(*b->root().module);
+    const auto& a2 = cache.get(*b->root().module);
+    EXPECT_EQ(&a1, &a2);
+}
+
+} // namespace
+} // namespace factor::test

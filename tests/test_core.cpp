@@ -1,0 +1,319 @@
+// Tests for the FACTOR core: constraint extraction (source + propagation),
+// testability analysis, the constraint writer, PIER identification and the
+// transformed-module builder.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "core/extractor.hpp"
+#include "core/pier.hpp"
+#include "core/testability.hpp"
+#include "core/transform.hpp"
+#include "core/writer.hpp"
+#include "designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+using core::ConstraintSet;
+using core::ExtractionSession;
+using core::Mode;
+using core::TestabilityIssue;
+
+TEST(Extractor, MarksSourceLogicOfMutInputs) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ASSERT_NE(alu, nullptr);
+    ConstraintSet cs = session.extract(*alu);
+
+    // The MUT is marked whole.
+    ASSERT_NE(cs.marks_for(alu), nullptr);
+    EXPECT_TRUE(cs.marks_for(alu)->whole);
+
+    // The ctrl instance drives alu_sel: its assigns must be marked.
+    const auto* ctrl = b->elaborated->find_by_path("mini_soc.ctrl");
+    ASSERT_NE(ctrl, nullptr);
+    const auto* ctrl_marks = cs.marks_for(ctrl);
+    ASSERT_NE(ctrl_marks, nullptr);
+    EXPECT_FALSE(ctrl_marks->assigns.empty());
+
+    // The top module's acc register (drives alu.x) must be marked.
+    const auto* top_marks = cs.marks_for(&b->root());
+    ASSERT_NE(top_marks, nullptr);
+    EXPECT_FALSE(top_marks->stmts.empty());
+}
+
+TEST(Extractor, FlatIsModuleGrainedSupersetOfComposed) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ExtractionSession flat(*b->elaborated, Mode::Flat, b->diags);
+    ExtractionSession comp(*b->elaborated, Mode::Composed, b->diags);
+    ConstraintSet f = flat.extract(*alu);
+    ConstraintSet c = comp.extract(*alu);
+    // The conventional mode takes whole module environments, so every
+    // composed mark is contained in the flat marks.
+    EXPECT_GE(f.item_count(), c.item_count());
+    for (const auto& [node, marks] : c.marks) {
+        const auto* fm = f.marks_for(node);
+        ASSERT_NE(fm, nullptr);
+        for (const auto* a : marks.assigns) {
+            EXPECT_TRUE(fm->assigns.count(a) != 0 || fm->whole);
+        }
+        for (const auto* s : marks.stmts) {
+            EXPECT_TRUE(fm->stmts.count(s) != 0 || fm->whole);
+        }
+    }
+}
+
+TEST(Extractor, ComposedModeReusesCacheAcrossMuts) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("arm2z.exu.alu");
+    const auto* core = b->elaborated->find_by_path("arm2z.exu.bank.core");
+    ConstraintSet first = session.extract(*alu);
+    ConstraintSet second = session.extract(*core);
+    EXPECT_GT(second.cache_hits, 0u)
+        << "second extraction must reuse constraints from the first";
+    // Flat mode starts over every time.
+    ExtractionSession flat(*b->elaborated, Mode::Flat, b->diags);
+    ConstraintSet f1 = flat.extract(*alu);
+    ConstraintSet f2 = flat.extract(*core);
+    EXPECT_EQ(f2.cache_hits, 0u);
+}
+
+TEST(Extractor, EmptyUseDefChainReported) {
+    auto b = compile(R"(
+module mut (input a, input floating, output y);
+  assign y = a ^ floating;
+endmodule
+module top (input p, output q);
+  wire dangling;
+  mut u (.a(p), .floating(dangling), .y(q));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* mut = b->elaborated->find_by_path("top.u");
+    ConstraintSet cs = session.extract(*mut);
+    bool found = false;
+    for (const auto& issue : cs.issues) {
+        found |= issue.kind == TestabilityIssue::Kind::EmptyUseDefChain &&
+                 issue.signal == "dangling";
+    }
+    EXPECT_TRUE(found) << core::make_testability_report(cs).text;
+}
+
+TEST(Extractor, EmptyDefUseChainReported) {
+    auto b = compile(R"(
+module mut (input a, output y, output lost);
+  assign y = ~a;
+  assign lost = a;
+endmodule
+module top (input p, output q);
+  wire nowhere;
+  mut u (.a(p), .y(q), .lost(nowhere));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* mut = b->elaborated->find_by_path("top.u");
+    ConstraintSet cs = session.extract(*mut);
+    bool found = false;
+    for (const auto& issue : cs.issues) {
+        found |= issue.kind == TestabilityIssue::Kind::EmptyDefUseChain;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Extractor, HardCodedConstraintReportedForArmAlu) {
+    // The paper's 4.2 case: arm_alu control inputs driven from hard-coded
+    // values selected by the decoded operation.
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("arm2z.exu.alu");
+    ConstraintSet cs = session.extract(*alu);
+    size_t hard = 0;
+    for (const auto& issue : cs.issues) {
+        if (issue.kind == TestabilityIssue::Kind::HardCodedConstraint) ++hard;
+    }
+    EXPECT_GE(hard, 10u) << "10 of the 13 ALU control inputs are hard-coded";
+    auto report = core::make_testability_report(cs);
+    EXPECT_EQ(report.hard_coded, hard);
+    EXPECT_NE(report.text.find("hard-coded"), std::string::npos);
+}
+
+TEST(Extractor, MutAtTopIsTrivial) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    ConstraintSet cs = session.extract(b->root());
+    EXPECT_TRUE(cs.marks_for(&b->root())->whole);
+    EXPECT_TRUE(cs.issues.empty());
+}
+
+TEST(Writer, OutputReparsesAndElaborates) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ConstraintSet cs = session.extract(*alu);
+
+    core::ConstraintWriter writer(*b->elaborated, cs);
+    std::string verilog = writer.write_verilog();
+    EXPECT_NE(verilog.find("module mini_alu"), std::string::npos);
+    EXPECT_NE(verilog.find("module mini_soc"), std::string::npos);
+
+    auto reparsed = compile(verilog, writer.top_name());
+    ASSERT_TRUE(reparsed) << verilog;
+}
+
+TEST(Writer, RewrittenConstraintsMatchFilteredSynthesis) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ConstraintSet cs = session.extract(*alu);
+
+    // Gate netlist via the written Verilog.
+    core::ConstraintWriter writer(*b->elaborated, cs);
+    auto reparsed = compile(writer.write_verilog(), writer.top_name());
+    ASSERT_TRUE(reparsed);
+    auto nl_text = synthesize(*reparsed);
+
+    // Gate netlist via the in-memory transformed-module flow.
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    core::TransformOptions topts;
+    topts.expose_piers = false;
+    auto tm = builder.build(*alu, session, topts);
+
+    EXPECT_EQ(nl_text.logic_gate_count(), tm.netlist.logic_gate_count());
+    EXPECT_EQ(nl_text.dff_count(), tm.netlist.dff_count());
+}
+
+TEST(Pier, FindsLoadStoreAccessibleRegisters) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto piers = core::find_piers(nl, core::PierOptions{});
+    // The accumulator is loadable from in_a and observable at acc_out.
+    bool acc_found = false;
+    for (const auto& p : piers) {
+        acc_found |= p.register_net.rfind("acc", 0) == 0;
+    }
+    EXPECT_TRUE(acc_found);
+}
+
+TEST(Pier, RegfileRegistersArePiers) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    core::PierOptions popts;
+    popts.max_load_depth = 1; // load goes through the writeback register
+    popts.max_store_depth = 2;
+    auto piers = core::find_piers(nl, popts);
+    size_t regfile_piers = 0;
+    for (const auto& p : piers) {
+        if (p.register_net.find("bank.core.r") != std::string::npos) {
+            ++regfile_piers;
+        }
+    }
+    EXPECT_GT(regfile_piers, 0u)
+        << "register-file registers are load/store reachable";
+}
+
+TEST(Transform, ReducesSurroundingLogicDrastically) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* fwd = b->elaborated->find_by_path("arm2z.dec.fwd");
+    ASSERT_NE(fwd, nullptr);
+
+    auto chars = builder.characteristics(*fwd);
+    EXPECT_GT(chars.gates_in_surrounding, 100u);
+
+    core::TransformOptions topts;
+    auto tm = builder.build(*fwd, session, topts);
+    EXPECT_LT(tm.surrounding_gates, chars.gates_in_surrounding)
+        << "virtual logic must be smaller than the full surrounding design";
+    EXPECT_GT(tm.num_pis, 0u);
+    EXPECT_GT(tm.num_pos, 0u);
+}
+
+TEST(Transform, ComposedNoLargerThanFlat) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    const auto* alu = b->elaborated->find_by_path("arm2z.exu.alu");
+
+    ExtractionSession flat(*b->elaborated, Mode::Flat, b->diags);
+    ExtractionSession comp(*b->elaborated, Mode::Composed, b->diags);
+    core::TransformOptions topts;
+    auto tm_flat = builder.build(*alu, flat, topts);
+    auto tm_comp = builder.build(*alu, comp, topts);
+    EXPECT_LE(tm_comp.surrounding_gates, tm_flat.surrounding_gates);
+}
+
+TEST(Transform, StandaloneModuleInterfaceMatchesPorts) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    const auto* alu = b->elaborated->find_by_path("arm2z.exu.alu");
+    auto nl = builder.standalone(*alu);
+    // 16+16+1+13 input bits.
+    EXPECT_EQ(nl.inputs().size(), 46u);
+    // 16 result bits + 4 flags + wb_inhibit.
+    EXPECT_EQ(nl.outputs().size(), 21u);
+}
+
+TEST(Transform, CharacteristicsMatchTableOneStructure) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    const auto* core_node = b->elaborated->find_by_path("arm2z.exu.bank.core");
+    const auto* exc_node = b->elaborated->find_by_path("arm2z.exc");
+    auto c_core = builder.characteristics(*core_node);
+    auto c_exc = builder.characteristics(*exc_node);
+    EXPECT_EQ(c_core.hierarchy_level, 4);
+    EXPECT_EQ(c_exc.hierarchy_level, 2);
+    // regfile_struct is the biggest module in the evaluation set.
+    EXPECT_GT(c_core.gates_in_module, c_exc.gates_in_module);
+    EXPECT_GT(c_core.stuck_at_faults, 0u);
+}
+
+TEST(Transform, TransformedModuleAtpgBeatsRawProcessorLevel) {
+    // The paper's headline effect in miniature, on mini_soc: ATPG on the
+    // transformed module reaches far better coverage than processor-level
+    // ATPG under the same tight budget.
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+
+    auto full = builder.full_design();
+    atpg::EngineOptions raw_opts;
+    raw_opts.scope_prefix = "alu.";
+    raw_opts.time_budget_s = 0.6;
+    raw_opts.random_batches = 2;
+    raw_opts.max_backtracks = 40;
+    auto raw = atpg::run_atpg(full, raw_opts);
+
+    core::TransformOptions topts;
+    auto tm = builder.build(*alu, session, topts);
+    atpg::EngineOptions t_opts;
+    t_opts.scope_prefix = tm.mut_prefix;
+    auto transformed = atpg::run_atpg(tm.netlist, t_opts);
+
+    EXPECT_GE(transformed.coverage_percent, raw.coverage_percent);
+    EXPECT_GT(transformed.coverage_percent, 70.0);
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,215 @@
+// Tests for the built-in benchmark designs: they must parse, elaborate,
+// synthesize cleanly, and behave sensibly under cycle simulation.
+#include "helpers.hpp"
+
+#include "designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+std::unique_ptr<Bundle> load(const char* src, const char* top) {
+    return compile(src, top);
+}
+
+TEST(Designs, CounterParsesAndCounts) {
+    auto b = load(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EXPECT_EQ(nl.dff_count(), 8u);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("en", 0);
+    sim.set("clear", 0);
+    sim.step();
+    sim.set("rst", 0);
+    sim.set("en", 1);
+    for (int i = 0; i < 5; ++i) sim.step();
+    EXPECT_EQ(sim.get("count"), 4u);
+    sim.set("clear", 1);
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get("count"), 0u);
+}
+
+TEST(Designs, TrafficCyclesThroughStates) {
+    auto b = load(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("car_waiting", 0);
+    sim.step();
+    sim.set("rst", 0);
+    sim.step();
+    EXPECT_EQ(sim.get("main_light"), 2u); // main green
+    EXPECT_EQ(sim.get("side_light"), 0u);
+    sim.set("car_waiting", 1);
+    // Enough cycles for green (>=5) + yellow (>=2) phases.
+    for (int i = 0; i < 10; ++i) sim.step();
+    EXPECT_EQ(sim.get("side_light"), 2u); // side eventually green
+}
+
+TEST(Designs, MiniSocAccumulates) {
+    auto b = load(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("in_a", 0);
+    sim.set("in_b", 0);
+    sim.set("op", 0xf); // nop
+    sim.step();
+    sim.set("rst", 0);
+    sim.set("op", 0x8); // load acc <= in_a
+    sim.set("in_a", 0x21);
+    sim.step();
+    sim.set("op", 0xf); // nop so the captured value is observable
+    sim.step();
+    EXPECT_EQ(sim.get("acc_out"), 0x21u);
+    sim.set("op", 0x0); // acc <= acc + in_b
+    sim.set("in_b", 0x10);
+    sim.step();
+    sim.set("op", 0xf);
+    sim.step();
+    EXPECT_EQ(sim.get("acc_out"), 0x31u);
+    sim.set("op", 0x1); // acc <= acc - in_b
+    sim.step();
+    sim.set("op", 0xf);
+    sim.step();
+    EXPECT_EQ(sim.get("acc_out"), 0x21u);
+}
+
+TEST(Designs, Arm2zElaborates) {
+    auto b = load(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    // All four evaluation MUTs must exist at their documented paths.
+    for (const auto& mut : designs::arm2z_muts()) {
+        const auto* node = b->elaborated->find_by_path(mut.instance_path);
+        ASSERT_NE(node, nullptr) << mut.instance_path;
+    }
+    // Embedding depths match Table 1's structure.
+    EXPECT_EQ(b->elaborated->find_by_path("arm2z.exu.alu")->level, 3);
+    EXPECT_EQ(b->elaborated->find_by_path("arm2z.exu.bank.core")->level, 4);
+    EXPECT_EQ(b->elaborated->find_by_path("arm2z.exc")->level, 2);
+    EXPECT_EQ(b->elaborated->find_by_path("arm2z.dec.fwd")->level, 3);
+}
+
+TEST(Designs, Arm2zSynthesizesClean) {
+    auto b = load(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    nl.check();
+    // A processor-sized netlist: thousands of gates, hundreds of DFFs.
+    EXPECT_GT(nl.logic_gate_count(), 1000u);
+    EXPECT_GT(nl.dff_count(), 100u); // 8x16 regfile alone is 128
+    EXPECT_GT(nl.inputs().size(), 30u);
+}
+
+TEST(Designs, Arm2zExecutesAluImmediate) {
+    auto b = load(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    auto idle = [&] {
+        sim.set("instr_in", 0xe000); // opclass 111 -> nop
+    };
+    sim.set("rst", 1);
+    idle();
+    sim.set("data_in", 0);
+    sim.set("irq", 0);
+    sim.set("fiq", 0);
+    sim.set("irq_mask", 1);
+    sim.set("fiq_mask", 1);
+    sim.step();
+    sim.set("rst", 0);
+    // ALU-imm: opclass 001, alu_op=12 (MOV b), rd=1, imm6 = 0x15
+    // instr = 001 1100 001 010101
+    uint64_t mov_r1 = (0b001u << 13) | (12u << 9) | (1u << 6) | 0x15u;
+    sim.set("instr_in", mov_r1);
+    sim.step(); // decode/execute
+    idle();
+    sim.step(); // ex stage
+    sim.step(); // mem/wb stage
+    sim.step();
+    // result_dbg carries the writeback value of the last completing op.
+    // Now read r1 back through an ALU-reg MOV-A: opclass 000, alu_op=15,
+    // rd=2, rn=1, rm=0.
+    uint64_t mova = (0b000u << 13) | (15u << 9) | (2u << 6) | (1u << 3);
+    sim.set("instr_in", mova);
+    sim.step();
+    idle();
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get("result_dbg"), 0x15u);
+}
+
+TEST(Designs, Arm2zStorePathDrivesDataOut) {
+    auto b = load(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("instr_in", 0xe000);
+    sim.set("data_in", 0);
+    sim.set("irq", 0);
+    sim.set("fiq", 0);
+    sim.set("irq_mask", 1);
+    sim.set("fiq_mask", 1);
+    sim.step();
+    sim.set("rst", 0);
+    // MOV r3, #0x15 (imm6 is sign-extended, so keep bit 5 clear)
+    uint64_t mov_r3 = (0b001u << 13) | (12u << 9) | (3u << 6) | 0x15u;
+    sim.set("instr_in", mov_r3);
+    sim.step();
+    sim.set("instr_in", 0xe000);
+    sim.step();
+    sim.step();
+    // STORE r3, [r0 + 1]: opclass 011, src=r3 in [8:6], rn=0, imm3=1
+    uint64_t store = (0b011u << 13) | (3u << 6) | (0u << 3) | 1u;
+    sim.set("instr_in", store);
+    sim.step();
+    sim.set("instr_in", 0xe000);
+    sim.step(); // store reaches EX stage
+    EXPECT_EQ(sim.get("mem_write"), 1u);
+    EXPECT_EQ(sim.get("data_out"), 0x15u);
+}
+
+TEST(Designs, Arm2zExceptionUnitRaisesIrq) {
+    auto b = load(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("instr_in", 0xe000);
+    sim.set("data_in", 0);
+    sim.set("irq", 0);
+    sim.set("fiq", 0);
+    sim.set("irq_mask", 0);
+    sim.set("fiq_mask", 0);
+    sim.step();
+    sim.set("rst", 0);
+    sim.step();
+    EXPECT_EQ(sim.get("exc_active_o"), 0u);
+    sim.set("irq", 1);
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get("exc_active_o"), 1u);
+}
+
+TEST(Designs, AllSourcesParseViaHelper) {
+    EXPECT_NO_THROW({
+        auto d = designs::parse_design(designs::arm2z_source(), "arm2z");
+        EXPECT_NE(d->find("arm_alu"), nullptr);
+        EXPECT_NE(d->find("regfile_struct"), nullptr);
+        EXPECT_NE(d->find("arm_exc"), nullptr);
+        EXPECT_NE(d->find("arm_forward"), nullptr);
+    });
+    EXPECT_NO_THROW(designs::parse_design(designs::mini_soc_source(), "m"));
+    EXPECT_NO_THROW(designs::parse_design(designs::counter_source(), "c"));
+    EXPECT_NO_THROW(designs::parse_design(designs::traffic_source(), "t"));
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,204 @@
+// Tests for the elaborator: instance tree, parameter specialization,
+// semantic checks.
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+TEST(Elab, BuildsInstanceTreeWithLevels) {
+    auto b = compile(R"(
+module leaf (input x, output y);
+  assign y = ~x;
+endmodule
+module mid (input x, output y);
+  wire t;
+  leaf l1 (.x(x), .y(t));
+  leaf l2 (.x(t), .y(y));
+endmodule
+module top (input a, output b);
+  mid m (.x(a), .y(b));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    const auto& root = b->root();
+    EXPECT_EQ(root.module->name, "top");
+    EXPECT_EQ(root.level, 1);
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0]->level, 2);
+    EXPECT_EQ(root.children[0]->children.size(), 2u);
+    EXPECT_EQ(root.children[0]->children[1]->level, 3);
+    EXPECT_EQ(b->elaborated->instance_count(), 4u);
+}
+
+TEST(Elab, PathsAndLookups) {
+    auto b = compile(R"(
+module leaf (input x, output y);
+  assign y = ~x;
+endmodule
+module top (input a, output b);
+  leaf u (.x(a), .y(b));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    const auto* n = b->elaborated->find_by_path("top.u");
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->path(), "top.u");
+    EXPECT_EQ(n->module->name, "leaf");
+    EXPECT_EQ(b->elaborated->find_by_module("leaf"), n);
+    EXPECT_EQ(b->elaborated->find_by_path("top.zzz"), nullptr);
+    EXPECT_EQ(b->elaborated->find_by_path("leaf"), nullptr);
+}
+
+TEST(Elab, ParameterDefaultsResolveRanges) {
+    auto b = compile(R"(
+module m #(parameter W = 6) (input [W-1:0] a, output [W-1:0] y);
+  localparam HALF = W / 2;
+  assign y = a + HALF[5:0];
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    const rtl::Module& m = *b->root().module;
+    EXPECT_EQ(m.ports[0].range.msb, 5);
+    EXPECT_EQ(m.signal_width("a"), 6u);
+}
+
+TEST(Elab, SpecializationCreatesDistinctModules) {
+    auto b = compile(R"(
+module add #(parameter W = 2) (input [W-1:0] a, output [W-1:0] y);
+  assign y = a + 1;
+endmodule
+module top (input [1:0] a, input [4:0] b, output [1:0] ya, output [4:0] yb);
+  add u_def (.a(a), .y(ya));
+  add #(.W(5)) u_w5 (.a(b), .y(yb));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    const auto& root = b->root();
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_NE(root.children[0]->module, root.children[1]->module);
+    EXPECT_EQ(root.children[0]->module->signal_width("a"), 2u);
+    EXPECT_EQ(root.children[1]->module->signal_width("a"), 5u);
+}
+
+TEST(Elab, SpecializationsAreMemoized) {
+    auto b = compile(R"(
+module add #(parameter W = 2) (input [W-1:0] a, output [W-1:0] y);
+  assign y = a + 1;
+endmodule
+module top (input [4:0] a, input [4:0] b, output [4:0] ya, output [4:0] yb);
+  add #(.W(5)) u1 (.a(a), .y(ya));
+  add #(.W(5)) u2 (.a(b), .y(yb));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->root().children[0]->module, b->root().children[1]->module);
+}
+
+TEST(Elab, ParameterIdentifiersFoldAway) {
+    auto b = compile(R"(
+module m (input [3:0] a, output y);
+  localparam MAGIC = 4'b1010;
+  assign y = a == MAGIC;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    const rtl::Module& m = *b->root().module;
+    ASSERT_EQ(m.assigns.size(), 1u);
+    std::vector<std::string> ids;
+    rtl::collect_idents(*m.assigns[0].rhs, ids);
+    EXPECT_EQ(ids.size(), 1u) << "parameter reference should be folded";
+}
+
+TEST(Elab, ErrorOnUnknownModule) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(R"(
+module top (input a, output b);
+  missing u (.x(a), .y(b));
+endmodule)",
+                              "<test>", d, diags);
+    ASSERT_FALSE(diags.has_errors());
+    elab::Elaborator el(d, diags);
+    auto e = el.elaborate("top");
+    EXPECT_EQ(e, nullptr);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elab, ErrorOnUndeclaredSignal) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(R"(
+module top (input a, output b);
+  assign b = a & ghost;
+endmodule)",
+                              "<test>", d, diags);
+    elab::Elaborator el(d, diags);
+    auto e = el.elaborate("top");
+    EXPECT_EQ(e, nullptr);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elab, ErrorOnRecursiveInstantiation) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(R"(
+module a (input x, output y);
+  a inner (.x(x), .y(y));
+endmodule)",
+                              "<test>", d, diags);
+    elab::Elaborator el(d, diags);
+    auto e = el.elaborate("a");
+    EXPECT_EQ(e, nullptr);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Elab, ErrorOnBadPortName) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(R"(
+module leaf (input x, output y);
+  assign y = x;
+endmodule
+module top (input a, output b);
+  leaf u (.nope(a), .y(b));
+endmodule)",
+                              "<test>", d, diags);
+    elab::Elaborator el(d, diags);
+    auto e = el.elaborate("top");
+    EXPECT_EQ(e, nullptr);
+}
+
+TEST(Elab, WarnsOnWidthMismatch) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    rtl::Parser::parse_source(R"(
+module leaf (input [3:0] x, output y);
+  assign y = &x;
+endmodule
+module top (input [7:0] a, output b);
+  leaf u (.x(a), .y(b));
+endmodule)",
+                              "<test>", d, diags);
+    elab::Elaborator el(d, diags);
+    auto e = el.elaborate("top");
+    ASSERT_NE(e, nullptr);
+    bool warned = false;
+    for (const auto& diag : diags.all()) {
+        warned |= diag.severity == util::Severity::Warning &&
+                  diag.message.find("width mismatch") != std::string::npos;
+    }
+    EXPECT_TRUE(warned);
+}
+
+TEST(Elab, ErrorOnMissingTop) {
+    rtl::Design d;
+    util::DiagEngine diags;
+    elab::Elaborator el(d, diags);
+    EXPECT_EQ(el.elaborate("nope"), nullptr);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,226 @@
+// Tests for the equivalence checker and the LFSR/MISR BIST primitives.
+#include "helpers.hpp"
+
+#include "atpg/bist.hpp"
+#include "atpg/equiv.hpp"
+#include "designs/designs.hpp"
+#include "synth/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace factor::test {
+namespace {
+
+using namespace factor::atpg;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+// ------------------------------------------------------------- equivalence
+
+TEST(Equiv, IdenticalNetlistsAreEquivalent) {
+    auto b = compile(R"(
+module m (input [3:0] a, input [3:0] bb, output [3:0] y);
+  assign y = a + bb;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto r = check_equivalence(nl, nl);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_TRUE(r.exhaustive); // 8 inputs, combinational
+}
+
+TEST(Equiv, OptimizedNetlistEquivalentToRaw) {
+    auto b = compile(R"(
+module m (input [4:0] a, input [4:0] bb, input s, output [4:0] y, output p);
+  wire [4:0] t = s ? (a & bb) : (a | bb);
+  assign y = t + 5'd3;
+  assign p = ^t;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto raw = s.run(b->root());
+    auto opt = raw;
+    (void)synth::optimize(opt);
+    auto r = check_equivalence(raw, opt);
+    EXPECT_TRUE(r.equivalent) << r.mismatch;
+    EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Equiv, DetectsFunctionalDifference) {
+    auto a = compile(R"(
+module m (input x, input y, output z);
+  assign z = x & y;
+endmodule)",
+                     "m");
+    auto b = compile(R"(
+module m (input x, input y, output z);
+  assign z = x | y;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    auto na = synthesize(*a);
+    auto nb = synthesize(*b);
+    auto r = check_equivalence(na, nb);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_NE(r.mismatch.find("z"), std::string::npos);
+}
+
+TEST(Equiv, DetectsInterfaceMismatch) {
+    auto a = compile("module m (input x, output z); assign z = x; endmodule",
+                     "m");
+    auto b = compile("module m (input q, output z); assign z = q; endmodule",
+                     "m");
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    auto na = synthesize(*a);
+    auto nb = synthesize(*b);
+    auto r = check_equivalence(na, nb);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_NE(r.mismatch.find("missing"), std::string::npos);
+}
+
+TEST(Equiv, SequentialRandomizedCheck) {
+    auto a = compile(R"(
+module m (input clk, input rst, input en, output [3:0] q);
+  reg [3:0] c;
+  always @(posedge clk) begin
+    if (rst) c <= 4'h0;
+    else if (en) c <= c + 4'h1;
+  end
+  assign q = c;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(a);
+    synth::Synthesizer s(*a->design, a->diags);
+    auto raw = s.run(a->root());
+    auto opt = raw;
+    (void)synth::optimize(opt);
+    auto r = check_equivalence(raw, opt);
+    EXPECT_TRUE(r.equivalent) << r.mismatch;
+    EXPECT_FALSE(r.exhaustive); // sequential: sampled
+}
+
+TEST(Equiv, CatchesSequentialBug) {
+    auto a = compile(R"(
+module m (input clk, input d, output q);
+  reg r;
+  always @(posedge clk) r <= d;
+  assign q = r;
+endmodule)",
+                     "m");
+    auto b = compile(R"(
+module m (input clk, input d, output q);
+  reg r;
+  always @(posedge clk) r <= ~d;
+  assign q = r;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    auto na = synthesize(*a);
+    auto nb = synthesize(*b);
+    EXPECT_FALSE(check_equivalence(na, nb).equivalent);
+}
+
+// -------------------------------------------------------------------- LFSR
+
+TEST(Lfsr, MaximalPeriodForSmallWidths) {
+    for (unsigned w : {2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+        Lfsr lfsr = Lfsr::maximal(w, 1);
+        std::set<uint64_t> seen;
+        uint64_t start = lfsr.state();
+        size_t period = 0;
+        do {
+            seen.insert(lfsr.state());
+            lfsr.step();
+            ++period;
+        } while (lfsr.state() != start && period <= (1u << w));
+        EXPECT_EQ(period, (1u << w) - 1) << "width " << w;
+        EXPECT_EQ(seen.size(), (1u << w) - 1) << "width " << w;
+    }
+}
+
+TEST(Lfsr, NeverReachesZero) {
+    Lfsr lfsr = Lfsr::maximal(8, 0xff);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_NE(lfsr.step(), 0u);
+    }
+}
+
+TEST(Lfsr, RejectsBadWidths) {
+    EXPECT_THROW(Lfsr(1, {0}), util::FactorError);
+    EXPECT_THROW(Lfsr(65, {0}), util::FactorError);
+}
+
+TEST(Misr, SignatureDependsOnStream) {
+    Misr a(16);
+    Misr b(16);
+    for (uint64_t w : {1ull, 2ull, 3ull}) a.absorb(w);
+    for (uint64_t w : {1ull, 3ull, 2ull}) b.absorb(w); // order swapped
+    EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, DeterministicForSameStream) {
+    Misr a(32);
+    Misr b(32);
+    for (uint64_t w = 0; w < 64; ++w) {
+        a.absorb(w * 2654435761u);
+        b.absorb(w * 2654435761u);
+    }
+    EXPECT_EQ(a.signature(), b.signature());
+}
+
+// -------------------------------------------------------------------- BIST
+
+TEST(Bist, CoversCombinationalLogicWell) {
+    auto b = compile(R"(
+module m (input [7:0] a, input [7:0] bb, output [7:0] y, output c);
+  assign y = a ^ (bb + 8'h1);
+  assign c = a < bb;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    BistOptions opts;
+    opts.patterns = 2048;
+    auto r = run_bist(nl, opts);
+    EXPECT_GE(r.patterns_applied, 2048u);
+    EXPECT_GT(r.coverage_percent, 90.0);
+    EXPECT_NE(r.good_signature, 0u);
+}
+
+TEST(Bist, SignatureIsReproducible) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    BistOptions opts;
+    opts.patterns = 512;
+    auto r1 = run_bist(nl, opts);
+    auto r2 = run_bist(nl, opts);
+    EXPECT_EQ(r1.good_signature, r2.good_signature);
+    EXPECT_EQ(r1.coverage_percent, r2.coverage_percent);
+}
+
+TEST(Bist, ScopeRestrictsFaults) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    BistOptions all;
+    all.patterns = 256;
+    BistOptions scoped = all;
+    scoped.scope_prefix = "alu.";
+    auto ra = run_bist(nl, all);
+    auto rs = run_bist(nl, scoped);
+    // Same stimulus, different fault universe: signatures match, coverage
+    // percentages refer to different denominators.
+    EXPECT_EQ(ra.good_signature, rs.good_signature);
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,164 @@
+// Generality tests on the fir4 DSP benchmark: functional behaviour,
+// multi-instance extraction, constraint-writer variants and the full
+// FACTOR-vs-raw ATPG comparison on a second design.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "core/extractor.hpp"
+#include "core/transform.hpp"
+#include "core/writer.hpp"
+#include "designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+std::unique_ptr<Bundle> fir() {
+    return compile(designs::fir4_source(), designs::kFir4Top);
+}
+
+void load_coeff(SimHarness& sim, uint64_t addr, uint64_t value) {
+    sim.set("cwe", 1);
+    sim.set("caddr", addr);
+    sim.set("cdata", value);
+    sim.step();
+    sim.set("cwe", 0);
+}
+
+TEST(Fir, ComputesConvolution) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("en", 0);
+    sim.set("cwe", 0);
+    sim.set("caddr", 0);
+    sim.set("cdata", 0);
+    sim.set("sample_in", 0);
+    sim.step();
+    sim.set("rst", 0);
+
+    const uint64_t coeffs[4] = {1, 2, 3, 4};
+    for (uint64_t i = 0; i < 4; ++i) load_coeff(sim, i, coeffs[i]);
+
+    // Feed samples and track a reference model.
+    const uint64_t samples[] = {5, 9, 1, 7, 3, 8};
+    uint64_t taps[4] = {0, 0, 0, 0};
+    sim.set("en", 1);
+    // Two registers in the visible path (taps, then y_r): the output we
+    // read in cycle i reflects the convolution of samples up to i-2.
+    uint64_t expected_prev = 0;
+    uint64_t expected_cur = 0;
+    for (uint64_t s : samples) {
+        sim.set("sample_in", s);
+        sim.step();
+        EXPECT_EQ(sim.get("y"), expected_prev);
+        // Model: taps shift in s, output = sum(t_i * c_i) registered.
+        taps[3] = taps[2];
+        taps[2] = taps[1];
+        taps[1] = taps[0];
+        taps[0] = s;
+        expected_prev = expected_cur;
+        expected_cur = 0;
+        for (int i = 0; i < 4; ++i) expected_cur += taps[i] * coeffs[i];
+        expected_cur &= 0xffff;
+    }
+}
+
+TEST(Fir, ElaboratesWithFourMacInstances) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    size_t macs = 0;
+    for (const auto* node : b->elaborated->all_nodes()) {
+        if (node->module->name == "mac8") ++macs;
+    }
+    EXPECT_EQ(macs, 4u);
+    EXPECT_EQ(b->elaborated->find_by_path("fir4.m2")->level, 2);
+}
+
+TEST(Fir, ExtractionForMiddleMacMarksNeighbors) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    core::ExtractionSession session(*b->elaborated, core::Mode::Composed,
+                                    b->diags);
+    const auto* m1 = b->elaborated->find_by_path("fir4.m1");
+    auto cs = session.extract(*m1);
+    // m1's acc_in chains from m0, whose sources include taps and coeffs;
+    // its output propagates through m2 and m3 to the registered output.
+    const auto* m0 = b->elaborated->find_by_path("fir4.m0");
+    const auto* m2 = b->elaborated->find_by_path("fir4.m2");
+    const auto* taps = b->elaborated->find_by_path("fir4.taps");
+    EXPECT_NE(cs.marks_for(m0), nullptr);
+    EXPECT_NE(cs.marks_for(m2), nullptr);
+    EXPECT_NE(cs.marks_for(taps), nullptr);
+}
+
+TEST(Fir, WriterHandlesRepeatedModuleType) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    core::ExtractionSession session(*b->elaborated, core::Mode::Composed,
+                                    b->diags);
+    const auto* m1 = b->elaborated->find_by_path("fir4.m1");
+    auto cs = session.extract(*m1);
+    core::ConstraintWriter writer(*b->elaborated, cs);
+    std::string v = writer.write_verilog();
+    // All four macs participate (m1 whole, the others as constraint
+    // slices); since mac8 is purely combinational the slices equal the
+    // full module, so one shared definition suffices — and it must
+    // re-elaborate regardless.
+    auto reparsed = compile(v, writer.top_name());
+    ASSERT_TRUE(reparsed) << v;
+    size_t macs = 0;
+    for (const auto* node : reparsed->elaborated->all_nodes()) {
+        if (node->module->name.rfind("mac8", 0) == 0) ++macs;
+    }
+    EXPECT_EQ(macs, 4u);
+}
+
+TEST(Fir, TransformedMacBeatsRawFilterLevelAtpg) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    core::TransformBuilder builder(*b->elaborated, b->diags);
+    core::ExtractionSession session(*b->elaborated, core::Mode::Composed,
+                                    b->diags);
+    const auto* m1 = b->elaborated->find_by_path("fir4.m1");
+
+    auto full = builder.full_design();
+    atpg::EngineOptions raw_opts;
+    raw_opts.scope_prefix = "m1.";
+    raw_opts.time_budget_s = 2.0;
+    raw_opts.random_batches = 1;
+    raw_opts.max_backtracks = 50;
+    auto raw = atpg::run_atpg(full, raw_opts);
+
+    core::TransformOptions topts;
+    auto tm = builder.build(*m1, session, topts);
+    atpg::EngineOptions t_opts;
+    t_opts.scope_prefix = tm.mut_prefix;
+    t_opts.time_budget_s = 10.0;
+    auto transformed = atpg::run_atpg(tm.netlist, t_opts);
+
+    EXPECT_GE(transformed.coverage_percent, raw.coverage_percent);
+    EXPECT_GT(transformed.coverage_percent, 80.0);
+}
+
+TEST(Fir, PierAnalysisFindsCoefficientBank) {
+    auto b = fir();
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    core::PierOptions popts;
+    popts.max_load_depth = 0;
+    popts.max_store_depth = 3;
+    auto piers = core::find_piers(nl, popts);
+    bool coeff_found = false;
+    for (const auto& p : piers) {
+        coeff_found |= p.register_net.find("coeffs.k") != std::string::npos;
+    }
+    EXPECT_TRUE(coeff_found)
+        << "coefficient registers load combinationally from cdata";
+}
+
+} // namespace
+} // namespace factor::test

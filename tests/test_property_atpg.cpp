@@ -1,0 +1,261 @@
+// Property tests for the ATPG substrate:
+//  * every PODEM-generated test is confirmed by the independent fault
+//    simulator (no optimistic detections),
+//  * fault-equivalence collapsing is sound — a collapsed-away fault is
+//    detected by exactly the patterns that detect its representative,
+//    verified exhaustively on small circuits,
+//  * engine determinism and budget monotonicity.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/podem.hpp"
+#include "designs/designs.hpp"
+#include "synth/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+using namespace factor::atpg;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+// ---------------------------------------------------------- PODEM vs sim
+
+struct PodemVerifyCase {
+    const char* name;
+    const char* source;
+    const char* top;
+    size_t max_frames;
+};
+
+const PodemVerifyCase kPodemCases[] = {
+    {"alu_like", R"(
+module m (input [3:0] a, input [3:0] b, input [1:0] op, output [3:0] y,
+          output z);
+  reg [3:0] r;
+  always @(*) begin
+    case (op)
+      2'd0: r = a + b;
+      2'd1: r = a - b;
+      2'd2: r = a & b;
+      default: r = a | b;
+    endcase
+  end
+  assign y = r;
+  assign z = r == 4'h0;
+endmodule)",
+     "m", 1},
+    {"sequential_fsm", R"(
+module m (input clk, input rst, input go, output reg [1:0] st, output done);
+  always @(posedge clk) begin
+    if (rst) st <= 2'd0;
+    else begin
+      case (st)
+        2'd0: if (go) st <= 2'd1;
+        2'd1: st <= 2'd2;
+        2'd2: st <= 2'd3;
+        default: st <= 2'd0;
+      endcase
+    end
+  end
+  assign done = st == 2'd3;
+endmodule)",
+     "m", 8},
+    {"pipeline", R"(
+module m (input clk, input rst, input [3:0] d, output [3:0] q);
+  reg [3:0] s1;
+  reg [3:0] s2;
+  always @(posedge clk) begin
+    if (rst) begin s1 <= 4'h0; s2 <= 4'h0; end
+    else begin s1 <= d ^ 4'h5; s2 <= s1 + 4'h1; end
+  end
+  assign q = s2;
+endmodule)",
+     "m", 6},
+};
+
+class PodemVerify : public ::testing::TestWithParam<PodemVerifyCase> {};
+
+TEST_P(PodemVerify, EveryGeneratedTestIsSimConfirmed) {
+    const auto& tc = GetParam();
+    auto b = compile(tc.source, tc.top);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    FaultSimulator sim(nl);
+    FaultList fl(nl);
+    TimeFramePodem podem(nl, PodemOptions{});
+
+    size_t generated = 0;
+    for (const auto& entry : fl.faults()) {
+        for (size_t k = 1; k <= tc.max_frames; ++k) {
+            auto r = podem.generate(entry.fault, k);
+            if (r.outcome != PodemOutcome::Success) continue;
+            ++generated;
+            auto seq = broadcast(r.test, nl.inputs().size());
+            auto good = sim.simulate_good(seq);
+            EXPECT_NE(sim.detect_mask(entry.fault, seq, good) & 1, 0u)
+                << tc.name << ": unverified test for "
+                << entry.describe(nl) << " at depth " << k;
+            break;
+        }
+    }
+    EXPECT_GT(generated, fl.size() / 2) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, PodemVerify,
+                         ::testing::ValuesIn(kPodemCases),
+                         [](const auto& info) {
+                             return std::string(info.param.name);
+                         });
+
+// ------------------------------------------------- collapsing soundness
+
+/// Exhaustively compute the set of input patterns detecting `fault` on a
+/// combinational netlist with <= 16 inputs.
+uint64_t detecting_patterns(const Netlist& nl, const Fault& fault) {
+    FaultSimulator sim(nl);
+    size_t n = nl.inputs().size();
+    EXPECT_LE(n, 16u);
+    uint64_t detected_count = 0;
+    size_t total = size_t{1} << n;
+    for (size_t base = 0; base < total; base += 64) {
+        Frame f;
+        f.pi.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t ones = 0;
+            for (size_t p = 0; p < 64 && base + p < total; ++p) {
+                if (((base + p) >> i) & 1) ones |= (1ull << p);
+            }
+            f.pi[i] = atpg::V64{ones, ~ones};
+        }
+        Sequence seq{f};
+        auto good = sim.simulate_good(seq);
+        uint64_t mask = sim.detect_mask(fault, seq, good);
+        detected_count += static_cast<uint64_t>(__builtin_popcountll(mask));
+    }
+    return detected_count;
+}
+
+class CollapsingSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CollapsingSoundness, UncollapsedFaultsAreCovered) {
+    // Build a small random combinational netlist; check that the collapsed
+    // fault list "covers" all faults: every gate-input fault that was
+    // collapsed away has the same detecting-pattern count as some kept
+    // fault that is detected whenever it is (we verify the weaker but
+    // meaningful property: total detectability is preserved — any test set
+    // achieving 100% collapsed coverage also detects every uncollapsed
+    // fault; here via pattern-set equality with the representative).
+    std::mt19937_64 rng(GetParam());
+    Netlist nl;
+    std::vector<NetId> pool;
+    for (int i = 0; i < 5; ++i) {
+        NetId n = nl.new_net("in" + std::to_string(i));
+        nl.mark_input(n);
+        pool.push_back(n);
+    }
+    for (int i = 0; i < 12; ++i) {
+        GateType types[] = {GateType::And, GateType::Or, GateType::Not,
+                            GateType::Xor, GateType::Nand, GateType::Nor};
+        GateType t = types[rng() % std::size(types)];
+        NetId out = t == GateType::Not
+                        ? nl.add_gate(t, {pool[rng() % pool.size()]})
+                        : nl.add_gate(t, {pool[rng() % pool.size()],
+                                          pool[rng() % pool.size()]});
+        pool.push_back(out);
+    }
+    nl.mark_output(pool.back(), "y");
+
+    FaultList fl(nl);
+    // For AND gates with single-reader inputs, the input SA0 collapsed into
+    // the output SA0: verify their detecting pattern sets coincide.
+    for (const auto& g : nl.gates()) {
+        if (g.type != GateType::And || g.ins.size() != 2) continue;
+        Fault out_sa0;
+        out_sa0.net = g.out;
+        out_sa0.sa1 = false;
+        uint64_t rep = detecting_patterns(nl, out_sa0);
+        for (size_t pin = 0; pin < g.ins.size(); ++pin) {
+            Fault in_sa0;
+            in_sa0.net = g.ins[pin];
+            in_sa0.gate = static_cast<synth::GateId>(&g - nl.gates().data());
+            in_sa0.pin = static_cast<int>(pin);
+            in_sa0.sa1 = false;
+            EXPECT_EQ(detecting_patterns(nl, in_sa0), rep)
+                << "collapsed input fault differs from representative";
+        }
+    }
+    EXPECT_LT(fl.size(), fl.uncollapsed_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapsingSoundness,
+                         ::testing::Range<uint64_t>(100, 110));
+
+// ------------------------------------------------- engine-level properties
+
+TEST(EngineProperties, DeterministicForFixedSeed) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.seed = 1234;
+    auto r1 = run_atpg(nl, opts);
+    auto r2 = run_atpg(nl, opts);
+    EXPECT_EQ(r1.detected, r2.detected);
+    EXPECT_EQ(r1.untestable, r2.untestable);
+    EXPECT_EQ(r1.aborted, r2.aborted);
+}
+
+TEST(EngineProperties, MoreBacktracksNeverHurtCoverage) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions low;
+    low.max_backtracks = 5;
+    low.random_batches = 1;
+    EngineOptions high = low;
+    high.max_backtracks = 2000;
+    auto rl = run_atpg(nl, low);
+    auto rh = run_atpg(nl, high);
+    EXPECT_GE(rh.coverage_percent, rl.coverage_percent);
+}
+
+TEST(EngineProperties, CountsAreConsistent) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.max_frames = 4;
+    auto r = run_atpg(nl, opts);
+    EXPECT_EQ(r.total_faults, r.detected + r.untestable + r.aborted);
+    EXPECT_GE(r.efficiency_percent, r.coverage_percent);
+}
+
+TEST(EngineProperties, ExposedRegistersImproveDeepCounterCoverage) {
+    // The PIER effect in isolation: exposing the counter register turns
+    // deep sequential faults into shallow ones.
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto plain = s.run(b->root());
+    (void)synth::optimize(plain);
+    auto exposed = plain;
+    (void)synth::expose_registers(exposed, [](const std::string& name) {
+        return name.rfind("c[", 0) == 0;
+    });
+
+    EngineOptions opts;
+    opts.max_frames = 4;
+    opts.random_batches = 4;
+    auto r_plain = run_atpg(plain, opts);
+    auto r_exposed = run_atpg(exposed, opts);
+    EXPECT_GT(r_exposed.coverage_percent, r_plain.coverage_percent + 10.0);
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,428 @@
+// Unit tests for the RTL front end: lexer, parser, printer, const eval.
+#include "rtl/ast.hpp"
+#include "rtl/const_eval.hpp"
+#include "rtl/lexer.hpp"
+#include "rtl/parser.hpp"
+#include "rtl/printer.hpp"
+#include "util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::rtl {
+namespace {
+
+std::vector<Token> lex(const std::string& src, util::DiagEngine& diags) {
+    Lexer lexer(src, "<test>", diags);
+    return lexer.tokenize();
+}
+
+ExprPtr parse_expr(const std::string& src) {
+    util::DiagEngine diags;
+    Parser p(Lexer(src, "<expr>", diags).tokenize(), diags);
+    auto e = p.parse_standalone_expr();
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    return e;
+}
+
+std::unique_ptr<Design> parse_ok(const std::string& src) {
+    auto d = std::make_unique<Design>();
+    util::DiagEngine diags;
+    Parser::parse_source(src, "<test>", *d, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.dump();
+    return d;
+}
+
+size_t parse_error_count(const std::string& src) {
+    Design d;
+    util::DiagEngine diags;
+    Parser::parse_source(src, "<test>", d, diags);
+    return diags.error_count();
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+    util::DiagEngine diags;
+    auto toks = lex("module foo_1 endmodule", diags);
+    ASSERT_EQ(toks.size(), 4u); // incl. End
+    EXPECT_EQ(toks[0].kind, TokKind::KwModule);
+    EXPECT_EQ(toks[1].kind, TokKind::Ident);
+    EXPECT_EQ(toks[1].text, "foo_1");
+    EXPECT_EQ(toks[2].kind, TokKind::KwEndmodule);
+    EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(Lexer, NumbersWithBase) {
+    util::DiagEngine diags;
+    auto toks = lex("8'hff 4'b10_10 16'd42 'b1 7", diags);
+    ASSERT_GE(toks.size(), 5u);
+    EXPECT_EQ(toks[0].text, "8'hff");
+    EXPECT_EQ(toks[1].text, "4'b10_10");
+    EXPECT_EQ(toks[2].text, "16'd42");
+    EXPECT_EQ(toks[3].text, "'b1");
+    EXPECT_EQ(toks[4].text, "7");
+}
+
+TEST(Lexer, MultiCharOperators) {
+    util::DiagEngine diags;
+    auto toks = lex("&& || == != === !== <= >= << >> ~^ ~& ~|", diags);
+    std::vector<TokKind> kinds;
+    for (const auto& t : toks) kinds.push_back(t.kind);
+    EXPECT_EQ(kinds[0], TokKind::AmpAmp);
+    EXPECT_EQ(kinds[1], TokKind::PipePipe);
+    EXPECT_EQ(kinds[2], TokKind::EqEq);
+    EXPECT_EQ(kinds[3], TokKind::BangEq);
+    EXPECT_EQ(kinds[4], TokKind::EqEqEq);
+    EXPECT_EQ(kinds[5], TokKind::BangEqEq);
+    EXPECT_EQ(kinds[6], TokKind::LtEq);
+    EXPECT_EQ(kinds[7], TokKind::GtEq);
+    EXPECT_EQ(kinds[8], TokKind::Shl);
+    EXPECT_EQ(kinds[9], TokKind::Shr);
+    EXPECT_EQ(kinds[10], TokKind::TildeCaret);
+    EXPECT_EQ(kinds[11], TokKind::NandRed);
+    EXPECT_EQ(kinds[12], TokKind::NorRed);
+}
+
+TEST(Lexer, CommentsAndDirectivesSkipped) {
+    util::DiagEngine diags;
+    auto toks = lex("a // line comment\n/* block\ncomment */ b `timescale 1ns\n c", diags);
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+    util::DiagEngine diags;
+    (void)lex("a /* never closed", diags);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+    util::DiagEngine diags;
+    auto toks = lex("a\nb\n  c", diags);
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[2].loc.line, 3u);
+    EXPECT_EQ(toks[2].loc.col, 3u);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(Parser, ExpressionPrecedence) {
+    auto e = parse_expr("a + b * c");
+    ASSERT_TRUE(e);
+    ASSERT_EQ(e->kind, ExprKind::Binary);
+    EXPECT_EQ(e->bop, BinaryOp::Add);
+    EXPECT_EQ(e->ops[1]->bop, BinaryOp::Mul);
+}
+
+TEST(Parser, TernaryIsRightAssociative) {
+    auto e = parse_expr("a ? b : c ? d : f");
+    ASSERT_TRUE(e);
+    ASSERT_EQ(e->kind, ExprKind::Ternary);
+    EXPECT_EQ(e->ops[2]->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, ConcatAndReplicate) {
+    auto e = parse_expr("{a, 2'b01, {4{b}}}");
+    ASSERT_TRUE(e);
+    ASSERT_EQ(e->kind, ExprKind::Concat);
+    ASSERT_EQ(e->ops.size(), 3u);
+    EXPECT_EQ(e->ops[2]->kind, ExprKind::Replicate);
+    EXPECT_EQ(e->ops[2]->rep_count, 4u);
+}
+
+TEST(Parser, SelectsResolveLiteralBounds) {
+    auto e = parse_expr("x[7:4]");
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->kind, ExprKind::PartSelect);
+    EXPECT_EQ(e->msb, 7);
+    EXPECT_EQ(e->lsb, 4);
+    auto b = parse_expr("x[i+1]");
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->kind, ExprKind::BitSelect);
+}
+
+TEST(Parser, UnaryReductionOperators) {
+    auto e = parse_expr("&a | ^b");
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->kind, ExprKind::Binary);
+    EXPECT_EQ(e->ops[0]->uop, UnaryOp::RedAnd);
+    EXPECT_EQ(e->ops[1]->uop, UnaryOp::RedXor);
+}
+
+TEST(Parser, AnsiModuleHeader) {
+    auto d = parse_ok(R"(
+module m (input wire [3:0] a, b, output reg c, inout d);
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_NE(m, nullptr);
+    ASSERT_EQ(m->ports.size(), 4u);
+    EXPECT_EQ(m->ports[0].dir, PortDir::Input);
+    EXPECT_EQ(m->ports[0].range.msb, 3);
+    EXPECT_EQ(m->ports[1].dir, PortDir::Input);
+    EXPECT_EQ(m->ports[1].range.msb, 3); // inherits range
+    EXPECT_EQ(m->ports[2].dir, PortDir::Output);
+    EXPECT_TRUE(m->ports[2].is_reg);
+    EXPECT_EQ(m->ports[3].dir, PortDir::Inout);
+}
+
+TEST(Parser, NonAnsiPorts) {
+    auto d = parse_ok(R"(
+module m (a, b, y);
+  input [1:0] a;
+  input b;
+  output y;
+  assign y = b;
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->ports[0].range.width(), 2u);
+    EXPECT_EQ(m->ports[2].dir, PortDir::Output);
+}
+
+TEST(Parser, MissingDirectionIsError) {
+    EXPECT_GT(parse_error_count("module m (a); endmodule"), 0u);
+}
+
+TEST(Parser, WireDeclarationWithInit) {
+    auto d = parse_ok(R"(
+module m (input a, input b, output y);
+  wire t = a & b;
+  assign y = t;
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_EQ(m->assigns.size(), 2u);
+}
+
+TEST(Parser, AlwaysBlockForms) {
+    auto d = parse_ok(R"(
+module m (input clk, input rst, input a, output reg q, output reg c);
+  always @(posedge clk) begin
+    if (rst) q <= 1'b0;
+    else q <= a;
+  end
+  always @(*) c = a & q;
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_EQ(m->always_blocks.size(), 2u);
+    EXPECT_TRUE(m->always_blocks[0].is_sequential());
+    EXPECT_TRUE(m->always_blocks[1].is_comb);
+}
+
+TEST(Parser, SensitivityListWithOr) {
+    auto d = parse_ok(R"(
+module m (input a, input b, output reg y);
+  always @(a or b) y = a | b;
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_EQ(m->always_blocks.size(), 1u);
+    EXPECT_TRUE(m->always_blocks[0].is_comb);
+    EXPECT_EQ(m->always_blocks[0].sens.size(), 2u);
+}
+
+TEST(Parser, CaseStatement) {
+    auto d = parse_ok(R"(
+module m (input [1:0] s, output reg [3:0] y);
+  always @(*) begin
+    case (s)
+      2'd0: y = 4'h1;
+      2'd1, 2'd2: y = 4'h2;
+      default: y = 4'h8;
+    endcase
+  end
+endmodule)");
+    Module* m = d->find("m");
+    const Stmt* body = m->always_blocks[0].body.get();
+    ASSERT_EQ(body->kind, StmtKind::Block);
+    const Stmt* cs = body->stmts[0].get();
+    ASSERT_EQ(cs->kind, StmtKind::Case);
+    ASSERT_EQ(cs->items.size(), 3u);
+    EXPECT_EQ(cs->items[1].labels.size(), 2u);
+    EXPECT_TRUE(cs->items[2].labels.empty());
+}
+
+TEST(Parser, ForLoop) {
+    auto d = parse_ok(R"(
+module m (input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    y = 8'h0;
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_EQ(m->always_blocks.size(), 1u);
+}
+
+TEST(Parser, InstancesNamedAndPositional) {
+    auto d = parse_ok(R"(
+module leaf (input x, output y);
+  assign y = ~x;
+endmodule
+module top (input a, output b, output c);
+  leaf u1 (.x(a), .y(b));
+  leaf u2 (a, c);
+endmodule)");
+    Module* top = d->find("top");
+    ASSERT_EQ(top->instances.size(), 2u);
+    EXPECT_EQ(top->instances[0].conns[0].port, "x");
+    EXPECT_TRUE(top->instances[1].conns[0].port.empty());
+}
+
+TEST(Parser, ParameterOverrides) {
+    auto d = parse_ok(R"(
+module adder #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b,
+                                 output [W-1:0] y);
+  assign y = a + b;
+endmodule
+module top (input [7:0] a, input [7:0] b, output [7:0] y);
+  adder #(.W(8)) u (.a(a), .b(b), .y(y));
+endmodule)");
+    Module* top = d->find("top");
+    ASSERT_EQ(top->instances.size(), 1u);
+    ASSERT_EQ(top->instances[0].param_overrides.size(), 1u);
+    EXPECT_EQ(top->instances[0].param_overrides[0].name, "W");
+}
+
+TEST(Parser, LocalparamAndParameterBody) {
+    auto d = parse_ok(R"(
+module m (input [1:0] s, output y);
+  parameter P = 2;
+  localparam Q = 1;
+  assign y = s == P[1:0];
+endmodule)");
+    Module* m = d->find("m");
+    ASSERT_EQ(m->params.size(), 2u);
+    EXPECT_FALSE(m->params[0].local);
+    EXPECT_TRUE(m->params[1].local);
+}
+
+TEST(Parser, ErrorRecoveryContinuesParsing) {
+    Design d;
+    util::DiagEngine diags;
+    Parser::parse_source(R"(
+module bad (input a, output y);
+  assign y = ;
+endmodule
+module good (input a, output y);
+  assign y = a;
+endmodule)",
+                         "<test>", d, diags);
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_NE(d.find("good"), nullptr);
+}
+
+TEST(Parser, DuplicateModuleRejected) {
+    EXPECT_GT(parse_error_count(
+                  "module m (input a, output y); assign y = a; endmodule\n"
+                  "module m (input a, output y); assign y = a; endmodule"),
+              0u);
+}
+
+TEST(Parser, InitialBlockRejected) {
+    EXPECT_GT(parse_error_count(
+                  "module m (output reg y); initial y = 0; endmodule"),
+              0u);
+}
+
+TEST(Parser, IllegalLvalueRejected) {
+    EXPECT_GT(parse_error_count(
+                  "module m (input a, input b, output y); assign a + b = y; "
+                  "endmodule"),
+              0u);
+}
+
+// ------------------------------------------------------------- const eval
+
+TEST(ConstEval, FoldsOperators) {
+    ConstEnv env;
+    env["W"] = util::BitVec(32, 8);
+    auto e = parse_expr("W * 2 - 1");
+    auto v = const_eval(*e, env);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->value(), 15u);
+}
+
+TEST(ConstEval, NonConstantReturnsNullopt) {
+    auto e = parse_expr("a + 1");
+    EXPECT_FALSE(const_eval(*e, {}).has_value());
+}
+
+TEST(ConstEval, DivisionByZeroIsNotConstant) {
+    auto e = parse_expr("4 / 0");
+    EXPECT_FALSE(const_eval(*e, {}).has_value());
+}
+
+TEST(ConstEval, TernarySelectsBranch) {
+    auto e = parse_expr("1 ? 8'hab : 8'hcd");
+    auto v = const_eval(*e, {});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->value(), 0xabu);
+}
+
+// ---------------------------------------------------------------- printer
+
+TEST(Printer, RoundTripsModule) {
+    const std::string src = R"(
+module m (input clk, input [3:0] a, output reg [3:0] q, output w);
+  wire [3:0] t;
+  assign t = a ^ 4'h3;
+  assign w = &t;
+  always @(posedge clk) begin
+    if (a[0]) q <= t;
+    else q <= {t[1:0], 2'b00};
+  end
+endmodule)";
+    auto d1 = parse_ok(src);
+    std::string printed = to_verilog(*d1);
+    // The printed text must parse again and preserve structure.
+    auto d2 = parse_ok(printed);
+    Module* m1 = d1->find("m");
+    Module* m2 = d2->find("m");
+    ASSERT_NE(m2, nullptr);
+    EXPECT_EQ(m1->ports.size(), m2->ports.size());
+    EXPECT_EQ(m1->assigns.size(), m2->assigns.size());
+    EXPECT_EQ(m1->always_blocks.size(), m2->always_blocks.size());
+}
+
+TEST(Printer, ExpressionForms) {
+    EXPECT_EQ(to_verilog(*parse_expr("a+b")), "(a + b)");
+    EXPECT_EQ(to_verilog(*parse_expr("{2{x}}")), "{2{x}}");
+    EXPECT_EQ(to_verilog(*parse_expr("v[3]")), "v[3]");
+    EXPECT_EQ(to_verilog(*parse_expr("v[3:1]")), "v[3:1]");
+}
+
+// -------------------------------------------------------------------- AST
+
+TEST(Ast, CloneIsDeep) {
+    auto e = parse_expr("a ? b + 1 : c[3:0]");
+    auto c = clone(*e);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(to_verilog(*e), to_verilog(*c));
+    EXPECT_NE(e.get(), c.get());
+    EXPECT_NE(e->ops[0].get(), c->ops[0].get());
+}
+
+TEST(Ast, CollectIdents) {
+    auto e = parse_expr("a + b[i] + {c, d[3:0]}");
+    std::vector<std::string> ids;
+    collect_idents(*e, ids);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "a"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "b"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "i"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "c"), ids.end());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "d"), ids.end());
+}
+
+TEST(Ast, IsConstantExpr) {
+    EXPECT_TRUE(is_constant_expr(*parse_expr("{2'b01, 2'b10}")));
+    EXPECT_TRUE(is_constant_expr(*parse_expr("~4'h3")));
+    EXPECT_FALSE(is_constant_expr(*parse_expr("a")));
+    EXPECT_FALSE(is_constant_expr(*parse_expr("1 + a")));
+}
+
+} // namespace
+} // namespace factor::rtl

@@ -1,0 +1,179 @@
+// Tests for the SCOAP testability measures and test collection/compaction.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "atpg/scoap.hpp"
+#include "designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+using namespace factor::atpg;
+using synth::GateType;
+using synth::Netlist;
+using synth::NetId;
+
+TEST(Scoap, PrimaryInputsAreUnitControllable) {
+    Netlist nl;
+    NetId a = nl.new_net("a");
+    nl.mark_input(a);
+    NetId y = nl.add_gate(GateType::Not, {a}, "y");
+    nl.mark_output(y, "y");
+    auto m = compute_scoap(nl);
+    EXPECT_DOUBLE_EQ(m.cc0[a], 1.0);
+    EXPECT_DOUBLE_EQ(m.cc1[a], 1.0);
+    EXPECT_DOUBLE_EQ(m.cc0[y], 2.0); // NOT output 0 needs input 1
+    EXPECT_DOUBLE_EQ(m.co[y], 0.0);
+    EXPECT_DOUBLE_EQ(m.co[a], 1.0);
+}
+
+TEST(Scoap, AndGateControllability) {
+    Netlist nl;
+    NetId a = nl.new_net("a");
+    NetId b = nl.new_net("b");
+    nl.mark_input(a);
+    nl.mark_input(b);
+    NetId y = nl.add_gate(GateType::And, {a, b}, "y");
+    nl.mark_output(y, "y");
+    auto m = compute_scoap(nl);
+    EXPECT_DOUBLE_EQ(m.cc1[y], 3.0); // 1 + 1 + 1
+    EXPECT_DOUBLE_EQ(m.cc0[y], 2.0); // min(1,1) + 1
+    // Observing `a` requires b=1: CO = 0 + (1 + CC1(b)) = 2.
+    EXPECT_DOUBLE_EQ(m.co[a], 2.0);
+}
+
+TEST(Scoap, ConstantsAreOneSided) {
+    Netlist nl;
+    NetId a = nl.new_net("a");
+    nl.mark_input(a);
+    NetId c1 = nl.const1();
+    NetId y = nl.add_gate(GateType::And, {a, c1}, "y");
+    nl.mark_output(y, "y");
+    auto m = compute_scoap(nl);
+    EXPECT_GE(m.cc0[c1], ScoapMeasures::kUnreachable);
+    EXPECT_DOUBLE_EQ(m.cc1[c1], 0.0);
+    // y can never be forced 0 through the const side but can via a.
+    EXPECT_LT(m.cc0[y], ScoapMeasures::kUnreachable);
+}
+
+TEST(Scoap, SequentialPenaltyAccumulates) {
+    auto b = compile(R"(
+module m (input clk, input d, output q2);
+  reg s1;
+  reg s2;
+  always @(posedge clk) begin
+    s1 <= d;
+    s2 <= s1;
+  end
+  assign q2 = s2;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto nl = s.run(b->root());
+    auto m = compute_scoap(nl);
+    int d_idx = pi_index(nl, "d");
+    ASSERT_GE(d_idx, 0);
+    NetId d = nl.inputs()[static_cast<size_t>(d_idx)];
+    // Observing d crosses two flip-flops.
+    EXPECT_GE(m.co[d], 2 * ScoapOptions{}.dff_penalty);
+
+    // The deeper register is harder to control than the shallower one.
+    NetId s1 = synth::kNoNet;
+    NetId s2 = synth::kNoNet;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+        if (nl.net_name(n) == "s1") s1 = n;
+        if (nl.net_name(n) == "s2") s2 = n;
+    }
+    ASSERT_NE(s1, synth::kNoNet);
+    ASSERT_NE(s2, synth::kNoNet);
+    EXPECT_GT(m.cc1[s2], m.cc1[s1]);
+}
+
+TEST(Scoap, UnobservableNetFlagged) {
+    Netlist nl;
+    NetId a = nl.new_net("a");
+    nl.mark_input(a);
+    NetId dead = nl.add_gate(GateType::Not, {a}, "dead");
+    NetId y = nl.add_gate(GateType::Buf, {a}, "y");
+    nl.mark_output(y, "y");
+    auto m = compute_scoap(nl);
+    EXPECT_FALSE(m.observable(dead));
+    EXPECT_TRUE(m.observable(a));
+}
+
+TEST(Scoap, HardestRankingIsSane) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto m = compute_scoap(nl);
+    auto hard = m.hardest(nl, 10);
+    ASSERT_EQ(hard.size(), 10u);
+    for (size_t i = 1; i < hard.size(); ++i) {
+        EXPECT_GE(hard[i - 1].score, hard[i].score);
+    }
+    // The deep register-file bits should rank harder to control than the
+    // instruction input pins.
+    int instr0 = pi_index(nl, "instr_in[0]");
+    ASSERT_GE(instr0, 0);
+    NetId instr_net = nl.inputs()[static_cast<size_t>(instr0)];
+    EXPECT_GT(hard.front().score, m.difficulty(instr_net));
+}
+
+TEST(Scoap, LoopsConverge) {
+    // A counter has a combinational loop through its DFEs; relaxation must
+    // terminate with finite measures for the register bits.
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto m = compute_scoap(nl);
+    for (synth::GateId g : nl.dffs()) {
+        NetId q = nl.gate(g).out;
+        EXPECT_LT(m.cc0[q], ScoapMeasures::kUnreachable) << nl.net_name(q);
+        EXPECT_LT(m.cc1[q], ScoapMeasures::kUnreachable) << nl.net_name(q);
+    }
+}
+
+// ------------------------------------------------- test collection
+
+TEST(TestCollection, CollectsAndCompacts) {
+    auto b = compile(R"(
+module m (input [5:0] a, input [5:0] b, output [5:0] y, output p);
+  assign y = (a & b) ^ (a + b);
+  assign p = ^y;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.collect_tests = true;
+    opts.random_batches = 0; // force the deterministic phase to do the work
+    auto r = run_atpg(nl, opts);
+    EXPECT_GT(r.deterministic_tests, 0u);
+    EXPECT_EQ(r.tests_before_compaction, r.deterministic_tests);
+    EXPECT_LE(r.tests.size(), r.tests_before_compaction);
+    EXPECT_GT(r.tests.size(), 0u);
+
+    // The compacted set must still achieve the reported coverage.
+    FaultList fl(nl);
+    FaultSimulator sim(nl);
+    for (const auto& t : r.tests) {
+        (void)sim.run_and_drop(fl, broadcast(t, nl.inputs().size()));
+    }
+    EXPECT_DOUBLE_EQ(fl.coverage_percent(), r.coverage_percent);
+}
+
+TEST(TestCollection, DisabledByDefault) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.max_frames = 2;
+    auto r = run_atpg(nl, opts);
+    EXPECT_TRUE(r.tests.empty());
+}
+
+} // namespace
+} // namespace factor::test

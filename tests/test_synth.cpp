@@ -1,0 +1,412 @@
+// Tests for the synthesizer + optimizer: functional correctness of the
+// generated gate netlists checked by cycle simulation.
+#include "helpers.hpp"
+
+#include "synth/optimizer.hpp"
+#include "synth/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+TEST(Synth, CombinationalOperators) {
+    auto b = compile(R"(
+module m (input [7:0] a, input [7:0] b, output [7:0] o_and,
+          output [7:0] o_or, output [7:0] o_xor, output [7:0] o_add,
+          output [7:0] o_sub, output o_eq, output o_lt, output [7:0] o_not);
+  assign o_and = a & b;
+  assign o_or = a | b;
+  assign o_xor = a ^ b;
+  assign o_add = a + b;
+  assign o_sub = a - b;
+  assign o_eq = a == b;
+  assign o_lt = a < b;
+  assign o_not = ~a;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    for (auto [av, bv] : {std::pair<uint64_t, uint64_t>{0x12, 0x34},
+                          {0xff, 0x01},
+                          {0x80, 0x80},
+                          {0x00, 0x00},
+                          {0xaa, 0x55}}) {
+        SimHarness sim(nl);
+        sim.set("a", av);
+        sim.set("b", bv);
+        sim.step();
+        EXPECT_EQ(sim.get("o_and"), (av & bv));
+        EXPECT_EQ(sim.get("o_or"), (av | bv));
+        EXPECT_EQ(sim.get("o_xor"), (av ^ bv));
+        EXPECT_EQ(sim.get("o_add"), (av + bv) & 0xff);
+        EXPECT_EQ(sim.get("o_sub"), (av - bv) & 0xff);
+        EXPECT_EQ(sim.get("o_eq"), av == bv ? 1u : 0u);
+        EXPECT_EQ(sim.get("o_lt"), av < bv ? 1u : 0u);
+        EXPECT_EQ(sim.get("o_not"), (~av) & 0xff);
+    }
+}
+
+TEST(Synth, MulAndShifts) {
+    auto b = compile(R"(
+module m (input [7:0] a, input [2:0] s, output [7:0] o_mul3,
+          output [7:0] o_shl, output [7:0] o_shr, output [7:0] o_shl_c);
+  assign o_mul3 = a * 8'd3;
+  assign o_shl = a << s;
+  assign o_shr = a >> s;
+  assign o_shl_c = a << 2;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    for (uint64_t av : {0x01ull, 0x81ull, 0xffull, 0x5aull}) {
+        for (uint64_t sv = 0; sv < 8; ++sv) {
+            SimHarness sim(nl);
+            sim.set("a", av);
+            sim.set("s", sv);
+            sim.step();
+            EXPECT_EQ(sim.get("o_mul3"), (av * 3) & 0xff) << av;
+            EXPECT_EQ(sim.get("o_shl"), (av << sv) & 0xff) << av << " " << sv;
+            EXPECT_EQ(sim.get("o_shr"), (av >> sv) & 0xff) << av << " " << sv;
+            EXPECT_EQ(sim.get("o_shl_c"), (av << 2) & 0xff);
+        }
+    }
+}
+
+TEST(Synth, TernaryConcatSelects) {
+    auto b = compile(R"(
+module m (input sel, input [7:0] a, input [7:0] b, input [2:0] idx,
+          output [7:0] o_mux, output [7:0] o_cat, output o_bit,
+          output [3:0] o_slice, output [15:0] o_rep);
+  assign o_mux = sel ? a : b;
+  assign o_cat = {a[3:0], b[7:4]};
+  assign o_bit = a[idx];
+  assign o_slice = a[6:3];
+  assign o_rep = {2{a}};
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("sel", 1);
+    sim.set("a", 0xc5);
+    sim.set("b", 0x3e);
+    sim.set("idx", 6);
+    sim.step();
+    EXPECT_EQ(sim.get("o_mux"), 0xc5u);
+    EXPECT_EQ(sim.get("o_cat"), 0x53u);
+    EXPECT_EQ(sim.get("o_bit"), 1u); // 0xc5 bit 6
+    EXPECT_EQ(sim.get("o_slice"), 0x8u); // bits 6:3 of 1100_0101 = 1000
+    EXPECT_EQ(sim.get("o_rep"), 0xc5c5u);
+}
+
+TEST(Synth, ReductionAndLogical) {
+    auto b = compile(R"(
+module m (input [3:0] a, input [3:0] b, output o_rand, output o_ror,
+          output o_rxor, output o_land, output o_lor, output o_lnot);
+  assign o_rand = &a;
+  assign o_ror = |a;
+  assign o_rxor = ^a;
+  assign o_land = a && b;
+  assign o_lor = a || b;
+  assign o_lnot = !a;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    for (uint64_t av : {0x0ull, 0xfull, 0x7ull, 0x8ull}) {
+        for (uint64_t bv : {0x0ull, 0x3ull}) {
+            SimHarness sim(nl);
+            sim.set("a", av);
+            sim.set("b", bv);
+            sim.step();
+            EXPECT_EQ(sim.get("o_rand"), av == 0xf ? 1u : 0u);
+            EXPECT_EQ(sim.get("o_ror"), av != 0 ? 1u : 0u);
+            EXPECT_EQ(sim.get("o_rxor"), static_cast<uint64_t>(__builtin_parityll(av)));
+            EXPECT_EQ(sim.get("o_land"), (av != 0 && bv != 0) ? 1u : 0u);
+            EXPECT_EQ(sim.get("o_lor"), (av != 0 || bv != 0) ? 1u : 0u);
+            EXPECT_EQ(sim.get("o_lnot"), av == 0 ? 1u : 0u);
+        }
+    }
+}
+
+TEST(Synth, SequentialCounter) {
+    auto b = compile(R"(
+module c (input clk, input rst, input en, output [3:0] q);
+  reg [3:0] r;
+  always @(posedge clk) begin
+    if (rst) r <= 4'd0;
+    else if (en) r <= r + 4'd1;
+  end
+  assign q = r;
+endmodule)",
+                     "c");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EXPECT_EQ(nl.dff_count(), 4u);
+
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("en", 0);
+    sim.step(); // reset captured
+    sim.set("rst", 0);
+    sim.set("en", 1);
+    sim.step();
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get("q"), 2u); // q lags next-state by one clock
+    sim.set("en", 0);
+    sim.step();
+    sim.step();
+    EXPECT_EQ(sim.get("q"), 3u);
+}
+
+TEST(Synth, UninitializedRegisterReadsX) {
+    auto b = compile(R"(
+module m (input clk, input d, output q);
+  reg r;
+  always @(posedge clk) r <= d;
+  assign q = r;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("d", 1);
+    sim.step();
+    bool had_x = false;
+    (void)sim.get("q", &had_x);
+    EXPECT_TRUE(had_x); // first cycle: register still X
+    sim.step();
+    had_x = false;
+    EXPECT_EQ(sim.get("q", &had_x), 1u);
+    EXPECT_FALSE(had_x);
+}
+
+TEST(Synth, ForLoopUnrolls) {
+    auto b = compile(R"(
+module rev (input [7:0] a, output reg [7:0] y);
+  integer i;
+  always @(*) begin
+    y = 8'h0;
+    for (i = 0; i < 8; i = i + 1)
+      y[i] = a[7 - i];
+  end
+endmodule)",
+                     "rev");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("a", 0b1101'0010);
+    sim.step();
+    EXPECT_EQ(sim.get("y"), 0b0100'1011u);
+}
+
+TEST(Synth, HierarchyFlattens) {
+    auto b = compile(R"(
+module half (input x, input y, output s, output c);
+  assign s = x ^ y;
+  assign c = x & y;
+endmodule
+module full (input a, input b, input cin, output sum, output cout);
+  wire s1, c1, c2;
+  half h1 (.x(a), .y(b), .s(s1), .c(c1));
+  half h2 (.x(s1), .y(cin), .s(sum), .c(c2));
+  assign cout = c1 | c2;
+endmodule)",
+                     "full");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    for (int a = 0; a < 2; ++a) {
+        for (int bb = 0; bb < 2; ++bb) {
+            for (int c = 0; c < 2; ++c) {
+                SimHarness sim(nl);
+                sim.set("a", a);
+                sim.set("b", bb);
+                sim.set("cin", c);
+                sim.step();
+                int total = a + bb + c;
+                EXPECT_EQ(sim.get("sum"), static_cast<uint64_t>(total & 1));
+                EXPECT_EQ(sim.get("cout"), static_cast<uint64_t>(total >> 1));
+            }
+        }
+    }
+}
+
+TEST(Synth, ParameterizedWidthSpecialization) {
+    auto b = compile(R"(
+module adder #(parameter W = 4) (input [W-1:0] a, input [W-1:0] b,
+                                 output [W-1:0] y);
+  assign y = a + b;
+endmodule
+module top (input [7:0] a, input [7:0] b, output [7:0] y8,
+            input [3:0] c, input [3:0] d, output [3:0] y4);
+  adder #(.W(8)) u8 (.a(a), .b(b), .y(y8));
+  adder u4 (.a(c), .b(d), .y(y4));
+endmodule)",
+                     "top");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("a", 0x7f);
+    sim.set("b", 0x02);
+    sim.set("c", 0x9);
+    sim.set("d", 0x8);
+    sim.step();
+    EXPECT_EQ(sim.get("y8"), 0x81u);
+    EXPECT_EQ(sim.get("y4"), 0x1u);
+}
+
+TEST(Synth, LatchWarningForIncompleteAssignment) {
+    auto b = compile(R"(
+module m (input en, input d, output reg q);
+  always @(*) begin
+    if (en) q = d;
+  end
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    (void)s.run(b->root());
+    bool saw_warning = false;
+    for (const auto& diag : b->diags.all()) {
+        if (diag.severity == util::Severity::Warning &&
+            diag.message.find("latch") != std::string::npos) {
+            saw_warning = true;
+        }
+    }
+    EXPECT_TRUE(saw_warning);
+}
+
+TEST(Synth, VariableIndexWrite) {
+    auto b = compile(R"(
+module m (input [1:0] idx, input v, output reg [3:0] y);
+  always @(*) begin
+    y = 4'b0000;
+    y[idx] = v;
+  end
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    for (uint64_t idx = 0; idx < 4; ++idx) {
+        SimHarness sim(nl);
+        sim.set("idx", idx);
+        sim.set("v", 1);
+        sim.step();
+        EXPECT_EQ(sim.get("y"), uint64_t{1} << idx);
+    }
+}
+
+TEST(Optimizer, RemovesDeadAndFoldsConstants) {
+    auto b = compile(R"(
+module m (input a, input b, output y);
+  wire dead = a ^ b;
+  wire t = a & 1'b1;
+  wire u = t | 1'b0;
+  assign y = u;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto nl = s.run(b->root());
+    auto stats = synth::optimize(nl);
+    EXPECT_LT(stats.gates_after, stats.gates_before);
+    // y == a after folding: no logic gates needed at all.
+    EXPECT_EQ(nl.logic_gate_count(), 0u);
+    SimHarness sim(nl);
+    sim.set("a", 1);
+    sim.set("b", 0);
+    sim.step();
+    EXPECT_EQ(sim.get("y"), 1u);
+}
+
+TEST(Optimizer, StructuralHashingMergesDuplicates) {
+    auto b = compile(R"(
+module m (input a, input b, output y, output z);
+  assign y = a & b;
+  assign z = b & a;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto nl = s.run(b->root());
+    (void)synth::optimize(nl);
+    EXPECT_EQ(nl.logic_gate_count(), 1u);
+}
+
+TEST(Optimizer, PreservesSequentialBehavior) {
+    auto b = compile(R"(
+module m (input clk, input rst, input [3:0] d, output [3:0] q2);
+  reg [3:0] s1;
+  reg [3:0] s2;
+  always @(posedge clk) begin
+    if (rst) begin
+      s1 <= 4'h0;
+      s2 <= 4'h0;
+    end
+    else begin
+      s1 <= d + 4'h1;
+      s2 <= s1 ^ 4'h3;
+    end
+  end
+  assign q2 = s2;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    SimHarness sim(nl);
+    sim.set("rst", 1);
+    sim.set("d", 0);
+    sim.step();
+    sim.set("rst", 0);
+    sim.set("d", 0x4);
+    sim.step(); // captures s1 <- 5
+    sim.step(); // captures s2 <- 5 ^ 3 = 6
+    sim.step(); // q2 now shows s2
+    EXPECT_EQ(sim.get("q2"), 6u);
+}
+
+TEST(Transforms, ExposeRegistersCreatesPseudoPorts) {
+    auto b = compile(R"(
+module m (input clk, input d, output q);
+  reg r;
+  always @(posedge clk) r <= d;
+  assign q = r;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    synth::Synthesizer s(*b->design, b->diags);
+    auto nl = s.run(b->root());
+    size_t pis = nl.inputs().size();
+    size_t pos = nl.outputs().size();
+    auto stats = synth::expose_registers(
+        nl, [](const std::string& name) { return name == "r"; });
+    EXPECT_EQ(stats.registers_exposed, 1u);
+    EXPECT_EQ(nl.dff_count(), 0u);
+    EXPECT_EQ(nl.inputs().size(), pis + 1);
+    EXPECT_EQ(nl.outputs().size(), pos + 1);
+}
+
+TEST(Netlist, CheckDetectsCycles) {
+    synth::Netlist nl;
+    auto a = nl.new_net("a");
+    auto b = nl.new_net("b");
+    nl.add_gate_driving(a, synth::GateType::Not, {b});
+    nl.add_gate_driving(b, synth::GateType::Not, {a});
+    EXPECT_THROW(nl.levelize(), util::FactorError);
+}
+
+TEST(Netlist, SingleDriverEnforced) {
+    synth::Netlist nl;
+    auto a = nl.new_net("a");
+    auto b = nl.new_net("b");
+    nl.mark_input(b);
+    nl.add_gate_driving(a, synth::GateType::Buf, {b});
+    EXPECT_THROW(nl.add_gate_driving(a, synth::GateType::Buf, {b}),
+                 util::FactorError);
+}
+
+} // namespace
+} // namespace factor::test

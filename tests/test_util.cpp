@@ -1,0 +1,183 @@
+// Unit tests for the util substrate: BitVec, strings, diagnostics.
+#include "util/bitvec.hpp"
+#include "util/diagnostics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::util {
+namespace {
+
+TEST(BitVec, ParseSizedHex) {
+    BitVec v;
+    ASSERT_TRUE(BitVec::parse_verilog("8'hff", v));
+    EXPECT_EQ(v.width(), 8u);
+    EXPECT_EQ(v.value(), 0xffu);
+}
+
+TEST(BitVec, ParseSizedBinary) {
+    BitVec v;
+    ASSERT_TRUE(BitVec::parse_verilog("4'b1010", v));
+    EXPECT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.value(), 0b1010u);
+}
+
+TEST(BitVec, ParseSizedDecimalWithUnderscores) {
+    BitVec v;
+    ASSERT_TRUE(BitVec::parse_verilog("16'd1_000", v));
+    EXPECT_EQ(v.width(), 16u);
+    EXPECT_EQ(v.value(), 1000u);
+}
+
+TEST(BitVec, ParseOctal) {
+    BitVec v;
+    ASSERT_TRUE(BitVec::parse_verilog("6'o77", v));
+    EXPECT_EQ(v.value(), 63u);
+}
+
+TEST(BitVec, ParseUnsizedDefaultsTo32Bits) {
+    BitVec v;
+    ASSERT_TRUE(BitVec::parse_verilog("42", v));
+    EXPECT_EQ(v.width(), 32u);
+    EXPECT_EQ(v.value(), 42u);
+}
+
+TEST(BitVec, ParseRejectsMalformed) {
+    BitVec v;
+    EXPECT_FALSE(BitVec::parse_verilog("8'q12", v));
+    EXPECT_FALSE(BitVec::parse_verilog("4'b12", v)); // digit beyond base
+    EXPECT_FALSE(BitVec::parse_verilog("", v));
+    EXPECT_FALSE(BitVec::parse_verilog("8'", v));
+    EXPECT_FALSE(BitVec::parse_verilog("0'd1", v)); // zero width
+}
+
+TEST(BitVec, ValueMaskedToWidth) {
+    BitVec v(4, 0xff);
+    EXPECT_EQ(v.value(), 0xfu);
+}
+
+TEST(BitVec, ArithmeticWrapsAtWidth) {
+    BitVec a(8, 200);
+    BitVec b(8, 100);
+    EXPECT_EQ((a + b).value(), (200u + 100u) & 0xffu);
+    EXPECT_EQ((a - b).value(), 100u);
+    EXPECT_EQ((b - a).value(), static_cast<uint64_t>(int8_t(100 - 200)) & 0xffu);
+}
+
+TEST(BitVec, MixedWidthUsesMax) {
+    BitVec a(4, 0xf);
+    BitVec b(8, 0x10);
+    BitVec sum = a + b;
+    EXPECT_EQ(sum.width(), 8u);
+    EXPECT_EQ(sum.value(), 0x1fu);
+}
+
+TEST(BitVec, Reductions) {
+    EXPECT_EQ(BitVec(4, 0xf).reduce_and().value(), 1u);
+    EXPECT_EQ(BitVec(4, 0x7).reduce_and().value(), 0u);
+    EXPECT_EQ(BitVec(4, 0x0).reduce_or().value(), 0u);
+    EXPECT_EQ(BitVec(4, 0x8).reduce_or().value(), 1u);
+    EXPECT_EQ(BitVec(4, 0b0111).reduce_xor().value(), 1u);
+    EXPECT_EQ(BitVec(4, 0b0110).reduce_xor().value(), 0u);
+}
+
+TEST(BitVec, ConcatAndReplicate) {
+    BitVec hi(4, 0xa);
+    BitVec lo(4, 0x5);
+    BitVec c = hi.concat(lo);
+    EXPECT_EQ(c.width(), 8u);
+    EXPECT_EQ(c.value(), 0xa5u);
+    BitVec r = BitVec(2, 0b10).replicate(3);
+    EXPECT_EQ(r.width(), 6u);
+    EXPECT_EQ(r.value(), 0b101010u);
+}
+
+TEST(BitVec, Slice) {
+    BitVec v(8, 0xa5);
+    EXPECT_EQ(v.slice(7, 4).value(), 0xau);
+    EXPECT_EQ(v.slice(3, 0).value(), 0x5u);
+    EXPECT_EQ(v.slice(0, 0).width(), 1u);
+    EXPECT_THROW((void)v.slice(8, 0), FactorError);
+}
+
+TEST(BitVec, Comparisons) {
+    EXPECT_EQ(BitVec(8, 5).eq(BitVec(8, 5)).value(), 1u);
+    EXPECT_EQ(BitVec(8, 5).eq(BitVec(8, 6)).value(), 0u);
+    EXPECT_EQ(BitVec(8, 5).lt(BitVec(8, 6)).value(), 1u);
+    EXPECT_EQ(BitVec(8, 6).lt(BitVec(8, 5)).value(), 0u);
+}
+
+TEST(BitVec, Shifts) {
+    EXPECT_EQ(BitVec(8, 0x81).shl(1).value(), 0x02u);
+    EXPECT_EQ(BitVec(8, 0x81).shr(1).value(), 0x40u);
+    EXPECT_EQ(BitVec(8, 0xff).shl(64).value(), 0u);
+}
+
+TEST(BitVec, WidthLimits) {
+    EXPECT_THROW(BitVec(0, 0), FactorError);
+    EXPECT_THROW(BitVec(65, 0), FactorError);
+    BitVec v(64, ~0ull);
+    EXPECT_EQ(v.value(), ~0ull);
+    EXPECT_THROW((void)v.concat(BitVec(1, 0)), FactorError);
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(Strings, SplitAndJoin) {
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, "."), "a.b..c");
+}
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("arm2z.exu.alu", "arm2z."));
+    EXPECT_FALSE(starts_with("arm", "arm2z"));
+    EXPECT_TRUE(ends_with("x[3]", "[3]"));
+    EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, IsIdentifier) {
+    EXPECT_TRUE(is_identifier("foo_bar"));
+    EXPECT_TRUE(is_identifier("_x1$"));
+    EXPECT_FALSE(is_identifier("1abc"));
+    EXPECT_FALSE(is_identifier(""));
+    EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Diagnostics, CountsAndFormats) {
+    DiagEngine d;
+    EXPECT_FALSE(d.has_errors());
+    d.warning({"f.v", 3, 1}, "odd");
+    EXPECT_FALSE(d.has_errors());
+    d.error({"f.v", 5, 2}, "bad");
+    EXPECT_TRUE(d.has_errors());
+    EXPECT_EQ(d.error_count(), 1u);
+    EXPECT_NE(d.dump().find("f.v:5:2: error: bad"), std::string::npos);
+    d.clear();
+    EXPECT_FALSE(d.has_errors());
+    EXPECT_TRUE(d.all().empty());
+}
+
+TEST(Stopwatch, MeasuresSomethingNonNegative) {
+    Stopwatch w;
+    EXPECT_GE(w.seconds(), 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+    Deadline d(0.0);
+    EXPECT_FALSE(d.expired());
+    Deadline tiny(1e-9);
+    // May or may not be expired instantly, but remaining() must not be huge.
+    EXPECT_LE(tiny.remaining(), 1e-9);
+}
+
+} // namespace
+} // namespace factor::util

@@ -1,0 +1,80 @@
+// Tests for test-vector serialization: round trip, error reporting, and
+// coverage preservation when replaying parsed vectors.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "atpg/vectors.hpp"
+#include "designs/designs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace factor::test {
+namespace {
+
+using namespace factor::atpg;
+
+TEST(Vectors, RoundTripPreservesSequences) {
+    auto b = compile(R"(
+module m (input [3:0] a, input s, output [3:0] y);
+  assign y = s ? a : ~a;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    std::vector<ScalarSequence> tests(2);
+    tests[0].frames = {{V5::One, V5::Zero, V5::X, V5::One, V5::Zero}};
+    tests[1].frames = {{V5::X, V5::X, V5::X, V5::X, V5::One},
+                       {V5::Zero, V5::One, V5::Zero, V5::One, V5::Zero}};
+
+    std::string text = vectors_to_string(nl, tests);
+    auto parsed = read_vectors_from_string(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.num_inputs, 5u);
+    ASSERT_EQ(parsed.tests.size(), 2u);
+    EXPECT_EQ(parsed.tests[0].frames, tests[0].frames);
+    EXPECT_EQ(parsed.tests[1].frames, tests[1].frames);
+}
+
+TEST(Vectors, RejectsMalformedInput) {
+    EXPECT_FALSE(read_vectors_from_string("inputs 2\n01\n").ok);
+    EXPECT_FALSE(read_vectors_from_string("inputs 2\ntest\n01").ok);
+    EXPECT_FALSE(read_vectors_from_string("inputs 2\ntest\n012\nend\n").ok);
+    EXPECT_FALSE(read_vectors_from_string("inputs 2\ntest\n0Z\nend\n").ok);
+    EXPECT_FALSE(read_vectors_from_string("end\n").ok);
+    EXPECT_TRUE(read_vectors_from_string("inputs 2\ntest\n0X\nend\n").ok);
+    EXPECT_TRUE(read_vectors_from_string("# only comments\n").ok);
+}
+
+TEST(Vectors, ReplayedVectorsReproduceCoverage) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.collect_tests = true;
+    opts.random_batches = 0;
+    opts.max_backtracks = 100;
+    opts.max_frames = 4;
+    opts.time_budget_s = 10.0;
+    auto r = run_atpg(nl, opts);
+    ASSERT_GT(r.tests.size(), 0u);
+
+    auto parsed =
+        read_vectors_from_string(vectors_to_string(nl, r.tests));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    FaultList direct(nl);
+    FaultList replayed(nl);
+    FaultSimulator sim(nl);
+    for (const auto& t : r.tests) {
+        (void)sim.run_and_drop(direct, broadcast(t, nl.inputs().size()));
+    }
+    for (const auto& t : parsed.tests) {
+        (void)sim.run_and_drop(replayed, broadcast(t, nl.inputs().size()));
+    }
+    EXPECT_DOUBLE_EQ(direct.coverage_percent(), replayed.coverage_percent());
+    EXPECT_GT(replayed.coverage_percent(), 0.0);
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,263 @@
+// factor — command-line driver for the FACTOR flow.
+//
+//   factor parse   <top> <files...>           parse + elaborate, print tree
+//   factor extract <top> <mut-path> <files...>    write constraint Verilog
+//   factor atpg    <top> [mut-path] <files...>    transformed-module ATPG
+//   factor report  <top> <mut-path> <files...>    testability report
+//   factor scoap   <top> <files...>           hardest nets by SCOAP measures
+//
+// Options: --mode=flat|composed  --budget=<s>  --no-piers  --builtin=<name>
+// (--builtin loads a bundled design instead of files: arm2z, mini_soc,
+// counter8, traffic).
+#include "atpg/engine.hpp"
+#include "atpg/scoap.hpp"
+#include "core/extractor.hpp"
+#include "core/testability.hpp"
+#include "core/transform.hpp"
+#include "core/writer.hpp"
+#include "designs/designs.hpp"
+#include "elab/elaborator.hpp"
+#include "rtl/parser.hpp"
+#include "synth/optimizer.hpp"
+#include "synth/synthesizer.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace factor;
+
+struct Args {
+    std::string command;
+    std::string top;
+    std::string mut_path;
+    std::vector<std::string> files;
+    std::string builtin;
+    core::Mode mode = core::Mode::Composed;
+    double budget = 30.0;
+    bool piers = true;
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: factor <parse|extract|atpg|report|scoap> <top> "
+                 "[mut-path] (<files...> | --builtin=<name>)\n"
+                 "       [--mode=flat|composed] [--budget=<seconds>] "
+                 "[--no-piers]\n");
+}
+
+bool needs_mut(const std::string& cmd) {
+    return cmd == "extract" || cmd == "report";
+}
+
+bool parse_args(int argc, char** argv, Args& out) {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--mode=", 0) == 0) {
+            std::string m = a.substr(7);
+            if (m == "flat") {
+                out.mode = core::Mode::Flat;
+            } else if (m == "composed") {
+                out.mode = core::Mode::Composed;
+            } else {
+                std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
+                return false;
+            }
+        } else if (a.rfind("--budget=", 0) == 0) {
+            out.budget = std::atof(a.c_str() + 9);
+        } else if (a == "--no-piers") {
+            out.piers = false;
+        } else if (a.rfind("--builtin=", 0) == 0) {
+            out.builtin = a.substr(10);
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        } else {
+            positional.push_back(a);
+        }
+    }
+    if (positional.size() < 2) return false;
+    out.command = positional[0];
+    out.top = positional[1];
+    size_t file_start = 2;
+    if ((needs_mut(out.command) || out.command == "atpg") &&
+        positional.size() > 2 && positional[2].find('.') != std::string::npos) {
+        out.mut_path = positional[2];
+        file_start = 3;
+    }
+    for (size_t i = file_start; i < positional.size(); ++i) {
+        out.files.push_back(positional[i]);
+    }
+    if (needs_mut(out.command) && out.mut_path.empty()) {
+        std::fprintf(stderr, "command '%s' needs a dotted MUT path\n",
+                     out.command.c_str());
+        return false;
+    }
+    return !out.command.empty();
+}
+
+bool load_sources(const Args& args, rtl::Design& design,
+                  util::DiagEngine& diags) {
+    if (!args.builtin.empty()) {
+        const char* src = nullptr;
+        if (args.builtin == "arm2z") src = designs::arm2z_source();
+        if (args.builtin == "mini_soc") src = designs::mini_soc_source();
+        if (args.builtin == "counter8") src = designs::counter_source();
+        if (args.builtin == "traffic") src = designs::traffic_source();
+        if (args.builtin == "fir4") src = designs::fir4_source();
+        if (src == nullptr) {
+            std::fprintf(stderr, "unknown builtin '%s'\n",
+                         args.builtin.c_str());
+            return false;
+        }
+        rtl::Parser::parse_source(src, args.builtin + ".v", design, diags);
+    }
+    for (const auto& file : args.files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        rtl::Parser::parse_source(buf.str(), file, design, diags);
+    }
+    if (diags.has_errors()) {
+        std::fprintf(stderr, "%s", diags.dump().c_str());
+        return false;
+    }
+    return true;
+}
+
+void print_tree(const elab::InstNode& node, int depth) {
+    std::printf("%*s%s : %s (level %d)\n", depth * 2, "",
+                node.inst_name.empty() ? node.module->name.c_str()
+                                       : node.inst_name.c_str(),
+                node.module->name.c_str(), node.level);
+    for (const auto& c : node.children) print_tree(*c, depth + 1);
+}
+
+int cmd_parse(const Args&, elab::ElaboratedDesign& e) {
+    print_tree(e.root(), 0);
+    std::printf("%zu instances total\n", e.instance_count());
+    return 0;
+}
+
+int cmd_extract(const Args& args, elab::ElaboratedDesign& e,
+                util::DiagEngine& diags) {
+    const auto* mut = e.find_by_path(args.mut_path);
+    if (mut == nullptr) {
+        std::fprintf(stderr, "no instance at path '%s'\n",
+                     args.mut_path.c_str());
+        return 1;
+    }
+    core::ExtractionSession session(e, args.mode, diags);
+    auto cs = session.extract(*mut);
+    core::ConstraintWriter writer(e, cs);
+    std::printf("%s", writer.write_verilog().c_str());
+    std::fprintf(stderr, "// %zu constraint items, %zu testability issues\n",
+                 cs.item_count(), cs.issues.size());
+    return 0;
+}
+
+int cmd_report(const Args& args, elab::ElaboratedDesign& e,
+               util::DiagEngine& diags) {
+    const auto* mut = e.find_by_path(args.mut_path);
+    if (mut == nullptr) {
+        std::fprintf(stderr, "no instance at path '%s'\n",
+                     args.mut_path.c_str());
+        return 1;
+    }
+    core::ExtractionSession session(e, args.mode, diags);
+    auto cs = session.extract(*mut);
+    std::printf("%s", core::make_testability_report(cs).text.c_str());
+    return 0;
+}
+
+int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
+             util::DiagEngine& diags) {
+    core::TransformBuilder builder(e, diags);
+    atpg::EngineOptions opts;
+    opts.time_budget_s = args.budget;
+
+    if (args.mut_path.empty()) {
+        // Whole-design ATPG.
+        auto nl = builder.full_design();
+        auto r = atpg::run_atpg(nl, opts);
+        std::printf("full design: %s\n", r.summary().c_str());
+        return 0;
+    }
+    const auto* mut = e.find_by_path(args.mut_path);
+    if (mut == nullptr) {
+        std::fprintf(stderr, "no instance at path '%s'\n",
+                     args.mut_path.c_str());
+        return 1;
+    }
+    core::ExtractionSession session(e, args.mode, diags);
+    core::TransformOptions topts;
+    topts.expose_piers = args.piers;
+    auto tm = builder.build(*mut, session, topts);
+    std::printf("transformed module: %zu MUT gates + %zu virtual gates, "
+                "%zu PIs, %zu POs\n",
+                tm.mut_gates, tm.surrounding_gates, tm.num_pis, tm.num_pos);
+    opts.scope_prefix = tm.mut_prefix;
+    auto r = atpg::run_atpg(tm.netlist, opts);
+    std::printf("%s\n", r.summary().c_str());
+    return 0;
+}
+
+int cmd_scoap(const Args&, elab::ElaboratedDesign& e,
+              util::DiagEngine& diags) {
+    core::TransformBuilder builder(e, diags);
+    auto nl = builder.full_design();
+    auto m = atpg::compute_scoap(nl);
+    std::printf("%zu nets; 20 hardest to test:\n", nl.num_nets());
+    for (const auto& h : m.hardest(nl, 20)) {
+        if (h.score >= atpg::ScoapMeasures::kUnreachable) {
+            std::printf("  %-40s UNREACHABLE (cc0=%.0f cc1=%.0f co=%.0f)\n",
+                        nl.net_name(h.net).c_str(),
+                        std::min(m.cc0[h.net], 1e6),
+                        std::min(m.cc1[h.net], 1e6),
+                        std::min(m.co[h.net], 1e6));
+        } else {
+            std::printf("  %-40s %.1f (cc0=%.1f cc1=%.1f co=%.1f)\n",
+                        nl.net_name(h.net).c_str(), h.score, m.cc0[h.net],
+                        m.cc1[h.net], m.co[h.net]);
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args)) {
+        usage();
+        return 2;
+    }
+    rtl::Design design;
+    util::DiagEngine diags;
+    if (!load_sources(args, design, diags)) return 1;
+
+    elab::Elaborator elaborator(design, diags);
+    auto elaborated = elaborator.elaborate(args.top);
+    if (!elaborated) {
+        std::fprintf(stderr, "%s", diags.dump().c_str());
+        return 1;
+    }
+
+    if (args.command == "parse") return cmd_parse(args, *elaborated);
+    if (args.command == "extract") return cmd_extract(args, *elaborated, diags);
+    if (args.command == "report") return cmd_report(args, *elaborated, diags);
+    if (args.command == "atpg") return cmd_atpg(args, *elaborated, diags);
+    if (args.command == "scoap") return cmd_scoap(args, *elaborated, diags);
+    usage();
+    return 2;
+}
