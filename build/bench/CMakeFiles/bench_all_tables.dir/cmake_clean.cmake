@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all_tables.dir/bench_all_tables.cpp.o"
+  "CMakeFiles/bench_all_tables.dir/bench_all_tables.cpp.o.d"
+  "bench_all_tables"
+  "bench_all_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_modules.dir/bench_table1_modules.cpp.o"
+  "CMakeFiles/bench_table1_modules.dir/bench_table1_modules.cpp.o.d"
+  "bench_table1_modules"
+  "bench_table1_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

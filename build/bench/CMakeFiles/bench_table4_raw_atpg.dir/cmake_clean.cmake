@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_raw_atpg.dir/bench_table4_raw_atpg.cpp.o"
+  "CMakeFiles/bench_table4_raw_atpg.dir/bench_table4_raw_atpg.cpp.o.d"
+  "bench_table4_raw_atpg"
+  "bench_table4_raw_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_raw_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_atpg_flat.dir/bench_table5_atpg_flat.cpp.o"
+  "CMakeFiles/bench_table5_atpg_flat.dir/bench_table5_atpg_flat.cpp.o.d"
+  "bench_table5_atpg_flat"
+  "bench_table5_atpg_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_atpg_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

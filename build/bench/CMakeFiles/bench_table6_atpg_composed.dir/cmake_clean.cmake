@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_atpg_composed.dir/bench_table6_atpg_composed.cpp.o"
+  "CMakeFiles/bench_table6_atpg_composed.dir/bench_table6_atpg_composed.cpp.o.d"
+  "bench_table6_atpg_composed"
+  "bench_table6_atpg_composed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_atpg_composed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/factor_bench_harness.dir/harness.cpp.o.d"
+  "libfactor_bench_harness.a"
+  "libfactor_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

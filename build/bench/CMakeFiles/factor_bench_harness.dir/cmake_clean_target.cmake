@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfactor_bench_harness.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hierarchical_atpg_flow.cpp" "examples/CMakeFiles/hierarchical_atpg_flow.dir/hierarchical_atpg_flow.cpp.o" "gcc" "examples/CMakeFiles/hierarchical_atpg_flow.dir/hierarchical_atpg_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/factor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/factor_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/factor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/factor_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/factor_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/factor_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/factor_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/factor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_atpg_flow.dir/hierarchical_atpg_flow.cpp.o"
+  "CMakeFiles/hierarchical_atpg_flow.dir/hierarchical_atpg_flow.cpp.o.d"
+  "hierarchical_atpg_flow"
+  "hierarchical_atpg_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_atpg_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

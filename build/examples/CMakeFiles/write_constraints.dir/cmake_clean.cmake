@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_constraints.dir/write_constraints.cpp.o"
+  "CMakeFiles/write_constraints.dir/write_constraints.cpp.o.d"
+  "write_constraints"
+  "write_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_analysis.dir/def_use.cpp.o"
+  "CMakeFiles/factor_analysis.dir/def_use.cpp.o.d"
+  "libfactor_analysis.a"
+  "libfactor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/bist.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/bist.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/bist.cpp.o.d"
+  "/root/repo/src/atpg/engine.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/engine.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/engine.cpp.o.d"
+  "/root/repo/src/atpg/equiv.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/equiv.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/equiv.cpp.o.d"
+  "/root/repo/src/atpg/fault.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/fault.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/fault.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/scoap.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/scoap.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/scoap.cpp.o.d"
+  "/root/repo/src/atpg/vectors.cpp" "src/atpg/CMakeFiles/factor_atpg.dir/vectors.cpp.o" "gcc" "src/atpg/CMakeFiles/factor_atpg.dir/vectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/factor_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/factor_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/factor_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/factor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

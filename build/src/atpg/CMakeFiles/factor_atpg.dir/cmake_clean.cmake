@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_atpg.dir/bist.cpp.o"
+  "CMakeFiles/factor_atpg.dir/bist.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/engine.cpp.o"
+  "CMakeFiles/factor_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/equiv.cpp.o"
+  "CMakeFiles/factor_atpg.dir/equiv.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/fault.cpp.o"
+  "CMakeFiles/factor_atpg.dir/fault.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/factor_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/podem.cpp.o"
+  "CMakeFiles/factor_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/scoap.cpp.o"
+  "CMakeFiles/factor_atpg.dir/scoap.cpp.o.d"
+  "CMakeFiles/factor_atpg.dir/vectors.cpp.o"
+  "CMakeFiles/factor_atpg.dir/vectors.cpp.o.d"
+  "libfactor_atpg.a"
+  "libfactor_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/constraints.cpp" "src/core/CMakeFiles/factor_core.dir/constraints.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/factor_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/pier.cpp" "src/core/CMakeFiles/factor_core.dir/pier.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/pier.cpp.o.d"
+  "/root/repo/src/core/testability.cpp" "src/core/CMakeFiles/factor_core.dir/testability.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/testability.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/factor_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/transform.cpp.o.d"
+  "/root/repo/src/core/translate.cpp" "src/core/CMakeFiles/factor_core.dir/translate.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/translate.cpp.o.d"
+  "/root/repo/src/core/writer.cpp" "src/core/CMakeFiles/factor_core.dir/writer.cpp.o" "gcc" "src/core/CMakeFiles/factor_core.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/factor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/factor_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/factor_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/factor_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/factor_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/factor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_core.dir/constraints.cpp.o"
+  "CMakeFiles/factor_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/factor_core.dir/extractor.cpp.o"
+  "CMakeFiles/factor_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/factor_core.dir/pier.cpp.o"
+  "CMakeFiles/factor_core.dir/pier.cpp.o.d"
+  "CMakeFiles/factor_core.dir/testability.cpp.o"
+  "CMakeFiles/factor_core.dir/testability.cpp.o.d"
+  "CMakeFiles/factor_core.dir/transform.cpp.o"
+  "CMakeFiles/factor_core.dir/transform.cpp.o.d"
+  "CMakeFiles/factor_core.dir/translate.cpp.o"
+  "CMakeFiles/factor_core.dir/translate.cpp.o.d"
+  "CMakeFiles/factor_core.dir/writer.cpp.o"
+  "CMakeFiles/factor_core.dir/writer.cpp.o.d"
+  "libfactor_core.a"
+  "libfactor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

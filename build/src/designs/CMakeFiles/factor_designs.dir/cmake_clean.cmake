@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_designs.dir/arm2z_isa.cpp.o"
+  "CMakeFiles/factor_designs.dir/arm2z_isa.cpp.o.d"
+  "CMakeFiles/factor_designs.dir/designs.cpp.o"
+  "CMakeFiles/factor_designs.dir/designs.cpp.o.d"
+  "libfactor_designs.a"
+  "libfactor_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

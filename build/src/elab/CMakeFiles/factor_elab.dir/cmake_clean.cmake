@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_elab.dir/elaborator.cpp.o"
+  "CMakeFiles/factor_elab.dir/elaborator.cpp.o.d"
+  "libfactor_elab.a"
+  "libfactor_elab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_elab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfactor_elab.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/ast.cpp" "src/rtl/CMakeFiles/factor_rtl.dir/ast.cpp.o" "gcc" "src/rtl/CMakeFiles/factor_rtl.dir/ast.cpp.o.d"
+  "/root/repo/src/rtl/const_eval.cpp" "src/rtl/CMakeFiles/factor_rtl.dir/const_eval.cpp.o" "gcc" "src/rtl/CMakeFiles/factor_rtl.dir/const_eval.cpp.o.d"
+  "/root/repo/src/rtl/lexer.cpp" "src/rtl/CMakeFiles/factor_rtl.dir/lexer.cpp.o" "gcc" "src/rtl/CMakeFiles/factor_rtl.dir/lexer.cpp.o.d"
+  "/root/repo/src/rtl/parser.cpp" "src/rtl/CMakeFiles/factor_rtl.dir/parser.cpp.o" "gcc" "src/rtl/CMakeFiles/factor_rtl.dir/parser.cpp.o.d"
+  "/root/repo/src/rtl/printer.cpp" "src/rtl/CMakeFiles/factor_rtl.dir/printer.cpp.o" "gcc" "src/rtl/CMakeFiles/factor_rtl.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/factor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_rtl.dir/ast.cpp.o"
+  "CMakeFiles/factor_rtl.dir/ast.cpp.o.d"
+  "CMakeFiles/factor_rtl.dir/const_eval.cpp.o"
+  "CMakeFiles/factor_rtl.dir/const_eval.cpp.o.d"
+  "CMakeFiles/factor_rtl.dir/lexer.cpp.o"
+  "CMakeFiles/factor_rtl.dir/lexer.cpp.o.d"
+  "CMakeFiles/factor_rtl.dir/parser.cpp.o"
+  "CMakeFiles/factor_rtl.dir/parser.cpp.o.d"
+  "CMakeFiles/factor_rtl.dir/printer.cpp.o"
+  "CMakeFiles/factor_rtl.dir/printer.cpp.o.d"
+  "libfactor_rtl.a"
+  "libfactor_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

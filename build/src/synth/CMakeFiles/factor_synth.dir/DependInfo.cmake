@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/netlist.cpp" "src/synth/CMakeFiles/factor_synth.dir/netlist.cpp.o" "gcc" "src/synth/CMakeFiles/factor_synth.dir/netlist.cpp.o.d"
+  "/root/repo/src/synth/optimizer.cpp" "src/synth/CMakeFiles/factor_synth.dir/optimizer.cpp.o" "gcc" "src/synth/CMakeFiles/factor_synth.dir/optimizer.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/synth/CMakeFiles/factor_synth.dir/synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/factor_synth.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/synth/transforms.cpp" "src/synth/CMakeFiles/factor_synth.dir/transforms.cpp.o" "gcc" "src/synth/CMakeFiles/factor_synth.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/factor_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/elab/CMakeFiles/factor_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/factor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_synth.dir/netlist.cpp.o"
+  "CMakeFiles/factor_synth.dir/netlist.cpp.o.d"
+  "CMakeFiles/factor_synth.dir/optimizer.cpp.o"
+  "CMakeFiles/factor_synth.dir/optimizer.cpp.o.d"
+  "CMakeFiles/factor_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/factor_synth.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/factor_synth.dir/transforms.cpp.o"
+  "CMakeFiles/factor_synth.dir/transforms.cpp.o.d"
+  "libfactor_synth.a"
+  "libfactor_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

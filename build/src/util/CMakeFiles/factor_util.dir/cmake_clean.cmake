@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_util.dir/bitvec.cpp.o"
+  "CMakeFiles/factor_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/factor_util.dir/diagnostics.cpp.o"
+  "CMakeFiles/factor_util.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/factor_util.dir/strings.cpp.o"
+  "CMakeFiles/factor_util.dir/strings.cpp.o.d"
+  "libfactor_util.a"
+  "libfactor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_atpg.dir/test_property_atpg.cpp.o"
+  "CMakeFiles/test_property_atpg.dir/test_property_atpg.cpp.o.d"
+  "test_property_atpg"
+  "test_property_atpg.pdb"
+  "test_property_atpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_synth.dir/test_property_synth.cpp.o"
+  "CMakeFiles/test_property_synth.dir/test_property_synth.cpp.o.d"
+  "test_property_synth"
+  "test_property_synth.pdb"
+  "test_property_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writer_roundtrip.dir/test_writer_roundtrip.cpp.o"
+  "CMakeFiles/test_writer_roundtrip.dir/test_writer_roundtrip.cpp.o.d"
+  "test_writer_roundtrip"
+  "test_writer_roundtrip.pdb"
+  "test_writer_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writer_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

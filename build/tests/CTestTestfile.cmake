@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_elab[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_atpg[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_property_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_property_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_property_atpg[1]_include.cmake")
+include("/root/repo/build/tests/test_writer_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_scoap[1]_include.cmake")
+include("/root/repo/build/tests/test_translate[1]_include.cmake")
+include("/root/repo/build/tests/test_equiv_bist[1]_include.cmake")
+include("/root/repo/build/tests/test_fir[1]_include.cmake")
+include("/root/repo/build/tests/test_vectors[1]_include.cmake")

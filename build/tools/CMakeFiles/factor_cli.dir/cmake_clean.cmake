@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_cli.dir/factor_cli.cpp.o"
+  "CMakeFiles/factor_cli.dir/factor_cli.cpp.o.d"
+  "factor"
+  "factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
