@@ -148,5 +148,6 @@ int main() {
     ablation_backtracks(*ctx, budget);
     ablation_granularity(*ctx);
     ablation_bist_vs_factor(*ctx, budget);
+    JsonReport::global().write("bench_ablation");
     return 0;
 }

@@ -31,5 +31,6 @@ int main() {
     print_table5_or_6(factor::core::Mode::Composed, t6);
 
     print_testability_report(*ctx);
+    factor::bench::JsonReport::global().write("bench_all_tables");
     return 0;
 }

@@ -7,5 +7,6 @@ int main() {
     auto ctx = factor::bench::load_arm2z();
     factor::bench::print_table1(*ctx);
     factor::bench::print_testability_report(*ctx);
+    factor::bench::JsonReport::global().write("bench_table1_modules");
     return 0;
 }

@@ -7,5 +7,6 @@ int main() {
     auto rows =
         factor::bench::compute_transform_rows(*ctx, factor::core::Mode::Flat);
     factor::bench::print_table2_or_3(*ctx, factor::core::Mode::Flat, rows);
+    factor::bench::JsonReport::global().write("bench_table2_flat_extraction");
     return 0;
 }

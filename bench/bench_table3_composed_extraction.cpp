@@ -8,5 +8,6 @@ int main() {
     auto rows = factor::bench::compute_transform_rows(
         *ctx, factor::core::Mode::Composed);
     factor::bench::print_table2_or_3(*ctx, factor::core::Mode::Composed, rows);
+    factor::bench::JsonReport::global().write("bench_table3_composed_extraction");
     return 0;
 }

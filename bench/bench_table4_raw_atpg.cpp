@@ -8,5 +8,6 @@ int main() {
     double budget = factor::bench::atpg_budget_seconds(15.0);
     auto rows = factor::bench::compute_table4(*ctx, budget);
     factor::bench::print_table4(rows);
+    factor::bench::JsonReport::global().write("bench_table4_raw_atpg");
     return 0;
 }

@@ -8,5 +8,6 @@ int main() {
     auto rows = factor::bench::compute_table5_or_6(
         *ctx, factor::core::Mode::Flat, budget);
     factor::bench::print_table5_or_6(factor::core::Mode::Flat, rows);
+    factor::bench::JsonReport::global().write("bench_table5_atpg_flat");
     return 0;
 }

@@ -9,5 +9,6 @@ int main() {
     auto rows = factor::bench::compute_table5_or_6(
         *ctx, factor::core::Mode::Composed, budget);
     factor::bench::print_table5_or_6(factor::core::Mode::Composed, rows);
+    factor::bench::JsonReport::global().write("bench_table6_atpg_composed");
     return 0;
 }

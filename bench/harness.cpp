@@ -8,10 +8,54 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace factor::bench {
 
 using util::fixed;
+
+JsonReport& JsonReport::global() {
+    static JsonReport report;
+    return report;
+}
+
+void JsonReport::add_row(std::string table, std::string name, obs::Doc doc) {
+    rows_.push_back(Row{std::move(table), std::move(name), std::move(doc)});
+}
+
+std::string JsonReport::output_path() {
+    const char* env = std::getenv("FACTOR_BENCH_JSON");
+    if (env != nullptr && env[0] != '\0') return env;
+    return "BENCH_results.json";
+}
+
+bool JsonReport::write(const std::string& bench_name) {
+    const std::string path = output_path();
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write bench report to '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    out << "{\"schema\":\"factor.bench.v1\""
+        << ",\"bench\":\"" << obs::json_escape(bench_name) << '"'
+        << ",\"rows\":[";
+    bool first = true;
+    for (const Row& r : rows_) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"table\":\"" << obs::json_escape(r.table) << '"'
+            << ",\"name\":\"" << obs::json_escape(r.name) << '"'
+            << ",\"metrics\":" << r.doc.to_json() << '}';
+    }
+    out << "],\"registry\":" << obs::Registry::global().to_json() << "}\n";
+    if (!out) {
+        std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "bench report written to %s\n", path.c_str());
+    return true;
+}
 
 core::TransformBuilder& Context::builder() {
     if (!builder_) {
@@ -73,10 +117,22 @@ void print_table1(Context& ctx) {
     rule(70);
     for (const auto& mut : ctx.muts) {
         auto c = ctx.builder().characteristics(*mut.node);
-        std::printf("%-16s %5d %6zu %6zu %8zu %12zu %10zu\n", mut.name.c_str(),
-                    c.hierarchy_level, c.primary_inputs, c.primary_outputs,
-                    c.gates_in_module, c.gates_in_surrounding,
-                    c.stuck_at_faults);
+        obs::Doc doc;
+        doc.add("level", c.hierarchy_level)
+            .add("primary_inputs", static_cast<uint64_t>(c.primary_inputs))
+            .add("primary_outputs", static_cast<uint64_t>(c.primary_outputs))
+            .add("gates", static_cast<uint64_t>(c.gates_in_module))
+            .add("surrounding_gates",
+                 static_cast<uint64_t>(c.gates_in_surrounding))
+            .add("stuck_at_faults", static_cast<uint64_t>(c.stuck_at_faults));
+        std::printf("%-16s %5s %6s %6s %8s %12s %10s\n", mut.name.c_str(),
+                    doc.cell("level").c_str(),
+                    doc.cell("primary_inputs").c_str(),
+                    doc.cell("primary_outputs").c_str(),
+                    doc.cell("gates").c_str(),
+                    doc.cell("surrounding_gates").c_str(),
+                    doc.cell("stuck_at_faults").c_str());
+        JsonReport::global().add_row("table1", mut.name, std::move(doc));
     }
     std::printf("\n");
 }
@@ -107,6 +163,7 @@ void print_table2_or_3(Context& ctx, core::Mode mode,
     std::printf("%-16s %9s %9s %12s %10s %6s %6s\n", "Module", "Extr(s)",
                 "Synth(s)", "Surrounding", "Reduction%", "PIs", "POs");
     rule(76);
+    const char* table = mode == core::Mode::Flat ? "table2" : "table3";
     for (const auto& r : rows) {
         double reduction =
             r.surrounding_before == 0
@@ -115,11 +172,24 @@ void print_table2_or_3(Context& ctx, core::Mode mode,
                       (static_cast<double>(r.surrounding_before) -
                        static_cast<double>(r.tm.surrounding_gates)) /
                       static_cast<double>(r.surrounding_before);
-        std::printf("%-16s %9s %9s %12zu %10s %6zu %6zu\n", r.name.c_str(),
-                    fixed(r.tm.extraction_seconds, 4).c_str(),
-                    fixed(r.tm.synthesis_seconds, 4).c_str(),
-                    r.tm.surrounding_gates, fixed(reduction, 1).c_str(),
-                    r.tm.num_pis, r.tm.num_pos);
+        obs::Doc doc;
+        doc.add("extraction_seconds", r.tm.extraction_seconds)
+            .add("synthesis_seconds", r.tm.synthesis_seconds)
+            .add("surrounding_gates",
+                 static_cast<uint64_t>(r.tm.surrounding_gates))
+            .add("surrounding_before",
+                 static_cast<uint64_t>(r.surrounding_before))
+            .add("reduction_percent", reduction)
+            .add("pis", static_cast<uint64_t>(r.tm.num_pis))
+            .add("pos", static_cast<uint64_t>(r.tm.num_pos))
+            .add("piers_exposed", static_cast<uint64_t>(r.tm.piers_exposed));
+        std::printf("%-16s %9s %9s %12s %10s %6s %6s\n", r.name.c_str(),
+                    doc.cell("extraction_seconds", 4).c_str(),
+                    doc.cell("synthesis_seconds", 4).c_str(),
+                    doc.cell("surrounding_gates").c_str(),
+                    doc.cell("reduction_percent", 1).c_str(),
+                    doc.cell("pis").c_str(), doc.cell("pos").c_str());
+        JsonReport::global().add_row(table, r.name, std::move(doc));
     }
     std::printf("\n");
 }
@@ -161,11 +231,26 @@ void print_table4(const std::vector<RawAtpgRow>& rows) {
                 "Proc.T(s)", "StdAl.Cov%", "StdAl.T(s)");
     rule(70);
     for (const auto& r : rows) {
+        obs::Doc doc;
+        doc.add("processor_coverage_percent",
+                r.processor_level.coverage_percent)
+            .add("processor_time_seconds", r.processor_level.test_gen_seconds)
+            .add("processor_faults",
+                 static_cast<uint64_t>(r.processor_level.total_faults))
+            .add("processor_aborted",
+                 static_cast<uint64_t>(r.processor_level.aborted))
+            .add("standalone_coverage_percent", r.standalone.coverage_percent)
+            .add("standalone_time_seconds", r.standalone.test_gen_seconds)
+            .add("standalone_faults",
+                 static_cast<uint64_t>(r.standalone.total_faults))
+            .add("standalone_aborted",
+                 static_cast<uint64_t>(r.standalone.aborted));
         std::printf("%-16s %12s %12s %12s %12s\n", r.name.c_str(),
-                    fixed(r.processor_level.coverage_percent, 2).c_str(),
-                    fixed(r.processor_level.test_gen_seconds, 2).c_str(),
-                    fixed(r.standalone.coverage_percent, 2).c_str(),
-                    fixed(r.standalone.test_gen_seconds, 2).c_str());
+                    doc.cell("processor_coverage_percent").c_str(),
+                    doc.cell("processor_time_seconds").c_str(),
+                    doc.cell("standalone_coverage_percent").c_str(),
+                    doc.cell("standalone_time_seconds").c_str());
+        JsonReport::global().add_row("table4", r.name, std::move(doc));
     }
     std::printf("\n");
 }
@@ -200,14 +285,21 @@ void print_table5_or_6(core::Mode mode,
     std::printf("%-16s %10s %9s %12s %11s\n", "Module", "FaultCov%", "Eff%",
                 "TestGen(s)", "Total(s)");
     rule(64);
+    const char* table = mode == core::Mode::Flat ? "table5" : "table6";
     for (const auto& r : rows) {
-        double total = r.extraction_s + r.synthesis_s +
-                       r.result.test_gen_seconds;
+        // Start from the engine's own metric document so the bench report
+        // carries exactly what summary()/--stats-json would.
+        obs::Doc doc = r.result.metrics();
+        doc.add("extraction_seconds", r.extraction_s)
+            .add("synthesis_seconds", r.synthesis_s)
+            .add("total_seconds",
+                 r.extraction_s + r.synthesis_s + r.result.test_gen_seconds);
         std::printf("%-16s %10s %9s %12s %11s\n", r.name.c_str(),
-                    fixed(r.result.coverage_percent, 2).c_str(),
-                    fixed(r.result.efficiency_percent, 2).c_str(),
-                    fixed(r.result.test_gen_seconds, 2).c_str(),
-                    fixed(total, 2).c_str());
+                    doc.cell("coverage_percent").c_str(),
+                    doc.cell("efficiency_percent").c_str(),
+                    doc.cell("time_seconds").c_str(),
+                    doc.cell("total_seconds").c_str());
+        JsonReport::global().add_row(table, r.name, std::move(doc));
     }
     std::printf("\n");
 }

@@ -13,6 +13,7 @@
 #include "core/transform.hpp"
 #include "designs/designs.hpp"
 #include "elab/elaborator.hpp"
+#include "obs/obs.hpp"
 #include "rtl/ast.hpp"
 #include "util/diagnostics.hpp"
 
@@ -21,6 +22,34 @@
 #include <vector>
 
 namespace factor::bench {
+
+/// Machine-readable run report (schema "factor.bench.v1"). Each table
+/// printer builds one obs::Doc per row and renders the human table cells
+/// from it, then registers the same Doc here — human and JSON outputs
+/// share a single source and cannot drift. write() emits the collected
+/// rows plus a snapshot of the global metrics registry.
+class JsonReport {
+  public:
+    static JsonReport& global();
+
+    void add_row(std::string table, std::string name, obs::Doc doc);
+
+    /// Output path: $FACTOR_BENCH_JSON if set, else BENCH_results.json in
+    /// the current directory.
+    [[nodiscard]] static std::string output_path();
+
+    /// Write the report; returns false (with a message on stderr) on I/O
+    /// failure. Safe to call with zero rows.
+    bool write(const std::string& bench_name);
+
+  private:
+    struct Row {
+        std::string table;
+        std::string name;
+        obs::Doc doc;
+    };
+    std::vector<Row> rows_;
+};
 
 struct MutRef {
     std::string name; // the paper's row label

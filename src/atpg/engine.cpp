@@ -1,5 +1,6 @@
 #include "atpg/engine.hpp"
 
+#include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -9,24 +10,40 @@
 
 namespace factor::atpg {
 
-std::string EngineResult::summary() const {
-    std::ostringstream os;
-    os << "faults=" << total_faults << " detected=" << detected
-       << " untestable=" << untestable << " aborted=" << aborted
-       << " coverage=" << util::fixed(coverage_percent, 2) << "%"
-       << " efficiency=" << util::fixed(efficiency_percent, 2) << "%"
-       << " time=" << util::fixed(test_gen_seconds, 3) << "s";
-    if (budget_exhausted) os << " (budget exhausted)";
-    return os.str();
+obs::Doc EngineResult::metrics() const {
+    obs::Doc d;
+    d.add("faults", total_faults)
+        .add("detected", detected)
+        .add("untestable", untestable)
+        .add("aborted", aborted)
+        .add("coverage_percent", coverage_percent)
+        .add("efficiency_percent", efficiency_percent)
+        .add("time_seconds", test_gen_seconds)
+        .add("random_sequences", random_sequences)
+        .add("deterministic_tests", deterministic_tests);
+    if (tests_before_compaction > 0) {
+        d.add("tests_kept", tests.size())
+            .add("tests_before_compaction", tests_before_compaction);
+    }
+    d.add("budget_exhausted", budget_exhausted);
+    return d;
 }
+
+std::string EngineResult::summary() const { return metrics().to_text(); }
 
 EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     util::Stopwatch watch;
     util::Deadline deadline(options.time_budget_s);
+    obs::Span run_span("atpg.run");
 
     EngineResult result;
     FaultList list(nl, options.scope_prefix);
     result.total_faults = list.size();
+    run_span.attr("faults", static_cast<uint64_t>(list.size()));
+    run_span.attr("gates", static_cast<uint64_t>(nl.logic_gate_count()));
+    if (!options.scope_prefix.empty()) {
+        run_span.attr("scope", options.scope_prefix);
+    }
     if (list.size() == 0) {
         result.test_gen_seconds = watch.seconds();
         return result;
@@ -36,85 +53,122 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     std::mt19937_64 rng(options.seed);
 
     // ---- Phase 1: random patterns with fault dropping ----------------------
-    size_t stale = 0;
-    for (size_t batch = 0; batch < options.random_batches; ++batch) {
-        if (deadline.expired()) break;
-        Sequence seq = sim.random_sequence(rng, options.random_frames);
-        size_t newly = sim.run_and_drop(list, seq);
-        result.random_sequences += 64;
-        if (newly == 0) {
-            if (++stale >= options.random_stale_limit) break;
-        } else {
-            stale = 0;
+    {
+        obs::Span span("atpg.random_phase");
+        obs::Histogram& yield_hist = obs::histogram("atpg.random.batch_yield");
+        size_t stale = 0;
+        for (size_t batch = 0; batch < options.random_batches; ++batch) {
+            if (deadline.expired()) break;
+            Sequence seq = sim.random_sequence(rng, options.random_frames);
+            size_t newly = sim.run_and_drop(list, seq);
+            yield_hist.record(newly);
+            result.random_sequences += 64;
+            if (newly == 0) {
+                if (++stale >= options.random_stale_limit) break;
+            } else {
+                stale = 0;
+            }
         }
+        obs::counter("atpg.random.sequences").add(result.random_sequences);
+        span.attr("sequences", static_cast<uint64_t>(result.random_sequences));
+        span.attr("detected",
+                  static_cast<uint64_t>(list.count(FaultStatus::Detected)));
     }
 
     // ---- Phase 2: deterministic PODEM --------------------------------------
-    const bool combinational = nl.dff_count() == 0;
-    PodemOptions popts;
-    popts.max_backtracks = options.max_backtracks;
-    TimeFramePodem podem(nl, popts);
+    {
+        obs::Span span("atpg.deterministic_phase");
+        const bool combinational = nl.dff_count() == 0;
+        PodemOptions popts;
+        popts.max_backtracks = options.max_backtracks;
+        TimeFramePodem podem(nl, popts);
 
-    for (auto& entry : list.faults()) {
-        if (entry.status != FaultStatus::Undetected) continue;
-        if (deadline.expired()) {
-            result.budget_exhausted = true;
-            break;
-        }
+        obs::Histogram& backtrack_hist =
+            obs::histogram("atpg.podem.backtracks");
+        obs::Counter& podem_calls = obs::counter("atpg.podem.calls");
+        obs::Counter& abort_backtracks =
+            obs::counter("atpg.abort.backtrack_limit");
+        obs::Counter& abort_depth = obs::counter("atpg.abort.depth_limit");
+        obs::Counter& abort_mismatch = obs::counter("atpg.abort.sim_mismatch");
 
-        bool done = false;
-        bool all_depths_no_test = true;
-        size_t max_frames = combinational ? 1 : options.max_frames;
-        for (size_t k = 1; k <= max_frames && !done; ++k) {
+        for (auto& entry : list.faults()) {
+            if (entry.status != FaultStatus::Undetected) continue;
             if (deadline.expired()) {
                 result.budget_exhausted = true;
-                all_depths_no_test = false;
                 break;
             }
-            PodemResult pr = podem.generate(entry.fault, k);
-            switch (pr.outcome) {
-            case PodemOutcome::Success: {
-                ++result.deterministic_tests;
-                if (options.collect_tests) result.tests.push_back(pr.test);
-                Sequence seq = broadcast(pr.test, nl.inputs().size());
-                size_t newly = sim.run_and_drop(list, seq);
-                (void)newly;
-                if (entry.status != FaultStatus::Detected) {
-                    // PODEM said detected but the conservative simulator
-                    // disagreed (X-pessimism across frames); count the
-                    // fault as aborted rather than trusting the search.
-                    entry.status = FaultStatus::Aborted;
+
+            bool done = false;
+            bool all_depths_no_test = true;
+            bool any_backtrack_abort = false;
+            size_t max_frames = combinational ? 1 : options.max_frames;
+            for (size_t k = 1; k <= max_frames && !done; ++k) {
+                if (deadline.expired()) {
+                    result.budget_exhausted = true;
+                    all_depths_no_test = false;
+                    break;
                 }
-                done = true;
-                break;
+                PodemResult pr = podem.generate(entry.fault, k);
+                podem_calls.add(1);
+                backtrack_hist.record(pr.backtracks);
+                switch (pr.outcome) {
+                case PodemOutcome::Success: {
+                    ++result.deterministic_tests;
+                    if (options.collect_tests) result.tests.push_back(pr.test);
+                    Sequence seq = broadcast(pr.test, nl.inputs().size());
+                    size_t newly = sim.run_and_drop(list, seq);
+                    (void)newly;
+                    if (entry.status != FaultStatus::Detected) {
+                        // PODEM said detected but the conservative simulator
+                        // disagreed (X-pessimism across frames); count the
+                        // fault as aborted rather than trusting the search.
+                        entry.status = FaultStatus::Aborted;
+                        abort_mismatch.add(1);
+                    }
+                    done = true;
+                    break;
+                }
+                case PodemOutcome::Abort:
+                    all_depths_no_test = false;
+                    any_backtrack_abort = true;
+                    break; // try a deeper unroll
+                case PodemOutcome::NoTest:
+                    break; // exhausted at this depth; deeper may still work
+                }
             }
-            case PodemOutcome::Abort:
-                all_depths_no_test = false;
-                break; // try a deeper unroll
-            case PodemOutcome::NoTest:
-                break; // exhausted at this depth; deeper may still work
+            if (done) continue;
+            if (entry.status != FaultStatus::Undetected) continue;
+            if (combinational && all_depths_no_test) {
+                // Exhausting the decision space of the single frame of a
+                // combinational circuit is a redundancy proof.
+                entry.status = FaultStatus::Untestable;
+            } else {
+                entry.status = FaultStatus::Aborted;
+                (any_backtrack_abort ? abort_backtracks : abort_depth).add(1);
             }
         }
-        if (done) continue;
-        if (entry.status != FaultStatus::Undetected) continue;
-        if (combinational && all_depths_no_test) {
-            // Exhausting the decision space of the single frame of a
-            // combinational circuit is a redundancy proof.
-            entry.status = FaultStatus::Untestable;
-        } else {
-            entry.status = FaultStatus::Aborted;
-        }
+        obs::counter("atpg.podem.tests").add(result.deterministic_tests);
+        span.attr("tests",
+                  static_cast<uint64_t>(result.deterministic_tests));
     }
 
     // Any fault still undetected after the loop (e.g. budget break) aborts.
-    for (auto& entry : list.faults()) {
-        if (entry.status == FaultStatus::Undetected) {
-            entry.status = FaultStatus::Aborted;
+    {
+        size_t budget_aborts = 0;
+        for (auto& entry : list.faults()) {
+            if (entry.status == FaultStatus::Undetected) {
+                entry.status = FaultStatus::Aborted;
+                ++budget_aborts;
+            }
+        }
+        if (budget_aborts > 0) {
+            obs::counter("atpg.abort.time_budget").add(budget_aborts);
         }
     }
 
     // ---- Static compaction of the collected deterministic tests ------------
     if (options.collect_tests && !result.tests.empty()) {
+        obs::Span span("atpg.compaction");
         result.tests_before_compaction = result.tests.size();
         // Reverse-order pass: later tests were generated for the harder
         // faults and tend to cover many earlier ones.
@@ -129,6 +183,9 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         }
         std::reverse(kept.begin(), kept.end());
         result.tests = std::move(kept);
+        span.attr("before",
+                  static_cast<uint64_t>(result.tests_before_compaction));
+        span.attr("after", static_cast<uint64_t>(result.tests.size()));
     }
 
     result.detected = list.count(FaultStatus::Detected);
@@ -137,6 +194,14 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     result.coverage_percent = list.coverage_percent();
     result.efficiency_percent = list.efficiency_percent();
     result.test_gen_seconds = watch.seconds();
+
+    obs::counter("atpg.runs").add(1);
+    obs::counter("atpg.faults.total").add(result.total_faults);
+    obs::counter("atpg.faults.detected").add(result.detected);
+    obs::counter("atpg.faults.untestable").add(result.untestable);
+    obs::counter("atpg.faults.aborted").add(result.aborted);
+    run_span.attr("coverage_percent", result.coverage_percent);
+    run_span.attr("time_seconds", result.test_gen_seconds);
     return result;
 }
 

@@ -18,6 +18,7 @@
 #include "atpg/fault.hpp"
 #include "atpg/fault_sim.hpp"
 #include "atpg/podem.hpp"
+#include "obs/obs.hpp"
 #include "synth/netlist.hpp"
 
 #include <cstdint>
@@ -60,6 +61,11 @@ struct EngineResult {
     std::vector<ScalarSequence> tests;
     size_t tests_before_compaction = 0;
 
+    /// All reported fields as one ordered metric document — the single
+    /// source for summary(), --stats-json and the bench JSON report.
+    [[nodiscard]] obs::Doc metrics() const;
+
+    /// Human-readable one-liner rendered from metrics().
     [[nodiscard]] std::string summary() const;
 };
 

@@ -1,5 +1,7 @@
 #include "atpg/fault_sim.hpp"
 
+#include "obs/obs.hpp"
+
 namespace factor::atpg {
 
 using synth::Gate;
@@ -119,6 +121,9 @@ void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
 
 std::vector<std::vector<V64>>
 FaultSimulator::simulate_good(const Sequence& seq) const {
+    // Cached reference: registry lookups stay off the simulation path.
+    static obs::Counter& frames_counter = obs::counter("fault_sim.good_frames");
+    frames_counter.add(seq.size());
     std::vector<V64> value(nl_.num_nets(), V64::all_x());
     std::vector<V64> state(dffs_.size(), V64::all_x());
     std::vector<std::vector<V64>> po_per_frame;
@@ -141,6 +146,9 @@ FaultSimulator::simulate_good(const Sequence& seq) const {
 uint64_t FaultSimulator::detect_mask(
     const Fault& fault, const Sequence& seq,
     const std::vector<std::vector<V64>>& good_po) const {
+    static obs::Counter& frames_counter =
+        obs::counter("fault_sim.faulty_frames");
+    frames_counter.add(seq.size());
     std::vector<V64> value(nl_.num_nets(), V64::all_x());
     std::vector<V64> state(dffs_.size(), V64::all_x());
     uint64_t detected = 0;
@@ -176,6 +184,10 @@ size_t FaultSimulator::run_and_drop(FaultList& list, const Sequence& seq) const 
             ++newly;
         }
     }
+    static obs::Counter& calls = obs::counter("fault_sim.run_and_drop");
+    static obs::Counter& dropped = obs::counter("fault_sim.faults_dropped");
+    calls.add(1);
+    dropped.add(newly);
     return newly;
 }
 

@@ -1,5 +1,7 @@
 #include "atpg/podem.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -345,6 +347,25 @@ PodemResult TimeFramePodem::generate(const Fault& fault, size_t frames) {
     pi_values_.assign(frames * num_pis, V5::X);
     assigned_.assign(frames * num_pis, 0);
 
+    // Tallied locally, flushed to the registry once per call (cached
+    // references keep the search loop free of registry lookups).
+    static obs::Counter& decisions_counter =
+        obs::counter("atpg.podem.decisions");
+    static obs::Counter& simulations_counter =
+        obs::counter("atpg.podem.simulations");
+    uint64_t decisions = 0;
+    uint64_t simulations = 1;
+    struct Flush {
+        obs::Counter& dc;
+        obs::Counter& sc;
+        const uint64_t& d;
+        const uint64_t& s;
+        ~Flush() {
+            dc.add(d);
+            sc.add(s);
+        }
+    } flush{decisions_counter, simulations_counter, decisions, simulations};
+
     std::vector<Decision> stack;
     simulate(fault, frames);
 
@@ -392,6 +413,7 @@ PodemResult TimeFramePodem::generate(const Fault& fault, size_t frames) {
                 result.outcome = PodemOutcome::NoTest;
                 return result;
             }
+            ++simulations;
             simulate(fault, frames);
             continue;
         }
@@ -403,9 +425,11 @@ PodemResult TimeFramePodem::generate(const Fault& fault, size_t frames) {
         d.pi = pi;
         d.value = pi_obj.value;
         stack.push_back(d);
+        ++decisions;
         size_t idx = d.frame * num_pis + d.pi;
         assigned_[idx] = 1;
         pi_values_[idx] = v5_binary(d.value);
+        ++simulations;
         simulate(fault, frames);
     }
 }

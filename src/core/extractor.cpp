@@ -1,5 +1,6 @@
 #include "core/extractor.hpp"
 
+#include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 
 #include <algorithm>
@@ -92,12 +93,17 @@ bool ExtractionSession::is_pier(const InstNode* node,
 
 ConstraintSet ExtractionSession::extract(const InstNode& mut) {
     util::Stopwatch watch;
+    obs::Span span("extract.mut");
+    span.attr("path", mut.path());
+    span.attr("mode", mode_ == Mode::Flat ? "flat" : "composed");
+    span.attr("level", mut.level);
     if (mode_ == Mode::Flat) {
         // Conventional methodology: nothing carries over between MUTs.
         graph_.clear();
     }
     const size_t hits_before = hits_;
     const size_t misses_before = misses_;
+    type_tally_.clear();
 
     ConstraintSet cs;
     cs.mut = &mut;
@@ -144,6 +150,27 @@ ConstraintSet ExtractionSession::extract(const InstNode& mut) {
     cs.extraction_seconds = watch.seconds();
     cs.cache_hits = hits_ - hits_before;
     cs.cache_misses = misses_ - misses_before;
+
+    obs::counter("extract.extractions").add(1);
+    obs::counter("extract.cache.hits").add(cs.cache_hits);
+    obs::counter("extract.cache.misses").add(cs.cache_misses);
+    // Per-module-type reuse: in composed mode these hit counters are the
+    // direct evidence of the paper's cross-level/cross-MUT constraint reuse.
+    for (const auto& [mod, hm] : type_tally_) {
+        if (hm.first > 0) {
+            obs::counter("extract.cache.hits." + mod->name).add(hm.first);
+        }
+        if (hm.second > 0) {
+            obs::counter("extract.cache.misses." + mod->name).add(hm.second);
+        }
+    }
+    // Where extraction time goes per hierarchy level of the MUT.
+    obs::histogram("extract.us.level" + std::to_string(mut.level))
+        .record(static_cast<uint64_t>(watch.seconds() * 1e6));
+    span.attr("items", cs.item_count());
+    span.attr("issues", cs.issues.size());
+    span.attr("cache_hits", cs.cache_hits);
+    span.attr("cache_misses", cs.cache_misses);
     return cs;
 }
 
@@ -162,9 +189,11 @@ void ExtractionSession::visit(const QueryKey& key, ConstraintSet& out,
         QueryNode& node = graph_[k];
         if (!node.expanded) {
             ++misses_;
+            ++type_tally_[k.node->module].second;
             expand(k, node);
         } else {
             ++hits_;
+            ++type_tally_[k.node->module].first;
         }
         for (const auto& [inode, assign] : node.assigns) {
             out.marks[inode].assigns.insert(assign);

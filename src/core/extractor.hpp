@@ -127,6 +127,10 @@ class ExtractionSession {
     std::set<std::string> piers_;
     size_t hits_ = 0;
     size_t misses_ = 0;
+    /// Per-module-type {hits, misses} of the current extract() call,
+    /// flushed to the obs registry once per extraction (keeps the DFS free
+    /// of registry lookups).
+    std::map<const rtl::Module*, std::pair<size_t, size_t>> type_tally_;
 };
 
 } // namespace factor::core

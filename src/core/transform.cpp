@@ -1,6 +1,7 @@
 #include "core/transform.hpp"
 
 #include "atpg/fault.hpp"
+#include "obs/obs.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/transforms.hpp"
 #include "util/stopwatch.hpp"
@@ -104,6 +105,8 @@ std::string net_base(const std::string& name) {
 TransformedModule TransformBuilder::build(const InstNode& mut,
                                           ExtractionSession& session,
                                           const TransformOptions& options) {
+    obs::Span span("transform.build");
+    span.attr("mut", mut.path());
     TransformedModule tm;
     const std::set<std::string> allowlist(options.pier_allowlist.begin(),
                                           options.pier_allowlist.end());
@@ -172,6 +175,9 @@ TransformedModule TransformBuilder::build(const InstNode& mut,
     for (synth::NetId n : tm.netlist.outputs()) {
         if (tm.netlist.is_driven(n)) ++tm.num_pos;
     }
+    span.attr("mut_gates", tm.mut_gates);
+    span.attr("surrounding_gates", tm.surrounding_gates);
+    span.attr("piers_exposed", tm.piers_exposed);
     return tm;
 }
 

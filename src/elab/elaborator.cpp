@@ -1,5 +1,6 @@
 #include "elab/elaborator.hpp"
 
+#include "obs/obs.hpp"
 #include "rtl/const_eval.hpp"
 #include "util/strings.hpp"
 
@@ -65,6 +66,8 @@ Elaborator::Elaborator(rtl::Design& design, util::DiagEngine& diags)
 
 std::unique_ptr<ElaboratedDesign>
 Elaborator::elaborate(const std::string& top_name) {
+    obs::Span span("elab.elaborate");
+    span.attr("top", top_name);
     rtl::Module* top = design_.find(top_name);
     if (top == nullptr) {
         diags_.error({}, "top module '" + top_name + "' not found");
@@ -83,6 +86,12 @@ Elaborator::elaborate(const std::string& top_name) {
     out->design_ = &design_;
     out->top_ = resolved_top;
     out->root_ = std::move(root);
+
+    const size_t instances = out->instance_count();
+    obs::counter("elab.elaborations").add(1);
+    obs::counter("elab.instances").add(instances);
+    obs::gauge("elab.last_instances").set(static_cast<double>(instances));
+    span.attr("instances", instances);
     return out;
 }
 

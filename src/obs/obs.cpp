@@ -1,0 +1,565 @@
+#include "obs/obs.hpp"
+
+#include <bit>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace factor::obs {
+
+// --------------------------------------------------------------------- JSON
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "0";
+    // Integral doubles print without a fraction; everything else with
+    // enough digits to round-trip values the flow actually produces.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker over a string_view.
+class JsonChecker {
+  public:
+    explicit JsonChecker(std::string_view t) : t_(t) {}
+
+    bool check() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == t_.size();
+    }
+
+  private:
+    [[nodiscard]] bool eof() const { return pos_ >= t_.size(); }
+    [[nodiscard]] char peek() const { return t_[pos_]; }
+    bool consume(char c) {
+        if (eof() || t_[pos_] != c) return false;
+        ++pos_;
+        return true;
+    }
+    void skip_ws() {
+        while (!eof() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                          t_[pos_] == '\n' || t_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+    bool literal(std::string_view word) {
+        if (t_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string() {
+        if (!consume('"')) return false;
+        while (!eof()) {
+            char c = t_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (eof()) return false;
+                char e = t_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() || !std::isxdigit(
+                                         static_cast<unsigned char>(t_[pos_]))) {
+                            return false;
+                        }
+                        ++pos_;
+                    }
+                } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                           std::string_view::npos) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool number() {
+        size_t start = pos_;
+        consume('-');
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            return false;
+        }
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+            }
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+            }
+            while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        return pos_ > start;
+    }
+
+    bool value() {
+        if (++depth_ > 256) return false; // cycle/stack guard
+        bool ok = value_inner();
+        --depth_;
+        return ok;
+    }
+
+    bool value_inner() {
+        skip_ws();
+        if (eof()) return false;
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            skip_ws();
+            if (consume('}')) return true;
+            while (true) {
+                skip_ws();
+                if (!string()) return false;
+                skip_ws();
+                if (!consume(':')) return false;
+                if (!value()) return false;
+                skip_ws();
+                if (consume('}')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+        case '[': {
+            ++pos_;
+            skip_ws();
+            if (consume(']')) return true;
+            while (true) {
+                if (!value()) return false;
+                skip_ws();
+                if (consume(']')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    std::string_view t_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool json_valid(std::string_view text) { return JsonChecker(text).check(); }
+
+// ---------------------------------------------------- metric instruments
+
+size_t Histogram::bucket_of(uint64_t v) {
+    return v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+}
+
+void Histogram::record(uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+}
+
+void Histogram::reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ registry
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+}
+
+void Registry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [_, c] : counters_) c.reset();
+    for (auto& [_, g] : gauges_) g.reset();
+    for (auto& [_, h] : histograms_) h.reset();
+}
+
+std::string Registry::to_json() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << c.value();
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << json_number(g.value());
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":{\"count\":" << h.count()
+           << ",\"sum\":" << h.sum() << ",\"max\":" << h.max()
+           << ",\"buckets\":{";
+        bool bfirst = true;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            uint64_t n = h.bucket(i);
+            if (n == 0) continue;
+            if (!bfirst) os << ',';
+            bfirst = false;
+            os << '"' << i << "\":" << n;
+        }
+        os << "}}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string Registry::summary() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    for (const auto& [name, c] : counters_) {
+        os << name << " = " << c.value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+        os << name << " = " << json_number(g.value()) << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+        os << name << " = count " << h.count() << ", sum " << h.sum()
+           << ", max " << h.max() << '\n';
+    }
+    return os.str();
+}
+
+// ------------------------------------------------------------------- tracer
+
+namespace {
+
+thread_local uint32_t t_span_depth = 0;
+
+uint64_t thread_id_hash() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+int64_t steady_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::string TraceEvent::to_json() const {
+    std::ostringstream os;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"start_us\":" << start_us
+       << ",\"dur_us\":" << dur_us << ",\"depth\":" << depth
+       << ",\"tid\":" << tid;
+    if (!args.empty()) os << ',' << args;
+    os << '}';
+    return os.str();
+}
+
+Tracer& Tracer::global() {
+    static Tracer instance;
+    return instance;
+}
+
+void Tracer::start(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    path_ = std::move(path);
+    events_.clear();
+    epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::string Tracer::stop() {
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    for (const TraceEvent& ev : events_) os << ev.to_json() << '\n';
+    std::string ndjson = os.str();
+    if (!path_.empty()) {
+        std::ofstream out(path_);
+        out << ndjson;
+    }
+    events_.clear();
+    path_.clear();
+    return ndjson;
+}
+
+size_t Tracer::event_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void Tracer::record(TraceEvent ev) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(ev));
+}
+
+uint64_t Tracer::now_us() const {
+    int64_t delta = steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+    return delta <= 0 ? 0 : static_cast<uint64_t>(delta) / 1000;
+}
+
+Span::Span(const char* name) {
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;
+    active_ = true;
+    name_ = name;
+    start_us_ = t.now_us();
+    depth_ = t_span_depth++;
+}
+
+Span::~Span() {
+    if (!active_) return;
+    --t_span_depth;
+    Tracer& t = Tracer::global();
+    TraceEvent ev;
+    ev.name = name_;
+    ev.args = std::move(args_);
+    ev.start_us = start_us_;
+    uint64_t end = t.now_us();
+    ev.dur_us = end > start_us_ ? end - start_us_ : 0;
+    ev.depth = depth_;
+    ev.tid = thread_id_hash();
+    t.record(std::move(ev));
+}
+
+void Span::add_raw(const char* key, const std::string& rendered) {
+    if (!active_) return;
+    if (!args_.empty()) args_ += ',';
+    args_ += '"';
+    args_ += json_escape(key);
+    args_ += "\":";
+    args_ += rendered;
+}
+
+void Span::attr(const char* key, const std::string& value) {
+    add_raw(key, '"' + json_escape(value) + '"');
+}
+void Span::attr(const char* key, const char* value) {
+    attr(key, std::string(value));
+}
+void Span::attr(const char* key, uint64_t value) {
+    add_raw(key, std::to_string(value));
+}
+void Span::attr(const char* key, int value) {
+    add_raw(key, std::to_string(value));
+}
+void Span::attr(const char* key, double value) {
+    add_raw(key, json_number(value));
+}
+
+// ---------------------------------------------------------------------- doc
+
+Doc& Doc::add(std::string name, uint64_t v) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::U64;
+    e.u = v;
+    entries_.push_back(std::move(e));
+    return *this;
+}
+Doc& Doc::add(std::string name, int v) {
+    return add(std::move(name), static_cast<uint64_t>(v < 0 ? 0 : v));
+}
+Doc& Doc::add(std::string name, double v) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::F64;
+    e.d = v;
+    entries_.push_back(std::move(e));
+    return *this;
+}
+Doc& Doc::add(std::string name, bool v) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::Bool;
+    e.b = v;
+    entries_.push_back(std::move(e));
+    return *this;
+}
+Doc& Doc::add(std::string name, std::string v) {
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::Str;
+    e.s = std::move(v);
+    entries_.push_back(std::move(e));
+    return *this;
+}
+
+const Doc::Entry* Doc::find(const std::string& name) const {
+    for (const Entry& e : entries_) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+bool Doc::has(const std::string& name) const { return find(name) != nullptr; }
+
+double Doc::number(const std::string& name) const {
+    const Entry* e = find(name);
+    if (e == nullptr) return 0.0;
+    switch (e->kind) {
+    case Kind::U64: return static_cast<double>(e->u);
+    case Kind::F64: return e->d;
+    case Kind::Bool: return e->b ? 1.0 : 0.0;
+    case Kind::Str: return 0.0;
+    }
+    return 0.0;
+}
+
+std::string Doc::to_json() const {
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const Entry& e : entries_) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(e.name) << "\":";
+        switch (e.kind) {
+        case Kind::U64: os << e.u; break;
+        case Kind::F64: os << json_number(e.d); break;
+        case Kind::Bool: os << (e.b ? "true" : "false"); break;
+        case Kind::Str: os << '"' << json_escape(e.s) << '"'; break;
+        }
+    }
+    os << '}';
+    return os.str();
+}
+
+namespace {
+
+[[nodiscard]] bool ends_with(const std::string& s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string fixed_str(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace
+
+std::string Doc::to_text() const {
+    std::ostringstream os;
+    bool first = true;
+    for (const Entry& e : entries_) {
+        std::string piece;
+        if (e.kind == Kind::Bool) {
+            if (!e.b) continue;
+            std::string words = e.name;
+            for (char& c : words) {
+                if (c == '_') c = ' ';
+            }
+            piece = "(" + words + ")";
+        } else if (e.kind == Kind::F64 && ends_with(e.name, "_percent")) {
+            piece = e.name.substr(0, e.name.size() - 8) + "=" +
+                    fixed_str(e.d, 2) + "%";
+        } else if (e.kind == Kind::F64 && ends_with(e.name, "_seconds")) {
+            piece = e.name.substr(0, e.name.size() - 8) + "=" +
+                    fixed_str(e.d, 3) + "s";
+        } else if (e.kind == Kind::F64) {
+            piece = e.name + "=" + json_number(e.d);
+        } else if (e.kind == Kind::U64) {
+            piece = e.name + "=" + std::to_string(e.u);
+        } else {
+            piece = e.name + "=" + e.s;
+        }
+        if (!first) os << ' ';
+        first = false;
+        os << piece;
+    }
+    return os.str();
+}
+
+std::string Doc::cell(const std::string& name, int decimals) const {
+    const Entry* e = find(name);
+    if (e == nullptr) return "-";
+    switch (e->kind) {
+    case Kind::U64: return std::to_string(e->u);
+    case Kind::F64: return fixed_str(e->d, decimals);
+    case Kind::Bool: return e->b ? "1" : "0";
+    case Kind::Str: return e->s;
+    }
+    return "-";
+}
+
+} // namespace factor::obs

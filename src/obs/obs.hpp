@@ -1,0 +1,285 @@
+// Observability: flow-wide tracing and metrics for the FACTOR pipeline.
+//
+// Three pieces, all process-global so any layer can report without plumbing
+// handles through the whole call tree:
+//
+//  * Registry — named counters, gauges and log-2-bucket histograms. Always
+//    on: instruments are cheap relaxed atomics and are only touched at
+//    coarse granularity (per batch, per fault, per pass). Lookup by name
+//    takes a mutex; hot paths cache the returned reference (references are
+//    stable for the process lifetime — reset() zeroes values, it never
+//    erases instruments).
+//
+//  * Tracer + Span — hierarchical wall-clock spans emitted as NDJSON trace
+//    events (one JSON object per line). Disabled by default; a disabled
+//    Span costs one relaxed atomic load and nothing else. Enabled spans
+//    buffer in memory and are flushed by Tracer::stop().
+//
+//  * Doc — an ordered metric document that renders the SAME values as
+//    human-readable text (EngineResult::summary(), bench tables) and as a
+//    JSON object (--stats-json, BENCH_results.json), so the two outputs
+//    cannot drift.
+//
+// Naming conventions (see DESIGN.md "Observability" for the full catalog):
+// metric names are dot-separated, layer first ("atpg.podem.backtracks",
+// "extract.cache.hits"). Doc entry names ending in "_percent" render as
+// "name=12.34%", "_seconds" as "name=0.123s"; booleans render as
+// "(name with spaces)" when true and vanish when false.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace factor::obs {
+
+// --------------------------------------------------------------------- JSON
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render a finite double as a JSON number (NaN/Inf degrade to 0).
+[[nodiscard]] std::string json_number(double v);
+
+/// Minimal JSON syntax validator: true iff `text` is one complete JSON
+/// value (object/array/string/number/bool/null). Used by the tests to check
+/// every sink's output and cheap enough to run on whole stats documents.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+// ---------------------------------------------------- metric instruments
+
+class Counter {
+  public:
+    void add(uint64_t delta = 1) {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t value() const {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Log-2 bucketed histogram of uint64 samples. Bucket 0 counts the value 0;
+/// bucket i (1..64) counts values v with bit_width(v) == i, i.e. the range
+/// [2^(i-1), 2^i - 1]. 65 buckets cover the whole uint64 domain, so there
+/// is no overflow bucket and no configuration.
+class Histogram {
+  public:
+    static constexpr size_t kBuckets = 65;
+
+    void record(uint64_t v);
+
+    [[nodiscard]] uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t max() const {
+        return max_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t bucket(size_t i) const {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+    /// Bucket index a value lands in (0 for 0, else bit_width).
+    [[nodiscard]] static size_t bucket_of(uint64_t v);
+
+    void reset();
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+// ------------------------------------------------------------------ registry
+
+class Registry {
+  public:
+    /// The process-wide registry used by all instrumented layers.
+    [[nodiscard]] static Registry& global();
+
+    /// Find-or-create by name. Returned references stay valid for the
+    /// registry's lifetime (reset() zeroes, never erases).
+    [[nodiscard]] Counter& counter(const std::string& name);
+    [[nodiscard]] Gauge& gauge(const std::string& name);
+    [[nodiscard]] Histogram& histogram(const std::string& name);
+
+    /// Zero every instrument (identities and cached references survive).
+    void reset();
+
+    /// Stable JSON object:
+    /// {"counters":{...},"gauges":{...},
+    ///  "histograms":{name:{"count":..,"sum":..,"max":..,"buckets":{...}}}}
+    /// Zero-count instruments are included so a run that recorded nothing
+    /// is distinguishable from a metric that was never registered.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Human-readable dump, one "name = value" line per instrument, sorted.
+    [[nodiscard]] std::string summary() const;
+
+  private:
+    mutable std::mutex mu_;
+    // std::map: node-based, so references handed out stay stable.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/// Shorthands for the global registry.
+[[nodiscard]] inline Counter& counter(const std::string& name) {
+    return Registry::global().counter(name);
+}
+[[nodiscard]] inline Gauge& gauge(const std::string& name) {
+    return Registry::global().gauge(name);
+}
+[[nodiscard]] inline Histogram& histogram(const std::string& name) {
+    return Registry::global().histogram(name);
+}
+
+// ------------------------------------------------------------------- tracer
+
+/// One completed span, ready for NDJSON serialization.
+struct TraceEvent {
+    std::string name;
+    std::string args;  // preformatted JSON members ("" or "\"k\":v,...")
+    uint64_t start_us = 0;
+    uint64_t dur_us = 0;
+    uint32_t depth = 0;  // per-thread nesting depth at span open
+    uint64_t tid = 0;    // hashed thread id
+
+    [[nodiscard]] std::string to_json() const;
+};
+
+class Tracer {
+  public:
+    [[nodiscard]] static Tracer& global();
+
+    /// Enable tracing. Events buffer in memory; stop() writes them as
+    /// NDJSON to `path` (empty path: buffer only — the tests use this).
+    void start(std::string path);
+
+    /// Disable tracing, flush the NDJSON text to the start() path if one
+    /// was given, clear the buffer, and return the NDJSON text.
+    std::string stop();
+
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] size_t event_count() const;
+
+    /// Buffer one event (dropped when disabled; spans racing stop() may
+    /// land here after the flush and are cleared by the next start()).
+    void record(TraceEvent ev);
+
+    /// Microseconds since the current trace epoch (start() time).
+    [[nodiscard]] uint64_t now_us() const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::string path_;
+    std::vector<TraceEvent> events_;
+    std::atomic<int64_t> epoch_ns_{0};
+};
+
+/// RAII trace span. Construction snapshots the clock and bumps the
+/// per-thread depth; destruction emits one TraceEvent. When the tracer is
+/// disabled the whole object is a single relaxed atomic load.
+class Span {
+  public:
+    /// `name` must outlive the span (string literals in practice).
+    explicit Span(const char* name);
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    /// Attach a JSON attribute to the span (no-ops when inactive).
+    void attr(const char* key, const std::string& value);
+    void attr(const char* key, const char* value);
+    void attr(const char* key, uint64_t value);
+    void attr(const char* key, int value);
+    void attr(const char* key, double value);
+
+    [[nodiscard]] bool active() const { return active_; }
+
+  private:
+    void add_raw(const char* key, const std::string& rendered);
+
+    bool active_ = false;
+    const char* name_ = nullptr;
+    uint64_t start_us_ = 0;
+    uint32_t depth_ = 0;
+    std::string args_;
+};
+
+// ---------------------------------------------------------------------- doc
+
+/// Ordered metric document: one flat list of named typed values that can
+/// render as text ("k=v k=v ..."), as a JSON object, or cell-by-cell for
+/// the bench tables. The single source for every human/machine output pair.
+class Doc {
+  public:
+    Doc& add(std::string name, uint64_t v);
+    Doc& add(std::string name, int v);
+    Doc& add(std::string name, double v);
+    Doc& add(std::string name, bool v);
+    Doc& add(std::string name, std::string v);
+
+    /// JSON object over all entries, in insertion order.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Text rendering with the suffix conventions described in the header
+    /// comment; entries joined by single spaces.
+    [[nodiscard]] std::string to_text() const;
+
+    /// Format one entry's value for a table cell: integers verbatim,
+    /// doubles with `decimals` fraction digits, bools as 0/1, strings
+    /// verbatim. Missing entries render as "-" so a broken table is
+    /// visible instead of silently misaligned.
+    [[nodiscard]] std::string cell(const std::string& name,
+                                   int decimals = 2) const;
+
+    /// Numeric value of an entry (0 when missing or non-numeric).
+    [[nodiscard]] double number(const std::string& name) const;
+
+    [[nodiscard]] bool has(const std::string& name) const;
+    [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  private:
+    enum class Kind { U64, F64, Bool, Str };
+    struct Entry {
+        std::string name;
+        Kind kind;
+        uint64_t u = 0;
+        double d = 0.0;
+        bool b = false;
+        std::string s;
+    };
+    [[nodiscard]] const Entry* find(const std::string& name) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace factor::obs

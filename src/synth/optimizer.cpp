@@ -1,5 +1,7 @@
 #include "synth/optimizer.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <map>
 #include <vector>
@@ -269,17 +271,30 @@ class RebuildPass {
 } // namespace
 
 OptStats optimize(Netlist& nl, const OptOptions& options) {
+    obs::Span span("synth.optimize");
     OptStats stats;
     stats.gates_before = nl.num_gates();
     for (unsigned i = 0; i < options.max_iterations; ++i) {
+        obs::Span pass_span("synth.optimize.pass");
         ++stats.iterations;
         bool changed = false;
         RebuildPass pass(nl, options);
         Netlist next = pass.run(changed);
         nl = std::move(next);
+        pass_span.attr("gates", nl.num_gates());
         if (!changed) break;
     }
     stats.gates_after = nl.num_gates();
+
+    obs::counter("synth.optimize.calls").add(1);
+    if (stats.gates_before > stats.gates_after) {
+        obs::counter("synth.optimize.gates_removed")
+            .add(stats.gates_before - stats.gates_after);
+    }
+    obs::histogram("synth.optimize.iterations").record(stats.iterations);
+    span.attr("gates_before", stats.gates_before);
+    span.attr("gates_after", stats.gates_after);
+    span.attr("iterations", static_cast<uint64_t>(stats.iterations));
     return stats;
 }
 

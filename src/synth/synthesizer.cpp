@@ -1,5 +1,6 @@
 #include "synth/synthesizer.hpp"
 
+#include "obs/obs.hpp"
 #include "rtl/const_eval.hpp"
 #include "rtl/printer.hpp"
 
@@ -232,6 +233,9 @@ Synthesizer::Bits Synthesizer::mux_bits(NetId sel, const Bits& a0,
 // ------------------------------------------------------------------ run
 
 Netlist Synthesizer::run(const elab::InstNode& root, const ItemFilter* filter) {
+    obs::Span span("synth.run");
+    span.attr("root", root.path());
+    span.attr("filtered", filter != nullptr);
     Netlist nl;
     nl_ = &nl;
     contexts_.clear();
@@ -304,6 +308,10 @@ Netlist Synthesizer::run(const elab::InstNode& root, const ItemFilter* filter) {
 
     nl_ = nullptr;
     contexts_.clear();
+    obs::counter("synth.runs").add(1);
+    obs::counter("synth.gates_built").add(nl.num_gates());
+    span.attr("gates", nl.num_gates());
+    span.attr("instances", order.size());
     return nl;
 }
 

@@ -10,6 +10,7 @@
 #include "core/transform.hpp"
 #include "core/writer.hpp"
 #include "designs/designs.hpp"
+#include "obs/obs.hpp"
 
 #include <gtest/gtest.h>
 
@@ -84,6 +85,24 @@ TEST(Extractor, ComposedModeReusesCacheAcrossMuts) {
     ConstraintSet f1 = flat.extract(*alu);
     ConstraintSet f2 = flat.extract(*core);
     EXPECT_EQ(f2.cache_hits, 0u);
+}
+
+TEST(Extractor, ComposedModeRecordsCacheHitsInObsRegistry) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    obs::Registry::global().reset();
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    const auto* ctrl = b->elaborated->find_by_path("mini_soc.ctrl");
+    ASSERT_NE(alu, nullptr);
+    ASSERT_NE(ctrl, nullptr);
+    // Within one extraction the visited set dedups queries, so hits only
+    // appear when a later extraction reuses the session's query graph.
+    (void)session.extract(*alu);
+    (void)session.extract(*ctrl);
+    EXPECT_GT(obs::counter("extract.cache.hits").value(), 0u);
+    EXPECT_GT(obs::counter("extract.cache.misses").value(), 0u);
+    EXPECT_EQ(obs::counter("extract.extractions").value(), 2u);
 }
 
 TEST(Extractor, EmptyUseDefChainReported) {

@@ -1,0 +1,198 @@
+// Unit tests for the observability layer: tracer spans and NDJSON output,
+// histogram bucketing, registry reset semantics, and the Doc shared
+// text/JSON renderer.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace factor::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) out.push_back(line);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+    Tracer& t = Tracer::global();
+    ASSERT_FALSE(t.enabled());
+    {
+        Span s("never.recorded");
+        s.attr("k", uint64_t{1});
+        EXPECT_FALSE(s.active());
+    }
+    EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Tracer, NestedSpansEmitDepthAndValidNdjson) {
+    Tracer& t = Tracer::global();
+    t.start(""); // buffer only, no file
+    {
+        Span outer("unit.outer");
+        outer.attr("label", "out\"er"); // must be escaped in the output
+        {
+            Span inner("unit.inner");
+            inner.attr("n", uint64_t{42});
+        }
+        {
+            Span inner2("unit.inner2");
+            (void)inner2;
+        }
+    }
+    std::string ndjson = t.stop();
+    EXPECT_FALSE(t.enabled());
+
+    auto lines = lines_of(ndjson);
+    ASSERT_EQ(lines.size(), 3u);
+    for (const auto& line : lines) {
+        EXPECT_TRUE(json_valid(line)) << line;
+    }
+    // Spans close inner-first.
+    EXPECT_NE(lines[0].find("\"name\":\"unit.inner\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"depth\":1"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"name\":\"unit.inner2\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"name\":\"unit.outer\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"depth\":0"), std::string::npos);
+    EXPECT_NE(lines[2].find("out\\\"er"), std::string::npos);
+
+    // Buffer is cleared by stop(); a span after stop is inert again.
+    EXPECT_EQ(t.event_count(), 0u);
+    { Span after("unit.after"); EXPECT_FALSE(after.active()); }
+    EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Tracer, StopWithoutEventsYieldsEmptyText) {
+    Tracer& t = Tracer::global();
+    t.start("");
+    EXPECT_EQ(lines_of(t.stop()).size(), 0u);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketOfEdgeCases) {
+    EXPECT_EQ(Histogram::bucket_of(0), 0u);
+    EXPECT_EQ(Histogram::bucket_of(1), 1u);
+    EXPECT_EQ(Histogram::bucket_of(2), 2u);
+    EXPECT_EQ(Histogram::bucket_of(3), 2u);
+    EXPECT_EQ(Histogram::bucket_of(4), 3u);
+    EXPECT_EQ(Histogram::bucket_of((uint64_t{1} << 63)), 64u);
+    EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<uint64_t>::max()), 64u);
+}
+
+TEST(Histogram, RecordAccumulatesCountSumMaxBuckets) {
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(64), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, ResetZeroesButCachedReferencesStayUsable) {
+    Counter& c = counter("test.obs.reset_counter");
+    Gauge& g = gauge("test.obs.reset_gauge");
+    Histogram& h = histogram("test.obs.reset_hist");
+    c.add(7);
+    g.set(2.5);
+    h.record(9);
+    Registry::global().reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    // The same references keep working after reset — hot paths cache them.
+    c.add(3);
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_EQ(counter("test.obs.reset_counter").value(), 3u);
+    EXPECT_EQ(&counter("test.obs.reset_counter"), &c);
+}
+
+TEST(Registry, ToJsonIsValidAndContainsInstruments) {
+    counter("test.obs.json_counter").add(11);
+    histogram("test.obs.json_hist").record(5);
+    std::string json = Registry::global().to_json();
+    EXPECT_TRUE(json_valid(json)) << json;
+    EXPECT_NE(json.find("\"test.obs.json_counter\":11"), std::string::npos);
+    EXPECT_NE(json.find("\"test.obs.json_hist\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- doc
+
+TEST(Doc, TextRenderingFollowsSuffixConventions) {
+    Doc d;
+    d.add("faults", uint64_t{100})
+        .add("coverage_percent", 57.2289)
+        .add("time_seconds", 0.61094)
+        .add("budget_exhausted", true)
+        .add("quiet_flag", false);
+    EXPECT_EQ(d.to_text(),
+              "faults=100 coverage=57.23% time=0.611s (budget exhausted)");
+}
+
+TEST(Doc, JsonRenderingIsValidAndOrdered) {
+    Doc d;
+    d.add("b_second", uint64_t{2}).add("a_first", uint64_t{1});
+    std::string json = d.to_json();
+    EXPECT_TRUE(json_valid(json)) << json;
+    // Insertion order, not lexicographic.
+    EXPECT_LT(json.find("b_second"), json.find("a_first"));
+}
+
+TEST(Doc, CellFormatsAndMissingEntryRendersDash) {
+    Doc d;
+    d.add("gates", uint64_t{54}).add("ratio_percent", 12.3456);
+    EXPECT_EQ(d.cell("gates"), "54");
+    EXPECT_EQ(d.cell("ratio_percent", 1), "12.3");
+    EXPECT_EQ(d.cell("ratio_percent", 4), "12.3456");
+    EXPECT_EQ(d.cell("absent"), "-");
+    EXPECT_EQ(d.number("gates"), 54.0);
+    EXPECT_EQ(d.number("absent"), 0.0);
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+    EXPECT_TRUE(json_valid("{}"));
+    EXPECT_TRUE(json_valid("[1,2.5,-3e2,\"s\",true,false,null]"));
+    EXPECT_TRUE(json_valid("{\"a\":{\"b\":[{}]}}"));
+    EXPECT_FALSE(json_valid(""));
+    EXPECT_FALSE(json_valid("{"));
+    EXPECT_FALSE(json_valid("{\"a\":}"));
+    EXPECT_FALSE(json_valid("[1,]"));
+    EXPECT_FALSE(json_valid("{\"a\":1} trailing"));
+    EXPECT_FALSE(json_valid("nan"));
+}
+
+TEST(Json, EscapeHandlesControlAndQuotes) {
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    std::string wrapped = '"' + json_escape(std::string(1, '\x01')) + '"';
+    EXPECT_TRUE(json_valid(wrapped)) << wrapped;
+}
+
+} // namespace
+} // namespace factor::obs

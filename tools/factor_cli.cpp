@@ -9,6 +9,10 @@
 // Options: --mode=flat|composed  --budget=<s>  --no-piers  --builtin=<name>
 // (--builtin loads a bundled design instead of files: arm2z, mini_soc,
 // counter8, traffic).
+// Observability: --trace=<file> writes an NDJSON span trace of the whole
+// run; --stats-json=<file> writes a stable machine-readable stats document
+// (schema "factor.stats.v1") with the result metrics and the full metrics
+// registry.
 #include "atpg/engine.hpp"
 #include "atpg/scoap.hpp"
 #include "core/extractor.hpp"
@@ -17,6 +21,7 @@
 #include "core/writer.hpp"
 #include "designs/designs.hpp"
 #include "elab/elaborator.hpp"
+#include "obs/obs.hpp"
 #include "rtl/parser.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/synthesizer.hpp"
@@ -38,6 +43,8 @@ struct Args {
     std::string mut_path;
     std::vector<std::string> files;
     std::string builtin;
+    std::string trace_path;
+    std::string stats_path;
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
     bool piers = true;
@@ -45,14 +52,33 @@ struct Args {
 
 void usage() {
     std::fprintf(stderr,
-                 "usage: factor <parse|extract|atpg|report|scoap> <top> "
+                 "usage: factor <parse|extract|atpg|report|scoap> [top] "
                  "[mut-path] (<files...> | --builtin=<name>)\n"
                  "       [--mode=flat|composed] [--budget=<seconds>] "
-                 "[--no-piers]\n");
+                 "[--no-piers]\n"
+                 "       [--trace=<file.ndjson>] [--stats-json=<file.json>]\n"
+                 "  <top> defaults to the builtin name when --builtin is "
+                 "given.\n");
 }
 
 bool needs_mut(const std::string& cmd) {
     return cmd == "extract" || cmd == "report";
+}
+
+/// True if `s` names a Verilog source rather than a dotted instance path.
+/// A MUT path like `soc.cpu.alu` also contains dots, so the old
+/// "contains a dot" test misclassified files such as `cpu.v`: the file
+/// was silently consumed as a MUT path and never parsed. Classify as a
+/// source file when the name has a Verilog suffix or exists on disk.
+bool looks_like_source_file(const std::string& s) {
+    auto has_suffix = [&s](const char* suf) {
+        size_t n = std::strlen(suf);
+        return s.size() >= n && s.compare(s.size() - n, n, suf) == 0;
+    };
+    if (has_suffix(".v") || has_suffix(".sv") || has_suffix(".vh")) {
+        return true;
+    }
+    return static_cast<bool>(std::ifstream(s));
 }
 
 bool parse_args(int argc, char** argv, Args& out) {
@@ -75,6 +101,10 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.piers = false;
         } else if (a.rfind("--builtin=", 0) == 0) {
             out.builtin = a.substr(10);
+        } else if (a.rfind("--trace=", 0) == 0) {
+            out.trace_path = a.substr(8);
+        } else if (a.rfind("--stats-json=", 0) == 0) {
+            out.stats_path = a.substr(13);
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
@@ -82,12 +112,22 @@ bool parse_args(int argc, char** argv, Args& out) {
             positional.push_back(a);
         }
     }
-    if (positional.size() < 2) return false;
+    if (positional.empty()) return false;
     out.command = positional[0];
-    out.top = positional[1];
+    if (positional.size() >= 2) {
+        out.top = positional[1];
+    } else if (!out.builtin.empty()) {
+        // Builtin designs name their top module after themselves.
+        out.top = out.builtin;
+    } else {
+        std::fprintf(stderr, "missing <top> (or --builtin=<name>)\n");
+        return false;
+    }
     size_t file_start = 2;
     if ((needs_mut(out.command) || out.command == "atpg") &&
-        positional.size() > 2 && positional[2].find('.') != std::string::npos) {
+        positional.size() > 2 &&
+        positional[2].find('.') != std::string::npos &&
+        !looks_like_source_file(positional[2])) {
         out.mut_path = positional[2];
         file_start = 3;
     }
@@ -95,8 +135,15 @@ bool parse_args(int argc, char** argv, Args& out) {
         out.files.push_back(positional[i]);
     }
     if (needs_mut(out.command) && out.mut_path.empty()) {
-        std::fprintf(stderr, "command '%s' needs a dotted MUT path\n",
-                     out.command.c_str());
+        if (positional.size() > 2 && looks_like_source_file(positional[2])) {
+            std::fprintf(stderr,
+                         "command '%s' needs a dotted MUT path before the "
+                         "source files; '%s' looks like a Verilog file\n",
+                         out.command.c_str(), positional[2].c_str());
+        } else {
+            std::fprintf(stderr, "command '%s' needs a dotted MUT path\n",
+                         out.command.c_str());
+        }
         return false;
     }
     return !out.command.empty();
@@ -135,6 +182,32 @@ bool load_sources(const Args& args, rtl::Design& design,
     return true;
 }
 
+/// Command-specific result fields for --stats-json, filled by the cmd_*
+/// handlers and combined with the metrics registry in write_stats_json.
+obs::Doc g_result;
+
+/// Write the stable stats document ("factor.stats.v1"): the invoking
+/// command, the command's result metrics, and a snapshot of every counter,
+/// gauge and histogram touched during the run.
+bool write_stats_json(const Args& args, int exit_code) {
+    std::ofstream out(args.stats_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write stats to '%s'\n",
+                     args.stats_path.c_str());
+        return false;
+    }
+    out << "{\"schema\":\"factor.stats.v1\""
+        << ",\"command\":\"" << obs::json_escape(args.command) << '"'
+        << ",\"top\":\"" << obs::json_escape(args.top) << '"'
+        << ",\"mut_path\":\"" << obs::json_escape(args.mut_path) << '"'
+        << ",\"mode\":"
+        << (args.mode == core::Mode::Composed ? "\"composed\"" : "\"flat\"")
+        << ",\"exit_code\":" << exit_code
+        << ",\"result\":" << g_result.to_json()
+        << ",\"registry\":" << obs::Registry::global().to_json() << "}\n";
+    return static_cast<bool>(out);
+}
+
 void print_tree(const elab::InstNode& node, int depth) {
     std::printf("%*s%s : %s (level %d)\n", depth * 2, "",
                 node.inst_name.empty() ? node.module->name.c_str()
@@ -159,6 +232,8 @@ int cmd_extract(const Args& args, elab::ElaboratedDesign& e,
     }
     core::ExtractionSession session(e, args.mode, diags);
     auto cs = session.extract(*mut);
+    g_result.add("constraint_items", static_cast<uint64_t>(cs.item_count()));
+    g_result.add("testability_issues", static_cast<uint64_t>(cs.issues.size()));
     core::ConstraintWriter writer(e, cs);
     std::printf("%s", writer.write_verilog().c_str());
     std::fprintf(stderr, "// %zu constraint items, %zu testability issues\n",
@@ -190,6 +265,7 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
         // Whole-design ATPG.
         auto nl = builder.full_design();
         auto r = atpg::run_atpg(nl, opts);
+        g_result = r.metrics();
         std::printf("full design: %s\n", r.summary().c_str());
         return 0;
     }
@@ -208,6 +284,11 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
                 tm.mut_gates, tm.surrounding_gates, tm.num_pis, tm.num_pos);
     opts.scope_prefix = tm.mut_prefix;
     auto r = atpg::run_atpg(tm.netlist, opts);
+    g_result = r.metrics();
+    g_result.add("mut_gates", static_cast<uint64_t>(tm.mut_gates));
+    g_result.add("surrounding_gates",
+                 static_cast<uint64_t>(tm.surrounding_gates));
+    g_result.add("piers_exposed", static_cast<uint64_t>(tm.piers_exposed));
     std::printf("%s\n", r.summary().c_str());
     return 0;
 }
@@ -236,28 +317,48 @@ int cmd_scoap(const Args&, elab::ElaboratedDesign& e,
 
 } // namespace
 
+int run_command(const Args& args, elab::ElaboratedDesign& e,
+                util::DiagEngine& diags) {
+    if (args.command == "parse") return cmd_parse(args, e);
+    if (args.command == "extract") return cmd_extract(args, e, diags);
+    if (args.command == "report") return cmd_report(args, e, diags);
+    if (args.command == "atpg") return cmd_atpg(args, e, diags);
+    if (args.command == "scoap") return cmd_scoap(args, e, diags);
+    usage();
+    return 2;
+}
+
 int main(int argc, char** argv) {
     Args args;
     if (!parse_args(argc, argv, args)) {
         usage();
         return 2;
     }
-    rtl::Design design;
-    util::DiagEngine diags;
-    if (!load_sources(args, design, diags)) return 1;
-
-    elab::Elaborator elaborator(design, diags);
-    auto elaborated = elaborator.elaborate(args.top);
-    if (!elaborated) {
-        std::fprintf(stderr, "%s", diags.dump().c_str());
-        return 1;
+    if (!args.trace_path.empty()) {
+        obs::Tracer::global().start(args.trace_path);
     }
 
-    if (args.command == "parse") return cmd_parse(args, *elaborated);
-    if (args.command == "extract") return cmd_extract(args, *elaborated, diags);
-    if (args.command == "report") return cmd_report(args, *elaborated, diags);
-    if (args.command == "atpg") return cmd_atpg(args, *elaborated, diags);
-    if (args.command == "scoap") return cmd_scoap(args, *elaborated, diags);
-    usage();
-    return 2;
+    int rc = 1;
+    {
+        rtl::Design design;
+        util::DiagEngine diags;
+        if (load_sources(args, design, diags)) {
+            elab::Elaborator elaborator(design, diags);
+            auto elaborated = elaborator.elaborate(args.top);
+            if (!elaborated) {
+                std::fprintf(stderr, "%s", diags.dump().c_str());
+            } else {
+                rc = run_command(args, *elaborated, diags);
+            }
+        }
+    }
+
+    if (!args.trace_path.empty()) {
+        (void)obs::Tracer::global().stop();
+        std::fprintf(stderr, "trace written to %s\n", args.trace_path.c_str());
+    }
+    if (!args.stats_path.empty()) {
+        if (!write_stats_json(args, rc)) return 1;
+    }
+    return rc;
 }
