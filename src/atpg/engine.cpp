@@ -1,5 +1,6 @@
 #include "atpg/engine.hpp"
 
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -26,6 +27,7 @@ obs::Doc EngineResult::metrics() const {
             .add("tests_before_compaction", tests_before_compaction);
     }
     d.add("budget_exhausted", budget_exhausted);
+    d.add("status", std::string(util::to_string(status)));
     return d;
 }
 
@@ -33,7 +35,14 @@ std::string EngineResult::summary() const { return metrics().to_text(); }
 
 EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     util::Stopwatch watch;
-    util::Deadline deadline(options.time_budget_s);
+    // Local wall-clock guard for the engine's own budget; the external
+    // options.guard (if any) carries the pipeline-wide budgets and the
+    // process interrupt flag. Either one stops the run.
+    util::RunGuard local_guard(options.time_budget_s);
+    auto out_of_budget = [&]() {
+        return local_guard.stopped() ||
+               (options.guard != nullptr && options.guard->stopped());
+    };
     obs::Span run_span("atpg.run");
 
     EngineResult result;
@@ -58,7 +67,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         obs::Histogram& yield_hist = obs::histogram("atpg.random.batch_yield");
         size_t stale = 0;
         for (size_t batch = 0; batch < options.random_batches; ++batch) {
-            if (deadline.expired()) break;
+            if (local_guard.stopped() ||
+                (options.guard != nullptr && !options.guard->tick())) {
+                break;
+            }
             Sequence seq = sim.random_sequence(rng, options.random_frames);
             size_t newly = sim.run_and_drop(list, seq);
             yield_hist.record(newly);
@@ -91,9 +103,13 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         obs::Counter& abort_depth = obs::counter("atpg.abort.depth_limit");
         obs::Counter& abort_mismatch = obs::counter("atpg.abort.sim_mismatch");
 
+        obs::Counter& abort_podem_error =
+            obs::counter("atpg.abort.podem_error");
+
         for (auto& entry : list.faults()) {
             if (entry.status != FaultStatus::Undetected) continue;
-            if (deadline.expired()) {
+            if (local_guard.stopped() ||
+                (options.guard != nullptr && !options.guard->tick())) {
                 result.budget_exhausted = true;
                 break;
             }
@@ -102,13 +118,26 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             bool all_depths_no_test = true;
             bool any_backtrack_abort = false;
             size_t max_frames = combinational ? 1 : options.max_frames;
+            bool podem_failed = false;
             for (size_t k = 1; k <= max_frames && !done; ++k) {
-                if (deadline.expired()) {
+                if (out_of_budget()) {
                     result.budget_exhausted = true;
                     all_depths_no_test = false;
                     break;
                 }
-                PodemResult pr = podem.generate(entry.fault, k);
+                PodemResult pr;
+                try {
+                    obs::inject_point("atpg.podem");
+                    pr = podem.generate(entry.fault, k);
+                } catch (const util::FactorError&) {
+                    // Contain a PODEM failure to its fault: count it
+                    // aborted and keep going — partial coverage beats a
+                    // dead run.
+                    abort_podem_error.add(1);
+                    podem_failed = true;
+                    all_depths_no_test = false;
+                    break;
+                }
                 podem_calls.add(1);
                 backtrack_hist.record(pr.backtracks);
                 switch (pr.outcome) {
@@ -135,6 +164,16 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 case PodemOutcome::NoTest:
                     break; // exhausted at this depth; deeper may still work
                 }
+            }
+            if (podem_failed) {
+                entry.status = FaultStatus::Aborted;
+                result.status = util::worst(result.status,
+                                            util::PhaseStatus::Degraded);
+                if (result.status_detail.empty()) {
+                    result.status_detail = "internal PODEM failure contained; "
+                                           "affected faults counted aborted";
+                }
+                continue;
             }
             if (done) continue;
             if (entry.status != FaultStatus::Undetected) continue;
@@ -194,6 +233,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     result.coverage_percent = list.coverage_percent();
     result.efficiency_percent = list.efficiency_percent();
     result.test_gen_seconds = watch.seconds();
+
+    if (result.budget_exhausted) {
+        result.status =
+            util::worst(result.status, util::PhaseStatus::BudgetExhausted);
+        const char* why =
+            options.guard != nullptr &&
+                    options.guard->reason() != util::GuardStop::None
+                ? util::to_string(options.guard->reason())
+                : util::to_string(local_guard.reason());
+        result.status_detail = std::string("ATPG stopped: ") + why +
+                               " budget exceeded; coverage is partial";
+    }
 
     obs::counter("atpg.runs").add(1);
     obs::counter("atpg.faults.total").add(result.total_faults);

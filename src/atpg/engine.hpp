@@ -20,6 +20,8 @@
 #include "atpg/podem.hpp"
 #include "obs/obs.hpp"
 #include "synth/netlist.hpp"
+#include "util/phase.hpp"
+#include "util/run_guard.hpp"
 
 #include <cstdint>
 #include <string>
@@ -36,6 +38,12 @@ struct EngineOptions {
     size_t max_frames = 8;           // deepest time-frame unroll
     // Global budget; <= 0 means unlimited.
     double time_budget_s = 0.0;
+    /// Optional external run guard (wall clock / work quota / interrupt),
+    /// shared with the rest of the pipeline. Checked per random batch and
+    /// per targeted fault alongside the local time_budget_s; a stop yields
+    /// the vectors and coverage accumulated so far with status
+    /// BudgetExhausted — work is never discarded.
+    util::RunGuard* guard = nullptr;
     uint64_t seed = 0x5eed;
     /// Restrict targeted faults to nets whose name starts with this prefix
     /// ("targeting faults in the MUT" at processor level).
@@ -55,7 +63,14 @@ struct EngineResult {
     double test_gen_seconds = 0.0;
     size_t random_sequences = 0;      // applied in phase 1
     size_t deterministic_tests = 0;   // PODEM successes
-    bool budget_exhausted = false;
+    bool budget_exhausted = false;    // kept for compat; mirrors status
+
+    /// Ok: every fault resolved within budget. BudgetExhausted: the time
+    /// budget / external guard stopped the run (remaining faults aborted,
+    /// partial coverage reported). Degraded: an internal PODEM failure was
+    /// contained to its fault (counted aborted) and the run completed.
+    util::PhaseStatus status = util::PhaseStatus::Ok;
+    std::string status_detail;
 
     /// Deterministic tests, statically compacted (collect_tests only).
     std::vector<ScalarSequence> tests;

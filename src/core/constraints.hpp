@@ -13,6 +13,7 @@
 #include "analysis/def_use.hpp"
 #include "elab/elaborator.hpp"
 #include "rtl/ast.hpp"
+#include "util/phase.hpp"
 
 #include <map>
 #include <set>
@@ -70,6 +71,13 @@ struct ConstraintSet {
     double extraction_seconds = 0.0;
     size_t cache_hits = 0;
     size_t cache_misses = 0;
+
+    /// How the extraction ended: Ok, Degraded (composed extraction fell
+    /// back to flat after a per-level failure), BudgetExhausted (guard
+    /// stopped the walk; marks cover what was reached), or Failed (only
+    /// the MUT subtree is marked). Never throws out of extract().
+    util::PhaseStatus status = util::PhaseStatus::Ok;
+    std::string status_detail;
 
     void merge(const ConstraintSet& o);
 

@@ -1,5 +1,6 @@
 #include "core/extractor.hpp"
 
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 
@@ -55,8 +56,9 @@ bool node_inside(const InstNode* node, const InstNode* subtree_root) {
 } // namespace
 
 ExtractionSession::ExtractionSession(const elab::ElaboratedDesign& design,
-                                     Mode mode, util::DiagEngine& diags)
-    : design_(design), mode_(mode), diags_(diags) {}
+                                     Mode mode, util::DiagEngine& diags,
+                                     util::RunGuard* guard)
+    : design_(design), mode_(mode), diags_(diags), guard_(guard) {}
 
 const InstNode* ExtractionSession::child_node(const InstNode* parent,
                                               const rtl::Instance* inst) const {
@@ -92,6 +94,58 @@ bool ExtractionSession::is_pier(const InstNode* node,
 }
 
 ConstraintSet ExtractionSession::extract(const InstNode& mut) {
+    try {
+        return extract_impl(mut);
+    } catch (const util::FactorError& e) {
+        // The walk died mid-expansion: the query graph may hold a node
+        // marked expanded with only partial contents, so it cannot be
+        // trusted for reuse on any path out of here.
+        graph_.clear();
+        if (mode_ == Mode::Composed) {
+            // Graceful degradation: re-extract this MUT flat. Flat mode
+            // rebuilds the graph from scratch and coarsens to module
+            // granularity — weaker constraints, but a complete set.
+            obs::counter("extract.degraded").add(1);
+            diags_.warning({}, std::string("composed extraction failed (") +
+                                   e.what() +
+                                   "); degrading to flat extraction for '" +
+                                   mut.path() + "'");
+            mode_ = Mode::Flat;
+            try {
+                ConstraintSet cs = extract_impl(mut);
+                mode_ = Mode::Composed;
+                // The flat walk left module-granular nodes in the graph;
+                // they must not seed future composed reuse.
+                graph_.clear();
+                cs.status = util::PhaseStatus::Degraded;
+                cs.status_detail =
+                    std::string("composed extraction failed (") + e.what() +
+                    "); fell back to flat";
+                return cs;
+            } catch (const util::FactorError& e2) {
+                mode_ = Mode::Composed;
+                graph_.clear();
+                return failed_set(mut, e2.what());
+            }
+        }
+        return failed_set(mut, e.what());
+    }
+}
+
+ConstraintSet ExtractionSession::failed_set(const InstNode& mut,
+                                            const std::string& why) {
+    obs::counter("extract.failed").add(1);
+    diags_.error({}, "constraint extraction failed for '" + mut.path() +
+                         "': " + why);
+    ConstraintSet cs;
+    cs.mut = &mut;
+    cs.marks[&mut].whole = true; // the MUT itself is still usable
+    cs.status = util::PhaseStatus::Failed;
+    cs.status_detail = why;
+    return cs;
+}
+
+ConstraintSet ExtractionSession::extract_impl(const InstNode& mut) {
     util::Stopwatch watch;
     obs::Span span("extract.mut");
     span.attr("path", mut.path());
@@ -104,6 +158,7 @@ ConstraintSet ExtractionSession::extract(const InstNode& mut) {
     const size_t hits_before = hits_;
     const size_t misses_before = misses_;
     type_tally_.clear();
+    truncated_ = false;
 
     ConstraintSet cs;
     cs.mut = &mut;
@@ -150,6 +205,15 @@ ConstraintSet ExtractionSession::extract(const InstNode& mut) {
     cs.extraction_seconds = watch.seconds();
     cs.cache_hits = hits_ - hits_before;
     cs.cache_misses = misses_ - misses_before;
+    if (truncated_) {
+        cs.status = util::PhaseStatus::BudgetExhausted;
+        cs.status_detail =
+            std::string("extraction stopped: ") +
+            util::to_string(guard_ != nullptr ? guard_->reason()
+                                              : util::GuardStop::None) +
+            " budget exceeded; constraint slice is partial";
+        obs::counter("extract.guard_stops").add(1);
+    }
 
     obs::counter("extract.extractions").add(1);
     obs::counter("extract.cache.hits").add(cs.cache_hits);
@@ -179,6 +243,10 @@ void ExtractionSession::visit(const QueryKey& key, ConstraintSet& out,
     // Iterative DFS; the query graph is cyclic and can be deep.
     std::vector<QueryKey> stack{key};
     while (!stack.empty()) {
+        if (guard_ != nullptr && !guard_->tick()) {
+            truncated_ = true;
+            return; // partial slice; extract_impl reports BudgetExhausted
+        }
         QueryKey k = std::move(stack.back());
         stack.pop_back();
         if (!visited.insert(k).second) continue;
@@ -208,6 +276,7 @@ void ExtractionSession::visit(const QueryKey& key, ConstraintSet& out,
 }
 
 void ExtractionSession::expand(const QueryKey& key, QueryNode& node) {
+    obs::inject_point("extract.expand");
     node.expanded = true;
     if (key.dir == Dir::Source) {
         expand_source(key, node);

@@ -37,6 +37,7 @@
 #include "core/constraints.hpp"
 #include "elab/elaborator.hpp"
 #include "util/diagnostics.hpp"
+#include "util/run_guard.hpp"
 
 #include <map>
 #include <memory>
@@ -52,8 +53,12 @@ enum class Mode { Flat, Composed };
 /// extraction.
 class ExtractionSession {
   public:
+    /// `guard` (optional) bounds the extraction walk: one work unit is
+    /// ticked per visited query; a stop returns the partially-marked
+    /// constraint set with status BudgetExhausted.
     ExtractionSession(const elab::ElaboratedDesign& design, Mode mode,
-                      util::DiagEngine& diags);
+                      util::DiagEngine& diags,
+                      util::RunGuard* guard = nullptr);
 
     /// Declare PIER registers (paper §2.1): hierarchical net-name bases
     /// (e.g. "exu.bank.core.r3") of registers the chip interface reaches
@@ -68,6 +73,12 @@ class ExtractionSession {
     /// Extract the functional constraints for the MUT at `mut`. The MUT
     /// subtree itself is marked whole; everything else is the extracted
     /// source/propagation slice.
+    ///
+    /// Never throws: an internal failure (FactorError) during a composed
+    /// extraction drops the possibly-poisoned query cache and re-extracts
+    /// in flat mode, returning status Degraded; a failure with no fallback
+    /// left returns a MUT-only set with status Failed. A guard stop
+    /// returns the partial slice with status BudgetExhausted.
     [[nodiscard]] ConstraintSet extract(const elab::InstNode& mut);
 
     [[nodiscard]] Mode mode() const { return mode_; }
@@ -103,7 +114,17 @@ class ExtractionSession {
         std::vector<QueryKey> next;
     };
 
+    /// One full extraction walk in the current mode; throws FactorError on
+    /// internal failure (extract() handles the fallback).
+    [[nodiscard]] ConstraintSet extract_impl(const elab::InstNode& mut);
+
+    /// MUT-only constraint set with status Failed (also reports an error
+    /// diagnostic).
+    [[nodiscard]] ConstraintSet failed_set(const elab::InstNode& mut,
+                                           const std::string& why);
+
     /// DFS entry point: expand (if needed) and accumulate into `out`.
+    /// Sets `truncated_` and stops early when the guard trips.
     void visit(const QueryKey& key, ConstraintSet& out,
                std::set<QueryKey>& visited);
 
@@ -121,6 +142,8 @@ class ExtractionSession {
     const elab::ElaboratedDesign& design_;
     Mode mode_;
     util::DiagEngine& diags_;
+    util::RunGuard* guard_ = nullptr;
+    bool truncated_ = false; // guard tripped during the current walk
     analysis::AnalysisCache analyses_;
 
     std::map<QueryKey, QueryNode> graph_;

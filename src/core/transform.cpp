@@ -1,6 +1,7 @@
 #include "core/transform.hpp"
 
 #include "atpg/fault.hpp"
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/transforms.hpp"
@@ -74,8 +75,9 @@ class ConstraintFilter : public synth::ItemFilter {
 } // namespace
 
 TransformBuilder::TransformBuilder(const elab::ElaboratedDesign& design,
-                                   util::DiagEngine& diags)
-    : design_(design), diags_(diags) {}
+                                   util::DiagEngine& diags,
+                                   util::RunGuard* guard)
+    : design_(design), diags_(diags), guard_(guard) {}
 
 std::string TransformBuilder::net_prefix(const InstNode& node) {
     if (node.parent == nullptr) return "";
@@ -107,6 +109,7 @@ TransformedModule TransformBuilder::build(const InstNode& mut,
                                           const TransformOptions& options) {
     obs::Span span("transform.build");
     span.attr("mut", mut.path());
+    obs::inject_point("transform.build");
     TransformedModule tm;
     const std::set<std::string> allowlist(options.pier_allowlist.begin(),
                                           options.pier_allowlist.end());
@@ -115,12 +118,16 @@ TransformedModule TransformBuilder::build(const InstNode& mut,
     }
 
     tm.constraints = session.extract(mut);
+    tm.status = tm.constraints.status;
+    tm.status_detail = tm.constraints.status_detail;
     tm.extraction_seconds = tm.constraints.extraction_seconds;
     tm.mut_prefix = net_prefix(mut);
 
     util::Stopwatch synth_watch;
     ConstraintFilter filter(tm.constraints);
-    synth::Synthesizer synth(design_.design(), diags_);
+    synth::Synthesizer::Options synth_opts;
+    synth_opts.guard = guard_;
+    synth::Synthesizer synth(design_.design(), diags_, synth_opts);
     tm.netlist = synth.run(design_.root(), &filter);
 
     // Extraction-cut PIERs left their register nets undriven; they are
@@ -139,8 +146,19 @@ TransformedModule TransformBuilder::build(const InstNode& mut,
     // eliminated during synthesis." Both modes get the same optimization
     // effort; what differs is what was extracted — whole module
     // environments (flat) versus composed statement-level slices.
-    (void)synth::optimize(tm.netlist);
+    synth::OptOptions opt_opts;
+    opt_opts.guard = guard_;
+    (void)synth::optimize(tm.netlist, opt_opts);
     tm.synthesis_seconds = synth_watch.seconds();
+
+    if (guard_ != nullptr && guard_->stopped()) {
+        tm.status = util::worst(tm.status, util::PhaseStatus::BudgetExhausted);
+        if (tm.status_detail.empty()) {
+            tm.status_detail = std::string("transform stopped: ") +
+                               util::to_string(guard_->reason()) +
+                               " budget exceeded; ATPG view is partial";
+        }
+    }
 
     if (options.expose_piers) {
         std::set<std::string> pier_nets;
@@ -182,16 +200,24 @@ TransformedModule TransformBuilder::build(const InstNode& mut,
 }
 
 synth::Netlist TransformBuilder::standalone(const InstNode& mut) {
-    synth::Synthesizer synth(design_.design(), diags_);
+    synth::Synthesizer::Options opts;
+    opts.guard = guard_;
+    synth::Synthesizer synth(design_.design(), diags_, opts);
     synth::Netlist nl = synth.run(mut);
-    (void)synth::optimize(nl);
+    synth::OptOptions opt_opts;
+    opt_opts.guard = guard_;
+    (void)synth::optimize(nl, opt_opts);
     return nl;
 }
 
 synth::Netlist TransformBuilder::full_design() {
-    synth::Synthesizer synth(design_.design(), diags_);
+    synth::Synthesizer::Options opts;
+    opts.guard = guard_;
+    synth::Synthesizer synth(design_.design(), diags_, opts);
     synth::Netlist nl = synth.run(design_.root());
-    (void)synth::optimize(nl);
+    synth::OptOptions opt_opts;
+    opt_opts.guard = guard_;
+    (void)synth::optimize(nl, opt_opts);
     return nl;
 }
 

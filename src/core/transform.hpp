@@ -42,6 +42,12 @@ struct TransformedModule {
     std::string mut_prefix; // hierarchical net-name prefix of MUT nets
     ConstraintSet constraints;
 
+    /// Worst status across the extract/synthesize/optimize stages that
+    /// built this view (see ConstraintSet::status for the degradation
+    /// semantics; a guard stop during synthesis yields BudgetExhausted).
+    util::PhaseStatus status = util::PhaseStatus::Ok;
+    std::string status_detail;
+
     double extraction_seconds = 0.0;
     double synthesis_seconds = 0.0;
     size_t surrounding_gates = 0; // virtual logic gate count
@@ -64,8 +70,11 @@ struct ModuleCharacteristics {
 
 class TransformBuilder {
   public:
+    /// `guard` (optional) bounds every synthesis/optimization run the
+    /// builder performs; stops yield partial netlists, never throws.
     TransformBuilder(const elab::ElaboratedDesign& design,
-                     util::DiagEngine& diags);
+                     util::DiagEngine& diags,
+                     util::RunGuard* guard = nullptr);
 
     /// Run the FACTOR flow for `mut` using `session`'s mode and cache.
     [[nodiscard]] TransformedModule build(const elab::InstNode& mut,
@@ -92,6 +101,7 @@ class TransformBuilder {
   private:
     const elab::ElaboratedDesign& design_;
     util::DiagEngine& diags_;
+    util::RunGuard* guard_ = nullptr;
 };
 
 } // namespace factor::core

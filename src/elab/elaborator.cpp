@@ -1,5 +1,6 @@
 #include "elab/elaborator.hpp"
 
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "rtl/const_eval.hpp"
 #include "util/strings.hpp"
@@ -61,8 +62,9 @@ std::vector<const InstNode*> ElaboratedDesign::all_nodes() const {
     return out;
 }
 
-Elaborator::Elaborator(rtl::Design& design, util::DiagEngine& diags)
-    : design_(design), diags_(diags) {}
+Elaborator::Elaborator(rtl::Design& design, util::DiagEngine& diags,
+                       util::RunGuard* guard)
+    : design_(design), diags_(diags), guard_(guard) {}
 
 std::unique_ptr<ElaboratedDesign>
 Elaborator::elaborate(const std::string& top_name) {
@@ -426,6 +428,21 @@ Elaborator::build_tree(const rtl::Module& m, const std::string& inst_name,
     if (std::find(stack.begin(), stack.end(), m.name) != stack.end()) {
         diags_.error(m.loc, "recursive instantiation of module '" + m.name + "'");
         return nullptr;
+    }
+    obs::inject_point("elab.build_tree");
+    ++nodes_built_;
+    if (guard_ != nullptr) {
+        const bool was_stopped = guard_->reason() != util::GuardStop::None;
+        if (!guard_->note_nodes(nodes_built_) || !guard_->tick()) {
+            if (!was_stopped) { // report the trip once, not per unwound node
+                diags_.error(m.loc, "elaboration stopped after " +
+                                        std::to_string(nodes_built_) +
+                                        " instances: " +
+                                        util::to_string(guard_->reason()) +
+                                        " budget exceeded");
+            }
+            return nullptr;
+        }
     }
     stack.push_back(m.name);
 

@@ -14,6 +14,7 @@
 
 #include "rtl/ast.hpp"
 #include "util/diagnostics.hpp"
+#include "util/run_guard.hpp"
 
 #include <map>
 #include <memory>
@@ -66,12 +67,16 @@ class ElaboratedDesign {
 
 class Elaborator {
   public:
-    Elaborator(rtl::Design& design, util::DiagEngine& diags);
+    /// `guard` (optional) bounds the elaboration: its node cap limits the
+    /// instance-tree size and its other budgets are checked per node.
+    Elaborator(rtl::Design& design, util::DiagEngine& diags,
+               util::RunGuard* guard = nullptr);
 
     /// Elaborate with `top_name` as the root module. Returns null and
-    /// reports diagnostics on failure. The Design is mutated: parameterized
-    /// expressions are folded in place and specialized module copies may be
-    /// appended.
+    /// reports diagnostics on failure (including guard stops, reported as
+    /// an error diagnostic naming the tripped budget). The Design is
+    /// mutated: parameterized expressions are folded in place and
+    /// specialized module copies may be appended.
     [[nodiscard]] std::unique_ptr<ElaboratedDesign>
     elaborate(const std::string& top_name);
 
@@ -102,6 +107,8 @@ class Elaborator {
 
     rtl::Design& design_;
     util::DiagEngine& diags_;
+    util::RunGuard* guard_ = nullptr;
+    size_t nodes_built_ = 0;
     // Memoized specializations: mangled name -> module.
     std::map<std::string, const rtl::Module*> specialized_;
     // Modules already folded with their default environment.

@@ -1,0 +1,59 @@
+#include "obs/inject.hpp"
+
+#include "obs/obs.hpp"
+#include "util/diagnostics.hpp"
+
+#include <cstdlib>
+
+namespace factor::obs {
+
+FaultInjector& FaultInjector::global() {
+    static FaultInjector instance;
+    return instance;
+}
+
+FaultInjector::FaultInjector() {
+    const char* spec = std::getenv("FACTOR_INJECT_FAULT");
+    if (spec == nullptr || *spec == '\0') return;
+    std::string s(spec);
+    uint64_t nth = 1;
+    auto colon = s.rfind(':');
+    if (colon != std::string::npos && colon + 1 < s.size()) {
+        char* end = nullptr;
+        unsigned long long parsed = std::strtoull(s.c_str() + colon + 1, &end, 10);
+        if (end != nullptr && *end == '\0' && parsed > 0) {
+            nth = parsed;
+            s = s.substr(0, colon);
+        }
+    }
+    configure(std::move(s), nth);
+}
+
+void FaultInjector::configure(std::string site, uint64_t nth) {
+    site_ = std::move(site);
+    nth_ = nth > 0 ? nth : 1;
+    hits_ = 0;
+    armed_ = !site_.empty();
+}
+
+void FaultInjector::disarm() {
+    armed_ = false;
+    hits_ = 0;
+}
+
+void FaultInjector::hit(const char* site) {
+    if (!armed_ || site_ != site) return;
+    if (++hits_ < nth_) return;
+    armed_ = false; // fire once: retry/fallback paths run clean
+    counter("inject.fired").add(1);
+    counter("inject.fired." + site_).add(1);
+    {
+        Span span("inject.fire");
+        span.attr("site", site_.c_str());
+        span.attr("hit", nth_);
+    }
+    throw util::FactorError("injected fault at '" + site_ + "' (hit " +
+                            std::to_string(nth_) + ")");
+}
+
+} // namespace factor::obs

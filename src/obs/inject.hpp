@@ -1,0 +1,60 @@
+// Fault injection harness for resilience testing.
+//
+// `FACTOR_INJECT_FAULT=<site>[:<nth>]` arms the process-global injector:
+// the <nth> time (1-based, default 1) execution passes the named injection
+// point, a util::FactorError is thrown from that point, exactly as if an
+// internal invariant had failed there. The injector fires once per process
+// and disarms itself, so fallback/retry paths downstream of the fault run
+// clean — which is what lets a test assert "composed extraction degraded
+// to flat and completed".
+//
+// Firing is visible through obs: the `inject.fired` / `inject.fired.<site>`
+// counters bump and, when tracing is enabled, an `inject.fire` span with a
+// `site` attribute lands in the trace.
+//
+// Documented sites (see DESIGN.md "Failure semantics"):
+//   cli.load         after sources are loaded, before elaboration
+//   elab.build_tree  per elaborated instance node
+//   extract.expand   per constraint-query expansion
+//   synth.instance   per instance wired during synthesis
+//   optimize.pass    per optimizer rebuild pass
+//   transform.build  at the start of transformed-module construction
+//   atpg.podem       per deterministic PODEM call
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace factor::obs {
+
+class FaultInjector {
+  public:
+    /// Process-global injector; parses FACTOR_INJECT_FAULT on first use.
+    [[nodiscard]] static FaultInjector& global();
+
+    /// Arm programmatically (tests). `nth` is 1-based.
+    void configure(std::string site, uint64_t nth = 1);
+    void disarm();
+    [[nodiscard]] bool armed() const { return armed_; }
+    [[nodiscard]] const std::string& site() const { return site_; }
+
+    /// Count a hit at `site`; throws util::FactorError when this is the
+    /// armed site's nth hit. No-op (one branch) when disarmed.
+    void hit(const char* site);
+
+  private:
+    FaultInjector();
+
+    bool armed_ = false;
+    std::string site_;
+    uint64_t nth_ = 1;
+    uint64_t hits_ = 0;
+};
+
+/// An injection point: cheap when the injector is disarmed.
+inline void inject_point(const char* site) {
+    FaultInjector& inj = FaultInjector::global();
+    if (inj.armed()) inj.hit(site);
+}
+
+} // namespace factor::obs

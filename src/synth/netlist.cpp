@@ -155,9 +155,62 @@ std::vector<GateId> Netlist::levelize() const {
         if (g.type != GateType::Dff) ++comb;
     }
     if (order.size() != comb) {
-        throw FactorError("combinational cycle detected in netlist");
+        throw FactorError("combinational cycle detected in netlist: " +
+                          describe_cycle(order));
     }
     return order;
+}
+
+std::string Netlist::describe_cycle(const std::vector<GateId>& order) const {
+    // Every gate Kahn's algorithm left unresolved sits on or downstream of
+    // a cycle, and each one has at least one unresolved combinational fanin
+    // (otherwise the last resolved fanin would have enqueued it). Walking
+    // any unresolved fanin repeatedly must therefore revisit a gate; the
+    // walk between the two visits is a cycle.
+    std::vector<bool> resolved(gates_.size(), false);
+    for (GateId g : order) resolved[g] = true;
+    GateId start = kNoGate;
+    for (GateId i = 0; i < gates_.size(); ++i) {
+        if (gates_[i].type != GateType::Dff && !resolved[i]) {
+            start = i;
+            break;
+        }
+    }
+    if (start == kNoGate) return "(cycle not locatable)";
+
+    std::vector<size_t> seen_at(gates_.size(), SIZE_MAX);
+    std::vector<GateId> path;
+    GateId cur = start;
+    while (seen_at[cur] == SIZE_MAX) {
+        seen_at[cur] = path.size();
+        path.push_back(cur);
+        GateId next = kNoGate;
+        for (NetId in : gates_[cur].ins) {
+            GateId d = driver_[in];
+            if (d != kNoGate && gates_[d].type != GateType::Dff &&
+                !resolved[d]) {
+                next = d;
+                break;
+            }
+        }
+        if (next == kNoGate) return "(cycle not locatable)";
+        cur = next;
+    }
+
+    // path[seen_at[cur]..] walks the cycle fanin-wards; print it in signal
+    // flow order (driver first) and close the loop on the first net.
+    constexpr size_t kMaxNamed = 8;
+    std::ostringstream os;
+    size_t cycle_len = path.size() - seen_at[cur];
+    size_t named = std::min(cycle_len, kMaxNamed);
+    for (size_t i = 0; i < named; ++i) {
+        os << net_names_[gates_[path[path.size() - 1 - i]].out] << " -> ";
+    }
+    if (cycle_len > kMaxNamed) {
+        os << "... (" << cycle_len - kMaxNamed << " more) -> ";
+    }
+    os << net_names_[gates_[path.back()].out];
+    return os.str();
 }
 
 std::vector<std::vector<GateId>> Netlist::build_fanout() const {

@@ -114,7 +114,7 @@ class Netlist {
 
     /// Combinational topological order of gate ids (DFF outputs and primary
     /// inputs are sources; DFFs themselves are excluded). Throws FactorError
-    /// on a combinational cycle.
+    /// on a combinational cycle; the message names the nets on the cycle.
     [[nodiscard]] std::vector<GateId> levelize() const;
 
     /// Fanout lists: for each net, the gates reading it.
@@ -128,6 +128,11 @@ class Netlist {
     [[nodiscard]] std::string dump() const;
 
   private:
+    /// Locate one combinational cycle among the gates `order` (a partial
+    /// levelization) failed to resolve, as "a -> b -> ... -> a" net names.
+    [[nodiscard]] std::string
+    describe_cycle(const std::vector<GateId>& order) const;
+
     std::vector<Gate> gates_;
     std::vector<std::string> net_names_;
     std::vector<GateId> driver_;

@@ -1,5 +1,6 @@
 #include "synth/optimizer.hpp"
 
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 
 #include <algorithm>
@@ -275,6 +276,11 @@ OptStats optimize(Netlist& nl, const OptOptions& options) {
     OptStats stats;
     stats.gates_before = nl.num_gates();
     for (unsigned i = 0; i < options.max_iterations; ++i) {
+        if (options.guard != nullptr && !options.guard->tick()) {
+            obs::counter("synth.optimize.guard_stops").add(1);
+            break; // passes are atomic: the netlist is valid, just less optimized
+        }
+        obs::inject_point("optimize.pass");
         obs::Span pass_span("synth.optimize.pass");
         ++stats.iterations;
         bool changed = false;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "synth/netlist.hpp"
+#include "util/run_guard.hpp"
 
 #include <cstddef>
 
@@ -20,6 +21,10 @@ struct OptOptions {
     bool merge_registers = false;
     /// Upper bound on simplify/hash/sweep iterations.
     unsigned max_iterations = 8;
+    /// Optional run guard, checked between rebuild passes. A stop ends
+    /// optimization early: the netlist is valid (each pass is complete),
+    /// just less optimized.
+    util::RunGuard* guard = nullptr;
 };
 
 struct OptStats {

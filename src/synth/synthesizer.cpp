@@ -1,5 +1,6 @@
 #include "synth/synthesizer.hpp"
 
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "rtl/const_eval.hpp"
 #include "rtl/printer.hpp"
@@ -282,8 +283,20 @@ Netlist Synthesizer::run(const elab::InstNode& root, const ItemFilter* filter) {
         }
     }
 
-    // Pass 2: wire everything.
+    // Pass 2: wire everything. A guard stop leaves the remaining instances
+    // unwired: their nets stay undriven, which the downstream ATPG engine
+    // already treats as unknown (X) — a partial netlist, not a broken one.
     for (const auto& pending : order) {
+        util::RunGuard* guard = options_.guard;
+        if (guard != nullptr &&
+            (!guard->tick() || !guard->note_gates(nl.num_gates()))) {
+            diags_.warning({}, std::string("synthesis stopped (") +
+                                   util::to_string(guard->reason()) +
+                                   " budget exceeded); netlist is partial");
+            obs::counter("synth.guard_stops").add(1);
+            break;
+        }
+        obs::inject_point("synth.instance");
         wire_instance(*pending.ctx, f);
         for (const auto& child : pending.node->children) {
             auto it = ctx_of.find(child.get());

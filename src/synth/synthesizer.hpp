@@ -22,6 +22,7 @@
 #include "rtl/ast.hpp"
 #include "synth/netlist.hpp"
 #include "util/diagnostics.hpp"
+#include "util/run_guard.hpp"
 
 #include <map>
 #include <string>
@@ -62,6 +63,12 @@ class Synthesizer {
         bool hierarchical_names = true;
         /// Upper bound on for-loop unrolling before an error is reported.
         uint32_t max_loop_iterations = 4096;
+        /// Optional run guard: checked per wired instance (work quota /
+        /// wall clock) and fed the running gate count (gate cap). When the
+        /// guard stops, synthesis wires no further instances, reports a
+        /// warning diagnostic and returns the partial netlist; the caller
+        /// reads the guard's reason() to classify the result.
+        util::RunGuard* guard = nullptr;
     };
 
     Synthesizer(const rtl::Design& design, util::DiagEngine& diags)

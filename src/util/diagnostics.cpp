@@ -32,6 +32,10 @@ void DiagEngine::report(Severity sev, SourceLoc loc, std::string message) {
     if (sev == Severity::Error) {
         ++error_count_;
     }
+    if (diags_.size() >= max_diags_) {
+        ++suppressed_;
+        return;
+    }
     diags_.push_back(Diagnostic{sev, std::move(loc), std::move(message)});
 }
 
@@ -40,12 +44,18 @@ std::string DiagEngine::dump() const {
     for (const auto& d : diags_) {
         os << d.str() << "\n";
     }
+    if (suppressed_ > 0) {
+        os << "note: " << suppressed_
+           << " further diagnostics suppressed (limit " << max_diags_
+           << ")\n";
+    }
     return os.str();
 }
 
 void DiagEngine::clear() {
     diags_.clear();
     error_count_ = 0;
+    suppressed_ = 0;
 }
 
 } // namespace factor::util

@@ -35,8 +35,16 @@ struct Diagnostic {
 /// Collects diagnostics produced while processing one or more source files.
 /// The front end reports through this engine rather than throwing so a
 /// single run can surface every problem in a file.
+///
+/// Storage is capped (max_diags, default 100): pathological inputs that
+/// produce one error per token cannot grow memory without bound. Reports
+/// past the cap are counted but not stored, and dump() ends with a
+/// "N further diagnostics suppressed" note. Counts (error_count(),
+/// has_errors()) always reflect every report, stored or not.
 class DiagEngine {
   public:
+    static constexpr size_t kDefaultMaxDiags = 100;
+
     void report(Severity sev, SourceLoc loc, std::string message);
     void error(SourceLoc loc, std::string message) {
         report(Severity::Error, std::move(loc), std::move(message));
@@ -52,7 +60,15 @@ class DiagEngine {
     [[nodiscard]] size_t error_count() const { return error_count_; }
     [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
 
-    /// All diagnostics rendered one per line.
+    /// Change the storage cap. Takes effect for subsequent reports; 0 is
+    /// clamped to 1 (a cap of nothing would hide the first error).
+    void set_max_diags(size_t n) { max_diags_ = n > 0 ? n : 1; }
+    [[nodiscard]] size_t max_diags() const { return max_diags_; }
+    /// Diagnostics reported past the cap (counted, not stored).
+    [[nodiscard]] size_t suppressed() const { return suppressed_; }
+
+    /// All stored diagnostics rendered one per line, plus a trailing
+    /// suppression note when any were dropped.
     [[nodiscard]] std::string dump() const;
 
     void clear();
@@ -60,6 +76,8 @@ class DiagEngine {
   private:
     std::vector<Diagnostic> diags_;
     size_t error_count_ = 0;
+    size_t max_diags_ = kDefaultMaxDiags;
+    size_t suppressed_ = 0;
 };
 
 /// Thrown for unrecoverable conditions (internal invariant violations,

@@ -1,0 +1,85 @@
+#include "util/phase.hpp"
+
+#include <sstream>
+
+namespace factor::util {
+
+namespace {
+
+/// Minimal JSON string escaping (util cannot depend on obs).
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char* to_string(PhaseStatus s) {
+    switch (s) {
+    case PhaseStatus::Ok: return "ok";
+    case PhaseStatus::Degraded: return "degraded";
+    case PhaseStatus::BudgetExhausted: return "budget_exhausted";
+    case PhaseStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+void PhaseLog::record(std::string phase, PhaseStatus status,
+                      std::string detail, double seconds) {
+    outcomes_.push_back(PhaseOutcome{std::move(phase), status,
+                                     std::move(detail), seconds});
+}
+
+PhaseStatus PhaseLog::overall() const {
+    PhaseStatus s = PhaseStatus::Ok;
+    for (const auto& o : outcomes_) s = worst(s, o.status);
+    return s;
+}
+
+const PhaseOutcome* PhaseLog::find(const std::string& phase) const {
+    for (const auto& o : outcomes_) {
+        if (o.phase == phase) return &o;
+    }
+    return nullptr;
+}
+
+std::string PhaseLog::to_json() const {
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+        const auto& o = outcomes_[i];
+        if (i != 0) os << ",";
+        os << "{\"phase\":\"" << escape(o.phase) << "\",\"status\":\""
+           << to_string(o.status) << "\",\"seconds\":";
+        // Fixed formatting keeps the document stable across locales.
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6f", o.seconds);
+        os << buf;
+        if (!o.detail.empty()) {
+            os << ",\"detail\":\"" << escape(o.detail) << "\"";
+        }
+        os << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace factor::util

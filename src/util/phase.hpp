@@ -1,0 +1,73 @@
+// Phase-result taxonomy: every engine phase of the pipeline reports one of
+// four outcomes instead of letting FactorError escape to the caller.
+//
+//   Ok              — phase completed normally.
+//   Degraded        — phase completed, but on a fallback path (composed
+//                     extraction fell back to flat, ATPG skipped a fault
+//                     that errored); results are usable but weaker.
+//   BudgetExhausted — a RunGuard budget (or SIGINT) stopped the phase; the
+//                     partial results produced so far are returned.
+//   Failed          — the phase produced no usable result; diagnostics or
+//                     the status detail say why.
+//
+// Severity is ordered Ok < Degraded < BudgetExhausted < Failed; a
+// pipeline's overall status is the worst of its phases. PhaseLog collects
+// per-phase outcomes for the run and renders them into the stats document
+// (`factor.stats.v1` "phases" array).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factor::util {
+
+enum class PhaseStatus : uint8_t {
+    Ok = 0,
+    Degraded = 1,
+    BudgetExhausted = 2,
+    Failed = 3,
+};
+
+[[nodiscard]] const char* to_string(PhaseStatus s);
+
+/// The more severe of the two statuses.
+[[nodiscard]] inline PhaseStatus worst(PhaseStatus a, PhaseStatus b) {
+    return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/// One phase's recorded outcome.
+struct PhaseOutcome {
+    std::string phase;
+    PhaseStatus status = PhaseStatus::Ok;
+    std::string detail; // human-readable reason for non-Ok statuses
+    double seconds = 0.0;
+};
+
+/// Ordered per-run collection of phase outcomes.
+class PhaseLog {
+  public:
+    void record(std::string phase, PhaseStatus status,
+                std::string detail = "", double seconds = 0.0);
+
+    [[nodiscard]] const std::vector<PhaseOutcome>& outcomes() const {
+        return outcomes_;
+    }
+    [[nodiscard]] bool empty() const { return outcomes_.empty(); }
+
+    /// Worst status across all recorded phases (Ok when empty).
+    [[nodiscard]] PhaseStatus overall() const;
+
+    /// The recorded outcome for `phase`, or null.
+    [[nodiscard]] const PhaseOutcome* find(const std::string& phase) const;
+
+    /// JSON array of {"phase","status","seconds"[,"detail"]} objects.
+    [[nodiscard]] std::string to_json() const;
+
+    void clear() { outcomes_.clear(); }
+
+  private:
+    std::vector<PhaseOutcome> outcomes_;
+};
+
+} // namespace factor::util

@@ -1,0 +1,105 @@
+#include "util/run_guard.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace factor::util {
+
+namespace {
+
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void factor_on_sigint(int) {
+    if (g_interrupt.load(std::memory_order_relaxed)) {
+        // Second ^C: the cooperative drain is taking too long for the
+        // user's taste — fall back to the default (fatal) disposition.
+        std::signal(SIGINT, SIG_DFL);
+        std::raise(SIGINT);
+        return;
+    }
+    g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+const char* to_string(GuardStop s) {
+    switch (s) {
+    case GuardStop::None: return "none";
+    case GuardStop::WallClock: return "wall_clock";
+    case GuardStop::WorkQuota: return "work_quota";
+    case GuardStop::GateCap: return "gate_cap";
+    case GuardStop::NodeCap: return "node_cap";
+    case GuardStop::Interrupt: return "interrupt";
+    }
+    return "unknown";
+}
+
+bool RunGuard::tick(uint64_t work) {
+    work_used_ += work;
+    if (reason_ == GuardStop::None && limits_.work_quota > 0 &&
+        work_used_ > limits_.work_quota) {
+        reason_ = GuardStop::WorkQuota;
+    }
+    return !stopped();
+}
+
+bool RunGuard::note_gates(uint64_t total) {
+    if (reason_ == GuardStop::None && limits_.max_gates > 0 &&
+        total > limits_.max_gates) {
+        reason_ = GuardStop::GateCap;
+    }
+    return !stopped();
+}
+
+bool RunGuard::note_nodes(uint64_t total) {
+    if (reason_ == GuardStop::None && limits_.max_nodes > 0 &&
+        total > limits_.max_nodes) {
+        reason_ = GuardStop::NodeCap;
+    }
+    return !stopped();
+}
+
+bool RunGuard::stopped() {
+    if (reason_ != GuardStop::None) return true;
+    if (interrupt_requested()) {
+        reason_ = GuardStop::Interrupt;
+        return true;
+    }
+    if (limits_.wall_seconds > 0.0 &&
+        watch_.seconds() >= limits_.wall_seconds) {
+        reason_ = GuardStop::WallClock;
+        return true;
+    }
+    return false;
+}
+
+void RunGuard::trip(GuardStop reason) {
+    if (reason_ == GuardStop::None && reason != GuardStop::None) {
+        reason_ = reason;
+    }
+}
+
+double RunGuard::remaining_seconds() const {
+    if (reason_ != GuardStop::None) return 0.0;
+    if (limits_.wall_seconds <= 0.0) return 1e30;
+    double left = limits_.wall_seconds - watch_.seconds();
+    return left > 0.0 ? left : 0.0;
+}
+
+void RunGuard::install_signal_handler() {
+    std::signal(SIGINT, factor_on_sigint);
+}
+
+void RunGuard::request_interrupt() {
+    g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+bool RunGuard::interrupt_requested() {
+    return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void RunGuard::clear_interrupt() {
+    g_interrupt.store(false, std::memory_order_relaxed);
+}
+
+} // namespace factor::util

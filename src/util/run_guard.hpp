@@ -1,0 +1,98 @@
+// RunGuard: the pipeline-wide resource guard.
+//
+// Every long-running phase of the flow (elaboration, constraint extraction,
+// synthesis/optimization, ATPG) checks one shared guard cooperatively and
+// stops with a structured partial result instead of hanging or throwing.
+// A guard combines four independent budgets, any of which may be unlimited:
+//
+//   * wall clock  — seconds since the guard was created;
+//   * work quota  — abstract cooperative work units, consumed by tick():
+//                   one query expansion (extraction), one wired instance
+//                   (synthesis), one optimizer pass, one PODEM call (ATPG);
+//   * gate cap    — total netlist gates, reported by the synthesizer;
+//   * node cap    — elaborated instance nodes, reported by the elaborator.
+//
+// On top of the per-guard budgets there is a process-wide interrupt flag
+// (set from the SIGINT handler via request_interrupt()): every guard,
+// including an otherwise unlimited one, reports stopped() once the flag is
+// up, so a Ctrl-C still drains through the same partial-result paths as a
+// budget overrun. The first stop reason is latched and never changes.
+#pragma once
+
+#include "util/stopwatch.hpp"
+
+#include <cstdint>
+
+namespace factor::util {
+
+/// Why a guard stopped a run (None = still running).
+enum class GuardStop : uint8_t {
+    None,
+    WallClock,
+    WorkQuota,
+    GateCap,
+    NodeCap,
+    Interrupt,
+};
+
+[[nodiscard]] const char* to_string(GuardStop s);
+
+/// Budget limits; 0 (or <= 0 for seconds) means "unlimited".
+struct GuardLimits {
+    double wall_seconds = 0.0;
+    uint64_t work_quota = 0;
+    uint64_t max_gates = 0;
+    uint64_t max_nodes = 0;
+};
+
+class RunGuard {
+  public:
+    /// Unlimited guard: only the process interrupt flag can stop it.
+    RunGuard() = default;
+    explicit RunGuard(GuardLimits limits) : limits_(limits) {}
+    /// Wall-clock-only guard (the old ATPG Deadline semantics).
+    explicit RunGuard(double wall_seconds)
+        : RunGuard(GuardLimits{wall_seconds, 0, 0, 0}) {}
+
+    /// Consume `work` quota units and re-check every budget.
+    /// Returns true while the run may continue.
+    bool tick(uint64_t work = 1);
+
+    /// Report the current total gate / node count (absolute, not a delta).
+    /// Returns true while the run may continue.
+    bool note_gates(uint64_t total);
+    bool note_nodes(uint64_t total);
+
+    /// Re-check wall clock + interrupt flag (and any latched reason).
+    [[nodiscard]] bool stopped();
+
+    /// Latched stop reason; None while the run may continue. Does not
+    /// re-check the clocks — call stopped() first for a fresh answer.
+    [[nodiscard]] GuardStop reason() const { return reason_; }
+
+    /// Manually trip the guard (used by tests and the CLI signal path).
+    void trip(GuardStop reason);
+
+    [[nodiscard]] double elapsed_seconds() const { return watch_.seconds(); }
+    /// Seconds left on the wall budget (a large sentinel when unlimited,
+    /// 0 once stopped for any reason).
+    [[nodiscard]] double remaining_seconds() const;
+    [[nodiscard]] uint64_t work_used() const { return work_used_; }
+    [[nodiscard]] const GuardLimits& limits() const { return limits_; }
+
+    // ---- process-wide interrupt flag (async-signal-safe) ----------------
+    /// Install the SIGINT handler: first ^C raises the flag (cooperative
+    /// drain), a second ^C restores the default disposition and re-raises.
+    static void install_signal_handler();
+    static void request_interrupt();
+    [[nodiscard]] static bool interrupt_requested();
+    static void clear_interrupt();
+
+  private:
+    GuardLimits limits_;
+    Stopwatch watch_;
+    uint64_t work_used_ = 0;
+    GuardStop reason_ = GuardStop::None;
+};
+
+} // namespace factor::util

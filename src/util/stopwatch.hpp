@@ -25,22 +25,7 @@ class Stopwatch {
     Clock::time_point start_;
 };
 
-/// Deadline helper for budgeted ATPG runs: expired() flips to true once the
-/// wall-clock budget is consumed. A non-positive budget means "no limit".
-class Deadline {
-  public:
-    explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
-
-    [[nodiscard]] bool expired() const {
-        return budget_ > 0.0 && watch_.seconds() >= budget_;
-    }
-    [[nodiscard]] double remaining() const {
-        return budget_ <= 0.0 ? 1e30 : budget_ - watch_.seconds();
-    }
-
-  private:
-    double budget_;
-    Stopwatch watch_;
-};
+// The old wall-clock-only `Deadline` helper lived here; it is replaced by
+// the multi-budget util::RunGuard (see run_guard.hpp).
 
 } // namespace factor::util

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end check of the factor CLI's documented exit-code taxonomy:
+#   0 ok (including degraded)   1 input error   2 usage
+#   3 budget/interrupt          4 internal (FactorError at a phase boundary)
+# and that --stats-json lands on every exit path, with per-phase statuses.
+#
+# Usage: cli_exit_codes.sh <path-to-factor-binary>
+set -u
+
+FACTOR=${1:?usage: cli_exit_codes.sh <factor-binary>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+
+check_rc() { # <label> <expected-rc> <actual-rc>
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $1 (exit $3)"
+  fi
+}
+
+check_json() { # <label> <file> <needle>...
+  local label=$1 file=$2
+  shift 2
+  if [ ! -s "$file" ]; then
+    echo "FAIL: $label: stats JSON '$file' missing or empty" >&2
+    fails=$((fails + 1))
+    return
+  fi
+  for needle in "$@"; do
+    if ! grep -q -- "$needle" "$file"; then
+      echo "FAIL: $label: stats JSON lacks '$needle'" >&2
+      echo "  contents: $(cat "$file")" >&2
+      fails=$((fails + 1))
+    fi
+  done
+}
+
+# --- happy path: exit 0 and a well-formed stats doc -------------------------
+"$FACTOR" atpg --builtin=counter8 --stats-json="$TMP/ok.json" >/dev/null 2>&1
+check_rc "clean atpg run" 0 $?
+check_json "clean atpg run" "$TMP/ok.json" \
+  '"schema":"factor.stats.v1"' '"phases":' '"status":"ok"' \
+  '"phase":"atpg"' '"interrupted":false'
+
+# --- usage errors: exit 2, stats still written ------------------------------
+"$FACTOR" frobnicate --builtin=counter8 \
+  --stats-json="$TMP/usage.json" >/dev/null 2>&1
+check_rc "unknown command" 2 $?
+check_json "unknown command" "$TMP/usage.json" '"exit_code":2'
+
+"$FACTOR" >/dev/null 2>&1
+check_rc "no arguments" 2 $?
+
+"$FACTOR" atpg --builtin=counter8 --bogus-flag >/dev/null 2>&1
+check_rc "unknown option" 2 $?
+
+# --- input errors: exit 1, stats still written ------------------------------
+"$FACTOR" parse top /nonexistent/missing.v \
+  --stats-json="$TMP/missing.json" >/dev/null 2>&1
+check_rc "missing input file" 1 $?
+check_json "missing input file" "$TMP/missing.json" \
+  '"phase":"load"' '"status":"failed"'
+
+"$FACTOR" atpg nonsuch.path --builtin=counter8 >/dev/null 2>&1
+check_rc "unknown instance path" 1 $?
+
+# --- budget exhaustion: exit 3, partial results in the stats doc ------------
+"$FACTOR" atpg --builtin=mini_soc --work-quota=3 \
+  --stats-json="$TMP/budget.json" >/dev/null 2>&1
+check_rc "tiny work quota" 3 $?
+check_json "tiny work quota" "$TMP/budget.json" \
+  '"exit_code":3' '"status":"budget_exhausted"'
+
+# --- injection sites: documented exit codes, never a crash ------------------
+FACTOR_INJECT_FAULT=elab.build_tree "$FACTOR" parse --builtin=counter8 \
+  --stats-json="$TMP/inj_elab.json" >/dev/null 2>&1
+check_rc "inject elab.build_tree" 4 $?
+check_json "inject elab.build_tree" "$TMP/inj_elab.json" \
+  '"status":"failed"' 'injected fault'
+
+FACTOR_INJECT_FAULT=cli.load "$FACTOR" parse --builtin=counter8 \
+  --stats-json="$TMP/inj_load.json" >/dev/null 2>&1
+check_rc "inject cli.load" 4 $?
+check_json "inject cli.load" "$TMP/inj_load.json" '"phase":"load"'
+
+# Composed extraction degrades to flat: run completes, exit 0, status
+# "degraded" recorded in the phases array.
+FACTOR_INJECT_FAULT=extract.expand "$FACTOR" extract mini_soc mini_soc.alu \
+  --builtin=mini_soc --mode=composed \
+  --stats-json="$TMP/inj_degrade.json" >/dev/null 2>&1
+check_rc "inject extract.expand (composed degrades)" 0 $?
+check_json "inject extract.expand (composed degrades)" \
+  "$TMP/inj_degrade.json" '"status":"degraded"' 'fell back to flat'
+
+# Flat extraction has no fallback: the phase fails (exit 4).
+FACTOR_INJECT_FAULT=extract.expand "$FACTOR" extract mini_soc mini_soc.alu \
+  --builtin=mini_soc --mode=flat \
+  --stats-json="$TMP/inj_flat.json" >/dev/null 2>&1
+check_rc "inject extract.expand (flat fails)" 4 $?
+check_json "inject extract.expand (flat fails)" "$TMP/inj_flat.json" \
+  '"status":"failed"'
+
+FACTOR_INJECT_FAULT=transform.build "$FACTOR" atpg mini_soc mini_soc.alu \
+  --builtin=mini_soc --stats-json="$TMP/inj_tf.json" >/dev/null 2>&1
+check_rc "inject transform.build" 4 $?
+check_json "inject transform.build" "$TMP/inj_tf.json" '"exit_code":4'
+
+# ATPG contains a PODEM failure per fault: run completes degraded, exit 0.
+FACTOR_INJECT_FAULT=atpg.podem "$FACTOR" atpg --builtin=counter8 \
+  --stats-json="$TMP/inj_podem.json" >/dev/null 2>&1
+check_rc "inject atpg.podem (contained)" 0 $?
+check_json "inject atpg.podem (contained)" "$TMP/inj_podem.json" \
+  '"phase":"atpg"'
+
+# --- SIGINT mid-ATPG: exit 3 and the stats doc still lands ------------------
+"$FACTOR" atpg --builtin=arm2z --budget=60 \
+  --stats-json="$TMP/sigint.json" >/dev/null 2>&1 &
+pid=$!
+sleep 1
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+check_rc "SIGINT mid-ATPG" 3 $?
+check_json "SIGINT mid-ATPG" "$TMP/sigint.json" \
+  '"interrupted":true' '"exit_code":3'
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code checks passed"

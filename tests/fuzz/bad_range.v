@@ -1,0 +1,5 @@
+// Fuzz corpus: malformed ranges and out-of-bounds part selects.
+module top (input [3:0] a, output [3:0] b);
+  wire [0:-5] w;
+  assign b = a[9:6];
+endmodule

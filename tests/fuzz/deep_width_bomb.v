@@ -1,0 +1,7 @@
+// Fuzz corpus: widths beyond the 64-bit BitVec limit and a huge
+// replication count.
+module top (input a, output b);
+  wire [1023:0] wide;
+  assign wide = {512{a, a}};
+  assign b = wide[1023];
+endmodule

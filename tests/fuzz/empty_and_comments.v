@@ -1,0 +1,7 @@
+// Fuzz corpus: no module named "top" at all — only comments and an
+// unrelated module. Elaboration must fail cleanly on the missing top.
+/* block comment
+   spanning lines */
+module not_top (input a, output b);
+  assign b = a;
+endmodule

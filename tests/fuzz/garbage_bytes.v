@@ -1,0 +1,8 @@
+// Fuzz corpus: line noise where Verilog should be.
+module top (input a, output b);
+  \x00\xff@@ ### $$$ %%% !!! ~~~ ``` ??? ;;;
+  assign b = = = a a a ;;;
+  1234'zzz 99'h
+endmodule
+endmodule
+endmodule

@@ -1,0 +1,7 @@
+// Fuzz corpus: the same net driven by two continuous assigns and an
+// always block.
+module top (input a, input b, output reg o);
+  assign o = a;
+  assign o = b;
+  always @(posedge clk) o <= a & b;
+endmodule

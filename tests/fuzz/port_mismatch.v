@@ -1,0 +1,10 @@
+// Fuzz corpus: instance connections that do not match the target's ports
+// (wrong count, unknown names).
+module leaf (input x, input y, output z);
+  assign z = x ^ y;
+endmodule
+
+module top (input a, input b, output c);
+  leaf u0 (.x(a), .nope(b), .z(c), .extra(a));
+  leaf u1 (a);
+endmodule

@@ -1,0 +1,7 @@
+// Fuzz corpus: a module that instantiates itself — elaboration must report
+// the recursion, not loop forever.
+module top (input a, output b);
+  wire t;
+  top u0 (.a(a), .b(t));
+  assign b = t;
+endmodule

@@ -1,0 +1,4 @@
+// Fuzz corpus: source ends mid-module — the parser must diagnose the
+// unexpected EOF, not crash.
+module top (input a, output b);
+  assign b = a &

@@ -1,0 +1,5 @@
+// Fuzz corpus: reads and drives signals that were never declared.
+module top (input a, output b);
+  assign b = ghost & a;
+  assign phantom = a;
+endmodule

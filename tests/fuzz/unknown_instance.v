@@ -1,0 +1,6 @@
+// Fuzz corpus: instantiates a module type that does not exist.
+module top (input a, output b);
+  wire t;
+  nonexistent_module u0 (.x(a), .y(t));
+  assign b = t;
+endmodule

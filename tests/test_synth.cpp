@@ -398,6 +398,50 @@ TEST(Netlist, CheckDetectsCycles) {
     EXPECT_THROW(nl.levelize(), util::FactorError);
 }
 
+TEST(Netlist, CycleErrorNamesTheNets) {
+    synth::Netlist nl;
+    auto a = nl.new_net("soc.cpu.cyc_a");
+    auto b = nl.new_net("soc.cpu.cyc_b");
+    auto c = nl.new_net("soc.cpu.cyc_c");
+    nl.add_gate_driving(a, synth::GateType::Not, {c});
+    nl.add_gate_driving(b, synth::GateType::Not, {a});
+    nl.add_gate_driving(c, synth::GateType::Not, {b});
+    // Off-cycle downstream gate must not confuse the walk.
+    auto d = nl.new_net("soc.cpu.down");
+    nl.add_gate_driving(d, synth::GateType::Buf, {a});
+    try {
+        (void)nl.levelize();
+        FAIL() << "expected a combinational-cycle FactorError";
+    } catch (const util::FactorError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("combinational cycle"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("soc.cpu.cyc_a"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("soc.cpu.cyc_b"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("soc.cpu.cyc_c"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("->"), std::string::npos) << msg;
+    }
+}
+
+TEST(Netlist, LongCycleErrorIsTruncated) {
+    synth::Netlist nl;
+    std::vector<synth::NetId> nets;
+    const size_t n = 20;
+    for (size_t i = 0; i < n; ++i) {
+        nets.push_back(nl.new_net("ring.n" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < n; ++i) {
+        nl.add_gate_driving(nets[(i + 1) % n], synth::GateType::Not,
+                            {nets[i]});
+    }
+    try {
+        (void)nl.levelize();
+        FAIL() << "expected a combinational-cycle FactorError";
+    } catch (const util::FactorError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("more) ->"), std::string::npos) << msg;
+    }
+}
+
 TEST(Netlist, SingleDriverEnforced) {
     synth::Netlist nl;
     auto a = nl.new_net("a");

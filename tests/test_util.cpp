@@ -1,6 +1,9 @@
-// Unit tests for the util substrate: BitVec, strings, diagnostics.
+// Unit tests for the util substrate: BitVec, strings, diagnostics,
+// RunGuard, PhaseLog.
 #include "util/bitvec.hpp"
 #include "util/diagnostics.hpp"
+#include "util/phase.hpp"
+#include "util/run_guard.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -171,12 +174,130 @@ TEST(Stopwatch, MeasuresSomethingNonNegative) {
     EXPECT_GE(w.seconds(), 0.0);
 }
 
-TEST(Deadline, UnlimitedNeverExpires) {
-    Deadline d(0.0);
-    EXPECT_FALSE(d.expired());
-    Deadline tiny(1e-9);
-    // May or may not be expired instantly, but remaining() must not be huge.
-    EXPECT_LE(tiny.remaining(), 1e-9);
+TEST(RunGuard, UnlimitedNeverStops) {
+    RunGuard g;
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(g.tick());
+    EXPECT_FALSE(g.stopped());
+    EXPECT_EQ(g.reason(), GuardStop::None);
+    EXPECT_GT(g.remaining_seconds(), 1.0);
+}
+
+TEST(RunGuard, WorkQuotaTrips) {
+    RunGuard g(GuardLimits{0.0, 10, 0, 0});
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(g.tick());
+    EXPECT_FALSE(g.tick());
+    EXPECT_TRUE(g.stopped());
+    EXPECT_EQ(g.reason(), GuardStop::WorkQuota);
+    EXPECT_EQ(g.work_used(), 11u);
+}
+
+TEST(RunGuard, TinyWallBudgetTrips) {
+    RunGuard g(1e-9);
+    // Burn enough time for even a coarse clock to advance.
+    while (g.elapsed_seconds() <= 1e-9) {}
+    EXPECT_TRUE(g.stopped());
+    EXPECT_EQ(g.reason(), GuardStop::WallClock);
+    EXPECT_EQ(g.remaining_seconds(), 0.0);
+}
+
+TEST(RunGuard, GateAndNodeCaps) {
+    RunGuard gates(GuardLimits{0.0, 0, 100, 0});
+    EXPECT_TRUE(gates.note_gates(99));
+    EXPECT_TRUE(gates.note_gates(100));
+    EXPECT_FALSE(gates.note_gates(101));
+    EXPECT_EQ(gates.reason(), GuardStop::GateCap);
+
+    RunGuard nodes(GuardLimits{0.0, 0, 0, 5});
+    EXPECT_TRUE(nodes.note_nodes(5));
+    EXPECT_FALSE(nodes.note_nodes(6));
+    EXPECT_EQ(nodes.reason(), GuardStop::NodeCap);
+}
+
+TEST(RunGuard, FirstReasonIsLatched) {
+    RunGuard g(GuardLimits{0.0, 1, 1, 0});
+    EXPECT_TRUE(g.tick());
+    EXPECT_FALSE(g.tick()); // quota: 2 > 1
+    EXPECT_EQ(g.reason(), GuardStop::WorkQuota);
+    EXPECT_FALSE(g.note_gates(99)); // later gate overrun can't relabel it
+    EXPECT_EQ(g.reason(), GuardStop::WorkQuota);
+}
+
+TEST(RunGuard, ManualTrip) {
+    RunGuard g;
+    g.trip(GuardStop::Interrupt);
+    EXPECT_TRUE(g.stopped());
+    EXPECT_FALSE(g.tick());
+    EXPECT_EQ(g.reason(), GuardStop::Interrupt);
+}
+
+TEST(RunGuard, ProcessInterruptFlagStopsEveryGuard) {
+    RunGuard g; // unlimited
+    EXPECT_FALSE(g.stopped());
+    RunGuard::request_interrupt();
+    EXPECT_TRUE(RunGuard::interrupt_requested());
+    EXPECT_TRUE(g.stopped());
+    EXPECT_EQ(g.reason(), GuardStop::Interrupt);
+    RunGuard::clear_interrupt();
+    EXPECT_FALSE(RunGuard::interrupt_requested());
+    // The reason stays latched even after the flag clears.
+    EXPECT_TRUE(g.stopped());
+}
+
+TEST(RunGuard, StopReasonNames) {
+    EXPECT_STREQ(to_string(GuardStop::None), "none");
+    EXPECT_STREQ(to_string(GuardStop::WallClock), "wall_clock");
+    EXPECT_STREQ(to_string(GuardStop::WorkQuota), "work_quota");
+    EXPECT_STREQ(to_string(GuardStop::Interrupt), "interrupt");
+}
+
+TEST(Diagnostics, CapsStoredDiagsButCountsAll) {
+    DiagEngine d;
+    d.set_max_diags(3);
+    for (int i = 0; i < 10; ++i) {
+        d.error({"f.v", static_cast<uint32_t>(i + 1), 1}, "boom");
+    }
+    EXPECT_EQ(d.all().size(), 3u);
+    EXPECT_EQ(d.error_count(), 10u);
+    EXPECT_EQ(d.suppressed(), 7u);
+    EXPECT_NE(d.dump().find("7 further diagnostics suppressed"),
+              std::string::npos);
+    d.clear();
+    EXPECT_EQ(d.suppressed(), 0u);
+    EXPECT_TRUE(d.all().empty());
+}
+
+TEST(Diagnostics, MaxDiagsZeroClampsToOne) {
+    DiagEngine d;
+    d.set_max_diags(0);
+    d.error({}, "first");
+    d.error({}, "second");
+    EXPECT_EQ(d.all().size(), 1u);
+    EXPECT_EQ(d.error_count(), 2u);
+}
+
+TEST(PhaseStatus, WorstOrdersBySeverity) {
+    EXPECT_EQ(worst(PhaseStatus::Ok, PhaseStatus::Degraded),
+              PhaseStatus::Degraded);
+    EXPECT_EQ(worst(PhaseStatus::Failed, PhaseStatus::BudgetExhausted),
+              PhaseStatus::Failed);
+    EXPECT_EQ(worst(PhaseStatus::Ok, PhaseStatus::Ok), PhaseStatus::Ok);
+    EXPECT_STREQ(to_string(PhaseStatus::BudgetExhausted), "budget_exhausted");
+}
+
+TEST(PhaseLog, OverallAndJson) {
+    PhaseLog log;
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.overall(), PhaseStatus::Ok);
+    log.record("load", PhaseStatus::Ok, "", 0.25);
+    log.record("extract", PhaseStatus::Degraded, "fell back to flat");
+    EXPECT_EQ(log.overall(), PhaseStatus::Degraded);
+    ASSERT_NE(log.find("extract"), nullptr);
+    EXPECT_EQ(log.find("extract")->status, PhaseStatus::Degraded);
+    EXPECT_EQ(log.find("nope"), nullptr);
+    std::string json = log.to_json();
+    EXPECT_NE(json.find("\"phase\":\"load\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"degraded\""), std::string::npos);
+    EXPECT_NE(json.find("fell back to flat"), std::string::npos);
 }
 
 } // namespace

@@ -9,10 +9,22 @@
 // Options: --mode=flat|composed  --budget=<s>  --no-piers  --builtin=<name>
 // (--builtin loads a bundled design instead of files: arm2z, mini_soc,
 // counter8, traffic).
+// Resource budgets: --budget=<s> bounds the whole run's wall clock (and the
+// ATPG engine's own budget); --work-quota=<n>, --max-gates=<n> and
+// --max-nodes=<n> bound cooperative work units, netlist gates and
+// elaborated instances. Exceeding any budget stops the pipeline
+// cooperatively and still writes results/stats (exit code 3).
 // Observability: --trace=<file> writes an NDJSON span trace of the whole
 // run; --stats-json=<file> writes a stable machine-readable stats document
-// (schema "factor.stats.v1") with the result metrics and the full metrics
-// registry.
+// (schema "factor.stats.v1") with the result metrics, the per-phase status
+// array and the full metrics registry — on EVERY exit path.
+//
+// Exit codes (stable):
+//   0  success (including degraded runs — check "status" in the stats doc)
+//   1  input error: unreadable/unparsable sources, unknown instance path
+//   2  usage error: bad command line
+//   3  budget exhausted or interrupted (SIGINT): partial results written
+//   4  internal error: a FactorError escaped an engine phase
 #include "atpg/engine.hpp"
 #include "atpg/scoap.hpp"
 #include "core/extractor.hpp"
@@ -21,12 +33,17 @@
 #include "core/writer.hpp"
 #include "designs/designs.hpp"
 #include "elab/elaborator.hpp"
+#include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "rtl/parser.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/phase.hpp"
+#include "util/run_guard.hpp"
+#include "util/stopwatch.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -36,6 +53,13 @@
 namespace {
 
 using namespace factor;
+
+// Stable exit-code taxonomy (documented in README.md / DESIGN.md).
+constexpr int kExitOk = 0;
+constexpr int kExitInput = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBudget = 3;
+constexpr int kExitInternal = 4;
 
 struct Args {
     std::string command;
@@ -47,6 +71,9 @@ struct Args {
     std::string stats_path;
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
+    uint64_t work_quota = 0;
+    uint64_t max_gates = 0;
+    uint64_t max_nodes = 0;
     bool piers = true;
 };
 
@@ -56,9 +83,13 @@ void usage() {
                  "[mut-path] (<files...> | --builtin=<name>)\n"
                  "       [--mode=flat|composed] [--budget=<seconds>] "
                  "[--no-piers]\n"
+                 "       [--work-quota=<n>] [--max-gates=<n>] "
+                 "[--max-nodes=<n>]\n"
                  "       [--trace=<file.ndjson>] [--stats-json=<file.json>]\n"
                  "  <top> defaults to the builtin name when --builtin is "
-                 "given.\n");
+                 "given.\n"
+                 "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
+                 "interrupt, 4 internal\n");
 }
 
 bool needs_mut(const std::string& cmd) {
@@ -81,8 +112,12 @@ bool looks_like_source_file(const std::string& s) {
     return static_cast<bool>(std::ifstream(s));
 }
 
+/// Parse the command line. Options (including --stats-json) are consumed
+/// even when the positional arguments are bad, so a usage failure can
+/// still write the stats document the caller asked for.
 bool parse_args(int argc, char** argv, Args& out) {
     std::vector<std::string> positional;
+    bool options_ok = true;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a.rfind("--mode=", 0) == 0) {
@@ -93,10 +128,16 @@ bool parse_args(int argc, char** argv, Args& out) {
                 out.mode = core::Mode::Composed;
             } else {
                 std::fprintf(stderr, "unknown mode '%s'\n", m.c_str());
-                return false;
+                options_ok = false;
             }
         } else if (a.rfind("--budget=", 0) == 0) {
             out.budget = std::atof(a.c_str() + 9);
+        } else if (a.rfind("--work-quota=", 0) == 0) {
+            out.work_quota = std::strtoull(a.c_str() + 13, nullptr, 10);
+        } else if (a.rfind("--max-gates=", 0) == 0) {
+            out.max_gates = std::strtoull(a.c_str() + 12, nullptr, 10);
+        } else if (a.rfind("--max-nodes=", 0) == 0) {
+            out.max_nodes = std::strtoull(a.c_str() + 12, nullptr, 10);
         } else if (a == "--no-piers") {
             out.piers = false;
         } else if (a.rfind("--builtin=", 0) == 0) {
@@ -107,11 +148,12 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.stats_path = a.substr(13);
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            return false;
+            options_ok = false;
         } else {
             positional.push_back(a);
         }
     }
+    if (!options_ok) return false;
     if (positional.empty()) return false;
     out.command = positional[0];
     if (positional.size() >= 2) {
@@ -151,6 +193,7 @@ bool parse_args(int argc, char** argv, Args& out) {
 
 bool load_sources(const Args& args, rtl::Design& design,
                   util::DiagEngine& diags) {
+    obs::inject_point("cli.load");
     if (!args.builtin.empty()) {
         const char* src = nullptr;
         if (args.builtin == "arm2z") src = designs::arm2z_source();
@@ -186,9 +229,18 @@ bool load_sources(const Args& args, rtl::Design& design,
 /// handlers and combined with the metrics registry in write_stats_json.
 obs::Doc g_result;
 
+/// Per-phase outcomes of the run (load / elaborate / extract / transform /
+/// atpg / command), rendered into the stats document's "phases" array.
+util::PhaseLog g_phases;
+
+/// The pipeline-wide guard every phase checks; set up in main() from the
+/// --budget / --work-quota / --max-gates / --max-nodes options and tripped
+/// by the SIGINT handler.
+util::RunGuard* g_guard = nullptr;
+
 /// Write the stable stats document ("factor.stats.v1"): the invoking
-/// command, the command's result metrics, and a snapshot of every counter,
-/// gauge and histogram touched during the run.
+/// command, the command's result metrics, the per-phase status array and a
+/// snapshot of every counter, gauge and histogram touched during the run.
 bool write_stats_json(const Args& args, int exit_code) {
     std::ofstream out(args.stats_path);
     if (!out) {
@@ -196,6 +248,9 @@ bool write_stats_json(const Args& args, int exit_code) {
                      args.stats_path.c_str());
         return false;
     }
+    const bool interrupted = util::RunGuard::interrupt_requested() ||
+                             (g_guard != nullptr &&
+                              g_guard->reason() == util::GuardStop::Interrupt);
     out << "{\"schema\":\"factor.stats.v1\""
         << ",\"command\":\"" << obs::json_escape(args.command) << '"'
         << ",\"top\":\"" << obs::json_escape(args.top) << '"'
@@ -203,6 +258,9 @@ bool write_stats_json(const Args& args, int exit_code) {
         << ",\"mode\":"
         << (args.mode == core::Mode::Composed ? "\"composed\"" : "\"flat\"")
         << ",\"exit_code\":" << exit_code
+        << ",\"status\":\"" << util::to_string(g_phases.overall()) << '"'
+        << ",\"interrupted\":" << (interrupted ? "true" : "false")
+        << ",\"phases\":" << g_phases.to_json()
         << ",\"result\":" << g_result.to_json()
         << ",\"registry\":" << obs::Registry::global().to_json() << "}\n";
     return static_cast<bool>(out);
@@ -219,7 +277,23 @@ void print_tree(const elab::InstNode& node, int depth) {
 int cmd_parse(const Args&, elab::ElaboratedDesign& e) {
     print_tree(e.root(), 0);
     std::printf("%zu instances total\n", e.instance_count());
-    return 0;
+    return kExitOk;
+}
+
+/// Record an extraction's phase outcome; returns the exit code it implies.
+int record_extract_phase(const core::ConstraintSet& cs) {
+    g_phases.record("extract", cs.status, cs.status_detail,
+                    cs.extraction_seconds);
+    switch (cs.status) {
+    case util::PhaseStatus::Ok: return kExitOk;
+    case util::PhaseStatus::Degraded:
+        std::fprintf(stderr, "note: extraction degraded: %s\n",
+                     cs.status_detail.c_str());
+        return kExitOk;
+    case util::PhaseStatus::BudgetExhausted: return kExitBudget;
+    case util::PhaseStatus::Failed: return kExitInternal;
+    }
+    return kExitInternal;
 }
 
 int cmd_extract(const Args& args, elab::ElaboratedDesign& e,
@@ -228,17 +302,18 @@ int cmd_extract(const Args& args, elab::ElaboratedDesign& e,
     if (mut == nullptr) {
         std::fprintf(stderr, "no instance at path '%s'\n",
                      args.mut_path.c_str());
-        return 1;
+        return kExitInput;
     }
-    core::ExtractionSession session(e, args.mode, diags);
+    core::ExtractionSession session(e, args.mode, diags, g_guard);
     auto cs = session.extract(*mut);
+    int rc = record_extract_phase(cs);
     g_result.add("constraint_items", static_cast<uint64_t>(cs.item_count()));
     g_result.add("testability_issues", static_cast<uint64_t>(cs.issues.size()));
     core::ConstraintWriter writer(e, cs);
     std::printf("%s", writer.write_verilog().c_str());
     std::fprintf(stderr, "// %zu constraint items, %zu testability issues\n",
                  cs.item_count(), cs.issues.size());
-    return 0;
+    return rc;
 }
 
 int cmd_report(const Args& args, elab::ElaboratedDesign& e,
@@ -247,19 +322,36 @@ int cmd_report(const Args& args, elab::ElaboratedDesign& e,
     if (mut == nullptr) {
         std::fprintf(stderr, "no instance at path '%s'\n",
                      args.mut_path.c_str());
-        return 1;
+        return kExitInput;
     }
-    core::ExtractionSession session(e, args.mode, diags);
+    core::ExtractionSession session(e, args.mode, diags, g_guard);
     auto cs = session.extract(*mut);
+    int rc = record_extract_phase(cs);
     std::printf("%s", core::make_testability_report(cs).text.c_str());
-    return 0;
+    return rc;
+}
+
+/// Record an ATPG run's phase outcome; returns the exit code it implies.
+int record_atpg_phase(const atpg::EngineResult& r) {
+    g_phases.record("atpg", r.status, r.status_detail, r.test_gen_seconds);
+    switch (r.status) {
+    case util::PhaseStatus::Ok: return kExitOk;
+    case util::PhaseStatus::Degraded:
+        std::fprintf(stderr, "note: ATPG degraded: %s\n",
+                     r.status_detail.c_str());
+        return kExitOk;
+    case util::PhaseStatus::BudgetExhausted: return kExitBudget;
+    case util::PhaseStatus::Failed: return kExitInternal;
+    }
+    return kExitInternal;
 }
 
 int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
              util::DiagEngine& diags) {
-    core::TransformBuilder builder(e, diags);
+    core::TransformBuilder builder(e, diags, g_guard);
     atpg::EngineOptions opts;
     opts.time_budget_s = args.budget;
+    opts.guard = g_guard;
 
     if (args.mut_path.empty()) {
         // Whole-design ATPG.
@@ -267,18 +359,29 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
         auto r = atpg::run_atpg(nl, opts);
         g_result = r.metrics();
         std::printf("full design: %s\n", r.summary().c_str());
-        return 0;
+        return record_atpg_phase(r);
     }
     const auto* mut = e.find_by_path(args.mut_path);
     if (mut == nullptr) {
         std::fprintf(stderr, "no instance at path '%s'\n",
                      args.mut_path.c_str());
-        return 1;
+        return kExitInput;
     }
-    core::ExtractionSession session(e, args.mode, diags);
+    core::ExtractionSession session(e, args.mode, diags, g_guard);
     core::TransformOptions topts;
     topts.expose_piers = args.piers;
     auto tm = builder.build(*mut, session, topts);
+    g_phases.record("transform", tm.status, tm.status_detail,
+                    tm.extraction_seconds + tm.synthesis_seconds);
+    if (tm.status == util::PhaseStatus::Failed) {
+        std::fprintf(stderr, "transform failed: %s\n",
+                     tm.status_detail.c_str());
+        return kExitInternal;
+    }
+    if (tm.status == util::PhaseStatus::Degraded) {
+        std::fprintf(stderr, "note: transform degraded: %s\n",
+                     tm.status_detail.c_str());
+    }
     std::printf("transformed module: %zu MUT gates + %zu virtual gates, "
                 "%zu PIs, %zu POs\n",
                 tm.mut_gates, tm.surrounding_gates, tm.num_pis, tm.num_pos);
@@ -290,12 +393,16 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
                  static_cast<uint64_t>(tm.surrounding_gates));
     g_result.add("piers_exposed", static_cast<uint64_t>(tm.piers_exposed));
     std::printf("%s\n", r.summary().c_str());
-    return 0;
+    int rc = record_atpg_phase(r);
+    if (tm.status == util::PhaseStatus::BudgetExhausted) {
+        rc = rc == kExitOk ? kExitBudget : rc;
+    }
+    return rc;
 }
 
 int cmd_scoap(const Args&, elab::ElaboratedDesign& e,
               util::DiagEngine& diags) {
-    core::TransformBuilder builder(e, diags);
+    core::TransformBuilder builder(e, diags, g_guard);
     auto nl = builder.full_design();
     auto m = atpg::compute_scoap(nl);
     std::printf("%zu nets; 20 hardest to test:\n", nl.num_nets());
@@ -312,10 +419,8 @@ int cmd_scoap(const Args&, elab::ElaboratedDesign& e,
                         m.cc1[h.net], m.co[h.net]);
         }
     }
-    return 0;
+    return kExitOk;
 }
-
-} // namespace
 
 int run_command(const Args& args, elab::ElaboratedDesign& e,
                 util::DiagEngine& diags) {
@@ -324,41 +429,126 @@ int run_command(const Args& args, elab::ElaboratedDesign& e,
     if (args.command == "report") return cmd_report(args, e, diags);
     if (args.command == "atpg") return cmd_atpg(args, e, diags);
     if (args.command == "scoap") return cmd_scoap(args, e, diags);
+    std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
     usage();
-    return 2;
+    return kExitUsage;
 }
 
-int main(int argc, char** argv) {
-    Args args;
-    if (!parse_args(argc, argv, args)) {
-        usage();
-        return 2;
-    }
-    if (!args.trace_path.empty()) {
-        obs::Tracer::global().start(args.trace_path);
-    }
-
-    int rc = 1;
-    {
-        rtl::Design design;
-        util::DiagEngine diags;
-        if (load_sources(args, design, diags)) {
-            elab::Elaborator elaborator(design, diags);
-            auto elaborated = elaborator.elaborate(args.top);
-            if (!elaborated) {
-                std::fprintf(stderr, "%s", diags.dump().c_str());
-            } else {
-                rc = run_command(args, *elaborated, diags);
-            }
-        }
-    }
-
+/// The one exit funnel: stop the trace and write the stats document no
+/// matter which path ended the run.
+int finish(const Args& args, int rc) {
     if (!args.trace_path.empty()) {
         (void)obs::Tracer::global().stop();
         std::fprintf(stderr, "trace written to %s\n", args.trace_path.c_str());
     }
     if (!args.stats_path.empty()) {
-        if (!write_stats_json(args, rc)) return 1;
+        if (!write_stats_json(args, rc) && rc == kExitOk) rc = kExitInput;
     }
     return rc;
+}
+
+/// The pipeline proper: load -> elaborate -> command, each phase recorded
+/// and guarded. FactorError escaping a phase is an internal error (4).
+int run_pipeline(const Args& args, util::RunGuard& guard) {
+    rtl::Design design;
+    util::DiagEngine diags;
+
+    {
+        util::Stopwatch w;
+        bool ok = false;
+        try {
+            ok = load_sources(args, design, diags);
+        } catch (const util::FactorError& e) {
+            g_phases.record("load", util::PhaseStatus::Failed, e.what(),
+                            w.seconds());
+            std::fprintf(stderr, "internal error while loading: %s\n",
+                         e.what());
+            return kExitInternal;
+        }
+        g_phases.record("load",
+                        ok ? util::PhaseStatus::Ok : util::PhaseStatus::Failed,
+                        ok ? "" : "sources unreadable or unparsable",
+                        w.seconds());
+        if (!ok) return kExitInput;
+    }
+
+    std::unique_ptr<elab::ElaboratedDesign> elaborated;
+    {
+        util::Stopwatch w;
+        try {
+            elab::Elaborator elaborator(design, diags, &guard);
+            elaborated = elaborator.elaborate(args.top);
+        } catch (const util::FactorError& e) {
+            g_phases.record("elaborate", util::PhaseStatus::Failed, e.what(),
+                            w.seconds());
+            std::fprintf(stderr, "internal error while elaborating: %s\n",
+                         e.what());
+            return kExitInternal;
+        }
+        if (!elaborated) {
+            const bool budget = guard.stopped();
+            g_phases.record("elaborate",
+                            budget ? util::PhaseStatus::BudgetExhausted
+                                   : util::PhaseStatus::Failed,
+                            budget ? std::string("elaboration stopped: ") +
+                                         util::to_string(guard.reason())
+                                   : "elaboration failed",
+                            w.seconds());
+            std::fprintf(stderr, "%s", diags.dump().c_str());
+            return budget ? kExitBudget : kExitInput;
+        }
+        g_phases.record("elaborate", util::PhaseStatus::Ok, "", w.seconds());
+    }
+
+    int rc;
+    try {
+        rc = run_command(args, *elaborated, diags);
+    } catch (const util::FactorError& e) {
+        g_phases.record(args.command, util::PhaseStatus::Failed, e.what());
+        std::fprintf(stderr, "internal error in '%s': %s\n",
+                     args.command.c_str(), e.what());
+        return kExitInternal;
+    }
+
+    // A tripped guard (budget or SIGINT) classifies an otherwise-clean run.
+    // Record it so the stats document's overall status agrees with the
+    // exit code even when every individual phase drained with status ok
+    // (e.g. the quota ran out between phases, or ATPG saw an already-empty
+    // partial netlist).
+    if (rc == kExitOk && guard.stopped()) {
+        g_phases.record("run", util::PhaseStatus::BudgetExhausted,
+                        std::string("run stopped: ") +
+                            util::to_string(guard.reason()) +
+                            " budget exceeded; results are partial");
+        rc = kExitBudget;
+    }
+    return rc;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    util::RunGuard::install_signal_handler();
+    if (!parse_args(argc, argv, args)) {
+        usage();
+        // Options were parsed even on usage errors, so --stats-json and
+        // --trace still land where the caller asked.
+        if (!args.trace_path.empty()) obs::Tracer::global().start(args.trace_path);
+        return finish(args, kExitUsage);
+    }
+    if (!args.trace_path.empty()) {
+        obs::Tracer::global().start(args.trace_path);
+    }
+
+    util::RunGuard guard(util::GuardLimits{args.budget, args.work_quota,
+                                           args.max_gates, args.max_nodes});
+    g_guard = &guard;
+
+    int rc = run_pipeline(args, guard);
+
+    if (guard.reason() == util::GuardStop::Interrupt) {
+        std::fprintf(stderr, "interrupted; partial results written\n");
+    }
+    return finish(args, rc);
 }
