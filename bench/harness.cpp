@@ -5,6 +5,7 @@
 #include "rtl/parser.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,9 @@ bool JsonReport::write(const std::string& bench_name) {
     }
     out << "{\"schema\":\"factor.bench.v1\""
         << ",\"bench\":\"" << obs::json_escape(bench_name) << '"'
+        // Worker count the ATPG rows ran with, so perf numbers stay
+        // comparable across machines and PRs.
+        << ",\"threads\":" << util::ThreadPool::default_jobs()
         << ",\"rows\":[";
     bool first = true;
     for (const Row& r : rows_) {

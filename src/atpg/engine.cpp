@@ -4,10 +4,12 @@
 #include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <random>
-#include <sstream>
 
 namespace factor::atpg {
 
@@ -21,7 +23,8 @@ obs::Doc EngineResult::metrics() const {
         .add("efficiency_percent", efficiency_percent)
         .add("time_seconds", test_gen_seconds)
         .add("random_sequences", random_sequences)
-        .add("deterministic_tests", deterministic_tests);
+        .add("deterministic_tests", deterministic_tests)
+        .add("threads", threads);
     if (tests_before_compaction > 0) {
         d.add("tests_kept", tests.size())
             .add("tests_before_compaction", tests_before_compaction);
@@ -33,11 +36,75 @@ obs::Doc EngineResult::metrics() const {
 
 std::string EngineResult::summary() const { return metrics().to_text(); }
 
+namespace {
+
+/// Apply `seq` to every Undetected fault of `list` across all pool
+/// executors. Detections land in a shared atomic bitmap and are merged in
+/// serial index order afterwards, so the visible drop order — and with it
+/// every downstream decision — is identical to a one-executor run.
+size_t parallel_run_and_drop(util::ThreadPool& pool,
+                             std::vector<FaultSimulator>& sims,
+                             FaultList& list, const Sequence& seq) {
+    auto good_po = sims[0].simulate_good(seq);
+    auto& entries = list.faults();
+    const size_t n = entries.size();
+    const size_t words = (n + 63) / 64;
+    std::vector<std::atomic<uint64_t>> hits(words);
+    for (auto& word : hits) word.store(0, std::memory_order_relaxed);
+    pool.for_each(n, [&](size_t ex, size_t i) {
+        const FaultEntry& e = entries[i];
+        if (e.status != FaultStatus::Undetected) return;
+        if (sims[ex].detects(e.fault, seq, good_po)) {
+            hits[i / 64].fetch_or(uint64_t{1} << (i % 64),
+                                  std::memory_order_relaxed);
+        }
+    });
+    size_t newly = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t word = hits[i / 64].load(std::memory_order_relaxed);
+        if (((word >> (i % 64)) & 1) != 0 &&
+            entries[i].status == FaultStatus::Undetected) {
+            entries[i].status = FaultStatus::Detected;
+            ++newly;
+        }
+    }
+    static obs::Counter& calls = obs::counter("fault_sim.run_and_drop");
+    static obs::Counter& dropped = obs::counter("fault_sim.faults_dropped");
+    calls.add(1);
+    dropped.add(newly);
+    return newly;
+}
+
+/// How a speculatively processed fault resolved. Workers fill slots out of
+/// order; a single commit pipeline applies them in strict fault-list order
+/// (discarding slots whose fault an earlier committed test already
+/// dropped), which is what makes the result independent of `jobs`.
+enum class SlotKind : uint8_t {
+    Skipped,        // already non-Undetected when claimed
+    Success,        // PODEM produced a test (stored in `test`)
+    Untestable,     // exhaustive single-frame proof (combinational)
+    AbortBacktrack, // hit the backtrack limit at some depth
+    AbortDepth,     // no test up to max_frames
+    PodemFailed,    // internal PODEM failure, contained to this fault
+    BudgetStopped,  // budget ran out mid-search on this fault
+    BudgetSkip,     // budget was already gone when this fault was claimed
+};
+
+struct Slot {
+    std::atomic<uint8_t> ready{0}; // release-published by the worker
+    SlotKind kind = SlotKind::Skipped;
+    bool any_backtrack_abort = false;
+    ScalarSequence test;
+};
+
+} // namespace
+
 EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     util::Stopwatch watch;
     // Local wall-clock guard for the engine's own budget; the external
     // options.guard (if any) carries the pipeline-wide budgets and the
-    // process interrupt flag. Either one stops the run.
+    // process interrupt flag. Either one stops the run. Both are safe to
+    // poll from every worker.
     util::RunGuard local_guard(options.time_budget_s);
     auto out_of_budget = [&]() {
         return local_guard.stopped() ||
@@ -46,10 +113,14 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     obs::Span run_span("atpg.run");
 
     EngineResult result;
+    const size_t jobs =
+        options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs();
+    result.threads = jobs;
     FaultList list(nl, options.scope_prefix);
     result.total_faults = list.size();
     run_span.attr("faults", static_cast<uint64_t>(list.size()));
     run_span.attr("gates", static_cast<uint64_t>(nl.logic_gate_count()));
+    run_span.attr("threads", static_cast<uint64_t>(jobs));
     if (!options.scope_prefix.empty()) {
         run_span.attr("scope", options.scope_prefix);
     }
@@ -58,7 +129,12 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         return result;
     }
 
-    FaultSimulator sim(nl);
+    util::ThreadPool pool(jobs);
+    // One simulator per executor: shared read-only netlist and cached
+    // levelization, private value/state scratch.
+    std::vector<FaultSimulator> sims;
+    sims.reserve(pool.executors());
+    for (size_t ex = 0; ex < pool.executors(); ++ex) sims.emplace_back(nl);
     std::mt19937_64 rng(options.seed);
 
     // ---- Phase 1: random patterns with fault dropping ----------------------
@@ -71,8 +147,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 (options.guard != nullptr && !options.guard->tick())) {
                 break;
             }
-            Sequence seq = sim.random_sequence(rng, options.random_frames);
-            size_t newly = sim.run_and_drop(list, seq);
+            // The stimulus comes off the single engine RNG on this thread,
+            // so the pattern stream is byte-identical at any jobs value.
+            Sequence seq = sims[0].random_sequence(rng, options.random_frames);
+            size_t newly = parallel_run_and_drop(pool, sims, list, seq);
             yield_hist.record(newly);
             result.random_sequences += 64;
             if (newly == 0) {
@@ -88,12 +166,20 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     }
 
     // ---- Phase 2: deterministic PODEM --------------------------------------
+    //
+    // Workers claim fault indices from a shared cursor and run PODEM
+    // speculatively; results are applied by a strictly in-order commit
+    // pipeline. PODEM's outcome for a fault depends only on the netlist —
+    // never on the fault list — and in a serial run a test generated for
+    // fault j can only drop faults with index > j. Committing in fault
+    // order while discarding slots whose fault was dropped by an
+    // earlier-committed test therefore reproduces the serial trajectory of
+    // statuses, tests and guard ticks exactly, at any executor count.
     {
         obs::Span span("atpg.deterministic_phase");
         const bool combinational = nl.dff_count() == 0;
         PodemOptions popts;
         popts.max_backtracks = options.max_backtracks;
-        TimeFramePodem podem(nl, popts);
 
         obs::Histogram& backtrack_hist =
             obs::histogram("atpg.podem.backtracks");
@@ -102,88 +188,250 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             obs::counter("atpg.abort.backtrack_limit");
         obs::Counter& abort_depth = obs::counter("atpg.abort.depth_limit");
         obs::Counter& abort_mismatch = obs::counter("atpg.abort.sim_mismatch");
-
         obs::Counter& abort_podem_error =
             obs::counter("atpg.abort.podem_error");
+        obs::Counter& drop_calls = obs::counter("fault_sim.run_and_drop");
+        obs::Counter& drop_dropped = obs::counter("fault_sim.faults_dropped");
 
-        for (auto& entry : list.faults()) {
-            if (entry.status != FaultStatus::Undetected) continue;
-            if (local_guard.stopped() ||
-                (options.guard != nullptr && !options.guard->tick())) {
-                result.budget_exhausted = true;
-                break;
-            }
+        auto& entries = list.faults();
+        const size_t n = entries.size();
+        constexpr auto kUndetected =
+            static_cast<uint8_t>(FaultStatus::Undetected);
+        constexpr auto kDetected = static_cast<uint8_t>(FaultStatus::Detected);
+        constexpr auto kAborted = static_cast<uint8_t>(FaultStatus::Aborted);
 
-            bool done = false;
-            bool all_depths_no_test = true;
-            bool any_backtrack_abort = false;
-            size_t max_frames = combinational ? 1 : options.max_frames;
-            bool podem_failed = false;
-            for (size_t k = 1; k <= max_frames && !done; ++k) {
-                if (out_of_budget()) {
-                    result.budget_exhausted = true;
-                    all_depths_no_test = false;
+        // Authoritative per-fault status for the phase. The commit pipeline
+        // is the only writer; workers read it as a claim-time skip hint.
+        std::vector<std::atomic<uint8_t>> status(n);
+        for (size_t i = 0; i < n; ++i) {
+            status[i].store(static_cast<uint8_t>(entries[i].status),
+                            std::memory_order_relaxed);
+        }
+
+        std::vector<Slot> slots(n);
+        std::atomic<size_t> cursor{0};
+        std::atomic<bool> stop{false}; // commit tripped a budget
+        std::atomic<bool> podem_degraded{false};
+
+        std::mutex commit_mu;
+        // Guarded by commit_mu.
+        size_t next_commit = 0;
+        size_t committed_tests = 0;
+        std::vector<ScalarSequence> collected;
+        bool budget_hit = false;
+
+        auto commit_ready = [&](size_t ex) {
+            // Once a budget stop is latched the serial loop is broken for
+            // good: no further commits, and no further guard ticks.
+            if (budget_hit) return;
+            while (next_commit < n) {
+                Slot& s = slots[next_commit];
+                if (s.ready.load(std::memory_order_acquire) == 0) break;
+                const size_t i = next_commit;
+                if (s.kind == SlotKind::PodemFailed) {
+                    // Degradation is reported even if the slot below turns
+                    // out to be discarded: the failure did happen in this
+                    // process, and hiding it behind a racy drop would make
+                    // the status nondeterministic under parallelism.
+                    podem_degraded.store(true, std::memory_order_relaxed);
+                }
+                if (status[i].load(std::memory_order_relaxed) !=
+                    kUndetected) {
+                    // An earlier committed test already resolved this
+                    // fault; the serial engine would never have targeted
+                    // it, so the speculative slot is discarded unseen.
+                    ++next_commit;
+                    continue;
+                }
+                // One guard tick per targeted fault, taken in fault-list
+                // order — the serial engine's exact accounting, so a
+                // work-quota stop lands on the same fault at any jobs.
+                if (local_guard.stopped() ||
+                    (options.guard != nullptr && !options.guard->tick())) {
+                    budget_hit = true;
+                    stop.store(true, std::memory_order_relaxed);
                     break;
                 }
-                PodemResult pr;
-                try {
-                    obs::inject_point("atpg.podem");
-                    pr = podem.generate(entry.fault, k);
-                } catch (const util::FactorError&) {
-                    // Contain a PODEM failure to its fault: count it
-                    // aborted and keep going — partial coverage beats a
-                    // dead run.
-                    abort_podem_error.add(1);
-                    podem_failed = true;
-                    all_depths_no_test = false;
-                    break;
-                }
-                podem_calls.add(1);
-                backtrack_hist.record(pr.backtracks);
-                switch (pr.outcome) {
-                case PodemOutcome::Success: {
-                    ++result.deterministic_tests;
-                    if (options.collect_tests) result.tests.push_back(pr.test);
-                    Sequence seq = broadcast(pr.test, nl.inputs().size());
-                    size_t newly = sim.run_and_drop(list, seq);
-                    (void)newly;
-                    if (entry.status != FaultStatus::Detected) {
-                        // PODEM said detected but the conservative simulator
-                        // disagreed (X-pessimism across frames); count the
-                        // fault as aborted rather than trusting the search.
-                        entry.status = FaultStatus::Aborted;
+                switch (s.kind) {
+                case SlotKind::Success: {
+                    ++committed_tests;
+                    Sequence seq = broadcast(s.test, nl.inputs().size());
+                    auto good_po = sims[ex].simulate_good(seq);
+                    size_t newly = 0;
+                    for (size_t j = 0; j < n; ++j) {
+                        if (status[j].load(std::memory_order_relaxed) !=
+                            kUndetected) {
+                            continue;
+                        }
+                        if (sims[ex].detects(entries[j].fault, seq,
+                                             good_po)) {
+                            status[j].store(kDetected,
+                                            std::memory_order_relaxed);
+                            ++newly;
+                        }
+                    }
+                    drop_calls.add(1);
+                    drop_dropped.add(newly);
+                    if (status[i].load(std::memory_order_relaxed) !=
+                        kDetected) {
+                        // PODEM said detected but the conservative
+                        // simulator disagreed (X-pessimism across frames);
+                        // count the fault as aborted rather than trusting
+                        // the search.
+                        status[i].store(kAborted, std::memory_order_relaxed);
                         abort_mismatch.add(1);
                     }
-                    done = true;
+                    if (options.collect_tests) {
+                        collected.push_back(std::move(s.test));
+                    }
                     break;
                 }
-                case PodemOutcome::Abort:
-                    all_depths_no_test = false;
-                    any_backtrack_abort = true;
-                    break; // try a deeper unroll
-                case PodemOutcome::NoTest:
-                    break; // exhausted at this depth; deeper may still work
+                case SlotKind::Untestable:
+                    // Exhausting the decision space of the single frame of
+                    // a combinational circuit is a redundancy proof.
+                    status[i].store(
+                        static_cast<uint8_t>(FaultStatus::Untestable),
+                        std::memory_order_relaxed);
+                    break;
+                case SlotKind::AbortBacktrack:
+                    status[i].store(kAborted, std::memory_order_relaxed);
+                    abort_backtracks.add(1);
+                    break;
+                case SlotKind::AbortDepth:
+                    status[i].store(kAborted, std::memory_order_relaxed);
+                    abort_depth.add(1);
+                    break;
+                case SlotKind::PodemFailed:
+                    // Contained: count it aborted and keep going — partial
+                    // coverage beats a dead run.
+                    status[i].store(kAborted, std::memory_order_relaxed);
+                    break;
+                case SlotKind::BudgetStopped:
+                    // The worker's depth loop noticed the budget mid-fault:
+                    // abort this fault and let the next iteration's guard
+                    // check end the phase, as the serial loop does.
+                    budget_hit = true;
+                    status[i].store(kAborted, std::memory_order_relaxed);
+                    (s.any_backtrack_abort ? abort_backtracks : abort_depth)
+                        .add(1);
+                    break;
+                case SlotKind::BudgetSkip:
+                    budget_hit = true;
+                    stop.store(true, std::memory_order_relaxed);
+                    break;
+                case SlotKind::Skipped:
+                    break; // status said Undetected above; cannot happen
                 }
+                if (s.kind == SlotKind::BudgetSkip) break;
+                ++next_commit;
             }
-            if (podem_failed) {
-                entry.status = FaultStatus::Aborted;
-                result.status = util::worst(result.status,
-                                            util::PhaseStatus::Degraded);
-                if (result.status_detail.empty()) {
-                    result.status_detail = "internal PODEM failure contained; "
-                                           "affected faults counted aborted";
+        };
+        auto try_commit = [&](size_t ex) {
+            std::unique_lock<std::mutex> lk(commit_mu, std::try_to_lock);
+            if (lk.owns_lock()) commit_ready(ex);
+        };
+
+        auto worker = [&](size_t ex, size_t /*index*/) {
+            obs::Span wspan("atpg.worker");
+            wspan.attr("worker", static_cast<uint64_t>(ex));
+            TimeFramePodem podem(nl, popts);
+            uint64_t claimed = 0;
+            uint64_t generated = 0;
+            const size_t max_frames = combinational ? 1 : options.max_frames;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const size_t i = cursor.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                if (i >= n) break;
+                ++claimed;
+                Slot& s = slots[i];
+                if (status[i].load(std::memory_order_relaxed) !=
+                    kUndetected) {
+                    s.kind = SlotKind::Skipped;
+                    s.ready.store(1, std::memory_order_release);
+                    try_commit(ex);
+                    continue;
                 }
-                continue;
+                if (out_of_budget()) {
+                    s.kind = SlotKind::BudgetSkip;
+                    s.ready.store(1, std::memory_order_release);
+                    try_commit(ex);
+                    break;
+                }
+                bool done = false;
+                bool all_depths_no_test = true;
+                bool podem_failed = false;
+                bool budget_stopped = false;
+                for (size_t k = 1; k <= max_frames && !done; ++k) {
+                    if (out_of_budget()) {
+                        budget_stopped = true;
+                        all_depths_no_test = false;
+                        break;
+                    }
+                    PodemResult pr;
+                    try {
+                        obs::inject_point("atpg.podem");
+                        pr = podem.generate(entries[i].fault, k);
+                    } catch (const util::FactorError&) {
+                        abort_podem_error.add(1);
+                        podem_failed = true;
+                        all_depths_no_test = false;
+                        break;
+                    }
+                    podem_calls.add(1);
+                    backtrack_hist.record(pr.backtracks);
+                    switch (pr.outcome) {
+                    case PodemOutcome::Success:
+                        s.test = std::move(pr.test);
+                        done = true;
+                        ++generated;
+                        break;
+                    case PodemOutcome::Abort:
+                        all_depths_no_test = false;
+                        s.any_backtrack_abort = true;
+                        break; // try a deeper unroll
+                    case PodemOutcome::NoTest:
+                        break; // exhausted at this depth; deeper may work
+                    }
+                }
+                if (podem_failed) {
+                    s.kind = SlotKind::PodemFailed;
+                } else if (done) {
+                    s.kind = SlotKind::Success;
+                } else if (budget_stopped) {
+                    s.kind = SlotKind::BudgetStopped;
+                } else if (combinational && all_depths_no_test) {
+                    s.kind = SlotKind::Untestable;
+                } else {
+                    s.kind = s.any_backtrack_abort ? SlotKind::AbortBacktrack
+                                                   : SlotKind::AbortDepth;
+                }
+                s.ready.store(1, std::memory_order_release);
+                try_commit(ex);
             }
-            if (done) continue;
-            if (entry.status != FaultStatus::Undetected) continue;
-            if (combinational && all_depths_no_test) {
-                // Exhausting the decision space of the single frame of a
-                // combinational circuit is a redundancy proof.
-                entry.status = FaultStatus::Untestable;
-            } else {
-                entry.status = FaultStatus::Aborted;
-                (any_backtrack_abort ? abort_backtracks : abort_depth).add(1);
+            wspan.attr("claimed", claimed);
+            wspan.attr("tests", generated);
+        };
+
+        pool.for_each(pool.executors(), worker);
+        {
+            // Workers are done; flush whatever the try_lock races left.
+            std::lock_guard<std::mutex> lk(commit_mu);
+            commit_ready(0);
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            entries[i].status = static_cast<FaultStatus>(
+                status[i].load(std::memory_order_relaxed));
+        }
+        result.deterministic_tests = committed_tests;
+        if (options.collect_tests) result.tests = std::move(collected);
+        if (budget_hit) result.budget_exhausted = true;
+        if (podem_degraded.load(std::memory_order_relaxed)) {
+            result.status =
+                util::worst(result.status, util::PhaseStatus::Degraded);
+            if (result.status_detail.empty()) {
+                result.status_detail = "internal PODEM failure contained; "
+                                       "affected faults counted aborted";
             }
         }
         obs::counter("atpg.podem.tests").add(result.deterministic_tests);
@@ -216,7 +464,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         for (auto it = result.tests.rbegin(); it != result.tests.rend();
              ++it) {
             Sequence seq = broadcast(*it, nl.inputs().size());
-            if (sim.run_and_drop(compaction_list, seq) > 0) {
+            if (parallel_run_and_drop(pool, sims, compaction_list, seq) > 0) {
                 kept.push_back(std::move(*it));
             }
         }
@@ -245,6 +493,11 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         result.status_detail = std::string("ATPG stopped: ") + why +
                                " budget exceeded; coverage is partial";
     }
+
+    util::ThreadPool::Stats pool_stats = pool.stats();
+    obs::counter("atpg.pool.tasks").add(pool_stats.tasks);
+    obs::counter("atpg.pool.steals").add(pool_stats.steals);
+    obs::counter("atpg.pool.idle_ns").add(pool_stats.idle_ns);
 
     obs::counter("atpg.runs").add(1);
     obs::counter("atpg.faults.total").add(result.total_faults);

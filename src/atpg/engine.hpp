@@ -45,6 +45,14 @@ struct EngineOptions {
     /// BudgetExhausted — work is never discarded.
     util::RunGuard* guard = nullptr;
     uint64_t seed = 0x5eed;
+    /// Worker count for the parallel phases (fault dropping, deterministic
+    /// PODEM); 0 picks util::ThreadPool::default_jobs() (--jobs / the
+    /// FACTOR_JOBS env / hardware concurrency). Determinism contract: for
+    /// a fixed seed, results (vectors, coverage, per-fault statuses) are
+    /// byte-identical across runs AND across jobs values — parallel PODEM
+    /// speculates but commits strictly in fault-list order (see DESIGN.md
+    /// §8), so only wall-clock-budgeted runs can vary.
+    size_t jobs = 0;
     /// Restrict targeted faults to nets whose name starts with this prefix
     /// ("targeting faults in the MUT" at processor level).
     std::string scope_prefix;
@@ -63,6 +71,7 @@ struct EngineResult {
     double test_gen_seconds = 0.0;
     size_t random_sequences = 0;      // applied in phase 1
     size_t deterministic_tests = 0;   // PODEM successes
+    size_t threads = 1;               // executors the run actually used
     bool budget_exhausted = false;    // kept for compat; mirrors status
 
     /// Ok: every fault resolved within budget. BudgetExhausted: the time

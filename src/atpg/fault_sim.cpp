@@ -29,7 +29,7 @@ Sequence broadcast(const ScalarSequence& s, size_t num_pis) {
 }
 
 FaultSimulator::FaultSimulator(const Netlist& nl)
-    : nl_(nl), topo_(nl.levelize()), dffs_(nl.dffs()) {}
+    : nl_(nl), topo_(nl.levelize_shared()), dffs_(nl.dffs()) {}
 
 namespace {
 
@@ -72,7 +72,7 @@ void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
         return v;
     };
 
-    for (GateId gid : topo_) {
+    for (GateId gid : *topo_) {
         const Gate& g = nl_.gate(gid);
         V64 out;
         switch (g.type) {
@@ -120,66 +120,83 @@ void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
 }
 
 std::vector<std::vector<V64>>
-FaultSimulator::simulate_good(const Sequence& seq) const {
+FaultSimulator::simulate_good(const Sequence& seq) {
     // Cached reference: registry lookups stay off the simulation path.
     static obs::Counter& frames_counter = obs::counter("fault_sim.good_frames");
     frames_counter.add(seq.size());
-    std::vector<V64> value(nl_.num_nets(), V64::all_x());
-    std::vector<V64> state(dffs_.size(), V64::all_x());
+    value_.assign(nl_.num_nets(), V64::all_x());
+    state_.assign(dffs_.size(), V64::all_x());
     std::vector<std::vector<V64>> po_per_frame;
     po_per_frame.reserve(seq.size());
 
     for (const Frame& frame : seq) {
-        eval_frame(value, frame, state, nullptr);
+        eval_frame(value_, frame, state_, nullptr);
         std::vector<V64> pos;
         pos.reserve(nl_.outputs().size());
-        for (NetId po : nl_.outputs()) pos.push_back(value[po]);
+        for (NetId po : nl_.outputs()) pos.push_back(value_[po]);
         po_per_frame.push_back(std::move(pos));
         for (size_t i = 0; i < dffs_.size(); ++i) {
             // Next state: sample D; a fault-free DFF just copies.
-            state[i] = value[nl_.gate(dffs_[i]).ins[0]];
+            state_[i] = value_[nl_.gate(dffs_[i]).ins[0]];
         }
     }
     return po_per_frame;
 }
 
-uint64_t FaultSimulator::detect_mask(
+uint64_t FaultSimulator::faulty_detect(
     const Fault& fault, const Sequence& seq,
-    const std::vector<std::vector<V64>>& good_po) const {
+    const std::vector<std::vector<V64>>& good_po, bool stop_at_first) {
     static obs::Counter& frames_counter =
         obs::counter("fault_sim.faulty_frames");
-    frames_counter.add(seq.size());
-    std::vector<V64> value(nl_.num_nets(), V64::all_x());
-    std::vector<V64> state(dffs_.size(), V64::all_x());
+    value_.assign(nl_.num_nets(), V64::all_x());
+    state_.assign(dffs_.size(), V64::all_x());
     uint64_t detected = 0;
+    size_t frames_run = 0;
 
     for (size_t f = 0; f < seq.size(); ++f) {
-        eval_frame(value, seq[f], state, &fault);
+        ++frames_run;
+        eval_frame(value_, seq[f], state_, &fault);
         const auto& good = good_po[f];
         for (size_t o = 0; o < nl_.outputs().size(); ++o) {
-            V64 fv = value[nl_.outputs()[o]];
+            V64 fv = value_[nl_.outputs()[o]];
             V64 gv = good[o];
             // Definite detection: both binary and different.
             detected |= (gv.one & fv.zero) | (gv.zero & fv.one);
         }
         if (detected == ~0ull) break;
+        if (stop_at_first && detected != 0) break;
         for (size_t i = 0; i < dffs_.size(); ++i) {
             const Gate& g = nl_.gate(dffs_[i]);
-            V64 next = value[g.ins[0]];
+            V64 next = value_[g.ins[0]];
             // A stem fault on the DFF output reasserts every frame (handled
             // in eval_frame), so plain sampling is correct here.
-            state[i] = next;
+            state_[i] = next;
         }
     }
+    frames_counter.add(frames_run);
     return detected;
 }
 
-size_t FaultSimulator::run_and_drop(FaultList& list, const Sequence& seq) const {
+uint64_t FaultSimulator::detect_mask(
+    const Fault& fault, const Sequence& seq,
+    const std::vector<std::vector<V64>>& good_po) {
+    return faulty_detect(fault, seq, good_po, /*stop_at_first=*/false);
+}
+
+bool FaultSimulator::detects(const Fault& fault, const Sequence& seq,
+                             const std::vector<std::vector<V64>>& good_po) {
+    return faulty_detect(fault, seq, good_po, /*stop_at_first=*/true) != 0;
+}
+
+size_t FaultSimulator::run_and_drop(FaultList& list, const Sequence& seq) {
     auto good_po = simulate_good(seq);
     size_t newly = 0;
     for (auto& entry : list.faults()) {
         if (entry.status != FaultStatus::Undetected) continue;
-        if (detect_mask(entry.fault, seq, good_po) != 0) {
+        // A drop only needs existence, not the full mask: stop at the
+        // first detecting frame instead of re-simulating the whole
+        // sequence for an already-caught fault.
+        if (detects(entry.fault, seq, good_po)) {
             entry.status = FaultStatus::Detected;
             ++newly;
         }

@@ -14,6 +14,7 @@
 #include "synth/netlist.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -34,29 +35,41 @@ struct ScalarSequence {
     std::vector<std::vector<V5>> frames; // frames[f][pi]
 
     [[nodiscard]] size_t num_frames() const { return frames.size(); }
+    [[nodiscard]] bool operator==(const ScalarSequence&) const = default;
 };
 
 /// Expand a scalar sequence into a parallel Sequence occupying bit 0.
 [[nodiscard]] Sequence broadcast(const ScalarSequence& s, size_t num_pis);
 
+/// Simulation methods are non-const because each instance owns reusable
+/// value/state scratch arrays (no per-call allocation). One simulator must
+/// not be shared across threads; parallel callers construct one per worker
+/// — cheap, since the netlist's levelization is computed once and shared.
 class FaultSimulator {
   public:
     explicit FaultSimulator(const synth::Netlist& nl);
 
     /// Good-machine simulation; returns PO values per frame.
     [[nodiscard]] std::vector<std::vector<V64>>
-    simulate_good(const Sequence& seq) const;
+    simulate_good(const Sequence& seq);
 
     /// Detection mask for one fault: bit p set iff sequence p definitely
     /// detects the fault. `good_po` must come from simulate_good(seq).
     [[nodiscard]] uint64_t
     detect_mask(const Fault& fault, const Sequence& seq,
-                const std::vector<std::vector<V64>>& good_po) const;
+                const std::vector<std::vector<V64>>& good_po);
+
+    /// True iff any of the 64 sequences detects the fault. Unlike
+    /// detect_mask, stops simulating frames at the first detection — the
+    /// fast path for fault dropping, where the mask itself is irrelevant.
+    [[nodiscard]] bool
+    detects(const Fault& fault, const Sequence& seq,
+            const std::vector<std::vector<V64>>& good_po);
 
     /// Fault-simulate `seq` against all Undetected faults in `list`,
     /// marking Detected entries. Returns the number of newly detected
     /// faults.
-    size_t run_and_drop(FaultList& list, const Sequence& seq) const;
+    size_t run_and_drop(FaultList& list, const Sequence& seq);
 
     /// Uniformly random binary stimulus for 64 sequences x `frames` frames.
     [[nodiscard]] Sequence random_sequence(std::mt19937_64& rng,
@@ -67,10 +80,20 @@ class FaultSimulator {
   private:
     void eval_frame(std::vector<V64>& value, const Frame& frame,
                     const std::vector<V64>& state, const Fault* fault) const;
+    /// Shared engine of detect_mask/detects: simulate the faulty machine,
+    /// accumulating detection bits; `stop_at_first` ends the frame loop as
+    /// soon as any sequence detects.
+    [[nodiscard]] uint64_t
+    faulty_detect(const Fault& fault, const Sequence& seq,
+                  const std::vector<std::vector<V64>>& good_po,
+                  bool stop_at_first);
 
     const synth::Netlist& nl_;
-    std::vector<synth::GateId> topo_;
+    std::shared_ptr<const std::vector<synth::GateId>> topo_;
     std::vector<synth::GateId> dffs_;
+    // Scratch reused across calls (net values / DFF state).
+    std::vector<V64> value_;
+    std::vector<V64> state_;
 };
 
 } // namespace factor::atpg

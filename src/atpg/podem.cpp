@@ -14,7 +14,8 @@ using synth::Netlist;
 using synth::NetId;
 
 TimeFramePodem::TimeFramePodem(const Netlist& nl, PodemOptions options)
-    : nl_(nl), options_(options), topo_(nl.levelize()), dffs_(nl.dffs()) {
+    : nl_(nl), options_(options), topo_(nl.levelize_shared()),
+      dffs_(nl.dffs()) {
     pi_index_of_net_.assign(nl.num_nets(), SIZE_MAX);
     for (size_t i = 0; i < nl.inputs().size(); ++i) {
         pi_index_of_net_[nl.inputs()[i]] = i;
@@ -66,7 +67,7 @@ void TimeFramePodem::simulate(const Fault& fault, size_t frames) {
             at(f, fault.net) = faulted(at(f, fault.net), fault.sa1);
         }
 
-        for (GateId gid : topo_) {
+        for (GateId gid : *topo_) {
             const Gate& g = nl_.gate(gid);
             V5 out = V5::X;
             switch (g.type) {
@@ -157,7 +158,7 @@ void TimeFramePodem::collect_objectives(const Fault& fault, size_t frames,
     // Phase 2: propagation. One candidate per D-frontier gate (output X,
     // at least one input D/D').
     for (size_t f = 0; f < frames; ++f) {
-        for (GateId gid : topo_) {
+        for (GateId gid : *topo_) {
             const Gate& g = nl_.gate(gid);
             if (at(f, g.out) != V5::X) continue;
             bool has_d = false;
@@ -353,18 +354,30 @@ PodemResult TimeFramePodem::generate(const Fault& fault, size_t frames) {
         obs::counter("atpg.podem.decisions");
     static obs::Counter& simulations_counter =
         obs::counter("atpg.podem.simulations");
+    // Per-call hardness instrumentation: how much backtracking each fault
+    // cost and how many searches hit the backtrack limit. Flushed on every
+    // return path (including the abort returns) by the RAII guard.
+    static obs::Histogram& backtracks_hist = obs::histogram("podem.backtracks");
+    static obs::Counter& aborts_counter = obs::counter("podem.aborts");
     uint64_t decisions = 0;
     uint64_t simulations = 1;
     struct Flush {
         obs::Counter& dc;
         obs::Counter& sc;
+        obs::Histogram& bh;
+        obs::Counter& ac;
         const uint64_t& d;
         const uint64_t& s;
+        const PodemResult& r;
         ~Flush() {
             dc.add(d);
             sc.add(s);
+            bh.record(r.backtracks);
+            if (r.outcome == PodemOutcome::Abort) ac.add(1);
         }
-    } flush{decisions_counter, simulations_counter, decisions, simulations};
+    } flush{decisions_counter, simulations_counter, backtracks_hist,
+            aborts_counter,    decisions,           simulations,
+            result};
 
     std::vector<Decision> stack;
     simulate(fault, frames);

@@ -19,6 +19,8 @@
 #include "atpg/logic.hpp"
 #include "synth/netlist.hpp"
 
+#include <memory>
+
 #include <cstdint>
 #include <vector>
 
@@ -93,7 +95,7 @@ class TimeFramePodem {
 
     const synth::Netlist& nl_;
     PodemOptions options_;
-    std::vector<synth::GateId> topo_;
+    std::shared_ptr<const std::vector<synth::GateId>> topo_;
     std::vector<synth::GateId> dffs_;
     std::vector<V5> values_;      // frames * num_nets
     std::vector<V5> pi_values_;   // frames * num_pis (assigned values)

@@ -32,19 +32,21 @@ FaultInjector::FaultInjector() {
 void FaultInjector::configure(std::string site, uint64_t nth) {
     site_ = std::move(site);
     nth_ = nth > 0 ? nth : 1;
-    hits_ = 0;
-    armed_ = !site_.empty();
+    hits_.store(0, std::memory_order_relaxed);
+    armed_.store(!site_.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm() {
-    armed_ = false;
-    hits_ = 0;
+    armed_.store(false, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::hit(const char* site) {
-    if (!armed_ || site_ != site) return;
-    if (++hits_ < nth_) return;
-    armed_ = false; // fire once: retry/fallback paths run clean
+    if (!armed() || site_ != site) return;
+    if (hits_.fetch_add(1, std::memory_order_relaxed) + 1 < nth_) return;
+    // Fire once: retry/fallback paths run clean. The exchange elects a
+    // single firing thread when parallel workers race past nth_.
+    if (!armed_.exchange(false, std::memory_order_relaxed)) return;
     counter("inject.fired").add(1);
     counter("inject.fired." + site_).add(1);
     {

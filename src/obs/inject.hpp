@@ -20,8 +20,16 @@
 //   optimize.pass    per optimizer rebuild pass
 //   transform.build  at the start of transformed-module construction
 //   atpg.podem       per deterministic PODEM call
+//
+// Thread safety: hit() may be reached from parallel ATPG workers. The hit
+// counter is atomic and firing disarms via an atomic exchange, so exactly
+// one thread throws. configure()/disarm() are test setup and must not run
+// concurrently with hit(). Note that under parallelism the *site* that
+// takes the nth hit is deterministic, but which worker's fault it lands on
+// is not — tests that depend on the victim fault pin the engine to one job.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -35,7 +43,9 @@ class FaultInjector {
     /// Arm programmatically (tests). `nth` is 1-based.
     void configure(std::string site, uint64_t nth = 1);
     void disarm();
-    [[nodiscard]] bool armed() const { return armed_; }
+    [[nodiscard]] bool armed() const {
+        return armed_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] const std::string& site() const { return site_; }
 
     /// Count a hit at `site`; throws util::FactorError when this is the
@@ -45,10 +55,10 @@ class FaultInjector {
   private:
     FaultInjector();
 
-    bool armed_ = false;
+    std::atomic<bool> armed_{false};
     std::string site_;
     uint64_t nth_ = 1;
-    uint64_t hits_ = 0;
+    std::atomic<uint64_t> hits_{0};
 };
 
 /// An injection point: cheap when the injector is disarmed.

@@ -43,6 +43,68 @@ bool is_symmetric(GateType t) {
     }
 }
 
+std::shared_ptr<const std::vector<GateId>>
+Netlist::snapshot_levelize_cache() const {
+    std::lock_guard<std::mutex> lk(topo_mu_);
+    return topo_cache_;
+}
+
+Netlist::Netlist(const Netlist& other)
+    : gates_(other.gates_), net_names_(other.net_names_),
+      driver_(other.driver_), inputs_(other.inputs_),
+      outputs_(other.outputs_), output_names_(other.output_names_),
+      const0_(other.const0_), const1_(other.const1_),
+      name_prefix_(other.name_prefix_),
+      topo_cache_(other.snapshot_levelize_cache()) {}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : gates_(std::move(other.gates_)),
+      net_names_(std::move(other.net_names_)),
+      driver_(std::move(other.driver_)), inputs_(std::move(other.inputs_)),
+      outputs_(std::move(other.outputs_)),
+      output_names_(std::move(other.output_names_)), const0_(other.const0_),
+      const1_(other.const1_), name_prefix_(std::move(other.name_prefix_)),
+      topo_cache_(std::move(other.topo_cache_)) {
+    other.topo_cache_.reset();
+    other.const0_ = kNoNet;
+    other.const1_ = kNoNet;
+}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+    if (this == &other) return *this;
+    gates_ = other.gates_;
+    net_names_ = other.net_names_;
+    driver_ = other.driver_;
+    inputs_ = other.inputs_;
+    outputs_ = other.outputs_;
+    output_names_ = other.output_names_;
+    const0_ = other.const0_;
+    const1_ = other.const1_;
+    name_prefix_ = other.name_prefix_;
+    auto cache = other.snapshot_levelize_cache();
+    std::lock_guard<std::mutex> lk(topo_mu_);
+    topo_cache_ = std::move(cache);
+    return *this;
+}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+    if (this == &other) return *this;
+    gates_ = std::move(other.gates_);
+    net_names_ = std::move(other.net_names_);
+    driver_ = std::move(other.driver_);
+    inputs_ = std::move(other.inputs_);
+    outputs_ = std::move(other.outputs_);
+    output_names_ = std::move(other.output_names_);
+    const0_ = other.const0_;
+    const1_ = other.const1_;
+    name_prefix_ = std::move(other.name_prefix_);
+    topo_cache_ = std::move(other.topo_cache_);
+    other.topo_cache_.reset();
+    other.const0_ = kNoNet;
+    other.const1_ = kNoNet;
+    return *this;
+}
+
 NetId Netlist::new_net(std::string name) {
     NetId id = static_cast<NetId>(net_names_.size());
     net_names_.push_back(std::move(name));
@@ -72,6 +134,9 @@ void Netlist::add_gate_driving(NetId out, GateType type,
     }
     driver_[out] = static_cast<GateId>(gates_.size());
     gates_.push_back(Gate{type, out, std::move(ins)});
+    // Every structural mutation funnels through here (add_gate and the
+    // constant helpers call in), so this is the single invalidation point.
+    invalidate_levelize();
 }
 
 NetId Netlist::const0() {
@@ -122,7 +187,28 @@ std::vector<GateId> Netlist::dffs() const {
     return out;
 }
 
-std::vector<GateId> Netlist::levelize() const {
+void Netlist::invalidate_levelize() {
+    std::lock_guard<std::mutex> lk(topo_mu_);
+    topo_cache_.reset();
+}
+
+std::vector<GateId> Netlist::levelize() const { return *levelize_shared(); }
+
+std::shared_ptr<const std::vector<GateId>> Netlist::levelize_shared() const {
+    {
+        std::lock_guard<std::mutex> lk(topo_mu_);
+        if (topo_cache_ != nullptr) return topo_cache_;
+    }
+    // Compute outside the lock (it can throw on a cycle); first publisher
+    // wins if several threads raced on a cold cache.
+    auto computed = std::make_shared<const std::vector<GateId>>(
+        compute_levelize());
+    std::lock_guard<std::mutex> lk(topo_mu_);
+    if (topo_cache_ == nullptr) topo_cache_ = std::move(computed);
+    return topo_cache_;
+}
+
+std::vector<GateId> Netlist::compute_levelize() const {
     // Kahn's algorithm over combinational gates; DFF outputs are sources.
     std::vector<uint32_t> pending(gates_.size(), 0);
     std::vector<std::vector<GateId>> fanout = build_fanout();

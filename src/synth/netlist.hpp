@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,15 @@ struct Gate {
 /// driving gate are primary inputs. Primary outputs name driven nets.
 class Netlist {
   public:
+    Netlist() = default;
+    // The levelization cache below carries a mutex, so the compiler cannot
+    // generate these; netlists are passed around by value all over the
+    // synthesis pipeline. Copies share the (immutable) cached order.
+    Netlist(const Netlist& other);
+    Netlist(Netlist&& other) noexcept;
+    Netlist& operator=(const Netlist& other);
+    Netlist& operator=(Netlist&& other) noexcept;
+
     // ----- construction -----------------------------------------------------
     /// Create a fresh net. `name` is for reports/debug; may repeat.
     NetId new_net(std::string name);
@@ -115,7 +126,15 @@ class Netlist {
     /// Combinational topological order of gate ids (DFF outputs and primary
     /// inputs are sources; DFFs themselves are excluded). Throws FactorError
     /// on a combinational cycle; the message names the nets on the cycle.
+    /// Computed once and cached; mutation invalidates the cache. Safe to
+    /// call concurrently on a netlist that is not being mutated.
     [[nodiscard]] std::vector<GateId> levelize() const;
+
+    /// Cached levelization without the copy: the preferred form for
+    /// long-lived consumers (fault simulator, PODEM). The returned vector
+    /// is immutable and survives the netlist.
+    [[nodiscard]] std::shared_ptr<const std::vector<GateId>>
+    levelize_shared() const;
 
     /// Fanout lists: for each net, the gates reading it.
     [[nodiscard]] std::vector<std::vector<GateId>> build_fanout() const;
@@ -133,6 +152,14 @@ class Netlist {
     [[nodiscard]] std::string
     describe_cycle(const std::vector<GateId>& order) const;
 
+    /// The uncached Kahn's-algorithm levelization behind levelize().
+    [[nodiscard]] std::vector<GateId> compute_levelize() const;
+    /// Drop the cached order after a mutation.
+    void invalidate_levelize();
+    /// Snapshot another netlist's cache (for copy/move).
+    [[nodiscard]] std::shared_ptr<const std::vector<GateId>>
+    snapshot_levelize_cache() const;
+
     std::vector<Gate> gates_;
     std::vector<std::string> net_names_;
     std::vector<GateId> driver_;
@@ -142,6 +169,11 @@ class Netlist {
     NetId const0_ = kNoNet;
     NetId const1_ = kNoNet;
     std::string name_prefix_;
+
+    /// Compute-once levelization cache. The mutex only orders cache
+    /// fills/reads; the cached vector itself is immutable once published.
+    mutable std::mutex topo_mu_;
+    mutable std::shared_ptr<const std::vector<GateId>> topo_cache_;
 
     friend class Optimizer;
 };

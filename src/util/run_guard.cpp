@@ -34,53 +34,55 @@ const char* to_string(GuardStop s) {
     return "unknown";
 }
 
+void RunGuard::latch(GuardStop reason) {
+    GuardStop expected = GuardStop::None;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+}
+
 bool RunGuard::tick(uint64_t work) {
-    work_used_ += work;
-    if (reason_ == GuardStop::None && limits_.work_quota > 0 &&
-        work_used_ > limits_.work_quota) {
-        reason_ = GuardStop::WorkQuota;
+    uint64_t used =
+        work_used_.fetch_add(work, std::memory_order_relaxed) + work;
+    if (limits_.work_quota > 0 && used > limits_.work_quota) {
+        latch(GuardStop::WorkQuota);
     }
     return !stopped();
 }
 
 bool RunGuard::note_gates(uint64_t total) {
-    if (reason_ == GuardStop::None && limits_.max_gates > 0 &&
-        total > limits_.max_gates) {
-        reason_ = GuardStop::GateCap;
+    if (limits_.max_gates > 0 && total > limits_.max_gates) {
+        latch(GuardStop::GateCap);
     }
     return !stopped();
 }
 
 bool RunGuard::note_nodes(uint64_t total) {
-    if (reason_ == GuardStop::None && limits_.max_nodes > 0 &&
-        total > limits_.max_nodes) {
-        reason_ = GuardStop::NodeCap;
+    if (limits_.max_nodes > 0 && total > limits_.max_nodes) {
+        latch(GuardStop::NodeCap);
     }
     return !stopped();
 }
 
 bool RunGuard::stopped() {
-    if (reason_ != GuardStop::None) return true;
+    if (reason() != GuardStop::None) return true;
     if (interrupt_requested()) {
-        reason_ = GuardStop::Interrupt;
+        latch(GuardStop::Interrupt);
         return true;
     }
     if (limits_.wall_seconds > 0.0 &&
         watch_.seconds() >= limits_.wall_seconds) {
-        reason_ = GuardStop::WallClock;
+        latch(GuardStop::WallClock);
         return true;
     }
     return false;
 }
 
 void RunGuard::trip(GuardStop reason) {
-    if (reason_ == GuardStop::None && reason != GuardStop::None) {
-        reason_ = reason;
-    }
+    if (reason != GuardStop::None) latch(reason);
 }
 
 double RunGuard::remaining_seconds() const {
-    if (reason_ != GuardStop::None) return 0.0;
+    if (reason() != GuardStop::None) return 0.0;
     if (limits_.wall_seconds <= 0.0) return 1e30;
     double left = limits_.wall_seconds - watch_.seconds();
     return left > 0.0 ? left : 0.0;

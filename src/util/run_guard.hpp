@@ -17,10 +17,17 @@
 // including an otherwise unlimited one, reports stopped() once the flag is
 // up, so a Ctrl-C still drains through the same partial-result paths as a
 // budget overrun. The first stop reason is latched and never changes.
+//
+// Thread safety: one guard may be shared by every worker of a parallel
+// phase. tick()/note_*/stopped()/trip() are safe to call concurrently —
+// the work counter is atomic and the stop reason is latched with a
+// compare-and-swap, so exactly one reason ever wins and all threads agree
+// on it.
 #pragma once
 
 #include "util/stopwatch.hpp"
 
+#include <atomic>
 #include <cstdint>
 
 namespace factor::util {
@@ -68,7 +75,9 @@ class RunGuard {
 
     /// Latched stop reason; None while the run may continue. Does not
     /// re-check the clocks — call stopped() first for a fresh answer.
-    [[nodiscard]] GuardStop reason() const { return reason_; }
+    [[nodiscard]] GuardStop reason() const {
+        return reason_.load(std::memory_order_relaxed);
+    }
 
     /// Manually trip the guard (used by tests and the CLI signal path).
     void trip(GuardStop reason);
@@ -77,7 +86,9 @@ class RunGuard {
     /// Seconds left on the wall budget (a large sentinel when unlimited,
     /// 0 once stopped for any reason).
     [[nodiscard]] double remaining_seconds() const;
-    [[nodiscard]] uint64_t work_used() const { return work_used_; }
+    [[nodiscard]] uint64_t work_used() const {
+        return work_used_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] const GuardLimits& limits() const { return limits_; }
 
     // ---- process-wide interrupt flag (async-signal-safe) ----------------
@@ -89,10 +100,13 @@ class RunGuard {
     static void clear_interrupt();
 
   private:
+    /// Latch `reason` as the stop cause iff none is set yet.
+    void latch(GuardStop reason);
+
     GuardLimits limits_;
     Stopwatch watch_;
-    uint64_t work_used_ = 0;
-    GuardStop reason_ = GuardStop::None;
+    std::atomic<uint64_t> work_used_{0};
+    std::atomic<GuardStop> reason_{GuardStop::None};
 };
 
 } // namespace factor::util

@@ -1,0 +1,222 @@
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace factor::util {
+
+namespace {
+
+std::atomic<size_t> g_default_jobs{0};
+
+// Identity of the pool task currently running on this thread, so nested
+// for_each() calls execute inline on the right executor instead of
+// deadlocking on their own pool.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local size_t tl_executor = 0;
+
+struct TlScope {
+    ThreadPool* prev_pool;
+    size_t prev_executor;
+    TlScope(ThreadPool* pool, size_t executor)
+        : prev_pool(tl_pool), prev_executor(tl_executor) {
+        tl_pool = pool;
+        tl_executor = executor;
+    }
+    ~TlScope() {
+        tl_pool = prev_pool;
+        tl_executor = prev_executor;
+    }
+};
+
+} // namespace
+
+size_t ThreadPool::default_jobs() {
+    size_t j = g_default_jobs.load();
+    if (j > 0) return j;
+    const char* env = std::getenv("FACTOR_JOBS");
+    if (env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0) {
+            return static_cast<size_t>(v);
+        }
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? hc : 1;
+}
+
+void ThreadPool::set_default_jobs(size_t jobs) { g_default_jobs.store(jobs); }
+
+ThreadPool::ThreadPool(size_t executors) {
+    size_t k = executors > 0 ? executors : default_jobs();
+    deques_.reserve(k);
+    for (size_t i = 0; i < k; ++i) deques_.push_back(std::make_unique<Deque>());
+    threads_.reserve(k - 1);
+    for (size_t id = 1; id < k; ++id) {
+        threads_.emplace_back([this, id] { worker_loop(id); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    wait_idle();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    size_t d = rr_.fetch_add(1) % deques_.size();
+    {
+        std::lock_guard<std::mutex> lk(deques_[d]->mu);
+        deques_[d]->q.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++pending_;
+    }
+    cv_wake_.notify_one();
+}
+
+std::function<void()> ThreadPool::take(size_t id) {
+    {
+        Deque& own = *deques_[id];
+        std::lock_guard<std::mutex> lk(own.mu);
+        if (!own.q.empty()) {
+            std::function<void()> t = std::move(own.q.back());
+            own.q.pop_back();
+            return t;
+        }
+    }
+    for (size_t k = 1; k < deques_.size(); ++k) {
+        Deque& victim = *deques_[(id + k) % deques_.size()];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.q.empty()) {
+            std::function<void()> t = std::move(victim.q.front());
+            victim.q.pop_front();
+            steals_.fetch_add(1);
+            return t;
+        }
+    }
+    return {};
+}
+
+void ThreadPool::run_task(std::unique_lock<std::mutex>& lk, size_t id,
+                          std::function<void()> task) {
+    // Called with mu_ held and pending_ already counting this task.
+    --pending_;
+    ++running_;
+    lk.unlock();
+    tasks_.fetch_add(1);
+    {
+        TlScope scope(this, id);
+        task();
+    }
+    lk.lock();
+    --running_;
+    if (pending_ == 0 && running_ == 0) cv_done_.notify_all();
+}
+
+void ThreadPool::worker_loop(size_t id) {
+    using clock = std::chrono::steady_clock;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+        if (!stop_ && pending_ == 0) {
+            auto park = clock::now();
+            cv_wake_.wait(lk, [&] { return stop_ || pending_ > 0; });
+            idle_ns_.fetch_add(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - park)
+                    .count()));
+        }
+        if (stop_ && pending_ == 0) return;
+        std::function<void()> task = take(id);
+        if (!task) {
+            // pending_ counted a task another executor took first; let the
+            // predicate re-check rather than spin.
+            if (stop_) return;
+            cv_wake_.wait_for(lk, std::chrono::milliseconds(1));
+            continue;
+        }
+        run_task(lk, id, task);
+    }
+}
+
+bool ThreadPool::help_run_one() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (pending_ == 0) return false;
+    std::function<void()> task = take(0);
+    if (!task) return false;
+    run_task(lk, 0, task);
+    return true;
+}
+
+void ThreadPool::wait_idle() {
+    while (help_run_one()) {}
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0 && running_ == 0; });
+}
+
+void ThreadPool::for_each(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (deques_.size() == 1 || n == 1 || tl_pool == this) {
+        // Serial pool, trivial range, or nested call from inside a pool
+        // task: run inline on the current executor, in index order.
+        size_t ex = tl_pool == this ? tl_executor : 0;
+        for (size_t i = 0; i < n; ++i) fn(ex, i);
+        return;
+    }
+
+    // Over-decompose relative to the executor count so uneven chunks
+    // rebalance by stealing.
+    size_t chunks = std::min(n, deques_.size() * 4);
+    size_t per = n / chunks;
+    size_t extra = n % chunks; // first `extra` chunks get one more index
+
+    struct Latch {
+        std::mutex mu;
+        std::condition_variable cv;
+        size_t left;
+    } latch{{}, {}, chunks};
+
+    size_t begin = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t end = begin + per + (c < extra ? 1 : 0);
+        submit([&fn, &latch, begin, end] {
+            for (size_t i = begin; i < end; ++i) fn(tl_executor, i);
+            // Notify under the lock: the caller destroys the latch as soon
+            // as it observes left == 0, which it can only do after this
+            // critical section ends.
+            std::lock_guard<std::mutex> lk(latch.mu);
+            if (--latch.left == 0) latch.cv.notify_all();
+        });
+        begin = end;
+    }
+
+    // Participate as executor 0, then park until the last chunk lands.
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lk(latch.mu);
+            if (latch.left == 0) return;
+        }
+        if (!help_run_one()) {
+            std::unique_lock<std::mutex> lk(latch.mu);
+            latch.cv.wait(lk, [&] { return latch.left == 0; });
+            return;
+        }
+    }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+    Stats s;
+    s.tasks = tasks_.load();
+    s.steals = steals_.load();
+    s.idle_ns = idle_ns_.load();
+    return s;
+}
+
+} // namespace factor::util

@@ -1,0 +1,102 @@
+// Fixed-size work-stealing thread pool shared by the parallel phases of
+// the pipeline (fault simulation, deterministic PODEM).
+//
+// Topology: a pool with E executors owns E deques and spawns E-1 worker
+// threads; the thread that constructed the pool is executor 0 and
+// participates whenever it calls wait_idle() or for_each(). submit()
+// distributes tasks round-robin across the deques; an executor pops its
+// own deque from the back (LIFO, cache-warm) and steals from other deques
+// from the front (FIFO, oldest first). With one executor everything runs
+// inline on the caller — a pool of size 1 is the serial engine.
+//
+// Tasks must not throw: an escaping exception from a worker thread would
+// terminate the process. Wrap fallible work in its own try/catch and
+// report through the task's own channels.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace factor::util {
+
+class ThreadPool {
+  public:
+    /// `executors` == 0 picks default_jobs(). The pool spawns
+    /// executors - 1 threads; the constructing thread is executor 0.
+    explicit ThreadPool(size_t executors = 0);
+    /// Drains every queued task (the destroying thread helps), then joins.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] size_t executors() const { return deques_.size(); }
+
+    /// Queue a task. Thread-safe; callable from inside pool tasks.
+    void submit(std::function<void()> task);
+
+    /// Run queued tasks on the calling thread (as executor 0) until the
+    /// pool is idle: no task queued, none executing.
+    void wait_idle();
+
+    /// Call `fn(executor, index)` once for every index in [0, n).
+    /// `executor` is the id (< executors()) of the executor running that
+    /// index — the key for per-executor scratch state. Blocks until all
+    /// indices ran; the caller participates. Runs inline (in index order)
+    /// when the pool has one executor or when called from inside a pool
+    /// task — nested parallelism does not oversubscribe.
+    void for_each(size_t n,
+                  const std::function<void(size_t executor, size_t index)>& fn);
+
+    struct Stats {
+        uint64_t tasks = 0;   // tasks executed
+        uint64_t steals = 0;  // tasks taken from another executor's deque
+        uint64_t idle_ns = 0; // summed worker wall-time spent parked
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Default executor count: set_default_jobs() override if set, else
+    /// the FACTOR_JOBS environment variable, else hardware_concurrency
+    /// (minimum 1).
+    [[nodiscard]] static size_t default_jobs();
+    /// Process-wide override (the CLI --jobs flag). 0 clears it.
+    static void set_default_jobs(size_t jobs);
+
+  private:
+    struct Deque {
+        std::mutex mu;
+        std::deque<std::function<void()>> q;
+    };
+
+    void worker_loop(size_t id);
+    /// Pop own deque (back) or steal (front); empty function when no work.
+    [[nodiscard]] std::function<void()> take(size_t id);
+    /// Caller-side helper: take and run one task as executor 0.
+    bool help_run_one();
+    void run_task(std::unique_lock<std::mutex>& lk, size_t id,
+                  std::function<void()> task);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_; // guards pending_/running_/stop_
+    std::condition_variable cv_wake_; // task queued or stopping
+    std::condition_variable cv_done_; // pool became idle
+    size_t pending_ = 0; // queued, not yet taken
+    size_t running_ = 0; // taken, executing
+    bool stop_ = false;
+
+    std::atomic<uint64_t> rr_{0}; // round-robin submit cursor
+    std::atomic<uint64_t> tasks_{0};
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> idle_ns_{0};
+};
+
+} // namespace factor::util

@@ -1,0 +1,139 @@
+// util::ThreadPool: submit/steal/shutdown semantics under contention, and
+// the for_each contract the parallel ATPG engine builds on.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+using factor::util::ThreadPool;
+
+TEST(ThreadPool, ForEachVisitsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.for_each(kN, [&](size_t ex, size_t i) {
+        EXPECT_LT(ex, pool.executors());
+        visits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ForEachRunsInlineAndInOrderWithOneExecutor) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.executors(), 1u);
+    std::vector<size_t> order;
+    pool.for_each(5, [&](size_t ex, size_t i) {
+        EXPECT_EQ(ex, 0u);
+        order.push_back(i); // safe: inline on this thread
+    });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(pool.stats().tasks, 0u); // nothing was queued
+}
+
+TEST(ThreadPool, NestedForEachRunsInlineOnTheSameExecutor) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> visits(12);
+    pool.for_each(4, [&](size_t outer_ex, size_t) {
+        pool.for_each(3, [&](size_t inner_ex, size_t j) {
+            // Nested parallelism must not deadlock or hop executors.
+            EXPECT_EQ(inner_ex, outer_ex);
+            visits[j].fetch_add(1);
+        });
+    });
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(visits[j].load(), 4);
+}
+
+TEST(ThreadPool, SubmitFromManyThreadsAllTasksRun) {
+    ThreadPool pool(4);
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 200;
+    std::atomic<int> ran{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+            for (int t = 0; t < kPerProducer; ++t) {
+                pool.submit([&ran] { ran.fetch_add(1); });
+            }
+        });
+    }
+    for (auto& t : producers) t.join();
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+    EXPECT_GE(pool.stats().tasks, static_cast<uint64_t>(ran.load()));
+}
+
+TEST(ThreadPool, WorkersStealFromOtherDeques) {
+    // Two executors: the caller (0) and one worker (1). submit()
+    // round-robins across both deques, and the caller never helps — so
+    // the worker can only finish every task by stealing deque 0's share.
+    ThreadPool pool(2);
+    constexpr int kTasks = 50;
+    std::atomic<int> ran{0};
+    for (int t = 0; t < kTasks; ++t) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    while (ran.load() < kTasks) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(pool.stats().steals, 1u);
+}
+
+TEST(ThreadPool, IdleTimeIsAccounted) {
+    ThreadPool pool(2);
+    // Give the worker time to park, then wake it with a task: the park
+    // interval lands in idle_ns when the wait returns.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    while (ran.load() < 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GT(pool.stats().idle_ns, 0u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+    std::atomic<int> ran{0};
+    constexpr int kTasks = 500;
+    {
+        ThreadPool pool(4);
+        for (int t = 0; t < kTasks; ++t) {
+            pool.submit([&ran] { ran.fetch_add(1); });
+        }
+        // No wait_idle: the destructor must drain, not drop.
+    }
+    EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ShutdownUnderContention) {
+    // Construct/submit/destroy in a tight loop to shake out lost-wakeup
+    // and join-order bugs.
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> ran{0};
+        {
+            ThreadPool pool(3);
+            for (int t = 0; t < 40; ++t) {
+                pool.submit([&ran] { ran.fetch_add(1); });
+            }
+        }
+        ASSERT_EQ(ran.load(), 40) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, DefaultJobsHonorsOverrideThenEnv) {
+    ThreadPool::set_default_jobs(3);
+    EXPECT_EQ(ThreadPool::default_jobs(), 3u);
+    ThreadPool::set_default_jobs(0); // clear override
+    ::setenv("FACTOR_JOBS", "2", 1);
+    EXPECT_EQ(ThreadPool::default_jobs(), 2u);
+    ::unsetenv("FACTOR_JOBS");
+    EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}

@@ -41,6 +41,7 @@
 #include "util/phase.hpp"
 #include "util/run_guard.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +72,7 @@ struct Args {
     std::string stats_path;
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
+    size_t jobs = 0; // 0: FACTOR_JOBS env or hardware concurrency
     uint64_t work_quota = 0;
     uint64_t max_gates = 0;
     uint64_t max_nodes = 0;
@@ -85,7 +87,10 @@ void usage() {
                  "[--no-piers]\n"
                  "       [--work-quota=<n>] [--max-gates=<n>] "
                  "[--max-nodes=<n>]\n"
-                 "       [--trace=<file.ndjson>] [--stats-json=<file.json>]\n"
+                 "       [--jobs=<n>] [--trace=<file.ndjson>] "
+                 "[--stats-json=<file.json>]\n"
+                 "  --jobs=<n> sets the parallel ATPG worker count "
+                 "(default: $FACTOR_JOBS or hardware).\n"
                  "  <top> defaults to the builtin name when --builtin is "
                  "given.\n"
                  "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
@@ -132,6 +137,12 @@ bool parse_args(int argc, char** argv, Args& out) {
             }
         } else if (a.rfind("--budget=", 0) == 0) {
             out.budget = std::atof(a.c_str() + 9);
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            out.jobs = std::strtoull(a.c_str() + 7, nullptr, 10);
+            if (out.jobs == 0) {
+                std::fprintf(stderr, "--jobs needs a positive integer\n");
+                options_ok = false;
+            }
         } else if (a.rfind("--work-quota=", 0) == 0) {
             out.work_quota = std::strtoull(a.c_str() + 13, nullptr, 10);
         } else if (a.rfind("--max-gates=", 0) == 0) {
@@ -258,6 +269,7 @@ bool write_stats_json(const Args& args, int exit_code) {
         << ",\"mode\":"
         << (args.mode == core::Mode::Composed ? "\"composed\"" : "\"flat\"")
         << ",\"exit_code\":" << exit_code
+        << ",\"threads\":" << util::ThreadPool::default_jobs()
         << ",\"status\":\"" << util::to_string(g_phases.overall()) << '"'
         << ",\"interrupted\":" << (interrupted ? "true" : "false")
         << ",\"phases\":" << g_phases.to_json()
@@ -352,6 +364,7 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
     atpg::EngineOptions opts;
     opts.time_budget_s = args.budget;
     opts.guard = g_guard;
+    opts.jobs = args.jobs;
 
     if (args.mut_path.empty()) {
         // Whole-design ATPG.
@@ -540,6 +553,7 @@ int main(int argc, char** argv) {
     if (!args.trace_path.empty()) {
         obs::Tracer::global().start(args.trace_path);
     }
+    if (args.jobs > 0) util::ThreadPool::set_default_jobs(args.jobs);
 
     util::RunGuard guard(util::GuardLimits{args.budget, args.work_quota,
                                            args.max_gates, args.max_nodes});
