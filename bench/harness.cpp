@@ -3,6 +3,7 @@
 #include "atpg/fault.hpp"
 #include "core/testability.hpp"
 #include "rtl/parser.hpp"
+#include "util/journal.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -10,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 namespace factor::bench {
 
@@ -32,12 +34,9 @@ std::string JsonReport::output_path() {
 
 bool JsonReport::write(const std::string& bench_name) {
     const std::string path = output_path();
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write bench report to '%s'\n",
-                     path.c_str());
-        return false;
-    }
+    // Build the whole document first, then publish atomically so a crash
+    // (or a concurrent reader) never sees a torn report.
+    std::ostringstream out;
     out << "{\"schema\":\"factor.bench.v1\""
         << ",\"bench\":\"" << obs::json_escape(bench_name) << '"'
         // Worker count the ATPG rows ran with, so perf numbers stay
@@ -53,8 +52,9 @@ bool JsonReport::write(const std::string& bench_name) {
             << ",\"metrics\":" << r.doc.to_json() << '}';
     }
     out << "],\"registry\":" << obs::Registry::global().to_json() << "}\n";
-    if (!out) {
-        std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+    if (!util::write_file_atomic(path, out.str())) {
+        std::fprintf(stderr, "cannot write bench report to '%s'\n",
+                     path.c_str());
         return false;
     }
     std::fprintf(stderr, "bench report written to %s\n", path.c_str());

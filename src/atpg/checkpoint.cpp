@@ -1,0 +1,407 @@
+#include "atpg/checkpoint.hpp"
+
+#include "obs/inject.hpp"
+#include "obs/obs.hpp"
+#include "util/crc32.hpp"
+#include "util/diagnostics.hpp"
+
+namespace factor::atpg::ckpt {
+
+namespace {
+
+constexpr char kOutcomes[] = "subdp"; // valid Commit/Retry outcome codes
+
+bool valid_outcome(char c) {
+    for (const char* p = kOutcomes; *p != '\0'; ++p) {
+        if (*p == c) return true;
+    }
+    return false;
+}
+
+std::string named(const char* name, const std::string& detail) {
+    return std::string(name) + ": " + detail;
+}
+
+} // namespace
+
+// -------------------------------------------------------------- fingerprint
+
+std::string fingerprint(const synth::Netlist& nl, const FaultList& faults,
+                        const EngineOptions& options) {
+    util::Fnv64 h;
+    // Netlist: topology and names (fault sites and scoping are name-based).
+    h.mix(static_cast<uint64_t>(nl.num_nets()));
+    for (size_t n = 0; n < nl.num_nets(); ++n) {
+        h.mix(nl.net_name(static_cast<synth::NetId>(n)));
+        h.mix(uint64_t{0x1f});
+    }
+    h.mix(static_cast<uint64_t>(nl.num_gates()));
+    for (const auto& g : nl.gates()) {
+        h.mix(static_cast<uint64_t>(g.type));
+        h.mix(static_cast<uint64_t>(g.out));
+        h.mix(static_cast<uint64_t>(g.ins.size()));
+        for (auto in : g.ins) h.mix(static_cast<uint64_t>(in));
+    }
+    h.mix(static_cast<uint64_t>(nl.inputs().size()));
+    for (auto n : nl.inputs()) h.mix(static_cast<uint64_t>(n));
+    h.mix(static_cast<uint64_t>(nl.outputs().size()));
+    for (auto n : nl.outputs()) h.mix(static_cast<uint64_t>(n));
+    // Collapsed fault list: the commit order is its index order.
+    h.mix(static_cast<uint64_t>(faults.size()));
+    for (const auto& e : faults.faults()) {
+        h.mix(static_cast<uint64_t>(e.fault.net));
+        h.mix(static_cast<uint64_t>(e.fault.gate));
+        h.mix(static_cast<uint64_t>(e.fault.pin));
+        h.mix(e.fault.sa1);
+    }
+    // Every option that shapes the trajectory. jobs and the wall/work
+    // budgets are deliberately absent (see the header comment).
+    h.mix(static_cast<uint64_t>(options.random_batches));
+    h.mix(static_cast<uint64_t>(options.random_frames));
+    h.mix(static_cast<uint64_t>(options.random_stale_limit));
+    h.mix(static_cast<uint64_t>(options.max_backtracks));
+    h.mix(static_cast<uint64_t>(options.max_frames));
+    h.mix(options.seed);
+    h.mix(options.scope_prefix);
+    h.mix(options.collect_tests);
+    h.mix(static_cast<uint64_t>(options.retry_rounds));
+    h.mix(static_cast<uint64_t>(options.retry_backtrack_growth));
+    h.mix(static_cast<uint64_t>(options.retry_backtrack_cap));
+    return h.hex();
+}
+
+// ------------------------------------------------------------------- codecs
+
+std::string encode_test(const ScalarSequence& test) {
+    std::string out;
+    for (size_t f = 0; f < test.frames.size(); ++f) {
+        if (f > 0) out += '|';
+        for (V5 v : test.frames[f]) {
+            switch (v) {
+            case V5::Zero: out += '0'; break;
+            case V5::One: out += '1'; break;
+            case V5::X: out += 'X'; break;
+            case V5::D: out += 'D'; break;
+            case V5::DB: out += 'B'; break;
+            }
+        }
+    }
+    return out;
+}
+
+bool decode_test(std::string_view text, size_t num_pis, ScalarSequence& out) {
+    out.frames.clear();
+    std::vector<V5> frame;
+    frame.reserve(num_pis);
+    auto flush = [&]() {
+        if (frame.size() != num_pis) return false;
+        out.frames.push_back(frame);
+        frame.clear();
+        return true;
+    };
+    for (char c : text) {
+        switch (c) {
+        case '0': frame.push_back(V5::Zero); break;
+        case '1': frame.push_back(V5::One); break;
+        case 'X': frame.push_back(V5::X); break;
+        case 'D': frame.push_back(V5::D); break;
+        case 'B': frame.push_back(V5::DB); break;
+        case '|':
+            if (!flush()) return false;
+            break;
+        default: return false;
+        }
+    }
+    if (!flush()) return false;
+    return !out.frames.empty();
+}
+
+util::JournalRecord encode_header(const Header& h) {
+    util::JournalRecord rec;
+    rec.set("t", "h")
+        .set("schema", kSchema)
+        .set("fp", h.fingerprint)
+        .set_u64("faults", h.total_faults)
+        .set_u64("attempt", h.attempt)
+        .set_u64("w", h.prior_work)
+        .set_f64("s", h.prior_seconds);
+    return rec;
+}
+
+util::JournalRecord encode_event(const Event& ev) {
+    util::JournalRecord rec;
+    switch (ev.kind) {
+    case EventKind::RandomBatch:
+        rec.set("t", "rb").set_u64("batch", ev.batch).set_u64("newly",
+                                                              ev.newly);
+        break;
+    case EventKind::RandomPhaseEnd: rec.set("t", "rp"); break;
+    case EventKind::Commit:
+        rec.set("t", "c").set_u64("i", ev.fault).set("o",
+                                                     std::string(1, ev.outcome));
+        if (ev.outcome == 's') rec.set("v", encode_test(ev.test));
+        break;
+    case EventKind::Retry:
+        rec.set("t", "e")
+            .set_u64("round", ev.round)
+            .set_u64("i", ev.fault)
+            .set("o", std::string(1, ev.outcome));
+        if (ev.outcome == 's') rec.set("v", encode_test(ev.test));
+        break;
+    case EventKind::RoundEnd:
+        rec.set("t", "er").set_u64("round", ev.round);
+        break;
+    case EventKind::End: rec.set("t", "end").set("reason", ev.reason); break;
+    }
+    rec.set_u64("w", ev.work).set_f64("s", ev.seconds);
+    return rec;
+}
+
+// ------------------------------------------------------------------- loader
+
+Load load(const std::string& path, const std::string& expected_fingerprint,
+          size_t num_faults, size_t num_pis) {
+    Load out;
+    try {
+        obs::inject_point("atpg.ckpt.load");
+    } catch (const util::FactorError& e) {
+        out.diagnostic = named("ckpt.load_failed", e.what());
+        return out;
+    }
+    util::JournalLoad jl = util::journal_load(path);
+    out.dropped_lines = jl.dropped_lines;
+    if (!jl.ok) {
+        out.diagnostic = named("ckpt.open_failed", jl.error);
+        return out;
+    }
+    if (jl.records.empty()) {
+        out.diagnostic = named(
+            "ckpt.empty", "'" + path + "' has no intact checkpoint header");
+        return out;
+    }
+
+    // ---- header ----------------------------------------------------------
+    const util::JournalRecord& h = jl.records[0];
+    const std::string* t = h.get("t");
+    const std::string* schema = h.get("schema");
+    if (t == nullptr || *t != "h" || schema == nullptr) {
+        out.diagnostic =
+            named("ckpt.bad_schema", "first record is not a checkpoint header");
+        return out;
+    }
+    if (*schema != kSchema) {
+        out.diagnostic = named("ckpt.bad_schema",
+                               "unsupported schema '" + *schema + "'");
+        return out;
+    }
+    const std::string* fp = h.get("fp");
+    out.header.fingerprint = fp != nullptr ? *fp : "";
+    out.header.total_faults = h.get_u64("faults");
+    out.header.attempt = h.get_u64("attempt", 1);
+    out.header.prior_work = h.get_u64("w");
+    out.header.prior_seconds = h.get_f64("s");
+    if (out.header.fingerprint != expected_fingerprint) {
+        out.diagnostic = named(
+            "ckpt.fingerprint_mismatch",
+            "checkpoint was written by a different run configuration "
+            "(design, seed or engine options changed); refusing to resume");
+        return out;
+    }
+    if (out.header.total_faults != num_faults) {
+        out.diagnostic = named("ckpt.fingerprint_mismatch",
+                               "fault count differs from the checkpoint");
+        return out;
+    }
+
+    // ---- events + order state machine ------------------------------------
+    // Phase order: rb* rp? c* (e|er)* end? — with batches sequential, commit
+    // fault indices strictly increasing, rounds contiguous from 1, and
+    // within a round fault indices strictly increasing.
+    enum class Stage { Random, Deterministic, Escalation, Done };
+    Stage stage = Stage::Random;
+    uint64_t next_batch = 0;
+    bool random_done = false;
+    uint64_t last_fault = 0;
+    bool any_commit = false;
+    uint64_t rounds_done = 0;
+    uint64_t cur_round = 0; // 0: no open round
+    uint64_t last_retry_fault = 0;
+
+    auto reject = [&](const std::string& why) {
+        out.events.clear();
+        out.diagnostic = named("ckpt.malformed_record", why);
+    };
+
+    for (size_t r = 1; r < jl.records.size(); ++r) {
+        const util::JournalRecord& rec = jl.records[r];
+        const std::string* tt = rec.get("t");
+        if (tt == nullptr) {
+            reject("record without a type");
+            return out;
+        }
+        if (stage == Stage::Done) {
+            reject("record after the end marker");
+            return out;
+        }
+        Event ev;
+        ev.work = rec.get_u64("w");
+        ev.seconds = rec.get_f64("s");
+        if (*tt == "rb") {
+            if (stage != Stage::Random || random_done) {
+                reject("random batch after the random phase ended");
+                return out;
+            }
+            ev.kind = EventKind::RandomBatch;
+            ev.batch = rec.get_u64("batch", ~uint64_t{0});
+            ev.newly = rec.get_u64("newly");
+            if (ev.batch != next_batch) {
+                reject("random batches out of order");
+                return out;
+            }
+            ++next_batch;
+        } else if (*tt == "rp") {
+            if (stage != Stage::Random || random_done) {
+                reject("duplicate random-phase end");
+                return out;
+            }
+            ev.kind = EventKind::RandomPhaseEnd;
+            random_done = true;
+        } else if (*tt == "c") {
+            if (stage == Stage::Escalation) {
+                reject("commit after escalation began");
+                return out;
+            }
+            if (!random_done) {
+                reject("commit before the random phase ended");
+                return out;
+            }
+            stage = Stage::Deterministic;
+            ev.kind = EventKind::Commit;
+            ev.fault = rec.get_u64("i", ~uint64_t{0});
+            const std::string* o = rec.get("o");
+            if (o == nullptr || o->size() != 1 || !valid_outcome((*o)[0])) {
+                reject("commit with an unknown outcome");
+                return out;
+            }
+            ev.outcome = (*o)[0];
+            if (ev.fault >= num_faults) {
+                reject("fault index out of range");
+                return out;
+            }
+            if (any_commit && ev.fault <= last_fault) {
+                reject("commit fault indices not increasing");
+                return out;
+            }
+            if (ev.outcome == 's') {
+                const std::string* v = rec.get("v");
+                if (v == nullptr || !decode_test(*v, num_pis, ev.test)) {
+                    reject("committed test vector is undecodable");
+                    return out;
+                }
+            }
+            last_fault = ev.fault;
+            any_commit = true;
+        } else if (*tt == "e" || *tt == "er") {
+            if (!random_done) {
+                reject("escalation before the random phase ended");
+                return out;
+            }
+            stage = Stage::Escalation;
+            uint64_t round = rec.get_u64("round", 0);
+            if (*tt == "er") {
+                ev.kind = EventKind::RoundEnd;
+                ev.round = static_cast<uint32_t>(round);
+                if (round != rounds_done + 1) {
+                    reject("escalation rounds not contiguous");
+                    return out;
+                }
+                rounds_done = round;
+                cur_round = 0;
+            } else {
+                ev.kind = EventKind::Retry;
+                ev.round = static_cast<uint32_t>(round);
+                ev.fault = rec.get_u64("i", ~uint64_t{0});
+                const std::string* o = rec.get("o");
+                if (o == nullptr || o->size() != 1 ||
+                    !valid_outcome((*o)[0])) {
+                    reject("retry with an unknown outcome");
+                    return out;
+                }
+                ev.outcome = (*o)[0];
+                if (ev.fault >= num_faults) {
+                    reject("retry fault index out of range");
+                    return out;
+                }
+                if (round != rounds_done + 1) {
+                    reject("retry belongs to a closed escalation round");
+                    return out;
+                }
+                if (cur_round == round && ev.fault <= last_retry_fault) {
+                    reject("retry fault indices not increasing");
+                    return out;
+                }
+                if (ev.outcome == 's') {
+                    const std::string* v = rec.get("v");
+                    if (v == nullptr || !decode_test(*v, num_pis, ev.test)) {
+                        reject("retry test vector is undecodable");
+                        return out;
+                    }
+                }
+                cur_round = round;
+                last_retry_fault = ev.fault;
+            }
+        } else if (*tt == "end") {
+            ev.kind = EventKind::End;
+            const std::string* reason = rec.get("reason");
+            ev.reason = reason != nullptr ? *reason : "";
+            stage = Stage::Done;
+        } else {
+            reject("unknown record type '" + *tt + "'");
+            return out;
+        }
+        out.events.push_back(std::move(ev));
+    }
+
+    out.ok = true;
+    return out;
+}
+
+// ------------------------------------------------------------------- writer
+
+bool Writer::start_fresh(const std::string& path, const Header& h) {
+    if (!jw_.open(path)) return false;
+    return append_header(h);
+}
+
+bool Writer::start_rewrite(const std::string& path, const Header& h,
+                           const std::vector<Event>& replayed) {
+    if (!jw_.open_temp(path)) return false;
+    if (!append_header(h)) return false;
+    for (const Event& ev : replayed) {
+        if (!jw_.append(encode_event(ev))) return false;
+    }
+    return jw_.publish();
+}
+
+bool Writer::append_header(const Header& h) {
+    return jw_.append(encode_header(h));
+}
+
+bool Writer::append(const Event& ev) {
+    if (!jw_.is_open()) return false;
+    try {
+        obs::inject_point("atpg.ckpt.write");
+    } catch (const util::FactorError& e) {
+        // The commit pipeline runs on pool workers and must not throw;
+        // latch the failure so the engine can stop the run cooperatively
+        // with the journal's committed prefix intact.
+        jw_.close();
+        fail_reason_ = e.what();
+        return false;
+    }
+    bool ok = jw_.append(encode_event(ev));
+    if (ok) obs::counter("atpg.ckpt.records").add(1);
+    return ok;
+}
+
+} // namespace factor::atpg::ckpt

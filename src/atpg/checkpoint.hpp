@@ -1,0 +1,143 @@
+// ATPG checkpoint/resume: the "factor.ckpt.v1" record schema over
+// util::Journal.
+//
+// PR 3's strictly in-order commit pipeline makes engine state at any commit
+// boundary a deterministic function of (netlist, options, seed, committed
+// prefix). A checkpoint therefore only needs to journal the committed
+// prefix; resume replays it — committed tests go back through the fault
+// simulator to re-derive the detection bitmap — and the run continues from
+// the first uncommitted fault with byte-identical results (wall-clock
+// budgets stay the documented exception, see DESIGN.md §9).
+//
+// Record stream (one CRC-framed NDJSON line each, in this order):
+//   h   header: schema, fingerprint, fault count, attempt number, and the
+//       wall-clock / work-quota progress of earlier attempts
+//   rb  one committed random-phase batch (batch index, faults dropped)
+//   rp  random phase completed (absent if the run died or stopped inside it)
+//   c   one committed deterministic fault: index + outcome
+//       ('s' test committed [vector attached], 'u' untestable,
+//        'b' backtrack abort, 'd' depth abort, 'p' contained PODEM error)
+//   e   one retry-escalation attempt: round, fault index, outcome as above
+//   er  escalation round completed
+//   end run finished; reason "ok", a GuardStop name, or "ckpt_write_failed"
+// Every record carries the cumulative engine work ticks ("w") and engine
+// seconds ("s") across all attempts, which is how resumed runs keep
+// honoring end-to-end budgets.
+//
+// The fingerprint hashes the transformed netlist, the collapsed fault
+// list and every EngineOptions field that shapes the trajectory (seed,
+// budgets-per-fault, phase shapes, scope, retry policy). It deliberately
+// excludes `jobs` (the engine is jobs-invariant) and the wall-clock/work
+// budgets (resuming with a bigger budget to finish a stopped campaign is a
+// supported workflow). A mismatch is never resumed.
+#pragma once
+
+#include "atpg/engine.hpp"
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "synth/netlist.hpp"
+#include "util/journal.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factor::atpg::ckpt {
+
+inline constexpr const char* kSchema = "factor.ckpt.v1";
+
+struct Header {
+    std::string fingerprint;
+    uint64_t total_faults = 0;
+    uint64_t attempt = 1;        // 1-based; rewritten +1 on each resume
+    uint64_t prior_work = 0;     // engine ticks consumed by earlier attempts
+    double prior_seconds = 0.0;  // engine seconds spent by earlier attempts
+};
+
+enum class EventKind : uint8_t {
+    RandomBatch,
+    RandomPhaseEnd,
+    Commit,
+    Retry,
+    RoundEnd,
+    End,
+};
+
+struct Event {
+    EventKind kind = EventKind::Commit;
+    uint64_t batch = 0;   // RandomBatch
+    uint64_t newly = 0;   // RandomBatch: faults dropped (replay check)
+    uint64_t fault = 0;   // Commit / Retry
+    char outcome = 0;     // Commit / Retry: 's','u','b','d','p'
+    uint32_t round = 0;   // Retry / RoundEnd (1-based)
+    ScalarSequence test;  // outcome == 's'
+    std::string reason;   // End
+    uint64_t work = 0;    // cumulative engine ticks at write
+    double seconds = 0.0; // cumulative engine seconds at write
+};
+
+/// Fingerprint of everything that pins the engine trajectory.
+[[nodiscard]] std::string fingerprint(const synth::Netlist& nl,
+                                      const FaultList& faults,
+                                      const EngineOptions& options);
+
+struct Load {
+    bool ok = false;
+    /// Named diagnostic on failure, e.g.
+    /// "ckpt.fingerprint_mismatch: checkpoint was written by a different
+    /// run configuration". The leading token before ':' is stable.
+    std::string diagnostic;
+    Header header;
+    std::vector<Event> events;
+    size_t dropped_lines = 0; // torn/corrupt tail truncated by the journal
+};
+
+/// Load and validate a checkpoint: journal framing (tail truncation),
+/// schema + fingerprint, per-event decoding and the commit-order state
+/// machine (batches sequential, fault indices strictly increasing, rounds
+/// contiguous). CRC-valid-but-semantically-invalid records refuse the
+/// resume rather than risk a silent mis-resume.
+[[nodiscard]] Load load(const std::string& path,
+                        const std::string& expected_fingerprint,
+                        size_t num_faults, size_t num_pis);
+
+/// Appends factor.ckpt.v1 records; IO errors and injected faults at the
+/// "atpg.ckpt.write" site are latched in failed() instead of thrown, so
+/// the commit pipeline (which must not throw across the thread pool) can
+/// stop the run cooperatively.
+class Writer {
+  public:
+    /// Fresh run: create/truncate `path`, write the header.
+    [[nodiscard]] bool start_fresh(const std::string& path, const Header& h);
+
+    /// Resume: rebuild the journal as header + replayed events in
+    /// "<path>.tmp", atomically publish it over `path`, keep appending.
+    [[nodiscard]] bool start_rewrite(const std::string& path, const Header& h,
+                                     const std::vector<Event>& replayed);
+
+    [[nodiscard]] bool append(const Event& ev);
+
+    [[nodiscard]] bool active() const { return jw_.is_open(); }
+    [[nodiscard]] bool failed() const {
+        return jw_.failed() || !fail_reason_.empty();
+    }
+    [[nodiscard]] const std::string& error() const {
+        return fail_reason_.empty() ? jw_.error() : fail_reason_;
+    }
+
+  private:
+    [[nodiscard]] bool append_header(const Header& h);
+
+    util::JournalWriter jw_;
+    std::string fail_reason_; // injected-fault latch (stream errors live
+                              // in the JournalWriter itself)
+};
+
+// Codecs, exposed for tests and fuzz tooling.
+[[nodiscard]] std::string encode_test(const ScalarSequence& test);
+[[nodiscard]] bool decode_test(std::string_view text, size_t num_pis,
+                               ScalarSequence& out);
+[[nodiscard]] util::JournalRecord encode_event(const Event& ev);
+[[nodiscard]] util::JournalRecord encode_header(const Header& h);
+
+} // namespace factor::atpg::ckpt

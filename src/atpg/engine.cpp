@@ -1,5 +1,6 @@
 #include "atpg/engine.hpp"
 
+#include "atpg/checkpoint.hpp"
 #include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "util/stopwatch.hpp"
@@ -29,6 +30,11 @@ obs::Doc EngineResult::metrics() const {
         d.add("tests_kept", tests.size())
             .add("tests_before_compaction", tests_before_compaction);
     }
+    if (retried_faults > 0) {
+        d.add("podem_retries", retried_faults)
+            .add("retry_recovered", retry_recovered);
+    }
+    if (attempt > 1) d.add("attempt", attempt);
     d.add("budget_exhausted", budget_exhausted);
     d.add("status", std::string(util::to_string(status)));
     return d;
@@ -97,19 +103,23 @@ struct Slot {
     ScalarSequence test;
 };
 
+/// Backtrack budget for escalation round `round` (1-based):
+/// max_backtracks * growth^round, saturated at the cap.
+uint32_t escalated_backtracks(const EngineOptions& o, size_t round) {
+    uint64_t growth = o.retry_backtrack_growth > 0 ? o.retry_backtrack_growth
+                                                   : 1;
+    uint64_t budget = o.max_backtracks > 0 ? o.max_backtracks : 1;
+    for (size_t k = 0; k < round; ++k) {
+        budget *= growth;
+        if (budget >= o.retry_backtrack_cap) return o.retry_backtrack_cap;
+    }
+    return static_cast<uint32_t>(budget);
+}
+
 } // namespace
 
 EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     util::Stopwatch watch;
-    // Local wall-clock guard for the engine's own budget; the external
-    // options.guard (if any) carries the pipeline-wide budgets and the
-    // process interrupt flag. Either one stops the run. Both are safe to
-    // poll from every worker.
-    util::RunGuard local_guard(options.time_budget_s);
-    auto out_of_budget = [&]() {
-        return local_guard.stopped() ||
-               (options.guard != nullptr && options.guard->stopped());
-    };
     obs::Span run_span("atpg.run");
 
     EngineResult result;
@@ -117,17 +127,20 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs();
     result.threads = jobs;
     FaultList list(nl, options.scope_prefix);
-    result.total_faults = list.size();
-    run_span.attr("faults", static_cast<uint64_t>(list.size()));
+    auto& entries = list.faults();
+    const size_t n = entries.size();
+    result.total_faults = n;
+    run_span.attr("faults", static_cast<uint64_t>(n));
     run_span.attr("gates", static_cast<uint64_t>(nl.logic_gate_count()));
     run_span.attr("threads", static_cast<uint64_t>(jobs));
     if (!options.scope_prefix.empty()) {
         run_span.attr("scope", options.scope_prefix);
     }
-    if (list.size() == 0) {
+    if (n == 0) {
         result.test_gen_seconds = watch.seconds();
         return result;
     }
+    const bool combinational = nl.dff_count() == 0;
 
     util::ThreadPool pool(jobs);
     // One simulator per executor: shared read-only netlist and cached
@@ -137,27 +150,327 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     for (size_t ex = 0; ex < pool.executors(); ++ex) sims.emplace_back(nl);
     std::mt19937_64 rng(options.seed);
 
-    // ---- Phase 1: random patterns with fault dropping ----------------------
-    {
-        obs::Span span("atpg.random_phase");
-        obs::Histogram& yield_hist = obs::histogram("atpg.random.batch_yield");
-        size_t stale = 0;
-        for (size_t batch = 0; batch < options.random_batches; ++batch) {
-            if (local_guard.stopped() ||
-                (options.guard != nullptr && !options.guard->tick())) {
+    // ---- Cross-attempt progress and continuation state ---------------------
+    //
+    // `ticks` counts successful guard boundaries (one per random batch, per
+    // committed targeted fault, per retry attempt) cumulatively across all
+    // attempts; it is the "w" field of every checkpoint record and what a
+    // resume pre-charges into the external guard so work quotas stay
+    // end-to-end. Replay rebuilds the per-fault `cause` codes that decide
+    // retry-escalation eligibility: 'b' backtrack abort (retried), 'd'
+    // depth abort, 'p' contained PODEM failure, 'm' simulator mismatch,
+    // 't' budget sweep.
+    const bool ckpt_on = !options.checkpoint_path.empty();
+    ckpt::Writer writer;
+    uint64_t ticks = 0;
+    double prior_seconds = 0.0;
+    size_t batches_done = 0;
+    size_t stale = 0;
+    bool random_done = false;
+    size_t next_fault = 0; // first deterministic index not yet committed
+    size_t rounds_done = 0;
+    size_t open_round = 0;      // replayed retry round without its 'er' yet
+    size_t open_round_next = 0; // first index not yet attempted in it
+    bool pure_replay = false;   // prior attempt ended with reason "ok"
+    bool ckpt_failed = false;
+    std::vector<char> cause(n, 0);
+    size_t committed_tests = 0;
+    std::vector<ScalarSequence> collected;
+    std::atomic<bool> podem_degraded{false};
+
+    obs::Counter& abort_mismatch = obs::counter("atpg.abort.sim_mismatch");
+    obs::Counter& retries_ctr = obs::counter("atpg.podem.retries");
+    obs::Counter& recovered_ctr = obs::counter("atpg.retry.recovered");
+
+    auto refuse = [&](std::string diagnostic) {
+        result.resume_refused = true;
+        result.status = util::PhaseStatus::Failed;
+        result.status_detail = std::move(diagnostic);
+        result.test_gen_seconds = watch.seconds();
+        return result;
+    };
+    auto fail_writer = [&](const std::string& why) {
+        result.status = util::PhaseStatus::Failed;
+        result.status_detail = "ckpt.write_failed: " + why;
+        result.test_gen_seconds = watch.seconds();
+        obs::counter("atpg.ckpt.write_failures").add(1);
+        return result;
+    };
+
+    /// Re-derive the effect of a successful retry test: flip every fault it
+    /// detects (aborted collateral included) to Detected. Serial on purpose
+    /// — escalation is jobs-invariant by construction.
+    auto apply_retry_test = [&](const ScalarSequence& test) {
+        Sequence seq = broadcast(test, nl.inputs().size());
+        auto good_po = sims[0].simulate_good(seq);
+        size_t recovered = 0;
+        for (size_t j = 0; j < n; ++j) {
+            if (entries[j].status != FaultStatus::Aborted &&
+                entries[j].status != FaultStatus::Undetected) {
+                continue;
+            }
+            if (sims[0].detects(entries[j].fault, seq, good_po)) {
+                entries[j].status = FaultStatus::Detected;
+                cause[j] = 0;
+                ++recovered;
+            }
+        }
+        if (options.collect_tests) collected.push_back(test);
+        return recovered;
+    };
+    /// Shared application of one retry outcome (live and replayed paths
+    /// must match exactly for resume byte-identity).
+    auto apply_retry_outcome = [&](size_t i, char outcome,
+                                   const ScalarSequence& test) {
+        ++result.retried_faults;
+        retries_ctr.add(1);
+        switch (outcome) {
+        case 's': {
+            size_t recovered = apply_retry_test(test);
+            result.retry_recovered += recovered;
+            recovered_ctr.add(recovered);
+            if (entries[i].status != FaultStatus::Detected) {
+                cause[i] = 'm'; // X-pessimism mismatch: stays Aborted
+                abort_mismatch.add(1);
+            }
+            break;
+        }
+        case 'u':
+            entries[i].status = FaultStatus::Untestable;
+            cause[i] = 0;
+            break;
+        case 'b': cause[i] = 'b'; break;
+        case 'd': cause[i] = 'd'; break;
+        case 'p':
+            cause[i] = 'p';
+            podem_degraded.store(true, std::memory_order_relaxed);
+            break;
+        default: break;
+        }
+    };
+
+    // ---- Checkpoint load + replay ------------------------------------------
+    std::string fingerprint;
+    if (ckpt_on) {
+        fingerprint = ckpt::fingerprint(nl, list, options);
+        // Touch the family so zero counts show up in metric dumps.
+        (void)obs::counter("atpg.ckpt.records");
+        (void)obs::counter("atpg.ckpt.truncated");
+    }
+    if (ckpt_on && options.resume) {
+        ckpt::Load ld = ckpt::load(options.checkpoint_path, fingerprint, n,
+                                   nl.inputs().size());
+        if (!ld.ok) return refuse(std::move(ld.diagnostic));
+        if (ld.dropped_lines > 0) {
+            obs::counter("atpg.ckpt.truncated")
+                .add(static_cast<uint64_t>(ld.dropped_lines));
+        }
+        obs::Span replay_span("atpg.ckpt.replay");
+        std::string replay_err;
+        for (const ckpt::Event& ev : ld.events) {
+            switch (ev.kind) {
+            case ckpt::EventKind::RandomBatch: {
+                // Regenerate the batch off the seeded RNG and re-simulate
+                // it; the recorded yield is the cheap divergence check.
+                Sequence seq =
+                    sims[0].random_sequence(rng, options.random_frames);
+                size_t newly = parallel_run_and_drop(pool, sims, list, seq);
+                if (ev.batch != batches_done || newly != ev.newly) {
+                    replay_err = "random batch yield diverged from the "
+                                 "recorded run";
+                    break;
+                }
+                ++batches_done;
+                result.random_sequences += 64;
+                stale = newly == 0 ? stale + 1 : 0;
                 break;
             }
+            case ckpt::EventKind::RandomPhaseEnd: random_done = true; break;
+            case ckpt::EventKind::Commit: {
+                const size_t i = ev.fault;
+                if (entries[i].status != FaultStatus::Undetected) {
+                    replay_err = "committed fault was already resolved "
+                                 "during replay";
+                    break;
+                }
+                switch (ev.outcome) {
+                case 's': {
+                    ++committed_tests;
+                    Sequence seq = broadcast(ev.test, nl.inputs().size());
+                    parallel_run_and_drop(pool, sims, list, seq);
+                    if (entries[i].status != FaultStatus::Detected) {
+                        entries[i].status = FaultStatus::Aborted;
+                        cause[i] = 'm';
+                        abort_mismatch.add(1);
+                    }
+                    if (options.collect_tests) collected.push_back(ev.test);
+                    break;
+                }
+                case 'u':
+                    entries[i].status = FaultStatus::Untestable;
+                    break;
+                case 'b':
+                    entries[i].status = FaultStatus::Aborted;
+                    cause[i] = 'b';
+                    break;
+                case 'd':
+                    entries[i].status = FaultStatus::Aborted;
+                    cause[i] = 'd';
+                    break;
+                case 'p':
+                    entries[i].status = FaultStatus::Aborted;
+                    cause[i] = 'p';
+                    podem_degraded.store(true, std::memory_order_relaxed);
+                    break;
+                default: break;
+                }
+                next_fault = i + 1;
+                break;
+            }
+            case ckpt::EventKind::Retry: {
+                const size_t i = ev.fault;
+                if (entries[i].status != FaultStatus::Aborted ||
+                    cause[i] != 'b') {
+                    replay_err = "retried fault was not a backtrack-aborted "
+                                 "candidate during replay";
+                    break;
+                }
+                apply_retry_outcome(i, ev.outcome, ev.test);
+                open_round = ev.round;
+                open_round_next = i + 1;
+                break;
+            }
+            case ckpt::EventKind::RoundEnd:
+                rounds_done = ev.round;
+                open_round = 0;
+                open_round_next = 0;
+                break;
+            case ckpt::EventKind::End:
+                pure_replay = ev.reason == "ok";
+                break;
+            }
+            if (!replay_err.empty()) break;
+        }
+        if (!replay_err.empty()) {
+            return refuse("ckpt.replay_mismatch: " + replay_err);
+        }
+        if (!ld.events.empty()) {
+            ticks = ld.events.back().work;
+            prior_seconds = ld.events.back().seconds;
+        } else {
+            ticks = ld.header.prior_work;
+            prior_seconds = ld.header.prior_seconds;
+        }
+        result.attempt = ld.header.attempt + 1;
+        result.prior_seconds = prior_seconds;
+        result.replayed_events = ld.events.size();
+        obs::counter("atpg.ckpt.resumes").add(1);
+        obs::counter("atpg.ckpt.replayed")
+            .add(static_cast<uint64_t>(ld.events.size()));
+        replay_span.attr("events", static_cast<uint64_t>(ld.events.size()));
+        replay_span.attr("attempt", result.attempt);
+
+        // Rewrite the journal for this attempt: same events, bumped attempt
+        // header. A stopped run's "end" marker is dropped so the stream can
+        // grow past it; a finished run ("ok") keeps it and replays only.
+        std::vector<ckpt::Event> replayed = ld.events;
+        if (!pure_replay && !replayed.empty() &&
+            replayed.back().kind == ckpt::EventKind::End) {
+            replayed.pop_back();
+        }
+        ckpt::Header header;
+        header.fingerprint = fingerprint;
+        header.total_faults = n;
+        header.attempt = result.attempt;
+        header.prior_work = ticks;
+        header.prior_seconds = prior_seconds;
+        if (!writer.start_rewrite(options.checkpoint_path, header,
+                                  replayed)) {
+            return fail_writer(writer.error());
+        }
+    } else if (ckpt_on) {
+        ckpt::Header header;
+        header.fingerprint = fingerprint;
+        header.total_faults = n;
+        if (!writer.start_fresh(options.checkpoint_path, header)) {
+            return fail_writer(writer.error());
+        }
+    }
+
+    // Local wall-clock guard for the engine's own budget, shrunk by the
+    // seconds earlier attempts already spent; the external options.guard
+    // (if any) carries the pipeline-wide budgets and the process interrupt
+    // flag, and is pre-charged with the work earlier attempts consumed.
+    // Either guard stops the run. Both are safe to poll from every worker.
+    util::RunGuard local_guard(
+        options.time_budget_s > 0.0
+            ? std::max(options.time_budget_s - prior_seconds, 1e-6)
+            : options.time_budget_s);
+    if (options.guard != nullptr && ticks > 0) options.guard->tick(ticks);
+    auto out_of_budget = [&]() {
+        return local_guard.stopped() ||
+               (options.guard != nullptr && options.guard->stopped());
+    };
+
+    /// Append one checkpoint record at a commit boundary, stamping the
+    /// cumulative cross-attempt progress. Failures (IO, injected fault at
+    /// "atpg.ckpt.write") latch ckpt_failed; the phases stop cooperatively
+    /// and the journal keeps its committed prefix.
+    auto ckpt_append = [&](ckpt::Event ev) {
+        if (!ckpt_on || ckpt_failed || !writer.active()) return;
+        ev.work = ticks;
+        ev.seconds = prior_seconds + watch.seconds();
+        if (!writer.append(ev)) {
+            ckpt_failed = true;
+            obs::counter("atpg.ckpt.write_failures").add(1);
+        }
+    };
+
+    // ---- Phase 1: random patterns with fault dropping ----------------------
+    if (!pure_replay && !random_done && !ckpt_failed) {
+        obs::Span span("atpg.random_phase");
+        obs::Histogram& yield_hist = obs::histogram("atpg.random.batch_yield");
+        bool guard_stopped = false;
+        // A replayed prefix can already sit on the stale limit (the prior
+        // attempt died between its last batch and the phase-end marker);
+        // entering the loop would run a batch the reference run never did.
+        for (size_t batch = batches_done;
+             batch < options.random_batches &&
+             stale < options.random_stale_limit;
+             ++batch) {
+            if (local_guard.stopped() ||
+                (options.guard != nullptr && !options.guard->tick())) {
+                guard_stopped = true;
+                break;
+            }
+            ++ticks;
             // The stimulus comes off the single engine RNG on this thread,
             // so the pattern stream is byte-identical at any jobs value.
             Sequence seq = sims[0].random_sequence(rng, options.random_frames);
             size_t newly = parallel_run_and_drop(pool, sims, list, seq);
             yield_hist.record(newly);
             result.random_sequences += 64;
+            ckpt::Event ev;
+            ev.kind = ckpt::EventKind::RandomBatch;
+            ev.batch = batch;
+            ev.newly = newly;
+            ckpt_append(std::move(ev));
+            if (ckpt_failed) break;
             if (newly == 0) {
                 if (++stale >= options.random_stale_limit) break;
             } else {
                 stale = 0;
             }
+        }
+        if (!guard_stopped && !ckpt_failed) {
+            // The phase ended for a deterministic reason (batch or stale
+            // limit): mark it so a resume goes straight to PODEM. A guard
+            // stop leaves the marker out — resuming with a bigger budget
+            // picks the phase back up at the next batch.
+            random_done = true;
+            ckpt::Event ev;
+            ev.kind = ckpt::EventKind::RandomPhaseEnd;
+            ckpt_append(std::move(ev));
         }
         obs::counter("atpg.random.sequences").add(result.random_sequences);
         span.attr("sequences", static_cast<uint64_t>(result.random_sequences));
@@ -175,9 +488,15 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // order while discarding slots whose fault was dropped by an
     // earlier-committed test therefore reproduces the serial trajectory of
     // statuses, tests and guard ticks exactly, at any executor count.
-    {
+    //
+    // Checkpoint records are emitted from the commit pipeline only, under
+    // its mutex, so the record stream is as jobs-invariant as the commits.
+    // On resume both cursors start at the first uncommitted fault; the
+    // replayed statuses make the workers skip everything an earlier
+    // attempt's tests already resolved, exactly like the serial engine.
+    bool budget_hit = false;
+    if (!pure_replay && !ckpt_failed) {
         obs::Span span("atpg.deterministic_phase");
-        const bool combinational = nl.dff_count() == 0;
         PodemOptions popts;
         popts.max_backtracks = options.max_backtracks;
 
@@ -187,14 +506,11 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         obs::Counter& abort_backtracks =
             obs::counter("atpg.abort.backtrack_limit");
         obs::Counter& abort_depth = obs::counter("atpg.abort.depth_limit");
-        obs::Counter& abort_mismatch = obs::counter("atpg.abort.sim_mismatch");
         obs::Counter& abort_podem_error =
             obs::counter("atpg.abort.podem_error");
         obs::Counter& drop_calls = obs::counter("fault_sim.run_and_drop");
         obs::Counter& drop_dropped = obs::counter("fault_sim.faults_dropped");
 
-        auto& entries = list.faults();
-        const size_t n = entries.size();
         constexpr auto kUndetected =
             static_cast<uint8_t>(FaultStatus::Undetected);
         constexpr auto kDetected = static_cast<uint8_t>(FaultStatus::Detected);
@@ -209,21 +525,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         }
 
         std::vector<Slot> slots(n);
-        std::atomic<size_t> cursor{0};
+        std::atomic<size_t> cursor{next_fault};
         std::atomic<bool> stop{false}; // commit tripped a budget
-        std::atomic<bool> podem_degraded{false};
 
         std::mutex commit_mu;
         // Guarded by commit_mu.
-        size_t next_commit = 0;
-        size_t committed_tests = 0;
-        std::vector<ScalarSequence> collected;
-        bool budget_hit = false;
+        size_t next_commit = next_fault;
 
         auto commit_ready = [&](size_t ex) {
-            // Once a budget stop is latched the serial loop is broken for
-            // good: no further commits, and no further guard ticks.
-            if (budget_hit) return;
+            // Once a budget stop (or a checkpoint write failure) is latched
+            // the serial loop is broken for good: no further commits, no
+            // further guard ticks.
+            if (budget_hit || ckpt_failed) return;
             while (next_commit < n) {
                 Slot& s = slots[next_commit];
                 if (s.ready.load(std::memory_order_acquire) == 0) break;
@@ -252,8 +565,11 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     stop.store(true, std::memory_order_relaxed);
                     break;
                 }
+                ++ticks;
+                char outcome = 0;
                 switch (s.kind) {
                 case SlotKind::Success: {
+                    outcome = 's';
                     ++committed_tests;
                     Sequence seq = broadcast(s.test, nl.inputs().size());
                     auto good_po = sims[ex].simulate_good(seq);
@@ -279,39 +595,46 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                         // count the fault as aborted rather than trusting
                         // the search.
                         status[i].store(kAborted, std::memory_order_relaxed);
+                        cause[i] = 'm';
                         abort_mismatch.add(1);
-                    }
-                    if (options.collect_tests) {
-                        collected.push_back(std::move(s.test));
                     }
                     break;
                 }
                 case SlotKind::Untestable:
                     // Exhausting the decision space of the single frame of
                     // a combinational circuit is a redundancy proof.
+                    outcome = 'u';
                     status[i].store(
                         static_cast<uint8_t>(FaultStatus::Untestable),
                         std::memory_order_relaxed);
                     break;
                 case SlotKind::AbortBacktrack:
+                    outcome = 'b';
                     status[i].store(kAborted, std::memory_order_relaxed);
+                    cause[i] = 'b';
                     abort_backtracks.add(1);
                     break;
                 case SlotKind::AbortDepth:
+                    outcome = 'd';
                     status[i].store(kAborted, std::memory_order_relaxed);
+                    cause[i] = 'd';
                     abort_depth.add(1);
                     break;
                 case SlotKind::PodemFailed:
                     // Contained: count it aborted and keep going — partial
                     // coverage beats a dead run.
+                    outcome = 'p';
                     status[i].store(kAborted, std::memory_order_relaxed);
+                    cause[i] = 'p';
                     break;
                 case SlotKind::BudgetStopped:
                     // The worker's depth loop noticed the budget mid-fault:
                     // abort this fault and let the next iteration's guard
                     // check end the phase, as the serial loop does.
                     budget_hit = true;
+                    outcome = s.any_backtrack_abort ? 'b' : 'd';
                     status[i].store(kAborted, std::memory_order_relaxed);
+                    cause[i] = outcome;
                     (s.any_backtrack_abort ? abort_backtracks : abort_depth)
                         .add(1);
                     break;
@@ -323,6 +646,21 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     break; // status said Undetected above; cannot happen
                 }
                 if (s.kind == SlotKind::BudgetSkip) break;
+                if (outcome != 0) {
+                    ckpt::Event ev;
+                    ev.kind = ckpt::EventKind::Commit;
+                    ev.fault = i;
+                    ev.outcome = outcome;
+                    if (outcome == 's') ev.test = s.test;
+                    ckpt_append(std::move(ev));
+                    if (ckpt_failed) {
+                        stop.store(true, std::memory_order_relaxed);
+                        break;
+                    }
+                }
+                if (s.kind == SlotKind::Success && options.collect_tests) {
+                    collected.push_back(std::move(s.test));
+                }
                 ++next_commit;
             }
         };
@@ -423,28 +761,111 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             entries[i].status = static_cast<FaultStatus>(
                 status[i].load(std::memory_order_relaxed));
         }
-        result.deterministic_tests = committed_tests;
-        if (options.collect_tests) result.tests = std::move(collected);
         if (budget_hit) result.budget_exhausted = true;
-        if (podem_degraded.load(std::memory_order_relaxed)) {
-            result.status =
-                util::worst(result.status, util::PhaseStatus::Degraded);
-            if (result.status_detail.empty()) {
-                result.status_detail = "internal PODEM failure contained; "
-                                       "affected faults counted aborted";
+        obs::counter("atpg.podem.tests").add(committed_tests);
+        span.attr("tests", static_cast<uint64_t>(committed_tests));
+    }
+
+    // ---- Retry escalation for backtrack-aborted faults ----------------------
+    //
+    // Serial and in fault-index order, so the pass is jobs-invariant and
+    // checkpoint-resumable like the commit pipeline. Each round re-attempts
+    // every fault still aborted on a backtrack limit with a budget of
+    // max_backtracks * growth^round (capped); a success is fault-simulated
+    // against the whole aborted set, so one recovered test can clear
+    // several aborted faults at once.
+    if (options.retry_rounds > 0 && !pure_replay && !ckpt_failed) {
+        obs::Span span("atpg.retry_phase");
+        bool guard_stopped = false;
+        for (size_t round = rounds_done + 1;
+             round <= options.retry_rounds && !guard_stopped && !ckpt_failed;
+             ++round) {
+            PodemOptions ropts;
+            ropts.max_backtracks = escalated_backtracks(options, round);
+            TimeFramePodem podem(nl, ropts);
+            obs::Counter& podem_calls = obs::counter("atpg.podem.calls");
+            obs::Histogram& backtrack_hist =
+                obs::histogram("atpg.podem.backtracks");
+            const size_t begin = round == open_round ? open_round_next : 0;
+            size_t round_attempts = round == open_round ? 1 : 0;
+            for (size_t i = begin; i < n; ++i) {
+                if (entries[i].status != FaultStatus::Aborted ||
+                    cause[i] != 'b') {
+                    continue;
+                }
+                if (local_guard.stopped() ||
+                    (options.guard != nullptr && !options.guard->tick())) {
+                    guard_stopped = true;
+                    break;
+                }
+                ++ticks;
+                ++round_attempts;
+                const size_t max_frames =
+                    combinational ? 1 : options.max_frames;
+                char outcome = 0;
+                ScalarSequence test;
+                bool all_depths_no_test = true;
+                bool any_backtrack = false;
+                for (size_t k = 1; k <= max_frames && outcome == 0; ++k) {
+                    PodemResult pr;
+                    try {
+                        obs::inject_point("atpg.podem");
+                        pr = podem.generate(entries[i].fault, k);
+                    } catch (const util::FactorError&) {
+                        obs::counter("atpg.abort.podem_error").add(1);
+                        outcome = 'p';
+                        break;
+                    }
+                    podem_calls.add(1);
+                    backtrack_hist.record(pr.backtracks);
+                    switch (pr.outcome) {
+                    case PodemOutcome::Success:
+                        test = std::move(pr.test);
+                        outcome = 's';
+                        break;
+                    case PodemOutcome::Abort:
+                        all_depths_no_test = false;
+                        any_backtrack = true;
+                        break;
+                    case PodemOutcome::NoTest: break;
+                    }
+                }
+                if (outcome == 0) {
+                    outcome = combinational && all_depths_no_test ? 'u'
+                              : any_backtrack                     ? 'b'
+                                                                  : 'd';
+                }
+                apply_retry_outcome(i, outcome, test);
+                ckpt::Event ev;
+                ev.kind = ckpt::EventKind::Retry;
+                ev.round = static_cast<uint32_t>(round);
+                ev.fault = i;
+                ev.outcome = outcome;
+                if (outcome == 's') ev.test = std::move(test);
+                ckpt_append(std::move(ev));
+                if (ckpt_failed) break;
             }
+            if (guard_stopped || ckpt_failed) break;
+            if (round_attempts == 0) break; // no candidates left to escalate
+            rounds_done = round;
+            ckpt::Event ev;
+            ev.kind = ckpt::EventKind::RoundEnd;
+            ev.round = static_cast<uint32_t>(round);
+            ckpt_append(std::move(ev));
         }
-        obs::counter("atpg.podem.tests").add(result.deterministic_tests);
-        span.attr("tests",
-                  static_cast<uint64_t>(result.deterministic_tests));
+        if (guard_stopped) result.budget_exhausted = true;
+        span.attr("retried", static_cast<uint64_t>(result.retried_faults));
+        span.attr("recovered",
+                  static_cast<uint64_t>(result.retry_recovered));
     }
 
     // Any fault still undetected after the loop (e.g. budget break) aborts.
     {
         size_t budget_aborts = 0;
-        for (auto& entry : list.faults()) {
-            if (entry.status == FaultStatus::Undetected) {
-                entry.status = FaultStatus::Aborted;
+        for (size_t i = 0; i < n; ++i) {
+            if (entries[i].status == FaultStatus::Undetected) {
+                entries[i].status = FaultStatus::Aborted;
+                cause[i] = 't';
                 ++budget_aborts;
             }
         }
@@ -452,6 +873,9 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             obs::counter("atpg.abort.time_budget").add(budget_aborts);
         }
     }
+
+    result.deterministic_tests = committed_tests;
+    if (options.collect_tests) result.tests = std::move(collected);
 
     // ---- Static compaction of the collected deterministic tests ------------
     if (options.collect_tests && !result.tests.empty()) {
@@ -480,18 +904,43 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     result.aborted = list.count(FaultStatus::Aborted);
     result.coverage_percent = list.coverage_percent();
     result.efficiency_percent = list.efficiency_percent();
-    result.test_gen_seconds = watch.seconds();
+    result.test_gen_seconds = prior_seconds + watch.seconds();
 
+    if (podem_degraded.load(std::memory_order_relaxed)) {
+        result.status = util::worst(result.status, util::PhaseStatus::Degraded);
+        if (result.status_detail.empty()) {
+            result.status_detail = "internal PODEM failure contained; "
+                                   "affected faults counted aborted";
+        }
+    }
+
+    const char* stop_reason = nullptr;
     if (result.budget_exhausted) {
         result.status =
             util::worst(result.status, util::PhaseStatus::BudgetExhausted);
-        const char* why =
-            options.guard != nullptr &&
-                    options.guard->reason() != util::GuardStop::None
-                ? util::to_string(options.guard->reason())
-                : util::to_string(local_guard.reason());
-        result.status_detail = std::string("ATPG stopped: ") + why +
+        stop_reason = options.guard != nullptr &&
+                              options.guard->reason() != util::GuardStop::None
+                          ? util::to_string(options.guard->reason())
+                          : util::to_string(local_guard.reason());
+        result.status_detail = std::string("ATPG stopped: ") + stop_reason +
                                " budget exceeded; coverage is partial";
+    }
+
+    // Final flush: the "end" marker seals the journal. An "ok" reason means
+    // a later --resume is a pure replay; a guard reason means a resume may
+    // continue the campaign under a fresh budget.
+    if (ckpt_on && !ckpt_failed && !pure_replay && writer.active()) {
+        ckpt::Event ev;
+        ev.kind = ckpt::EventKind::End;
+        ev.reason = stop_reason != nullptr ? stop_reason : "ok";
+        ckpt_append(std::move(ev));
+    }
+    if (ckpt_failed) {
+        result.status = util::PhaseStatus::Failed;
+        result.status_detail =
+            "ckpt.write_failed: " +
+            (writer.error().empty() ? std::string("checkpoint append failed")
+                                    : writer.error());
     }
 
     util::ThreadPool::Stats pool_stats = pool.stats();

@@ -59,6 +59,25 @@ struct EngineOptions {
     /// Keep the deterministic test sequences in the result (and run static
     /// reverse-order compaction over them).
     bool collect_tests = false;
+
+    // ---- crash-safe checkpoint / resume (DESIGN.md §9) ------------------
+    /// Journal committed progress to this factor.ckpt.v1 file; empty
+    /// disables checkpointing. Records are written only at commit-pipeline
+    /// boundaries, so the journal is jobs-invariant like the run itself.
+    std::string checkpoint_path;
+    /// Load `checkpoint_path`, validate its fingerprint, replay the
+    /// committed prefix and continue from the first uncommitted unit of
+    /// work. Refusal (mismatch, malformed record) sets
+    /// EngineResult::resume_refused — a run is never silently mis-resumed.
+    bool resume = false;
+
+    // ---- aborted-fault retry escalation ---------------------------------
+    /// After the deterministic phase, re-attempt backtrack-aborted faults
+    /// for up to this many rounds with a growing backtrack budget
+    /// (max_backtracks * growth^round, capped). 0 disables escalation.
+    size_t retry_rounds = 0;
+    uint32_t retry_backtrack_growth = 4;
+    uint32_t retry_backtrack_cap = 1u << 16;
 };
 
 struct EngineResult {
@@ -80,6 +99,23 @@ struct EngineResult {
     /// contained to its fault (counted aborted) and the run completed.
     util::PhaseStatus status = util::PhaseStatus::Ok;
     std::string status_detail;
+
+    // ---- retry escalation ------------------------------------------------
+    size_t retried_faults = 0;  // escalation PODEM attempts
+    size_t retry_recovered = 0; // aborted faults flipped to detected
+
+    // ---- checkpoint / resume --------------------------------------------
+    /// 1-based attempt number (2+ when the run resumed a checkpoint).
+    uint64_t attempt = 1;
+    /// Engine seconds spent by earlier attempts; test_gen_seconds includes
+    /// them, so budgets and reports stay end-to-end across resumes.
+    double prior_seconds = 0.0;
+    /// Checkpoint events replayed before this attempt continued.
+    size_t replayed_events = 0;
+    /// The checkpoint could not be trusted (fingerprint mismatch, malformed
+    /// record, injected load fault); nothing ran and status_detail carries
+    /// the named diagnostic ("ckpt.<cause>: ...").
+    bool resume_refused = false;
 
     /// Deterministic tests, statically compacted (collect_tests only).
     std::vector<ScalarSequence> tests;

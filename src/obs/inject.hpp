@@ -20,6 +20,12 @@
 //   optimize.pass    per optimizer rebuild pass
 //   transform.build  at the start of transformed-module construction
 //   atpg.podem       per deterministic PODEM call
+//   atpg.ckpt.write  per checkpoint record append (the fault is latched by
+//                    the writer, never thrown through the commit pipeline:
+//                    the run stops with status Failed and the journal keeps
+//                    its committed prefix — the crash-resume test hook)
+//   atpg.ckpt.load   at checkpoint load during --resume (refused with the
+//                    named "ckpt.load_failed" diagnostic)
 //
 // Thread safety: hit() may be reached from parallel ATPG workers. The hit
 // counter is atomic and firing disarms via an atomic exchange, so exactly

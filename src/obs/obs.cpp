@@ -1,5 +1,7 @@
 #include "obs/obs.hpp"
 
+#include "util/journal.hpp"
+
 #include <bit>
 #include <cctype>
 #include <chrono>
@@ -352,8 +354,9 @@ std::string Tracer::stop() {
     for (const TraceEvent& ev : events_) os << ev.to_json() << '\n';
     std::string ndjson = os.str();
     if (!path_.empty()) {
-        std::ofstream out(path_);
-        out << ndjson;
+        // Atomic publish: a crash mid-write (or a concurrent reader) must
+        // never observe a torn trace file.
+        (void)util::write_file_atomic(path_, ndjson);
     }
     events_.clear();
     path_.clear();

@@ -1,0 +1,61 @@
+#include "util/crc32.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace factor::util {
+
+namespace {
+
+std::array<uint32_t, 256> make_table() {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+    static const std::array<uint32_t, 256> table = make_table();
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t crc32(std::string_view s) { return crc32(s.data(), s.size()); }
+
+Fnv64& Fnv64::mix(uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+    }
+    return mix(bytes, sizeof bytes);
+}
+
+Fnv64& Fnv64::mix(double v) {
+    // Bit pattern, not value: fingerprints want "same configuration",
+    // and every platform we build on is IEEE 754.
+    uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return mix(bits);
+}
+
+std::string Fnv64::hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h_));
+    return std::string(buf);
+}
+
+} // namespace factor::util

@@ -1,0 +1,54 @@
+// CRC32 (IEEE 802.3, zlib-compatible) and FNV-1a 64 hashing.
+//
+// CRC32 frames individual journal records so a torn or bit-flipped line is
+// detected and the tail truncated instead of trusted (see util/journal.hpp).
+// The parameters match zlib's crc32(): reflected polynomial 0xEDB88320,
+// initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF — so test fixtures can be
+// generated with any stock CRC32 tool.
+//
+// FNV-1a 64 is the run-fingerprint hash: fast, dependency-free and stable
+// across platforms, which is all a checkpoint fingerprint needs (it detects
+// accidental mismatches, it is not a cryptographic commitment).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace factor::util {
+
+/// CRC32 of `data` (zlib-compatible). `seed` chains partial computations:
+/// crc32(b, crc32(a)) == crc32(a + b).
+[[nodiscard]] uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+[[nodiscard]] uint32_t crc32(std::string_view s);
+
+/// Incremental FNV-1a 64 hasher for run fingerprints.
+class Fnv64 {
+  public:
+    static constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+    Fnv64& mix(const void* data, size_t len) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h_ = (h_ ^ p[i]) * kPrime;
+        }
+        return *this;
+    }
+    Fnv64& mix(std::string_view s) { return mix(s.data(), s.size()); }
+    Fnv64& mix(uint64_t v);
+    Fnv64& mix(uint32_t v) { return mix(static_cast<uint64_t>(v)); }
+    Fnv64& mix(int v) { return mix(static_cast<uint64_t>(v)); }
+    Fnv64& mix(bool v) { return mix(static_cast<uint64_t>(v ? 1 : 0)); }
+    Fnv64& mix(double v);
+
+    [[nodiscard]] uint64_t value() const { return h_; }
+    /// 16 lowercase hex digits.
+    [[nodiscard]] std::string hex() const;
+
+  private:
+    uint64_t h_ = kOffset;
+};
+
+} // namespace factor::util

@@ -1,0 +1,380 @@
+#include "util/journal.hpp"
+
+#include "util/crc32.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace factor::util {
+
+namespace {
+
+// Minimal JSON string escaping for record fields. Journal values are
+// schema-controlled (identifiers, hex digests, 0/1/X vector strings), so
+// only the mandatory escapes matter; anything exotic goes through \u.
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/// Parse a JSON string literal starting at s[i] == '"'. On success returns
+/// true, stores the unescaped value and advances i past the closing quote.
+bool parse_string(std::string_view s, size_t& i, std::string& out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '"') {
+            ++i;
+            return true;
+        }
+        if (c == '\\') {
+            if (i + 1 >= s.size()) return false;
+            char e = s[i + 1];
+            i += 2;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'u': {
+                if (i + 4 > s.size()) return false;
+                unsigned v = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s[i + k];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        v |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        return false;
+                    }
+                }
+                if (v > 0xFF) return false; // journal never emits these
+                i += 4;
+                out += static_cast<char>(v);
+                break;
+            }
+            default: return false;
+            }
+            continue;
+        }
+        out += c;
+        ++i;
+    }
+    return false; // unterminated
+}
+
+void skip_ws(std::string_view s, size_t& i) {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+        ++i;
+    }
+}
+
+} // namespace
+
+JournalRecord& JournalRecord::set_u64(std::string key, uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    return set(std::move(key), buf);
+}
+
+JournalRecord& JournalRecord::set_f64(std::string key, double v) {
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return set(std::move(key), buf);
+}
+
+const std::string* JournalRecord::get(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+uint64_t JournalRecord::get_u64(std::string_view key, uint64_t fallback) const {
+    const std::string* v = get(key);
+    if (v == nullptr) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    uint64_t out = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' || errno == ERANGE) return fallback;
+    return out;
+}
+
+double JournalRecord::get_f64(std::string_view key, double fallback) const {
+    const std::string* v = get(key);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    double out = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') return fallback;
+    return out;
+}
+
+std::string journal_serialize(const JournalRecord& rec) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : rec.fields) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        // Values that look like plain JSON numbers are written bare so
+        // set_u64/set_f64 round-trip; everything else is a string.
+        bool numeric = !v.empty();
+        for (size_t i = 0; i < v.size() && numeric; ++i) {
+            char c = v[i];
+            numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                      c == '.' || c == 'e' || c == 'E';
+        }
+        if (numeric && (v[0] == '-' || (v[0] >= '0' && v[0] <= '9'))) {
+            out += v;
+        } else {
+            out += '"';
+            out += escape(v);
+            out += '"';
+        }
+    }
+    out += '}';
+    return out;
+}
+
+bool journal_parse(std::string_view json, JournalRecord& out) {
+    out.fields.clear();
+    size_t i = 0;
+    skip_ws(json, i);
+    if (i >= json.size() || json[i] != '{') return false;
+    ++i;
+    skip_ws(json, i);
+    if (i < json.size() && json[i] == '}') {
+        ++i;
+        skip_ws(json, i);
+        return i == json.size();
+    }
+    while (true) {
+        std::string key;
+        if (!parse_string(json, i, key)) return false;
+        skip_ws(json, i);
+        if (i >= json.size() || json[i] != ':') return false;
+        ++i;
+        skip_ws(json, i);
+        std::string value;
+        if (i < json.size() && json[i] == '"') {
+            if (!parse_string(json, i, value)) return false;
+        } else {
+            // Bare token: number / true / false / null, captured verbatim.
+            size_t start = i;
+            while (i < json.size() && json[i] != ',' && json[i] != '}' &&
+                   json[i] != ' ' && json[i] != '\t') {
+                ++i;
+            }
+            if (i == start) return false;
+            value.assign(json.substr(start, i - start));
+        }
+        out.fields.emplace_back(std::move(key), std::move(value));
+        skip_ws(json, i);
+        if (i >= json.size()) return false;
+        if (json[i] == ',') {
+            ++i;
+            skip_ws(json, i);
+            continue;
+        }
+        if (json[i] == '}') {
+            ++i;
+            skip_ws(json, i);
+            return i == json.size();
+        }
+        return false;
+    }
+}
+
+// ------------------------------------------------------------------ writer
+
+void JournalWriter::fail(std::string why) {
+    failed_ = true;
+    if (error_.empty()) error_ = std::move(why);
+}
+
+bool JournalWriter::open(const std::string& path) {
+    close();
+    failed_ = false;
+    error_.clear();
+    records_ = 0;
+    path_ = path;
+    temp_path_.clear();
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+        fail("cannot open '" + path + "' for writing");
+        return false;
+    }
+    return true;
+}
+
+bool JournalWriter::open_temp(const std::string& path) {
+    close();
+    failed_ = false;
+    error_.clear();
+    records_ = 0;
+    path_ = path;
+    temp_path_ = path + ".tmp";
+    out_.open(temp_path_, std::ios::out | std::ios::trunc);
+    if (!out_) {
+        fail("cannot open '" + temp_path_ + "' for writing");
+        return false;
+    }
+    return true;
+}
+
+bool JournalWriter::publish() {
+    if (failed_ || temp_path_.empty()) return !failed_ && temp_path_.empty();
+    out_.flush();
+    if (!out_) {
+        fail("flush failed before publishing '" + path_ + "'");
+        return false;
+    }
+    // POSIX rename is atomic and does not disturb the open descriptor: the
+    // stream keeps appending to the same inode under its new name.
+    if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+        fail("cannot publish '" + temp_path_ + "' over '" + path_ + "'");
+        return false;
+    }
+    temp_path_.clear();
+    return true;
+}
+
+bool JournalWriter::append(const JournalRecord& rec) {
+    if (failed_ || !out_.is_open()) {
+        fail("journal is not open");
+        return false;
+    }
+    std::string json = journal_serialize(rec);
+    char frame[10];
+    std::snprintf(frame, sizeof frame, "%08x ", crc32(json));
+    out_ << frame << json << '\n';
+    out_.flush();
+    if (!out_) {
+        fail("short write to '" +
+             (temp_path_.empty() ? path_ : temp_path_) + "'");
+        return false;
+    }
+    ++records_;
+    return true;
+}
+
+void JournalWriter::close() {
+    if (out_.is_open()) out_.close();
+    temp_path_.clear();
+}
+
+// ------------------------------------------------------------------ loader
+
+JournalLoad journal_load(const std::string& path) {
+    JournalLoad load;
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in) {
+        load.error = "cannot open '" + path + "'";
+        return load;
+    }
+    load.ok = true;
+    std::string line;
+    bool damaged = false;
+    while (std::getline(in, line)) {
+        if (damaged) {
+            ++load.dropped_lines;
+            continue;
+        }
+        // Frame: 8 hex digits, one space, the JSON payload.
+        bool good = line.size() > 9 && line[8] == ' ';
+        uint32_t expect = 0;
+        if (good) {
+            for (int i = 0; i < 8 && good; ++i) {
+                char c = line[static_cast<size_t>(i)];
+                expect <<= 4;
+                if (c >= '0' && c <= '9') {
+                    expect |= static_cast<uint32_t>(c - '0');
+                } else if (c >= 'a' && c <= 'f') {
+                    expect |= static_cast<uint32_t>(c - 'a' + 10);
+                } else {
+                    good = false;
+                }
+            }
+        }
+        std::string_view json;
+        if (good) {
+            json = std::string_view(line).substr(9);
+            good = crc32(json) == expect;
+        }
+        JournalRecord rec;
+        if (good) good = journal_parse(json, rec);
+        if (!good) {
+            // First damage: drop this line and everything after it.
+            damaged = true;
+            ++load.dropped_lines;
+            continue;
+        }
+        load.records.push_back(std::move(rec));
+    }
+    return load;
+}
+
+// ------------------------------------------------------------------ files
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + suffix;
+    {
+        std::ofstream out(tmp, std::ios::out | std::ios::trunc |
+                                   std::ios::binary);
+        if (!out) return false;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace factor::util

@@ -1,0 +1,120 @@
+// Journal: an append-only, CRC-framed NDJSON record stream.
+//
+// The crash-safety primitive behind ATPG checkpoint/resume (and reusable by
+// any phase that wants recoverable progress): every record is one line of
+//
+//   <crc32 as 8 lowercase hex digits> <flat JSON object>\n
+//
+// where the CRC covers exactly the JSON bytes. Records are flushed to the
+// OS after every append, so a killed process loses at most the line it was
+// writing — and that torn line fails its CRC. The loader walks the file
+// front to back and stops at the FIRST line that is structurally invalid
+// (bad framing, CRC mismatch, unparsable JSON): everything before it is the
+// trusted prefix, everything from it on is dropped and counted, never
+// trusted. An append-only stream has no valid records after damage by
+// construction, so truncate-to-last-valid is lossless for committed state.
+//
+// Records are flat string->string field lists (no nesting); the schema on
+// top (e.g. factor.ckpt.v1, src/atpg/checkpoint.hpp) decides field names
+// and semantics. Writers can start a file in place (fresh run) or build a
+// replacement in "<path>.tmp" and atomically publish it over the original
+// (resume rewrites), so a crash mid-rewrite can never destroy the old
+// journal.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace factor::util {
+
+/// One journal record: ordered flat fields, values held unescaped.
+struct JournalRecord {
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    JournalRecord& set(std::string key, std::string value) {
+        fields.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+    JournalRecord& set_u64(std::string key, uint64_t v);
+    JournalRecord& set_f64(std::string key, double v);
+
+    /// First field named `key`, or null.
+    [[nodiscard]] const std::string* get(std::string_view key) const;
+    [[nodiscard]] uint64_t get_u64(std::string_view key,
+                                   uint64_t fallback = 0) const;
+    [[nodiscard]] double get_f64(std::string_view key,
+                                 double fallback = 0.0) const;
+    [[nodiscard]] bool has(std::string_view key) const {
+        return get(key) != nullptr;
+    }
+};
+
+/// Serialize a record as one flat JSON object (strings escaped; numeric
+/// values are emitted verbatim by set_u64/set_f64 so they round-trip).
+[[nodiscard]] std::string journal_serialize(const JournalRecord& rec);
+
+/// Parse one flat JSON object produced by journal_serialize. Returns false
+/// on any structural problem (and leaves `out` unspecified).
+[[nodiscard]] bool journal_parse(std::string_view json, JournalRecord& out);
+
+class JournalWriter {
+  public:
+    /// Create/truncate `path` and start appending to it directly.
+    [[nodiscard]] bool open(const std::string& path);
+
+    /// Start a crash-safe rewrite: append to "<path>.tmp" until publish()
+    /// renames it over `path`. Until then the original file is untouched.
+    [[nodiscard]] bool open_temp(const std::string& path);
+
+    /// Atomically replace the target with the temp file; the stream stays
+    /// open and further appends land in the (now renamed) file.
+    [[nodiscard]] bool publish();
+
+    /// Frame, write and flush one record. Returns false (and latches
+    /// failed()) on any stream error.
+    [[nodiscard]] bool append(const JournalRecord& rec);
+
+    [[nodiscard]] bool is_open() const { return out_.is_open() && !failed_; }
+    [[nodiscard]] bool failed() const { return failed_; }
+    [[nodiscard]] const std::string& error() const { return error_; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] size_t records_written() const { return records_; }
+
+    void close();
+
+  private:
+    void fail(std::string why);
+
+    std::ofstream out_;
+    std::string path_;      // the journal's public name
+    std::string temp_path_; // non-empty while writing the unpublished temp
+    std::string error_;
+    size_t records_ = 0;
+    bool failed_ = false;
+};
+
+struct JournalLoad {
+    bool ok = false;          // file existed and was readable
+    std::string error;        // why not ok
+    std::vector<JournalRecord> records; // the trusted prefix
+    size_t dropped_lines = 0; // torn/corrupt tail lines discarded
+};
+
+/// Load the trusted prefix of a journal (see the header comment for the
+/// truncation rule). A readable empty file is ok with zero records.
+[[nodiscard]] JournalLoad journal_load(const std::string& path);
+
+// --------------------------------------------------------------- file I/O
+
+/// Write `content` to `path` atomically: write to "<path>.tmp.<pid>", flush
+/// and verify the stream, then rename over `path`. A crash or a full disk
+/// can leave a stale temp file but never a half-written `path` — downstream
+/// tooling either sees the old complete document or the new complete one.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view content);
+
+} // namespace factor::util

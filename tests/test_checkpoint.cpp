@@ -1,0 +1,583 @@
+// Crash-safe ATPG checkpoint/resume and retry escalation.
+//
+// The contract under test (DESIGN.md §9): a run that dies mid-campaign —
+// here via FACTOR_INJECT_FAULT at the "atpg.ckpt.write" site — and is then
+// resumed from its journal must produce byte-identical results (vectors,
+// statuses, coverage) to an uninterrupted run, at any jobs value; a
+// checkpoint that fails validation (fingerprint mismatch, malformed or
+// corrupt records) is refused with a named "ckpt.*" diagnostic, never
+// silently resumed; a torn tail is truncated to the last valid record and
+// resumed from there.
+//
+// FACTOR_FUZZ_CORPUS_DIR is provided as a compile definition by
+// tests/CMakeLists.txt and points at tests/fuzz/ in the source tree.
+#include "helpers.hpp"
+
+#include "atpg/checkpoint.hpp"
+#include "atpg/engine.hpp"
+#include "designs/designs.hpp"
+#include "obs/inject.hpp"
+#include "util/journal.hpp"
+#include "util/phase.hpp"
+#include "util/run_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace factor::test {
+namespace {
+
+using util::PhaseStatus;
+
+class Checkpoint : public ::testing::Test {
+  protected:
+    void TearDown() override {
+        obs::FaultInjector::global().disarm();
+        util::RunGuard::clear_interrupt();
+    }
+
+    /// A fresh path for this test's checkpoint file.
+    [[nodiscard]] std::string ckpt_path(const char* name) const {
+        return (std::filesystem::temp_directory_path() /
+                (std::string("factor_test_") + name + ".ckpt"))
+            .string();
+    }
+};
+
+/// Byte-identity over the stable result fields (the same subset the CI
+/// crash-resume smoke diffs; attempt/timing fields legitimately differ).
+void expect_identical(const atpg::EngineResult& a,
+                      const atpg::EngineResult& b) {
+    EXPECT_EQ(a.total_faults, b.total_faults);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.untestable, b.untestable);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.coverage_percent, b.coverage_percent);
+    EXPECT_EQ(a.efficiency_percent, b.efficiency_percent);
+    EXPECT_EQ(a.random_sequences, b.random_sequences);
+    EXPECT_EQ(a.deterministic_tests, b.deterministic_tests);
+    EXPECT_EQ(a.retried_faults, b.retried_faults);
+    EXPECT_EQ(a.retry_recovered, b.retry_recovered);
+    EXPECT_EQ(a.tests_before_compaction, b.tests_before_compaction);
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    for (size_t i = 0; i < a.tests.size(); ++i) {
+        EXPECT_EQ(a.tests[i], b.tests[i]) << "test vector " << i << " differs";
+    }
+}
+
+// ---- util::Journal ------------------------------------------------------
+
+TEST_F(Checkpoint, JournalRecordRoundTrip) {
+    util::JournalRecord rec;
+    rec.set("t", "c").set_u64("i", 42).set_f64("s", 1.5).set("v", "01X|1D0");
+    std::string json = util::journal_serialize(rec);
+    util::JournalRecord back;
+    ASSERT_TRUE(util::journal_parse(json, back));
+    EXPECT_EQ(*back.get("t"), "c");
+    EXPECT_EQ(back.get_u64("i"), 42u);
+    EXPECT_DOUBLE_EQ(back.get_f64("s"), 1.5);
+    EXPECT_EQ(*back.get("v"), "01X|1D0");
+    EXPECT_FALSE(back.has("missing"));
+}
+
+TEST_F(Checkpoint, JournalWriterLoaderRoundTripAndTornTailTruncation) {
+    const std::string path = ckpt_path("journal_rt");
+    {
+        util::JournalWriter w;
+        ASSERT_TRUE(w.open(path));
+        for (uint64_t i = 0; i < 5; ++i) {
+            util::JournalRecord rec;
+            rec.set("t", "x").set_u64("i", i);
+            ASSERT_TRUE(w.append(rec));
+        }
+        EXPECT_EQ(w.records_written(), 5u);
+    }
+    auto load = util::journal_load(path);
+    ASSERT_TRUE(load.ok);
+    ASSERT_EQ(load.records.size(), 5u);
+    EXPECT_EQ(load.dropped_lines, 0u);
+
+    // Tear the tail mid-line, as a crash during a write would.
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    ASSERT_FALSE(ec);
+    std::filesystem::resize_file(path, size - 7, ec);
+    ASSERT_FALSE(ec);
+    auto torn = util::journal_load(path);
+    ASSERT_TRUE(torn.ok);
+    EXPECT_EQ(torn.records.size(), 4u); // last line dropped, prefix intact
+    EXPECT_EQ(torn.dropped_lines, 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, JournalCrcFlipDropsRecordAndEverythingAfter) {
+    const std::string path = ckpt_path("journal_crc");
+    {
+        util::JournalWriter w;
+        ASSERT_TRUE(w.open(path));
+        for (uint64_t i = 0; i < 4; ++i) {
+            util::JournalRecord rec;
+            rec.set_u64("i", i);
+            ASSERT_TRUE(w.append(rec));
+        }
+    }
+    // Flip one payload byte in line 2: its CRC fails, and the loader must
+    // distrust every later line too (append-only ⇒ no valid data after
+    // damage).
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    in.close();
+    std::string content = buf.str();
+    size_t second_line = content.find('\n') + 1;
+    content[second_line + 12] ^= 0x01;
+    std::ofstream(path) << content;
+
+    auto load = util::journal_load(path);
+    ASSERT_TRUE(load.ok);
+    EXPECT_EQ(load.records.size(), 1u);
+    EXPECT_EQ(load.dropped_lines, 3u);
+    std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, WriteFileAtomicPublishesWholeDocument) {
+    const std::string path = ckpt_path("atomic_txt");
+    ASSERT_TRUE(util::write_file_atomic(path, "first\n"));
+    ASSERT_TRUE(util::write_file_atomic(path, "second version\n"));
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), "second version\n");
+    // No temp litter left behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+// ---- codecs + fingerprint ----------------------------------------------
+
+TEST_F(Checkpoint, TestVectorCodecRoundTrips) {
+    atpg::ScalarSequence seq;
+    seq.frames = {{atpg::V5::Zero, atpg::V5::One, atpg::V5::X},
+                  {atpg::V5::D, atpg::V5::DB, atpg::V5::Zero}};
+    std::string text = atpg::ckpt::encode_test(seq);
+    EXPECT_EQ(text, "01X|DB0");
+    atpg::ScalarSequence back;
+    ASSERT_TRUE(atpg::ckpt::decode_test(text, 3, back));
+    EXPECT_EQ(back, seq);
+    // Wrong width and junk are rejected, not misread.
+    EXPECT_FALSE(atpg::ckpt::decode_test(text, 4, back));
+    EXPECT_FALSE(atpg::ckpt::decode_test("01Z", 3, back));
+    EXPECT_FALSE(atpg::ckpt::decode_test("", 1, back));
+}
+
+TEST_F(Checkpoint, FingerprintPinsTrajectoryShapingInputs) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    atpg::FaultList faults(nl);
+    atpg::EngineOptions opts;
+    const std::string base = atpg::ckpt::fingerprint(nl, faults, opts);
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(base, atpg::ckpt::fingerprint(nl, faults, opts)); // stable
+
+    atpg::EngineOptions changed = opts;
+    changed.seed ^= 1;
+    EXPECT_NE(base, atpg::ckpt::fingerprint(nl, faults, changed));
+    changed = opts;
+    changed.max_backtracks += 1;
+    EXPECT_NE(base, atpg::ckpt::fingerprint(nl, faults, changed));
+    changed = opts;
+    changed.retry_rounds = 2;
+    EXPECT_NE(base, atpg::ckpt::fingerprint(nl, faults, changed));
+
+    // jobs and budgets deliberately do NOT change the fingerprint:
+    // resuming under a different worker count or a bigger budget is a
+    // supported workflow.
+    changed = opts;
+    changed.jobs = 7;
+    changed.time_budget_s = 123.0;
+    EXPECT_EQ(base, atpg::ckpt::fingerprint(nl, faults, changed));
+
+    // A different netlist fingerprints differently.
+    auto b2 = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b2);
+    auto nl2 = synthesize(*b2);
+    atpg::FaultList faults2(nl2);
+    EXPECT_NE(base, atpg::ckpt::fingerprint(nl2, faults2, opts));
+}
+
+// ---- checkpointed runs --------------------------------------------------
+
+TEST_F(Checkpoint, CheckpointedRunMatchesPlainRunAndSealsJournal) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.max_backtracks = 200;
+    opts.jobs = 2;
+
+    auto plain = atpg::run_atpg(nl, opts);
+    ASSERT_GT(plain.total_faults, 0u);
+
+    const std::string path = ckpt_path("seal");
+    opts.checkpoint_path = path;
+    auto ckpted = atpg::run_atpg(nl, opts);
+    expect_identical(plain, ckpted);
+    EXPECT_EQ(ckpted.status, plain.status);
+
+    // The journal is sealed with an "end" record, reason ok.
+    atpg::FaultList faults(nl);
+    auto load = atpg::ckpt::load(
+        path, atpg::ckpt::fingerprint(nl, faults, opts), faults.size(),
+        nl.inputs().size());
+    ASSERT_TRUE(load.ok) << load.diagnostic;
+    ASSERT_FALSE(load.events.empty());
+    EXPECT_EQ(load.events.back().kind, atpg::ckpt::EventKind::End);
+    EXPECT_EQ(load.events.back().reason, "ok");
+
+    // Resuming a finished run is a pure replay with identical stats.
+    opts.resume = true;
+    auto replayed = atpg::run_atpg(nl, opts);
+    EXPECT_FALSE(replayed.resume_refused) << replayed.status_detail;
+    EXPECT_EQ(replayed.attempt, 2u);
+    EXPECT_GT(replayed.replayed_events, 0u);
+    expect_identical(plain, replayed);
+    std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, InjectedCrashThenResumeIsByteIdentical) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.max_backtracks = 200;
+    opts.retry_rounds = 2; // escalation records must survive resume too
+
+    for (size_t jobs : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        opts.jobs = jobs;
+        opts.checkpoint_path.clear();
+        opts.resume = false;
+        auto reference = atpg::run_atpg(nl, opts);
+        ASSERT_GT(reference.total_faults, 0u);
+
+        // Count the journal appends of a full run, then kill a fresh run
+        // mid-campaign at roughly half of them.
+        const std::string path =
+            ckpt_path(("crash_j" + std::to_string(jobs)).c_str());
+        opts.checkpoint_path = path;
+        auto full = atpg::run_atpg(nl, opts);
+        expect_identical(reference, full);
+        const size_t appends = util::journal_load(path).records.size() - 1;
+        ASSERT_GT(appends, 2u);
+
+        obs::FaultInjector::global().configure("atpg.ckpt.write",
+                                               appends / 2);
+        auto crashed = atpg::run_atpg(nl, opts);
+        EXPECT_FALSE(obs::FaultInjector::global().armed()); // it fired
+        EXPECT_EQ(crashed.status, PhaseStatus::Failed);
+        EXPECT_NE(crashed.status_detail.find("ckpt.write_failed"),
+                  std::string::npos)
+            << crashed.status_detail;
+        // The journal keeps the committed prefix: strictly fewer records,
+        // still loadable.
+        auto partial = util::journal_load(path);
+        ASSERT_TRUE(partial.ok);
+        EXPECT_LT(partial.records.size(), appends + 1);
+
+        opts.resume = true;
+        auto resumed = atpg::run_atpg(nl, opts);
+        ASSERT_FALSE(resumed.resume_refused) << resumed.status_detail;
+        EXPECT_EQ(resumed.attempt, 2u);
+        expect_identical(reference, resumed);
+        EXPECT_EQ(resumed.status, reference.status);
+        opts.resume = false;
+        std::remove(path.c_str());
+    }
+}
+
+TEST_F(Checkpoint, QuotaStoppedRunResumesToMatchUninterruptedRun) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.max_backtracks = 200;
+    opts.jobs = 4;
+
+    // Reference: one uninterrupted run under the full quota.
+    constexpr uint64_t kFullQuota = 10'000;
+    {
+        util::RunGuard guard(util::GuardLimits{0.0, kFullQuota, 0, 0});
+        opts.guard = &guard;
+        auto reference = atpg::run_atpg(nl, opts);
+        ASSERT_FALSE(reference.budget_exhausted)
+            << "quota too small for a clean reference";
+
+        // Stopped attempt: a small quota halts the campaign mid-way.
+        const std::string path = ckpt_path("quota");
+        opts.checkpoint_path = path;
+        util::RunGuard small(util::GuardLimits{0.0, 10, 0, 0});
+        opts.guard = &small;
+        auto stopped = atpg::run_atpg(nl, opts);
+        EXPECT_TRUE(stopped.budget_exhausted);
+        EXPECT_EQ(stopped.status, PhaseStatus::BudgetExhausted);
+
+        // Resume under the full quota: the pre-charged guard accounts for
+        // the 40 units the first attempt spent, and the final result is
+        // byte-identical to the uninterrupted reference.
+        util::RunGuard full(util::GuardLimits{0.0, kFullQuota, 0, 0});
+        opts.guard = &full;
+        opts.resume = true;
+        auto resumed = atpg::run_atpg(nl, opts);
+        ASSERT_FALSE(resumed.resume_refused) << resumed.status_detail;
+        EXPECT_EQ(resumed.attempt, 2u);
+        expect_identical(reference, resumed);
+        EXPECT_GE(full.work_used(), 10u); // prior work was pre-charged
+        std::remove(path.c_str());
+    }
+}
+
+TEST_F(Checkpoint, TruncatedTailResumesFromLastValidRecord) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.jobs = 2;
+    auto reference = atpg::run_atpg(nl, opts);
+
+    const std::string path = ckpt_path("torn");
+    opts.checkpoint_path = path;
+    (void)atpg::run_atpg(nl, opts);
+
+    // Chop bytes off the end: the seal and part of the last record vanish.
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - size / 4);
+
+    opts.resume = true;
+    auto resumed = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(resumed.resume_refused) << resumed.status_detail;
+    expect_identical(reference, resumed);
+    std::remove(path.c_str());
+}
+
+// ---- refusal paths ------------------------------------------------------
+
+TEST_F(Checkpoint, FingerprintMismatchRefusesResume) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    const std::string path = ckpt_path("fp_mismatch");
+    atpg::EngineOptions opts;
+    opts.checkpoint_path = path;
+    (void)atpg::run_atpg(nl, opts);
+
+    // Same design, different seed: a different campaign. Resume refused.
+    opts.seed ^= 0xff;
+    opts.resume = true;
+    auto refused = atpg::run_atpg(nl, opts);
+    EXPECT_TRUE(refused.resume_refused);
+    EXPECT_EQ(refused.status, PhaseStatus::Failed);
+    EXPECT_NE(refused.status_detail.find("ckpt.fingerprint_mismatch"),
+              std::string::npos)
+        << refused.status_detail;
+    std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, MissingFileAndInjectedLoadFaultRefuseWithDiagnostics) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.checkpoint_path = ckpt_path("nonexistent");
+    opts.resume = true;
+    auto missing = atpg::run_atpg(nl, opts);
+    EXPECT_TRUE(missing.resume_refused);
+    EXPECT_NE(missing.status_detail.find("ckpt.open_failed"),
+              std::string::npos)
+        << missing.status_detail;
+
+    // A fault injected at the load site is contained as a refusal, not a
+    // crash or a silent fresh start.
+    const std::string path = ckpt_path("load_fault");
+    opts.resume = false;
+    opts.checkpoint_path = path;
+    (void)atpg::run_atpg(nl, opts);
+    opts.resume = true;
+    obs::FaultInjector::global().configure("atpg.ckpt.load");
+    auto faulted = atpg::run_atpg(nl, opts);
+    EXPECT_TRUE(faulted.resume_refused);
+    EXPECT_NE(faulted.status_detail.find("ckpt.load_failed"),
+              std::string::npos)
+        << faulted.status_detail;
+    std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, FuzzCorpusCheckpointsNeverResumeSilently) {
+    const std::filesystem::path dir = FACTOR_FUZZ_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    atpg::FaultList faults(nl);
+    atpg::EngineOptions opts;
+    const std::string fp = atpg::ckpt::fingerprint(nl, faults, opts);
+
+    size_t checked = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".ckpt") continue;
+        ++checked;
+        SCOPED_TRACE(entry.path().string());
+        atpg::ckpt::Load load;
+        // The loader must contain arbitrary damage: no throw, and either a
+        // clean named refusal or a truncated-but-valid prefix.
+        EXPECT_NO_THROW(load = atpg::ckpt::load(entry.path().string(), fp,
+                                                faults.size(),
+                                                nl.inputs().size()));
+        EXPECT_FALSE(load.ok) << "corpus checkpoint accepted";
+        EXPECT_NE(load.diagnostic.find("ckpt."), std::string::npos)
+            << "refusal must carry a named ckpt.* diagnostic, got: "
+            << load.diagnostic;
+
+        // End to end: the engine refuses the resume; it never runs.
+        atpg::EngineOptions ropts;
+        ropts.checkpoint_path = entry.path().string();
+        ropts.resume = true;
+        atpg::EngineResult r;
+        EXPECT_NO_THROW(r = atpg::run_atpg(nl, ropts));
+        EXPECT_TRUE(r.resume_refused) << r.status_detail;
+        EXPECT_EQ(r.status, PhaseStatus::Failed);
+    }
+    EXPECT_GE(checked, 6u) << "checkpoint fuzz corpus unexpectedly small";
+}
+
+TEST_F(Checkpoint, SemanticallyInvalidRecordRefusesRatherThanTruncates) {
+    // A CRC-valid record that breaks the commit-order state machine must
+    // refuse the whole resume — truncating it could silently resume from
+    // the wrong point. This needs a matching fingerprint, so the stream is
+    // built live rather than taken from the static corpus.
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    atpg::FaultList faults(nl);
+    atpg::EngineOptions opts;
+    const std::string fp = atpg::ckpt::fingerprint(nl, faults, opts);
+
+    const std::string path = ckpt_path("malformed");
+    atpg::ckpt::Header h;
+    h.fingerprint = fp;
+    h.total_faults = faults.size();
+    atpg::ckpt::Writer w;
+    ASSERT_TRUE(w.start_fresh(path, h));
+    atpg::ckpt::Event rp;
+    rp.kind = atpg::ckpt::EventKind::RandomPhaseEnd;
+    ASSERT_TRUE(w.append(rp));
+    atpg::ckpt::Event bad;
+    bad.kind = atpg::ckpt::EventKind::Commit;
+    bad.fault = faults.size(); // out of range: CRC fine, semantics not
+    bad.outcome = 'u';
+    ASSERT_TRUE(w.append(bad));
+
+    auto load =
+        atpg::ckpt::load(path, fp, faults.size(), nl.inputs().size());
+    EXPECT_FALSE(load.ok);
+    EXPECT_NE(load.diagnostic.find("ckpt.malformed_record"),
+              std::string::npos)
+        << load.diagnostic;
+    std::remove(path.c_str());
+}
+
+// ---- retry escalation ---------------------------------------------------
+
+TEST_F(Checkpoint, RetryEscalationNeverIncreasesAbortsAndIsJobsInvariant) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    // A tiny budget forces backtrack aborts for escalation to chew on.
+    opts.max_backtracks = 2;
+    opts.jobs = 2;
+
+    auto base = atpg::run_atpg(nl, opts);
+    ASSERT_GT(base.aborted, 0u) << "expected backtrack-aborted faults";
+    EXPECT_EQ(base.retried_faults, 0u);
+    EXPECT_EQ(base.metrics().to_json().find("podem_retries"),
+              std::string::npos);
+
+    opts.retry_rounds = 3;
+    auto retried = atpg::run_atpg(nl, opts);
+    EXPECT_GT(retried.retried_faults, 0u);
+    EXPECT_LE(retried.aborted, base.aborted);
+    EXPECT_GE(retried.detected + retried.untestable,
+              base.detected + base.untestable);
+    // Every fault that left Aborted either got detected by a retry test
+    // (recovered) or was proven untestable under the bigger budget.
+    EXPECT_EQ(retried.retry_recovered,
+              (base.aborted - retried.aborted) -
+                  (retried.untestable - base.untestable))
+        << "recovered bookkeeping out of sync";
+    // The escalation statistics are visible in the metrics document.
+    std::string json = retried.metrics().to_json();
+    EXPECT_NE(json.find("podem_retries"), std::string::npos);
+    EXPECT_NE(json.find("retry_recovered"), std::string::npos);
+
+    // Escalation is serial in fault order: jobs-invariant like the rest.
+    auto j1 = retried;
+    opts.jobs = 4;
+    auto j4 = atpg::run_atpg(nl, opts);
+    expect_identical(j1, j4);
+}
+
+TEST_F(Checkpoint, ResumedRunAggregatesAttemptAndTiming) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.max_backtracks = 200;
+    opts.jobs = 2;
+    const std::string path = ckpt_path("timing");
+    opts.checkpoint_path = path;
+
+    auto full = atpg::run_atpg(nl, opts);
+    const size_t appends = util::journal_load(path).records.size() - 1;
+    ASSERT_GT(appends, 2u);
+    obs::FaultInjector::global().configure("atpg.ckpt.write", appends / 2);
+    auto crashed = atpg::run_atpg(nl, opts);
+    ASSERT_EQ(crashed.status, PhaseStatus::Failed);
+
+    opts.resume = true;
+    auto resumed = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(resumed.resume_refused) << resumed.status_detail;
+    EXPECT_EQ(resumed.attempt, 2u);
+    EXPECT_GT(resumed.replayed_events, 0u);
+    // Wall clock aggregates across attempts: the prior attempt's seconds
+    // are carried in the checkpoint header and included in the total.
+    EXPECT_GE(resumed.prior_seconds, 0.0);
+    EXPECT_GE(resumed.test_gen_seconds, resumed.prior_seconds);
+    // The metrics document reports the attempt number on resumed runs.
+    EXPECT_NE(resumed.metrics().to_json().find("\"attempt\":2"),
+              std::string::npos);
+    EXPECT_EQ(full.metrics().to_json().find("\"attempt\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace factor::test

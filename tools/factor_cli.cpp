@@ -17,7 +17,16 @@
 // Observability: --trace=<file> writes an NDJSON span trace of the whole
 // run; --stats-json=<file> writes a stable machine-readable stats document
 // (schema "factor.stats.v1") with the result metrics, the per-phase status
-// array and the full metrics registry — on EVERY exit path.
+// array and the full metrics registry — on EVERY exit path. Both documents
+// are published with an atomic temp-file + rename, so readers never see a
+// torn file.
+// Crash safety: --checkpoint=<file> journals ATPG progress (schema
+// "factor.ckpt.v1") at every commit boundary; --resume replays the journal
+// and continues from the first uncommitted fault with byte-identical
+// results (wall-clock budgeted runs excepted — DESIGN.md §9). A checkpoint
+// that fails validation is refused with a named "ckpt.*" diagnostic (exit
+// 1), never silently resumed. --retry-rounds=<n> re-attempts
+// backtrack-aborted faults with an escalating backtrack budget.
 //
 // Exit codes (stable):
 //   0  success (including degraded runs — check "status" in the stats doc)
@@ -38,6 +47,7 @@
 #include "rtl/parser.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/journal.hpp"
 #include "util/phase.hpp"
 #include "util/run_guard.hpp"
 #include "util/stopwatch.hpp"
@@ -70,6 +80,9 @@ struct Args {
     std::string builtin;
     std::string trace_path;
     std::string stats_path;
+    std::string checkpoint_path;
+    bool resume = false;
+    size_t retry_rounds = 0;
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
     size_t jobs = 0; // 0: FACTOR_JOBS env or hardware concurrency
@@ -89,8 +102,14 @@ void usage() {
                  "[--max-nodes=<n>]\n"
                  "       [--jobs=<n>] [--trace=<file.ndjson>] "
                  "[--stats-json=<file.json>]\n"
+                 "       [--checkpoint=<file.ckpt>] [--resume] "
+                 "[--retry-rounds=<n>]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
+                 "  --checkpoint=<file> journals ATPG progress; --resume "
+                 "replays it and continues.\n"
+                 "  --retry-rounds=<n> escalates backtrack-aborted faults "
+                 "with growing budgets.\n"
                  "  <top> defaults to the builtin name when --builtin is "
                  "given.\n"
                  "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
@@ -157,12 +176,26 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.trace_path = a.substr(8);
         } else if (a.rfind("--stats-json=", 0) == 0) {
             out.stats_path = a.substr(13);
+        } else if (a.rfind("--checkpoint=", 0) == 0) {
+            out.checkpoint_path = a.substr(13);
+            if (out.checkpoint_path.empty()) {
+                std::fprintf(stderr, "--checkpoint needs a file path\n");
+                options_ok = false;
+            }
+        } else if (a == "--resume") {
+            out.resume = true;
+        } else if (a.rfind("--retry-rounds=", 0) == 0) {
+            out.retry_rounds = std::strtoull(a.c_str() + 15, nullptr, 10);
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             options_ok = false;
         } else {
             positional.push_back(a);
         }
+    }
+    if (out.resume && out.checkpoint_path.empty()) {
+        std::fprintf(stderr, "--resume needs --checkpoint=<file>\n");
+        options_ok = false;
     }
     if (!options_ok) return false;
     if (positional.empty()) return false;
@@ -252,16 +285,13 @@ util::RunGuard* g_guard = nullptr;
 /// Write the stable stats document ("factor.stats.v1"): the invoking
 /// command, the command's result metrics, the per-phase status array and a
 /// snapshot of every counter, gauge and histogram touched during the run.
+/// Published atomically (temp file + rename), so a reader — or a crash mid
+/// write — never sees a torn document.
 bool write_stats_json(const Args& args, int exit_code) {
-    std::ofstream out(args.stats_path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write stats to '%s'\n",
-                     args.stats_path.c_str());
-        return false;
-    }
     const bool interrupted = util::RunGuard::interrupt_requested() ||
                              (g_guard != nullptr &&
                               g_guard->reason() == util::GuardStop::Interrupt);
+    std::ostringstream out;
     out << "{\"schema\":\"factor.stats.v1\""
         << ",\"command\":\"" << obs::json_escape(args.command) << '"'
         << ",\"top\":\"" << obs::json_escape(args.top) << '"'
@@ -275,7 +305,12 @@ bool write_stats_json(const Args& args, int exit_code) {
         << ",\"phases\":" << g_phases.to_json()
         << ",\"result\":" << g_result.to_json()
         << ",\"registry\":" << obs::Registry::global().to_json() << "}\n";
-    return static_cast<bool>(out);
+    if (!util::write_file_atomic(args.stats_path, out.str())) {
+        std::fprintf(stderr, "cannot write stats to '%s'\n",
+                     args.stats_path.c_str());
+        return false;
+    }
+    return true;
 }
 
 void print_tree(const elab::InstNode& node, int depth) {
@@ -346,6 +381,13 @@ int cmd_report(const Args& args, elab::ElaboratedDesign& e,
 /// Record an ATPG run's phase outcome; returns the exit code it implies.
 int record_atpg_phase(const atpg::EngineResult& r) {
     g_phases.record("atpg", r.status, r.status_detail, r.test_gen_seconds);
+    if (r.resume_refused) {
+        // The checkpoint could not be trusted (fingerprint mismatch,
+        // malformed record, ...): a bad input, not an internal failure.
+        // status_detail carries the named "ckpt.*" diagnostic.
+        std::fprintf(stderr, "cannot resume: %s\n", r.status_detail.c_str());
+        return kExitInput;
+    }
     switch (r.status) {
     case util::PhaseStatus::Ok: return kExitOk;
     case util::PhaseStatus::Degraded:
@@ -365,6 +407,9 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
     opts.time_budget_s = args.budget;
     opts.guard = g_guard;
     opts.jobs = args.jobs;
+    opts.checkpoint_path = args.checkpoint_path;
+    opts.resume = args.resume;
+    opts.retry_rounds = args.retry_rounds;
 
     if (args.mut_path.empty()) {
         // Whole-design ATPG.
