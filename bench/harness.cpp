@@ -6,6 +6,7 @@
 #include "util/journal.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/sysinfo.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cstdio>
@@ -42,6 +43,7 @@ bool JsonReport::write(const std::string& bench_name) {
         // Worker count the ATPG rows ran with, so perf numbers stay
         // comparable across machines and PRs.
         << ",\"threads\":" << util::ThreadPool::default_jobs()
+        << ",\"peak_rss_bytes\":" << util::peak_rss_bytes()
         << ",\"rows\":[";
     bool first = true;
     for (const Row& r : rows_) {

@@ -3,12 +3,15 @@
 #include "atpg/checkpoint.hpp"
 #include "obs/inject.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <random>
 
@@ -266,6 +269,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 .add(static_cast<uint64_t>(ld.dropped_lines));
         }
         obs::Span replay_span("atpg.ckpt.replay");
+        obs::ProfScope replay_prof("atpg.replay");
         std::string replay_err;
         for (const ckpt::Event& ev : ld.events) {
             switch (ev.kind) {
@@ -412,6 +416,62 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                (options.guard != nullptr && options.guard->stopped());
     };
 
+    // ---- Progress heartbeat ------------------------------------------------
+    //
+    // Heartbeats fire only at already-serialized commit points and only read
+    // state the commit path owns, so they cannot perturb RNG draws, commit
+    // order or guard accounting: results stay byte-identical with the
+    // emitter on or off (tests/test_progress.cpp pins this). Counts and
+    // elapsed time are cumulative across --resume attempts.
+    obs::Progress& progress = obs::Progress::global();
+    auto emit_progress = [&](const char* phase, uint64_t det, uint64_t unt,
+                             uint64_t abt, bool final_event) {
+        obs::ProgressSnapshot snap;
+        snap.phase = phase;
+        snap.faults_total = n;
+        snap.detected = det;
+        snap.untestable = unt;
+        snap.aborted = abt;
+        snap.faults_done = det + unt + abt;
+        snap.coverage_percent =
+            100.0 * static_cast<double>(det) / static_cast<double>(n);
+        snap.vectors = committed_tests;
+        snap.random_sequences = result.random_sequences;
+        snap.attempt = result.attempt;
+        snap.threads = jobs;
+        snap.elapsed_seconds = prior_seconds + watch.seconds();
+        util::ThreadPool::Stats ps = pool.stats();
+        snap.pool_tasks = ps.tasks;
+        snap.pool_steals = ps.steals;
+        snap.pool_idle_ns = ps.idle_ns;
+        double remain = local_guard.remaining_seconds();
+        if (options.guard != nullptr) {
+            remain = std::min(remain, options.guard->remaining_seconds());
+        }
+        if (remain < 1e29) snap.budget_remaining_seconds = remain;
+        if (options.guard != nullptr &&
+            options.guard->limits().work_quota > 0) {
+            uint64_t quota = options.guard->limits().work_quota;
+            uint64_t used = options.guard->work_used();
+            snap.has_work_remaining = true;
+            snap.work_remaining = quota > used ? quota - used : 0;
+        }
+        if (final_event) {
+            progress.emit_final(snap);
+        } else {
+            progress.tick(snap);
+        }
+    };
+    // Serial-phase variant: counts come from the (authoritative there)
+    // fault-list statuses, and only when an emission is actually due.
+    auto emit_progress_counts = [&](const char* phase) {
+        if (!progress.due()) return;
+        emit_progress(phase, list.count(FaultStatus::Detected),
+                      list.count(FaultStatus::Untestable),
+                      list.count(FaultStatus::Aborted), false);
+    };
+    if (result.replayed_events > 0) emit_progress_counts("replay");
+
     /// Append one checkpoint record at a commit boundary, stamping the
     /// cumulative cross-attempt progress. Failures (IO, injected fault at
     /// "atpg.ckpt.write") latch ckpt_failed; the phases stop cooperatively
@@ -429,6 +489,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // ---- Phase 1: random patterns with fault dropping ----------------------
     if (!pure_replay && !random_done && !ckpt_failed) {
         obs::Span span("atpg.random_phase");
+        obs::ProfScope prof("atpg.random");
         obs::Histogram& yield_hist = obs::histogram("atpg.random.batch_yield");
         bool guard_stopped = false;
         // A replayed prefix can already sit on the stale limit (the prior
@@ -461,6 +522,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             } else {
                 stale = 0;
             }
+            emit_progress_counts("random");
         }
         if (!guard_stopped && !ckpt_failed) {
             // The phase ended for a deterministic reason (batch or stale
@@ -497,6 +559,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     bool budget_hit = false;
     if (!pure_replay && !ckpt_failed) {
         obs::Span span("atpg.deterministic_phase");
+        obs::ProfScope prof("atpg.deterministic");
         PodemOptions popts;
         popts.max_backtracks = options.max_backtracks;
 
@@ -523,6 +586,13 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             status[i].store(static_cast<uint8_t>(entries[i].status),
                             std::memory_order_relaxed);
         }
+
+        // Running status tallies for the heartbeat. The commit pipeline is
+        // the only writer of `status`, so plain counters kept next to the
+        // stores are exact without re-scanning the array per emission.
+        uint64_t prog_det = list.count(FaultStatus::Detected);
+        uint64_t prog_unt = list.count(FaultStatus::Untestable);
+        uint64_t prog_abt = list.count(FaultStatus::Aborted);
 
         std::vector<Slot> slots(n);
         std::atomic<size_t> cursor{next_fault};
@@ -588,6 +658,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     }
                     drop_calls.add(1);
                     drop_dropped.add(newly);
+                    prog_det += newly;
                     if (status[i].load(std::memory_order_relaxed) !=
                         kDetected) {
                         // PODEM said detected but the conservative
@@ -597,6 +668,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                         status[i].store(kAborted, std::memory_order_relaxed);
                         cause[i] = 'm';
                         abort_mismatch.add(1);
+                        ++prog_abt;
                     }
                     break;
                 }
@@ -607,18 +679,21 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     status[i].store(
                         static_cast<uint8_t>(FaultStatus::Untestable),
                         std::memory_order_relaxed);
+                    ++prog_unt;
                     break;
                 case SlotKind::AbortBacktrack:
                     outcome = 'b';
                     status[i].store(kAborted, std::memory_order_relaxed);
                     cause[i] = 'b';
                     abort_backtracks.add(1);
+                    ++prog_abt;
                     break;
                 case SlotKind::AbortDepth:
                     outcome = 'd';
                     status[i].store(kAborted, std::memory_order_relaxed);
                     cause[i] = 'd';
                     abort_depth.add(1);
+                    ++prog_abt;
                     break;
                 case SlotKind::PodemFailed:
                     // Contained: count it aborted and keep going — partial
@@ -626,6 +701,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     outcome = 'p';
                     status[i].store(kAborted, std::memory_order_relaxed);
                     cause[i] = 'p';
+                    ++prog_abt;
                     break;
                 case SlotKind::BudgetStopped:
                     // The worker's depth loop noticed the budget mid-fault:
@@ -637,6 +713,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     cause[i] = outcome;
                     (s.any_backtrack_abort ? abort_backtracks : abort_depth)
                         .add(1);
+                    ++prog_abt;
                     break;
                 case SlotKind::BudgetSkip:
                     budget_hit = true;
@@ -661,6 +738,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 if (s.kind == SlotKind::Success && options.collect_tests) {
                     collected.push_back(std::move(s.test));
                 }
+                if (progress.due()) {
+                    emit_progress("deterministic", prog_det, prog_unt,
+                                  prog_abt, false);
+                }
                 ++next_commit;
             }
         };
@@ -669,9 +750,11 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             if (lk.owns_lock()) commit_ready(ex);
         };
 
+        const bool prof_faults = obs::Profiler::global().armed();
         auto worker = [&](size_t ex, size_t /*index*/) {
             obs::Span wspan("atpg.worker");
             wspan.attr("worker", static_cast<uint64_t>(ex));
+            const auto w_start = std::chrono::steady_clock::now();
             TimeFramePodem podem(nl, popts);
             uint64_t claimed = 0;
             uint64_t generated = 0;
@@ -699,6 +782,9 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 bool all_depths_no_test = true;
                 bool podem_failed = false;
                 bool budget_stopped = false;
+                uint64_t f_backtracks = 0;
+                std::chrono::steady_clock::time_point f_start;
+                if (prof_faults) f_start = std::chrono::steady_clock::now();
                 for (size_t k = 1; k <= max_frames && !done; ++k) {
                     if (out_of_budget()) {
                         budget_stopped = true;
@@ -717,6 +803,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     }
                     podem_calls.add(1);
                     backtrack_hist.record(pr.backtracks);
+                    f_backtracks += pr.backtracks;
                     switch (pr.outcome) {
                     case PodemOutcome::Success:
                         s.test = std::move(pr.test);
@@ -743,9 +830,27 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     s.kind = s.any_backtrack_abort ? SlotKind::AbortBacktrack
                                                    : SlotKind::AbortDepth;
                 }
+                if (prof_faults) {
+                    auto f_ns =
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - f_start)
+                            .count();
+                    const char* oc =
+                        s.kind == SlotKind::Success      ? "test"
+                        : s.kind == SlotKind::Untestable ? "untestable"
+                                                         : "aborted";
+                    obs::Profiler::global().record_fault(
+                        entries[i].describe(nl), static_cast<uint64_t>(f_ns),
+                        f_backtracks, oc);
+                }
                 s.ready.store(1, std::memory_order_release);
                 try_commit(ex);
             }
+            auto w_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - w_start)
+                            .count();
+            obs::Profiler::global().worker_add(ex, static_cast<uint64_t>(w_ns),
+                                               claimed, generated);
             wspan.attr("claimed", claimed);
             wspan.attr("tests", generated);
         };
@@ -776,6 +881,8 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // several aborted faults at once.
     if (options.retry_rounds > 0 && !pure_replay && !ckpt_failed) {
         obs::Span span("atpg.retry_phase");
+        obs::ProfScope prof("atpg.retry");
+        const bool prof_faults = obs::Profiler::global().armed();
         bool guard_stopped = false;
         for (size_t round = rounds_done + 1;
              round <= options.retry_rounds && !guard_stopped && !ckpt_failed;
@@ -806,6 +913,9 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 ScalarSequence test;
                 bool all_depths_no_test = true;
                 bool any_backtrack = false;
+                uint64_t f_backtracks = 0;
+                std::chrono::steady_clock::time_point f_start;
+                if (prof_faults) f_start = std::chrono::steady_clock::now();
                 for (size_t k = 1; k <= max_frames && outcome == 0; ++k) {
                     PodemResult pr;
                     try {
@@ -818,6 +928,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     }
                     podem_calls.add(1);
                     backtrack_hist.record(pr.backtracks);
+                    f_backtracks += pr.backtracks;
                     switch (pr.outcome) {
                     case PodemOutcome::Success:
                         test = std::move(pr.test);
@@ -835,6 +946,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                               : any_backtrack                     ? 'b'
                                                                   : 'd';
                 }
+                if (prof_faults) {
+                    auto f_ns =
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - f_start)
+                            .count();
+                    const char* oc = outcome == 's'   ? "test"
+                                     : outcome == 'u' ? "untestable"
+                                                      : "aborted";
+                    obs::Profiler::global().record_fault(
+                        entries[i].describe(nl), static_cast<uint64_t>(f_ns),
+                        f_backtracks, oc);
+                }
                 apply_retry_outcome(i, outcome, test);
                 ckpt::Event ev;
                 ev.kind = ckpt::EventKind::Retry;
@@ -844,6 +967,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 if (outcome == 's') ev.test = std::move(test);
                 ckpt_append(std::move(ev));
                 if (ckpt_failed) break;
+                emit_progress_counts("retry");
             }
             if (guard_stopped || ckpt_failed) break;
             if (round_attempts == 0) break; // no candidates left to escalate
@@ -880,6 +1004,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // ---- Static compaction of the collected deterministic tests ------------
     if (options.collect_tests && !result.tests.empty()) {
         obs::Span span("atpg.compaction");
+        obs::ProfScope prof("atpg.compaction");
         result.tests_before_compaction = result.tests.size();
         // Reverse-order pass: later tests were generated for the harder
         // faults and tend to cover many earlier ones.
@@ -905,6 +1030,13 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     result.coverage_percent = list.coverage_percent();
     result.efficiency_percent = list.efficiency_percent();
     result.test_gen_seconds = prior_seconds + watch.seconds();
+
+    // The run's closing heartbeat: counts are the ones the stats document
+    // will report, so a consumer can trust the last progress line.
+    if (progress.enabled()) {
+        emit_progress("done", result.detected, result.untestable,
+                      result.aborted, true);
+    }
 
     if (podem_degraded.load(std::memory_order_relaxed)) {
         result.status = util::worst(result.status, util::PhaseStatus::Degraded);

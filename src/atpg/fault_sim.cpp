@@ -123,7 +123,9 @@ std::vector<std::vector<V64>>
 FaultSimulator::simulate_good(const Sequence& seq) {
     // Cached reference: registry lookups stay off the simulation path.
     static obs::Counter& frames_counter = obs::counter("fault_sim.good_frames");
+    static obs::Counter& evals_counter = obs::counter("fault_sim.gate_evals");
     frames_counter.add(seq.size());
+    evals_counter.add(seq.size() * topo_->size());
     value_.assign(nl_.num_nets(), V64::all_x());
     state_.assign(dffs_.size(), V64::all_x());
     std::vector<std::vector<V64>> po_per_frame;
@@ -174,6 +176,8 @@ uint64_t FaultSimulator::faulty_detect(
         }
     }
     frames_counter.add(frames_run);
+    static obs::Counter& evals_counter = obs::counter("fault_sim.gate_evals");
+    evals_counter.add(frames_run * topo_->size());
     return detected;
 }
 

@@ -1,0 +1,245 @@
+#include "obs/json_value.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace factor::obs {
+
+namespace {
+
+[[nodiscard]] bool is_ws(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+} // namespace
+
+/// Recursive-descent parser building JsonValue trees. Mirrors the grammar
+/// of the JsonChecker in obs.cpp; the checker stays separate because
+/// validation must not pay for tree allocation.
+class JsonParser {
+  public:
+    explicit JsonParser(std::string_view t) : t_(t) {}
+
+    bool parse(JsonValue& out) {
+        skip_ws();
+        if (!value(out)) return false;
+        skip_ws();
+        return pos_ == t_.size();
+    }
+
+  private:
+    [[nodiscard]] bool eof() const { return pos_ >= t_.size(); }
+    [[nodiscard]] char peek() const { return t_[pos_]; }
+    bool consume(char c) {
+        if (eof() || t_[pos_] != c) return false;
+        ++pos_;
+        return true;
+    }
+    void skip_ws() {
+        while (!eof() && is_ws(t_[pos_])) ++pos_;
+    }
+    bool literal(std::string_view word) {
+        if (t_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string(std::string& out) {
+        if (!consume('"')) return false;
+        out.clear();
+        while (!eof()) {
+            char c = t_[pos_++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (eof()) return false;
+                char e = t_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof()) return false;
+                        char h = t_[pos_++];
+                        unsigned d;
+                        if (h >= '0' && h <= '9') {
+                            d = static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            d = static_cast<unsigned>(h - 'a') + 10;
+                        } else if (h >= 'A' && h <= 'F') {
+                            d = static_cast<unsigned>(h - 'A') + 10;
+                        } else {
+                            return false;
+                        }
+                        code = code * 16 + d;
+                    }
+                    // UTF-8 encode the BMP code point; our producers only
+                    // emit \u00xx control escapes, but decode the full
+                    // 16-bit range for robustness (surrogate pairs land as
+                    // two 3-byte sequences — lossy but never malformed).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false;
+            } else {
+                out += c;
+            }
+        }
+        return false;
+    }
+
+    bool number(double& out) {
+        size_t start = pos_;
+        consume('-');
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            return false;
+        }
+        if (peek() == '0') {
+            // JSON forbids leading zeros: "0" stands alone before ./e.
+            ++pos_;
+            if (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+            }
+        }
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+            }
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        std::string buf(t_.substr(start, pos_ - start));
+        out = std::strtod(buf.c_str(), nullptr);
+        return true;
+    }
+
+    bool value(JsonValue& out) {
+        if (++depth_ > 256) return false; // stack guard
+        bool ok = value_inner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool value_inner(JsonValue& out) {
+        skip_ws();
+        if (eof()) return false;
+        switch (peek()) {
+        case '{': {
+            ++pos_;
+            out.type_ = JsonValue::Type::Object;
+            skip_ws();
+            if (consume('}')) return true;
+            while (true) {
+                skip_ws();
+                std::string key;
+                if (!string(key)) return false;
+                skip_ws();
+                if (!consume(':')) return false;
+                JsonValue member;
+                if (!value(member)) return false;
+                out.obj_.emplace_back(std::move(key), std::move(member));
+                skip_ws();
+                if (consume('}')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+        case '[': {
+            ++pos_;
+            out.type_ = JsonValue::Type::Array;
+            skip_ws();
+            if (consume(']')) return true;
+            while (true) {
+                JsonValue item;
+                if (!value(item)) return false;
+                out.arr_.push_back(std::move(item));
+                skip_ws();
+                if (consume(']')) return true;
+                if (!consume(',')) return false;
+            }
+        }
+        case '"':
+            out.type_ = JsonValue::Type::String;
+            return string(out.str_);
+        case 't':
+            out.type_ = JsonValue::Type::Bool;
+            out.b_ = true;
+            return literal("true");
+        case 'f':
+            out.type_ = JsonValue::Type::Bool;
+            out.b_ = false;
+            return literal("false");
+        case 'n':
+            out.type_ = JsonValue::Type::Null;
+            return literal("null");
+        default:
+            out.type_ = JsonValue::Type::Number;
+            return number(out.num_);
+        }
+    }
+
+    std::string_view t_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+    JsonValue v;
+    if (!JsonParser(text).parse(v)) return std::nullopt;
+    return v;
+}
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+    if (type_ != Type::Object) return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+double JsonValue::number_at(std::string_view key, double fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr ? v->number_or(fallback) : fallback;
+}
+
+std::string JsonValue::string_at(std::string_view key,
+                                 const std::string& fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr ? v->string_or(fallback) : fallback;
+}
+
+} // namespace factor::obs

@@ -1,0 +1,74 @@
+// Minimal JSON document model used by the observability tooling: the
+// bench-trajectory comparator (tools/bench_diff) parses committed
+// factor.bench.v1 reports, and the tests parse factor.progress.v1 /
+// factor.stats.v1 documents to assert on their contents.
+//
+// Scope is deliberately small: parse a complete JSON text into an owned
+// tree, preserve object member order, and expose typed accessors. Numbers
+// are held as double (every value our schemas emit round-trips — see
+// obs::json_number); no serialization back out, no streaming, no SAX.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace factor::obs {
+
+class JsonValue {
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /// Parse one complete JSON value (leading/trailing whitespace allowed).
+    /// Returns nullopt on any syntax error — the caller decides whether a
+    /// broken document is fatal.
+    [[nodiscard]] static std::optional<JsonValue> parse(std::string_view text);
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+
+    /// Object member by key; null when absent or not an object.
+    [[nodiscard]] const JsonValue* get(std::string_view key) const;
+
+    /// Typed reads with fallbacks (never throw).
+    [[nodiscard]] double number_or(double fallback) const {
+        return type_ == Type::Number ? num_ : fallback;
+    }
+    [[nodiscard]] const std::string& string_or(const std::string& fallback) const {
+        return type_ == Type::String ? str_ : fallback;
+    }
+    [[nodiscard]] bool bool_or(bool fallback) const {
+        return type_ == Type::Bool ? b_ : fallback;
+    }
+
+    /// Convenience: numeric value of object member `key` (fallback when the
+    /// member is absent or non-numeric).
+    [[nodiscard]] double number_at(std::string_view key,
+                                   double fallback) const;
+    /// Convenience: string value of object member `key`.
+    [[nodiscard]] std::string string_at(std::string_view key,
+                                        const std::string& fallback = "") const;
+
+    [[nodiscard]] const std::vector<JsonValue>& items() const { return arr_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+    members() const {
+        return obj_;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool b_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+} // namespace factor::obs

@@ -1,0 +1,145 @@
+#include "obs/profiler.hpp"
+
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+namespace factor::obs {
+
+Profiler& Profiler::global() {
+    static Profiler p;
+    return p;
+}
+
+void Profiler::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    phases_.clear();
+    workers_.clear();
+    top_.clear();
+}
+
+void Profiler::phase_add(const std::string& name, uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& p : phases_) {
+        if (p.name == name) {
+            p.ns += ns;
+            ++p.calls;
+            return;
+        }
+    }
+    phases_.push_back({name, ns, 1});
+}
+
+void Profiler::worker_add(uint64_t worker, uint64_t busy_ns, uint64_t claimed,
+                          uint64_t generated) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) {
+        if (w.worker == worker) {
+            w.busy_ns += busy_ns;
+            w.claimed += claimed;
+            w.generated += generated;
+            return;
+        }
+    }
+    workers_.push_back({worker, busy_ns, claimed, generated});
+}
+
+void Profiler::record_fault(const std::string& desc, uint64_t podem_ns,
+                            uint64_t backtracks, const char* outcome) {
+    if (!armed()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    // top_ stays sorted descending by podem_ns; cheapest possible check
+    // first so the common (cold fault, full table) case is one compare.
+    if (top_.size() >= kTopFaults && podem_ns <= top_.back().podem_ns) {
+        return;
+    }
+    FaultCost fc{desc, podem_ns, backtracks, outcome};
+    auto it = std::upper_bound(
+        top_.begin(), top_.end(), fc,
+        [](const FaultCost& a, const FaultCost& b) {
+            return a.podem_ns > b.podem_ns;
+        });
+    top_.insert(it, std::move(fc));
+    if (top_.size() > kTopFaults) top_.pop_back();
+}
+
+std::string Profiler::to_json(double total_seconds) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"schema\":\"factor.profile.v1\"";
+    out += ",\"total_seconds\":" + json_number(total_seconds);
+
+    out += ",\"phases\":[";
+    bool first = true;
+    for (const auto& p : phases_) {
+        if (!first) out += ',';
+        first = false;
+        double secs = static_cast<double>(p.ns) / 1e9;
+        out += "{\"name\":\"" + json_escape(p.name) + "\"";
+        out += ",\"seconds\":" + json_number(secs);
+        out += ",\"calls\":" + std::to_string(p.calls);
+        if (total_seconds > 0.0) {
+            out += ",\"percent\":" + json_number(100.0 * secs / total_seconds);
+        }
+        out += '}';
+    }
+    out += ']';
+
+    auto workers = workers_;
+    std::sort(workers.begin(), workers.end(),
+              [](const WorkerCost& a, const WorkerCost& b) {
+                  return a.worker < b.worker;
+              });
+    out += ",\"workers\":[";
+    first = true;
+    for (const auto& w : workers) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"worker\":" + std::to_string(w.worker);
+        out += ",\"busy_seconds\":" +
+               json_number(static_cast<double>(w.busy_ns) / 1e9);
+        out += ",\"claimed\":" + std::to_string(w.claimed);
+        out += ",\"generated\":" + std::to_string(w.generated);
+        out += '}';
+    }
+    out += ']';
+
+    // The work counters the SIMD/event-driven push needs next to the time:
+    // frames simulated, gate evaluations, PODEM effort.
+    out += ",\"counters\":{";
+    first = true;
+    for (const char* name :
+         {"fault_sim.good_frames", "fault_sim.faulty_frames",
+          "fault_sim.gate_evals", "fault_sim.run_and_drop",
+          "fault_sim.faults_dropped", "atpg.podem.calls", "atpg.podem.tests",
+          "atpg.podem.retries", "atpg.random.sequences"}) {
+        if (!first) out += ',';
+        first = false;
+        out += "\"" + std::string(name) + "\":" +
+               std::to_string(Registry::global().counter(name).value());
+    }
+    out += '}';
+
+    out += ",\"hottest_faults\":[";
+    first = true;
+    for (const auto& f : top_) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"fault\":\"" + json_escape(f.desc) + "\"";
+        out += ",\"podem_seconds\":" +
+               json_number(static_cast<double>(f.podem_ns) / 1e9);
+        out += ",\"backtracks\":" + std::to_string(f.backtracks);
+        out += ",\"outcome\":\"" + json_escape(f.outcome) + "\"";
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+ProfScope::~ProfScope() {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    Profiler::global().phase_add(name_, static_cast<uint64_t>(ns));
+}
+
+} // namespace factor::obs

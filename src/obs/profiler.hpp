@@ -1,0 +1,110 @@
+// Cost attribution: where does a FACTOR run spend its time?
+//
+// The Registry answers "how much work happened" (counters); the Tracer
+// answers "what happened when" (spans, but only when armed and at real
+// buffering cost). The Profiler sits between them: an always-cheap,
+// always-on accumulator of scoped wall time per pipeline phase and per
+// ATPG executor, plus — when armed via --profile — a bounded "hottest
+// faults" table ranking individual faults by PODEM time and backtracks.
+// Rendered once at exit as a factor.profile.v1 JSON document, it tells the
+// fault-sim/SIMD optimization work exactly which phase, which worker and
+// which faults to attack.
+//
+// Cost model: phase_add/worker_add take a mutex on a tiny map, but are
+// called O(phases) and O(workers) times per run — never per fault or per
+// frame. record_fault is per-fault but gated on an armed profiler (one
+// relaxed load when off) and keeps only a bounded top-N, so memory stays
+// O(N) on million-fault campaigns.
+//
+// Like Progress, the profiler only observes: it reads clocks and counters
+// around existing work and never changes engine decisions, so results are
+// byte-identical with --profile on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace factor::obs {
+
+class Profiler {
+  public:
+    /// Hottest-faults table capacity (top N by PODEM wall time).
+    static constexpr size_t kTopFaults = 10;
+
+    [[nodiscard]] static Profiler& global();
+
+    /// Arm per-fault attribution (--profile). Phase/worker accumulation is
+    /// always on regardless.
+    void arm() { armed_.store(true, std::memory_order_relaxed); }
+    void disarm() { armed_.store(false, std::memory_order_relaxed); }
+    [[nodiscard]] bool armed() const {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /// Drop all accumulated data (tests; CLI runs are one-shot).
+    void reset();
+
+    /// Accumulate `ns` of wall time under phase `name` (e.g. "atpg.random").
+    void phase_add(const std::string& name, uint64_t ns);
+
+    /// Accumulate one executor's contribution: busy wall time, faults it
+    /// claimed, tests it generated.
+    void worker_add(uint64_t worker, uint64_t busy_ns, uint64_t claimed,
+                    uint64_t generated);
+
+    /// Record one deterministic-phase fault attempt (only when armed).
+    /// `desc` is the human-readable fault name; `outcome` is the PODEM
+    /// outcome label ("test"|"untestable"|"aborted").
+    void record_fault(const std::string& desc, uint64_t podem_ns,
+                      uint64_t backtracks, const char* outcome);
+
+    /// Render everything as the factor.profile.v1 JSON document.
+    /// `total_seconds` is the run's wall time, used for percent-of-total.
+    [[nodiscard]] std::string to_json(double total_seconds) const;
+
+  private:
+    struct PhaseCost {
+        std::string name;
+        uint64_t ns = 0;
+        uint64_t calls = 0;
+    };
+    struct WorkerCost {
+        uint64_t worker = 0;
+        uint64_t busy_ns = 0;
+        uint64_t claimed = 0;
+        uint64_t generated = 0;
+    };
+    struct FaultCost {
+        std::string desc;
+        uint64_t podem_ns = 0;
+        uint64_t backtracks = 0;
+        std::string outcome;
+    };
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_;
+    std::vector<PhaseCost> phases_;   // insertion order = pipeline order
+    std::vector<WorkerCost> workers_; // sorted by worker id at render
+    std::vector<FaultCost> top_;      // kept sorted desc by podem_ns
+};
+
+/// RAII phase timer: accumulates the scope's wall time into
+/// Profiler::phase_add at destruction. Always on (one clock read each way).
+class ProfScope {
+  public:
+    explicit ProfScope(const char* name)
+        : name_(name), start_(std::chrono::steady_clock::now()) {}
+    ProfScope(const ProfScope&) = delete;
+    ProfScope& operator=(const ProfScope&) = delete;
+    ~ProfScope();
+
+  private:
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace factor::obs

@@ -1,0 +1,132 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace factor::obs {
+
+namespace {
+
+[[nodiscard]] int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Progress& Progress::global() {
+    static Progress p;
+    return p;
+}
+
+void Progress::start(std::string sink, double interval_s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_.is_open()) file_.close();
+    sink_ = std::move(sink);
+    buffer_.clear();
+    if (!sink_.empty() && sink_ != "stderr") {
+        file_.open(sink_, std::ios::out | std::ios::trunc);
+    }
+    if (interval_s < 0.0) interval_s = 0.0;
+    interval_ns_.store(static_cast<int64_t>(interval_s * 1e9),
+                       std::memory_order_relaxed);
+    last_emit_ns_.store(0, std::memory_order_relaxed);
+    events_.store(0, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::string Progress::stop() {
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_.is_open()) file_.close();
+    std::string out;
+    out.swap(buffer_);
+    sink_.clear();
+    return out;
+}
+
+bool Progress::due() const {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    int64_t last = last_emit_ns_.load(std::memory_order_relaxed);
+    if (last == 0) return true; // nothing emitted yet
+    int64_t interval = interval_ns_.load(std::memory_order_relaxed);
+    return now_ns() - last >= interval;
+}
+
+void Progress::tick(const ProgressSnapshot& s) {
+    if (!due()) return;
+    emit(s, /*final_event=*/false);
+}
+
+void Progress::emit_final(const ProgressSnapshot& s) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    emit(s, /*final_event=*/true);
+}
+
+void Progress::emit(const ProgressSnapshot& s, bool final_event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    uint64_t seq = events_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::string line = progress_doc(s, seq, final_event).to_json();
+    line += '\n';
+    buffer_ += line;
+    if (sink_ == "stderr") {
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    } else if (file_.is_open()) {
+        file_ << line;
+        file_.flush(); // per-event flush: the file must be live-tailable
+    }
+    last_emit_ns_.store(now_ns(), std::memory_order_relaxed);
+    Registry::global().counter("progress.events").add();
+}
+
+Doc progress_doc(const ProgressSnapshot& s, uint64_t seq, bool final_event) {
+    Doc d;
+    d.add("schema", std::string("factor.progress.v1"));
+    d.add("seq", seq);
+    d.add("phase", std::string(s.phase));
+    d.add("attempt", s.attempt);
+    d.add("elapsed_seconds", s.elapsed_seconds);
+    d.add("faults_total", s.faults_total);
+    d.add("faults_done", s.faults_done);
+    d.add("detected", s.detected);
+    d.add("untestable", s.untestable);
+    d.add("aborted", s.aborted);
+    d.add("coverage_percent", s.coverage_percent);
+    d.add("vectors", s.vectors);
+    d.add("random_sequences", s.random_sequences);
+    d.add("threads", s.threads);
+    d.add("pool_tasks", s.pool_tasks);
+    d.add("pool_steals", s.pool_steals);
+    d.add("pool_idle_ns", s.pool_idle_ns);
+    // Pool utilization: busy share of total executor-time so far. Only
+    // meaningful once some wall time has accrued.
+    if (s.elapsed_seconds > 0.0 && s.threads > 0) {
+        double total_ns =
+            s.elapsed_seconds * 1e9 * static_cast<double>(s.threads);
+        double busy = total_ns - static_cast<double>(s.pool_idle_ns);
+        if (busy < 0.0) busy = 0.0;
+        double util = 100.0 * busy / total_ns;
+        if (util > 100.0) util = 100.0;
+        d.add("pool_utilization_percent", util);
+    }
+    if (s.budget_remaining_seconds >= 0.0) {
+        d.add("budget_remaining_seconds", s.budget_remaining_seconds);
+    }
+    if (s.has_work_remaining) d.add("work_remaining", s.work_remaining);
+    // ETA: naive linear extrapolation from cross-attempt throughput.
+    if (!final_event && s.faults_done > 0 && s.elapsed_seconds > 0.0 &&
+        s.faults_total >= s.faults_done) {
+        double rate =
+            static_cast<double>(s.faults_done) / s.elapsed_seconds;
+        double eta =
+            static_cast<double>(s.faults_total - s.faults_done) / rate;
+        d.add("eta_seconds", eta);
+    }
+    d.add("final", final_event);
+    return d;
+}
+
+} // namespace factor::obs

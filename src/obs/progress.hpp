@@ -1,0 +1,118 @@
+// Live campaign progress: a heartbeat emitter for long ATPG runs.
+//
+// The engine reports a ProgressSnapshot at its commit points — after each
+// committed random batch, each committed deterministic fault and each retry
+// attempt — and Progress turns a rate-limited subset of them into NDJSON
+// events (schema "factor.progress.v1", one JSON object per line) a human
+// can `tail -f` or a dashboard can stream. Emission is purely
+// observational: it never touches the engine RNG, the commit order or the
+// guard accounting, so ATPG results stay byte-identical with progress on
+// or off at any jobs value (tests/test_progress.cpp holds the line).
+//
+// Costs: when disabled, due() is one relaxed atomic load — the engine
+// checks it before building a snapshot, so the whole feature vanishes from
+// an untracked run. When enabled, the engine builds at most one snapshot
+// per interval (default 1s), and each event is one Doc render + one
+// flushed write.
+//
+// Snapshots carry cross-attempt cumulative values (elapsed seconds, done
+// counts, attempt number), so a --resume'd campaign reports end-to-end
+// progress, not per-process progress.
+#pragma once
+
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace factor::obs {
+
+/// One progress observation, filled by the ATPG engine at a commit point.
+/// Counts are cumulative across --resume attempts.
+struct ProgressSnapshot {
+    const char* phase = "";     // "replay"|"random"|"deterministic"|"retry"
+    uint64_t faults_total = 0;
+    uint64_t faults_done = 0;   // resolved: detected + untestable + aborted
+    uint64_t detected = 0;
+    uint64_t untestable = 0;
+    uint64_t aborted = 0;
+    double coverage_percent = 0.0;
+    uint64_t vectors = 0;            // committed deterministic tests
+    uint64_t random_sequences = 0;   // applied random sequences
+    uint64_t attempt = 1;            // 1-based, 2+ after --resume
+    uint64_t threads = 1;
+    double elapsed_seconds = 0.0;    // cross-attempt engine seconds
+
+    // Executor-pool activity so far (util::ThreadPool::stats()).
+    uint64_t pool_tasks = 0;
+    uint64_t pool_steals = 0;
+    uint64_t pool_idle_ns = 0;
+
+    // RunGuard budget headroom; negative seconds / has_work false mean the
+    // corresponding budget is unlimited and the field is omitted.
+    double budget_remaining_seconds = -1.0;
+    bool has_work_remaining = false;
+    uint64_t work_remaining = 0;
+};
+
+/// Process-global heartbeat sink, configured by the CLI --progress option
+/// (or directly by tests). Same lifecycle shape as Tracer: start() arms it,
+/// stop() disarms and returns everything emitted.
+class Progress {
+  public:
+    [[nodiscard]] static Progress& global();
+
+    /// Arm the emitter. `sink` is a file path (truncated, NDJSON appended
+    /// and flushed per event — live-tailable), "stderr", or "" to buffer
+    /// in memory only (tests). `interval_s` rate-limits tick(); 0 emits
+    /// every snapshot.
+    void start(std::string sink, double interval_s);
+
+    /// Disarm and return the full NDJSON text emitted since start().
+    std::string stop();
+
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// True when a tick would emit now: enabled and the interval elapsed
+    /// since the last emission. The engine's cheap pre-check — build the
+    /// snapshot only when this says so. One relaxed load when disabled.
+    [[nodiscard]] bool due() const;
+
+    /// Emit one heartbeat event (no-op when disabled). Thread-safe; the
+    /// engine only calls it from serialized commit points anyway.
+    void tick(const ProgressSnapshot& s);
+
+    /// Emit the run's final event unconditionally (bypasses the interval;
+    /// "final":true). Its counts must agree with the engine result — the
+    /// tests cross-check it against the factor.stats.v1 document.
+    void emit_final(const ProgressSnapshot& s);
+
+    [[nodiscard]] uint64_t events_emitted() const {
+        return events_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void emit(const ProgressSnapshot& s, bool final_event);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<int64_t> last_emit_ns_{0};
+    std::atomic<int64_t> interval_ns_{0};
+    std::atomic<uint64_t> events_{0};
+
+    mutable std::mutex mu_; // guards sink state + buffer
+    std::string sink_;
+    std::ofstream file_;
+    std::string buffer_;
+};
+
+/// Render one snapshot as the factor.progress.v1 Doc (exposed for tests:
+/// the event line is exactly this Doc's JSON).
+[[nodiscard]] Doc progress_doc(const ProgressSnapshot& s, uint64_t seq,
+                               bool final_event);
+
+} // namespace factor::obs

@@ -1,0 +1,58 @@
+#include "util/sysinfo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace factor::util {
+
+uint64_t peak_rss_bytes() {
+#ifdef __linux__
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return 0;
+    uint64_t kib = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        // "VmHWM:      12345 kB" — the high-water mark of VmRSS.
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            kib = std::strtoull(line + 6, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kib * 1024;
+#else
+    return 0;
+#endif
+}
+
+bool path_writable(const std::string& path) {
+    if (path.empty()) return false;
+#ifdef __linux__
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0) {
+        // Existing target: must be an overwritable regular file.
+        if (S_ISDIR(st.st_mode)) return false;
+        return ::access(path.c_str(), W_OK) == 0;
+    }
+    // New file: parent must exist and be writable + searchable.
+    auto slash = path.find_last_of('/');
+    std::string parent = slash == std::string::npos ? std::string(".")
+                         : slash == 0              ? std::string("/")
+                                                   : path.substr(0, slash);
+    if (::stat(parent.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        return false;
+    }
+    return ::access(parent.c_str(), W_OK | X_OK) == 0;
+#else
+    // No portable pre-check; let the write itself fail late.
+    return true;
+#endif
+}
+
+} // namespace factor::util

@@ -1,0 +1,22 @@
+// Small process/system introspection helpers for observability outputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace factor::util {
+
+/// Peak resident-set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 on platforms without procfs or when the
+/// field is unavailable — callers report the gauge as-is, so "0" reads as
+/// "not measured" rather than an error.
+[[nodiscard]] uint64_t peak_rss_bytes();
+
+/// True when `path` names a location we could plausibly create or
+/// overwrite a regular file at: it is not a directory, and its parent
+/// directory exists and is writable + searchable. Used to refuse
+/// --stats-json/--trace/--profile/--progress destinations up front instead
+/// of silently losing the document at exit.
+[[nodiscard]] bool path_writable(const std::string& path);
+
+} // namespace factor::util

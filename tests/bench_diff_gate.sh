@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Regression-gate contract of tools/bench_diff: exit 0 on a clean compare,
+# 1 on an injected quality regression (the acceptance criterion for the
+# bench trajectory), 0 again when the drop sits inside the threshold, and
+# 2 on unusable input. Usage: bench_diff_gate.sh <path-to-bench_diff>
+set -u
+
+BENCH_DIFF="${1:?usage: bench_diff_gate.sh <path-to-bench_diff>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fails=0
+check_rc() { # name expected actual
+    if [ "$3" -ne "$2" ]; then
+        echo "FAIL: $1: expected exit $2, got $3" >&2
+        fails=$((fails + 1))
+    else
+        echo "ok: $1 (exit $3)"
+    fi
+}
+
+report() { # path coverage_of_second_row
+    cat > "$1" <<EOF
+{"schema":"factor.bench.v1","threads":1,"rows":[
+  {"table":"table6","name":"alu","metrics":{
+    "coverage_percent":98.5,"efficiency_percent":99.0,
+    "atpg_seconds":1.25,"vectors":42}},
+  {"table":"table6","name":"forward","metrics":{
+    "coverage_percent":$2,"efficiency_percent":97.0,
+    "atpg_seconds":2.5,"vectors":17}}
+]}
+EOF
+}
+
+report "$WORK/baseline.json" 95.5
+
+# 1. Identical reports: clean pass.
+report "$WORK/same.json" 95.5
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/same.json" --threshold=0.5 \
+    > "$WORK/same.out" 2>&1
+check_rc "identical reports pass" 0 $?
+grep -q "no regressions" "$WORK/same.out" || {
+    echo "FAIL: clean diff must say so" >&2; fails=$((fails + 1)); }
+
+# 2. Injected synthetic regression: coverage drops 10 points, must fail.
+report "$WORK/regressed.json" 85.5
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/regressed.json" --threshold=5 \
+    > "$WORK/regressed.out" 2>&1
+check_rc "injected regression fails" 1 $?
+grep -q "REGRESSION table6/forward" "$WORK/regressed.out" || {
+    echo "FAIL: regression must name its row" >&2; fails=$((fails + 1)); }
+
+# 3. Drop within the threshold: noisy but acceptable.
+report "$WORK/noise.json" 95.2
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/noise.json" --threshold=0.5 \
+    > /dev/null 2>&1
+check_rc "sub-threshold drop passes" 0 $?
+
+# 4. A row vanishing from the current report is a regression.
+cat > "$WORK/lost_row.json" <<EOF
+{"schema":"factor.bench.v1","threads":1,"rows":[
+  {"table":"table6","name":"alu","metrics":{
+    "coverage_percent":98.5,"efficiency_percent":99.0,
+    "atpg_seconds":1.25,"vectors":42}}
+]}
+EOF
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/lost_row.json" \
+    > "$WORK/lost.out" 2>&1
+check_rc "missing row fails" 1 $?
+
+# 5. Time gating only bites when asked for.
+cat > "$WORK/slower.json" <<EOF
+{"schema":"factor.bench.v1","threads":1,"rows":[
+  {"table":"table6","name":"alu","metrics":{
+    "coverage_percent":98.5,"efficiency_percent":99.0,
+    "atpg_seconds":5.0,"vectors":42}},
+  {"table":"table6","name":"forward","metrics":{
+    "coverage_percent":95.5,"efficiency_percent":97.0,
+    "atpg_seconds":2.5,"vectors":17}}
+]}
+EOF
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/slower.json" > /dev/null 2>&1
+check_rc "time growth passes without --time-threshold" 0 $?
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/slower.json" \
+    --time-threshold=50 > /dev/null 2>&1
+check_rc "time growth fails with --time-threshold" 1 $?
+
+# 6. Unusable input: missing file, invalid JSON, wrong schema, bad usage.
+"$BENCH_DIFF" "$WORK/absent.json" "$WORK/same.json" > /dev/null 2>&1
+check_rc "missing file is a usage error" 2 $?
+echo '{"schema":"factor.bench.v1","rows":' > "$WORK/truncated.json"
+"$BENCH_DIFF" "$WORK/truncated.json" "$WORK/same.json" > /dev/null 2>&1
+check_rc "invalid JSON is a usage error" 2 $?
+echo '{"schema":"factor.stats.v1","rows":[]}' > "$WORK/wrong.json"
+"$BENCH_DIFF" "$WORK/wrong.json" "$WORK/same.json" > /dev/null 2>&1
+check_rc "wrong schema is a usage error" 2 $?
+"$BENCH_DIFF" "$WORK/baseline.json" > /dev/null 2>&1
+check_rc "missing operand is a usage error" 2 $?
+
+if [ "$fails" -ne 0 ]; then
+    echo "bench_diff_gate: $fails check(s) failed" >&2
+    exit 1
+fi
+echo "bench_diff_gate: all checks passed"

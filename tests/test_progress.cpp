@@ -1,0 +1,392 @@
+// Live progress telemetry and cost attribution.
+//
+// The contract under test (DESIGN.md §6): the obs::Progress heartbeat and
+// the obs::Profiler are purely observational — ATPG results are
+// byte-identical with them on or off, at any jobs value — while the events
+// themselves are valid factor.progress.v1 NDJSON with monotone done-counts
+// whose final event agrees with the engine result, including across a
+// checkpoint resume.
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "designs/designs.hpp"
+#include "obs/json_value.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
+#include "util/run_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace factor::test {
+namespace {
+
+using obs::JsonValue;
+
+class Progress : public ::testing::Test {
+  protected:
+    void TearDown() override {
+        // The emitter and profiler are process globals: never leak an armed
+        // state into another test.
+        (void)obs::Progress::global().stop();
+        obs::Profiler::global().disarm();
+        obs::Profiler::global().reset();
+        util::RunGuard::clear_interrupt();
+    }
+};
+
+/// Split NDJSON text into parsed event objects, asserting validity.
+std::vector<JsonValue> parse_events(const std::string& ndjson) {
+    std::vector<JsonValue> events;
+    std::stringstream ss(ndjson);
+    std::string line;
+    while (std::getline(ss, line)) {
+        if (line.empty()) continue;
+        EXPECT_TRUE(obs::json_valid(line)) << "invalid event: " << line;
+        auto v = JsonValue::parse(line);
+        EXPECT_TRUE(v.has_value()) << "unparsable event: " << line;
+        if (v) events.push_back(std::move(*v));
+    }
+    return events;
+}
+
+void expect_identical(const atpg::EngineResult& a,
+                      const atpg::EngineResult& b) {
+    EXPECT_EQ(a.total_faults, b.total_faults);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.untestable, b.untestable);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.coverage_percent, b.coverage_percent);
+    EXPECT_EQ(a.efficiency_percent, b.efficiency_percent);
+    EXPECT_EQ(a.random_sequences, b.random_sequences);
+    EXPECT_EQ(a.deterministic_tests, b.deterministic_tests);
+    EXPECT_EQ(a.status, b.status);
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    for (size_t i = 0; i < a.tests.size(); ++i) {
+        EXPECT_EQ(a.tests[i], b.tests[i]) << "test vector " << i << " differs";
+    }
+}
+
+atpg::EngineOptions base_options(size_t jobs) {
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.max_backtracks = 200;
+    opts.jobs = jobs;
+    return opts;
+}
+
+// ---------------------------------------------------------------- JsonValue
+
+TEST_F(Progress, JsonValueParsesTypedDocuments) {
+    auto v = JsonValue::parse(
+        R"({"a":1.5,"b":"x\ny","c":[1,2,3],"d":{"e":true,"f":null},"g":-2e3})");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->is_object());
+    EXPECT_DOUBLE_EQ(v->number_at("a", 0), 1.5);
+    EXPECT_EQ(v->string_at("b"), "x\ny");
+    ASSERT_NE(v->get("c"), nullptr);
+    ASSERT_EQ(v->get("c")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(v->get("c")->items()[2].number_or(0), 3.0);
+    ASSERT_NE(v->get("d"), nullptr);
+    EXPECT_TRUE(v->get("d")->get("e")->bool_or(false));
+    EXPECT_EQ(v->get("d")->get("f")->type(), JsonValue::Type::Null);
+    EXPECT_DOUBLE_EQ(v->number_at("g", 0), -2000.0);
+    // Member order is preserved (the Doc contract round-trips).
+    EXPECT_EQ(v->members().front().first, "a");
+    EXPECT_EQ(v->members().back().first, "g");
+}
+
+TEST_F(Progress, JsonValueRejectsMalformedText) {
+    EXPECT_FALSE(JsonValue::parse("{").has_value());
+    EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+    EXPECT_FALSE(JsonValue::parse("[1,2,]").has_value());
+    EXPECT_FALSE(JsonValue::parse("tru").has_value());
+    EXPECT_FALSE(JsonValue::parse("01").has_value());
+    EXPECT_FALSE(JsonValue::parse("{} {}").has_value());
+    EXPECT_FALSE(JsonValue::parse("\"\\q\"").has_value());
+}
+
+TEST_F(Progress, JsonValueDecodesUnicodeEscapes) {
+    auto v = JsonValue::parse(R"("\u0041\u00e9")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string_or(""), "A\xc3\xa9");
+}
+
+// ------------------------------------------------------------ progress_doc
+
+TEST_F(Progress, ProgressDocRendersValidOrderedJson) {
+    obs::ProgressSnapshot s;
+    s.phase = "deterministic";
+    s.faults_total = 100;
+    s.faults_done = 40;
+    s.detected = 30;
+    s.untestable = 4;
+    s.aborted = 6;
+    s.coverage_percent = 30.0;
+    s.vectors = 12;
+    s.attempt = 2;
+    s.threads = 4;
+    s.elapsed_seconds = 2.0;
+    s.budget_remaining_seconds = 10.0;
+    s.has_work_remaining = true;
+    s.work_remaining = 77;
+    std::string json = obs::progress_doc(s, 7, false).to_json();
+    ASSERT_TRUE(obs::json_valid(json)) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string_at("schema"), "factor.progress.v1");
+    EXPECT_DOUBLE_EQ(v->number_at("seq", 0), 7.0);
+    EXPECT_EQ(v->string_at("phase"), "deterministic");
+    EXPECT_DOUBLE_EQ(v->number_at("faults_done", 0), 40.0);
+    EXPECT_DOUBLE_EQ(v->number_at("work_remaining", 0), 77.0);
+    EXPECT_FALSE(v->get("final")->bool_or(true));
+    // ETA is the linear extrapolation of the remaining work.
+    EXPECT_NEAR(v->number_at("eta_seconds", -1), 3.0, 1e-9);
+    // A final event never carries an ETA.
+    std::string fin = obs::progress_doc(s, 8, true).to_json();
+    auto f = JsonValue::parse(fin);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->get("eta_seconds"), nullptr);
+    EXPECT_TRUE(f->get("final")->bool_or(false));
+}
+
+TEST_F(Progress, UnlimitedBudgetsAreOmitted) {
+    obs::ProgressSnapshot s;
+    s.phase = "random";
+    s.faults_total = 10;
+    std::string json = obs::progress_doc(s, 1, false).to_json();
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->get("budget_remaining_seconds"), nullptr);
+    EXPECT_EQ(v->get("work_remaining"), nullptr);
+}
+
+// --------------------------------------------------- engine heartbeat runs
+
+void check_heartbeat_run(size_t jobs) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto opts = base_options(jobs);
+
+    obs::Progress::global().start("", 0.0); // buffer sink, emit every tick
+    auto r = atpg::run_atpg(nl, opts);
+    std::string ndjson = obs::Progress::global().stop();
+
+    auto events = parse_events(ndjson);
+    ASSERT_GE(events.size(), 2u) << "expected heartbeats plus a final event";
+
+    double prev_seq = 0.0;
+    double prev_done = 0.0;
+    for (const auto& ev : events) {
+        EXPECT_EQ(ev.string_at("schema"), "factor.progress.v1");
+        double seq = ev.number_at("seq", 0);
+        EXPECT_GT(seq, prev_seq) << "seq must strictly increase";
+        prev_seq = seq;
+        double done = ev.number_at("faults_done", -1);
+        double total = ev.number_at("faults_total", -1);
+        EXPECT_GE(done, prev_done) << "done-count must be monotone";
+        EXPECT_LE(done, total);
+        EXPECT_EQ(static_cast<uint64_t>(total), r.total_faults);
+        prev_done = done;
+    }
+    for (size_t i = 0; i + 1 < events.size(); ++i) {
+        EXPECT_FALSE(events[i].get("final")->bool_or(true));
+    }
+    const JsonValue& fin = events.back();
+    EXPECT_TRUE(fin.get("final")->bool_or(false));
+    EXPECT_EQ(fin.string_at("phase"), "done");
+    // The closing heartbeat reports exactly the counts of the result (and
+    // therefore of the factor.stats.v1 document built from it).
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("detected", -1)),
+              r.detected);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("untestable", -1)),
+              r.untestable);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("aborted", -1)), r.aborted);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("faults_done", -1)),
+              r.detected + r.untestable + r.aborted);
+    // json_number renders non-integral doubles at %.9g; compare to that.
+    EXPECT_NEAR(fin.number_at("coverage_percent", -1), r.coverage_percent,
+                1e-5);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("vectors", -1)),
+              r.deterministic_tests);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("threads", 0)), r.threads);
+}
+
+TEST_F(Progress, HeartbeatMonotoneAndFinalMatchesResultSerial) {
+    check_heartbeat_run(1);
+}
+
+TEST_F(Progress, HeartbeatMonotoneAndFinalMatchesResultParallel) {
+    check_heartbeat_run(4);
+}
+
+TEST_F(Progress, ResultsIdenticalWithHeartbeatOnAndOff) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    for (size_t jobs : {size_t{1}, size_t{4}}) {
+        auto opts = base_options(jobs);
+        auto quiet = atpg::run_atpg(nl, opts);
+
+        obs::Progress::global().start("", 0.0);
+        obs::Profiler::global().arm();
+        auto loud = atpg::run_atpg(nl, opts);
+        std::string ndjson = obs::Progress::global().stop();
+        obs::Profiler::global().disarm();
+
+        EXPECT_FALSE(ndjson.empty());
+        expect_identical(quiet, loud);
+    }
+}
+
+TEST_F(Progress, HeartbeatAggregatesAcrossResume) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    const std::string path =
+        ::testing::TempDir() + "progress_resume.ckpt";
+    std::remove(path.c_str());
+
+    auto opts = base_options(4);
+    opts.checkpoint_path = path;
+
+    // Attempt 1: a small work quota stops the campaign mid-way.
+    util::RunGuard small(util::GuardLimits{0.0, 10, 0, 0});
+    opts.guard = &small;
+    obs::Progress::global().start("", 0.0);
+    auto stopped = atpg::run_atpg(nl, opts);
+    std::string first = obs::Progress::global().stop();
+    ASSERT_TRUE(stopped.budget_exhausted);
+    auto first_events = parse_events(first);
+    ASSERT_FALSE(first_events.empty());
+    EXPECT_DOUBLE_EQ(first_events.back().number_at("attempt", 0), 1.0);
+
+    // Attempt 2: resume under a full quota; heartbeats must report the
+    // cross-attempt cumulative campaign, not this process's slice.
+    util::RunGuard full(util::GuardLimits{0.0, 10'000, 0, 0});
+    opts.guard = &full;
+    opts.resume = true;
+    obs::Progress::global().start("", 0.0);
+    auto resumed = atpg::run_atpg(nl, opts);
+    std::string second = obs::Progress::global().stop();
+    ASSERT_FALSE(resumed.resume_refused) << resumed.status_detail;
+    EXPECT_EQ(resumed.attempt, 2u);
+
+    auto events = parse_events(second);
+    ASSERT_GE(events.size(), 2u);
+    double floor = first_events.back().number_at("faults_done", 0);
+    double prev_done = 0.0;
+    for (const auto& ev : events) {
+        EXPECT_DOUBLE_EQ(ev.number_at("attempt", 0), 2.0);
+        double done = ev.number_at("faults_done", -1);
+        EXPECT_GE(done, prev_done);
+        prev_done = done;
+    }
+    // The resumed campaign never reports less progress than attempt 1 had
+    // already committed.
+    EXPECT_GE(events.back().number_at("faults_done", -1), floor);
+    EXPECT_EQ(static_cast<uint64_t>(events.back().number_at("detected", -1)),
+              resumed.detected);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- profiler
+
+TEST_F(Progress, ProfilerAttributesPhasesWorkersAndFaults) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    auto opts = base_options(2);
+
+    obs::Profiler::global().reset();
+    obs::Profiler::global().arm();
+    auto r = atpg::run_atpg(nl, opts);
+    std::string json = obs::Profiler::global().to_json(r.test_gen_seconds);
+    obs::Profiler::global().disarm();
+
+    ASSERT_TRUE(obs::json_valid(json)) << json;
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string_at("schema"), "factor.profile.v1");
+
+    const JsonValue* phases = v->get("phases");
+    ASSERT_NE(phases, nullptr);
+    bool saw_random = false;
+    bool saw_deterministic = false;
+    for (const auto& p : phases->items()) {
+        if (p.string_at("name") == "atpg.random") saw_random = true;
+        if (p.string_at("name") == "atpg.deterministic") {
+            saw_deterministic = true;
+        }
+        EXPECT_GE(p.number_at("seconds", -1), 0.0);
+    }
+    EXPECT_TRUE(saw_random);
+    EXPECT_TRUE(saw_deterministic);
+
+    const JsonValue* workers = v->get("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_FALSE(workers->items().empty());
+    double claimed = 0;
+    for (const auto& w : workers->items()) {
+        claimed += w.number_at("claimed", 0);
+    }
+    EXPECT_GE(static_cast<uint64_t>(claimed), r.total_faults)
+        << "every fault is claimed at least once";
+
+    const JsonValue* counters = v->get("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GT(counters->number_at("fault_sim.gate_evals", 0), 0.0);
+    EXPECT_GT(counters->number_at("atpg.podem.calls", 0), 0.0);
+
+    const JsonValue* hottest = v->get("hottest_faults");
+    ASSERT_NE(hottest, nullptr);
+    ASSERT_FALSE(hottest->items().empty());
+    EXPECT_LE(hottest->items().size(), obs::Profiler::kTopFaults);
+    double prev = 1e30;
+    for (const auto& f : hottest->items()) {
+        EXPECT_FALSE(f.string_at("fault").empty());
+        double secs = f.number_at("podem_seconds", -1);
+        EXPECT_GE(secs, 0.0);
+        EXPECT_LE(secs, prev) << "hottest faults are sorted by PODEM time";
+        prev = secs;
+        EXPECT_GE(f.number_at("backtracks", -1), 0.0);
+        EXPECT_FALSE(f.string_at("outcome").empty());
+    }
+}
+
+TEST_F(Progress, ProfilerTopTableIsBounded) {
+    auto& prof = obs::Profiler::global();
+    prof.reset();
+    prof.arm();
+    for (uint64_t i = 0; i < 100; ++i) {
+        prof.record_fault("f" + std::to_string(i), i * 1000, i, "aborted");
+    }
+    std::string json = prof.to_json(1.0);
+    prof.disarm();
+    auto v = JsonValue::parse(json);
+    ASSERT_TRUE(v.has_value());
+    const JsonValue* hottest = v->get("hottest_faults");
+    ASSERT_NE(hottest, nullptr);
+    ASSERT_EQ(hottest->items().size(), obs::Profiler::kTopFaults);
+    // The survivors are the most expensive records.
+    EXPECT_EQ(hottest->items().front().string_at("fault"), "f99");
+}
+
+TEST_F(Progress, DisarmedProfilerRecordsNoFaults) {
+    auto& prof = obs::Profiler::global();
+    prof.reset();
+    prof.disarm();
+    prof.record_fault("ignored", 1000, 1, "test");
+    auto v = JsonValue::parse(prof.to_json(1.0));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->get("hottest_faults")->items().empty());
+}
+
+} // namespace
+} // namespace factor::test

@@ -1,0 +1,250 @@
+// bench_diff — compare two factor.bench.v1 reports and gate regressions.
+//
+//   bench_diff <baseline.json> <current.json>
+//              [--threshold=<points>] [--time-threshold=<percent>]
+//              [--gate=<key,key,...>]
+//
+// Rows are matched by (table, name). For every shared row the numeric
+// metric deltas are printed; a row then counts as REGRESSED when
+//
+//   * a gated quality metric (default: coverage_percent,
+//     efficiency_percent) dropped by more than --threshold points
+//     (absolute, default 0.5), or
+//   * --time-threshold is given and a "*_seconds" metric grew by more than
+//     that percentage over the baseline (off by default: wall times on
+//     shared CI runners are too noisy to gate without an explicit opt-in),
+//     or
+//   * the row or one of its gated metrics vanished from the current
+//     report (silent row loss must fail, or a broken bench "passes").
+//
+// A thread-count mismatch between the reports is warned about but never
+// fails the diff — perf comparisons across different -j are the reader's
+// judgment call.
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or
+// unreadable/unparsable input.
+#include "obs/json_value.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using factor::obs::JsonValue;
+
+struct Options {
+    std::string baseline_path;
+    std::string current_path;
+    double threshold = 0.5;       // quality drop, absolute points
+    double time_threshold = 0.0;  // percent growth; 0 = don't gate time
+    std::vector<std::string> gated = {"coverage_percent",
+                                      "efficiency_percent"};
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json>\n"
+                 "       [--threshold=<points>] "
+                 "[--time-threshold=<percent>] [--gate=<key,key,...>]\n"
+                 "  compares two factor.bench.v1 reports row by row;\n"
+                 "  exit 0 ok, 1 regression, 2 usage/parse error\n");
+}
+
+bool parse_args(int argc, char** argv, Options& out) {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--threshold=", 0) == 0) {
+            out.threshold = std::atof(a.c_str() + 12);
+        } else if (a.rfind("--time-threshold=", 0) == 0) {
+            out.time_threshold = std::atof(a.c_str() + 17);
+        } else if (a.rfind("--gate=", 0) == 0) {
+            out.gated.clear();
+            std::string keys = a.substr(7);
+            std::stringstream ss(keys);
+            std::string key;
+            while (std::getline(ss, key, ',')) {
+                if (!key.empty()) out.gated.push_back(key);
+            }
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        } else {
+            positional.push_back(a);
+        }
+    }
+    if (positional.size() != 2) return false;
+    out.baseline_path = positional[0];
+    out.current_path = positional[1];
+    return true;
+}
+
+/// Load and validate one factor.bench.v1 report; nullopt (with a message)
+/// on any IO/syntax/schema problem.
+std::optional<JsonValue> load_report(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open '%s'\n", path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto doc = JsonValue::parse(buf.str());
+    if (!doc || !doc->is_object()) {
+        std::fprintf(stderr, "bench_diff: '%s' is not valid JSON\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    if (doc->string_at("schema") != "factor.bench.v1") {
+        std::fprintf(stderr,
+                     "bench_diff: '%s' is not a factor.bench.v1 report "
+                     "(schema=\"%s\")\n",
+                     path.c_str(), doc->string_at("schema").c_str());
+        return std::nullopt;
+    }
+    return doc;
+}
+
+struct RowRef {
+    std::string table;
+    std::string name;
+    const JsonValue* metrics = nullptr;
+};
+
+std::vector<RowRef> rows_of(const JsonValue& report) {
+    std::vector<RowRef> rows;
+    const JsonValue* arr = report.get("rows");
+    if (arr == nullptr || !arr->is_array()) return rows;
+    for (const JsonValue& r : arr->items()) {
+        RowRef ref;
+        ref.table = r.string_at("table");
+        ref.name = r.string_at("name");
+        ref.metrics = r.get("metrics");
+        if (ref.metrics != nullptr && ref.metrics->is_object()) {
+            rows.push_back(std::move(ref));
+        }
+    }
+    return rows;
+}
+
+const RowRef* find_row(const std::vector<RowRef>& rows,
+                       const std::string& table, const std::string& name) {
+    for (const auto& r : rows) {
+        if (r.table == table && r.name == name) return &r;
+    }
+    return nullptr;
+}
+
+bool is_gated(const Options& opt, const std::string& key) {
+    for (const auto& g : opt.gated) {
+        if (g == key) return true;
+    }
+    return false;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+    size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    if (!parse_args(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    auto base = load_report(opt.baseline_path);
+    auto cur = load_report(opt.current_path);
+    if (!base || !cur) return 2;
+
+    double base_threads = base->number_at("threads", 0);
+    double cur_threads = cur->number_at("threads", 0);
+    if (base_threads != cur_threads) {
+        std::fprintf(stderr,
+                     "bench_diff: warning: thread counts differ "
+                     "(baseline %g, current %g); wall times are not "
+                     "comparable\n",
+                     base_threads, cur_threads);
+    }
+
+    auto base_rows = rows_of(*base);
+    auto cur_rows = rows_of(*cur);
+    if (base_rows.empty()) {
+        std::fprintf(stderr, "bench_diff: baseline has no rows\n");
+        return 2;
+    }
+
+    size_t regressions = 0;
+    auto regress = [&](const std::string& table, const std::string& name,
+                       const char* fmt, const std::string& detail) {
+        std::printf("REGRESSION %s/%s: ", table.c_str(), name.c_str());
+        std::printf(fmt, detail.c_str());
+        std::printf("\n");
+        ++regressions;
+    };
+
+    for (const RowRef& b : base_rows) {
+        const RowRef* c = find_row(cur_rows, b.table, b.name);
+        if (c == nullptr) {
+            regress(b.table, b.name, "%s",
+                    "row missing from current report");
+            continue;
+        }
+        std::printf("%s/%s:\n", b.table.c_str(), b.name.c_str());
+        for (const auto& [key, bval] : b.metrics->members()) {
+            if (!bval.is_number()) continue;
+            const JsonValue* cval = c->metrics->get(key);
+            if (cval == nullptr || !cval->is_number()) {
+                if (is_gated(opt, key)) {
+                    regress(b.table, b.name, "gated metric '%s' missing",
+                            key);
+                } else {
+                    std::printf("  %-28s %14.4f -> (missing)\n", key.c_str(),
+                                bval.number_or(0));
+                }
+                continue;
+            }
+            double bv = bval.number_or(0);
+            double cv = cval->number_or(0);
+            std::printf("  %-28s %14.4f -> %14.4f  (%+.4f)\n", key.c_str(),
+                        bv, cv, cv - bv);
+            if (is_gated(opt, key) && bv - cv > opt.threshold) {
+                char detail[160];
+                std::snprintf(detail, sizeof(detail),
+                              "%s dropped %.4f -> %.4f (more than %.4f "
+                              "points)",
+                              key.c_str(), bv, cv, opt.threshold);
+                regress(b.table, b.name, "%s", detail);
+            }
+            if (opt.time_threshold > 0.0 && ends_with(key, "_seconds") &&
+                bv > 0.0 && cv > bv * (1.0 + opt.time_threshold / 100.0)) {
+                char detail[160];
+                std::snprintf(detail, sizeof(detail),
+                              "%s grew %.4fs -> %.4fs (more than %.1f%%)",
+                              key.c_str(), bv, cv, opt.time_threshold);
+                regress(b.table, b.name, "%s", detail);
+            }
+        }
+    }
+    for (const RowRef& c : cur_rows) {
+        if (find_row(base_rows, c.table, c.name) == nullptr) {
+            std::printf("NEW %s/%s (not in baseline)\n", c.table.c_str(),
+                        c.name.c_str());
+        }
+    }
+
+    if (regressions > 0) {
+        std::printf("bench_diff: %zu regression%s against %s\n", regressions,
+                    regressions == 1 ? "" : "s", opt.baseline_path.c_str());
+        return 1;
+    }
+    std::printf("bench_diff: no regressions against %s\n",
+                opt.baseline_path.c_str());
+    return 0;
+}

@@ -44,6 +44,8 @@
 #include "elab/elaborator.hpp"
 #include "obs/inject.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/progress.hpp"
 #include "rtl/parser.hpp"
 #include "synth/optimizer.hpp"
 #include "synth/synthesizer.hpp"
@@ -51,6 +53,7 @@
 #include "util/phase.hpp"
 #include "util/run_guard.hpp"
 #include "util/stopwatch.hpp"
+#include "util/sysinfo.hpp"
 #include "util/thread_pool.hpp"
 
 #include <cstdio>
@@ -80,6 +83,9 @@ struct Args {
     std::string builtin;
     std::string trace_path;
     std::string stats_path;
+    std::string progress_path;  // file path or "stderr"
+    double progress_interval = 1.0;
+    std::string profile_path;
     std::string checkpoint_path;
     bool resume = false;
     size_t retry_rounds = 0;
@@ -104,12 +110,18 @@ void usage() {
                  "[--stats-json=<file.json>]\n"
                  "       [--checkpoint=<file.ckpt>] [--resume] "
                  "[--retry-rounds=<n>]\n"
+                 "       [--progress=<file|stderr>[,interval-s]] "
+                 "[--profile=<file.json>]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
                  "  --checkpoint=<file> journals ATPG progress; --resume "
                  "replays it and continues.\n"
                  "  --retry-rounds=<n> escalates backtrack-aborted faults "
                  "with growing budgets.\n"
+                 "  --progress emits live factor.progress.v1 NDJSON "
+                 "heartbeats (default every 1s).\n"
+                 "  --profile writes a factor.profile.v1 cost-attribution "
+                 "document at exit.\n"
                  "  <top> defaults to the builtin name when --builtin is "
                  "given.\n"
                  "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
@@ -176,6 +188,32 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.trace_path = a.substr(8);
         } else if (a.rfind("--stats-json=", 0) == 0) {
             out.stats_path = a.substr(13);
+        } else if (a.rfind("--progress=", 0) == 0) {
+            std::string v = a.substr(11);
+            // Optional ",interval" tail; only split when the tail is a
+            // complete number, so a path containing a comma still works.
+            auto comma = v.find_last_of(',');
+            if (comma != std::string::npos) {
+                const char* tail = v.c_str() + comma + 1;
+                char* end = nullptr;
+                double iv = std::strtod(tail, &end);
+                if (end != tail && *end == '\0' && iv >= 0.0) {
+                    out.progress_interval = iv;
+                    v.resize(comma);
+                }
+            }
+            out.progress_path = v;
+            if (out.progress_path.empty()) {
+                std::fprintf(stderr,
+                             "--progress needs a file path or 'stderr'\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--profile=", 0) == 0) {
+            out.profile_path = a.substr(10);
+            if (out.profile_path.empty()) {
+                std::fprintf(stderr, "--profile needs a file path\n");
+                options_ok = false;
+            }
         } else if (a.rfind("--checkpoint=", 0) == 0) {
             out.checkpoint_path = a.substr(13);
             if (out.checkpoint_path.empty()) {
@@ -300,6 +338,7 @@ bool write_stats_json(const Args& args, int exit_code) {
         << (args.mode == core::Mode::Composed ? "\"composed\"" : "\"flat\"")
         << ",\"exit_code\":" << exit_code
         << ",\"threads\":" << util::ThreadPool::default_jobs()
+        << ",\"peak_rss_bytes\":" << util::peak_rss_bytes()
         << ",\"status\":\"" << util::to_string(g_phases.overall()) << '"'
         << ",\"interrupted\":" << (interrupted ? "true" : "false")
         << ",\"phases\":" << g_phases.to_json()
@@ -492,17 +531,81 @@ int run_command(const Args& args, elab::ElaboratedDesign& e,
     return kExitUsage;
 }
 
-/// The one exit funnel: stop the trace and write the stats document no
-/// matter which path ended the run.
+/// Whole-process wall clock for the profile document's percent-of-total.
+util::Stopwatch g_run_watch;
+
+/// The one exit funnel: stop the progress stream and the trace, then write
+/// the profile and stats documents no matter which path ended the run.
 int finish(const Args& args, int rc) {
+    if (!args.progress_path.empty()) {
+        (void)obs::Progress::global().stop();
+    }
     if (!args.trace_path.empty()) {
         (void)obs::Tracer::global().stop();
         std::fprintf(stderr, "trace written to %s\n", args.trace_path.c_str());
+    }
+    if (!args.profile_path.empty()) {
+        std::string doc =
+            obs::Profiler::global().to_json(g_run_watch.seconds());
+        doc += '\n';
+        if (!util::write_file_atomic(args.profile_path, doc)) {
+            std::fprintf(stderr, "cannot write profile to '%s'\n",
+                         args.profile_path.c_str());
+            if (rc == kExitOk) rc = kExitInput;
+        } else {
+            std::fprintf(stderr, "profile written to %s\n",
+                         args.profile_path.c_str());
+        }
     }
     if (!args.stats_path.empty()) {
         if (!write_stats_json(args, rc) && rc == kExitOk) rc = kExitInput;
     }
     return rc;
+}
+
+/// Env-var fallbacks for the output sinks, for parity with
+/// FACTOR_BENCH_JSON: an explicit option always wins over the environment.
+void apply_env_fallbacks(Args& args) {
+    if (args.stats_path.empty()) {
+        if (const char* p = std::getenv("FACTOR_STATS_JSON")) {
+            args.stats_path = p;
+        }
+    }
+    if (args.trace_path.empty()) {
+        if (const char* p = std::getenv("FACTOR_TRACE")) {
+            args.trace_path = p;
+        }
+    }
+}
+
+/// Up-front writability check for every requested output document. A sink
+/// we could only discover to be unwritable at exit would silently lose the
+/// run's results; refuse immediately with a named diagnostic instead.
+bool refuse_unwritable_sinks(const Args& args) {
+    struct SinkCheck {
+        const char* option;
+        const std::string& path;
+    };
+    const SinkCheck checks[] = {
+        {"--stats-json", args.stats_path},
+        {"--trace", args.trace_path},
+        {"--profile", args.profile_path},
+        {"--progress", args.progress_path},
+    };
+    for (const auto& c : checks) {
+        if (c.path.empty()) continue;
+        if (std::strcmp(c.option, "--progress") == 0 && c.path == "stderr") {
+            continue;
+        }
+        if (!util::path_writable(c.path)) {
+            std::fprintf(stderr,
+                         "factor: obs.unwritable: cannot write %s path "
+                         "'%s'\n",
+                         c.option, c.path.c_str());
+            return false;
+        }
+    }
+    return true;
 }
 
 /// The pipeline proper: load -> elaborate -> command, each phase recorded
@@ -588,16 +691,25 @@ int run_pipeline(const Args& args, util::RunGuard& guard) {
 int main(int argc, char** argv) {
     Args args;
     util::RunGuard::install_signal_handler();
-    if (!parse_args(argc, argv, args)) {
+    const bool args_ok = parse_args(argc, argv, args);
+    apply_env_fallbacks(args);
+    if (!args_ok) {
         usage();
         // Options were parsed even on usage errors, so --stats-json and
         // --trace still land where the caller asked.
         if (!args.trace_path.empty()) obs::Tracer::global().start(args.trace_path);
         return finish(args, kExitUsage);
     }
+    if (!refuse_unwritable_sinks(args)) return kExitInput;
     if (!args.trace_path.empty()) {
         obs::Tracer::global().start(args.trace_path);
     }
+    if (!args.progress_path.empty()) {
+        obs::Progress::global().start(
+            args.progress_path == "stderr" ? "stderr" : args.progress_path,
+            args.progress_interval);
+    }
+    if (!args.profile_path.empty()) obs::Profiler::global().arm();
     if (args.jobs > 0) util::ThreadPool::set_default_jobs(args.jobs);
 
     util::RunGuard guard(util::GuardLimits{args.budget, args.work_quota,
