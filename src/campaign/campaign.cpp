@@ -1,0 +1,632 @@
+#include "campaign/campaign.hpp"
+
+#include "campaign/checkpoint.hpp"
+#include "core/transform.hpp"
+#include "obs/inject.hpp"
+#include "obs/progress.hpp"
+#include "util/diagnostics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace factor::campaign {
+
+const char* to_string(ShardStatus s) {
+    switch (s) {
+    case ShardStatus::Ok: return "ok";
+    case ShardStatus::Degraded: return "degraded";
+    case ShardStatus::BudgetExhausted: return "budget_exhausted";
+    case ShardStatus::Failed: return "failed";
+    case ShardStatus::Crashed: return "crashed";
+    }
+    return "failed";
+}
+
+bool parse_shard_status(std::string_view name, ShardStatus& out) {
+    if (name == "ok") out = ShardStatus::Ok;
+    else if (name == "degraded") out = ShardStatus::Degraded;
+    else if (name == "budget_exhausted") out = ShardStatus::BudgetExhausted;
+    else if (name == "failed") out = ShardStatus::Failed;
+    else if (name == "crashed") out = ShardStatus::Crashed;
+    else return false;
+    return true;
+}
+
+util::PhaseStatus to_phase_status(ShardStatus s) {
+    switch (s) {
+    case ShardStatus::Ok: return util::PhaseStatus::Ok;
+    case ShardStatus::Degraded: return util::PhaseStatus::Degraded;
+    case ShardStatus::BudgetExhausted:
+        return util::PhaseStatus::BudgetExhausted;
+    case ShardStatus::Failed:
+    case ShardStatus::Crashed: return util::PhaseStatus::Failed;
+    }
+    return util::PhaseStatus::Failed;
+}
+
+SpecResolution resolve_spec(const elab::ElaboratedDesign& design,
+                            const std::string& spec) {
+    SpecResolution out;
+    if (spec.empty()) {
+        out.diagnostic = "campaign.bad_spec: empty --campaign spec (use "
+                         "'all' or a comma-separated list of instance "
+                         "paths)";
+        return out;
+    }
+    if (spec == "all") {
+        for (const elab::InstNode* n : design.all_nodes()) {
+            if (n->parent == nullptr) continue; // the design itself
+            out.muts.push_back(n);
+            out.paths.push_back(n->path());
+        }
+        if (out.muts.empty()) {
+            out.diagnostic = "campaign.empty: design '" +
+                             design.top().name +
+                             "' has no child instances to campaign over";
+            return out;
+        }
+        out.ok = true;
+        return out;
+    }
+    if (spec.back() == ',') {
+        // getline would silently drop the empty trailing segment.
+        out.diagnostic = "campaign.bad_spec: empty MUT path in "
+                         "--campaign list '" + spec + "'";
+        return out;
+    }
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        // Trim surrounding whitespace so "a, b" works.
+        size_t b = item.find_first_not_of(" \t");
+        size_t e = item.find_last_not_of(" \t");
+        item = b == std::string::npos ? "" : item.substr(b, e - b + 1);
+        if (item.empty()) {
+            out.muts.clear();
+            out.paths.clear();
+            out.diagnostic = "campaign.bad_spec: empty MUT path in "
+                             "--campaign list '" + spec + "'";
+            return out;
+        }
+        const elab::InstNode* node = design.find_by_path(item);
+        if (node == nullptr) {
+            out.muts.clear();
+            out.paths.clear();
+            out.diagnostic =
+                "campaign.unknown_mut: no instance at path '" + item + "'";
+            return out;
+        }
+        if (std::find(out.paths.begin(), out.paths.end(), item) !=
+            out.paths.end()) {
+            out.muts.clear();
+            out.paths.clear();
+            out.diagnostic = "campaign.duplicate_mut: instance path '" +
+                             item + "' listed twice";
+            return out;
+        }
+        out.muts.push_back(node);
+        out.paths.push_back(item);
+    }
+    if (out.muts.empty()) {
+        out.diagnostic =
+            "campaign.bad_spec: no MUT paths in --campaign spec '" + spec +
+            "'";
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+obs::Doc ShardOutcome::doc(bool timing) const {
+    obs::Doc d;
+    d.add("index", static_cast<uint64_t>(index));
+    d.add("mut", mut_path);
+    d.add("status", std::string(to_string(status)));
+    d.add("attempts", attempts);
+    d.add("recovered", recovered);
+    d.add("resumed", resumed);
+    d.add("faults", faults);
+    d.add("detected", detected);
+    d.add("untestable", untestable);
+    d.add("aborted", aborted);
+    d.add("coverage_percent", coverage_percent);
+    d.add("efficiency_percent", efficiency_percent);
+    d.add("vectors", vectors);
+    d.add("random_sequences", random_sequences);
+    d.add("podem_retries", podem_retries);
+    d.add("retry_recovered", retry_recovered);
+    d.add("mut_gates", mut_gates);
+    d.add("surrounding_gates", surrounding_gates);
+    d.add("piers_exposed", piers_exposed);
+    if (timing) {
+        d.add("backoff_seconds", backoff_seconds);
+        d.add("time_seconds", seconds);
+    }
+    if (!detail.empty()) d.add("detail", detail);
+    return d;
+}
+
+obs::Doc CampaignResult::totals_doc(bool timing) const {
+    obs::Doc d;
+    d.add("shards", static_cast<uint64_t>(shards.size()));
+    d.add("shards_ok", shards_ok);
+    d.add("shards_degraded", shards_degraded);
+    d.add("shards_budget_exhausted", shards_budget_exhausted);
+    d.add("shards_failed", shards_failed);
+    d.add("shards_crashed", shards_crashed);
+    d.add("shards_retried", shards_retried);
+    d.add("shards_recovered", shards_recovered);
+    d.add("shards_resumed", shards_resumed);
+    d.add("faults", total_faults);
+    d.add("detected", total_detected);
+    d.add("untestable", total_untestable);
+    d.add("aborted", total_aborted);
+    d.add("coverage_percent", coverage_percent);
+    d.add("vectors", total_vectors);
+    d.add("random_sequences", total_random_sequences);
+    d.add("threads", threads);
+    if (timing) d.add("time_seconds", seconds);
+    d.add("status", std::string(util::to_string(status)));
+    d.add("ckpt_failed", ckpt_failed);
+    return d;
+}
+
+std::string CampaignResult::to_json() const {
+    std::ostringstream out;
+    out << "{\"schema\":\"factor.campaign.v1\""
+        << ",\"top\":\"" << obs::json_escape(top) << '"'
+        << ",\"spec\":\"" << obs::json_escape(spec) << '"'
+        << ",\"mode\":"
+        << (mode == core::Mode::Composed ? "\"composed\"" : "\"flat\"")
+        << ",\"status\":\"" << util::to_string(status) << '"'
+        << ",\"status_detail\":\"" << obs::json_escape(status_detail) << '"'
+        << ",\"refused\":" << (refused ? "true" : "false");
+    if (refused) {
+        out << ",\"refusal\":\"" << obs::json_escape(refusal) << '"';
+    }
+    out << ",\"shards\":[";
+    for (size_t i = 0; i < shards.size(); ++i) {
+        if (i > 0) out << ',';
+        out << shards[i].doc().to_json();
+    }
+    out << "],\"totals\":" << totals_doc().to_json() << "}\n";
+    return out.str();
+}
+
+std::string CampaignResult::to_text() const {
+    std::ostringstream out;
+    out << "campaign " << top << " spec=" << spec << ": " << shards.size()
+        << " shard" << (shards.size() == 1 ? "" : "s") << "\n";
+    if (refused) {
+        out << "  refused: " << refusal << "\n";
+        return out.str();
+    }
+    for (const ShardOutcome& s : shards) {
+        out << "  [" << s.index << "] " << s.doc().to_text() << "\n";
+    }
+    out << "  totals: " << totals_doc().to_text() << "\n";
+    return out.str();
+}
+
+namespace {
+
+/// Saturating budget escalation: carve * growth^(attempt-1).
+[[nodiscard]] uint64_t grow_quota(uint64_t carve, uint32_t growth,
+                                  uint64_t attempt) {
+    if (carve == 0) return 0; // unlimited stays unlimited
+    uint64_t q = carve;
+    for (uint64_t k = 1; k < attempt; ++k) {
+        if (growth != 0 && q > UINT64_MAX / growth) return UINT64_MAX;
+        q *= growth == 0 ? 1 : growth;
+    }
+    return q;
+}
+
+[[nodiscard]] bool file_exists(const std::string& path) {
+    return static_cast<bool>(std::ifstream(path));
+}
+
+/// Everything one shard attempt needs from the campaign.
+struct ShardContext {
+    const elab::ElaboratedDesign& design;
+    const CampaignOptions& opts;
+    const elab::InstNode* mut = nullptr;
+    std::string path;
+    size_t index = 0;
+    uint64_t quota_carve = 0; // per-shard first-attempt work quota
+    double wall_carve = 0.0;  // per-shard first-attempt wall seconds
+    std::string engine_journal; // "" when checkpointing is off
+};
+
+/// One pipeline attempt for one shard, fully contained: never throws.
+/// Returns the candidate outcome for this attempt (attempts/backoff/
+/// seconds bookkeeping belongs to the caller's retry loop).
+[[nodiscard]] ShardOutcome run_attempt(const ShardContext& cx,
+                                       util::RunGuard& guard) {
+    ShardOutcome so;
+    so.index = cx.index;
+    so.mut_path = cx.path;
+    try {
+        obs::inject_point("campaign.shard_start");
+        if (obs::FaultInjector::global().armed()) {
+            obs::inject_point("campaign.shard_start." + cx.path);
+        }
+        util::DiagEngine diags;
+        core::ExtractionSession session(cx.design, cx.opts.mode, diags,
+                                        &guard);
+        core::TransformBuilder builder(cx.design, diags, &guard);
+        core::TransformOptions topts;
+        topts.expose_piers = cx.opts.expose_piers;
+        core::TransformedModule tm = builder.build(*cx.mut, session, topts);
+        so.mut_gates = tm.mut_gates;
+        so.surrounding_gates = tm.surrounding_gates;
+        so.piers_exposed = tm.piers_exposed;
+        if (tm.status == util::PhaseStatus::Failed) {
+            so.status = ShardStatus::Failed;
+            so.detail = tm.status_detail.empty() ? "transform failed"
+                                                 : tm.status_detail;
+            return so;
+        }
+
+        atpg::EngineOptions eo = cx.opts.engine;
+        eo.guard = &guard;
+        eo.jobs = 1; // across-shard parallelism only (no oversubscription)
+        eo.time_budget_s = 0.0; // the shard guard owns the wall budget
+        eo.scope_prefix = tm.mut_prefix;
+        eo.checkpoint_path.clear();
+        eo.resume = false;
+        // Journal the engine only under a complete transform: a netlist
+        // truncated by a budget stop would fingerprint differently from
+        // the full one a retry rebuilds, poisoning the resume.
+        const bool transform_complete =
+            tm.status == util::PhaseStatus::Ok ||
+            tm.status == util::PhaseStatus::Degraded;
+        if (!cx.engine_journal.empty() && transform_complete) {
+            eo.checkpoint_path = cx.engine_journal;
+            eo.resume = file_exists(cx.engine_journal);
+        }
+        atpg::EngineResult r = atpg::run_atpg(tm.netlist, eo);
+        if (r.resume_refused) {
+            so.status = ShardStatus::Failed;
+            so.detail = r.status_detail;
+            return so;
+        }
+        if (r.status == util::PhaseStatus::Failed &&
+            util::starts_with(r.status_detail, "ckpt.")) {
+            // The shard's engine journal could not be appended: a
+            // transient environment failure, not a property of the MUT.
+            // Never journaled, so --resume re-attempts the shard.
+            so.status = ShardStatus::Failed;
+            so.detail = r.status_detail;
+            so.transient = true;
+            return so;
+        }
+        so.faults = r.total_faults;
+        so.detected = r.detected;
+        so.untestable = r.untestable;
+        so.aborted = r.aborted;
+        so.coverage_percent = r.coverage_percent;
+        so.efficiency_percent = r.efficiency_percent;
+        so.vectors = r.deterministic_tests;
+        so.random_sequences = r.random_sequences;
+        so.podem_retries = r.retried_faults;
+        so.retry_recovered = r.retry_recovered;
+        util::PhaseStatus worst = util::worst(tm.status, r.status);
+        switch (worst) {
+        case util::PhaseStatus::Ok: so.status = ShardStatus::Ok; break;
+        case util::PhaseStatus::Degraded:
+            so.status = ShardStatus::Degraded;
+            break;
+        case util::PhaseStatus::BudgetExhausted:
+            so.status = ShardStatus::BudgetExhausted;
+            break;
+        case util::PhaseStatus::Failed:
+            so.status = ShardStatus::Failed;
+            break;
+        }
+        if (so.status != ShardStatus::Ok) {
+            so.detail = worst == r.status ? r.status_detail
+                                          : tm.status_detail;
+            if (so.detail.empty()) so.detail = util::to_string(worst);
+        }
+    } catch (const std::exception& e) {
+        // Containment: a crash (injected fault, escaped invariant) is
+        // classified, never propagated — pool tasks must not throw and
+        // the rest of the campaign proceeds.
+        so.status = ShardStatus::Crashed;
+        so.detail = e.what();
+        so.faults = so.detected = so.untestable = so.aborted = 0;
+        so.coverage_percent = so.efficiency_percent = 0.0;
+        so.vectors = so.random_sequences = 0;
+    }
+    return so;
+}
+
+/// The full retry loop for one shard: escalating budgets with exponential
+/// backoff, stopping early on campaign-level stops.
+[[nodiscard]] ShardOutcome run_shard(const ShardContext& cx) {
+    util::Stopwatch watch;
+    ShardOutcome so;
+    so.index = cx.index;
+    so.mut_path = cx.path;
+    const uint64_t max_attempts = 1 + cx.opts.shard_retries;
+    double backoff_total = 0.0;
+    for (uint64_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        util::GuardLimits limits;
+        limits.work_quota =
+            grow_quota(cx.quota_carve, cx.opts.budget_growth, attempt);
+        if (cx.wall_carve > 0.0) {
+            double w = cx.wall_carve;
+            for (uint64_t k = 1; k < attempt; ++k) {
+                w *= cx.opts.budget_growth == 0 ? 1 : cx.opts.budget_growth;
+            }
+            // Wall budgets are real time: never hand one shard more than
+            // the whole campaign was given.
+            limits.wall_seconds =
+                std::min(w, std::max(cx.opts.total_budget_s, cx.wall_carve));
+        }
+        util::RunGuard guard(limits);
+        ShardOutcome att = run_attempt(cx, guard);
+        att.attempts = attempt;
+        att.backoff_seconds = backoff_total;
+        so = std::move(att);
+        if (so.status != ShardStatus::BudgetExhausted) {
+            if (attempt > 1 && (so.status == ShardStatus::Ok ||
+                                so.status == ShardStatus::Degraded)) {
+                so.recovered = true;
+            }
+            break;
+        }
+        if (attempt == max_attempts) break;
+        // No retry once the campaign itself is out of budget/interrupted.
+        if (util::RunGuard::interrupt_requested()) break;
+        if (cx.opts.guard != nullptr && cx.opts.guard->stopped()) break;
+        double delay = cx.opts.backoff_base_s;
+        for (uint64_t k = 1; k < attempt; ++k) delay *= 2.0;
+        if (delay > 0.0) {
+            backoff_total += delay;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+        }
+    }
+    so.seconds = watch.seconds();
+    return so;
+}
+
+} // namespace
+
+CampaignResult run_campaign(const elab::ElaboratedDesign& design,
+                            const CampaignOptions& options) {
+    obs::Span span("campaign.run");
+    util::Stopwatch watch;
+    CampaignResult out;
+    out.top = design.top().name;
+    out.spec = options.spec;
+    out.mode = options.mode;
+
+    SpecResolution spec = resolve_spec(design, options.spec);
+    if (!spec.ok) {
+        out.refused = true;
+        out.refusal = spec.diagnostic;
+        out.status = util::PhaseStatus::Failed;
+        out.status_detail = spec.diagnostic;
+        return out;
+    }
+    const size_t n = spec.muts.size();
+    span.attr("shards", static_cast<uint64_t>(n));
+    const size_t jobs = options.jobs > 0 ? options.jobs
+                                         : util::ThreadPool::default_jobs();
+    out.threads = std::min(jobs, n);
+    out.shards.resize(n);
+
+    // Budget carving: every shard's first attempt gets an even slice of
+    // the campaign budget (0 stays unlimited).
+    const uint64_t quota_carve =
+        options.work_quota == 0
+            ? 0
+            : std::max<uint64_t>(1, options.work_quota / n);
+    const double wall_carve =
+        options.total_budget_s <= 0.0 ? 0.0 : options.total_budget_s / n;
+
+    // ---- campaign journal -------------------------------------------------
+    const bool ckpt_on = !options.checkpoint_path.empty();
+    const std::string fp =
+        ckpt_on ? ckpt::fingerprint(design, spec.paths, options) : "";
+    ckpt::Writer writer;
+    std::vector<bool> done(n, false);
+    if (ckpt_on && options.resume) {
+        ckpt::Load loaded = ckpt::load(options.checkpoint_path, fp, n);
+        if (!loaded.ok) {
+            out.refused = true;
+            out.refusal = loaded.diagnostic;
+            out.status = util::PhaseStatus::Failed;
+            out.status_detail = loaded.diagnostic;
+            out.shards.clear();
+            return out;
+        }
+        for (ShardOutcome& s : loaded.shards) {
+            done[s.index] = true;
+            out.shards[s.index] = std::move(s);
+        }
+        std::vector<ShardOutcome> restored;
+        for (size_t i = 0; i < n; ++i) {
+            if (done[i]) restored.push_back(out.shards[i]);
+        }
+        (void)writer.start_rewrite(options.checkpoint_path,
+                                   ckpt::Header{fp, n}, restored);
+    } else if (ckpt_on) {
+        (void)writer.start_fresh(options.checkpoint_path,
+                                 ckpt::Header{fp, n});
+    }
+
+    // ---- shard fan-out ----------------------------------------------------
+    std::mutex mu; // journal appends + progress accounting
+    uint64_t shards_finished = 0;
+    uint64_t agg_faults = 0, agg_detected = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (!done[i]) continue;
+        ++shards_finished;
+        agg_faults += out.shards[i].faults;
+        agg_detected += out.shards[i].detected;
+    }
+
+    util::ThreadPool pool(std::min(jobs, std::max<size_t>(n, 1)));
+    pool.for_each(n, [&](size_t, size_t index) {
+        if (done[index]) return; // restored from the journal
+        ShardContext cx{design,
+                        options,
+                        spec.muts[index],
+                        spec.paths[index],
+                        index,
+                        quota_carve,
+                        wall_carve,
+                        ckpt_on ? ckpt::shard_journal_path(
+                                      options.checkpoint_path, index)
+                                : std::string()};
+        ShardOutcome so;
+        bool launched = true;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (writer.failed()) {
+                // The campaign journal is broken: do not start work whose
+                // completion could not be recorded. Unattempted and
+                // transient, so --resume re-runs it.
+                so.index = index;
+                so.mut_path = cx.path;
+                so.status = ShardStatus::Failed;
+                so.detail = "campaign.ckpt_write_failed: shard not "
+                            "attempted (campaign journal unwritable)";
+                so.transient = true;
+                launched = false;
+            }
+        }
+        if (launched && options.guard != nullptr &&
+            options.guard->stopped()) {
+            so.index = index;
+            so.mut_path = cx.path;
+            so.status = ShardStatus::BudgetExhausted;
+            so.detail = std::string("campaign.skipped: campaign ") +
+                        util::to_string(options.guard->reason()) +
+                        " budget exhausted before shard started";
+            so.transient = true; // never journaled: --resume attempts it
+            launched = false;
+        }
+        if (launched) {
+            obs::ShardScope scope(cx.path);
+            so = run_shard(cx);
+        }
+
+        std::lock_guard<std::mutex> lock(mu);
+        if (ckpt_on && !so.transient && writer.active() &&
+            !writer.failed()) {
+            if (writer.append_shard(so)) {
+                // The shard is durable; its fine-grained engine journal
+                // is now redundant.
+                if (!cx.engine_journal.empty()) {
+                    std::remove(cx.engine_journal.c_str());
+                }
+            }
+        }
+        ++shards_finished;
+        agg_faults += so.faults;
+        agg_detected += so.detected;
+        if (obs::Progress::global().enabled()) {
+            obs::ProgressSnapshot snap;
+            snap.phase = "campaign";
+            snap.shard = so.mut_path;
+            snap.shards_total = n;
+            snap.shards_done = shards_finished;
+            snap.faults_total = agg_faults;
+            snap.faults_done = agg_faults;
+            snap.detected = agg_detected;
+            snap.coverage_percent =
+                agg_faults > 0 ? 100.0 * static_cast<double>(agg_detected) /
+                                     static_cast<double>(agg_faults)
+                               : 0.0;
+            snap.threads = out.threads;
+            snap.elapsed_seconds = watch.seconds();
+            obs::Progress::global().tick(snap);
+        }
+        out.shards[index] = std::move(so);
+    });
+
+    // ---- aggregation ------------------------------------------------------
+    try {
+        obs::inject_point("campaign.aggregate");
+        for (const ShardOutcome& s : out.shards) {
+            switch (s.status) {
+            case ShardStatus::Ok: ++out.shards_ok; break;
+            case ShardStatus::Degraded: ++out.shards_degraded; break;
+            case ShardStatus::BudgetExhausted:
+                ++out.shards_budget_exhausted;
+                break;
+            case ShardStatus::Failed: ++out.shards_failed; break;
+            case ShardStatus::Crashed: ++out.shards_crashed; break;
+            }
+            if (s.attempts > 1) ++out.shards_retried;
+            if (s.recovered) ++out.shards_recovered;
+            if (s.resumed) ++out.shards_resumed;
+            out.total_faults += s.faults;
+            out.total_detected += s.detected;
+            out.total_untestable += s.untestable;
+            out.total_aborted += s.aborted;
+            out.total_vectors += s.vectors;
+            out.total_random_sequences += s.random_sequences;
+            out.status = util::worst(out.status, to_phase_status(s.status));
+            if (out.status_detail.empty() && !s.detail.empty() &&
+                to_phase_status(s.status) == out.status) {
+                out.status_detail = "shard " + std::to_string(s.index) +
+                                    " (" + s.mut_path + "): " + s.detail;
+            }
+        }
+        out.coverage_percent =
+            out.total_faults > 0
+                ? 100.0 * static_cast<double>(out.total_detected) /
+                      static_cast<double>(out.total_faults)
+                : 0.0;
+    } catch (const std::exception& e) {
+        out.status = util::PhaseStatus::Failed;
+        out.status_detail =
+            std::string("campaign.aggregate_failed: ") + e.what();
+    }
+
+    if (ckpt_on && writer.failed()) {
+        out.ckpt_failed = true;
+        out.status = util::PhaseStatus::Failed;
+        out.status_detail = "campaign.ckpt_write_failed: " + writer.error();
+    }
+    out.seconds = watch.seconds();
+
+    if (obs::Progress::global().enabled()) {
+        obs::ProgressSnapshot snap;
+        snap.phase = "campaign";
+        snap.shards_total = n;
+        snap.shards_done = shards_finished;
+        snap.faults_total = out.total_faults;
+        snap.faults_done = out.total_faults;
+        snap.detected = out.total_detected;
+        snap.untestable = out.total_untestable;
+        snap.aborted = out.total_aborted;
+        snap.coverage_percent = out.coverage_percent;
+        snap.vectors = out.total_vectors;
+        snap.random_sequences = out.total_random_sequences;
+        snap.threads = out.threads;
+        snap.elapsed_seconds = out.seconds;
+        obs::Progress::global().emit_final(snap);
+    }
+
+    obs::counter("campaign.shards").add(n);
+    obs::counter("campaign.shards.crashed").add(out.shards_crashed);
+    obs::counter("campaign.shards.retried").add(out.shards_retried);
+    return out;
+}
+
+} // namespace factor::campaign

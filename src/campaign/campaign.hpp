@@ -1,0 +1,211 @@
+// Multi-MUT campaign supervisor: fault-isolated batch ATPG over a design.
+//
+// FACTOR's payoff is amortizing constraint extraction across every module
+// under test in a design, but one process per MUT makes any hard failure
+// fatal to the whole batch. The campaign layer runs each MUT's
+// extract -> synthesize -> transform -> ATPG pipeline as an isolated
+// *shard* on the shared thread pool:
+//
+//   * every shard gets its own RunGuard carved from the campaign budget
+//     (wall seconds and work quota are split evenly across shards), its
+//     own DiagEngine and its own ExtractionSession, so a shard's result is
+//     byte-identical to running that MUT standalone with the same budget;
+//   * every shard outcome is classified by a five-way taxonomy
+//     (ok / degraded / budget_exhausted / failed / crashed) — a thrown
+//     FactorError, an injected fault or a malformed module is contained to
+//     its shard and the rest of the campaign proceeds;
+//   * budget-exhausted shards are retried with exponential backoff and a
+//     x4-growing budget per attempt (the PR 4 escalation shape); with
+//     checkpointing on, a retry *resumes* the shard's engine journal, so
+//     the grown budget is end-to-end, not per-attempt;
+//   * with --checkpoint, completed shards are journaled
+//     (factor.campaign.ckpt.v1, see campaign/checkpoint.hpp) and --resume
+//     skips them, resuming the in-flight shard from its own engine
+//     checkpoint byte-identically at any --jobs value.
+//
+// Determinism contract: shard results are independent of the jobs value
+// and of shard completion order — outcomes are keyed by shard index, the
+// aggregate is computed in index order, and each shard's engine runs with
+// jobs=1 on its worker thread (the campaign parallelizes across shards,
+// never inside one, so a campaign at any --jobs matches the same shards
+// run standalone). Wall-clock budgets remain the one documented
+// determinism exception, exactly as for the engine (DESIGN.md §9).
+#pragma once
+
+#include "atpg/engine.hpp"
+#include "core/extractor.hpp"
+#include "elab/elaborator.hpp"
+#include "obs/obs.hpp"
+#include "util/phase.hpp"
+#include "util/run_guard.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factor::campaign {
+
+/// Per-shard failure taxonomy. The first four mirror util::PhaseStatus;
+/// Crashed is the campaign-only class for an exception that escaped the
+/// shard's pipeline (injected fault, internal invariant failure) and was
+/// contained by the supervisor.
+enum class ShardStatus : uint8_t {
+    Ok = 0,
+    Degraded = 1,
+    BudgetExhausted = 2,
+    Failed = 3,
+    Crashed = 4,
+};
+
+[[nodiscard]] const char* to_string(ShardStatus s);
+/// Parse a status name; false on an unknown name (checkpoint validation).
+[[nodiscard]] bool parse_shard_status(std::string_view name, ShardStatus& out);
+/// Campaign-status projection: Crashed maps to Failed, the rest 1:1.
+[[nodiscard]] util::PhaseStatus to_phase_status(ShardStatus s);
+
+/// Resolution of a --campaign spec against an elaborated design.
+struct SpecResolution {
+    bool ok = false;
+    /// Named refusal on failure: "campaign.bad_spec: ...",
+    /// "campaign.unknown_mut: ...", "campaign.duplicate_mut: ...",
+    /// "campaign.empty: ...". The leading token before ':' is stable.
+    std::string diagnostic;
+    std::vector<const elab::InstNode*> muts; // index == shard index
+    std::vector<std::string> paths;          // dotted path per shard
+};
+
+/// Resolve `spec`: "all" enumerates every non-root instance in pre-order;
+/// otherwise a comma-separated list of dotted instance paths.
+[[nodiscard]] SpecResolution resolve_spec(const elab::ElaboratedDesign& design,
+                                          const std::string& spec);
+
+struct CampaignOptions {
+    std::string spec = "all";
+    core::Mode mode = core::Mode::Composed;
+    bool expose_piers = true;
+    /// Engine template for every shard. guard / jobs / scope_prefix /
+    /// checkpoint_path / resume are overwritten per shard; everything else
+    /// (seed, phase shapes, retry_rounds, ...) applies to all shards.
+    atpg::EngineOptions engine;
+    /// Shards run concurrently on a pool of this many executors (0 picks
+    /// util::ThreadPool::default_jobs()). Each shard's engine runs with
+    /// jobs=1 on its executor — across-shard parallelism only.
+    size_t jobs = 0;
+    /// Campaign-level budgets, carved evenly across shards (<= 0 / 0 means
+    /// unlimited). A shard's first attempt gets total/num_shards.
+    double total_budget_s = 0.0;
+    uint64_t work_quota = 0;
+    /// Extra attempts for a budget-exhausted shard (0 disables retry).
+    size_t shard_retries = 1;
+    /// Per-attempt budget multiplier (the PR 4 escalation shape): attempt
+    /// k runs with carve * growth^(k-1); wall budgets are additionally
+    /// capped at the campaign total.
+    uint32_t budget_growth = 4;
+    /// Exponential backoff between attempts: base * 2^(attempt-1) seconds
+    /// (0 retries immediately — what the determinism tests use).
+    double backoff_base_s = 0.0;
+    /// Campaign journal path ("" disables checkpointing). Per-shard engine
+    /// journals live next to it as "<path>.s<index>".
+    std::string checkpoint_path;
+    bool resume = false;
+    /// Campaign-level guard (wall clock + SIGINT), typically the CLI's.
+    /// Once it stops, no new shard or retry is launched; unattempted
+    /// shards are classified budget_exhausted with attempts == 0.
+    util::RunGuard* guard = nullptr;
+};
+
+/// One shard's classified outcome plus its stable result numbers.
+struct ShardOutcome {
+    size_t index = 0;
+    std::string mut_path;
+    ShardStatus status = ShardStatus::Ok;
+    std::string detail;        // why, for every non-Ok status
+    uint64_t attempts = 0;     // 0: never started (campaign stopped first)
+    bool recovered = false;    // a retry turned budget_exhausted into ok/degraded
+    double backoff_seconds = 0.0; // total backoff slept before retries
+    double seconds = 0.0;         // shard wall time across attempts (unstable)
+    bool resumed = false;         // restored from the campaign journal
+    /// The outcome was caused by a checkpoint-write failure (campaign
+    /// append or engine journal): it is never journaled, so --resume
+    /// re-attempts the shard instead of trusting a torn result.
+    bool transient = false;
+
+    // Stable engine + transform numbers (zero for failed/crashed shards).
+    uint64_t faults = 0;
+    uint64_t detected = 0;
+    uint64_t untestable = 0;
+    uint64_t aborted = 0;
+    double coverage_percent = 0.0;
+    double efficiency_percent = 0.0;
+    uint64_t vectors = 0;          // deterministic tests
+    uint64_t random_sequences = 0;
+    uint64_t podem_retries = 0;    // engine-level escalation attempts
+    uint64_t retry_recovered = 0;  // engine-level recovered faults
+    uint64_t mut_gates = 0;
+    uint64_t surrounding_gates = 0;
+    uint64_t piers_exposed = 0;
+
+    /// The shard's row of the factor.campaign.v1 report. `timing` includes
+    /// the wall-clock fields (seconds, backoff) — the determinism tests
+    /// compare rows with timing off.
+    [[nodiscard]] obs::Doc doc(bool timing = true) const;
+};
+
+/// The aggregated campaign result (factor.campaign.v1).
+struct CampaignResult {
+    /// The campaign never ran: bad spec or untrusted checkpoint.
+    /// `refusal` carries the named campaign.* / ckpt.* diagnostic.
+    bool refused = false;
+    std::string refusal;
+
+    std::string top;
+    std::string spec;
+    core::Mode mode = core::Mode::Composed;
+    std::vector<ShardOutcome> shards; // index order, one per resolved MUT
+
+    /// Worst shard status projected through to_phase_status(), further
+    /// forced to Failed by a campaign checkpoint-write failure or an
+    /// aggregation crash.
+    util::PhaseStatus status = util::PhaseStatus::Ok;
+    std::string status_detail;
+    bool ckpt_failed = false; // campaign journal write failure (latched)
+
+    // Aggregate accounting (computed by run_campaign in index order).
+    uint64_t shards_ok = 0;
+    uint64_t shards_degraded = 0;
+    uint64_t shards_budget_exhausted = 0;
+    uint64_t shards_failed = 0;
+    uint64_t shards_crashed = 0;
+    uint64_t shards_retried = 0;   // shards that took > 1 attempt
+    uint64_t shards_recovered = 0; // retried shards that ended ok/degraded
+    uint64_t shards_resumed = 0;   // restored from the campaign journal
+    uint64_t total_faults = 0;
+    uint64_t total_detected = 0;
+    uint64_t total_untestable = 0;
+    uint64_t total_aborted = 0;
+    double coverage_percent = 0.0; // detected / faults over all shards
+    uint64_t total_vectors = 0;
+    uint64_t total_random_sequences = 0;
+    double seconds = 0.0; // campaign wall time (unstable)
+    uint64_t threads = 1; // campaign executors
+
+    /// Campaign totals as one Doc (the "totals" object of the report and
+    /// the CLI's --stats-json result block).
+    [[nodiscard]] obs::Doc totals_doc(bool timing = true) const;
+
+    /// The full factor.campaign.v1 JSON document (trailing newline).
+    [[nodiscard]] std::string to_json() const;
+
+    /// Human-readable report: one line per shard plus a totals line,
+    /// rendered from the same Docs as to_json().
+    [[nodiscard]] std::string to_text() const;
+};
+
+/// Run a campaign over `design`. Never throws: spec/checkpoint problems
+/// come back as a refusal, shard failures are contained and classified,
+/// and an aggregation crash (the campaign.aggregate site) degrades the
+/// campaign to Failed with the shard outcomes intact.
+[[nodiscard]] CampaignResult run_campaign(const elab::ElaboratedDesign& design,
+                                          const CampaignOptions& options);
+
+} // namespace factor::campaign

@@ -1,0 +1,252 @@
+#include "campaign/checkpoint.hpp"
+
+#include "obs/inject.hpp"
+#include "util/crc32.hpp"
+#include "util/diagnostics.hpp"
+
+#include <utility>
+
+namespace factor::campaign::ckpt {
+
+std::string fingerprint(const elab::ElaboratedDesign& design,
+                        const std::vector<std::string>& paths,
+                        const CampaignOptions& options) {
+    util::Fnv64 h;
+    h.mix(std::string_view(kSchema));
+    h.mix(std::string_view(design.top().name));
+    h.mix(static_cast<uint64_t>(paths.size()));
+    for (const auto& p : paths) {
+        h.mix(std::string_view(p));
+        h.mix(static_cast<uint64_t>(0x1f)); // separator: ["a","b"]!=["ab"]
+    }
+    h.mix(options.mode == core::Mode::Composed);
+    h.mix(options.expose_piers);
+    // Engine-template fields that shape every shard's trajectory. `jobs`
+    // and the campaign wall/work budgets are deliberately excluded: shards
+    // are jobs-invariant, and resuming a stopped campaign with a bigger
+    // budget is a supported workflow (same contract as factor.ckpt.v1).
+    const atpg::EngineOptions& e = options.engine;
+    h.mix(e.seed);
+    h.mix(static_cast<uint64_t>(e.random_batches));
+    h.mix(static_cast<uint64_t>(e.random_frames));
+    h.mix(static_cast<uint64_t>(e.random_stale_limit));
+    h.mix(e.max_backtracks);
+    h.mix(static_cast<uint64_t>(e.max_frames));
+    h.mix(e.collect_tests);
+    h.mix(static_cast<uint64_t>(e.retry_rounds));
+    h.mix(e.retry_backtrack_growth);
+    h.mix(e.retry_backtrack_cap);
+    return h.hex();
+}
+
+std::string shard_journal_path(const std::string& path, size_t index) {
+    return path + ".s" + std::to_string(index);
+}
+
+util::JournalRecord encode_header(const Header& h) {
+    util::JournalRecord rec;
+    rec.set("t", "h")
+        .set("schema", kSchema)
+        .set("fp", h.fingerprint)
+        .set_u64("shards", h.shards);
+    return rec;
+}
+
+util::JournalRecord encode_shard(const ShardOutcome& s) {
+    util::JournalRecord rec;
+    rec.set("t", "sd")
+        .set_u64("i", s.index)
+        .set("path", s.mut_path)
+        .set("st", to_string(s.status))
+        .set_u64("attempts", s.attempts)
+        .set_u64("rec", s.recovered ? 1 : 0)
+        .set_f64("backoff_s", s.backoff_seconds)
+        .set_f64("secs", s.seconds)
+        .set_u64("faults", s.faults)
+        .set_u64("det", s.detected)
+        .set_u64("unt", s.untestable)
+        .set_u64("abt", s.aborted)
+        .set_f64("cov", s.coverage_percent)
+        .set_f64("eff", s.efficiency_percent)
+        .set_u64("vec", s.vectors)
+        .set_u64("rseq", s.random_sequences)
+        .set_u64("pret", s.podem_retries)
+        .set_u64("prec", s.retry_recovered)
+        .set_u64("mutg", s.mut_gates)
+        .set_u64("surg", s.surrounding_gates)
+        .set_u64("piers", s.piers_exposed);
+    if (!s.detail.empty()) rec.set("detail", s.detail);
+    return rec;
+}
+
+namespace {
+
+[[nodiscard]] Load reject(std::string cause, std::string why) {
+    Load out;
+    out.ok = false;
+    out.diagnostic = "campaign.ckpt_" + std::move(cause) + ": " +
+                     std::move(why);
+    return out;
+}
+
+/// Decode one "sd" record; returns a campaign.ckpt_* diagnostic ("" = ok).
+[[nodiscard]] std::string decode_shard(const util::JournalRecord& rec,
+                                       uint64_t num_shards,
+                                       ShardOutcome& out) {
+    const std::string* path = rec.get("path");
+    const std::string* st = rec.get("st");
+    if (path == nullptr || st == nullptr || !rec.has("i") ||
+        !rec.has("faults")) {
+        return "campaign.ckpt_malformed_record: shard record is missing "
+               "required fields";
+    }
+    out.index = rec.get_u64("i");
+    if (out.index >= num_shards) {
+        return "campaign.ckpt_shard_out_of_range: shard index " +
+               std::to_string(out.index) + " in a campaign of " +
+               std::to_string(num_shards) + " shards";
+    }
+    out.mut_path = *path;
+    if (!parse_shard_status(*st, out.status)) {
+        return "campaign.ckpt_bad_status: unknown shard status '" + *st +
+               "'";
+    }
+    if (const std::string* d = rec.get("detail")) out.detail = *d;
+    out.attempts = rec.get_u64("attempts");
+    out.recovered = rec.get_u64("rec") != 0;
+    out.backoff_seconds = rec.get_f64("backoff_s");
+    out.seconds = rec.get_f64("secs");
+    out.faults = rec.get_u64("faults");
+    out.detected = rec.get_u64("det");
+    out.untestable = rec.get_u64("unt");
+    out.aborted = rec.get_u64("abt");
+    out.coverage_percent = rec.get_f64("cov");
+    out.efficiency_percent = rec.get_f64("eff");
+    out.vectors = rec.get_u64("vec");
+    out.random_sequences = rec.get_u64("rseq");
+    out.podem_retries = rec.get_u64("pret");
+    out.retry_recovered = rec.get_u64("prec");
+    out.mut_gates = rec.get_u64("mutg");
+    out.surrounding_gates = rec.get_u64("surg");
+    out.piers_exposed = rec.get_u64("piers");
+    // A recorded shard's counts must close: the engine resolves every
+    // fault (aborting the remainder on a stop) before the supervisor
+    // journals the outcome, so a mismatch means the record captured a
+    // shard mid-flight — a torn shard boundary, never trusted.
+    if (out.detected + out.untestable + out.aborted != out.faults) {
+        return "campaign.ckpt_torn_shard: shard " +
+               std::to_string(out.index) +
+               " counts do not close (detected + untestable + aborted != "
+               "faults) — torn shard boundary";
+    }
+    out.resumed = true;
+    return "";
+}
+
+} // namespace
+
+Load load(const std::string& path, const std::string& expected_fingerprint,
+          size_t num_shards) {
+    util::JournalLoad jl = util::journal_load(path);
+    if (!jl.ok) {
+        return reject("open_failed", "cannot read campaign checkpoint '" +
+                                         path + "': " + jl.error);
+    }
+    if (jl.records.empty()) {
+        return reject("empty", "campaign checkpoint '" + path +
+                                   "' has no trusted records");
+    }
+    const util::JournalRecord& first = jl.records.front();
+    const std::string* t = first.get("t");
+    if (t == nullptr || *t != "h") {
+        return reject("missing_header",
+                      "first record is not a campaign header");
+    }
+    const std::string* schema = first.get("schema");
+    if (schema == nullptr || *schema != kSchema) {
+        return reject("bad_schema",
+                      "expected schema " + std::string(kSchema) + ", got '" +
+                          (schema != nullptr ? *schema : "") + "'");
+    }
+    Load out;
+    const std::string* fp = first.get("fp");
+    out.header.fingerprint = fp != nullptr ? *fp : "";
+    out.header.shards = first.get_u64("shards");
+    if (out.header.fingerprint != expected_fingerprint) {
+        return reject("fingerprint_mismatch",
+                      "campaign checkpoint was written by a different run "
+                      "configuration (design, MUT list or engine options "
+                      "changed)");
+    }
+    if (out.header.shards != num_shards) {
+        return reject("shard_count_mismatch",
+                      "checkpoint has " + std::to_string(out.header.shards) +
+                          " shards, this campaign has " +
+                          std::to_string(num_shards));
+    }
+    std::vector<bool> seen(num_shards, false);
+    for (size_t i = 1; i < jl.records.size(); ++i) {
+        const util::JournalRecord& rec = jl.records[i];
+        const std::string* kind = rec.get("t");
+        if (kind == nullptr || *kind != "sd") {
+            return reject("malformed_record",
+                          "unexpected record type '" +
+                              (kind != nullptr ? *kind : "") +
+                              "' after the header");
+        }
+        ShardOutcome shard;
+        std::string err = decode_shard(rec, num_shards, shard);
+        if (!err.empty()) {
+            Load r;
+            r.ok = false;
+            r.diagnostic = std::move(err);
+            return r;
+        }
+        if (seen[shard.index]) {
+            return reject("duplicate_shard",
+                          "shard " + std::to_string(shard.index) +
+                              " is recorded twice");
+        }
+        seen[shard.index] = true;
+        out.shards.push_back(std::move(shard));
+    }
+    out.ok = true;
+    out.dropped_lines = jl.dropped_lines;
+    return out;
+}
+
+bool Writer::start_fresh(const std::string& path, const Header& h) {
+    fail_reason_.clear();
+    if (!jw_.open(path)) return false;
+    return append_checked(encode_header(h));
+}
+
+bool Writer::start_rewrite(const std::string& path, const Header& h,
+                           const std::vector<ShardOutcome>& done) {
+    fail_reason_.clear();
+    if (!jw_.open_temp(path)) return false;
+    if (!append_checked(encode_header(h))) return false;
+    for (const ShardOutcome& s : done) {
+        if (!append_checked(encode_shard(s))) return false;
+    }
+    return jw_.publish();
+}
+
+bool Writer::append_shard(const ShardOutcome& shard) {
+    return append_checked(encode_shard(shard));
+}
+
+bool Writer::append_checked(const util::JournalRecord& rec) {
+    if (failed()) return false;
+    try {
+        obs::inject_point("campaign.ckpt_write");
+    } catch (const util::FactorError& e) {
+        // Latch instead of throwing: shard workers must not throw across
+        // the pool, and the journal keeps its committed prefix.
+        fail_reason_ = e.what();
+        return false;
+    }
+    return jw_.append(rec);
+}
+
+} // namespace factor::campaign::ckpt

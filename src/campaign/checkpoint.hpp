@@ -1,0 +1,112 @@
+// Campaign checkpoint/resume: the "factor.campaign.ckpt.v1" record schema
+// over util::Journal.
+//
+// A campaign's durable state is simply the set of completed shard
+// outcomes: shard results are deterministic and order-independent (keyed
+// by shard index), so the journal needs one header plus one "sd" record
+// per finished shard, appended in completion order under the supervisor's
+// mutex. The in-flight shard's fine-grained progress lives in its own
+// engine journal ("<campaign>.s<index>", schema factor.ckpt.v1) — on
+// resume, completed shards are restored from their records, and an
+// unfinished shard whose engine journal survives is resumed through the
+// engine's own replay path, byte-identically at any --jobs value.
+//
+// Record stream (one CRC-framed NDJSON line each):
+//   h   header: schema, fingerprint, shard count
+//   sd  one completed shard: index, MUT path, status, attempts, recovered
+//       flag, backoff, the stable result numbers and the (unstable) wall
+//       seconds
+//
+// The fingerprint hashes the top module, the ordered MUT paths, the mode /
+// pier exposure and every engine-template field that shapes a shard's
+// trajectory. It deliberately excludes `jobs` (shards are jobs-invariant)
+// and the campaign wall/work budgets (resuming with a bigger budget to
+// finish a stopped campaign is a supported workflow, the same contract as
+// the engine checkpoint).
+//
+// Validation mirrors atpg::ckpt::load(): journal framing truncates torn
+// tails silently (an interrupted append loses only itself), but a
+// CRC-valid record that is semantically impossible — wrong schema, shard
+// index out of range or duplicated, unknown status name, fault counts that
+// do not add up (a torn shard boundary) — refuses the resume with a named
+// "campaign.ckpt_*" diagnostic rather than risk a silent mis-resume.
+#pragma once
+
+#include "campaign/campaign.hpp"
+#include "util/journal.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace factor::campaign::ckpt {
+
+inline constexpr const char* kSchema = "factor.campaign.ckpt.v1";
+
+struct Header {
+    std::string fingerprint;
+    uint64_t shards = 0;
+};
+
+/// Fingerprint of everything that pins the campaign's shard trajectories.
+[[nodiscard]] std::string fingerprint(const elab::ElaboratedDesign& design,
+                                      const std::vector<std::string>& paths,
+                                      const CampaignOptions& options);
+
+/// The engine-journal path of shard `index` under campaign journal `path`.
+[[nodiscard]] std::string shard_journal_path(const std::string& path,
+                                             size_t index);
+
+struct Load {
+    bool ok = false;
+    /// Named diagnostic on failure, e.g. "campaign.ckpt_bad_schema: ...".
+    /// The leading token before ':' is stable.
+    std::string diagnostic;
+    Header header;
+    std::vector<ShardOutcome> shards; // completed shards, as recorded
+    size_t dropped_lines = 0;         // torn tail truncated by the journal
+};
+
+/// Load and validate a campaign journal against the expected fingerprint
+/// and shard count of the current invocation.
+[[nodiscard]] Load load(const std::string& path,
+                        const std::string& expected_fingerprint,
+                        size_t num_shards);
+
+/// Appends factor.campaign.ckpt.v1 records. IO errors and injected faults
+/// at the "campaign.ckpt_write" site are latched in failed() instead of
+/// thrown — shard workers must not throw across the thread pool, and the
+/// journal keeps its committed prefix for the next --resume.
+class Writer {
+  public:
+    /// Fresh campaign: create/truncate `path`, write the header.
+    [[nodiscard]] bool start_fresh(const std::string& path, const Header& h);
+
+    /// Resume: rebuild the journal as header + restored shard records in
+    /// "<path>.tmp", atomically publish it over `path`, keep appending.
+    [[nodiscard]] bool start_rewrite(const std::string& path, const Header& h,
+                                     const std::vector<ShardOutcome>& done);
+
+    [[nodiscard]] bool append_shard(const ShardOutcome& shard);
+
+    [[nodiscard]] bool active() const { return jw_.is_open(); }
+    [[nodiscard]] bool failed() const {
+        return jw_.failed() || !fail_reason_.empty();
+    }
+    [[nodiscard]] const std::string& error() const {
+        return fail_reason_.empty() ? jw_.error() : fail_reason_;
+    }
+
+  private:
+    [[nodiscard]] bool append_checked(const util::JournalRecord& rec);
+
+    util::JournalWriter jw_;
+    std::string fail_reason_; // injected-fault latch (stream errors live
+                              // in the JournalWriter itself)
+};
+
+// Codecs, exposed for tests and fuzz tooling.
+[[nodiscard]] util::JournalRecord encode_header(const Header& h);
+[[nodiscard]] util::JournalRecord encode_shard(const ShardOutcome& s);
+
+} // namespace factor::campaign::ckpt

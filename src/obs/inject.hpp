@@ -26,6 +26,19 @@
 //                    its committed prefix — the crash-resume test hook)
 //   atpg.ckpt.load   at checkpoint load during --resume (refused with the
 //                    named "ckpt.load_failed" diagnostic)
+//   campaign.shard_start         at the start of every campaign shard; the
+//                    supervisor contains the crash, classifies the shard
+//                    "crashed" and the rest of the campaign proceeds
+//   campaign.shard_start.<path>  same point, but scoped to the shard whose
+//                    MUT path is <path> — a deterministic crash victim at
+//                    any --jobs value (the generic site's nth counter is
+//                    racy across parallel shards)
+//   campaign.aggregate           before the campaign report is assembled
+//                    (campaign classified failed; shard results kept)
+//   campaign.ckpt_write          per campaign-journal record append (latched
+//                    by the campaign writer like atpg.ckpt.write: the
+//                    campaign stops with status Failed and the journal
+//                    keeps its committed prefix)
 //
 // Thread safety: hit() may be reached from parallel ATPG workers. The hit
 // counter is atomic and firing disarms via an atomic exchange, so exactly
@@ -71,6 +84,14 @@ class FaultInjector {
 inline void inject_point(const char* site) {
     FaultInjector& inj = FaultInjector::global();
     if (inj.armed()) inj.hit(site);
+}
+
+/// Injection point with a runtime-built site name (e.g. the per-shard
+/// "campaign.shard_start.<path>" sites). The site string is only built by
+/// callers when the injector is armed, so the disarmed cost stays one load.
+inline void inject_point(const std::string& site) {
+    FaultInjector& inj = FaultInjector::global();
+    if (inj.armed()) inj.hit(site.c_str());
 }
 
 } // namespace factor::obs

@@ -13,6 +13,8 @@ namespace {
         .count();
 }
 
+thread_local std::string t_shard_label; // NOLINT(cert-err58-cpp)
+
 } // namespace
 
 Progress& Progress::global() {
@@ -64,11 +66,29 @@ void Progress::emit_final(const ProgressSnapshot& s) {
     emit(s, /*final_event=*/true);
 }
 
+std::string Progress::set_shard_label(std::string label) {
+    std::string prev = std::move(t_shard_label);
+    t_shard_label = std::move(label);
+    return prev;
+}
+
+const std::string& Progress::shard_label() { return t_shard_label; }
+
 void Progress::emit(const ProgressSnapshot& s, bool final_event) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_.load(std::memory_order_relaxed)) return;
     uint64_t seq = events_.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::string line = progress_doc(s, seq, final_event).to_json();
+    // Engine snapshots know nothing about campaigns; stamp them with the
+    // emitting thread's shard label so per-shard heartbeats stay
+    // attributable. The event line stays exactly progress_doc()'s JSON.
+    const ProgressSnapshot* snap = &s;
+    ProgressSnapshot labeled;
+    if (s.shard.empty() && !t_shard_label.empty()) {
+        labeled = s;
+        labeled.shard = t_shard_label;
+        snap = &labeled;
+    }
+    std::string line = progress_doc(*snap, seq, final_event).to_json();
     line += '\n';
     buffer_ += line;
     if (sink_ == "stderr") {
@@ -87,6 +107,11 @@ Doc progress_doc(const ProgressSnapshot& s, uint64_t seq, bool final_event) {
     d.add("schema", std::string("factor.progress.v1"));
     d.add("seq", seq);
     d.add("phase", std::string(s.phase));
+    if (!s.shard.empty()) d.add("shard", s.shard);
+    if (s.shards_total > 0) {
+        d.add("shards_done", s.shards_done);
+        d.add("shards_total", s.shards_total);
+    }
     d.add("attempt", s.attempt);
     d.add("elapsed_seconds", s.elapsed_seconds);
     d.add("faults_total", s.faults_total);

@@ -34,6 +34,15 @@ namespace factor::obs {
 /// Counts are cumulative across --resume attempts.
 struct ProgressSnapshot {
     const char* phase = "";     // "replay"|"random"|"deterministic"|"retry"
+                                // (campaign supervisor: "campaign")
+    /// Campaign context: the MUT path of the shard this snapshot belongs
+    /// to, plus the campaign's completion counters. Filled by the campaign
+    /// supervisor; engine snapshots inherit the label of the surrounding
+    /// ShardScope (if any) so per-shard heartbeats are attributable even
+    /// though the engine knows nothing about campaigns.
+    std::string shard;
+    uint64_t shards_total = 0;
+    uint64_t shards_done = 0;
     uint64_t faults_total = 0;
     uint64_t faults_done = 0;   // resolved: detected + untestable + aborted
     uint64_t detected = 0;
@@ -96,6 +105,14 @@ class Progress {
         return events_.load(std::memory_order_relaxed);
     }
 
+    /// Thread-local shard label: while set, every snapshot emitted from
+    /// this thread with an empty `shard` field is stamped with it. The
+    /// campaign supervisor wraps each shard in a ShardScope so the engine's
+    /// own heartbeats carry the shard's MUT path. Returns the previous
+    /// label (for restoration).
+    static std::string set_shard_label(std::string label);
+    [[nodiscard]] static const std::string& shard_label();
+
   private:
     void emit(const ProgressSnapshot& s, bool final_event);
 
@@ -108,6 +125,20 @@ class Progress {
     std::string sink_;
     std::ofstream file_;
     std::string buffer_;
+};
+
+/// RAII shard label for campaign shards: construction installs `label` as
+/// this thread's shard label, destruction restores the previous one.
+class ShardScope {
+  public:
+    explicit ShardScope(std::string label)
+        : prev_(Progress::set_shard_label(std::move(label))) {}
+    ShardScope(const ShardScope&) = delete;
+    ShardScope& operator=(const ShardScope&) = delete;
+    ~ShardScope() { (void)Progress::set_shard_label(std::move(prev_)); }
+
+  private:
+    std::string prev_;
 };
 
 /// Render one snapshot as the factor.progress.v1 Doc (exposed for tests:

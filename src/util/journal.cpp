@@ -112,8 +112,14 @@ JournalRecord& JournalRecord::set_u64(std::string key, uint64_t v) {
 
 JournalRecord& JournalRecord::set_f64(std::string key, double v) {
     if (!std::isfinite(v)) v = 0.0;
+    // Shortest representation that parses back to exactly `v`: restored
+    // state must be bit-identical to what the writer computed, or resumed
+    // runs drift from uninterrupted ones in the low mantissa bits.
     char buf[40];
-    std::snprintf(buf, sizeof buf, "%.9g", v);
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
     return set(std::move(key), buf);
 }
 

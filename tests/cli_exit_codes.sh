@@ -2,6 +2,7 @@
 # End-to-end check of the factor CLI's documented exit-code taxonomy:
 #   0 ok (including degraded)   1 input error   2 usage
 #   3 budget/interrupt          4 internal (FactorError at a phase boundary)
+#   5 partial campaign (>=1 shard failed/crashed AND >=1 succeeded)
 # and that --stats-json lands on every exit path, with per-phase statuses.
 #
 # Usage: cli_exit_codes.sh <path-to-factor-binary>
@@ -115,6 +116,41 @@ FACTOR_INJECT_FAULT=atpg.podem "$FACTOR" atpg --builtin=counter8 \
 check_rc "inject atpg.podem (contained)" 0 $?
 check_json "inject atpg.podem (contained)" "$TMP/inj_podem.json" \
   '"phase":"atpg"'
+
+# --- campaigns: exit 0 clean, 5 partial, 3 budget, 1 refusal, 2 usage -------
+"$FACTOR" atpg --builtin=mini_soc --campaign=all \
+  --campaign-report="$TMP/camp.json" \
+  --stats-json="$TMP/camp_stats.json" >/dev/null 2>&1
+check_rc "clean campaign" 0 $?
+check_json "clean campaign" "$TMP/camp.json" \
+  '"schema":"factor.campaign.v1"' '"shards_ok":2' '"status":"ok"'
+check_json "clean campaign stats" "$TMP/camp_stats.json" \
+  '"phase":"campaign"'
+
+# One shard crashes (injected), the other succeeds: the distinct partial
+# exit code, with both the crash and the survivor classified in the report.
+FACTOR_INJECT_FAULT=campaign.shard_start.mini_soc.ctrl \
+  "$FACTOR" atpg --builtin=mini_soc --campaign=all \
+  --campaign-report="$TMP/camp_partial.json" >/dev/null 2>&1
+check_rc "partial campaign (one shard crashed)" 5 $?
+check_json "partial campaign" "$TMP/camp_partial.json" \
+  '"shards_crashed":1' '"shards_ok":1' '"status":"failed"' 'injected fault'
+
+# Every shard out of budget: the plain budget exit code, not partial.
+"$FACTOR" atpg --builtin=mini_soc --campaign=all --work-quota=4 \
+  --shard-retries=0 >/dev/null 2>&1
+check_rc "campaign all shards out of budget" 3 $?
+
+"$FACTOR" atpg --builtin=mini_soc --campaign=mini_soc.nope >/dev/null 2>&1
+check_rc "campaign unknown MUT path" 1 $?
+
+"$FACTOR" atpg mini_soc mini_soc.alu --builtin=mini_soc \
+  --campaign=all >/dev/null 2>&1
+check_rc "campaign with positional MUT path" 2 $?
+
+"$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
+  --campaign=all >/dev/null 2>&1
+check_rc "campaign outside atpg command" 2 $?
 
 # --- SIGINT mid-ATPG: exit 3 and the stats doc still lands ------------------
 "$FACTOR" atpg --builtin=arm2z --budget=60 \

@@ -1,0 +1,746 @@
+// Multi-MUT campaign supervision: determinism, containment, retry and
+// checkpoint/resume.
+//
+// The contract under test (DESIGN.md §10): a campaign's aggregated report
+// is identical at any --jobs value; each shard's result is byte-identical
+// to running that MUT alone; a crash inside one shard (injected at the
+// "campaign.shard_start.<path>" site) is contained and classified without
+// touching any other shard's numbers; budget-exhausted shards retry with
+// escalating budgets and exponential backoff, and the retry accounting is
+// visible in the report; a campaign killed mid-flight (injected at
+// "campaign.ckpt_write" or at the engine's "atpg.ckpt.write") resumes to
+// the same per-shard results as an uninterrupted run; and a campaign
+// checkpoint that fails validation is refused with a named
+// "campaign.ckpt_*" diagnostic, never silently resumed.
+//
+// FACTOR_FUZZ_CORPUS_DIR is provided as a compile definition by
+// tests/CMakeLists.txt and points at tests/fuzz/ in the source tree; the
+// *.cckpt files there carry a fixed fingerprint (kCorpusFp) so the deep
+// validation rules fire instead of the fingerprint gate.
+#include "helpers.hpp"
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "designs/designs.hpp"
+#include "obs/inject.hpp"
+#include "util/journal.hpp"
+#include "util/run_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace factor::test {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignResult;
+using campaign::ShardOutcome;
+using campaign::ShardStatus;
+using util::PhaseStatus;
+
+/// The fingerprint baked into the tests/fuzz/*.cckpt corpus files.
+constexpr const char* kCorpusFp = "feedfacefeedface";
+
+class Campaign : public ::testing::Test {
+  protected:
+    void TearDown() override {
+        obs::FaultInjector::global().disarm();
+        util::RunGuard::clear_interrupt();
+    }
+
+    [[nodiscard]] std::string ckpt_path(const char* name) const {
+        return (std::filesystem::temp_directory_path() /
+                (std::string("factor_test_campaign_") + name + ".ckpt"))
+            .string();
+    }
+
+    /// Remove a campaign journal and its per-shard engine journals.
+    static void cleanup(const std::string& path, size_t shards) {
+        std::remove(path.c_str());
+        for (size_t i = 0; i < shards; ++i) {
+            std::remove(campaign::ckpt::shard_journal_path(path, i).c_str());
+        }
+    }
+};
+
+/// Stable per-shard result numbers (the fields that must be byte-identical
+/// across jobs values, standalone runs and kill/resume; attempts, backoff
+/// and wall seconds legitimately differ across those comparisons).
+void expect_same_results(const ShardOutcome& a, const ShardOutcome& b) {
+    EXPECT_EQ(a.mut_path, b.mut_path);
+    EXPECT_EQ(a.status, b.status) << a.mut_path << ": " << a.detail
+                                  << " vs " << b.detail;
+    EXPECT_EQ(a.faults, b.faults) << a.mut_path;
+    EXPECT_EQ(a.detected, b.detected) << a.mut_path;
+    EXPECT_EQ(a.untestable, b.untestable) << a.mut_path;
+    EXPECT_EQ(a.aborted, b.aborted) << a.mut_path;
+    EXPECT_EQ(a.coverage_percent, b.coverage_percent) << a.mut_path;
+    EXPECT_EQ(a.efficiency_percent, b.efficiency_percent) << a.mut_path;
+    EXPECT_EQ(a.vectors, b.vectors) << a.mut_path;
+    EXPECT_EQ(a.random_sequences, b.random_sequences) << a.mut_path;
+    EXPECT_EQ(a.podem_retries, b.podem_retries) << a.mut_path;
+    EXPECT_EQ(a.retry_recovered, b.retry_recovered) << a.mut_path;
+    EXPECT_EQ(a.mut_gates, b.mut_gates) << a.mut_path;
+    EXPECT_EQ(a.surrounding_gates, b.surrounding_gates) << a.mut_path;
+    EXPECT_EQ(a.piers_exposed, b.piers_exposed) << a.mut_path;
+}
+
+// ---- spec resolution ----------------------------------------------------
+
+TEST_F(Campaign, SpecAllEnumeratesChildInstancesInPreOrder) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto all = campaign::resolve_spec(*b->elaborated, "all");
+    ASSERT_TRUE(all.ok) << all.diagnostic;
+    ASSERT_EQ(all.paths.size(), 2u);
+    EXPECT_EQ(all.paths[0], "mini_soc.ctrl");
+    EXPECT_EQ(all.paths[1], "mini_soc.alu");
+
+    // Explicit lists keep the given order and tolerate whitespace.
+    auto list = campaign::resolve_spec(*b->elaborated,
+                                       "mini_soc.alu , mini_soc.ctrl");
+    ASSERT_TRUE(list.ok) << list.diagnostic;
+    ASSERT_EQ(list.paths.size(), 2u);
+    EXPECT_EQ(list.paths[0], "mini_soc.alu");
+    EXPECT_EQ(list.paths[1], "mini_soc.ctrl");
+}
+
+TEST_F(Campaign, MalformedSpecsRefuseWithNamedDiagnostics) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    const struct {
+        const char* spec;
+        const char* token;
+    } cases[] = {
+        {"", "campaign.bad_spec"},
+        {",", "campaign.bad_spec"},
+        {" , ", "campaign.bad_spec"},
+        {"mini_soc.alu,", "campaign.bad_spec"},
+        {"mini_soc.nope", "campaign.unknown_mut"},
+        {"mini_soc.alu,mini_soc.alu", "campaign.duplicate_mut"},
+    };
+    for (const auto& c : cases) {
+        SCOPED_TRACE(std::string("spec='") + c.spec + "'");
+        auto r = campaign::resolve_spec(*b->elaborated, c.spec);
+        EXPECT_FALSE(r.ok);
+        EXPECT_TRUE(r.muts.empty());
+        EXPECT_NE(r.diagnostic.find(c.token), std::string::npos)
+            << r.diagnostic;
+
+        // End to end: run_campaign turns the refusal into a refused
+        // result, never a crash or an empty "success".
+        CampaignOptions opts;
+        opts.spec = c.spec;
+        CampaignResult cr = campaign::run_campaign(*b->elaborated, opts);
+        EXPECT_TRUE(cr.refused);
+        EXPECT_EQ(cr.status, PhaseStatus::Failed);
+        EXPECT_NE(cr.refusal.find(c.token), std::string::npos);
+    }
+
+    // A leaf design has nothing to campaign over.
+    auto leaf = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(leaf);
+    auto empty = campaign::resolve_spec(*leaf->elaborated, "all");
+    EXPECT_FALSE(empty.ok);
+    EXPECT_NE(empty.diagnostic.find("campaign.empty"), std::string::npos)
+        << empty.diagnostic;
+}
+
+// ---- determinism --------------------------------------------------------
+
+TEST_F(Campaign, AggregatedReportIsIdenticalAcrossJobsValues) {
+    auto b = compile(designs::fir4_source(), designs::kFir4Top);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    opts.jobs = 1;
+    CampaignResult serial = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(serial.refused) << serial.refusal;
+    // taps + coeffs + the four mac8 instances.
+    ASSERT_EQ(serial.shards.size(), 6u);
+    EXPECT_EQ(serial.status, PhaseStatus::Ok) << serial.status_detail;
+
+    for (size_t jobs : {size_t{2}, size_t{4}}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        opts.jobs = jobs;
+        CampaignResult parallel =
+            campaign::run_campaign(*b->elaborated, opts);
+        ASSERT_FALSE(parallel.refused) << parallel.refusal;
+        ASSERT_EQ(parallel.shards.size(), serial.shards.size());
+        for (size_t i = 0; i < serial.shards.size(); ++i) {
+            // Full row equality, timing excluded: same doc the report
+            // renders, so attempts/recovered/resumed are covered too.
+            EXPECT_EQ(parallel.shards[i].doc(false).to_json(),
+                      serial.shards[i].doc(false).to_json())
+                << "shard " << i;
+        }
+        // threads differs by construction; everything else must not.
+        obs::Doc st = serial.totals_doc(false);
+        obs::Doc pt = parallel.totals_doc(false);
+        std::string sj = st.to_json();
+        std::string pj = pt.to_json();
+        auto strip_threads = [](std::string& s) {
+            size_t b0 = s.find("\"threads\":");
+            ASSERT_NE(b0, std::string::npos);
+            size_t e0 = s.find(',', b0);
+            s.erase(b0, e0 - b0 + 1);
+        };
+        strip_threads(sj);
+        strip_threads(pj);
+        EXPECT_EQ(pj, sj);
+    }
+}
+
+TEST_F(Campaign, ShardResultMatchesSingleMutCampaign) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    CampaignResult all = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(all.refused) << all.refusal;
+    ASSERT_EQ(all.shards.size(), 2u);
+
+    // Each shard of the batch is byte-identical to running that MUT as a
+    // one-shard campaign (the standalone pipeline) under the same budget.
+    for (const ShardOutcome& s : all.shards) {
+        SCOPED_TRACE(s.mut_path);
+        CampaignOptions solo;
+        solo.spec = s.mut_path;
+        solo.jobs = 1;
+        CampaignResult one = campaign::run_campaign(*b->elaborated, solo);
+        ASSERT_FALSE(one.refused) << one.refusal;
+        ASSERT_EQ(one.shards.size(), 1u);
+        expect_same_results(s, one.shards[0]);
+    }
+}
+
+// ---- crash containment --------------------------------------------------
+
+TEST_F(Campaign, InjectedShardCrashIsContainedAndOthersAreIdentical) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    opts.jobs = 1;
+    CampaignResult clean = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(clean.refused);
+    ASSERT_EQ(clean.shards.size(), 2u);
+    ASSERT_EQ(clean.status, PhaseStatus::Ok) << clean.status_detail;
+
+    for (size_t jobs : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        opts.jobs = jobs;
+        // The per-path site picks a deterministic victim at any jobs.
+        obs::FaultInjector::global().configure(
+            "campaign.shard_start.mini_soc.ctrl");
+        CampaignResult r = campaign::run_campaign(*b->elaborated, opts);
+        EXPECT_FALSE(obs::FaultInjector::global().armed()); // it fired
+        ASSERT_FALSE(r.refused);
+        ASSERT_EQ(r.shards.size(), 2u);
+
+        // The victim is classified, zeroed and carries the cause.
+        EXPECT_EQ(r.shards[0].status, ShardStatus::Crashed);
+        EXPECT_NE(r.shards[0].detail.find("injected fault"),
+                  std::string::npos)
+            << r.shards[0].detail;
+        EXPECT_EQ(r.shards[0].faults, 0u);
+
+        // The surviving shard's row is byte-identical to the clean run.
+        EXPECT_EQ(r.shards[1].doc(false).to_json(),
+                  clean.shards[1].doc(false).to_json());
+
+        // Aggregate: one crash, campaign failed, detail names the shard.
+        EXPECT_EQ(r.shards_crashed, 1u);
+        EXPECT_EQ(r.shards_ok, 1u);
+        EXPECT_EQ(r.status, PhaseStatus::Failed);
+        EXPECT_NE(r.status_detail.find("shard 0 (mini_soc.ctrl)"),
+                  std::string::npos)
+            << r.status_detail;
+    }
+}
+
+TEST_F(Campaign, AggregationFaultDegradesCampaignButKeepsShardOutcomes) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    obs::FaultInjector::global().configure("campaign.aggregate");
+    CampaignResult r = campaign::run_campaign(*b->elaborated, opts);
+    EXPECT_FALSE(obs::FaultInjector::global().armed());
+    ASSERT_FALSE(r.refused);
+    EXPECT_EQ(r.status, PhaseStatus::Failed);
+    EXPECT_NE(r.status_detail.find("campaign.aggregate_failed"),
+              std::string::npos)
+        << r.status_detail;
+    // The shard outcomes themselves survive the aggregation crash.
+    ASSERT_EQ(r.shards.size(), 2u);
+    EXPECT_EQ(r.shards[0].status, ShardStatus::Ok);
+    EXPECT_EQ(r.shards[1].status, ShardStatus::Ok);
+}
+
+// ---- retry / backoff ----------------------------------------------------
+
+TEST_F(Campaign, BudgetExhaustedShardRetriesWithEscalationAndRecovers) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    opts.jobs = 2;
+    CampaignResult reference = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_EQ(reference.status, PhaseStatus::Ok);
+
+    // A 100-unit campaign quota carves 50 per shard: the ctrl shard's
+    // extraction alone outgrows that, exhausts attempt 1 and completes
+    // under the x4-escalated attempt 2.
+    opts.work_quota = 100;
+    opts.shard_retries = 2;
+    opts.budget_growth = 4;
+    opts.backoff_base_s = 0.002;
+    CampaignResult r = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(r.refused);
+    ASSERT_EQ(r.shards.size(), 2u);
+
+    const ShardOutcome& ctrl = r.shards[0];
+    ASSERT_EQ(ctrl.mut_path, "mini_soc.ctrl");
+    EXPECT_EQ(ctrl.status, ShardStatus::Ok) << ctrl.detail;
+    EXPECT_EQ(ctrl.attempts, 2u);
+    EXPECT_TRUE(ctrl.recovered);
+    EXPECT_GE(ctrl.backoff_seconds, 0.002); // base * 2^0 before attempt 2
+    EXPECT_EQ(r.shards[1].attempts, 1u);
+
+    // Recovery reproduces the unlimited-budget results exactly.
+    for (size_t i = 0; i < 2; ++i) {
+        expect_same_results(r.shards[i], reference.shards[i]);
+    }
+
+    // Retry accounting is visible in the aggregate and in the report.
+    EXPECT_EQ(r.shards_retried, 1u);
+    EXPECT_EQ(r.shards_recovered, 1u);
+    EXPECT_EQ(r.status, PhaseStatus::Ok) << r.status_detail;
+    std::string json = r.to_json();
+    EXPECT_NE(json.find("\"shards_retried\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"shards_recovered\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"backoff_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema\":\"factor.campaign.v1\""),
+              std::string::npos);
+
+    // The retry trajectory is jobs-invariant, accounting included.
+    opts.jobs = 4;
+    CampaignResult r4 = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_EQ(r4.shards.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(r4.shards[i].doc(false).to_json(),
+                  r.shards[i].doc(false).to_json())
+            << "shard " << i;
+    }
+}
+
+TEST_F(Campaign, ExhaustedRetriesClassifyBudgetExhaustedWithoutRecovery) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    // 10 units across 2 shards: 5 then 20 per attempt — never enough.
+    CampaignOptions opts;
+    opts.jobs = 2;
+    opts.work_quota = 10;
+    opts.shard_retries = 1;
+    CampaignResult r = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(r.refused);
+    EXPECT_EQ(r.status, PhaseStatus::BudgetExhausted) << r.status_detail;
+    EXPECT_GE(r.shards_budget_exhausted, 1u);
+    EXPECT_EQ(r.shards_recovered, 0u);
+    for (const ShardOutcome& s : r.shards) {
+        if (s.status != ShardStatus::BudgetExhausted) continue;
+        EXPECT_EQ(s.attempts, 2u) << s.mut_path; // retried, still exhausted
+        EXPECT_FALSE(s.recovered);
+        EXPECT_FALSE(s.detail.empty());
+    }
+}
+
+// ---- checkpoint / resume ------------------------------------------------
+
+TEST_F(Campaign, CampaignJournalCrashThenResumeMatchesUninterrupted) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    CampaignOptions opts;
+    CampaignResult reference;
+    {
+        CampaignOptions ref = opts;
+        ref.jobs = 1;
+        reference = campaign::run_campaign(*b->elaborated, ref);
+        ASSERT_EQ(reference.status, PhaseStatus::Ok);
+    }
+
+    for (size_t jobs : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        const std::string path =
+            ckpt_path(("crash_j" + std::to_string(jobs)).c_str());
+        cleanup(path, 2);
+        opts.jobs = jobs;
+        opts.checkpoint_path = path;
+        opts.resume = false;
+
+        // Hit 1 is the header, hit 2 the first shard record: the campaign
+        // journal dies mid-flight with its committed prefix intact.
+        obs::FaultInjector::global().configure("campaign.ckpt_write", 2);
+        CampaignResult crashed = campaign::run_campaign(*b->elaborated, opts);
+        EXPECT_FALSE(obs::FaultInjector::global().armed());
+        EXPECT_TRUE(crashed.ckpt_failed);
+        EXPECT_EQ(crashed.status, PhaseStatus::Failed);
+        EXPECT_NE(crashed.status_detail.find("campaign.ckpt_write_failed"),
+                  std::string::npos)
+            << crashed.status_detail;
+        auto partial = util::journal_load(path);
+        ASSERT_TRUE(partial.ok);
+        EXPECT_EQ(partial.records.size(), 1u); // header survived
+
+        opts.resume = true;
+        CampaignResult resumed = campaign::run_campaign(*b->elaborated, opts);
+        ASSERT_FALSE(resumed.refused) << resumed.refusal;
+        EXPECT_EQ(resumed.status, PhaseStatus::Ok) << resumed.status_detail;
+        ASSERT_EQ(resumed.shards.size(), 2u);
+        for (size_t i = 0; i < 2; ++i) {
+            expect_same_results(resumed.shards[i], reference.shards[i]);
+        }
+        opts.resume = false;
+        cleanup(path, 2);
+    }
+}
+
+TEST_F(Campaign, EngineJournalCrashResumesInFlightShardAndSkipsDoneOnes) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    // Serial with a 100-unit quota: ctrl (shard 0) exhausts its first
+    // 50-unit attempt, so its engine journal sees enough appends for the
+    // injected write failure to land inside shard 0 deterministically.
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.work_quota = 100;
+    opts.shard_retries = 2;
+    CampaignResult reference = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_EQ(reference.status, PhaseStatus::Ok) << reference.status_detail;
+
+    const std::string path = ckpt_path("engine_crash");
+    cleanup(path, 2);
+    opts.checkpoint_path = path;
+    obs::FaultInjector::global().configure("atpg.ckpt.write", 5);
+    CampaignResult crashed = campaign::run_campaign(*b->elaborated, opts);
+    EXPECT_FALSE(obs::FaultInjector::global().armed());
+    ASSERT_EQ(crashed.shards.size(), 2u);
+    // Shard 0 failed transiently (its engine journal broke); shard 1
+    // completed and was recorded. The campaign journal itself is fine.
+    EXPECT_EQ(crashed.shards[0].status, ShardStatus::Failed);
+    EXPECT_TRUE(crashed.shards[0].transient);
+    EXPECT_NE(crashed.shards[0].detail.find("ckpt.write_failed"),
+              std::string::npos)
+        << crashed.shards[0].detail;
+    EXPECT_EQ(crashed.shards[1].status, ShardStatus::Ok);
+    EXPECT_FALSE(crashed.ckpt_failed);
+    // Shard 0's engine journal survives with its committed prefix.
+    EXPECT_TRUE(std::filesystem::exists(
+        campaign::ckpt::shard_journal_path(path, 0)));
+
+    opts.resume = true;
+    CampaignResult resumed = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(resumed.refused) << resumed.refusal;
+    EXPECT_EQ(resumed.status, PhaseStatus::Ok) << resumed.status_detail;
+    ASSERT_EQ(resumed.shards.size(), 2u);
+    // Shard 1 was restored from the campaign journal, shard 0 re-ran
+    // through the engine's replay path — both byte-identical.
+    EXPECT_TRUE(resumed.shards[1].resumed);
+    EXPECT_FALSE(resumed.shards[0].resumed);
+    EXPECT_EQ(resumed.shards_resumed, 1u);
+    for (size_t i = 0; i < 2; ++i) {
+        expect_same_results(resumed.shards[i], reference.shards[i]);
+    }
+    // A durable shard's engine journal is garbage-collected.
+    EXPECT_FALSE(std::filesystem::exists(
+        campaign::ckpt::shard_journal_path(path, 0)));
+    cleanup(path, 2);
+}
+
+TEST_F(Campaign, CompletedCampaignResumeIsPureRestore) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    const std::string path = ckpt_path("complete");
+    cleanup(path, 2);
+    CampaignOptions opts;
+    opts.jobs = 2;
+    opts.checkpoint_path = path;
+    CampaignResult full = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_EQ(full.status, PhaseStatus::Ok);
+
+    opts.resume = true;
+    CampaignResult resumed = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(resumed.refused) << resumed.refusal;
+    EXPECT_EQ(resumed.shards_resumed, 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        expect_same_results(resumed.shards[i], full.shards[i]);
+        EXPECT_TRUE(resumed.shards[i].resumed);
+    }
+    cleanup(path, 2);
+}
+
+// ---- checkpoint refusals ------------------------------------------------
+
+TEST_F(Campaign, FingerprintPinsTrajectoryShapingInputsOnly) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto spec = campaign::resolve_spec(*b->elaborated, "all");
+    ASSERT_TRUE(spec.ok);
+
+    CampaignOptions opts;
+    const std::string base =
+        campaign::ckpt::fingerprint(*b->elaborated, spec.paths, opts);
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(base,
+              campaign::ckpt::fingerprint(*b->elaborated, spec.paths, opts));
+
+    CampaignOptions changed = opts;
+    changed.engine.seed ^= 1;
+    EXPECT_NE(base, campaign::ckpt::fingerprint(*b->elaborated, spec.paths,
+                                                changed));
+    changed = opts;
+    changed.expose_piers = false;
+    EXPECT_NE(base, campaign::ckpt::fingerprint(*b->elaborated, spec.paths,
+                                                changed));
+    // A different MUT list is a different campaign.
+    std::vector<std::string> fewer = {spec.paths[0]};
+    EXPECT_NE(base,
+              campaign::ckpt::fingerprint(*b->elaborated, fewer, opts));
+
+    // jobs and budgets deliberately do NOT pin the fingerprint: resuming
+    // wider or with a bigger budget is a supported workflow.
+    changed = opts;
+    changed.jobs = 7;
+    changed.work_quota = 12345;
+    changed.total_budget_s = 99.0;
+    changed.shard_retries = 5;
+    changed.backoff_base_s = 1.0;
+    EXPECT_EQ(base, campaign::ckpt::fingerprint(*b->elaborated, spec.paths,
+                                                changed));
+}
+
+TEST_F(Campaign, ChangedConfigurationRefusesResume) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    const std::string path = ckpt_path("fp_mismatch");
+    cleanup(path, 2);
+    CampaignOptions opts;
+    opts.checkpoint_path = path;
+    (void)campaign::run_campaign(*b->elaborated, opts);
+
+    opts.engine.seed ^= 0xff;
+    opts.resume = true;
+    CampaignResult refused = campaign::run_campaign(*b->elaborated, opts);
+    EXPECT_TRUE(refused.refused);
+    EXPECT_EQ(refused.status, PhaseStatus::Failed);
+    EXPECT_NE(refused.refusal.find("campaign.ckpt_fingerprint_mismatch"),
+              std::string::npos)
+        << refused.refusal;
+
+    // Missing journal: a named refusal, not a silent fresh start.
+    opts.engine.seed ^= 0xff;
+    opts.checkpoint_path = ckpt_path("nonexistent");
+    CampaignResult missing = campaign::run_campaign(*b->elaborated, opts);
+    EXPECT_TRUE(missing.refused);
+    EXPECT_NE(missing.refusal.find("campaign.ckpt_open_failed"),
+              std::string::npos)
+        << missing.refusal;
+    cleanup(path, 2);
+}
+
+TEST_F(Campaign, SemanticallyInvalidRecordsRefuseRatherThanTruncate) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto spec = campaign::resolve_spec(*b->elaborated, "all");
+    ASSERT_TRUE(spec.ok);
+    CampaignOptions opts;
+    const std::string fp =
+        campaign::ckpt::fingerprint(*b->elaborated, spec.paths, opts);
+
+    ShardOutcome good;
+    good.index = 0;
+    good.mut_path = "mini_soc.ctrl";
+    good.status = ShardStatus::Ok;
+    good.attempts = 1;
+    good.faults = 10;
+    good.detected = 9;
+    good.untestable = 1;
+
+    struct Case {
+        const char* name;
+        const char* token;
+        std::function<void(util::JournalWriter&)> write;
+    };
+    auto header = campaign::ckpt::encode_header(
+        campaign::ckpt::Header{fp, 2});
+    const std::vector<Case> cases = {
+        {"dup", "campaign.ckpt_duplicate_shard",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(header));
+             ASSERT_TRUE(w.append(campaign::ckpt::encode_shard(good)));
+             ASSERT_TRUE(w.append(campaign::ckpt::encode_shard(good)));
+         }},
+        {"oob", "campaign.ckpt_shard_out_of_range",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(header));
+             ShardOutcome far = good;
+             far.index = 7; // CRC fine, semantics not
+             ASSERT_TRUE(w.append(campaign::ckpt::encode_shard(far)));
+         }},
+        {"status", "campaign.ckpt_bad_status",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(header));
+             auto rec = campaign::ckpt::encode_shard(good);
+             for (auto& [k, v] : rec.fields) {
+                 if (k == "st") v = "melted"; // set() appends, get() reads
+             }                                // the first: edit in place
+             ASSERT_TRUE(w.append(rec));
+         }},
+        {"torn", "campaign.ckpt_torn_shard",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(header));
+             ShardOutcome torn = good;
+             torn.detected = 3; // 3 + 1 + 0 != 10: torn shard boundary
+             ASSERT_TRUE(w.append(campaign::ckpt::encode_shard(torn)));
+         }},
+        {"kind", "campaign.ckpt_malformed_record",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(header));
+             util::JournalRecord odd;
+             odd.set("t", "zz");
+             ASSERT_TRUE(w.append(odd));
+         }},
+        {"count", "campaign.ckpt_shard_count_mismatch",
+         [&](util::JournalWriter& w) {
+             ASSERT_TRUE(w.append(campaign::ckpt::encode_header(
+                 campaign::ckpt::Header{fp, 5})));
+         }},
+    };
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.name);
+        const std::string path = ckpt_path(c.name);
+        {
+            util::JournalWriter w;
+            ASSERT_TRUE(w.open(path));
+            c.write(w);
+        }
+        auto load = campaign::ckpt::load(path, fp, 2);
+        EXPECT_FALSE(load.ok) << "semantically invalid journal accepted";
+        EXPECT_NE(load.diagnostic.find(c.token), std::string::npos)
+            << load.diagnostic;
+
+        // End to end: the campaign refuses the resume and never runs.
+        CampaignOptions ropts;
+        ropts.checkpoint_path = path;
+        ropts.resume = true;
+        CampaignResult r = campaign::run_campaign(*b->elaborated, ropts);
+        EXPECT_TRUE(r.refused);
+        EXPECT_NE(r.refusal.find(c.token), std::string::npos) << r.refusal;
+        std::remove(path.c_str());
+    }
+}
+
+TEST_F(Campaign, TornTailTruncatesAndReRunsTheLostShard) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    const std::string path = ckpt_path("torn_tail");
+    cleanup(path, 2);
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.checkpoint_path = path;
+    CampaignResult full = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_EQ(full.status, PhaseStatus::Ok);
+
+    // Chop into the last shard record: framing truncates it (an
+    // interrupted append loses only itself) and --resume re-runs it.
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 9);
+
+    opts.resume = true;
+    CampaignResult resumed = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(resumed.refused) << resumed.refusal;
+    EXPECT_EQ(resumed.shards_resumed, 1u);
+    for (size_t i = 0; i < 2; ++i) {
+        expect_same_results(resumed.shards[i], full.shards[i]);
+    }
+    cleanup(path, 2);
+}
+
+TEST_F(Campaign, InjectedJournalFaultIsLatchedNotThrown) {
+    campaign::ckpt::Writer w;
+    obs::FaultInjector::global().configure("campaign.ckpt_write", 1);
+    const std::string path = ckpt_path("latched");
+    EXPECT_FALSE(w.start_fresh(path, campaign::ckpt::Header{"0", 1}));
+    EXPECT_TRUE(w.failed());
+    EXPECT_NE(w.error().find("injected fault"), std::string::npos)
+        << w.error();
+    // Latched means latched: later appends refuse without re-arming.
+    EXPECT_FALSE(w.append_shard(ShardOutcome{}));
+    std::remove(path.c_str());
+}
+
+TEST_F(Campaign, FuzzCorpusCampaignCheckpointsNeverResumeSilently) {
+    const std::filesystem::path dir = FACTOR_FUZZ_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+
+    size_t checked = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".cckpt") continue;
+        ++checked;
+        SCOPED_TRACE(entry.path().string());
+        campaign::ckpt::Load load;
+        // The loader must contain arbitrary damage: no throw, and always
+        // a named refusal (the corpus holds no resumable journals).
+        EXPECT_NO_THROW(
+            load = campaign::ckpt::load(entry.path().string(), kCorpusFp, 2));
+        EXPECT_FALSE(load.ok) << "corpus campaign checkpoint accepted";
+        EXPECT_NE(load.diagnostic.find("campaign.ckpt_"), std::string::npos)
+            << "refusal must carry a named campaign.ckpt_* diagnostic, "
+               "got: "
+            << load.diagnostic;
+    }
+    EXPECT_GE(checked, 6u) << "campaign fuzz corpus unexpectedly small";
+}
+
+// ---- campaign-level budget ----------------------------------------------
+
+TEST_F(Campaign, StoppedCampaignGuardSkipsRemainingShardsTransiently) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    util::RunGuard guard(util::GuardLimits{0.0, 1, 0, 0});
+    (void)guard.tick(2); // already exhausted before the campaign starts
+    ASSERT_TRUE(guard.stopped());
+
+    CampaignOptions opts;
+    opts.jobs = 1;
+    opts.guard = &guard;
+    CampaignResult r = campaign::run_campaign(*b->elaborated, opts);
+    ASSERT_FALSE(r.refused);
+    EXPECT_EQ(r.status, PhaseStatus::BudgetExhausted) << r.status_detail;
+    ASSERT_EQ(r.shards.size(), 2u);
+    for (const ShardOutcome& s : r.shards) {
+        EXPECT_EQ(s.status, ShardStatus::BudgetExhausted) << s.mut_path;
+        EXPECT_EQ(s.attempts, 0u); // never started
+        EXPECT_TRUE(s.transient);  // --resume would attempt them
+        EXPECT_NE(s.detail.find("campaign.skipped"), std::string::npos)
+            << s.detail;
+    }
+}
+
+} // namespace
+} // namespace factor::test

@@ -28,13 +28,24 @@
 // 1), never silently resumed. --retry-rounds=<n> re-attempts
 // backtrack-aborted faults with an escalating backtrack budget.
 //
+// Multi-MUT campaigns: --campaign=<all|p1,p2,...> (atpg command only) runs
+// every named MUT as an isolated shard with a budget carved from --budget /
+// --work-quota, retrying budget-exhausted shards with exponential backoff
+// (--shard-retries / --backoff) and x4-growing budgets. The aggregated
+// factor.campaign.v1 report goes to stdout and, with --campaign-report, to
+// a JSON file; --checkpoint/--resume journal completed shards so a killed
+// campaign continues where it stopped (DESIGN.md §10).
+//
 // Exit codes (stable):
 //   0  success (including degraded runs — check "status" in the stats doc)
 //   1  input error: unreadable/unparsable sources, unknown instance path
 //   2  usage error: bad command line
 //   3  budget exhausted or interrupted (SIGINT): partial results written
 //   4  internal error: a FactorError escaped an engine phase
+//   5  partial campaign: >= 1 shard failed/crashed AND >= 1 shard
+//      succeeded; the report classifies every shard
 #include "atpg/engine.hpp"
+#include "campaign/campaign.hpp"
 #include "atpg/scoap.hpp"
 #include "core/extractor.hpp"
 #include "core/testability.hpp"
@@ -74,6 +85,7 @@ constexpr int kExitInput = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBudget = 3;
 constexpr int kExitInternal = 4;
+constexpr int kExitPartial = 5; // campaign: some shards failed, some passed
 
 struct Args {
     std::string command;
@@ -89,6 +101,10 @@ struct Args {
     std::string checkpoint_path;
     bool resume = false;
     size_t retry_rounds = 0;
+    std::string campaign_spec;        // --campaign=<all|p1,p2,...>
+    std::string campaign_report_path; // --campaign-report=<file.json>
+    size_t shard_retries = 1;
+    double backoff = 0.1; // seconds, base of the exponential backoff
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
     size_t jobs = 0; // 0: FACTOR_JOBS env or hardware concurrency
@@ -112,6 +128,9 @@ void usage() {
                  "[--retry-rounds=<n>]\n"
                  "       [--progress=<file|stderr>[,interval-s]] "
                  "[--profile=<file.json>]\n"
+                 "       [--campaign=<all|path,path,...>] "
+                 "[--campaign-report=<file.json>]\n"
+                 "       [--shard-retries=<n>] [--backoff=<seconds>]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
                  "  --checkpoint=<file> journals ATPG progress; --resume "
@@ -122,10 +141,16 @@ void usage() {
                  "heartbeats (default every 1s).\n"
                  "  --profile writes a factor.profile.v1 cost-attribution "
                  "document at exit.\n"
+                 "  --campaign (atpg only) runs every listed MUT as an "
+                 "isolated shard; budgets are\n"
+                 "    carved per shard, budget-exhausted shards retry with "
+                 "backoff and x4 budgets.\n"
                  "  <top> defaults to the builtin name when --builtin is "
                  "given.\n"
                  "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
-                 "interrupt, 4 internal\n");
+                 "interrupt, 4 internal,\n"
+                 "              5 partial campaign (failed and successful "
+                 "shards)\n");
 }
 
 bool needs_mut(const std::string& cmd) {
@@ -224,6 +249,28 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.resume = true;
         } else if (a.rfind("--retry-rounds=", 0) == 0) {
             out.retry_rounds = std::strtoull(a.c_str() + 15, nullptr, 10);
+        } else if (a.rfind("--campaign=", 0) == 0) {
+            out.campaign_spec = a.substr(11);
+            if (out.campaign_spec.empty()) {
+                std::fprintf(stderr,
+                             "--campaign needs 'all' or a comma-separated "
+                             "MUT path list\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--campaign-report=", 0) == 0) {
+            out.campaign_report_path = a.substr(18);
+            if (out.campaign_report_path.empty()) {
+                std::fprintf(stderr, "--campaign-report needs a file path\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--shard-retries=", 0) == 0) {
+            out.shard_retries = std::strtoull(a.c_str() + 16, nullptr, 10);
+        } else if (a.rfind("--backoff=", 0) == 0) {
+            out.backoff = std::atof(a.c_str() + 10);
+            if (out.backoff < 0.0) {
+                std::fprintf(stderr, "--backoff needs seconds >= 0\n");
+                options_ok = false;
+            }
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             options_ok = false;
@@ -269,6 +316,19 @@ bool parse_args(int argc, char** argv, Args& out) {
                          out.command.c_str());
         }
         return false;
+    }
+    if (!out.campaign_spec.empty()) {
+        if (out.command != "atpg") {
+            std::fprintf(stderr,
+                         "--campaign only applies to the atpg command\n");
+            return false;
+        }
+        if (!out.mut_path.empty()) {
+            std::fprintf(stderr,
+                         "--campaign and a positional MUT path are mutually "
+                         "exclusive (the campaign names its MUTs)\n");
+            return false;
+        }
     }
     return !out.command.empty();
 }
@@ -439,8 +499,63 @@ int record_atpg_phase(const atpg::EngineResult& r) {
     return kExitInternal;
 }
 
+/// Multi-MUT campaign: every shard isolated, classified and aggregated
+/// (DESIGN.md §10). Maps the campaign outcome onto the exit taxonomy,
+/// including the campaign-specific partial-success code 5.
+int cmd_campaign(const Args& args, elab::ElaboratedDesign& e) {
+    campaign::CampaignOptions copts;
+    copts.spec = args.campaign_spec;
+    copts.mode = args.mode;
+    copts.expose_piers = args.piers;
+    copts.engine.retry_rounds = args.retry_rounds;
+    copts.jobs = args.jobs;
+    copts.total_budget_s = args.budget;
+    copts.work_quota = args.work_quota;
+    copts.shard_retries = args.shard_retries;
+    copts.backoff_base_s = args.backoff;
+    copts.checkpoint_path = args.checkpoint_path;
+    copts.resume = args.resume;
+    copts.guard = g_guard;
+
+    campaign::CampaignResult r = campaign::run_campaign(e, copts);
+    g_result = r.totals_doc();
+    g_phases.record("campaign", r.status, r.status_detail, r.seconds);
+
+    if (r.refused) {
+        std::fprintf(stderr, "cannot run campaign: %s\n", r.refusal.c_str());
+        return kExitInput;
+    }
+    std::printf("%s", r.to_text().c_str());
+    if (!args.campaign_report_path.empty()) {
+        if (!util::write_file_atomic(args.campaign_report_path,
+                                     r.to_json())) {
+            std::fprintf(stderr, "cannot write campaign report to '%s'\n",
+                         args.campaign_report_path.c_str());
+            return kExitInput;
+        }
+        std::fprintf(stderr, "campaign report written to %s\n",
+                     args.campaign_report_path.c_str());
+    }
+    if (r.ckpt_failed) {
+        std::fprintf(stderr, "campaign checkpoint failed: %s\n",
+                     r.status_detail.c_str());
+        return kExitInternal;
+    }
+    if (g_guard != nullptr &&
+        g_guard->reason() == util::GuardStop::Interrupt) {
+        return kExitBudget;
+    }
+    const uint64_t failures = r.shards_failed + r.shards_crashed;
+    const uint64_t successes = r.shards_ok + r.shards_degraded;
+    if (failures > 0 && successes > 0) return kExitPartial;
+    if (failures > 0) return kExitInternal;
+    if (r.shards_budget_exhausted > 0) return kExitBudget;
+    return kExitOk;
+}
+
 int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
              util::DiagEngine& diags) {
+    if (!args.campaign_spec.empty()) return cmd_campaign(args, e);
     core::TransformBuilder builder(e, diags, g_guard);
     atpg::EngineOptions opts;
     opts.time_budget_s = args.budget;
@@ -591,6 +706,7 @@ bool refuse_unwritable_sinks(const Args& args) {
         {"--trace", args.trace_path},
         {"--profile", args.profile_path},
         {"--progress", args.progress_path},
+        {"--campaign-report", args.campaign_report_path},
     };
     for (const auto& c : checks) {
         if (c.path.empty()) continue;
