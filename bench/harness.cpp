@@ -107,6 +107,31 @@ double atpg_budget_seconds(double fallback) {
     return fallback;
 }
 
+uint64_t atpg_work_quota() {
+    const char* env = std::getenv("FACTOR_BENCH_QUOTA");
+    if (env != nullptr) {
+        long long v = std::atoll(env);
+        if (v > 0) return static_cast<uint64_t>(v);
+    }
+    return 0;
+}
+
+void apply_budget(atpg::EngineOptions& opts, double budget_s,
+                  std::unique_ptr<util::RunGuard>& guard) {
+    const uint64_t quota = atpg_work_quota();
+    if (quota == 0) {
+        opts.time_budget_s = budget_s;
+        return;
+    }
+    // Deterministic stop: guard ticks happen at commit time in fault-list
+    // order, so the run ends on the identical fault on any machine, at any
+    // jobs value and in either sim mode — quality metrics compare exactly.
+    guard = std::make_unique<util::RunGuard>(
+        util::GuardLimits{0.0, quota, 0, 0});
+    opts.time_budget_s = 0.0;
+    opts.guard = guard.get();
+}
+
 namespace {
 
 void rule(int width) {
@@ -217,14 +242,17 @@ std::vector<RawAtpgRow> compute_table4(Context& ctx, double budget_s) {
         opts.random_frames = 8;
         opts.max_backtracks = 300;
         opts.max_frames = 6;
-        opts.time_budget_s = budget_s;
 
         atpg::EngineOptions proc_opts = opts;
+        std::unique_ptr<util::RunGuard> proc_guard;
+        apply_budget(proc_opts, budget_s, proc_guard);
         proc_opts.scope_prefix = core::TransformBuilder::net_prefix(*mut.node);
         row.processor_level = atpg::run_atpg(full, proc_opts);
 
         auto alone = ctx.builder().standalone(*mut.node);
         atpg::EngineOptions alone_opts = opts;
+        std::unique_ptr<util::RunGuard> alone_guard;
+        apply_budget(alone_opts, budget_s, alone_guard);
         row.standalone = atpg::run_atpg(alone, alone_opts);
         rows.push_back(std::move(row));
     }
@@ -276,7 +304,8 @@ compute_table5_or_6(Context& ctx, core::Mode mode, double budget_s) {
 
         atpg::EngineOptions opts;
         opts.scope_prefix = tm.mut_prefix;
-        opts.time_budget_s = budget_s;
+        std::unique_ptr<util::RunGuard> guard;
+        apply_budget(opts, budget_s, guard);
         row.result = atpg::run_atpg(tm.netlist, opts);
         rows.push_back(std::move(row));
     }

@@ -5,7 +5,11 @@
 // Budgets are deliberately tight: the whole point of Table 4 is that
 // processor-level sequential ATPG exhausts any realistic budget. Override
 // the per-run budget with the FACTOR_BENCH_BUDGET environment variable
-// (seconds, floating point).
+// (seconds, floating point). For machine-independent snapshots (the
+// bench/trajectory/ pairs), FACTOR_BENCH_QUOTA replaces the wall clock
+// with a deterministic per-run work quota: the stop lands on the identical
+// fault on any host, at any sim width or mode, so quality metrics compare
+// exactly.
 #pragma once
 
 #include "atpg/engine.hpp"
@@ -74,6 +78,15 @@ struct Context {
 /// Per-run ATPG wall-clock budget in seconds (FACTOR_BENCH_BUDGET or the
 /// default).
 [[nodiscard]] double atpg_budget_seconds(double fallback);
+
+/// Per-run deterministic work quota (FACTOR_BENCH_QUOTA); 0 = wall clock.
+[[nodiscard]] uint64_t atpg_work_quota();
+
+/// Apply the budget policy to one engine run: wall clock by default, or a
+/// fresh work-quota guard (stored in `guard`, which must outlive the run)
+/// when FACTOR_BENCH_QUOTA is set.
+void apply_budget(atpg::EngineOptions& opts, double budget_s,
+                  std::unique_ptr<util::RunGuard>& guard);
 
 // ---- Table computations (reused across binaries) ---------------------------
 

@@ -58,51 +58,64 @@ void Misr::absorb(uint64_t word) {
     state_ = rotated ^ (word & mask);
 }
 
+void Misr::absorb(const uint64_t* words, size_t n) {
+    for (size_t i = 0; i < n; ++i) absorb(words[i]);
+}
+
 BistResult run_bist(const Netlist& nl, const BistOptions& options) {
     BistResult result;
     FaultList list(nl, options.scope_prefix);
-    FaultSimulator sim(nl);
+    const size_t words = resolve_sim_words(options.sim_width);
+    FaultSimulator sim(nl, FaultSimulator::Config{words, SimMode::Auto, {}});
 
     const size_t num_pis = nl.inputs().size();
-    // One LFSR word per 64 input bits, stepped per frame.
-    const size_t lanes = (num_pis + 31) / 32;
+    const size_t lanes = 64 * words;
+    // One LFSR per 32 input bits, stepped per pattern.
+    const size_t ngens = (num_pis + 31) / 32;
     std::vector<Lfsr> gens;
-    for (size_t l = 0; l < lanes; ++l) {
+    for (size_t l = 0; l < ngens; ++l) {
         gens.push_back(Lfsr::maximal(32, options.seed + l * 977));
     }
 
     Misr misr(32, 0);
     size_t applied = 0;
     while (applied < options.patterns) {
-        // Build one sequence; each of the 64 parallel slots gets its own
-        // LFSR phase so a batch covers 64 * frames patterns.
+        // Build one sequence; each of the 64·words parallel slots gets its
+        // own LFSR phase so a batch covers lanes * frames patterns. Lane 0
+        // sees the same stream at every width, keeping the good-machine
+        // signature width-invariant per frame.
         Sequence seq;
         for (size_t f = 0; f < options.frames_per_sequence; ++f) {
             Frame frame;
-            frame.pi.resize(num_pis);
+            frame.words = words;
+            frame.pi.resize(num_pis * words);
             for (size_t i = 0; i < num_pis; ++i) {
-                uint64_t bits = 0;
-                for (unsigned p = 0; p < 64; ++p) {
-                    Lfsr& g = gens[i / 32];
-                    // Derive one pseudo-random bit per (pattern, pin).
-                    uint64_t s = g.step();
-                    bits |= ((s >> (i % 32)) & 1) << p;
+                for (size_t w = 0; w < words; ++w) {
+                    uint64_t bits = 0;
+                    for (unsigned p = 0; p < 64; ++p) {
+                        Lfsr& g = gens[i / 32];
+                        // Derive one pseudo-random bit per (pattern, pin).
+                        uint64_t s = g.step();
+                        bits |= ((s >> (i % 32)) & 1) << p;
+                    }
+                    frame.pi[i * words + w] = V64{bits, ~bits};
                 }
-                frame.pi[i] = V64{bits, ~bits};
             }
             seq.push_back(std::move(frame));
-            applied += 64;
+            applied += lanes;
             if (applied >= options.patterns) break;
         }
         (void)sim.run_and_drop(list, seq);
-        // Good-machine signature over PO stream (slot 0 of each frame).
+        // Good-machine signature over the PO stream (slot 0 of each frame),
+        // compacted 32 outputs per word — no 32-PO truncation.
         auto good = sim.simulate_good(seq);
         for (const auto& frame_pos : good) {
-            uint64_t word = 0;
-            for (size_t o = 0; o < frame_pos.size() && o < 32; ++o) {
-                if (frame_pos[o].one & 1) word |= (1ull << o);
+            std::vector<uint64_t> resp(
+                std::max<size_t>(1, (frame_pos.size() + 31) / 32), 0);
+            for (size_t o = 0; o < frame_pos.size(); ++o) {
+                if (frame_pos[o].one & 1) resp[o / 32] |= (1ull << (o % 32));
             }
-            misr.absorb(word);
+            misr.absorb(resp.data(), resp.size());
         }
     }
     result.patterns_applied = applied;

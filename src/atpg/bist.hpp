@@ -43,6 +43,10 @@ class Misr {
   public:
     explicit Misr(unsigned width, uint64_t seed = 0);
     void absorb(uint64_t word);
+    /// Compact a multi-word response (e.g. one word per 32 primary
+    /// outputs) in order — the width-agnostic form the wide fault-sim
+    /// kernels feed.
+    void absorb(const uint64_t* words, size_t n);
     [[nodiscard]] uint64_t signature() const { return state_; }
 
   private:
@@ -61,6 +65,11 @@ struct BistOptions {
     size_t frames_per_sequence = 16;
     uint64_t seed = 1;
     std::string scope_prefix;
+    /// Parallel-pattern width in bits (64/256/512; 0 = auto like
+    /// EngineOptions::sim_width). Each frame carries 64·words patterns;
+    /// the good-machine signature is always taken over lane 0, so it is
+    /// width-invariant.
+    size_t sim_width = 0;
 };
 
 /// Drive `nl` with LFSR-generated stimulus, fault-simulate with dropping,

@@ -67,6 +67,12 @@ std::string fingerprint(const synth::Netlist& nl, const FaultList& faults,
     h.mix(static_cast<uint64_t>(options.retry_rounds));
     h.mix(static_cast<uint64_t>(options.retry_backtrack_growth));
     h.mix(static_cast<uint64_t>(options.retry_backtrack_cap));
+    // The *resolved* pattern width: a batch is 64·words sequences, so the
+    // random trajectory depends on it. Resolving here (instead of mixing
+    // the raw option) makes an env/auto default change refuse a resume the
+    // same way an explicit --sim-width change does. sim_mode is absent on
+    // purpose — full and event-driven evaluation produce identical results.
+    h.mix(static_cast<uint64_t>(resolve_sim_words(options.sim_width)));
     return h.hex();
 }
 

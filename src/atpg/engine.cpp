@@ -28,7 +28,8 @@ obs::Doc EngineResult::metrics() const {
         .add("time_seconds", test_gen_seconds)
         .add("random_sequences", random_sequences)
         .add("deterministic_tests", deterministic_tests)
-        .add("threads", threads);
+        .add("threads", threads)
+        .add("sim_width_bits", sim_width_bits);
     if (tests_before_compaction > 0) {
         d.add("tests_kept", tests.size())
             .add("tests_before_compaction", tests_before_compaction);
@@ -54,7 +55,9 @@ namespace {
 size_t parallel_run_and_drop(util::ThreadPool& pool,
                              std::vector<FaultSimulator>& sims,
                              FaultList& list, const Sequence& seq) {
-    auto good_po = sims[0].simulate_good(seq);
+    // One cached good-machine snapshot, shared read-only by every
+    // executor's event-driven faulty kernel.
+    auto good = sims[0].simulate_good_cached(seq);
     auto& entries = list.faults();
     const size_t n = entries.size();
     const size_t words = (n + 63) / 64;
@@ -63,7 +66,7 @@ size_t parallel_run_and_drop(util::ThreadPool& pool,
     pool.for_each(n, [&](size_t ex, size_t i) {
         const FaultEntry& e = entries[i];
         if (e.status != FaultStatus::Undetected) return;
-        if (sims[ex].detects(e.fault, seq, good_po)) {
+        if (sims[ex].detects(e.fault, seq, *good)) {
             hits[i / 64].fetch_or(uint64_t{1} << (i % 64),
                                   std::memory_order_relaxed);
         }
@@ -145,12 +148,25 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     }
     const bool combinational = nl.dff_count() == 0;
 
+    // Fault-simulation kernel shape: the resolved width is part of the
+    // checkpoint fingerprint (the random stream depends on it); the mode
+    // is pure mechanism and never changes results.
+    const size_t sim_words = resolve_sim_words(options.sim_width);
+    const SimMode sim_mode = resolve_sim_mode(options.sim_mode);
+    const size_t lanes = 64 * sim_words;
+    result.sim_width_bits = lanes;
+    run_span.attr("sim_width_bits", static_cast<uint64_t>(lanes));
+
     util::ThreadPool pool(jobs);
-    // One simulator per executor: shared read-only netlist and cached
-    // levelization, private value/state scratch.
+    // One simulator per executor: shared read-only netlist, cached
+    // levelization and fanout cones, private value/state scratch.
+    auto cones = std::make_shared<FanoutCones>(nl);
     std::vector<FaultSimulator> sims;
     sims.reserve(pool.executors());
-    for (size_t ex = 0; ex < pool.executors(); ++ex) sims.emplace_back(nl);
+    for (size_t ex = 0; ex < pool.executors(); ++ex) {
+        sims.emplace_back(nl,
+                          FaultSimulator::Config{sim_words, sim_mode, cones});
+    }
     std::mt19937_64 rng(options.seed);
 
     // ---- Cross-attempt progress and continuation state ---------------------
@@ -205,14 +221,14 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     /// — escalation is jobs-invariant by construction.
     auto apply_retry_test = [&](const ScalarSequence& test) {
         Sequence seq = broadcast(test, nl.inputs().size());
-        auto good_po = sims[0].simulate_good(seq);
+        auto good = sims[0].simulate_good_cached(seq);
         size_t recovered = 0;
         for (size_t j = 0; j < n; ++j) {
             if (entries[j].status != FaultStatus::Aborted &&
                 entries[j].status != FaultStatus::Undetected) {
                 continue;
             }
-            if (sims[0].detects(entries[j].fault, seq, good_po)) {
+            if (sims[0].detects(entries[j].fault, seq, *good)) {
                 entries[j].status = FaultStatus::Detected;
                 cause[j] = 0;
                 ++recovered;
@@ -285,7 +301,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     break;
                 }
                 ++batches_done;
-                result.random_sequences += 64;
+                result.random_sequences += lanes;
                 stale = newly == 0 ? stale + 1 : 0;
                 break;
             }
@@ -510,7 +526,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             Sequence seq = sims[0].random_sequence(rng, options.random_frames);
             size_t newly = parallel_run_and_drop(pool, sims, list, seq);
             yield_hist.record(newly);
-            result.random_sequences += 64;
+            result.random_sequences += lanes;
             ckpt::Event ev;
             ev.kind = ckpt::EventKind::RandomBatch;
             ev.batch = batch;
@@ -642,7 +658,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     outcome = 's';
                     ++committed_tests;
                     Sequence seq = broadcast(s.test, nl.inputs().size());
-                    auto good_po = sims[ex].simulate_good(seq);
+                    auto good = sims[ex].simulate_good_cached(seq);
                     size_t newly = 0;
                     for (size_t j = 0; j < n; ++j) {
                         if (status[j].load(std::memory_order_relaxed) !=
@@ -650,7 +666,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                             continue;
                         }
                         if (sims[ex].detects(entries[j].fault, seq,
-                                             good_po)) {
+                                             *good)) {
                             status[j].store(kDetected,
                                             std::memory_order_relaxed);
                             ++newly;

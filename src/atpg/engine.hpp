@@ -1,8 +1,9 @@
 // Sequential ATPG engine: the stand-in for the paper's commercial tool.
 //
 // Two phases, both budgeted:
-//   1. random-pattern phase — batches of 64 random sequences are fault
-//      simulated with fault dropping until the yield dries up;
+//   1. random-pattern phase — batches of 64·W random sequences (W = the
+//      resolved sim-width lane words) are fault simulated with fault
+//      dropping until the yield dries up;
 //   2. deterministic phase — each remaining fault is targeted with
 //      time-frame-expanded PODEM at increasing unroll depths; generated
 //      tests are verified by fault simulation and simulated against the
@@ -78,6 +79,19 @@ struct EngineOptions {
     size_t retry_rounds = 0;
     uint32_t retry_backtrack_growth = 4;
     uint32_t retry_backtrack_cap = 1u << 16;
+
+    // ---- fault-simulation kernel (DESIGN.md §11) ------------------------
+    /// Parallel-pattern width in bits: 64, 256 or 512. 0 = auto — the
+    /// FACTOR_SIM_WIDTH environment variable if set, else the widest
+    /// kernel the build's ISA supports. Width shapes the random-pattern
+    /// stream (a batch is 64·words sequences), so the *resolved* width is
+    /// part of the checkpoint fingerprint: a resume at a different width
+    /// is refused instead of silently replaying a divergent trajectory.
+    size_t sim_width = 0;
+    /// Faulty-machine evaluation strategy (full sweep vs event-driven
+    /// cone simulation). Never changes results — only speed — so it is
+    /// deliberately not fingerprinted; see SimMode.
+    SimMode sim_mode = SimMode::Auto;
 };
 
 struct EngineResult {
@@ -91,6 +105,7 @@ struct EngineResult {
     size_t random_sequences = 0;      // applied in phase 1
     size_t deterministic_tests = 0;   // PODEM successes
     size_t threads = 1;               // executors the run actually used
+    size_t sim_width_bits = 64;       // resolved parallel-pattern width
     bool budget_exhausted = false;    // kept for compat; mirrors status
 
     /// Ok: every fault resolved within budget. BudgetExhausted: the time

@@ -1,6 +1,12 @@
 #include "atpg/fault_sim.hpp"
 
 #include "obs/obs.hpp"
+#include "util/diagnostics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
 
 namespace factor::atpg {
 
@@ -28,14 +34,647 @@ Sequence broadcast(const ScalarSequence& s, size_t num_pis) {
     return out;
 }
 
-FaultSimulator::FaultSimulator(const Netlist& nl)
-    : nl_(nl), topo_(nl.levelize_shared()), dffs_(nl.dffs()) {}
+size_t resolve_sim_words(size_t sim_width_bits) {
+    if (sim_width_bits == 0) {
+        const char* env = std::getenv("FACTOR_SIM_WIDTH");
+        if (env == nullptr || *env == '\0') return default_sim_words();
+        sim_width_bits = static_cast<size_t>(std::atoll(env));
+        if (sim_width_bits != 64 && sim_width_bits != 256 &&
+            sim_width_bits != 512) {
+            throw util::FactorError(
+                "FACTOR_SIM_WIDTH must be 64, 256 or 512 (got '" +
+                std::string(env) + "')");
+        }
+    }
+    switch (sim_width_bits) {
+    case 64: return 1;
+    case 256: return 4;
+    case 512: return 8;
+    default:
+        throw util::FactorError("sim width must be 64, 256 or 512 bits");
+    }
+}
+
+SimMode resolve_sim_mode(SimMode requested) {
+    if (requested != SimMode::Auto) return requested;
+    const char* env = std::getenv("FACTOR_SIM_MODE");
+    if (env == nullptr || *env == '\0') return SimMode::Event;
+    std::string v(env);
+    if (v == "full") return SimMode::Full;
+    if (v == "event") return SimMode::Event;
+    throw util::FactorError("FACTOR_SIM_MODE must be 'full' or 'event' (got '" +
+                            v + "')");
+}
+
+size_t DetectMask::count() const {
+    size_t n = 0;
+    for (size_t w = 0; w < words; ++w) {
+        n += static_cast<size_t>(std::popcount(bits[w]));
+    }
+    return n;
+}
+
+// ------------------------------------------------------------ fanout cones
+
+FanoutCones::FanoutCones(const synth::Netlist& nl)
+    : nl_(nl), fanout_(nl.build_fanout()) {
+    auto topo = nl.levelize_shared();
+    topo_pos_.assign(nl.num_gates(), 0);
+    for (size_t i = 0; i < topo->size(); ++i) {
+        topo_pos_[(*topo)[i]] = static_cast<uint32_t>(i);
+    }
+    dff_index_.assign(nl.num_gates(), kNoDff);
+    auto dffs = nl.dffs();
+    for (size_t i = 0; i < dffs.size(); ++i) {
+        dff_index_[dffs[i]] = static_cast<uint32_t>(i);
+    }
+    // A cone covering most of the combinational logic stops paying for its
+    // member list: fall back to sweeping the shared levelized order (the
+    // dirty-skip still applies) and keep the memory for the small cones.
+    full_threshold_ = std::max<size_t>(256, (topo->size() * 3) / 4);
+}
+
+std::unique_ptr<FanoutCones::Cone> FanoutCones::build(NetId seed) const {
+    auto cone = std::make_unique<Cone>();
+    std::vector<uint8_t> seen_gate(nl_.num_gates(), 0);
+    std::vector<uint8_t> seen_net(nl_.num_nets(), 0);
+    std::vector<NetId> work{seed};
+    seen_net[seed] = 1;
+    // Sequential closure: DFF members contribute their output net back into
+    // the frontier, so feedback through state stays inside the cone.
+    while (!work.empty()) {
+        NetId n = work.back();
+        work.pop_back();
+        for (GateId r : fanout_[n]) {
+            if (seen_gate[r] != 0) continue;
+            seen_gate[r] = 1;
+            const Gate& g = nl_.gate(r);
+            if (g.type == GateType::Dff) {
+                cone->dffs.push_back(dff_index_[r]);
+            } else {
+                cone->gates.push_back(r);
+            }
+            if (g.out != synth::kNoNet && seen_net[g.out] == 0) {
+                seen_net[g.out] = 1;
+                work.push_back(g.out);
+            }
+        }
+    }
+    if (cone->gates.size() > full_threshold_) {
+        cone->full = true;
+        cone->gates.clear();
+        cone->gates.shrink_to_fit();
+        cone->dffs.clear();
+        const size_t ndffs = nl_.dffs().size();
+        cone->dffs.reserve(ndffs);
+        for (size_t i = 0; i < ndffs; ++i) {
+            cone->dffs.push_back(static_cast<uint32_t>(i));
+        }
+        cone->pos.reserve(nl_.outputs().size());
+        for (size_t o = 0; o < nl_.outputs().size(); ++o) {
+            cone->pos.push_back(static_cast<uint32_t>(o));
+        }
+        return cone;
+    }
+    std::sort(cone->gates.begin(), cone->gates.end(),
+              [&](GateId a, GateId b) { return topo_pos_[a] < topo_pos_[b]; });
+    std::sort(cone->dffs.begin(), cone->dffs.end());
+    for (size_t o = 0; o < nl_.outputs().size(); ++o) {
+        if (seen_net[nl_.outputs()[o]] != 0) {
+            cone->pos.push_back(static_cast<uint32_t>(o));
+        }
+    }
+    return cone;
+}
+
+const FanoutCones::Cone& FanoutCones::for_net(NetId net) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cones_.find(net);
+    if (it != cones_.end()) return *it->second;
+    auto cone = build(net);
+    return *cones_.emplace(net, std::move(cone)).first->second;
+}
+
+// -------------------------------------------------------------- wide kernel
 
 namespace {
 
 V64 inject(V64 /*prev*/, bool sa1) { return sa1 ? V64::all1() : V64::all0(); }
 
+template <size_t W>
+VWide<W> inject_wide(bool sa1) {
+    return sa1 ? VWide<W>::all1() : VWide<W>::all0();
+}
+
+template <size_t W>
+inline VWide<W> loadv(const uint64_t* one, const uint64_t* zero, size_t net) {
+    VWide<W> v;
+    const uint64_t* o = one + net * W;
+    const uint64_t* z = zero + net * W;
+    for (size_t w = 0; w < W; ++w) {
+        v.one[w] = o[w];
+        v.zero[w] = z[w];
+    }
+    return v;
+}
+
+template <size_t W>
+inline void storev(uint64_t* one, uint64_t* zero, size_t net,
+                   const VWide<W>& v) {
+    uint64_t* o = one + net * W;
+    uint64_t* z = zero + net * W;
+    for (size_t w = 0; w < W; ++w) {
+        o[w] = v.one[w];
+        z[w] = v.zero[w];
+    }
+}
+
+/// Evaluate one combinational gate; `in(pin, net)` supplies input values
+/// (and is where branch-fault injection hooks in).
+template <size_t W, typename In>
+inline VWide<W> eval_gate(const Gate& g, In&& in) {
+    switch (g.type) {
+    case GateType::Const0: return VWide<W>::all0();
+    case GateType::Const1: return VWide<W>::all1();
+    case GateType::Buf: return in(size_t{0}, g.ins[0]);
+    case GateType::Not: return v_not(in(size_t{0}, g.ins[0]));
+    case GateType::And:
+    case GateType::Nand: {
+        VWide<W> out = VWide<W>::all1();
+        for (size_t i = 0; i < g.ins.size(); ++i) {
+            out = v_and(out, in(i, g.ins[i]));
+        }
+        if (g.type == GateType::Nand) out = v_not(out);
+        return out;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+        VWide<W> out = VWide<W>::all0();
+        for (size_t i = 0; i < g.ins.size(); ++i) {
+            out = v_or(out, in(i, g.ins[i]));
+        }
+        if (g.type == GateType::Nor) out = v_not(out);
+        return out;
+    }
+    case GateType::Xor:
+        return v_xor(in(size_t{0}, g.ins[0]), in(size_t{1}, g.ins[1]));
+    case GateType::Xnor:
+        return v_not(
+            v_xor(in(size_t{0}, g.ins[0]), in(size_t{1}, g.ins[1])));
+    case GateType::Mux:
+        return v_mux(in(size_t{0}, g.ins[0]), in(size_t{1}, g.ins[1]),
+                     in(size_t{2}, g.ins[2]));
+    case GateType::Dff: break; // state handled outside the gate loop
+    }
+    return VWide<W>::all_x();
+}
+
 } // namespace
+
+class FaultSimulator::KernelBase {
+  public:
+    virtual ~KernelBase() = default;
+    [[nodiscard]] virtual std::shared_ptr<const GoodSim>
+    simulate_good(const Sequence& seq) = 0;
+    /// `cones` non-null selects the event-driven path.
+    [[nodiscard]] virtual DetectMask
+    faulty_detect(const Fault& fault, const Sequence& seq, const GoodSim& good,
+                  bool stop_at_first, FanoutCones* cones) = 0;
+};
+
+template <size_t W>
+class FaultSimulator::Kernel final : public FaultSimulator::KernelBase {
+  public:
+    Kernel(const Netlist& nl,
+           std::shared_ptr<const std::vector<GateId>> topo,
+           std::vector<GateId> dffs)
+        : nl_(nl), topo_(std::move(topo)), dffs_(std::move(dffs)) {}
+
+    std::shared_ptr<const GoodSim> simulate_good(const Sequence& seq) override {
+        static obs::Counter& frames_counter =
+            obs::counter("fault_sim.good_frames");
+        static obs::Counter& evals_counter =
+            obs::counter("fault_sim.gate_evals");
+        frames_counter.add(seq.size());
+        evals_counter.add(seq.size() * topo_->size());
+
+        auto gs = std::make_shared<GoodSim>();
+        gs->words = W;
+        gs->frames = seq.size();
+        gs->nets = nl_.num_nets();
+        const size_t stride = gs->nets * W;
+        gs->one.assign(stride * seq.size(), 0);
+        gs->zero.assign(stride * seq.size(), 0);
+        sone_.assign(dffs_.size() * W, 0);
+        szero_.assign(dffs_.size() * W, 0);
+
+        for (size_t f = 0; f < seq.size(); ++f) {
+            uint64_t* one = gs->one.data() + f * stride;
+            uint64_t* zero = gs->zero.data() + f * stride;
+            load_frame(seq[f], one, zero);
+            for (size_t i = 0; i < dffs_.size(); ++i) {
+                NetId q = nl_.gate(dffs_[i]).out;
+                std::memcpy(one + q * W, sone_.data() + i * W,
+                            W * sizeof(uint64_t));
+                std::memcpy(zero + q * W, szero_.data() + i * W,
+                            W * sizeof(uint64_t));
+            }
+            auto in = [&](size_t, NetId net) {
+                return loadv<W>(one, zero, net);
+            };
+            for (GateId gid : *topo_) {
+                const Gate& g = nl_.gate(gid);
+                if (g.type == GateType::Dff) continue;
+                storev<W>(one, zero, g.out, eval_gate<W>(g, in));
+            }
+            for (size_t i = 0; i < dffs_.size(); ++i) {
+                // Next state: sample D; a fault-free DFF just copies.
+                NetId d = nl_.gate(dffs_[i]).ins[0];
+                std::memcpy(sone_.data() + i * W, one + d * W,
+                            W * sizeof(uint64_t));
+                std::memcpy(szero_.data() + i * W, zero + d * W,
+                            W * sizeof(uint64_t));
+            }
+        }
+        return gs;
+    }
+
+    DetectMask faulty_detect(const Fault& fault, const Sequence& seq,
+                             const GoodSim& good, bool stop_at_first,
+                             FanoutCones* cones) override {
+        if (cones != nullptr) {
+            return event_detect(fault, seq, good, stop_at_first, *cones);
+        }
+        return full_detect(fault, seq, good, stop_at_first);
+    }
+
+  private:
+    /// Load PI planes for one frame (missing words/lanes stay X) on top of
+    /// an all-X frame slice.
+    void load_frame(const Frame& frame, uint64_t* one, uint64_t* zero) {
+        std::memset(one, 0, nl_.num_nets() * W * sizeof(uint64_t));
+        std::memset(zero, 0, nl_.num_nets() * W * sizeof(uint64_t));
+        const auto& inputs = nl_.inputs();
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            for (size_t w = 0; w < W; ++w) {
+                const size_t idx = i * frame.words + w;
+                if (w >= frame.words || idx >= frame.pi.size()) break;
+                one[inputs[i] * W + w] = frame.pi[idx].one;
+                zero[inputs[i] * W + w] = frame.pi[idx].zero;
+            }
+        }
+    }
+
+    /// Full-sweep faulty evaluation (SimMode::Full): the legacy algorithm,
+    /// widened. Every frame re-evaluates the whole levelized order.
+    DetectMask full_detect(const Fault& fault, const Sequence& seq,
+                           const GoodSim& good, bool stop_at_first) {
+        static obs::Counter& frames_counter =
+            obs::counter("fault_sim.faulty_frames");
+        static obs::Counter& evals_counter =
+            obs::counter("fault_sim.gate_evals");
+        const size_t nets = nl_.num_nets();
+        fone_.assign(nets * W, 0);
+        fzero_.assign(nets * W, 0);
+        sone_.assign(dffs_.size() * W, 0);
+        szero_.assign(dffs_.size() * W, 0);
+        const VWide<W> inj = inject_wide<W>(fault.sa1);
+
+        DetectMask det;
+        det.words = W;
+        size_t frames_run = 0;
+        for (size_t f = 0; f < seq.size(); ++f) {
+            ++frames_run;
+            uint64_t* one = fone_.data();
+            uint64_t* zero = fzero_.data();
+            load_frame(seq[f], one, zero);
+            for (size_t i = 0; i < dffs_.size(); ++i) {
+                NetId q = nl_.gate(dffs_[i]).out;
+                std::memcpy(one + q * W, sone_.data() + i * W,
+                            W * sizeof(uint64_t));
+                std::memcpy(zero + q * W, szero_.data() + i * W,
+                            W * sizeof(uint64_t));
+            }
+            // Stem fault on a PI / DFF output / undriven net applies
+            // immediately; a comb-driven stem is overridden after its
+            // driver evaluates.
+            if (fault.is_stem()) {
+                GateId d = nl_.driver(fault.net);
+                if (d == Netlist::kNoGate ||
+                    nl_.gate(d).type == GateType::Dff) {
+                    storev<W>(one, zero, fault.net, inj);
+                }
+            }
+            bool inject_pins = false; // evaluating the faulted gate now
+            auto in = [&](size_t pin, NetId net) {
+                if (inject_pins && pin == static_cast<size_t>(fault.pin)) {
+                    return inj;
+                }
+                return loadv<W>(one, zero, net);
+            };
+            for (GateId gid : *topo_) {
+                const Gate& g = nl_.gate(gid);
+                if (g.type == GateType::Dff) continue;
+                inject_pins = !fault.is_stem() && fault.gate == gid;
+                VWide<W> out = eval_gate<W>(g, in);
+                if (fault.is_stem() && fault.net == g.out) out = inj;
+                storev<W>(one, zero, g.out, out);
+            }
+            const uint64_t* gone = good.one_at(f);
+            const uint64_t* gzero = good.zero_at(f);
+            for (size_t o = 0; o < nl_.outputs().size(); ++o) {
+                NetId po = nl_.outputs()[o];
+                // Definite detection: both binary and different.
+                for (size_t w = 0; w < W; ++w) {
+                    det.bits[w] |= (gone[po * W + w] & zero[po * W + w]) |
+                                   (gzero[po * W + w] & one[po * W + w]);
+                }
+            }
+            if (det.all()) break;
+            if (stop_at_first && det.any()) break;
+            for (size_t i = 0; i < dffs_.size(); ++i) {
+                // A stem fault on the DFF output reasserts every frame
+                // (handled above), so plain sampling is correct here.
+                NetId d = nl_.gate(dffs_[i]).ins[0];
+                std::memcpy(sone_.data() + i * W, one + d * W,
+                            W * sizeof(uint64_t));
+                std::memcpy(szero_.data() + i * W, zero + d * W,
+                            W * sizeof(uint64_t));
+            }
+        }
+        frames_counter.add(frames_run);
+        evals_counter.add(frames_run * topo_->size());
+        return det;
+    }
+
+    /// Event-driven faulty evaluation (SimMode::Event): only gates of the
+    /// fault's sequential fanout cone whose inputs actually diverge from
+    /// the cached good machine are re-evaluated. Everything outside the
+    /// cone provably equals the good machine (the cone is the sequential
+    /// closure of every net the fault can reach), and a cone gate with no
+    /// diverged input reproduces its good value — skipping either cannot
+    /// change the mask, so this path is exactly equivalent to full_detect.
+    DetectMask event_detect(const Fault& fault, const Sequence& seq,
+                            const GoodSim& good, bool stop_at_first,
+                            FanoutCones& cones) {
+        static obs::Counter& frames_counter =
+            obs::counter("fault_sim.faulty_frames");
+        static obs::Counter& evals_counter =
+            obs::counter("fault_sim.gate_evals");
+        static obs::Counter& skipped_counter =
+            obs::counter("fault_sim.events_skipped");
+        const FanoutCones::Cone& cone = cones.for_net(fault.net);
+        const auto& fanout = cones.fanout();
+        const size_t nets = nl_.num_nets();
+        if (fone_.size() != nets * W) {
+            fone_.assign(nets * W, 0);
+            fzero_.assign(nets * W, 0);
+        }
+        if (div_mark_.size() != nets) {
+            div_mark_.assign(nets, 0);
+            dirty_mark_.assign(nl_.num_gates(), 0);
+            frame_epoch_ = 0;
+        }
+        sone_.assign(dffs_.size() * W, 0);
+        szero_.assign(dffs_.size() * W, 0);
+        fstate_div_.assign(dffs_.size(), 0);
+        const VWide<W> inj = inject_wide<W>(fault.sa1);
+        const bool stem = fault.is_stem();
+        const GateId branch_gate =
+            !stem && nl_.gate(fault.gate).type != GateType::Dff
+                ? fault.gate
+                : Netlist::kNoGate;
+
+        uint64_t* fone = fone_.data();
+        uint64_t* fzero = fzero_.data();
+        auto mark_readers = [&](NetId net) {
+            // Every reader of a divergeable net is a cone member by
+            // construction; DFF readers are marked harmlessly (the gate
+            // loop never visits them).
+            for (GateId r : fanout[net]) dirty_mark_[r] = frame_epoch_;
+        };
+
+        DetectMask det;
+        det.words = W;
+        size_t frames_run = 0;
+        size_t evals = 0;
+        for (size_t f = 0; f < seq.size(); ++f) {
+            ++frames_run;
+            ++frame_epoch_;
+            const uint64_t* gone = good.one_at(f);
+            const uint64_t* gzero = good.zero_at(f);
+            auto good_of = [&](NetId net) {
+                return loadv<W>(gone, gzero, net);
+            };
+            auto diverge = [&](NetId net, const VWide<W>& v) {
+                storev<W>(fone, fzero, net, v);
+                div_mark_[net] = frame_epoch_;
+                mark_readers(net);
+            };
+
+            // Seed 1: faulty DFF state that differs from the good state.
+            for (uint32_t i : cone.dffs) {
+                if (fstate_div_[i] == 0) continue;
+                NetId q = nl_.gate(dffs_[i]).out;
+                VWide<W> fv = loadv<W>(sone_.data(), szero_.data(), i);
+                if (fv != good_of(q)) diverge(q, fv);
+            }
+            // Seed 2: stem injection pins the net for the whole frame (the
+            // driver override below reproduces it, so the seed is final).
+            if (stem) {
+                if (inj != good_of(fault.net)) {
+                    diverge(fault.net, inj);
+                } else {
+                    div_mark_[fault.net] = 0; // heal a state-seeded mark
+                }
+            }
+            // Seed 3: a branch fault's gate always re-evaluates.
+            if (branch_gate != Netlist::kNoGate) {
+                dirty_mark_[branch_gate] = frame_epoch_;
+            }
+
+            bool inject_pins = false; // evaluating the faulted gate now
+            auto in = [&](size_t pin, NetId net) {
+                if (inject_pins && pin == static_cast<size_t>(fault.pin)) {
+                    return inj;
+                }
+                return div_mark_[net] == frame_epoch_
+                           ? loadv<W>(fone, fzero, net)
+                           : good_of(net);
+            };
+            const std::vector<GateId>& gates =
+                cone.full ? *topo_ : cone.gates;
+            for (GateId gid : gates) {
+                if (dirty_mark_[gid] != frame_epoch_) continue;
+                const Gate& g = nl_.gate(gid);
+                if (g.type == GateType::Dff) continue;
+                inject_pins = gid == branch_gate;
+                VWide<W> out = eval_gate<W>(g, in);
+                if (stem && fault.net == g.out) out = inj;
+                ++evals;
+                if (div_mark_[g.out] == frame_epoch_) {
+                    // Stem-injected output: the seed already published the
+                    // (identical) value and marked the readers.
+                    continue;
+                }
+                if (out != good_of(g.out)) diverge(g.out, out);
+            }
+
+            // Detection can only happen at POs inside the cone, and only
+            // where the faulty value actually diverged.
+            for (uint32_t o : cone.pos) {
+                NetId po = nl_.outputs()[o];
+                if (div_mark_[po] != frame_epoch_) continue;
+                for (size_t w = 0; w < W; ++w) {
+                    det.bits[w] |= (gone[po * W + w] & fzero[po * W + w]) |
+                                   (gzero[po * W + w] & fone[po * W + w]);
+                }
+            }
+            if (det.all()) break;
+            if (stop_at_first && det.any()) break;
+            // Next faulty state: only cone DFFs can diverge; a DFF whose D
+            // net matches the good machine implicitly tracks good state.
+            for (uint32_t i : cone.dffs) {
+                NetId d = nl_.gate(dffs_[i]).ins[0];
+                if (div_mark_[d] == frame_epoch_) {
+                    std::memcpy(sone_.data() + i * W, fone + d * W,
+                                W * sizeof(uint64_t));
+                    std::memcpy(szero_.data() + i * W, fzero + d * W,
+                                W * sizeof(uint64_t));
+                    fstate_div_[i] = 1;
+                } else {
+                    fstate_div_[i] = 0;
+                }
+            }
+        }
+        frames_counter.add(frames_run);
+        evals_counter.add(evals);
+        skipped_counter.add(frames_run * topo_->size() - evals);
+        return det;
+    }
+
+    const Netlist& nl_;
+    std::shared_ptr<const std::vector<GateId>> topo_;
+    std::vector<GateId> dffs_; // owned copy: kernels outlive simulator moves
+    // Scratch reused across calls.
+    std::vector<uint64_t> fone_, fzero_;   // faulty net planes
+    std::vector<uint64_t> sone_, szero_;   // DFF state planes
+    std::vector<uint8_t> fstate_div_;      // per-DFF state-diverged flag
+    std::vector<uint64_t> div_mark_;       // per-net diverged-this-frame
+    std::vector<uint64_t> dirty_mark_;     // per-gate needs-eval-this-frame
+    uint64_t frame_epoch_ = 0;
+};
+
+// ----------------------------------------------------------- FaultSimulator
+
+FaultSimulator::FaultSimulator(const Netlist& nl)
+    : FaultSimulator(nl, Config{}) {}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, Config cfg)
+    : nl_(nl), topo_(nl.levelize_shared()), dffs_(nl.dffs()),
+      words_(cfg.words == 0 ? 1 : cfg.words),
+      mode_(resolve_sim_mode(cfg.mode)), cones_(std::move(cfg.cones)) {
+    if (!is_supported_sim_words(words_)) {
+        throw util::FactorError("unsupported sim width: " +
+                                std::to_string(words_ * 64) + " bits");
+    }
+}
+
+FaultSimulator::FaultSimulator(FaultSimulator&&) noexcept = default;
+FaultSimulator::~FaultSimulator() = default;
+
+FaultSimulator::KernelBase& FaultSimulator::kernel_for(size_t words) {
+    const size_t slot = words == 8 ? 2 : words == 4 ? 1 : 0;
+    auto& k = kernels_[slot];
+    if (k == nullptr) {
+        switch (slot) {
+        case 2: k = std::make_unique<Kernel<8>>(nl_, topo_, dffs_); break;
+        case 1: k = std::make_unique<Kernel<4>>(nl_, topo_, dffs_); break;
+        default: k = std::make_unique<Kernel<1>>(nl_, topo_, dffs_); break;
+        }
+    }
+    return *k;
+}
+
+namespace {
+
+/// Effective lane words of a stimulus under a simulator width: never wider
+/// than either, rounded down to an instantiated kernel width. A broadcast
+/// (scalar) sequence therefore costs 64-bit work even on a 512-bit
+/// simulator.
+size_t effective_words(size_t sim_words, const Sequence& seq) {
+    size_t seq_words = 1;
+    for (const Frame& f : seq) seq_words = std::max(seq_words, f.words);
+    size_t w = std::min(sim_words, seq_words);
+    if (w >= 8) return 8;
+    if (w >= 4) return 4;
+    return 1;
+}
+
+} // namespace
+
+std::shared_ptr<const GoodSim>
+FaultSimulator::simulate_good_cached(const Sequence& seq) {
+    return kernel_for(effective_words(words_, seq)).simulate_good(seq);
+}
+
+DetectMask FaultSimulator::wide_detect(const Fault& fault, const Sequence& seq,
+                                       const GoodSim& good,
+                                       bool stop_at_first) {
+    FanoutCones* cones = nullptr;
+    if (mode_ == SimMode::Event) {
+        if (cones_ == nullptr) cones_ = std::make_shared<FanoutCones>(nl_);
+        cones = cones_.get();
+    }
+    return kernel_for(good.words).faulty_detect(fault, seq, good,
+                                                stop_at_first, cones);
+}
+
+DetectMask FaultSimulator::detect_mask(const Fault& fault, const Sequence& seq,
+                                       const GoodSim& good) {
+    return wide_detect(fault, seq, good, /*stop_at_first=*/false);
+}
+
+bool FaultSimulator::detects(const Fault& fault, const Sequence& seq,
+                             const GoodSim& good) {
+    return wide_detect(fault, seq, good, /*stop_at_first=*/true).any();
+}
+
+size_t FaultSimulator::run_and_drop(FaultList& list, const Sequence& seq) {
+    auto good = simulate_good_cached(seq);
+    size_t newly = 0;
+    for (auto& entry : list.faults()) {
+        if (entry.status != FaultStatus::Undetected) continue;
+        // A drop only needs existence, not the full mask: stop at the
+        // first detecting frame instead of re-simulating the whole
+        // sequence for an already-caught fault.
+        if (detects(entry.fault, seq, *good)) {
+            entry.status = FaultStatus::Detected;
+            ++newly;
+        }
+    }
+    static obs::Counter& calls = obs::counter("fault_sim.run_and_drop");
+    static obs::Counter& dropped = obs::counter("fault_sim.faults_dropped");
+    calls.add(1);
+    dropped.add(newly);
+    return newly;
+}
+
+std::vector<std::vector<V64>>
+FaultSimulator::simulate_good(const Sequence& seq) {
+    auto good = simulate_good_cached(seq);
+    std::vector<std::vector<V64>> po_per_frame;
+    po_per_frame.reserve(seq.size());
+    for (size_t f = 0; f < seq.size(); ++f) {
+        std::vector<V64> pos;
+        pos.reserve(nl_.outputs().size());
+        for (NetId po : nl_.outputs()) pos.push_back(good->word0(f, po));
+        po_per_frame.push_back(std::move(pos));
+    }
+    return po_per_frame;
+}
+
+// ------------------------------------------------- legacy 64-bit reference
 
 void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
                                 const std::vector<V64>& state,
@@ -45,7 +684,10 @@ void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
 
     const auto& inputs = nl_.inputs();
     for (size_t i = 0; i < inputs.size(); ++i) {
-        value[inputs[i]] = i < frame.pi.size() ? frame.pi[i] : V64::all_x();
+        // Lane word 0 of input i (wide frames interleave words PI-major).
+        const size_t idx = i * frame.words;
+        value[inputs[i]] =
+            idx < frame.pi.size() ? frame.pi[idx] : V64::all_x();
     }
     for (size_t i = 0; i < dffs_.size(); ++i) {
         value[nl_.gate(dffs_[i]).out] = state[i];
@@ -119,32 +761,6 @@ void FaultSimulator::eval_frame(std::vector<V64>& value, const Frame& frame,
     }
 }
 
-std::vector<std::vector<V64>>
-FaultSimulator::simulate_good(const Sequence& seq) {
-    // Cached reference: registry lookups stay off the simulation path.
-    static obs::Counter& frames_counter = obs::counter("fault_sim.good_frames");
-    static obs::Counter& evals_counter = obs::counter("fault_sim.gate_evals");
-    frames_counter.add(seq.size());
-    evals_counter.add(seq.size() * topo_->size());
-    value_.assign(nl_.num_nets(), V64::all_x());
-    state_.assign(dffs_.size(), V64::all_x());
-    std::vector<std::vector<V64>> po_per_frame;
-    po_per_frame.reserve(seq.size());
-
-    for (const Frame& frame : seq) {
-        eval_frame(value_, frame, state_, nullptr);
-        std::vector<V64> pos;
-        pos.reserve(nl_.outputs().size());
-        for (NetId po : nl_.outputs()) pos.push_back(value_[po]);
-        po_per_frame.push_back(std::move(pos));
-        for (size_t i = 0; i < dffs_.size(); ++i) {
-            // Next state: sample D; a fault-free DFF just copies.
-            state_[i] = value_[nl_.gate(dffs_[i]).ins[0]];
-        }
-    }
-    return po_per_frame;
-}
-
 uint64_t FaultSimulator::faulty_detect(
     const Fault& fault, const Sequence& seq,
     const std::vector<std::vector<V64>>& good_po, bool stop_at_first) {
@@ -192,36 +808,19 @@ bool FaultSimulator::detects(const Fault& fault, const Sequence& seq,
     return faulty_detect(fault, seq, good_po, /*stop_at_first=*/true) != 0;
 }
 
-size_t FaultSimulator::run_and_drop(FaultList& list, const Sequence& seq) {
-    auto good_po = simulate_good(seq);
-    size_t newly = 0;
-    for (auto& entry : list.faults()) {
-        if (entry.status != FaultStatus::Undetected) continue;
-        // A drop only needs existence, not the full mask: stop at the
-        // first detecting frame instead of re-simulating the whole
-        // sequence for an already-caught fault.
-        if (detects(entry.fault, seq, good_po)) {
-            entry.status = FaultStatus::Detected;
-            ++newly;
-        }
-    }
-    static obs::Counter& calls = obs::counter("fault_sim.run_and_drop");
-    static obs::Counter& dropped = obs::counter("fault_sim.faults_dropped");
-    calls.add(1);
-    dropped.add(newly);
-    return newly;
-}
-
 Sequence FaultSimulator::random_sequence(std::mt19937_64& rng,
                                          size_t frames) const {
     Sequence seq;
     seq.reserve(frames);
     for (size_t f = 0; f < frames; ++f) {
         Frame frame;
-        frame.pi.reserve(nl_.inputs().size());
+        frame.words = words_;
+        frame.pi.reserve(nl_.inputs().size() * words_);
         for (size_t i = 0; i < nl_.inputs().size(); ++i) {
-            uint64_t r = rng();
-            frame.pi.push_back(V64{r, ~r});
+            for (size_t w = 0; w < words_; ++w) {
+                uint64_t r = rng();
+                frame.pi.push_back(V64{r, ~r});
+            }
         }
         seq.push_back(std::move(frame));
     }

@@ -1,4 +1,4 @@
-// Sequential fault simulation, 64 test sequences in parallel
+// Sequential fault simulation, 64·W test sequences in parallel
 // (parallel-pattern single-fault propagation).
 //
 // The simulator drives the netlist as a synchronous machine: every frame it
@@ -7,6 +7,18 @@
 // outputs, and clocks the DFF state. Flip-flops start unknown (X); a fault
 // counts as detected in a sequence only when a primary output is binary in
 // both machines and differs — the conservative definite-detection rule.
+//
+// Two compounding speed axes over the classic full-sweep 64-bit kernel
+// (DESIGN.md §11):
+//   * width — the kernel is instantiated for 1/4/8 lane words (64/256/512
+//     patterns per block) over the VWide<W> planes of logic.hpp;
+//   * work  — event-driven faulty evaluation re-simulates only the gates of
+//     the fault's sequential fanout cone whose inputs actually diverge from
+//     the cached good-machine values; everything outside the cone provably
+//     equals the good machine, so skipping it cannot change a mask.
+// Both axes preserve the byte-identical determinism contract: for the same
+// stimulus, every (width, mode) combination produces the same detections
+// for the lanes it simulates.
 #pragma once
 
 #include "atpg/fault.hpp"
@@ -15,18 +27,24 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 namespace factor::atpg {
 
-/// One frame of stimuli: a V64 per primary input (bit p = sequence p).
+/// One frame of stimuli for 64·words sequences: `words` consecutive V64
+/// entries per primary input, laid out PI-major — pi[i*words + w] is lane
+/// word w of input i (word w carries sequences [64w, 64w+63]). The default
+/// words == 1 keeps every existing 64-lane call site working unchanged.
 /// Inputs left X are legal (e.g. PODEM don't-cares).
 struct Frame {
-    std::vector<V64> pi; // indexed like Netlist::inputs()
+    std::vector<V64> pi; // indexed like Netlist::inputs(), words per input
+    size_t words = 1;
 };
 
-/// A multi-frame stimulus for 64 parallel sequences.
+/// A multi-frame stimulus for 64·words parallel sequences.
 using Sequence = std::vector<Frame>;
 
 /// A single scalar test sequence (one value per PI per frame), produced by
@@ -41,23 +59,173 @@ struct ScalarSequence {
 /// Expand a scalar sequence into a parallel Sequence occupying bit 0.
 [[nodiscard]] Sequence broadcast(const ScalarSequence& s, size_t num_pis);
 
+/// Faulty-machine evaluation strategy. Auto resolves to the FACTOR_SIM_MODE
+/// environment variable ("full"/"event") or Event. The mode never changes
+/// detection results — only how much work computing them takes — so it is
+/// deliberately absent from the checkpoint fingerprint.
+enum class SimMode : uint8_t { Auto, Full, Event };
+
+/// Resolve a requested pattern width in bits (64/256/512; 0 = auto: the
+/// FACTOR_SIM_WIDTH environment variable if set, else the widest kernel the
+/// build supports) to a lane-word count. Throws util::FactorError on an
+/// unsupported width.
+[[nodiscard]] size_t resolve_sim_words(size_t sim_width_bits);
+
+/// Resolve SimMode::Auto against FACTOR_SIM_MODE (throws util::FactorError
+/// on an unrecognized value); concrete modes pass through.
+[[nodiscard]] SimMode resolve_sim_mode(SimMode requested);
+
+/// Detection mask for up to kMaxSimWords lane words: bit p of words[w] set
+/// iff sequence 64w+p definitely detects the fault.
+struct DetectMask {
+    std::array<uint64_t, kMaxSimWords> bits{};
+    size_t words = 1;
+
+    [[nodiscard]] bool any() const {
+        for (size_t w = 0; w < words; ++w) {
+            if (bits[w] != 0) return true;
+        }
+        return false;
+    }
+    /// All simulated lanes detected (the width-aware ~0ull early-out).
+    [[nodiscard]] bool all() const {
+        for (size_t w = 0; w < words; ++w) {
+            if (bits[w] != ~0ull) return false;
+        }
+        return true;
+    }
+    [[nodiscard]] size_t count() const;
+    /// Lanes 0..63 — the legacy uint64_t view.
+    [[nodiscard]] uint64_t word0() const { return bits[0]; }
+
+    [[nodiscard]] bool operator==(const DetectMask&) const = default;
+};
+
+/// Immutable good-machine snapshot of one Sequence: every net's value for
+/// every frame plus the per-frame PO view, at an effective lane-word count
+/// of min(simulator width, stimulus width). Produced once per sequence by
+/// FaultSimulator::simulate_good_cached and shared read-only across the
+/// executor simulators — the event-driven faulty kernel reads net values
+/// straight out of it instead of re-simulating the good machine.
+struct GoodSim {
+    size_t words = 1;  // effective lane words
+    size_t frames = 0;
+    size_t nets = 0;
+    /// Net value planes, frame-major: {one,zero}[(f*nets + net)*words + w].
+    std::vector<uint64_t> one, zero;
+
+    [[nodiscard]] const uint64_t* one_at(size_t frame) const {
+        return one.data() + frame * nets * words;
+    }
+    [[nodiscard]] const uint64_t* zero_at(size_t frame) const {
+        return zero.data() + frame * nets * words;
+    }
+    /// Lane word 0 of `net` at `frame` (legacy V64 view).
+    [[nodiscard]] V64 word0(size_t frame, synth::NetId net) const {
+        size_t at = (frame * nets + net) * words;
+        return {one[at], zero[at]};
+    }
+};
+
+/// Precomputed per-fault-site fanout cones, shared by every simulator of a
+/// run (one instance per FaultList / engine invocation). A cone is the
+/// *sequential* closure of the seed net's fanout — it crosses DFFs and
+/// keeps going from their outputs — so any net that could ever diverge
+/// from the good machine lies inside it. Cones are built lazily on first
+/// use and cached by seed net; the class is thread-safe (the engine's
+/// executors all resolve cones through one shared instance).
+class FanoutCones {
+  public:
+    explicit FanoutCones(const synth::Netlist& nl);
+
+    struct Cone {
+        /// Combinational member gates in topological order. Empty when
+        /// `full` — a cone covering most of the netlist falls back to
+        /// sweeping the whole levelized order (still with dirty-skip).
+        std::vector<synth::GateId> gates;
+        /// Member DFFs as indices into Netlist::dffs() order.
+        std::vector<uint32_t> dffs;
+        /// Primary-output indices whose net lies inside the cone — the
+        /// only POs where a detection can happen.
+        std::vector<uint32_t> pos;
+        bool full = false;
+    };
+
+    /// Cone of all gates reachable from `net` (crossing DFFs).
+    [[nodiscard]] const Cone& for_net(synth::NetId net);
+
+    /// Per-net reader lists (shared with the event kernel's dirty marking).
+    [[nodiscard]] const std::vector<std::vector<synth::GateId>>& fanout()
+        const {
+        return fanout_;
+    }
+    /// Topological position of each gate (DFFs get their id's slot too,
+    /// but only combinational members are ordered by it).
+    [[nodiscard]] const std::vector<uint32_t>& topo_pos() const {
+        return topo_pos_;
+    }
+    /// Gate id -> index in Netlist::dffs() order (kNoDff for non-DFFs).
+    static constexpr uint32_t kNoDff = ~0u;
+    [[nodiscard]] const std::vector<uint32_t>& dff_index() const {
+        return dff_index_;
+    }
+
+  private:
+    [[nodiscard]] std::unique_ptr<Cone> build(synth::NetId net) const;
+
+    const synth::Netlist& nl_;
+    std::vector<std::vector<synth::GateId>> fanout_;
+    std::vector<uint32_t> topo_pos_;
+    std::vector<uint32_t> dff_index_;
+    size_t full_threshold_ = 0;
+
+    mutable std::mutex mu_;
+    std::unordered_map<synth::NetId, std::unique_ptr<Cone>> cones_;
+};
+
 /// Simulation methods are non-const because each instance owns reusable
 /// value/state scratch arrays (no per-call allocation). One simulator must
 /// not be shared across threads; parallel callers construct one per worker
-/// — cheap, since the netlist's levelization is computed once and shared.
+/// — cheap, since the netlist's levelization and the fanout cones are
+/// computed once and shared. GoodSim snapshots are plain immutable data and
+/// may be produced by one simulator and consumed by another.
 class FaultSimulator {
   public:
-    explicit FaultSimulator(const synth::Netlist& nl);
+    struct Config {
+        /// Lane words per pattern block (1/4/8 — see resolve_sim_words).
+        size_t words = 1;
+        SimMode mode = SimMode::Auto;
+        /// Cone cache shared across a run's simulators; created privately
+        /// when null and the resolved mode is Event.
+        std::shared_ptr<FanoutCones> cones;
+    };
 
-    /// Good-machine simulation; returns PO values per frame.
+    /// Legacy 64-bit simulator (words = 1); detection results are identical
+    /// in every mode, so existing call sites keep their exact behavior.
+    explicit FaultSimulator(const synth::Netlist& nl);
+    FaultSimulator(const synth::Netlist& nl, Config cfg);
+    FaultSimulator(FaultSimulator&&) noexcept;
+    ~FaultSimulator(); // out-of-line: kernels_ holds incomplete KernelBase
+
+    /// Good-machine simulation; returns PO values per frame (lane word 0).
     [[nodiscard]] std::vector<std::vector<V64>>
     simulate_good(const Sequence& seq);
+
+    /// Good-machine simulation retaining every net's value per frame — the
+    /// wide/event detection paths take this instead of the PO view.
+    [[nodiscard]] std::shared_ptr<const GoodSim>
+    simulate_good_cached(const Sequence& seq);
 
     /// Detection mask for one fault: bit p set iff sequence p definitely
     /// detects the fault. `good_po` must come from simulate_good(seq).
     [[nodiscard]] uint64_t
     detect_mask(const Fault& fault, const Sequence& seq,
                 const std::vector<std::vector<V64>>& good_po);
+
+    /// Wide detection mask against a cached good-machine snapshot.
+    [[nodiscard]] DetectMask detect_mask(const Fault& fault,
+                                         const Sequence& seq,
+                                         const GoodSim& good);
 
     /// True iff any of the 64 sequences detects the fault. Unlike
     /// detect_mask, stops simulating frames at the first detection — the
@@ -66,32 +234,59 @@ class FaultSimulator {
     detects(const Fault& fault, const Sequence& seq,
             const std::vector<std::vector<V64>>& good_po);
 
+    /// Wide stop-at-first-detection variant over a cached snapshot.
+    [[nodiscard]] bool detects(const Fault& fault, const Sequence& seq,
+                               const GoodSim& good);
+
     /// Fault-simulate `seq` against all Undetected faults in `list`,
     /// marking Detected entries. Returns the number of newly detected
-    /// faults.
+    /// faults. Internally uses the cached/event path; results are
+    /// identical to the legacy full sweep.
     size_t run_and_drop(FaultList& list, const Sequence& seq);
 
-    /// Uniformly random binary stimulus for 64 sequences x `frames` frames.
+    /// Uniformly random binary stimulus for 64·words sequences x `frames`
+    /// frames. Draws words PI-major (all words of PI 0, then PI 1, …), so
+    /// at words == 1 the draw order — and with it every seeded trajectory —
+    /// is byte-identical to the historical 64-lane generator.
     [[nodiscard]] Sequence random_sequence(std::mt19937_64& rng,
                                            size_t frames) const;
 
     [[nodiscard]] const synth::Netlist& netlist() const { return nl_; }
+    [[nodiscard]] size_t words() const { return words_; }
+    [[nodiscard]] SimMode mode() const { return mode_; }
 
   private:
     void eval_frame(std::vector<V64>& value, const Frame& frame,
                     const std::vector<V64>& state, const Fault* fault) const;
-    /// Shared engine of detect_mask/detects: simulate the faulty machine,
-    /// accumulating detection bits; `stop_at_first` ends the frame loop as
-    /// soon as any sequence detects.
+    /// Shared engine of the legacy detect_mask/detects: simulate the faulty
+    /// machine at 64 lanes, accumulating detection bits; `stop_at_first`
+    /// ends the frame loop as soon as any sequence detects. Kept as an
+    /// independent full-sweep kernel — the differential suite cross-checks
+    /// the wide/event kernels against it.
     [[nodiscard]] uint64_t
     faulty_detect(const Fault& fault, const Sequence& seq,
                   const std::vector<std::vector<V64>>& good_po,
                   bool stop_at_first);
 
+    /// Width-erased kernel interface; one instantiation per lane-word
+    /// count, created lazily (a broadcast sequence only ever needs W=1).
+    class KernelBase;
+    template <size_t W> class Kernel;
+    [[nodiscard]] KernelBase& kernel_for(size_t words);
+
+    [[nodiscard]] DetectMask wide_detect(const Fault& fault,
+                                         const Sequence& seq,
+                                         const GoodSim& good,
+                                         bool stop_at_first);
+
     const synth::Netlist& nl_;
     std::shared_ptr<const std::vector<synth::GateId>> topo_;
     std::vector<synth::GateId> dffs_;
-    // Scratch reused across calls (net values / DFF state).
+    size_t words_ = 1;
+    SimMode mode_ = SimMode::Event;
+    std::shared_ptr<FanoutCones> cones_;
+    std::array<std::unique_ptr<KernelBase>, 3> kernels_; // W = 1, 4, 8
+    // Scratch reused across calls (net values / DFF state), legacy kernel.
     std::vector<V64> value_;
     std::vector<V64> state_;
 };

@@ -3,9 +3,15 @@
 //  * V64 — three-valued (0/1/X) values for 64 test sequences in parallel
 //    (parallel-pattern simulation). Encoded as two masks with the invariant
 //    one & zero == 0; a bit set in neither mask is X.
+//  * VWide<W> — the same encoding widened to W 64-bit lane words (64·W
+//    sequences in parallel). The one/zero planes are plain word arrays and
+//    every operator is a branch-free word loop, so the compiler vectorizes
+//    them to whatever the target ISA offers (AVX2/AVX-512/NEON).
 //  * V5  — the scalar five-valued D-calculus {0,1,X,D,DB} used by PODEM.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace factor::atpg {
@@ -40,6 +46,105 @@ struct V64 {
 [[nodiscard]] inline V64 v_mux(V64 sel, V64 a, V64 b) {
     return {(sel.one & b.one) | (sel.zero & a.one) | (a.one & b.one),
             (sel.one & b.zero) | (sel.zero & a.zero) | (a.zero & b.zero)};
+}
+
+// ------------------------------------------------------------ wide values
+
+/// Lane words of the widest kernel the simulator instantiates (512 bits).
+inline constexpr size_t kMaxSimWords = 8;
+
+/// The kernel is compiled for 64-, 256- and 512-bit pattern blocks.
+[[nodiscard]] constexpr bool is_supported_sim_words(size_t words) {
+    return words == 1 || words == 4 || words == 8;
+}
+
+/// Widest kernel this build's target ISA profits from: 512-bit when the
+/// compiler may emit AVX-512, 256-bit for AVX2/NEON, else plain 64-bit.
+/// This is a property of the *build* (compile flags), not the machine, so
+/// a given binary always picks the same default — determinism holds.
+[[nodiscard]] constexpr size_t default_sim_words() {
+#if defined(__AVX512F__)
+    return 8;
+#elif defined(__AVX2__) || defined(__ARM_NEON)
+    return 4;
+#else
+    return 1;
+#endif
+}
+
+/// Three-valued values for 64·W sequences: word w carries sequences
+/// [64w, 64w+63] with the same one/zero encoding as V64.
+template <size_t W>
+struct VWide {
+    std::array<uint64_t, W> one{};
+    std::array<uint64_t, W> zero{};
+
+    [[nodiscard]] static VWide all_x() { return {}; }
+    [[nodiscard]] static VWide all0() {
+        VWide v;
+        v.zero.fill(~0ull);
+        return v;
+    }
+    [[nodiscard]] static VWide all1() {
+        VWide v;
+        v.one.fill(~0ull);
+        return v;
+    }
+
+    [[nodiscard]] V64 word(size_t w) const { return {one[w], zero[w]}; }
+
+    [[nodiscard]] bool operator==(const VWide&) const = default;
+};
+
+template <size_t W>
+[[nodiscard]] inline VWide<W> v_not(const VWide<W>& a) {
+    VWide<W> r;
+    for (size_t w = 0; w < W; ++w) {
+        r.one[w] = a.zero[w];
+        r.zero[w] = a.one[w];
+    }
+    return r;
+}
+template <size_t W>
+[[nodiscard]] inline VWide<W> v_and(const VWide<W>& a, const VWide<W>& b) {
+    VWide<W> r;
+    for (size_t w = 0; w < W; ++w) {
+        r.one[w] = a.one[w] & b.one[w];
+        r.zero[w] = a.zero[w] | b.zero[w];
+    }
+    return r;
+}
+template <size_t W>
+[[nodiscard]] inline VWide<W> v_or(const VWide<W>& a, const VWide<W>& b) {
+    VWide<W> r;
+    for (size_t w = 0; w < W; ++w) {
+        r.one[w] = a.one[w] | b.one[w];
+        r.zero[w] = a.zero[w] & b.zero[w];
+    }
+    return r;
+}
+template <size_t W>
+[[nodiscard]] inline VWide<W> v_xor(const VWide<W>& a, const VWide<W>& b) {
+    VWide<W> r;
+    for (size_t w = 0; w < W; ++w) {
+        r.one[w] = (a.one[w] & b.zero[w]) | (a.zero[w] & b.one[w]);
+        r.zero[w] = (a.one[w] & b.one[w]) | (a.zero[w] & b.zero[w]);
+    }
+    return r;
+}
+/// out = sel ? b : a, with the "both sides agree" term keeping the output
+/// binary under an unknown select (same truth table as the V64 v_mux).
+template <size_t W>
+[[nodiscard]] inline VWide<W> v_mux(const VWide<W>& sel, const VWide<W>& a,
+                                    const VWide<W>& b) {
+    VWide<W> r;
+    for (size_t w = 0; w < W; ++w) {
+        r.one[w] = (sel.one[w] & b.one[w]) | (sel.zero[w] & a.one[w]) |
+                   (a.one[w] & b.one[w]);
+        r.zero[w] = (sel.one[w] & b.zero[w]) | (sel.zero[w] & a.zero[w]) |
+                    (a.zero[w] & b.zero[w]);
+    }
+    return r;
 }
 
 enum class V5 : uint8_t { Zero, One, X, D, DB };

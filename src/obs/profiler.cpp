@@ -109,9 +109,10 @@ std::string Profiler::to_json(double total_seconds) const {
     first = true;
     for (const char* name :
          {"fault_sim.good_frames", "fault_sim.faulty_frames",
-          "fault_sim.gate_evals", "fault_sim.run_and_drop",
-          "fault_sim.faults_dropped", "atpg.podem.calls", "atpg.podem.tests",
-          "atpg.podem.retries", "atpg.random.sequences"}) {
+          "fault_sim.gate_evals", "fault_sim.events_skipped",
+          "fault_sim.run_and_drop", "fault_sim.faults_dropped",
+          "atpg.podem.calls", "atpg.podem.tests", "atpg.podem.retries",
+          "atpg.random.sequences"}) {
         if (!first) out += ',';
         first = false;
         out += "\"" + std::string(name) + "\":" +

@@ -85,7 +85,42 @@ check_rc "time growth passes without --time-threshold" 0 $?
     --time-threshold=50 > /dev/null 2>&1
 check_rc "time growth fails with --time-threshold" 1 $?
 
-# 6. Unusable input: missing file, invalid JSON, wrong schema, bad usage.
+# 6. Registry-counter gating (the fault_sim.gate_evals work gate).
+creport() { # path gate_evals
+    cat > "$1" <<EOF
+{"schema":"factor.bench.v1","threads":1,"rows":[
+  {"table":"table6","name":"alu","metrics":{
+    "coverage_percent":98.5,"efficiency_percent":99.0}}
+],"registry":{"counters":{"fault_sim.gate_evals":$2,
+  "fault_sim.faulty_frames":100}}}
+EOF
+}
+creport "$WORK/cbase.json" 1000000
+creport "$WORK/csame.json" 1000000
+"$BENCH_DIFF" "$WORK/cbase.json" "$WORK/csame.json" \
+    --counter-gate=fault_sim.gate_evals > /dev/null 2>&1
+check_rc "equal gated counter passes" 0 $?
+creport "$WORK/cgrown.json" 2000000
+"$BENCH_DIFF" "$WORK/cbase.json" "$WORK/cgrown.json" \
+    --counter-gate=fault_sim.gate_evals > "$WORK/cgrown.out" 2>&1
+check_rc "gate_evals growth fails with --counter-gate" 1 $?
+grep -q "REGRESSION registry/fault_sim.gate_evals" "$WORK/cgrown.out" || {
+    echo "FAIL: counter regression must name the counter" >&2
+    fails=$((fails + 1)); }
+"$BENCH_DIFF" "$WORK/cbase.json" "$WORK/cgrown.json" > /dev/null 2>&1
+check_rc "counter growth passes without --counter-gate" 0 $?
+"$BENCH_DIFF" "$WORK/cbase.json" "$WORK/cgrown.json" \
+    --counter-gate=fault_sim.gate_evals --counter-threshold=150 \
+    > /dev/null 2>&1
+check_rc "counter growth inside --counter-threshold passes" 0 $?
+"$BENCH_DIFF" "$WORK/cbase.json" "$WORK/csame.json" \
+    --counter-gate=fault_sim.events_skipped > "$WORK/cnew.out" 2>&1
+check_rc "counter absent from baseline passes" 0 $?
+grep -q "no baseline" "$WORK/cnew.out" || {
+    echo "FAIL: baseline-less counter must be reported" >&2
+    fails=$((fails + 1)); }
+
+# 7. Unusable input: missing file, invalid JSON, wrong schema, bad usage.
 "$BENCH_DIFF" "$WORK/absent.json" "$WORK/same.json" > /dev/null 2>&1
 check_rc "missing file is a usage error" 2 $?
 echo '{"schema":"factor.bench.v1","rows":' > "$WORK/truncated.json"

@@ -73,6 +73,32 @@ TEST_F(ParallelAtpg, SerialAndParallelProduceIdenticalResults) {
     }
 }
 
+TEST_F(ParallelAtpg, IdentityHoldsAtEverySimWidth) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    for (size_t width : {size_t{64}, size_t{256}, size_t{512}}) {
+        SCOPED_TRACE("sim_width=" + std::to_string(width));
+        atpg::EngineOptions opts;
+        opts.collect_tests = true;
+        opts.max_backtracks = 200;
+        opts.sim_width = width;
+
+        opts.jobs = 1;
+        auto serial = atpg::run_atpg(nl, opts);
+        EXPECT_EQ(serial.sim_width_bits, width);
+        ASSERT_GT(serial.total_faults, 0u);
+
+        for (size_t jobs : {size_t{2}, size_t{4}}) {
+            opts.jobs = jobs;
+            auto parallel = atpg::run_atpg(nl, opts);
+            SCOPED_TRACE("jobs=" + std::to_string(jobs));
+            expect_identical(serial, parallel);
+        }
+    }
+}
+
 TEST_F(ParallelAtpg, RepeatedParallelRunsAreByteIdentical) {
     auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
     ASSERT_TRUE(b);

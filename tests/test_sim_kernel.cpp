@@ -1,0 +1,347 @@
+// Differential property suite for the fault-simulation kernels
+// (DESIGN.md §11). The legacy 64-bit full-sweep kernel is kept in the
+// tree as an independent reference; this suite proves, on every builtin
+// design, that
+//
+//   * the width-parameterized VWide<W> ops agree with V64 word by word,
+//   * the wide full-sweep kernel, the event-driven kernel and the legacy
+//     reference produce identical detection masks (full ≡ event, and
+//     width 64 ≡ 256 ≡ 512 on shared lanes),
+//   * detects() is exactly detect_mask().any() in every mode,
+//   * the event kernel does strictly less gate-evaluation work than the
+//     full sweep on the big processor core (the bench smoke assertion),
+//   * SimMode never changes engine results, and
+//   * a checkpoint written at one resolved sim width refuses to resume at
+//     another (the width is part of the random-pattern trajectory).
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "designs/designs.hpp"
+#include "obs/obs.hpp"
+#include "util/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace factor::test {
+namespace {
+
+using atpg::DetectMask;
+using atpg::FanoutCones;
+using atpg::Fault;
+using atpg::FaultList;
+using atpg::FaultSimulator;
+using atpg::Frame;
+using atpg::Sequence;
+using atpg::SimMode;
+using atpg::V5;
+using atpg::V64;
+using atpg::VWide;
+using atpg::broadcast;
+using atpg::default_sim_words;
+using atpg::is_supported_sim_words;
+
+// ---- VWide semantics ----------------------------------------------------
+
+/// A valid three-valued plane pair: one & zero must be 0.
+V64 rand_v64(std::mt19937_64& rng) {
+    uint64_t a = rng();
+    uint64_t b = rng();
+    return V64{a & ~b, b & ~a};
+}
+
+TEST(SimKernel, VWideOpsMatchV64WordByWord) {
+    std::mt19937_64 rng(0xc0ffee);
+    constexpr size_t W = 4;
+    for (int iter = 0; iter < 200; ++iter) {
+        VWide<W> a, b, s;
+        for (size_t w = 0; w < W; ++w) {
+            V64 av = rand_v64(rng), bv = rand_v64(rng), sv = rand_v64(rng);
+            a.one[w] = av.one; a.zero[w] = av.zero;
+            b.one[w] = bv.one; b.zero[w] = bv.zero;
+            s.one[w] = sv.one; s.zero[w] = sv.zero;
+        }
+        VWide<W> n = v_not(a), c = v_and(a, b), o = v_or(a, b),
+                 x = v_xor(a, b), m = v_mux(s, a, b);
+        for (size_t w = 0; w < W; ++w) {
+            SCOPED_TRACE("word " + std::to_string(w));
+            EXPECT_EQ(n.word(w), v_not(a.word(w)));
+            EXPECT_EQ(c.word(w), v_and(a.word(w), b.word(w)));
+            EXPECT_EQ(o.word(w), v_or(a.word(w), b.word(w)));
+            EXPECT_EQ(x.word(w), v_xor(a.word(w), b.word(w)));
+            EXPECT_EQ(m.word(w), v_mux(s.word(w), a.word(w), b.word(w)));
+        }
+    }
+}
+
+TEST(SimKernel, WidthAndModeResolution) {
+    EXPECT_EQ(atpg::resolve_sim_words(64), 1u);
+    EXPECT_EQ(atpg::resolve_sim_words(256), 4u);
+    EXPECT_EQ(atpg::resolve_sim_words(512), 8u);
+    EXPECT_THROW((void)atpg::resolve_sim_words(128), util::FactorError);
+    // 0 = auto; whatever it resolves to must name a real kernel.
+    EXPECT_TRUE(is_supported_sim_words(atpg::resolve_sim_words(0)));
+    EXPECT_TRUE(is_supported_sim_words(default_sim_words()));
+    EXPECT_EQ(atpg::resolve_sim_mode(SimMode::Full), SimMode::Full);
+    EXPECT_EQ(atpg::resolve_sim_mode(SimMode::Event), SimMode::Event);
+}
+
+// ---- differential identity over the builtin designs ---------------------
+
+struct DesignCase {
+    const char* name;
+    const char* (*source)();
+    const char* top;
+    size_t fault_stride; // subsample big fault lists
+};
+
+void PrintTo(const DesignCase& d, std::ostream* os) { *os << d.name; }
+
+class KernelDiff : public ::testing::TestWithParam<DesignCase> {};
+
+/// Lane words w of a wide sequence as a standalone 64-lane sequence.
+Sequence slice_word(const Sequence& seq, size_t w) {
+    Sequence out;
+    out.reserve(seq.size());
+    for (const Frame& f : seq) {
+        Frame s;
+        s.words = 1;
+        const size_t pis = f.pi.size() / f.words;
+        s.pi.reserve(pis);
+        for (size_t i = 0; i < pis; ++i) s.pi.push_back(f.pi[i * f.words + w]);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+TEST_P(KernelDiff, FullEventAndLegacyMasksAgree) {
+    const DesignCase& dc = GetParam();
+    auto b = compile(dc.source(), dc.top);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    FaultList list(nl);
+    ASSERT_GT(list.faults().size(), 0u);
+
+    constexpr size_t kWords = 4; // 256-bit lanes
+    constexpr size_t kFrames = 5;
+    auto cones = std::make_shared<FanoutCones>(nl);
+    FaultSimulator full(nl, FaultSimulator::Config{kWords, SimMode::Full, {}});
+    FaultSimulator event(nl,
+                         FaultSimulator::Config{kWords, SimMode::Event, cones});
+    FaultSimulator legacy(nl);
+
+    std::mt19937_64 rng(0x5eed);
+    Sequence seq = full.random_sequence(rng, kFrames);
+    auto good = full.simulate_good_cached(seq);
+    ASSERT_EQ(good->words, kWords);
+
+    // Per-word 64-lane views for the legacy reference kernel.
+    std::vector<Sequence> slices;
+    std::vector<std::vector<std::vector<V64>>> slice_po;
+    for (size_t w = 0; w < kWords; ++w) {
+        slices.push_back(slice_word(seq, w));
+        slice_po.push_back(legacy.simulate_good(slices[w]));
+    }
+
+    size_t checked = 0, detected = 0;
+    for (size_t i = 0; i < list.faults().size(); i += dc.fault_stride) {
+        const Fault& f = list.faults()[i].fault;
+        SCOPED_TRACE("fault #" + std::to_string(i) + " " +
+                     list.faults()[i].describe(nl));
+        DetectMask mf = full.detect_mask(f, seq, *good);
+        DetectMask me = event.detect_mask(f, seq, *good);
+        EXPECT_EQ(mf, me);
+        EXPECT_EQ(event.detects(f, seq, *good), me.any());
+        EXPECT_EQ(full.detects(f, seq, *good), mf.any());
+        for (size_t w = 0; w < kWords; ++w) {
+            EXPECT_EQ(mf.bits[w], legacy.detect_mask(f, slices[w], slice_po[w]))
+                << "lane word " << w;
+        }
+        ++checked;
+        if (me.any()) ++detected;
+    }
+    // The suite must actually exercise both detecting and missing lanes.
+    EXPECT_GT(checked, 0u);
+    EXPECT_GT(detected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, KernelDiff,
+    ::testing::Values(
+        DesignCase{"counter8", designs::counter_source, designs::kCounterTop,
+                   1},
+        DesignCase{"traffic", designs::traffic_source, designs::kTrafficTop,
+                   1},
+        DesignCase{"fir4", designs::fir4_source, designs::kFir4Top, 3},
+        DesignCase{"mini_soc", designs::mini_soc_source, designs::kMiniSocTop,
+                   7},
+        DesignCase{"arm2z", designs::arm2z_source, designs::kArm2zTop, 97}),
+    [](const ::testing::TestParamInfo<DesignCase>& info) {
+        return std::string(info.param.name);
+    });
+
+TEST(SimKernel, SharedLanePrefixAgreesAcrossWidths) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    FaultList list(nl);
+
+    FaultSimulator wide8(nl, FaultSimulator::Config{8, SimMode::Event, {}});
+    FaultSimulator wide4(nl, FaultSimulator::Config{4, SimMode::Event, {}});
+
+    std::mt19937_64 rng(0xabcdef);
+    Sequence seq8 = wide8.random_sequence(rng, 4);
+    // The first 4 lane words of the 512-bit stimulus, as a 256-bit one.
+    Sequence seq4;
+    for (const Frame& f : seq8) {
+        Frame s;
+        s.words = 4;
+        const size_t pis = f.pi.size() / f.words;
+        for (size_t i = 0; i < pis; ++i) {
+            for (size_t w = 0; w < 4; ++w) s.pi.push_back(f.pi[i * 8 + w]);
+        }
+        seq4.push_back(std::move(s));
+    }
+    auto good8 = wide8.simulate_good_cached(seq8);
+    auto good4 = wide4.simulate_good_cached(seq4);
+    ASSERT_EQ(good8->words, 8u);
+    ASSERT_EQ(good4->words, 4u);
+
+    for (size_t i = 0; i < list.faults().size(); i += 11) {
+        const Fault& f = list.faults()[i].fault;
+        SCOPED_TRACE("fault #" + std::to_string(i));
+        DetectMask m8 = wide8.detect_mask(f, seq8, *good8);
+        DetectMask m4 = wide4.detect_mask(f, seq4, *good4);
+        for (size_t w = 0; w < 4; ++w) {
+            EXPECT_EQ(m8.bits[w], m4.bits[w]) << "lane word " << w;
+        }
+    }
+}
+
+TEST(SimKernel, BroadcastSequencesCostOneLaneWord) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    FaultSimulator sim(nl, FaultSimulator::Config{8, SimMode::Event, {}});
+    atpg::ScalarSequence s;
+    s.frames.assign(3, std::vector<V5>(nl.inputs().size(), V5::One));
+    auto good = sim.simulate_good_cached(broadcast(s, nl.inputs().size()));
+    // A scalar test only occupies lane 0; the 512-bit simulator must do
+    // 64-bit work for it, not 8x.
+    EXPECT_EQ(good->words, 1u);
+}
+
+// ---- event kernel does less work (the bench smoke assertion) ------------
+
+TEST(SimKernel, EventModeSkipsWorkOnArm2z) {
+    auto b = compile(designs::arm2z_source(), designs::kArm2zTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    auto& evals = obs::counter("fault_sim.gate_evals");
+    auto& skipped = obs::counter("fault_sim.events_skipped");
+
+    std::mt19937_64 rng(0x7777);
+    auto run = [&](SimMode mode) {
+        FaultList list(nl);
+        FaultSimulator sim(nl, FaultSimulator::Config{1, mode, {}});
+        std::mt19937_64 r = rng; // same stimulus for both modes
+        Sequence seq = sim.random_sequence(r, 6);
+        uint64_t before = evals.value();
+        size_t dropped = sim.run_and_drop(list, seq);
+        return std::pair<uint64_t, size_t>(evals.value() - before, dropped);
+    };
+
+    uint64_t skipped_before = skipped.value();
+    auto [full_evals, full_dropped] = run(SimMode::Full);
+    auto [event_evals, event_dropped] = run(SimMode::Event);
+
+    // Identical detections, strictly less gate-evaluation work.
+    EXPECT_EQ(full_dropped, event_dropped);
+    ASSERT_GT(full_evals, 0u);
+    EXPECT_LT(event_evals, full_evals);
+    EXPECT_GT(skipped.value(), skipped_before);
+}
+
+// ---- engine-level invariants --------------------------------------------
+
+void expect_identical(const atpg::EngineResult& a,
+                      const atpg::EngineResult& b) {
+    EXPECT_EQ(a.total_faults, b.total_faults);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.untestable, b.untestable);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.coverage_percent, b.coverage_percent);
+    EXPECT_EQ(a.efficiency_percent, b.efficiency_percent);
+    EXPECT_EQ(a.random_sequences, b.random_sequences);
+    EXPECT_EQ(a.deterministic_tests, b.deterministic_tests);
+    EXPECT_EQ(a.status, b.status);
+    ASSERT_EQ(a.tests.size(), b.tests.size());
+    for (size_t i = 0; i < a.tests.size(); ++i) {
+        EXPECT_EQ(a.tests[i], b.tests[i]) << "test vector " << i << " differs";
+    }
+}
+
+TEST(SimKernel, EngineModeNeverChangesResults) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    atpg::EngineOptions opts;
+    opts.collect_tests = true;
+    opts.max_backtracks = 200;
+    opts.jobs = 2;
+    opts.sim_width = 256;
+
+    opts.sim_mode = SimMode::Full;
+    auto full = atpg::run_atpg(nl, opts);
+    EXPECT_EQ(full.sim_width_bits, 256u);
+
+    opts.sim_mode = SimMode::Event;
+    auto event = atpg::run_atpg(nl, opts);
+    EXPECT_EQ(event.sim_width_bits, 256u);
+    expect_identical(full, event);
+}
+
+TEST(SimKernel, CheckpointRefusesResumeAtDifferentWidth) {
+    auto b = compile(designs::counter_source(), designs::kCounterTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "factor_test_simw.ckpt")
+            .string();
+    std::remove(path.c_str());
+
+    atpg::EngineOptions opts;
+    opts.jobs = 1;
+    opts.checkpoint_path = path;
+    opts.sim_width = 64;
+    auto first = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(first.resume_refused);
+
+    // The resolved width shapes the random-pattern trajectory, so it is
+    // fingerprinted: resuming the journal at 256 bits must refuse.
+    opts.resume = true;
+    opts.sim_width = 256;
+    auto resumed = atpg::run_atpg(nl, opts);
+    EXPECT_TRUE(resumed.resume_refused);
+    EXPECT_NE(resumed.status_detail.find("ckpt."), std::string::npos)
+        << resumed.status_detail;
+
+    // Same width resumes cleanly.
+    opts.sim_width = 64;
+    auto same = atpg::run_atpg(nl, opts);
+    EXPECT_FALSE(same.resume_refused);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace factor::test

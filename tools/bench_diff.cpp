@@ -3,6 +3,8 @@
 //   bench_diff <baseline.json> <current.json>
 //              [--threshold=<points>] [--time-threshold=<percent>]
 //              [--gate=<key,key,...>]
+//              [--counter-gate=<key,key,...>]
+//              [--counter-threshold=<percent>]
 //
 // Rows are matched by (table, name). For every shared row the numeric
 // metric deltas are printed; a row then counts as REGRESSED when
@@ -16,6 +18,15 @@
 //     or
 //   * the row or one of its gated metrics vanished from the current
 //     report (silent row loss must fail, or a broken bench "passes").
+//
+// --counter-gate additionally gates whole-run registry counters
+// (registry.counters.<key>, e.g. fault_sim.gate_evals): a gated counter
+// regresses when it grows by more than --counter-threshold percent
+// (default 10) over the baseline, or vanishes from the current report.
+// Counters are deterministic work measures — unlike wall times they are
+// safe to gate on shared CI runners. A counter absent from the BASELINE
+// is only reported, never failed, so new counters can be introduced
+// before the baseline is regenerated.
 //
 // A thread-count mismatch between the reports is warned about but never
 // fails the diff — perf comparisons across different -j are the reader's
@@ -43,6 +54,8 @@ struct Options {
     double time_threshold = 0.0;  // percent growth; 0 = don't gate time
     std::vector<std::string> gated = {"coverage_percent",
                                       "efficiency_percent"};
+    double counter_threshold = 10.0; // percent growth of gated counters
+    std::vector<std::string> counter_gated;
 };
 
 void usage() {
@@ -50,7 +63,11 @@ void usage() {
                  "usage: bench_diff <baseline.json> <current.json>\n"
                  "       [--threshold=<points>] "
                  "[--time-threshold=<percent>] [--gate=<key,key,...>]\n"
+                 "       [--counter-gate=<key,key,...>] "
+                 "[--counter-threshold=<percent>]\n"
                  "  compares two factor.bench.v1 reports row by row;\n"
+                 "  --counter-gate also fails registry counters (e.g.\n"
+                 "  fault_sim.gate_evals) growing past --counter-threshold%%;\n"
                  "  exit 0 ok, 1 regression, 2 usage/parse error\n");
 }
 
@@ -70,6 +87,15 @@ bool parse_args(int argc, char** argv, Options& out) {
             while (std::getline(ss, key, ',')) {
                 if (!key.empty()) out.gated.push_back(key);
             }
+        } else if (a.rfind("--counter-gate=", 0) == 0) {
+            std::string keys = a.substr(15);
+            std::stringstream ss(keys);
+            std::string key;
+            while (std::getline(ss, key, ',')) {
+                if (!key.empty()) out.counter_gated.push_back(key);
+            }
+        } else if (a.rfind("--counter-threshold=", 0) == 0) {
+            out.counter_threshold = std::atof(a.c_str() + 20);
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
@@ -236,6 +262,43 @@ int main(int argc, char** argv) {
         if (find_row(base_rows, c.table, c.name) == nullptr) {
             std::printf("NEW %s/%s (not in baseline)\n", c.table.c_str(),
                         c.name.c_str());
+        }
+    }
+
+    if (!opt.counter_gated.empty()) {
+        const JsonValue* breg = base->get("registry");
+        const JsonValue* creg = cur->get("registry");
+        const JsonValue* bc =
+            breg != nullptr ? breg->get("counters") : nullptr;
+        const JsonValue* cc =
+            creg != nullptr ? creg->get("counters") : nullptr;
+        for (const auto& key : opt.counter_gated) {
+            const JsonValue* bv = bc != nullptr ? bc->get(key) : nullptr;
+            const JsonValue* cv = cc != nullptr ? cc->get(key) : nullptr;
+            if (bv == nullptr || !bv->is_number()) {
+                // A counter the baseline predates: report, don't gate.
+                std::printf("counter %-24s (no baseline) -> %14.0f\n",
+                            key.c_str(),
+                            cv != nullptr ? cv->number_or(0) : 0.0);
+                continue;
+            }
+            if (cv == nullptr || !cv->is_number()) {
+                regress("registry", key, "%s",
+                        "gated counter missing from current report");
+                continue;
+            }
+            double b = bv->number_or(0);
+            double c = cv->number_or(0);
+            std::printf("counter %-24s %14.0f -> %14.0f  (%+.0f)\n",
+                        key.c_str(), b, c, c - b);
+            if (b > 0.0 &&
+                c > b * (1.0 + opt.counter_threshold / 100.0)) {
+                char detail[160];
+                std::snprintf(detail, sizeof(detail),
+                              "%s grew %.0f -> %.0f (more than %.1f%%)",
+                              key.c_str(), b, c, opt.counter_threshold);
+                regress("registry", key, "%s", detail);
+            }
         }
     }
 

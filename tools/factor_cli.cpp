@@ -108,6 +108,8 @@ struct Args {
     core::Mode mode = core::Mode::Composed;
     double budget = 30.0;
     size_t jobs = 0; // 0: FACTOR_JOBS env or hardware concurrency
+    size_t sim_width = 0; // 0: $FACTOR_SIM_WIDTH or the widest build kernel
+    atpg::SimMode sim_mode = atpg::SimMode::Auto;
     uint64_t work_quota = 0;
     uint64_t max_gates = 0;
     uint64_t max_nodes = 0;
@@ -131,8 +133,17 @@ void usage() {
                  "       [--campaign=<all|path,path,...>] "
                  "[--campaign-report=<file.json>]\n"
                  "       [--shard-retries=<n>] [--backoff=<seconds>]\n"
+                 "       [--sim-width=64|256|512] [--sim-mode=full|event]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
+                 "  --sim-width picks the parallel-pattern fault-sim width "
+                 "in bits (default:\n"
+                 "    $FACTOR_SIM_WIDTH or the widest kernel this build's "
+                 "ISA supports).\n"
+                 "  --sim-mode picks full-sweep vs event-driven faulty "
+                 "evaluation (default:\n"
+                 "    $FACTOR_SIM_MODE or event); never changes results, "
+                 "only speed.\n"
                  "  --checkpoint=<file> journals ATPG progress; --resume "
                  "replays it and continues.\n"
                  "  --retry-rounds=<n> escalates backtrack-aborted faults "
@@ -261,6 +272,23 @@ bool parse_args(int argc, char** argv, Args& out) {
             out.campaign_report_path = a.substr(18);
             if (out.campaign_report_path.empty()) {
                 std::fprintf(stderr, "--campaign-report needs a file path\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--sim-width=", 0) == 0) {
+            out.sim_width = std::strtoull(a.c_str() + 12, nullptr, 10);
+            if (out.sim_width != 64 && out.sim_width != 256 &&
+                out.sim_width != 512) {
+                std::fprintf(stderr, "--sim-width must be 64, 256 or 512\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--sim-mode=", 0) == 0) {
+            std::string m = a.substr(11);
+            if (m == "full") {
+                out.sim_mode = atpg::SimMode::Full;
+            } else if (m == "event") {
+                out.sim_mode = atpg::SimMode::Event;
+            } else {
+                std::fprintf(stderr, "--sim-mode must be 'full' or 'event'\n");
                 options_ok = false;
             }
         } else if (a.rfind("--shard-retries=", 0) == 0) {
@@ -508,6 +536,8 @@ int cmd_campaign(const Args& args, elab::ElaboratedDesign& e) {
     copts.mode = args.mode;
     copts.expose_piers = args.piers;
     copts.engine.retry_rounds = args.retry_rounds;
+    copts.engine.sim_width = args.sim_width;
+    copts.engine.sim_mode = args.sim_mode;
     copts.jobs = args.jobs;
     copts.total_budget_s = args.budget;
     copts.work_quota = args.work_quota;
@@ -564,6 +594,8 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
     opts.checkpoint_path = args.checkpoint_path;
     opts.resume = args.resume;
     opts.retry_rounds = args.retry_rounds;
+    opts.sim_width = args.sim_width;
+    opts.sim_mode = args.sim_mode;
 
     if (args.mut_path.empty()) {
         // Whole-design ATPG.
