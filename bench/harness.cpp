@@ -273,12 +273,16 @@ void print_table4(const std::vector<RawAtpgRow>& rows) {
                  static_cast<uint64_t>(r.processor_level.total_faults))
             .add("processor_aborted",
                  static_cast<uint64_t>(r.processor_level.aborted))
+            .add("processor_redundant",
+                 static_cast<uint64_t>(r.processor_level.redundant))
             .add("standalone_coverage_percent", r.standalone.coverage_percent)
             .add("standalone_time_seconds", r.standalone.test_gen_seconds)
             .add("standalone_faults",
                  static_cast<uint64_t>(r.standalone.total_faults))
             .add("standalone_aborted",
-                 static_cast<uint64_t>(r.standalone.aborted));
+                 static_cast<uint64_t>(r.standalone.aborted))
+            .add("standalone_redundant",
+                 static_cast<uint64_t>(r.standalone.redundant));
         std::printf("%-16s %12s %12s %12s %12s\n", r.name.c_str(),
                     doc.cell("processor_coverage_percent").c_str(),
                     doc.cell("processor_time_seconds").c_str(),

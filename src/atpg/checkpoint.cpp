@@ -9,10 +9,15 @@ namespace factor::atpg::ckpt {
 
 namespace {
 
-constexpr char kOutcomes[] = "subdp"; // valid Commit/Retry outcome codes
+// Commit records carry PODEM codes plus the sat-mode additions ('r'
+// redundant, 'k' solver budget); retry records stay PODEM-only; SAT-tier
+// records have their own alphabet.
+constexpr char kCommitOutcomes[] = "subdprk";
+constexpr char kRetryOutcomes[] = "subdp";
+constexpr char kSatOutcomes[] = "srnkp";
 
-bool valid_outcome(char c) {
-    for (const char* p = kOutcomes; *p != '\0'; ++p) {
+bool in_set(const char* set, char c) {
+    for (const char* p = set; *p != '\0'; ++p) {
         if (*p == c) return true;
     }
     return false;
@@ -67,6 +72,12 @@ std::string fingerprint(const synth::Netlist& nl, const FaultList& faults,
     h.mix(static_cast<uint64_t>(options.retry_rounds));
     h.mix(static_cast<uint64_t>(options.retry_backtrack_growth));
     h.mix(static_cast<uint64_t>(options.retry_backtrack_cap));
+    // The *resolved* engine plus the SAT budgets that shape its trajectory
+    // (mixed unconditionally so podem-mode fingerprints also move if the
+    // defaults change in lockstep with the schema).
+    h.mix(std::string(to_string(resolve_engine(options.engine))));
+    h.mix(resolve_sat_budget(options.sat_conflict_budget));
+    h.mix(static_cast<uint64_t>(resolve_sat_frames(options.sat_max_frames)));
     // The *resolved* pattern width: a batch is 64·words sequences, so the
     // random trajectory depends on it. Resolving here (instead of mixing
     // the raw option) makes an env/auto default change refuse a resume the
@@ -126,6 +137,7 @@ util::JournalRecord encode_header(const Header& h) {
     util::JournalRecord rec;
     rec.set("t", "h")
         .set("schema", kSchema)
+        .set("eng", h.engine)
         .set("fp", h.fingerprint)
         .set_u64("faults", h.total_faults)
         .set_u64("attempt", h.attempt)
@@ -157,6 +169,11 @@ util::JournalRecord encode_event(const Event& ev) {
     case EventKind::RoundEnd:
         rec.set("t", "er").set_u64("round", ev.round);
         break;
+    case EventKind::SatAttempt:
+        rec.set("t", "sa").set_u64("i", ev.fault).set(
+            "o", std::string(1, ev.outcome));
+        if (ev.outcome == 's') rec.set("v", encode_test(ev.test));
+        break;
     case EventKind::End: rec.set("t", "end").set("reason", ev.reason); break;
     }
     rec.set_u64("w", ev.work).set_f64("s", ev.seconds);
@@ -166,7 +183,8 @@ util::JournalRecord encode_event(const Event& ev) {
 // ------------------------------------------------------------------- loader
 
 Load load(const std::string& path, const std::string& expected_fingerprint,
-          size_t num_faults, size_t num_pis) {
+          const std::string& expected_engine, size_t num_faults,
+          size_t num_pis) {
     Load out;
     try {
         obs::inject_point("atpg.ckpt.load");
@@ -202,10 +220,20 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
     }
     const std::string* fp = h.get("fp");
     out.header.fingerprint = fp != nullptr ? *fp : "";
+    const std::string* eng = h.get("eng");
+    out.header.engine = eng != nullptr ? *eng : "";
     out.header.total_faults = h.get_u64("faults");
     out.header.attempt = h.get_u64("attempt", 1);
     out.header.prior_work = h.get_u64("w");
     out.header.prior_seconds = h.get_f64("s");
+    if (out.header.engine != expected_engine) {
+        out.diagnostic = named(
+            "ckpt.engine_mismatch",
+            "checkpoint was written by engine '" + out.header.engine +
+                "' but this run resolved engine '" + expected_engine +
+                "'; refusing to resume");
+        return out;
+    }
     if (out.header.fingerprint != expected_fingerprint) {
         out.diagnostic = named(
             "ckpt.fingerprint_mismatch",
@@ -220,10 +248,11 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
     }
 
     // ---- events + order state machine ------------------------------------
-    // Phase order: rb* rp? c* (e|er)* end? — with batches sequential, commit
-    // fault indices strictly increasing, rounds contiguous from 1, and
-    // within a round fault indices strictly increasing.
-    enum class Stage { Random, Deterministic, Escalation, Done };
+    // Phase order: rb* rp? c* (e|er)* sa* end? — with batches sequential,
+    // commit fault indices strictly increasing, rounds contiguous from 1,
+    // within a round fault indices strictly increasing, and SAT-tier fault
+    // indices strictly increasing.
+    enum class Stage { Random, Deterministic, Escalation, Sat, Done };
     Stage stage = Stage::Random;
     uint64_t next_batch = 0;
     bool random_done = false;
@@ -232,6 +261,8 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
     uint64_t rounds_done = 0;
     uint64_t cur_round = 0; // 0: no open round
     uint64_t last_retry_fault = 0;
+    uint64_t last_sat_fault = 0;
+    bool any_sat = false;
 
     auto reject = [&](const std::string& why) {
         out.events.clear();
@@ -273,7 +304,7 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
             ev.kind = EventKind::RandomPhaseEnd;
             random_done = true;
         } else if (*tt == "c") {
-            if (stage == Stage::Escalation) {
+            if (stage == Stage::Escalation || stage == Stage::Sat) {
                 reject("commit after escalation began");
                 return out;
             }
@@ -285,7 +316,8 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
             ev.kind = EventKind::Commit;
             ev.fault = rec.get_u64("i", ~uint64_t{0});
             const std::string* o = rec.get("o");
-            if (o == nullptr || o->size() != 1 || !valid_outcome((*o)[0])) {
+            if (o == nullptr || o->size() != 1 ||
+                !in_set(kCommitOutcomes, (*o)[0])) {
                 reject("commit with an unknown outcome");
                 return out;
             }
@@ -312,6 +344,10 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
                 reject("escalation before the random phase ended");
                 return out;
             }
+            if (stage == Stage::Sat) {
+                reject("escalation after the SAT tier began");
+                return out;
+            }
             stage = Stage::Escalation;
             uint64_t round = rec.get_u64("round", 0);
             if (*tt == "er") {
@@ -329,7 +365,7 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
                 ev.fault = rec.get_u64("i", ~uint64_t{0});
                 const std::string* o = rec.get("o");
                 if (o == nullptr || o->size() != 1 ||
-                    !valid_outcome((*o)[0])) {
+                    !in_set(kRetryOutcomes, (*o)[0])) {
                     reject("retry with an unknown outcome");
                     return out;
                 }
@@ -356,6 +392,38 @@ Load load(const std::string& path, const std::string& expected_fingerprint,
                 cur_round = round;
                 last_retry_fault = ev.fault;
             }
+        } else if (*tt == "sa") {
+            if (!random_done) {
+                reject("SAT attempt before the random phase ended");
+                return out;
+            }
+            stage = Stage::Sat;
+            ev.kind = EventKind::SatAttempt;
+            ev.fault = rec.get_u64("i", ~uint64_t{0});
+            const std::string* o = rec.get("o");
+            if (o == nullptr || o->size() != 1 ||
+                !in_set(kSatOutcomes, (*o)[0])) {
+                reject("SAT attempt with an unknown outcome");
+                return out;
+            }
+            ev.outcome = (*o)[0];
+            if (ev.fault >= num_faults) {
+                reject("SAT attempt fault index out of range");
+                return out;
+            }
+            if (any_sat && ev.fault <= last_sat_fault) {
+                reject("SAT attempt fault indices not increasing");
+                return out;
+            }
+            if (ev.outcome == 's') {
+                const std::string* v = rec.get("v");
+                if (v == nullptr || !decode_test(*v, num_pis, ev.test)) {
+                    reject("SAT attempt test vector is undecodable");
+                    return out;
+                }
+            }
+            last_sat_fault = ev.fault;
+            any_sat = true;
         } else if (*tt == "end") {
             ev.kind = EventKind::End;
             const std::string* reason = rec.get("reason");

@@ -19,6 +19,9 @@
 //        'b' backtrack abort, 'd' depth abort, 'p' contained PODEM error)
 //   e   one retry-escalation attempt: round, fault index, outcome as above
 //   er  escalation round completed
+//   sa  one SAT-tier attempt: fault index + outcome ('s' test committed
+//       [vector attached], 'r' proven redundant, 'n' no test within the
+//       depth cap, 'k' solver budget exhausted, 'p' contained error)
 //   end run finished; reason "ok", a GuardStop name, or "ckpt_write_failed"
 // Every record carries the cumulative engine work ticks ("w") and engine
 // seconds ("s") across all attempts, which is how resumed runs keep
@@ -48,6 +51,10 @@ inline constexpr const char* kSchema = "factor.ckpt.v1";
 
 struct Header {
     std::string fingerprint;
+    /// Resolved engine name ("auto" | "podem" | "sat"). Checked before the
+    /// fingerprint so an engine switch gets its own named diagnostic
+    /// (ckpt.engine_mismatch) instead of the generic fingerprint one.
+    std::string engine = "auto";
     uint64_t total_faults = 0;
     uint64_t attempt = 1;        // 1-based; rewritten +1 on each resume
     uint64_t prior_work = 0;     // engine ticks consumed by earlier attempts
@@ -60,6 +67,7 @@ enum class EventKind : uint8_t {
     Commit,
     Retry,
     RoundEnd,
+    SatAttempt,
     End,
 };
 
@@ -67,8 +75,9 @@ struct Event {
     EventKind kind = EventKind::Commit;
     uint64_t batch = 0;   // RandomBatch
     uint64_t newly = 0;   // RandomBatch: faults dropped (replay check)
-    uint64_t fault = 0;   // Commit / Retry
-    char outcome = 0;     // Commit / Retry: 's','u','b','d','p'
+    uint64_t fault = 0;   // Commit / Retry / SatAttempt
+    char outcome = 0;     // Commit/Retry: 's','u','b','d','p' (+ sat-mode
+                          // commits 'r','k'); SatAttempt: 's','r','n','k','p'
     uint32_t round = 0;   // Retry / RoundEnd (1-based)
     ScalarSequence test;  // outcome == 's'
     std::string reason;   // End
@@ -93,13 +102,15 @@ struct Load {
 };
 
 /// Load and validate a checkpoint: journal framing (tail truncation),
-/// schema + fingerprint, per-event decoding and the commit-order state
-/// machine (batches sequential, fault indices strictly increasing, rounds
-/// contiguous). CRC-valid-but-semantically-invalid records refuse the
-/// resume rather than risk a silent mis-resume.
+/// schema + engine + fingerprint, per-event decoding and the commit-order
+/// state machine (batches sequential, fault indices strictly increasing,
+/// rounds contiguous, SAT attempts after escalation). CRC-valid-but-
+/// semantically-invalid records refuse the resume rather than risk a
+/// silent mis-resume.
 [[nodiscard]] Load load(const std::string& path,
                         const std::string& expected_fingerprint,
-                        size_t num_faults, size_t num_pis);
+                        const std::string& expected_engine, size_t num_faults,
+                        size_t num_pis);
 
 /// Appends factor.ckpt.v1 records; IO errors and injected faults at the
 /// "atpg.ckpt.write" site are latched in failed() instead of thrown, so

@@ -1,10 +1,12 @@
 #include "atpg/engine.hpp"
 
 #include "atpg/checkpoint.hpp"
+#include "atpg/sat_engine.hpp"
 #include "obs/inject.hpp"
 #include "obs/obs.hpp"
 #include "obs/profiler.hpp"
 #include "obs/progress.hpp"
+#include "util/diagnostics.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -12,10 +14,60 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <random>
 
 namespace factor::atpg {
+
+const char* to_string(EngineKind k) {
+    switch (k) {
+    case EngineKind::Auto: return "auto";
+    case EngineKind::Podem: return "podem";
+    case EngineKind::Sat: return "sat";
+    }
+    return "auto";
+}
+
+EngineKind resolve_engine(EngineKind option) {
+    if (option != EngineKind::Auto) return option;
+    const char* env = std::getenv("FACTOR_ENGINE");
+    if (env == nullptr || *env == '\0') return EngineKind::Auto;
+    std::string v(env);
+    if (v == "auto") return EngineKind::Auto;
+    if (v == "podem") return EngineKind::Podem;
+    if (v == "sat") return EngineKind::Sat;
+    throw util::FactorError("FACTOR_ENGINE must be 'auto', 'podem' or 'sat' "
+                            "(got '" +
+                            v + "')");
+}
+
+uint64_t resolve_sat_budget(uint64_t option) {
+    if (option != kDefaultSatConflictBudget) return option;
+    const char* env = std::getenv("FACTOR_SAT_BUDGET");
+    if (env == nullptr || *env == '\0') return option;
+    const long long v = std::atoll(env);
+    if (v <= 0) {
+        throw util::FactorError(
+            "FACTOR_SAT_BUDGET must be a positive conflict count (got '" +
+            std::string(env) + "')");
+    }
+    return static_cast<uint64_t>(v);
+}
+
+size_t resolve_sat_frames(size_t option) {
+    if (option != 0) return option;
+    const char* env = std::getenv("FACTOR_SAT_FRAMES");
+    if (env == nullptr || *env == '\0') return 0;
+    const long long v = std::atoll(env);
+    if (v <= 0) {
+        throw util::FactorError(
+            "FACTOR_SAT_FRAMES must be a positive frame count (got '" +
+            std::string(env) + "')");
+    }
+    return static_cast<size_t>(v);
+}
 
 obs::Doc EngineResult::metrics() const {
     obs::Doc d;
@@ -23,6 +75,7 @@ obs::Doc EngineResult::metrics() const {
         .add("detected", detected)
         .add("untestable", untestable)
         .add("aborted", aborted)
+        .add("redundant", redundant)
         .add("coverage_percent", coverage_percent)
         .add("efficiency_percent", efficiency_percent)
         .add("time_seconds", test_gen_seconds)
@@ -37,6 +90,17 @@ obs::Doc EngineResult::metrics() const {
     if (retried_faults > 0) {
         d.add("podem_retries", retried_faults)
             .add("retry_recovered", retry_recovered);
+    }
+    d.add("engine", engine);
+    if (sat_attempts > 0) {
+        d.add("sat_attempts", sat_attempts)
+            .add("sat_recovered", sat_recovered)
+            .add("sat_redundant", sat_redundant)
+            .add("sat_conflicts", sat_conflicts)
+            .add("sat_decisions", sat_decisions)
+            .add("sat_propagations", sat_propagations)
+            .add("sat_learned_clauses", sat_learned_clauses)
+            .add("sat_restarts", sat_restarts);
     }
     if (attempt > 1) d.add("attempt", attempt);
     d.add("budget_exhausted", budget_exhausted);
@@ -93,11 +157,13 @@ size_t parallel_run_and_drop(util::ThreadPool& pool,
 /// dropped), which is what makes the result independent of `jobs`.
 enum class SlotKind : uint8_t {
     Skipped,        // already non-Undetected when claimed
-    Success,        // PODEM produced a test (stored in `test`)
-    Untestable,     // exhaustive single-frame proof (combinational)
+    Success,        // the generator produced a test (stored in `test`)
+    Untestable,     // exhaustive single-frame proof (combinational PODEM)
+    Redundant,      // SAT UNSAT redundancy proof (sat engine)
     AbortBacktrack, // hit the backtrack limit at some depth
-    AbortDepth,     // no test up to max_frames
-    PodemFailed,    // internal PODEM failure, contained to this fault
+    AbortDepth,     // no test up to the depth cap
+    SatUnknown,     // CDCL conflict budget exhausted (deterministic)
+    PodemFailed,    // internal generator failure, contained to this fault
     BudgetStopped,  // budget ran out mid-search on this fault
     BudgetSkip,     // budget was already gone when this fault was claimed
 };
@@ -107,6 +173,10 @@ struct Slot {
     SlotKind kind = SlotKind::Skipped;
     bool any_backtrack_abort = false;
     ScalarSequence test;
+    /// CDCL statistics of this fault's solves (sat engine only). Aggregated
+    /// by the commit pipeline, and only for slots that actually commit, so
+    /// the reported totals stay jobs-invariant like the statuses.
+    sat::SolverStats sat_stats;
 };
 
 /// Backtrack budget for escalation round `round` (1-based):
@@ -129,6 +199,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     obs::Span run_span("atpg.run");
 
     EngineResult result;
+    const EngineKind engine = resolve_engine(options.engine);
+    const bool sat_mode = engine == EngineKind::Sat;
+    result.engine = to_string(engine);
+    run_span.attr("engine", to_string(engine));
     const size_t jobs =
         options.jobs > 0 ? options.jobs : util::ThreadPool::default_jobs();
     result.threads = jobs;
@@ -147,6 +221,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         return result;
     }
     const bool combinational = nl.dff_count() == 0;
+    // SAT-engine budgets, resolved once: the detection-depth schedule
+    // starts where PODEM's unroll stops and caps at sat_max_frames
+    // (auto: 4x the PODEM depth).
+    SatEngineOptions sat_opts;
+    sat_opts.conflict_budget = resolve_sat_budget(options.sat_conflict_budget);
+    const size_t sat_frames = resolve_sat_frames(options.sat_max_frames);
+    sat_opts.first_frames = combinational ? 1 : std::max<size_t>(1, options.max_frames);
+    sat_opts.max_frames =
+        combinational ? 1
+                      : (sat_frames > 0
+                             ? sat_frames
+                             : 4 * std::max<size_t>(1, options.max_frames));
 
     // Fault-simulation kernel shape: the resolved width is part of the
     // checkpoint fingerprint (the random stream depends on it); the mode
@@ -177,8 +263,8 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // resume pre-charges into the external guard so work quotas stay
     // end-to-end. Replay rebuilds the per-fault `cause` codes that decide
     // retry-escalation eligibility: 'b' backtrack abort (retried), 'd'
-    // depth abort, 'p' contained PODEM failure, 'm' simulator mismatch,
-    // 't' budget sweep.
+    // depth abort, 'p' contained generator failure, 'm' simulator mismatch,
+    // 'k' SAT conflict budget, 't' budget sweep.
     const bool ckpt_on = !options.checkpoint_path.empty();
     ckpt::Writer writer;
     uint64_t ticks = 0;
@@ -190,6 +276,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     size_t rounds_done = 0;
     size_t open_round = 0;      // replayed retry round without its 'er' yet
     size_t open_round_next = 0; // first index not yet attempted in it
+    size_t sat_next = 0;        // first index the SAT tier has not attempted
     bool pure_replay = false;   // prior attempt ended with reason "ok"
     bool ckpt_failed = false;
     std::vector<char> cause(n, 0);
@@ -267,6 +354,40 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         default: break;
         }
     };
+    /// Shared application of one SAT-tier outcome (live and replayed paths
+    /// must match exactly, like retries). 's' and 'r' definitively resolve
+    /// the fault; 'n'/'k' leave it aborted with a cause code; 'p' is a
+    /// contained failure that degrades the run status.
+    auto apply_sat_outcome = [&](size_t i, char outcome,
+                                 const ScalarSequence& test) {
+        ++result.sat_attempts;
+        switch (outcome) {
+        case 's': {
+            const size_t recovered = apply_retry_test(test);
+            result.sat_recovered += recovered;
+            if (entries[i].status != FaultStatus::Detected) {
+                // Should be impossible — the dual-rail encoding is the
+                // simulator's exact algebra — but never trust a search
+                // result the simulator cannot confirm.
+                cause[i] = 'm';
+                abort_mismatch.add(1);
+            }
+            break;
+        }
+        case 'r':
+            entries[i].status = FaultStatus::Redundant;
+            cause[i] = 0;
+            ++result.sat_redundant;
+            break;
+        case 'n': cause[i] = 'd'; break;
+        case 'k': cause[i] = 'k'; break;
+        case 'p':
+            cause[i] = 'p';
+            podem_degraded.store(true, std::memory_order_relaxed);
+            break;
+        default: break;
+        }
+    };
 
     // ---- Checkpoint load + replay ------------------------------------------
     std::string fingerprint;
@@ -277,8 +398,8 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         (void)obs::counter("atpg.ckpt.truncated");
     }
     if (ckpt_on && options.resume) {
-        ckpt::Load ld = ckpt::load(options.checkpoint_path, fingerprint, n,
-                                   nl.inputs().size());
+        ckpt::Load ld = ckpt::load(options.checkpoint_path, fingerprint,
+                                   result.engine, n, nl.inputs().size());
         if (!ld.ok) return refuse(std::move(ld.diagnostic));
         if (ld.dropped_lines > 0) {
             obs::counter("atpg.ckpt.truncated")
@@ -313,11 +434,14 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                                  "during replay";
                     break;
                 }
+                if (sat_mode) ++result.sat_attempts;
                 switch (ev.outcome) {
                 case 's': {
                     ++committed_tests;
                     Sequence seq = broadcast(ev.test, nl.inputs().size());
-                    parallel_run_and_drop(pool, sims, list, seq);
+                    const size_t newly =
+                        parallel_run_and_drop(pool, sims, list, seq);
+                    if (sat_mode) result.sat_recovered += newly;
                     if (entries[i].status != FaultStatus::Detected) {
                         entries[i].status = FaultStatus::Aborted;
                         cause[i] = 'm';
@@ -329,6 +453,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 case 'u':
                     entries[i].status = FaultStatus::Untestable;
                     break;
+                case 'r':
+                    entries[i].status = FaultStatus::Redundant;
+                    if (sat_mode) ++result.sat_redundant;
+                    break;
                 case 'b':
                     entries[i].status = FaultStatus::Aborted;
                     cause[i] = 'b';
@@ -336,6 +464,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 case 'd':
                     entries[i].status = FaultStatus::Aborted;
                     cause[i] = 'd';
+                    break;
+                case 'k':
+                    entries[i].status = FaultStatus::Aborted;
+                    cause[i] = 'k';
                     break;
                 case 'p':
                     entries[i].status = FaultStatus::Aborted;
@@ -365,6 +497,17 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 open_round = 0;
                 open_round_next = 0;
                 break;
+            case ckpt::EventKind::SatAttempt: {
+                const size_t i = ev.fault;
+                if (entries[i].status != FaultStatus::Aborted) {
+                    replay_err = "SAT-tier fault was not aborted during "
+                                 "replay";
+                    break;
+                }
+                apply_sat_outcome(i, ev.outcome, ev.test);
+                sat_next = i + 1;
+                break;
+            }
             case ckpt::EventKind::End:
                 pure_replay = ev.reason == "ok";
                 break;
@@ -400,6 +543,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         }
         ckpt::Header header;
         header.fingerprint = fingerprint;
+        header.engine = result.engine;
         header.total_faults = n;
         header.attempt = result.attempt;
         header.prior_work = ticks;
@@ -411,6 +555,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     } else if (ckpt_on) {
         ckpt::Header header;
         header.fingerprint = fingerprint;
+        header.engine = result.engine;
         header.total_faults = n;
         if (!writer.start_fresh(options.checkpoint_path, header)) {
             return fail_writer(writer.error());
@@ -431,6 +576,10 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         return local_guard.stopped() ||
                (options.guard != nullptr && options.guard->stopped());
     };
+    // SAT solves poll (never tick) both guards so a wall-clock stop lands
+    // mid-solve instead of waiting a whole conflict budget out.
+    sat_opts.guard = &local_guard;
+    sat_opts.guard2 = options.guard;
 
     // ---- Progress heartbeat ------------------------------------------------
     //
@@ -441,14 +590,15 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     // elapsed time are cumulative across --resume attempts.
     obs::Progress& progress = obs::Progress::global();
     auto emit_progress = [&](const char* phase, uint64_t det, uint64_t unt,
-                             uint64_t abt, bool final_event) {
+                             uint64_t abt, uint64_t red, bool final_event) {
         obs::ProgressSnapshot snap;
         snap.phase = phase;
         snap.faults_total = n;
         snap.detected = det;
         snap.untestable = unt;
         snap.aborted = abt;
-        snap.faults_done = det + unt + abt;
+        snap.redundant = red;
+        snap.faults_done = det + unt + abt + red;
         snap.coverage_percent =
             100.0 * static_cast<double>(det) / static_cast<double>(n);
         snap.vectors = committed_tests;
@@ -484,7 +634,8 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         if (!progress.due()) return;
         emit_progress(phase, list.count(FaultStatus::Detected),
                       list.count(FaultStatus::Untestable),
-                      list.count(FaultStatus::Aborted), false);
+                      list.count(FaultStatus::Aborted),
+                      list.count(FaultStatus::Redundant), false);
     };
     if (result.replayed_events > 0) emit_progress_counts("replay");
 
@@ -587,6 +738,8 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         obs::Counter& abort_depth = obs::counter("atpg.abort.depth_limit");
         obs::Counter& abort_podem_error =
             obs::counter("atpg.abort.podem_error");
+        obs::Counter& abort_sat_budget =
+            obs::counter("atpg.abort.sat_budget");
         obs::Counter& drop_calls = obs::counter("fault_sim.run_and_drop");
         obs::Counter& drop_dropped = obs::counter("fault_sim.faults_dropped");
 
@@ -609,6 +762,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
         uint64_t prog_det = list.count(FaultStatus::Detected);
         uint64_t prog_unt = list.count(FaultStatus::Untestable);
         uint64_t prog_abt = list.count(FaultStatus::Aborted);
+        uint64_t prog_red = list.count(FaultStatus::Redundant);
 
         std::vector<Slot> slots(n);
         std::atomic<size_t> cursor{next_fault};
@@ -653,6 +807,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 }
                 ++ticks;
                 char outcome = 0;
+                if (sat_mode && s.kind != SlotKind::Skipped &&
+                    s.kind != SlotKind::BudgetSkip) {
+                    // One SAT attempt per committed fault; discarded
+                    // speculative slots never count, so the totals match a
+                    // serial run at any jobs value.
+                    ++result.sat_attempts;
+                    result.sat_conflicts += s.sat_stats.conflicts;
+                    result.sat_decisions += s.sat_stats.decisions;
+                    result.sat_propagations += s.sat_stats.propagations;
+                    result.sat_learned_clauses += s.sat_stats.learned_clauses;
+                    result.sat_restarts += s.sat_stats.restarts;
+                }
                 switch (s.kind) {
                 case SlotKind::Success: {
                     outcome = 's';
@@ -675,6 +841,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     drop_calls.add(1);
                     drop_dropped.add(newly);
                     prog_det += newly;
+                    if (sat_mode) result.sat_recovered += newly;
                     if (status[i].load(std::memory_order_relaxed) !=
                         kDetected) {
                         // PODEM said detected but the conservative
@@ -696,6 +863,21 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                         static_cast<uint8_t>(FaultStatus::Untestable),
                         std::memory_order_relaxed);
                     ++prog_unt;
+                    break;
+                case SlotKind::Redundant:
+                    outcome = 'r';
+                    status[i].store(
+                        static_cast<uint8_t>(FaultStatus::Redundant),
+                        std::memory_order_relaxed);
+                    ++result.sat_redundant;
+                    ++prog_red;
+                    break;
+                case SlotKind::SatUnknown:
+                    outcome = 'k';
+                    status[i].store(kAborted, std::memory_order_relaxed);
+                    cause[i] = 'k';
+                    abort_sat_budget.add(1);
+                    ++prog_abt;
                     break;
                 case SlotKind::AbortBacktrack:
                     outcome = 'b';
@@ -720,15 +902,22 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     ++prog_abt;
                     break;
                 case SlotKind::BudgetStopped:
-                    // The worker's depth loop noticed the budget mid-fault:
-                    // abort this fault and let the next iteration's guard
-                    // check end the phase, as the serial loop does.
+                    // The worker noticed the budget mid-fault: abort this
+                    // fault and let the next iteration's guard check end
+                    // the phase, as the serial loop does.
                     budget_hit = true;
-                    outcome = s.any_backtrack_abort ? 'b' : 'd';
+                    outcome = sat_mode ? 'k'
+                              : s.any_backtrack_abort ? 'b'
+                                                      : 'd';
                     status[i].store(kAborted, std::memory_order_relaxed);
                     cause[i] = outcome;
-                    (s.any_backtrack_abort ? abort_backtracks : abort_depth)
-                        .add(1);
+                    if (sat_mode) {
+                        abort_sat_budget.add(1);
+                    } else {
+                        (s.any_backtrack_abort ? abort_backtracks
+                                               : abort_depth)
+                            .add(1);
+                    }
                     ++prog_abt;
                     break;
                 case SlotKind::BudgetSkip:
@@ -756,7 +945,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                 }
                 if (progress.due()) {
                     emit_progress("deterministic", prog_det, prog_unt,
-                                  prog_abt, false);
+                                  prog_abt, prog_red, false);
                 }
                 ++next_commit;
             }
@@ -771,7 +960,15 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
             obs::Span wspan("atpg.worker");
             wspan.attr("worker", static_cast<uint64_t>(ex));
             const auto w_start = std::chrono::steady_clock::now();
-            TimeFramePodem podem(nl, popts);
+            // One generator per executor, like the simulators: PODEM or the
+            // SAT engine depending on the resolved engine kind.
+            std::unique_ptr<TimeFramePodem> podem;
+            std::unique_ptr<SatFaultEngine> satgen;
+            if (sat_mode) {
+                satgen = std::make_unique<SatFaultEngine>(nl, sat_opts);
+            } else {
+                podem = std::make_unique<TimeFramePodem>(nl, popts);
+            }
             uint64_t claimed = 0;
             uint64_t generated = 0;
             const size_t max_frames = combinational ? 1 : options.max_frames;
@@ -794,57 +991,84 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     try_commit(ex);
                     break;
                 }
-                bool done = false;
-                bool all_depths_no_test = true;
-                bool podem_failed = false;
-                bool budget_stopped = false;
                 uint64_t f_backtracks = 0;
                 std::chrono::steady_clock::time_point f_start;
                 if (prof_faults) f_start = std::chrono::steady_clock::now();
-                for (size_t k = 1; k <= max_frames && !done; ++k) {
-                    if (out_of_budget()) {
-                        budget_stopped = true;
-                        all_depths_no_test = false;
-                        break;
-                    }
-                    PodemResult pr;
-                    try {
-                        obs::inject_point("atpg.podem");
-                        pr = podem.generate(entries[i].fault, k);
-                    } catch (const util::FactorError&) {
-                        abort_podem_error.add(1);
-                        podem_failed = true;
-                        all_depths_no_test = false;
-                        break;
-                    }
-                    podem_calls.add(1);
-                    backtrack_hist.record(pr.backtracks);
-                    f_backtracks += pr.backtracks;
-                    switch (pr.outcome) {
-                    case PodemOutcome::Success:
-                        s.test = std::move(pr.test);
-                        done = true;
+                if (sat_mode) {
+                    SatAttempt at = satgen->attempt(entries[i].fault);
+                    s.sat_stats = at.stats;
+                    f_backtracks = at.stats.conflicts;
+                    switch (at.outcome) {
+                    case 's':
+                        s.test = std::move(at.test);
+                        s.kind = SlotKind::Success;
                         ++generated;
                         break;
-                    case PodemOutcome::Abort:
-                        all_depths_no_test = false;
-                        s.any_backtrack_abort = true;
-                        break; // try a deeper unroll
-                    case PodemOutcome::NoTest:
-                        break; // exhausted at this depth; deeper may work
+                    case 'r': s.kind = SlotKind::Redundant; break;
+                    case 'n': s.kind = SlotKind::AbortDepth; break;
+                    case 'k':
+                        // A deterministic conflict-budget stop keeps the
+                        // run going ('k' commit); a wall-clock/guard stop
+                        // ends the phase like PODEM's mid-fault stops.
+                        s.kind = out_of_budget() ? SlotKind::BudgetStopped
+                                                 : SlotKind::SatUnknown;
+                        break;
+                    default:
+                        abort_podem_error.add(1);
+                        s.kind = SlotKind::PodemFailed;
+                        break;
                     }
-                }
-                if (podem_failed) {
-                    s.kind = SlotKind::PodemFailed;
-                } else if (done) {
-                    s.kind = SlotKind::Success;
-                } else if (budget_stopped) {
-                    s.kind = SlotKind::BudgetStopped;
-                } else if (combinational && all_depths_no_test) {
-                    s.kind = SlotKind::Untestable;
                 } else {
-                    s.kind = s.any_backtrack_abort ? SlotKind::AbortBacktrack
-                                                   : SlotKind::AbortDepth;
+                    bool done = false;
+                    bool all_depths_no_test = true;
+                    bool podem_failed = false;
+                    bool budget_stopped = false;
+                    for (size_t k = 1; k <= max_frames && !done; ++k) {
+                        if (out_of_budget()) {
+                            budget_stopped = true;
+                            all_depths_no_test = false;
+                            break;
+                        }
+                        PodemResult pr;
+                        try {
+                            obs::inject_point("atpg.podem");
+                            pr = podem->generate(entries[i].fault, k);
+                        } catch (const util::FactorError&) {
+                            abort_podem_error.add(1);
+                            podem_failed = true;
+                            all_depths_no_test = false;
+                            break;
+                        }
+                        podem_calls.add(1);
+                        backtrack_hist.record(pr.backtracks);
+                        f_backtracks += pr.backtracks;
+                        switch (pr.outcome) {
+                        case PodemOutcome::Success:
+                            s.test = std::move(pr.test);
+                            done = true;
+                            ++generated;
+                            break;
+                        case PodemOutcome::Abort:
+                            all_depths_no_test = false;
+                            s.any_backtrack_abort = true;
+                            break; // try a deeper unroll
+                        case PodemOutcome::NoTest:
+                            break; // exhausted at this depth; deeper may work
+                        }
+                    }
+                    if (podem_failed) {
+                        s.kind = SlotKind::PodemFailed;
+                    } else if (done) {
+                        s.kind = SlotKind::Success;
+                    } else if (budget_stopped) {
+                        s.kind = SlotKind::BudgetStopped;
+                    } else if (combinational && all_depths_no_test) {
+                        s.kind = SlotKind::Untestable;
+                    } else {
+                        s.kind = s.any_backtrack_abort
+                                     ? SlotKind::AbortBacktrack
+                                     : SlotKind::AbortDepth;
+                    }
                 }
                 if (prof_faults) {
                     auto f_ns =
@@ -854,6 +1078,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                     const char* oc =
                         s.kind == SlotKind::Success      ? "test"
                         : s.kind == SlotKind::Untestable ? "untestable"
+                        : s.kind == SlotKind::Redundant  ? "redundant"
                                                          : "aborted";
                     obs::Profiler::global().record_fault(
                         entries[i].describe(nl), static_cast<uint64_t>(f_ns),
@@ -999,6 +1224,61 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
                   static_cast<uint64_t>(result.retry_recovered));
     }
 
+    // ---- SAT escalation over still-aborted faults (engine auto) ------------
+    //
+    // Serial and in fault-index order like the retry phase, so the tier is
+    // jobs-invariant and checkpoint-resumable ('sa' records). Every fault
+    // still aborted — whatever the cause — gets one SAT attempt: a model is
+    // a simulator-confirmed test (collateral aborted faults drop too), an
+    // UNSAT redundancy proof reclassifies the fault Redundant, and only
+    // depth-capped ('n') or solver-budget ('k') outcomes leave it aborted.
+    if (engine == EngineKind::Auto && !pure_replay && !ckpt_failed) {
+        obs::Span span("atpg.sat_phase");
+        obs::ProfScope prof("atpg.sat");
+        bool guard_stopped = false;
+        // Lazy: a run whose aborted set is empty never pays for the
+        // fanout-table build.
+        std::unique_ptr<SatFaultEngine> satgen;
+        for (size_t i = sat_next; i < n && !ckpt_failed; ++i) {
+            if (entries[i].status != FaultStatus::Aborted) continue;
+            if (local_guard.stopped() ||
+                (options.guard != nullptr && !options.guard->tick())) {
+                guard_stopped = true;
+                break;
+            }
+            ++ticks;
+            if (satgen == nullptr) {
+                satgen = std::make_unique<SatFaultEngine>(nl, sat_opts);
+            }
+            SatAttempt at = satgen->attempt(entries[i].fault);
+            if (at.outcome == 'k' && out_of_budget()) {
+                // The guard cut the solve short: don't bake the truncated
+                // outcome into the journal — a resume with a fresh budget
+                // re-attempts this fault instead of trusting it.
+                guard_stopped = true;
+                break;
+            }
+            result.sat_conflicts += at.stats.conflicts;
+            result.sat_decisions += at.stats.decisions;
+            result.sat_propagations += at.stats.propagations;
+            result.sat_learned_clauses += at.stats.learned_clauses;
+            result.sat_restarts += at.stats.restarts;
+            apply_sat_outcome(i, at.outcome, at.test);
+            ckpt::Event ev;
+            ev.kind = ckpt::EventKind::SatAttempt;
+            ev.fault = i;
+            ev.outcome = at.outcome;
+            if (at.outcome == 's') ev.test = std::move(at.test);
+            ckpt_append(std::move(ev));
+            emit_progress_counts("sat");
+        }
+        if (guard_stopped) result.budget_exhausted = true;
+        span.attr("attempts", static_cast<uint64_t>(result.sat_attempts));
+        span.attr("recovered", static_cast<uint64_t>(result.sat_recovered));
+        span.attr("redundant", static_cast<uint64_t>(result.sat_redundant));
+        span.attr("conflicts", result.sat_conflicts);
+    }
+
     // Any fault still undetected after the loop (e.g. budget break) aborts.
     {
         size_t budget_aborts = 0;
@@ -1043,15 +1323,18 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     result.detected = list.count(FaultStatus::Detected);
     result.untestable = list.count(FaultStatus::Untestable);
     result.aborted = list.count(FaultStatus::Aborted);
+    result.redundant = list.count(FaultStatus::Redundant);
     result.coverage_percent = list.coverage_percent();
     result.efficiency_percent = list.efficiency_percent();
     result.test_gen_seconds = prior_seconds + watch.seconds();
+    result.statuses.resize(n);
+    for (size_t i = 0; i < n; ++i) result.statuses[i] = entries[i].status;
 
     // The run's closing heartbeat: counts are the ones the stats document
     // will report, so a consumer can trust the last progress line.
     if (progress.enabled()) {
         emit_progress("done", result.detected, result.untestable,
-                      result.aborted, true);
+                      result.aborted, result.redundant, true);
     }
 
     if (podem_degraded.load(std::memory_order_relaxed)) {
@@ -1101,6 +1384,7 @@ EngineResult run_atpg(const synth::Netlist& nl, const EngineOptions& options) {
     obs::counter("atpg.faults.detected").add(result.detected);
     obs::counter("atpg.faults.untestable").add(result.untestable);
     obs::counter("atpg.faults.aborted").add(result.aborted);
+    obs::counter("atpg.faults.redundant").add(result.redundant);
     run_span.attr("coverage_percent", result.coverage_percent);
     run_span.attr("time_seconds", result.test_gen_seconds);
     return result;

@@ -29,6 +29,28 @@
 
 namespace factor::atpg {
 
+/// Which test-generation strategy backs the deterministic phase.
+///
+///  * Podem — time-frame-expanded PODEM only (the historical engine).
+///  * Sat   — CNF miter + CDCL SAT for every targeted fault; UNSAT on the
+///            redundancy miter classifies the fault Redundant.
+///  * Auto  — PODEM first (it is cheap on easy faults), then the retry
+///            escalation rounds, then a SAT pass over whatever is still
+///            aborted. The default: aborted faults become detected or
+///            proven redundant instead of lingering.
+enum class EngineKind : uint8_t { Auto, Podem, Sat };
+
+/// Default CDCL conflict cap per solve; the sentinel at which
+/// FACTOR_SAT_BUDGET may override EngineOptions::sat_conflict_budget.
+inline constexpr uint64_t kDefaultSatConflictBudget = 20000;
+
+[[nodiscard]] const char* to_string(EngineKind k);
+
+/// Resolves the effective engine: an explicit option wins; Auto consults
+/// the FACTOR_ENGINE environment variable ("auto" | "podem" | "sat") and
+/// throws util::FactorError on an unrecognized value.
+[[nodiscard]] EngineKind resolve_engine(EngineKind option);
+
 struct EngineOptions {
     // Random phase.
     size_t random_batches = 32;      // max batches of 64 sequences
@@ -92,13 +114,45 @@ struct EngineOptions {
     /// cone simulation). Never changes results — only speed — so it is
     /// deliberately not fingerprinted; see SimMode.
     SimMode sim_mode = SimMode::Auto;
+
+    // ---- engine selection (DESIGN.md §12) -------------------------------
+    /// Deterministic-phase strategy; Auto consults FACTOR_ENGINE. The
+    /// *resolved* engine is part of the checkpoint fingerprint, so a resume
+    /// under a different engine is refused (ckpt.engine_mismatch) instead
+    /// of silently mixing trajectories.
+    EngineKind engine = EngineKind::Auto;
+    /// CDCL conflict cap per solve() call. Deterministic, so it joins the
+    /// fingerprint. At the default, FACTOR_SAT_BUDGET overrides it (the
+    /// FACTOR_JOBS idiom); an explicit non-default value always wins.
+    /// 0 = unlimited (not recommended — a pathological miter then owns
+    /// the run until the wall-clock guard fires).
+    uint64_t sat_conflict_budget = kDefaultSatConflictBudget;
+    /// Deepest detection-miter unroll for sequential designs; 0 = auto —
+    /// FACTOR_SAT_FRAMES if set, else 4 * max_frames. The redundancy
+    /// proof is depth-independent.
+    size_t sat_max_frames = 0;
 };
+
+/// Resolve the per-solve conflict cap: an explicit non-default option
+/// wins; at the default, a set FACTOR_SAT_BUDGET takes over. Throws
+/// util::FactorError on a malformed environment value.
+[[nodiscard]] uint64_t resolve_sat_budget(uint64_t option);
+
+/// Resolve the deepest detection-miter unroll: a non-zero option wins; at
+/// 0, a set FACTOR_SAT_FRAMES takes over, else 0 is returned and the
+/// engine derives its auto depth (4 * max_frames). Throws
+/// util::FactorError on a malformed environment value.
+[[nodiscard]] size_t resolve_sat_frames(size_t option);
 
 struct EngineResult {
     size_t total_faults = 0;
     size_t detected = 0;
     size_t untestable = 0;
     size_t aborted = 0;
+    /// Faults proven redundant by a SAT UNSAT proof (distinct from
+    /// `untestable`, which PODEM's exhaustive search established). Both
+    /// count toward ATPG efficiency; neither can ever be detected.
+    size_t redundant = 0;
     double coverage_percent = 0.0;
     double efficiency_percent = 0.0;
     double test_gen_seconds = 0.0;
@@ -119,6 +173,19 @@ struct EngineResult {
     size_t retried_faults = 0;  // escalation PODEM attempts
     size_t retry_recovered = 0; // aborted faults flipped to detected
 
+    // ---- SAT tier --------------------------------------------------------
+    /// Resolved engine name ("auto" | "podem" | "sat").
+    std::string engine = "auto";
+    size_t sat_attempts = 0;  // faults handed to the SAT engine
+    size_t sat_recovered = 0; // SAT tests confirmed by the fault simulator
+    size_t sat_redundant = 0; // UNSAT redundancy proofs
+    /// Aggregate CDCL statistics across every solve of the run.
+    uint64_t sat_conflicts = 0;
+    uint64_t sat_decisions = 0;
+    uint64_t sat_propagations = 0;
+    uint64_t sat_learned_clauses = 0;
+    uint64_t sat_restarts = 0;
+
     // ---- checkpoint / resume --------------------------------------------
     /// 1-based attempt number (2+ when the run resumed a checkpoint).
     uint64_t attempt = 1;
@@ -135,6 +202,10 @@ struct EngineResult {
     /// Deterministic tests, statically compacted (collect_tests only).
     std::vector<ScalarSequence> tests;
     size_t tests_before_compaction = 0;
+
+    /// Final per-fault statuses in fault-list order (always filled) — lets
+    /// callers cross-check classifications between engines.
+    std::vector<FaultStatus> statuses;
 
     /// All reported fields as one ordered metric document — the single
     /// source for summary(), --stats-json and the bench JSON report.

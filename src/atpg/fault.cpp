@@ -152,7 +152,8 @@ double FaultList::efficiency_percent() const {
     if (faults_.empty()) return 0.0;
     return 100.0 *
            static_cast<double>(count(FaultStatus::Detected) +
-                               count(FaultStatus::Untestable)) /
+                               count(FaultStatus::Untestable) +
+                               count(FaultStatus::Redundant)) /
            static_cast<double>(faults_.size());
 }
 

@@ -32,8 +32,9 @@ struct Fault {
 enum class FaultStatus : uint8_t {
     Undetected,
     Detected,
-    Untestable, // proven redundant by exhaustive search
+    Untestable, // proven redundant by exhaustive (PODEM) search
     Aborted,    // backtrack/time budget exhausted
+    Redundant,  // proven redundant by a SAT UNSAT proof (DESIGN.md §12)
 };
 
 struct FaultEntry {
@@ -66,7 +67,8 @@ class FaultList {
 
     /// Fault coverage: detected / total (%).
     [[nodiscard]] double coverage_percent() const;
-    /// ATPG efficiency: (detected + untestable) / total (%).
+    /// ATPG efficiency: (detected + untestable + redundant) / total (%) —
+    /// every fault with a definitive classification counts.
     [[nodiscard]] double efficiency_percent() const;
 
   private:

@@ -1,0 +1,137 @@
+#include "atpg/sat_engine.hpp"
+
+#include "atpg/logic.hpp"
+#include "obs/inject.hpp"
+#include "obs/obs.hpp"
+#include "sat/miter.hpp"
+#include "util/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace factor::atpg {
+
+namespace {
+
+void accumulate(sat::SolverStats& into, const sat::SolverStats& s) {
+    into.conflicts += s.conflicts;
+    into.decisions += s.decisions;
+    into.propagations += s.propagations;
+    into.learned_clauses += s.learned_clauses;
+    into.restarts += s.restarts;
+}
+
+ScalarSequence to_scalar(const std::vector<std::vector<bool>>& frames) {
+    ScalarSequence seq;
+    seq.frames.resize(frames.size());
+    for (size_t f = 0; f < frames.size(); ++f) {
+        seq.frames[f].reserve(frames[f].size());
+        for (const bool b : frames[f]) {
+            seq.frames[f].push_back(v5_binary(b));
+        }
+    }
+    return seq;
+}
+
+} // namespace
+
+SatFaultEngine::SatFaultEngine(const synth::Netlist& nl,
+                               SatEngineOptions options)
+    : nl_(nl), options_(options), fanout_(nl.build_fanout()),
+      combinational_(nl.dff_count() == 0) {
+    if (options_.first_frames == 0) options_.first_frames = 1;
+    if (options_.max_frames == 0) options_.max_frames = 1;
+    options_.max_frames =
+        std::max(options_.max_frames, options_.first_frames);
+}
+
+SatAttempt SatFaultEngine::attempt(const Fault& fault) {
+    obs::Span span("sat.solve");
+    span.attr("net", static_cast<uint64_t>(fault.net));
+    span.attr("sa", fault.sa1 ? 1 : 0);
+
+    SatAttempt out;
+    try {
+        obs::inject_point("sat.solve");
+        out = attempt_impl(fault);
+    } catch (const util::FactorError& e) {
+        out.outcome = 'p';
+        out.error = e.what();
+    } catch (const std::exception& e) {
+        out.outcome = 'p';
+        out.error = e.what();
+    }
+
+    span.attr("outcome", std::string(1, out.outcome));
+    span.attr("conflicts", out.stats.conflicts);
+    obs::counter("sat.solves").add();
+    obs::counter("sat.conflicts").add(out.stats.conflicts);
+    obs::counter("sat.decisions").add(out.stats.decisions);
+    obs::counter("sat.propagations").add(out.stats.propagations);
+    obs::counter("sat.learned_clauses").add(out.stats.learned_clauses);
+    obs::counter("sat.restarts").add(out.stats.restarts);
+    return out;
+}
+
+SatAttempt SatFaultEngine::attempt_impl(const Fault& fault) {
+    SatAttempt out;
+    sat::FaultSite site;
+    site.net = fault.net;
+    site.gate = fault.gate;
+    site.pin = fault.pin;
+    site.sa1 = fault.sa1;
+
+    sat::SolverLimits limits;
+    limits.max_conflicts = options_.conflict_budget;
+    limits.guard = options_.guard;
+    limits.guard2 = options_.guard2;
+
+    // Redundancy proof first: depth-independent, and for combinational
+    // netlists it doubles as the complete detection check.
+    sat::MiterOptions ropts;
+    ropts.free_initial_state = true;
+    const sat::Miter redundancy(nl_, site, ropts, &fanout_);
+    sat::Solver rsolver(redundancy.cnf(), limits);
+    const sat::SolveResult rres = rsolver.solve();
+    accumulate(out.stats, rsolver.stats());
+    switch (rres) {
+    case sat::SolveResult::Unsat:
+        out.outcome = 'r';
+        return out;
+    case sat::SolveResult::Unknown:
+        out.outcome = 'k';
+        return out;
+    case sat::SolveResult::Sat:
+        if (combinational_) {
+            out.test = to_scalar(redundancy.extract_inputs(rsolver));
+            out.outcome = 's';
+            return out;
+        }
+        break; // sequential: the model may need real initialization
+    }
+
+    // Sequential detection at doubling depths. The miter's objective ORs
+    // over all frames, so a solve at depth d subsumes every depth <= d.
+    for (size_t depth = std::min(options_.first_frames, options_.max_frames);
+         ; depth = std::min(options_.max_frames, depth * 2)) {
+        sat::MiterOptions dopts;
+        dopts.frames = depth;
+        const sat::Miter miter(nl_, site, dopts, &fanout_);
+        sat::Solver solver(miter.cnf(), limits);
+        const sat::SolveResult res = solver.solve();
+        accumulate(out.stats, solver.stats());
+        if (res == sat::SolveResult::Sat) {
+            out.test = to_scalar(miter.extract_inputs(solver));
+            out.outcome = 's';
+            return out;
+        }
+        if (res == sat::SolveResult::Unknown) {
+            out.outcome = 'k';
+            return out;
+        }
+        if (depth >= options_.max_frames) break; // Unsat at the cap
+    }
+    out.outcome = 'n';
+    return out;
+}
+
+} // namespace factor::atpg

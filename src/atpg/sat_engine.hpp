@@ -1,0 +1,76 @@
+// SAT-based per-fault test generation: the bridge between the ATPG engine
+// and the src/sat/ subsystem (DESIGN.md §12).
+//
+// Each attempt() runs, in order:
+//   1. the redundancy miter (free binary state, single frame) — UNSAT is a
+//      proof the faulty machine is indistinguishable from the good one, so
+//      the fault is Redundant; for combinational netlists the same formula
+//      doubles as the complete detection check and a model IS a test;
+//   2. for sequential netlists, detection miters at a doubling depth
+//      schedule (first_frames, 2x, 4x, ... capped at max_frames) — one
+//      solve at depth d covers every depth <= d because the objective ORs
+//      over all frames.
+//
+// Outcomes use single characters so the engine's checkpoint journal can
+// record them verbatim:
+//   's' test found (model extracted; the dual-rail encoding matches the
+//       fault simulator exactly, so the simulator confirms it)
+//   'r' proven redundant (UNSAT redundancy proof)
+//   'n' no test within the depth cap (stays aborted)
+//   'k' solver budget exhausted (conflict cap or guard stop; stays aborted)
+//   'p' contained internal error
+#pragma once
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "sat/solver.hpp"
+#include "synth/netlist.hpp"
+#include "util/run_guard.hpp"
+
+#include <string>
+#include <vector>
+
+namespace factor::atpg {
+
+struct SatEngineOptions {
+    /// CDCL conflict cap per solve() call (deterministic); 0 = unlimited.
+    uint64_t conflict_budget = 20000;
+    /// Detection-depth schedule: start (the engine's PODEM unroll depth)
+    /// and cap (EngineOptions::sat_max_frames after auto-resolution).
+    size_t first_frames = 8;
+    size_t max_frames = 32;
+    /// Wall-clock guards polled during solves (never ticked): the engine's
+    /// local time budget and the caller's external pipeline guard.
+    util::RunGuard* guard = nullptr;
+    util::RunGuard* guard2 = nullptr;
+};
+
+struct SatAttempt {
+    char outcome = 'p'; // 's' | 'r' | 'n' | 'k' | 'p'
+    ScalarSequence test;    // valid when outcome == 's'
+    std::string error;      // valid when outcome == 'p'
+    /// Aggregate CDCL statistics over every solve of this attempt.
+    sat::SolverStats stats;
+};
+
+/// One instance per engine run; precomputes the fanout table shared by all
+/// of the run's miters. Not thread-safe by contract (the engine's sat-mode
+/// workers each construct their own, like FaultSimulator).
+class SatFaultEngine {
+  public:
+    SatFaultEngine(const synth::Netlist& nl, SatEngineOptions options);
+
+    /// Generate-or-prove for one fault. Never throws: internal failures
+    /// are contained as outcome 'p' like the PODEM workers' error slots.
+    [[nodiscard]] SatAttempt attempt(const Fault& fault);
+
+  private:
+    [[nodiscard]] SatAttempt attempt_impl(const Fault& fault);
+
+    const synth::Netlist& nl_;
+    SatEngineOptions options_;
+    std::vector<std::vector<synth::GateId>> fanout_;
+    bool combinational_ = false;
+};
+
+} // namespace factor::atpg

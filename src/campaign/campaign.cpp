@@ -137,6 +137,7 @@ obs::Doc ShardOutcome::doc(bool timing) const {
     d.add("detected", detected);
     d.add("untestable", untestable);
     d.add("aborted", aborted);
+    d.add("redundant", redundant);
     d.add("coverage_percent", coverage_percent);
     d.add("efficiency_percent", efficiency_percent);
     d.add("vectors", vectors);
@@ -169,6 +170,7 @@ obs::Doc CampaignResult::totals_doc(bool timing) const {
     d.add("detected", total_detected);
     d.add("untestable", total_untestable);
     d.add("aborted", total_aborted);
+    d.add("redundant", total_redundant);
     d.add("coverage_percent", coverage_percent);
     d.add("vectors", total_vectors);
     d.add("random_sequences", total_random_sequences);
@@ -313,6 +315,7 @@ struct ShardContext {
         so.detected = r.detected;
         so.untestable = r.untestable;
         so.aborted = r.aborted;
+        so.redundant = r.redundant;
         so.coverage_percent = r.coverage_percent;
         so.efficiency_percent = r.efficiency_percent;
         so.vectors = r.deterministic_tests;
@@ -343,7 +346,8 @@ struct ShardContext {
         // the rest of the campaign proceeds.
         so.status = ShardStatus::Crashed;
         so.detail = e.what();
-        so.faults = so.detected = so.untestable = so.aborted = 0;
+        so.faults = so.detected = so.untestable = so.aborted =
+            so.redundant = 0;
         so.coverage_percent = so.efficiency_percent = 0.0;
         so.vectors = so.random_sequences = 0;
     }
@@ -578,6 +582,7 @@ CampaignResult run_campaign(const elab::ElaboratedDesign& design,
             out.total_detected += s.detected;
             out.total_untestable += s.untestable;
             out.total_aborted += s.aborted;
+            out.total_redundant += s.redundant;
             out.total_vectors += s.vectors;
             out.total_random_sequences += s.random_sequences;
             out.status = util::worst(out.status, to_phase_status(s.status));
@@ -615,6 +620,7 @@ CampaignResult run_campaign(const elab::ElaboratedDesign& design,
         snap.detected = out.total_detected;
         snap.untestable = out.total_untestable;
         snap.aborted = out.total_aborted;
+        snap.redundant = out.total_redundant;
         snap.coverage_percent = out.coverage_percent;
         snap.vectors = out.total_vectors;
         snap.random_sequences = out.total_random_sequences;

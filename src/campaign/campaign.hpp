@@ -135,6 +135,7 @@ struct ShardOutcome {
     uint64_t detected = 0;
     uint64_t untestable = 0;
     uint64_t aborted = 0;
+    uint64_t redundant = 0; // SAT UNSAT redundancy proofs (DESIGN.md §12)
     double coverage_percent = 0.0;
     double efficiency_percent = 0.0;
     uint64_t vectors = 0;          // deterministic tests
@@ -183,6 +184,7 @@ struct CampaignResult {
     uint64_t total_detected = 0;
     uint64_t total_untestable = 0;
     uint64_t total_aborted = 0;
+    uint64_t total_redundant = 0;
     double coverage_percent = 0.0; // detected / faults over all shards
     uint64_t total_vectors = 0;
     uint64_t total_random_sequences = 0;

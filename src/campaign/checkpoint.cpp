@@ -36,6 +36,30 @@ std::string fingerprint(const elab::ElaboratedDesign& design,
     h.mix(static_cast<uint64_t>(e.retry_rounds));
     h.mix(e.retry_backtrack_growth);
     h.mix(e.retry_backtrack_cap);
+    // The resolved engine kind and the resolved SAT knobs shape every
+    // shard's trajectory exactly like the PODEM knobs above (DESIGN.md
+    // §12). A malformed FACTOR_ENGINE / FACTOR_SAT_* must not throw out
+    // of run_campaign — every shard will report the named error itself;
+    // fingerprint the unresolved option in that case.
+    std::string_view eng;
+    try {
+        eng = atpg::to_string(atpg::resolve_engine(e.engine));
+    } catch (const util::FactorError&) {
+        eng = atpg::to_string(e.engine);
+    }
+    h.mix(eng);
+    uint64_t sat_budget = e.sat_conflict_budget;
+    try {
+        sat_budget = atpg::resolve_sat_budget(e.sat_conflict_budget);
+    } catch (const util::FactorError&) {
+    }
+    h.mix(sat_budget);
+    uint64_t sat_frames = e.sat_max_frames;
+    try {
+        sat_frames = atpg::resolve_sat_frames(e.sat_max_frames);
+    } catch (const util::FactorError&) {
+    }
+    h.mix(sat_frames);
     return h.hex();
 }
 
@@ -66,6 +90,7 @@ util::JournalRecord encode_shard(const ShardOutcome& s) {
         .set_u64("det", s.detected)
         .set_u64("unt", s.untestable)
         .set_u64("abt", s.aborted)
+        .set_u64("rdt", s.redundant)
         .set_f64("cov", s.coverage_percent)
         .set_f64("eff", s.efficiency_percent)
         .set_u64("vec", s.vectors)
@@ -120,6 +145,7 @@ namespace {
     out.detected = rec.get_u64("det");
     out.untestable = rec.get_u64("unt");
     out.aborted = rec.get_u64("abt");
+    out.redundant = rec.get_u64("rdt"); // absent in pre-§12 journals: 0
     out.coverage_percent = rec.get_f64("cov");
     out.efficiency_percent = rec.get_f64("eff");
     out.vectors = rec.get_u64("vec");
@@ -133,11 +159,12 @@ namespace {
     // fault (aborting the remainder on a stop) before the supervisor
     // journals the outcome, so a mismatch means the record captured a
     // shard mid-flight — a torn shard boundary, never trusted.
-    if (out.detected + out.untestable + out.aborted != out.faults) {
+    if (out.detected + out.untestable + out.aborted + out.redundant !=
+        out.faults) {
         return "campaign.ckpt_torn_shard: shard " +
                std::to_string(out.index) +
-               " counts do not close (detected + untestable + aborted != "
-               "faults) — torn shard boundary";
+               " counts do not close (detected + untestable + aborted + "
+               "redundant != faults) — torn shard boundary";
     }
     out.resumed = true;
     return "";

@@ -119,6 +119,7 @@ Doc progress_doc(const ProgressSnapshot& s, uint64_t seq, bool final_event) {
     d.add("detected", s.detected);
     d.add("untestable", s.untestable);
     d.add("aborted", s.aborted);
+    d.add("redundant", s.redundant);
     d.add("coverage_percent", s.coverage_percent);
     d.add("vectors", s.vectors);
     d.add("random_sequences", s.random_sequences);

@@ -34,7 +34,7 @@ namespace factor::obs {
 /// Counts are cumulative across --resume attempts.
 struct ProgressSnapshot {
     const char* phase = "";     // "replay"|"random"|"deterministic"|"retry"
-                                // (campaign supervisor: "campaign")
+                                // |"sat" (campaign supervisor: "campaign")
     /// Campaign context: the MUT path of the shard this snapshot belongs
     /// to, plus the campaign's completion counters. Filled by the campaign
     /// supervisor; engine snapshots inherit the label of the surrounding
@@ -44,10 +44,12 @@ struct ProgressSnapshot {
     uint64_t shards_total = 0;
     uint64_t shards_done = 0;
     uint64_t faults_total = 0;
-    uint64_t faults_done = 0;   // resolved: detected + untestable + aborted
+    /// Resolved: detected + untestable + aborted + redundant.
+    uint64_t faults_done = 0;
     uint64_t detected = 0;
     uint64_t untestable = 0;
     uint64_t aborted = 0;
+    uint64_t redundant = 0; // SAT UNSAT redundancy proofs
     double coverage_percent = 0.0;
     uint64_t vectors = 0;            // committed deterministic tests
     uint64_t random_sequences = 0;   // applied random sequences

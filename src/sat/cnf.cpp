@@ -1,0 +1,169 @@
+#include "sat/cnf.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace factor::sat {
+
+Lit Cnf::true_lit() {
+    if (!true_.defined()) {
+        true_ = mk_lit(new_var());
+        add({true_});
+    }
+    return true_;
+}
+
+Lit Cnf::make_and(const std::vector<Lit>& ins) {
+    std::vector<Lit> kept;
+    kept.reserve(ins.size());
+    for (Lit l : ins) {
+        if (is_false(l)) return ~true_lit();
+        if (is_true(l)) continue;
+        kept.push_back(l);
+    }
+    if (kept.empty()) return true_lit();
+    if (kept.size() == 1) return kept[0];
+    const Lit y = mk_lit(new_var());
+    // y -> each input; all inputs -> y.
+    std::vector<Lit> big;
+    big.reserve(kept.size() + 1);
+    big.push_back(y);
+    for (Lit l : kept) {
+        add({~y, l});
+        big.push_back(~l);
+    }
+    add(std::move(big));
+    return y;
+}
+
+Lit Cnf::make_or(const std::vector<Lit>& ins) {
+    std::vector<Lit> kept;
+    kept.reserve(ins.size());
+    for (Lit l : ins) {
+        if (is_true(l)) return true_lit();
+        if (is_false(l)) continue;
+        kept.push_back(l);
+    }
+    if (kept.empty()) return ~true_lit();
+    if (kept.size() == 1) return kept[0];
+    const Lit y = mk_lit(new_var());
+    // each input -> y; y -> some input.
+    std::vector<Lit> big;
+    big.reserve(kept.size() + 1);
+    big.push_back(~y);
+    for (Lit l : kept) {
+        add({y, ~l});
+        big.push_back(l);
+    }
+    add(std::move(big));
+    return y;
+}
+
+namespace {
+
+struct Cursor {
+    std::string_view text;
+    size_t pos = 0;
+
+    void skip_space_and_comments() {
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == 'c') { // comment line
+                while (pos < text.size() && text[pos] != '\n') ++pos;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else {
+                return;
+            }
+        }
+    }
+
+    [[nodiscard]] bool next_int(int64_t& out) {
+        skip_space_and_comments();
+        if (pos >= text.size()) return false;
+        const char* first = text.data() + pos;
+        const char* last = text.data() + text.size();
+        auto [ptr, ec] = std::from_chars(first, last, out);
+        if (ec != std::errc{} || ptr == first) return false;
+        pos += static_cast<size_t>(ptr - first);
+        return true;
+    }
+
+    [[nodiscard]] bool at_end() {
+        skip_space_and_comments();
+        return pos >= text.size();
+    }
+};
+
+} // namespace
+
+bool parse_dimacs(std::string_view text, Cnf& out, std::string& error) {
+    Cursor cur{text};
+    cur.skip_space_and_comments();
+    // Header: "p cnf <vars> <clauses>".
+    if (cur.pos >= text.size() || text[cur.pos] != 'p') {
+        error = "dimacs: missing 'p cnf' header";
+        return false;
+    }
+    ++cur.pos;
+    // Plain whitespace only: the comment skipper would mistake the leading
+    // 'c' of the "cnf" token itself for a comment line.
+    while (cur.pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[cur.pos]))) {
+        ++cur.pos;
+    }
+    if (text.substr(cur.pos, 3) != "cnf") {
+        error = "dimacs: header format is not 'p cnf'";
+        return false;
+    }
+    cur.pos += 3;
+    int64_t declared_vars = 0;
+    int64_t declared_clauses = 0;
+    if (!cur.next_int(declared_vars) || !cur.next_int(declared_clauses) ||
+        declared_vars < 0 || declared_clauses < 0) {
+        error = "dimacs: malformed header counts";
+        return false;
+    }
+    if (static_cast<uint64_t>(declared_vars) > kDimacsMaxVars ||
+        static_cast<uint64_t>(declared_clauses) > kDimacsMaxClauses) {
+        error = "dimacs: declared size exceeds parser caps";
+        return false;
+    }
+    while (static_cast<int64_t>(out.num_vars()) < declared_vars) {
+        (void)out.new_var();
+    }
+    std::vector<Lit> clause;
+    bool open = false;
+    int64_t v = 0;
+    while (cur.next_int(v)) {
+        if (v == 0) {
+            out.add(clause);
+            clause.clear();
+            open = false;
+            continue;
+        }
+        const int64_t var = (v < 0 ? -v : v) - 1;
+        if (var >= declared_vars) {
+            error = "dimacs: literal outside declared variable range";
+            return false;
+        }
+        clause.push_back(mk_lit(static_cast<uint32_t>(var), v < 0));
+        open = true;
+    }
+    if (!cur.at_end()) {
+        error = "dimacs: garbage where a literal was expected";
+        return false;
+    }
+    if (open) {
+        error = "dimacs: unterminated clause (missing trailing 0)";
+        return false;
+    }
+    if (static_cast<int64_t>(out.num_clauses()) != declared_clauses) {
+        error = "dimacs: clause count does not match header";
+        return false;
+    }
+    return true;
+}
+
+} // namespace factor::sat

@@ -1,0 +1,91 @@
+// CNF formula builder shared by the Tseitin encoder and the CDCL solver.
+//
+// Literals use the MiniSat convention: variable v (0-based) yields the
+// positive literal 2v and the negated literal 2v+1, so a literal indexes
+// watch lists directly and negation is one XOR. The builder owns the clause
+// database in a flat form the solver loads once; it also provides the small
+// gate-consistency helpers (make_and / make_or with full Tseitin
+// equivalence) the dual-rail netlist encoder is built from, plus a bounded
+// DIMACS parser for the fuzz corpus under tests/fuzz/*.cnf.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace factor::sat {
+
+/// Packed literal; `x == kUndef` marks "no literal".
+struct Lit {
+    uint32_t x = 0xffffffffu;
+
+    [[nodiscard]] constexpr uint32_t var() const { return x >> 1; }
+    [[nodiscard]] constexpr bool sign() const { return (x & 1u) != 0; }
+    [[nodiscard]] constexpr bool defined() const { return x != 0xffffffffu; }
+    [[nodiscard]] constexpr bool operator==(const Lit&) const = default;
+};
+
+[[nodiscard]] constexpr Lit mk_lit(uint32_t var, bool neg = false) {
+    return Lit{(var << 1) | (neg ? 1u : 0u)};
+}
+[[nodiscard]] constexpr Lit operator~(Lit l) { return Lit{l.x ^ 1u}; }
+
+constexpr Lit kLitUndef{};
+
+/// Growable CNF formula. Clauses are stored as literal vectors; the solver
+/// copies them into its arena at construction. `true_lit()` lazily
+/// allocates a distinguished always-true variable so gate helpers can fold
+/// constants without special sentinel encodings leaking into the solver.
+class Cnf {
+  public:
+    [[nodiscard]] uint32_t new_var() { return num_vars_++; }
+    [[nodiscard]] uint32_t num_vars() const { return num_vars_; }
+
+    void add(std::vector<Lit> clause) { clauses_.push_back(std::move(clause)); }
+    void add(std::initializer_list<Lit> clause) {
+        clauses_.emplace_back(clause);
+    }
+
+    [[nodiscard]] const std::vector<std::vector<Lit>>& clauses() const {
+        return clauses_;
+    }
+    [[nodiscard]] size_t num_clauses() const { return clauses_.size(); }
+
+    /// The distinguished constant-true literal (unit clause added on first
+    /// use); ~true_lit() is constant false.
+    [[nodiscard]] Lit true_lit();
+    [[nodiscard]] bool is_true(Lit l) const {
+        return true_.defined() && l == true_;
+    }
+    [[nodiscard]] bool is_false(Lit l) const {
+        return true_.defined() && l == ~true_;
+    }
+
+    /// y <-> AND(ins) with constant folding: known-false input returns
+    /// constant false, known-true inputs drop out, empty AND is true, a
+    /// single survivor passes through without a fresh variable.
+    [[nodiscard]] Lit make_and(const std::vector<Lit>& ins);
+    /// y <-> OR(ins), the De Morgan dual of make_and.
+    [[nodiscard]] Lit make_or(const std::vector<Lit>& ins);
+
+  private:
+    uint32_t num_vars_ = 0;
+    std::vector<std::vector<Lit>> clauses_;
+    Lit true_ = kLitUndef;
+};
+
+/// Bounded DIMACS parser for the fuzz corpus. Returns true and fills `out`
+/// on success; returns false with a one-line diagnostic in `error`
+/// otherwise (missing/garbled "p cnf" header, literal outside the declared
+/// variable range, unterminated clause, declared sizes past the caps).
+/// Never throws and never crashes on malformed input.
+[[nodiscard]] bool parse_dimacs(std::string_view text, Cnf& out,
+                                std::string& error);
+
+/// Parser caps: reject absurd headers before allocating.
+inline constexpr uint64_t kDimacsMaxVars = 1u << 22;     // 4M
+inline constexpr uint64_t kDimacsMaxClauses = 1u << 23;  // 8M
+
+} // namespace factor::sat

@@ -1,0 +1,156 @@
+#include "sat/encoder.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace factor::sat {
+
+namespace {
+
+[[nodiscard]] Rails forced_rails(Lit true_lit, bool sa1) {
+    return sa1 ? Rails{true_lit, ~true_lit} : Rails{~true_lit, true_lit};
+}
+
+} // namespace
+
+CircuitCopy::CircuitCopy(const synth::Netlist& nl, Cnf& cnf,
+                         const std::vector<std::vector<Lit>>& pi_lits,
+                         const std::vector<Lit>& shared_state,
+                         CopyOptions opts)
+    : opts_(opts), num_nets_(nl.num_nets()) {
+    if (opts_.frames == 0 || pi_lits.size() < opts_.frames) {
+        throw util::FactorError("sat encoder: bad frame/pi_lits shape");
+    }
+    const Lit T = cnf.true_lit();
+    const Lit F = ~T;
+    // Everything starts as X: undriven non-PI nets stay that way, matching
+    // the simulator's treatment of floating inputs.
+    rails_.assign(opts_.frames * num_nets_, Rails{F, F});
+
+    const auto topo = nl.levelize_shared(); // throws on combinational cycles
+    const auto dffs = nl.dffs();
+    const FaultSite* fault = opts_.fault;
+    const bool stem = fault != nullptr && fault->is_stem();
+    const Rails fault_rails =
+        fault != nullptr ? forced_rails(T, fault->sa1) : Rails{};
+
+    auto in_cone = [&](synth::NetId n) {
+        return opts_.affected == nullptr || (*opts_.affected)[n] != 0;
+    };
+
+    for (size_t f = 0; f < opts_.frames; ++f) {
+        // Primary inputs: binary, shared across copies via pi_lits.
+        const auto& pis = nl.inputs();
+        for (size_t i = 0; i < pis.size(); ++i) {
+            set(f, pis[i], Rails{pi_lits[f][i], ~pi_lits[f][i]});
+        }
+        // Flip-flop outputs.
+        for (size_t k = 0; k < dffs.size(); ++k) {
+            const synth::Gate& g = nl.gate(dffs[k]);
+            if (!in_cone(g.out)) continue;
+            if (f == 0) {
+                if (opts_.free_initial_state) {
+                    const Lit s = shared_state[k];
+                    set(0, g.out, Rails{s, ~s});
+                } // else: stays X
+                continue;
+            }
+            // Branch fault on the D pin: the faulty copy's flop latches the
+            // forced constant instead of the previous frame's D value.
+            if (fault != nullptr && !stem && fault->gate == dffs[k]) {
+                set(f, g.out, fault_rails);
+            } else {
+                set(f, g.out, rails(f - 1, g.ins[0]));
+            }
+        }
+        // Stem fault: the site net is forced in every frame, overriding
+        // whatever would drive it (PI, DFF or gate below).
+        if (stem) set(f, fault->net, fault_rails);
+
+        // Combinational gates in topological order.
+        std::vector<Rails> ins;
+        for (const synth::GateId gid : *topo) {
+            const synth::Gate& g = nl.gate(gid);
+            if (stem && g.out == fault->net) continue; // site is forced
+            if (!in_cone(g.out)) continue;             // aliases reference
+            ins.clear();
+            for (size_t p = 0; p < g.ins.size(); ++p) {
+                if (fault != nullptr && !stem && fault->gate == gid &&
+                    static_cast<int>(p) == fault->pin) {
+                    ins.push_back(fault_rails);
+                } else {
+                    ins.push_back(rails(f, g.ins[p]));
+                }
+            }
+            set(f, g.out, eval_gate(cnf, g, ins));
+        }
+    }
+}
+
+Rails CircuitCopy::eval_gate(Cnf& cnf, const synth::Gate& gate,
+                             const std::vector<Rails>& ins) const {
+    auto ones = [&] {
+        std::vector<Lit> v;
+        v.reserve(ins.size());
+        for (const Rails& r : ins) v.push_back(r.one);
+        return v;
+    };
+    auto zeros = [&] {
+        std::vector<Lit> v;
+        v.reserve(ins.size());
+        for (const Rails& r : ins) v.push_back(r.zero);
+        return v;
+    };
+    switch (gate.type) {
+    case synth::GateType::Const0:
+        return Rails{~cnf.true_lit(), cnf.true_lit()};
+    case synth::GateType::Const1:
+        return Rails{cnf.true_lit(), ~cnf.true_lit()};
+    case synth::GateType::Buf:
+        return ins[0];
+    case synth::GateType::Not:
+        return Rails{ins[0].zero, ins[0].one};
+    case synth::GateType::And:
+        return Rails{cnf.make_and(ones()), cnf.make_or(zeros())};
+    case synth::GateType::Or:
+        return Rails{cnf.make_or(ones()), cnf.make_and(zeros())};
+    case synth::GateType::Nand:
+        return Rails{cnf.make_or(zeros()), cnf.make_and(ones())};
+    case synth::GateType::Nor:
+        return Rails{cnf.make_and(zeros()), cnf.make_or(ones())};
+    case synth::GateType::Xor: {
+        const Rails a = ins[0];
+        const Rails b = ins[1];
+        return Rails{cnf.make_or({cnf.make_and({a.one, b.zero}),
+                                  cnf.make_and({a.zero, b.one})}),
+                     cnf.make_or({cnf.make_and({a.one, b.one}),
+                                  cnf.make_and({a.zero, b.zero})})};
+    }
+    case synth::GateType::Xnor: {
+        const Rails a = ins[0];
+        const Rails b = ins[1];
+        return Rails{cnf.make_or({cnf.make_and({a.one, b.one}),
+                                  cnf.make_and({a.zero, b.zero})}),
+                     cnf.make_or({cnf.make_and({a.one, b.zero}),
+                                  cnf.make_and({a.zero, b.one})})};
+    }
+    case synth::GateType::Mux: {
+        // ins = {sel, a, b}: out = sel ? b : a, with the "both sides
+        // agree" term keeping the output binary under an unknown select —
+        // same truth table as logic.hpp's v_mux.
+        const Rails s = ins[0];
+        const Rails a = ins[1];
+        const Rails b = ins[2];
+        return Rails{cnf.make_or({cnf.make_and({s.one, b.one}),
+                                  cnf.make_and({s.zero, a.one}),
+                                  cnf.make_and({a.one, b.one})}),
+                     cnf.make_or({cnf.make_and({s.one, b.zero}),
+                                  cnf.make_and({s.zero, a.zero}),
+                                  cnf.make_and({a.zero, b.zero})})};
+    }
+    case synth::GateType::Dff:
+        break; // handled by the frame loop
+    }
+    throw util::FactorError("sat encoder: unexpected gate type");
+}
+
+} // namespace factor::sat

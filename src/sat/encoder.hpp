@@ -1,0 +1,86 @@
+// Dual-rail Tseitin encoder for synth::Netlist.
+//
+// Every (frame, net) gets a pair of CNF literals {one, zero} mirroring the
+// fault simulator's V64 rails exactly: one ∧ zero never holds (by induction
+// from the sources), and neither rail set means X. Primary inputs are
+// binary (one fresh variable v per frame-PI; one = v, zero = ¬v), frame-0
+// flip-flop outputs are X (both rails constant false) or — for the
+// redundancy-check miter — free binary pseudo-inputs, and frame f > 0
+// flip-flop outputs alias the D-input rails of frame f-1. Gate rails apply
+// the same equations as logic.hpp's v_and/v_or/v_xor/v_mux, so a model of
+// the CNF is precisely a 3-valued simulator trajectory: any test the SAT
+// engine extracts is confirmed by the fault simulator by construction.
+//
+// A copy can inject one single-stuck-at fault (stem or branch) and can be
+// cone-restricted: nets outside the fault's sequential fanout closure alias
+// the reference (fault-free) copy's rails instead of being re-encoded.
+#pragma once
+
+#include "sat/cnf.hpp"
+#include "synth/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace factor::sat {
+
+/// One rail pair; both kLitUndef only before the copy is built.
+struct Rails {
+    Lit one = kLitUndef;
+    Lit zero = kLitUndef;
+};
+
+/// Single stuck-at fault site, mirroring atpg::Fault without the dependency:
+/// stem faults live on `net` (gate == kNoGate), branch faults on input pin
+/// `pin` of `gate`.
+struct FaultSite {
+    synth::NetId net = synth::kNoNet;
+    synth::GateId gate = synth::Netlist::kNoGate;
+    int pin = -1;
+    bool sa1 = false;
+
+    [[nodiscard]] bool is_stem() const {
+        return gate == synth::Netlist::kNoGate;
+    }
+};
+
+struct CopyOptions {
+    size_t frames = 1;
+    /// Frame-0 DFF outputs: X when false; free binary pseudo-inputs (from
+    /// `shared_state`, one per DFF in dffs() order) when true.
+    bool free_initial_state = false;
+    /// Fault injected into this copy (nullptr = fault-free copy).
+    const FaultSite* fault = nullptr;
+    /// Cone restriction: nets with affected[net] == 0 alias `reference`.
+    const class CircuitCopy* reference = nullptr;
+    const std::vector<uint8_t>* affected = nullptr;
+};
+
+/// One time-frame-unrolled copy of a netlist inside a shared Cnf.
+/// Throws util::FactorError on combinational cycles (via levelize()).
+class CircuitCopy {
+  public:
+    CircuitCopy(const synth::Netlist& nl, Cnf& cnf,
+                const std::vector<std::vector<Lit>>& pi_lits,
+                const std::vector<Lit>& shared_state, CopyOptions opts);
+
+    [[nodiscard]] Rails rails(size_t frame, synth::NetId n) const {
+        if (opts_.affected != nullptr && (*opts_.affected)[n] == 0) {
+            return opts_.reference->rails(frame, n);
+        }
+        return rails_[frame * num_nets_ + n];
+    }
+
+  private:
+    void set(size_t frame, synth::NetId n, Rails r) {
+        rails_[frame * num_nets_ + n] = r;
+    }
+    [[nodiscard]] Rails eval_gate(Cnf& cnf, const synth::Gate& gate,
+                                  const std::vector<Rails>& ins) const;
+
+    CopyOptions opts_;
+    size_t num_nets_ = 0;
+    std::vector<Rails> rails_;
+};
+
+} // namespace factor::sat

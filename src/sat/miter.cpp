@@ -1,0 +1,108 @@
+#include "sat/miter.hpp"
+
+#include <algorithm>
+
+namespace factor::sat {
+
+std::vector<uint8_t>
+fault_cone(const synth::Netlist& nl, const FaultSite& fault,
+           const std::vector<std::vector<synth::GateId>>* fanout_in) {
+    std::vector<uint8_t> affected(nl.num_nets(), 0);
+    std::vector<std::vector<synth::GateId>> local;
+    if (fanout_in == nullptr) {
+        local = nl.build_fanout();
+        fanout_in = &local;
+    }
+    const auto& fanout = *fanout_in;
+    std::vector<synth::NetId> queue;
+    auto mark = [&](synth::NetId n) {
+        if (n != synth::kNoNet && affected[n] == 0) {
+            affected[n] = 1;
+            queue.push_back(n);
+        }
+    };
+    if (fault.is_stem()) {
+        mark(fault.net);
+    } else {
+        mark(nl.gate(fault.gate).out);
+    }
+    while (!queue.empty()) {
+        const synth::NetId n = queue.back();
+        queue.pop_back();
+        for (const synth::GateId g : fanout[n]) {
+            mark(nl.gate(g).out); // DFFs included: the closure is sequential
+        }
+    }
+    return affected;
+}
+
+Miter::Miter(const synth::Netlist& nl, const FaultSite& fault,
+             const MiterOptions& opts,
+             const std::vector<std::vector<synth::GateId>>* fanout)
+    : frames_(opts.free_initial_state ? 1 : std::max<size_t>(1, opts.frames)) {
+    // Shared binary primary inputs.
+    pi_lits_.resize(frames_);
+    for (size_t f = 0; f < frames_; ++f) {
+        pi_lits_[f].reserve(nl.inputs().size());
+        for (size_t i = 0; i < nl.inputs().size(); ++i) {
+            pi_lits_[f].push_back(mk_lit(cnf_.new_var()));
+        }
+    }
+    // Shared free-state pseudo-inputs (redundancy form only).
+    const auto dffs = nl.dffs();
+    std::vector<Lit> state;
+    if (opts.free_initial_state) {
+        state.reserve(dffs.size());
+        for (size_t k = 0; k < dffs.size(); ++k) {
+            state.push_back(mk_lit(cnf_.new_var()));
+        }
+    }
+
+    CopyOptions good_opts;
+    good_opts.frames = frames_;
+    good_opts.free_initial_state = opts.free_initial_state;
+    const CircuitCopy good(nl, cnf_, pi_lits_, state, good_opts);
+
+    const std::vector<uint8_t> affected = fault_cone(nl, fault, fanout);
+    CopyOptions bad_opts = good_opts;
+    bad_opts.fault = &fault;
+    bad_opts.reference = &good;
+    bad_opts.affected = &affected;
+    const CircuitCopy faulty(nl, cnf_, pi_lits_, state, bad_opts);
+
+    // Observation points: POs always; DFF D-inputs in the redundancy form.
+    std::vector<synth::NetId> points(nl.outputs());
+    if (opts.free_initial_state) {
+        for (const synth::GateId g : dffs) {
+            points.push_back(nl.gate(g).ins[0]);
+        }
+    }
+    std::vector<Lit> diffs;
+    for (size_t f = 0; f < frames_; ++f) {
+        for (const synth::NetId n : points) {
+            const Rails g = good.rails(f, n);
+            const Rails b = faulty.rails(f, n);
+            if (g.one == b.one && g.zero == b.zero) continue; // outside cone
+            diffs.push_back(cnf_.make_or({cnf_.make_and({g.one, b.zero}),
+                                          cnf_.make_and({g.zero, b.one})}));
+        }
+    }
+    // Assert "some observation point definitely differs". An empty or
+    // constant-false objective (fault cone reaches no observation point)
+    // makes the formula trivially UNSAT: the fault is redundant.
+    cnf_.add({cnf_.make_or(diffs)});
+}
+
+std::vector<std::vector<bool>>
+Miter::extract_inputs(const Solver& solver) const {
+    std::vector<std::vector<bool>> frames(pi_lits_.size());
+    for (size_t f = 0; f < pi_lits_.size(); ++f) {
+        frames[f].reserve(pi_lits_[f].size());
+        for (const Lit l : pi_lits_[f]) {
+            frames[f].push_back(solver.model_value(l));
+        }
+    }
+    return frames;
+}
+
+} // namespace factor::sat

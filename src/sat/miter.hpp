@@ -1,0 +1,69 @@
+// Fault-free/faulty miter construction for single-stuck-at faults.
+//
+// Two forms, both over the dual-rail encoding (encoder.hpp):
+//
+//  * Detection miter — both copies unrolled `frames` time frames with X
+//    initial state (exactly the fault simulator's world). The objective
+//    asserts that some primary output in some frame is *definitely*
+//    different: (good.one ∧ faulty.zero) ∨ (good.zero ∧ faulty.one). A
+//    model therefore is a test sequence the conservative 3-valued fault
+//    simulator confirms; UNSAT only means "no test within this depth".
+//
+//  * Redundancy miter (free_initial_state) — a single frame in which DFF
+//    outputs are free binary pseudo-inputs shared by both copies and the
+//    observation points are the POs plus every DFF D-input. UNSAT proves
+//    the good and faulty machines compute identical output AND next-state
+//    functions over the whole binary state space, i.e. the machines are
+//    indistinguishable by any input sequence: the fault is redundant.
+//    (A definite 3-valued detection implies a binary-completion detection,
+//    so the proof covers the simulator's X-initialized world too.)
+//
+// The faulty copy is restricted to the fault's sequential fanout closure;
+// everything outside the cone aliases the good copy's literals.
+#pragma once
+
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "synth/netlist.hpp"
+
+#include <vector>
+
+namespace factor::sat {
+
+struct MiterOptions {
+    size_t frames = 1;
+    bool free_initial_state = false;
+};
+
+class Miter {
+  public:
+    /// Builds the full CNF. Throws util::FactorError on structurally
+    /// un-encodable netlists (combinational cycles). `fanout`, when
+    /// non-null, is a precomputed nl.build_fanout() table reused across
+    /// many miters of the same netlist.
+    Miter(const synth::Netlist& nl, const FaultSite& fault,
+          const MiterOptions& opts,
+          const std::vector<std::vector<synth::GateId>>* fanout = nullptr);
+
+    [[nodiscard]] const Cnf& cnf() const { return cnf_; }
+    [[nodiscard]] size_t frames() const { return frames_; }
+
+    /// Binary PI assignment per frame from a Sat model.
+    [[nodiscard]] std::vector<std::vector<bool>>
+    extract_inputs(const Solver& solver) const;
+
+  private:
+    Cnf cnf_;
+    size_t frames_ = 1;
+    std::vector<std::vector<Lit>> pi_lits_; // [frame][pi]
+};
+
+/// Sequential fanout closure of the fault site (stem: the net itself;
+/// branch: the reading gate's output), crossing DFF boundaries. One byte
+/// per net; 1 = the fault can influence this net in some frame. `fanout`,
+/// when non-null, skips the internal build_fanout() pass.
+[[nodiscard]] std::vector<uint8_t>
+fault_cone(const synth::Netlist& nl, const FaultSite& fault,
+           const std::vector<std::vector<synth::GateId>>* fanout = nullptr);
+
+} // namespace factor::sat

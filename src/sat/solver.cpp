@@ -1,0 +1,336 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+namespace factor::sat {
+
+const char* to_string(SolveResult r) {
+    switch (r) {
+    case SolveResult::Sat: return "sat";
+    case SolveResult::Unsat: return "unsat";
+    case SolveResult::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+uint64_t luby(uint32_t i) {
+    // Find the finite subsequence containing index i (1-based internally).
+    uint32_t k = 1;
+    uint64_t size = 1;
+    while (size < i + 1u) {
+        ++k;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --k;
+        i = i % static_cast<uint32_t>(size);
+    }
+    return uint64_t{1} << (k - 1);
+}
+
+constexpr uint64_t kRestartBase = 64;
+
+} // namespace
+
+Solver::Solver(const Cnf& cnf, SolverLimits limits) : limits_(limits) {
+    const uint32_t n = cnf.num_vars();
+    watches_.resize(size_t{2} * n);
+    assign_.assign(n, -1);
+    level_.assign(n, 0);
+    reason_.assign(n, kNoClause);
+    activity_.assign(n, 0.0);
+    polarity_.assign(n, 0);
+    seen_.assign(n, 0);
+    heap_pos_.assign(n, kNoClause);
+    heap_.reserve(n);
+    for (uint32_t v = 0; v < n; ++v) heap_insert(v);
+
+    std::vector<Lit> tmp;
+    for (const auto& clause : cnf.clauses()) {
+        if (top_level_conflict_) break;
+        tmp = clause;
+        std::sort(tmp.begin(), tmp.end(),
+                  [](Lit a, Lit b) { return a.x < b.x; });
+        tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+        bool tautology = false;
+        bool satisfied = false;
+        size_t w = 0;
+        for (size_t i = 0; i < tmp.size(); ++i) {
+            if (i + 1 < tmp.size() && tmp[i].var() == tmp[i + 1].var()) {
+                tautology = true; // p and ~p in one clause
+                break;
+            }
+            const int v = lit_value(tmp[i]);
+            if (v == 1) {
+                satisfied = true; // true at top level already
+                break;
+            }
+            if (v == -1) tmp[w++] = tmp[i]; // drop top-level-false literals
+        }
+        if (tautology || satisfied) continue;
+        tmp.resize(w);
+        if (tmp.empty()) {
+            top_level_conflict_ = true;
+        } else if (tmp.size() == 1) {
+            if (lit_value(tmp[0]) == -1) enqueue(tmp[0], kNoClause);
+        } else {
+            const auto cref = static_cast<uint32_t>(clauses_.size());
+            clauses_.push_back(Clause{tmp});
+            attach(cref);
+        }
+    }
+}
+
+void Solver::attach(uint32_t cref) {
+    const auto& c = clauses_[cref].lits;
+    watches_[(~c[0]).x].push_back({cref, c[1]});
+    watches_[(~c[1]).x].push_back({cref, c[0]});
+}
+
+void Solver::enqueue(Lit l, uint32_t reason) {
+    const uint32_t v = l.var();
+    assign_[v] = l.sign() ? 0 : 1;
+    level_[v] = decision_level();
+    reason_[v] = reason;
+    trail_.push_back(l);
+}
+
+void Solver::backtrack_to(uint32_t level) {
+    if (decision_level() <= level) return;
+    const size_t keep = trail_lim_[level];
+    for (size_t i = trail_.size(); i-- > keep;) {
+        const uint32_t v = trail_[i].var();
+        polarity_[v] = static_cast<uint8_t>(assign_[v]); // phase saving
+        assign_[v] = -1;
+        reason_[v] = kNoClause;
+        if (heap_pos_[v] == kNoClause) heap_insert(v);
+    }
+    trail_.resize(keep);
+    trail_lim_.resize(level);
+    qhead_ = trail_.size();
+}
+
+uint32_t Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++]; // p just became true
+        auto& ws = watches_[p.x];       // clauses watching ~p
+        size_t i = 0;
+        size_t j = 0;
+        while (i < ws.size()) {
+            const Watch w = ws[i];
+            if (lit_value(w.blocker) == 1) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            auto& lits = clauses_[w.cref].lits;
+            const Lit false_lit = ~p;
+            if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+            const Lit first = lits[0];
+            if (first != w.blocker && lit_value(first) == 1) {
+                ws[j++] = {w.cref, first};
+                ++i;
+                continue;
+            }
+            bool moved = false;
+            for (size_t k = 2; k < lits.size(); ++k) {
+                if (lit_value(lits[k]) != 0) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[(~lits[1]).x].push_back({w.cref, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) {
+                ++i; // watch migrated to the new literal
+                continue;
+            }
+            if (lit_value(first) == 0) { // conflict
+                while (i < ws.size()) ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return w.cref;
+            }
+            ++stats_.propagations; // unit: first is implied
+            enqueue(first, w.cref);
+            ws[j++] = {w.cref, first};
+            ++i;
+        }
+        ws.resize(j);
+    }
+    return kNoClause;
+}
+
+void Solver::analyze(uint32_t conflict, std::vector<Lit>& learnt,
+                     uint32_t& out_level) {
+    learnt.clear();
+    learnt.push_back(kLitUndef); // slot for the asserting literal
+    uint32_t cref = conflict;
+    Lit p = kLitUndef;
+    size_t index = trail_.size();
+    int pending = 0; // current-level literals still to resolve
+    do {
+        const auto& lits = clauses_[cref].lits;
+        for (size_t k = p.defined() ? 1 : 0; k < lits.size(); ++k) {
+            const Lit q = lits[k];
+            const uint32_t v = q.var();
+            if (seen_[v] || level_[v] == 0) continue;
+            seen_[v] = 1;
+            bump(v);
+            if (level_[v] >= decision_level()) {
+                ++pending;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        while (!seen_[trail_[index - 1].var()]) --index;
+        p = trail_[--index];
+        cref = reason_[p.var()];
+        seen_[p.var()] = 0;
+        --pending;
+    } while (pending > 0);
+    learnt[0] = ~p;
+
+    if (learnt.size() == 1) {
+        out_level = 0;
+    } else {
+        // Second watch: the highest-level literal below the current level.
+        size_t best = 1;
+        for (size_t k = 2; k < learnt.size(); ++k) {
+            if (level_[learnt[k].var()] > level_[learnt[best].var()]) best = k;
+        }
+        std::swap(learnt[1], learnt[best]);
+        out_level = level_[learnt[1].var()];
+    }
+    for (size_t k = 1; k < learnt.size(); ++k) seen_[learnt[k].var()] = 0;
+}
+
+SolveResult Solver::solve() {
+    if (top_level_conflict_) return SolveResult::Unsat;
+    if (propagate() != kNoClause) return SolveResult::Unsat;
+
+    const uint64_t poll =
+        limits_.guard_poll_conflicts ? limits_.guard_poll_conflicts : 256;
+    uint64_t conflicts_at_restart = stats_.conflicts;
+    uint32_t restart_seq = 0;
+    uint64_t restart_budget = luby(restart_seq) * kRestartBase;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        const uint32_t conflict = propagate();
+        if (conflict != kNoClause) {
+            ++stats_.conflicts;
+            if (decision_level() == 0) return SolveResult::Unsat;
+            uint32_t back_level = 0;
+            analyze(conflict, learnt, back_level);
+            backtrack_to(back_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoClause);
+            } else {
+                const auto cref = static_cast<uint32_t>(clauses_.size());
+                clauses_.push_back(Clause{learnt});
+                attach(cref);
+                enqueue(learnt[0], cref);
+            }
+            ++stats_.learned_clauses;
+            decay();
+            if (limits_.max_conflicts != 0 &&
+                stats_.conflicts >= limits_.max_conflicts) {
+                return SolveResult::Unknown;
+            }
+            if (stats_.conflicts % poll == 0 &&
+                ((limits_.guard != nullptr && limits_.guard->stopped()) ||
+                 (limits_.guard2 != nullptr && limits_.guard2->stopped()))) {
+                return SolveResult::Unknown;
+            }
+            if (stats_.conflicts - conflicts_at_restart >= restart_budget) {
+                ++stats_.restarts;
+                ++restart_seq;
+                conflicts_at_restart = stats_.conflicts;
+                restart_budget = luby(restart_seq) * kRestartBase;
+                backtrack_to(0);
+            }
+        } else {
+            const Lit next = pick_branch();
+            if (!next.defined()) return SolveResult::Sat;
+            ++stats_.decisions;
+            trail_lim_.push_back(trail_.size());
+            enqueue(next, kNoClause);
+        }
+    }
+}
+
+Lit Solver::pick_branch() {
+    while (!heap_.empty()) {
+        const uint32_t v = heap_[0];
+        // Pop the max element.
+        heap_pos_[v] = kNoClause;
+        heap_[0] = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) {
+            heap_pos_[heap_[0]] = 0;
+            heap_sift_down(0);
+        }
+        if (assign_[v] < 0) {
+            return mk_lit(v, polarity_[v] == 0); // saved phase, default false
+        }
+    }
+    return kLitUndef;
+}
+
+void Solver::bump(uint32_t var) {
+    activity_[var] += var_inc_;
+    if (activity_[var] > kRescaleAt) {
+        for (double& a : activity_) a *= 1.0 / kRescaleAt;
+        var_inc_ *= 1.0 / kRescaleAt;
+    }
+    if (heap_pos_[var] != kNoClause) heap_sift_up(heap_pos_[var]);
+}
+
+bool Solver::heap_less(uint32_t a, uint32_t b) const {
+    // Max-heap order: higher activity wins, lower index breaks ties.
+    if (activity_[a] != activity_[b]) return activity_[a] < activity_[b];
+    return a > b;
+}
+
+void Solver::heap_insert(uint32_t var) {
+    heap_pos_[var] = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(var);
+    heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(size_t i) {
+    const uint32_t v = heap_[i];
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!heap_less(heap_[parent], v)) break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<uint32_t>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<uint32_t>(i);
+}
+
+void Solver::heap_sift_down(size_t i) {
+    const uint32_t v = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+        size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && heap_less(heap_[child], heap_[child + 1])) {
+            ++child;
+        }
+        if (!heap_less(v, heap_[child])) break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<uint32_t>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<uint32_t>(i);
+}
+
+} // namespace factor::sat

@@ -1,0 +1,128 @@
+// Self-contained CDCL SAT solver.
+//
+// The classic architecture: two-literal watching for unit propagation,
+// first-UIP conflict analysis with clause learning, VSIDS-style variable
+// activities driving a binary max-heap of decision candidates, saved-phase
+// polarities, and Luby-sequence restarts. Everything is deterministic for a
+// fixed input formula: no randomness, ties broken by variable index, so the
+// engine's byte-identity contract extends through the SAT tier.
+//
+// Budgets: a per-call conflict cap (deterministic — identical across runs
+// and jobs values) plus cooperative polling of an optional util::RunGuard
+// (wall clock / interrupt — the documented nondeterministic stops). Either
+// stop returns SolveResult::Unknown with all learned state intact.
+#pragma once
+
+#include "sat/cnf.hpp"
+#include "util/run_guard.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace factor::sat {
+
+enum class SolveResult : uint8_t { Sat, Unsat, Unknown };
+
+[[nodiscard]] const char* to_string(SolveResult r);
+
+struct SolverLimits {
+    /// Conflict cap per solve() call; 0 = unlimited.
+    uint64_t max_conflicts = 0;
+    /// Optional shared pipeline guards, polled (never ticked — quota
+    /// accounting stays with the engine commit pipeline) every
+    /// `guard_poll_conflicts` conflicts. Two slots so the engine can wire
+    /// both its local time budget and the caller's external guard.
+    util::RunGuard* guard = nullptr;
+    util::RunGuard* guard2 = nullptr;
+    uint64_t guard_poll_conflicts = 256;
+};
+
+struct SolverStats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t learned_clauses = 0;
+    uint64_t restarts = 0;
+};
+
+class Solver {
+  public:
+    /// Loads the clause database; unit clauses are enqueued immediately and
+    /// a top-level contradiction latches Unsat before solve() is called.
+    explicit Solver(const Cnf& cnf, SolverLimits limits = {});
+
+    /// Runs CDCL search from the current state. May be called once.
+    [[nodiscard]] SolveResult solve();
+
+    /// Model access after solve() returned Sat. Every variable is assigned.
+    [[nodiscard]] bool model_value(uint32_t var) const {
+        return assign_[var] == 1;
+    }
+    [[nodiscard]] bool model_value(Lit l) const {
+        return model_value(l.var()) != l.sign();
+    }
+
+    [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+  private:
+    static constexpr uint32_t kNoClause = 0xffffffffu;
+
+    struct Clause {
+        std::vector<Lit> lits;
+    };
+    struct Watch {
+        uint32_t cref = kNoClause;
+        Lit blocker;
+    };
+
+    // ---- assignment trail -----------------------------------------------
+    [[nodiscard]] int lit_value(Lit l) const { // 1 true, 0 false, -1 unset
+        const int8_t a = assign_[l.var()];
+        return a < 0 ? -1 : (l.sign() ? 1 - a : a);
+    }
+    void enqueue(Lit l, uint32_t reason);
+    [[nodiscard]] uint32_t decision_level() const {
+        return static_cast<uint32_t>(trail_lim_.size());
+    }
+    void backtrack_to(uint32_t level);
+
+    [[nodiscard]] uint32_t propagate(); // kNoClause or the conflict clause
+    void attach(uint32_t cref);
+    void analyze(uint32_t conflict, std::vector<Lit>& learnt,
+                 uint32_t& out_level);
+    [[nodiscard]] Lit pick_branch();
+
+    // ---- VSIDS ----------------------------------------------------------
+    void bump(uint32_t var);
+    void decay() { var_inc_ /= kVarDecay; }
+    void heap_insert(uint32_t var);
+    void heap_sift_up(size_t i);
+    void heap_sift_down(size_t i);
+    [[nodiscard]] bool heap_less(uint32_t a, uint32_t b) const;
+
+    static constexpr double kVarDecay = 0.95;
+    static constexpr double kRescaleAt = 1e100;
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<Watch>> watches_; // indexed by Lit.x
+    std::vector<int8_t> assign_;              // -1 unset / 0 false / 1 true
+    std::vector<uint32_t> level_;
+    std::vector<uint32_t> reason_;
+    std::vector<Lit> trail_;
+    std::vector<size_t> trail_lim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    std::vector<uint32_t> heap_;     // binary max-heap of candidate vars
+    std::vector<uint32_t> heap_pos_; // var -> heap index (or kNoClause)
+    std::vector<uint8_t> polarity_;  // saved phase, initially false
+    std::vector<uint8_t> seen_;      // scratch for analyze()
+
+    SolverLimits limits_;
+    SolverStats stats_;
+    bool top_level_conflict_ = false;
+    bool solved_ = false;
+};
+
+} // namespace factor::sat

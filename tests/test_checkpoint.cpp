@@ -234,8 +234,8 @@ TEST_F(Checkpoint, CheckpointedRunMatchesPlainRunAndSealsJournal) {
     // The journal is sealed with an "end" record, reason ok.
     atpg::FaultList faults(nl);
     auto load = atpg::ckpt::load(
-        path, atpg::ckpt::fingerprint(nl, faults, opts), faults.size(),
-        nl.inputs().size());
+        path, atpg::ckpt::fingerprint(nl, faults, opts), "auto",
+        faults.size(), nl.inputs().size());
     ASSERT_TRUE(load.ok) << load.diagnostic;
     ASSERT_FALSE(load.events.empty());
     EXPECT_EQ(load.events.back().kind, atpg::ckpt::EventKind::End);
@@ -446,7 +446,7 @@ TEST_F(Checkpoint, FuzzCorpusCheckpointsNeverResumeSilently) {
         // The loader must contain arbitrary damage: no throw, and either a
         // clean named refusal or a truncated-but-valid prefix.
         EXPECT_NO_THROW(load = atpg::ckpt::load(entry.path().string(), fp,
-                                                faults.size(),
+                                                "auto", faults.size(),
                                                 nl.inputs().size()));
         EXPECT_FALSE(load.ok) << "corpus checkpoint accepted";
         EXPECT_NE(load.diagnostic.find("ckpt."), std::string::npos)
@@ -492,8 +492,8 @@ TEST_F(Checkpoint, SemanticallyInvalidRecordRefusesRatherThanTruncates) {
     bad.outcome = 'u';
     ASSERT_TRUE(w.append(bad));
 
-    auto load =
-        atpg::ckpt::load(path, fp, faults.size(), nl.inputs().size());
+    auto load = atpg::ckpt::load(path, fp, "auto", faults.size(),
+                                 nl.inputs().size());
     EXPECT_FALSE(load.ok);
     EXPECT_NE(load.diagnostic.find("ckpt.malformed_record"),
               std::string::npos)
@@ -513,6 +513,9 @@ TEST_F(Checkpoint, RetryEscalationNeverIncreasesAbortsAndIsJobsInvariant) {
     // A tiny budget forces backtrack aborts for escalation to chew on.
     opts.max_backtracks = 2;
     opts.jobs = 2;
+    // PODEM-only: the auto engine's SAT tier would resolve every aborted
+    // fault and leave the retry escalation nothing to demonstrate.
+    opts.engine = atpg::EngineKind::Podem;
 
     auto base = atpg::run_atpg(nl, opts);
     ASSERT_GT(base.aborted, 0u) << "expected backtrack-aborted faults";

@@ -208,8 +208,10 @@ void check_heartbeat_run(size_t jobs) {
     EXPECT_EQ(static_cast<uint64_t>(fin.number_at("untestable", -1)),
               r.untestable);
     EXPECT_EQ(static_cast<uint64_t>(fin.number_at("aborted", -1)), r.aborted);
+    EXPECT_EQ(static_cast<uint64_t>(fin.number_at("redundant", -1)),
+              r.redundant);
     EXPECT_EQ(static_cast<uint64_t>(fin.number_at("faults_done", -1)),
-              r.detected + r.untestable + r.aborted);
+              r.detected + r.untestable + r.aborted + r.redundant);
     // json_number renders non-integral doubles at %.9g; compare to that.
     EXPECT_NEAR(fin.number_at("coverage_percent", -1), r.coverage_percent,
                 1e-5);

@@ -1,0 +1,569 @@
+// Tests for the SAT subsystem (DESIGN.md §12): the CNF builder + DIMACS
+// parser, the CDCL solver, the dual-rail fault miters, the SatFaultEngine
+// bridge and run_atpg's pluggable-engine dispatch (podem / sat / auto).
+#include "helpers.hpp"
+
+#include "atpg/engine.hpp"
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim.hpp"
+#include "atpg/sat_engine.hpp"
+#include "designs/designs.hpp"
+#include "obs/inject.hpp"
+#include "sat/cnf.hpp"
+#include "sat/miter.hpp"
+#include "sat/solver.hpp"
+#include "util/diagnostics.hpp"
+#include "util/run_guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace factor::test {
+namespace {
+
+using namespace factor::atpg;
+
+// ---- shared netlists ------------------------------------------------------
+
+synth::Netlist comb_and() {
+    synth::Netlist nl;
+    auto a = nl.new_net("a");
+    auto b = nl.new_net("b");
+    nl.mark_input(a);
+    nl.mark_input(b);
+    auto y = nl.add_gate(synth::GateType::And, {a, b}, "y");
+    nl.mark_output(y, "y");
+    return nl;
+}
+
+/// y = a | (a & b): the AND is functionally dead, so its output SA0 is a
+/// textbook redundant fault.
+synth::Netlist redundant_and_branch(synth::NetId& t_out) {
+    synth::Netlist nl;
+    auto a = nl.new_net("a");
+    auto b = nl.new_net("b");
+    nl.mark_input(a);
+    nl.mark_input(b);
+    auto t = nl.add_gate(synth::GateType::And, {a, b}, "t");
+    auto y = nl.add_gate(synth::GateType::Or, {a, t}, "y");
+    nl.mark_output(y, "y");
+    t_out = t;
+    return nl;
+}
+
+/// Every model of `cnf` returned by a Sat solver must satisfy every clause.
+void expect_model_satisfies(const sat::Cnf& cnf, const sat::Solver& solver) {
+    for (const auto& clause : cnf.clauses()) {
+        bool satisfied = false;
+        for (sat::Lit l : clause) satisfied |= solver.model_value(l);
+        EXPECT_TRUE(satisfied) << "model violates a clause";
+    }
+}
+
+/// Pigeonhole formula PHP(holes+1, holes): UNSAT, and hard enough to force
+/// genuine conflict-driven search (no polynomial resolution shortcut).
+sat::Cnf pigeonhole(uint32_t holes) {
+    sat::Cnf cnf;
+    const uint32_t pigeons = holes + 1;
+    std::vector<std::vector<sat::Lit>> var(pigeons);
+    for (uint32_t p = 0; p < pigeons; ++p) {
+        for (uint32_t h = 0; h < holes; ++h) {
+            var[p].push_back(sat::mk_lit(cnf.new_var()));
+        }
+    }
+    for (uint32_t p = 0; p < pigeons; ++p) cnf.add(var[p]); // p sits somewhere
+    for (uint32_t h = 0; h < holes; ++h) {
+        for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+            for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+                cnf.add({~var[p1][h], ~var[p2][h]}); // no hole shared
+            }
+        }
+    }
+    return cnf;
+}
+
+// ---- CNF builder + DIMACS parser -----------------------------------------
+
+TEST(Cnf, GateHelpersFoldConstants) {
+    sat::Cnf cnf;
+    const sat::Lit t = cnf.true_lit();
+    const sat::Lit a = sat::mk_lit(cnf.new_var());
+    EXPECT_TRUE(cnf.is_true(cnf.make_and({t, t})));
+    EXPECT_TRUE(cnf.is_false(cnf.make_and({a, ~t})));
+    EXPECT_EQ(cnf.make_and({a, t}), a); // single survivor passes through
+    EXPECT_TRUE(cnf.is_true(cnf.make_or({a, t})));
+    EXPECT_TRUE(cnf.is_false(cnf.make_or({~t})));
+    EXPECT_EQ(cnf.make_or({a, ~t}), a);
+}
+
+TEST(Dimacs, ParsesAndSolvesASatisfiableFormula) {
+    sat::Cnf cnf;
+    std::string err;
+    ASSERT_TRUE(sat::parse_dimacs(
+        "c a comment line\np cnf 3 3\n1 -2 0\n2 3 0\n-1 -3 0\n", cnf, err))
+        << err;
+    EXPECT_EQ(cnf.num_vars(), 3u);
+    EXPECT_EQ(cnf.num_clauses(), 3u);
+    sat::Solver solver(cnf);
+    ASSERT_EQ(solver.solve(), sat::SolveResult::Sat);
+    expect_model_satisfies(cnf, solver);
+}
+
+TEST(Dimacs, RejectsMalformedInputWithoutThrowing) {
+    const struct {
+        const char* text;
+        const char* why;
+    } cases[] = {
+        {"", "empty input"},
+        {"1 2 0\n", "missing header"},
+        {"p dnf 2 1\n1 0\n", "wrong format token"},
+        {"p cnf x y\n", "non-numeric counts"},
+        {"p cnf 2 1\n5 0\n", "literal out of range"},
+        {"p cnf 2 1\n1 2\n", "unterminated clause"},
+        {"p cnf 2 3\n1 0\n", "clause count mismatch"},
+        {"p cnf 123456789012 1\n1 0\n", "header past parser caps"},
+        {"p cnf 2 1\n1 garbage 0\n", "garbage literal"},
+    };
+    for (const auto& c : cases) {
+        SCOPED_TRACE(c.why);
+        sat::Cnf cnf;
+        std::string err;
+        bool ok = true;
+        EXPECT_NO_THROW(ok = sat::parse_dimacs(c.text, cnf, err));
+        EXPECT_FALSE(ok);
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+// ---- CDCL solver ----------------------------------------------------------
+
+TEST(Solver, DecidesSmallFormulas) {
+    {
+        sat::Cnf cnf; // (a|b)(~a|b)(a|~b)(~a|~b): classic 2-var UNSAT cross
+        const sat::Lit a = sat::mk_lit(cnf.new_var());
+        const sat::Lit b = sat::mk_lit(cnf.new_var());
+        cnf.add({a, b});
+        cnf.add({~a, b});
+        cnf.add({a, ~b});
+        cnf.add({~a, ~b});
+        sat::Solver solver(cnf);
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    }
+    {
+        sat::Cnf cnf; // top-level contradiction latches before solve()
+        const sat::Lit a = sat::mk_lit(cnf.new_var());
+        cnf.add({a});
+        cnf.add({~a});
+        sat::Solver solver(cnf);
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    }
+}
+
+TEST(Solver, PigeonholeIsUnsatAndCountsWork) {
+    sat::Cnf cnf = pigeonhole(4);
+    sat::Solver solver(cnf);
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    EXPECT_GT(solver.stats().conflicts, 0u);
+    EXPECT_GT(solver.stats().decisions, 0u);
+    EXPECT_GT(solver.stats().learned_clauses, 0u);
+}
+
+TEST(Solver, ConflictBudgetStopsDeterministically) {
+    // The conflict cap is a deterministic budget: two runs over the same
+    // formula stop at the identical point with identical statistics.
+    sat::SolverLimits limits;
+    limits.max_conflicts = 5;
+    sat::SolverStats first;
+    for (int run = 0; run < 2; ++run) {
+        sat::Cnf cnf = pigeonhole(5);
+        sat::Solver solver(cnf, limits);
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unknown);
+        EXPECT_EQ(solver.stats().conflicts, limits.max_conflicts);
+        if (run == 0) {
+            first = solver.stats();
+        } else {
+            EXPECT_EQ(solver.stats().conflicts, first.conflicts);
+            EXPECT_EQ(solver.stats().decisions, first.decisions);
+            EXPECT_EQ(solver.stats().propagations, first.propagations);
+            EXPECT_EQ(solver.stats().learned_clauses, first.learned_clauses);
+        }
+    }
+}
+
+TEST(Solver, StoppedGuardReturnsUnknownFromEitherSlot) {
+    // An already-expired wall guard must stop the search at the next poll,
+    // whichever of the two guard slots carries it.
+    util::RunGuard guard(util::GuardLimits{1e-9, 0, 0, 0});
+    while (!guard.stopped()) {} // expire the 1ns wall budget
+    for (int slot = 0; slot < 2; ++slot) {
+        sat::Cnf cnf = pigeonhole(5);
+        sat::SolverLimits limits;
+        (slot == 0 ? limits.guard : limits.guard2) = &guard;
+        limits.guard_poll_conflicts = 1; // poll every conflict
+        sat::Solver solver(cnf, limits);
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unknown);
+    }
+}
+
+// ---- fault miters ---------------------------------------------------------
+
+TEST(Miter, DetectableFaultIsSatAndTheModelIsATest) {
+    auto nl = comb_and();
+    sat::FaultSite site;
+    site.net = nl.outputs()[0]; // y SA0: needs a=1, b=1
+    site.sa1 = false;
+    sat::Miter miter(nl, site, sat::MiterOptions{1, false});
+    sat::Solver solver(miter.cnf());
+    ASSERT_EQ(solver.solve(), sat::SolveResult::Sat);
+
+    // The dual-rail encoding mirrors the simulator, so the extracted model
+    // must be a vector the fault simulator confirms.
+    auto inputs = miter.extract_inputs(solver);
+    ASSERT_EQ(inputs.size(), 1u);
+    ASSERT_EQ(inputs[0].size(), nl.inputs().size());
+    EXPECT_TRUE(inputs[0][0]);
+    EXPECT_TRUE(inputs[0][1]);
+    Sequence seq;
+    Frame f;
+    for (bool bit : inputs[0]) {
+        f.pi.push_back(bit ? V64::all1() : V64::all0());
+    }
+    seq.push_back(f);
+    FaultSimulator sim(nl);
+    auto good = sim.simulate_good(seq);
+    Fault fault;
+    fault.net = site.net;
+    fault.sa1 = false;
+    EXPECT_EQ(sim.detect_mask(fault, seq, good) & 1, 1u);
+}
+
+TEST(Miter, RedundantFaultIsUnsatInBothForms) {
+    synth::NetId t = synth::kNoNet;
+    auto nl = redundant_and_branch(t);
+    sat::FaultSite site;
+    site.net = t;
+    site.sa1 = false;
+    // Detection form: no test exists at any depth (combinational).
+    {
+        sat::Miter miter(nl, site, sat::MiterOptions{1, false});
+        sat::Solver solver(miter.cnf());
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    }
+    // Redundancy form: the same verdict is a proof of redundancy.
+    {
+        sat::Miter miter(nl, site, sat::MiterOptions{1, true});
+        sat::Solver solver(miter.cnf());
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    }
+    // Sanity: a genuinely testable fault on the same netlist stays Sat.
+    sat::FaultSite stem;
+    stem.net = nl.outputs()[0];
+    stem.sa1 = true;
+    sat::Miter miter(nl, stem, sat::MiterOptions{1, true});
+    sat::Solver solver(miter.cnf());
+    EXPECT_EQ(solver.solve(), sat::SolveResult::Sat);
+}
+
+TEST(Miter, SequentialDetectionNeedsEnoughTimeFrames) {
+    // q = ~r with r clocked from d: frame 0 reads X out of the register, so
+    // a q-stem fault is only definitely detectable from frame 1 on.
+    auto b = compile(R"(
+module m (input clk, input d, output q);
+  reg r;
+  always @(posedge clk) r <= d;
+  assign q = ~r;
+endmodule)",
+                     "m");
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    ASSERT_GT(nl.dff_count(), 0u);
+    sat::FaultSite site;
+    site.net = nl.outputs()[0];
+    site.sa1 = false;
+    {
+        sat::Miter one(nl, site, sat::MiterOptions{1, false});
+        sat::Solver solver(one.cnf());
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Unsat);
+    }
+    {
+        sat::Miter two(nl, site, sat::MiterOptions{2, false});
+        sat::Solver solver(two.cnf());
+        EXPECT_EQ(solver.solve(), sat::SolveResult::Sat);
+    }
+}
+
+TEST(Miter, FaultConeCoversOnlyReachableNets) {
+    synth::NetId t = synth::kNoNet;
+    auto nl = redundant_and_branch(t);
+    // Cone of the AND output: itself and the OR output, never the PIs.
+    auto cone = sat::fault_cone(nl, sat::FaultSite{t, synth::Netlist::kNoGate,
+                                                   -1, false});
+    EXPECT_EQ(cone[t], 1);
+    EXPECT_EQ(cone[nl.outputs()[0]], 1);
+    EXPECT_EQ(cone[nl.inputs()[0]], 0);
+    EXPECT_EQ(cone[nl.inputs()[1]], 0);
+}
+
+// ---- SatFaultEngine bridge ------------------------------------------------
+
+class SatEngine : public ::testing::Test {
+  protected:
+    void TearDown() override { obs::FaultInjector::global().disarm(); }
+};
+
+TEST_F(SatEngine, ProvesAndGeneratesOnTinyNetlists) {
+    synth::NetId t = synth::kNoNet;
+    auto nl = redundant_and_branch(t);
+    SatFaultEngine eng(nl, SatEngineOptions{});
+    Fault redundant;
+    redundant.net = t;
+    redundant.sa1 = false;
+    EXPECT_EQ(eng.attempt(redundant).outcome, 'r');
+
+    Fault testable;
+    testable.net = nl.outputs()[0];
+    testable.sa1 = true;
+    auto at = eng.attempt(testable);
+    ASSERT_EQ(at.outcome, 's');
+    EXPECT_GE(at.test.num_frames(), 1u);
+}
+
+TEST_F(SatEngine, InjectedSolveFaultIsContainedAsOutcomeP) {
+    auto nl = comb_and();
+    SatFaultEngine eng(nl, SatEngineOptions{});
+    Fault f;
+    f.net = nl.outputs()[0];
+    f.sa1 = false;
+    obs::FaultInjector::global().configure("sat.solve");
+    auto at = eng.attempt(f);
+    EXPECT_EQ(at.outcome, 'p');
+    EXPECT_FALSE(at.error.empty());
+    EXPECT_FALSE(obs::FaultInjector::global().armed()); // fired exactly once
+}
+
+// ---- run_atpg engine dispatch --------------------------------------------
+
+/// Stable-field comparison for engine runs (wall clock excluded).
+void expect_same_run(const EngineResult& a, const EngineResult& b) {
+    EXPECT_EQ(a.total_faults, b.total_faults);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.untestable, b.untestable);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.redundant, b.redundant);
+    EXPECT_EQ(a.sat_attempts, b.sat_attempts);
+    EXPECT_EQ(a.sat_recovered, b.sat_recovered);
+    EXPECT_EQ(a.sat_redundant, b.sat_redundant);
+    EXPECT_EQ(a.sat_conflicts, b.sat_conflicts);
+    EXPECT_EQ(a.sat_decisions, b.sat_decisions);
+    EXPECT_EQ(a.sat_propagations, b.sat_propagations);
+    EXPECT_EQ(a.statuses, b.statuses);
+    EXPECT_EQ(a.tests, b.tests);
+}
+
+TEST_F(SatEngine, SatModeResolvesEveryFaultOnMiniSoc) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.engine = EngineKind::Sat;
+    opts.jobs = 2;
+    auto r = atpg::run_atpg(nl, opts);
+    EXPECT_STREQ(r.engine.c_str(), "sat");
+    EXPECT_EQ(r.aborted, 0u);
+    EXPECT_GT(r.redundant, 0u);
+    EXPECT_EQ(r.detected + r.untestable + r.redundant, r.total_faults);
+    EXPECT_DOUBLE_EQ(r.efficiency_percent, 100.0);
+    ASSERT_EQ(r.statuses.size(), r.total_faults);
+    for (FaultStatus s : r.statuses) {
+        EXPECT_NE(s, FaultStatus::Undetected);
+        EXPECT_NE(s, FaultStatus::Aborted);
+    }
+    // The SAT metrics block is present in the stats document.
+    std::string json = r.metrics().to_json();
+    EXPECT_NE(json.find("\"engine\":\"sat\""), std::string::npos);
+    EXPECT_NE(json.find("sat_conflicts"), std::string::npos);
+    EXPECT_NE(json.find("\"redundant\""), std::string::npos);
+}
+
+TEST_F(SatEngine, AutoEscalationLeavesNoSatClassifiedFaultAborted) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.jobs = 2;
+
+    auto podem = [&] {
+        EngineOptions o = opts;
+        o.engine = EngineKind::Podem;
+        return atpg::run_atpg(nl, o);
+    }();
+    ASSERT_GT(podem.aborted, 0u) << "mini_soc should abort under PODEM";
+    EXPECT_EQ(podem.redundant, 0u);
+    EXPECT_EQ(podem.sat_attempts, 0u);
+
+    auto autorun = [&] {
+        EngineOptions o = opts;
+        o.engine = EngineKind::Auto;
+        return atpg::run_atpg(nl, o);
+    }();
+    EXPECT_STREQ(autorun.engine.c_str(), "auto");
+    EXPECT_EQ(autorun.aborted, 0u)
+        << "auto must leave no SAT-classified fault aborted";
+    EXPECT_EQ(autorun.sat_attempts, podem.aborted);
+    EXPECT_EQ(autorun.sat_recovered + autorun.sat_redundant, podem.aborted);
+
+    // Fault-by-fault: untouched faults keep their PODEM verdict, every
+    // PODEM abort becomes detected (with a simulator-confirmed test) or
+    // proven redundant.
+    ASSERT_EQ(podem.statuses.size(), autorun.statuses.size());
+    for (size_t i = 0; i < podem.statuses.size(); ++i) {
+        if (podem.statuses[i] == FaultStatus::Aborted) {
+            EXPECT_TRUE(autorun.statuses[i] == FaultStatus::Detected ||
+                        autorun.statuses[i] == FaultStatus::Redundant)
+                << "fault " << i;
+        } else {
+            EXPECT_EQ(autorun.statuses[i], podem.statuses[i]) << "fault " << i;
+        }
+    }
+}
+
+TEST_F(SatEngine, SatModeIsJobsInvariant) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.engine = EngineKind::Sat;
+    opts.collect_tests = true;
+    opts.jobs = 1;
+    auto j1 = atpg::run_atpg(nl, opts);
+    opts.jobs = 4;
+    auto j4 = atpg::run_atpg(nl, opts);
+    expect_same_run(j1, j4);
+}
+
+TEST_F(SatEngine, SatConflictBudgetAbortsDeterministically) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    EngineOptions opts;
+    opts.engine = EngineKind::Sat;
+    opts.sat_conflict_budget = 1; // far below any redundancy proof's need
+    opts.jobs = 2;
+    auto r1 = atpg::run_atpg(nl, opts);
+    EXPECT_GT(r1.aborted, 0u) << "a 1-conflict budget should strand proofs";
+    auto r2 = atpg::run_atpg(nl, opts);
+    expect_same_run(r1, r2);
+}
+
+TEST_F(SatEngine, EnvironmentVariableSelectsAndValidatesEngine) {
+    auto nl = comb_and();
+    EngineOptions opts; // EngineKind::Auto consults FACTOR_ENGINE
+    ::setenv("FACTOR_ENGINE", "podem", 1);
+    EXPECT_STREQ(atpg::run_atpg(nl, opts).engine.c_str(), "podem");
+    // An explicit option always beats the environment.
+    opts.engine = EngineKind::Sat;
+    EXPECT_STREQ(atpg::run_atpg(nl, opts).engine.c_str(), "sat");
+    opts.engine = EngineKind::Auto;
+    ::setenv("FACTOR_ENGINE", "dpll", 1);
+    EXPECT_THROW((void)atpg::run_atpg(nl, opts), util::FactorError);
+    ::unsetenv("FACTOR_ENGINE");
+}
+
+TEST_F(SatEngine, CheckpointRefusesResumeUnderADifferentEngine) {
+    auto b = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    const std::string path = ::testing::TempDir() + "engine_mismatch.ckpt";
+    std::remove(path.c_str());
+    EngineOptions opts;
+    opts.engine = EngineKind::Podem;
+    opts.checkpoint_path = path;
+    auto first = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(first.resume_refused) << first.status_detail;
+
+    opts.engine = EngineKind::Sat;
+    opts.resume = true;
+    auto second = atpg::run_atpg(nl, opts);
+    EXPECT_TRUE(second.resume_refused);
+    EXPECT_NE(second.status_detail.find("ckpt.engine_mismatch"),
+              std::string::npos)
+        << second.status_detail;
+    std::remove(path.c_str());
+}
+
+TEST_F(SatEngine, AutoCheckpointResumeReplaysSatTierIdentically) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    auto nl = synthesize(*b);
+    const std::string path = ::testing::TempDir() + "sat_tier_replay.ckpt";
+    std::remove(path.c_str());
+    EngineOptions opts;
+    opts.collect_tests = true;
+    opts.jobs = 2;
+    opts.checkpoint_path = path;
+    auto full = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(full.resume_refused) << full.status_detail;
+    ASSERT_GT(full.sat_attempts, 0u) << "expected a SAT escalation tier";
+
+    opts.resume = true;
+    auto replayed = atpg::run_atpg(nl, opts);
+    ASSERT_FALSE(replayed.resume_refused) << replayed.status_detail;
+    EXPECT_EQ(replayed.attempt, 2u);
+    EXPECT_EQ(replayed.aborted, full.aborted);
+    EXPECT_EQ(replayed.redundant, full.redundant);
+    EXPECT_EQ(replayed.detected, full.detected);
+    EXPECT_EQ(replayed.sat_attempts, full.sat_attempts);
+    EXPECT_EQ(replayed.sat_recovered, full.sat_recovered);
+    EXPECT_EQ(replayed.sat_redundant, full.sat_redundant);
+    EXPECT_EQ(replayed.statuses, full.statuses);
+    EXPECT_EQ(replayed.tests, full.tests);
+    std::remove(path.c_str());
+}
+
+// ---- fuzz corpus ----------------------------------------------------------
+
+TEST(Dimacs, FuzzCorpusNeverCrashesParserOrSolver) {
+    const std::filesystem::path dir = FACTOR_FUZZ_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+    size_t checked = 0;
+    size_t parsed = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".cnf") continue;
+        ++checked;
+        SCOPED_TRACE(entry.path().string());
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+
+        sat::Cnf cnf;
+        std::string err;
+        bool ok = false;
+        EXPECT_NO_THROW(ok = sat::parse_dimacs(buf.str(), cnf, err));
+        if (!ok) {
+            EXPECT_FALSE(err.empty()) << "refusal must carry a diagnostic";
+            continue;
+        }
+        ++parsed;
+        // Whatever degenerate shape survived parsing (constant nets,
+        // floating inputs, self-loop tautologies, empty clauses), the
+        // solver must terminate cleanly under a budget.
+        sat::SolverLimits limits;
+        limits.max_conflicts = 10000;
+        sat::Solver solver(cnf, limits);
+        sat::SolveResult res{};
+        EXPECT_NO_THROW(res = solver.solve());
+        if (res == sat::SolveResult::Sat) expect_model_satisfies(cnf, solver);
+    }
+    EXPECT_GE(checked, 10u) << "CNF fuzz corpus unexpectedly small";
+    EXPECT_GE(parsed, 4u) << "corpus should include well-formed degenerates";
+}
+
+} // namespace
+} // namespace factor::test

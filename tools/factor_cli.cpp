@@ -27,6 +27,13 @@
 // that fails validation is refused with a named "ckpt.*" diagnostic (exit
 // 1), never silently resumed. --retry-rounds=<n> re-attempts
 // backtrack-aborted faults with an escalating backtrack budget.
+// Engine selection: --engine=<auto|podem|sat> (default auto, or
+// $FACTOR_ENGINE) picks the test-generation strategy — 'podem' is
+// PODEM-only, 'sat' proves every fault with the CDCL miter engine, and
+// 'auto' runs PODEM then escalates still-aborted faults to SAT so each
+// ends detected or proven redundant (DESIGN.md §12). $FACTOR_SAT_BUDGET
+// and $FACTOR_SAT_FRAMES cap the per-solve conflict count and the
+// detection-miter unroll depth when the options are at their defaults.
 //
 // Multi-MUT campaigns: --campaign=<all|p1,p2,...> (atpg command only) runs
 // every named MUT as an isolated shard with a budget carved from --budget /
@@ -110,6 +117,7 @@ struct Args {
     size_t jobs = 0; // 0: FACTOR_JOBS env or hardware concurrency
     size_t sim_width = 0; // 0: $FACTOR_SIM_WIDTH or the widest build kernel
     atpg::SimMode sim_mode = atpg::SimMode::Auto;
+    atpg::EngineKind engine = atpg::EngineKind::Auto; // or $FACTOR_ENGINE
     uint64_t work_quota = 0;
     uint64_t max_gates = 0;
     uint64_t max_nodes = 0;
@@ -133,7 +141,8 @@ void usage() {
                  "       [--campaign=<all|path,path,...>] "
                  "[--campaign-report=<file.json>]\n"
                  "       [--shard-retries=<n>] [--backoff=<seconds>]\n"
-                 "       [--sim-width=64|256|512] [--sim-mode=full|event]\n"
+                 "       [--sim-width=64|256|512] [--sim-mode=full|event] "
+                 "[--engine=auto|podem|sat]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
                  "  --sim-width picks the parallel-pattern fault-sim width "
@@ -144,6 +153,14 @@ void usage() {
                  "evaluation (default:\n"
                  "    $FACTOR_SIM_MODE or event); never changes results, "
                  "only speed.\n"
+                 "  --engine picks the ATPG strategy (default: "
+                 "$FACTOR_ENGINE or auto): podem,\n"
+                 "    sat (CDCL miter proofs), or auto = PODEM with SAT "
+                 "escalation of aborted\n"
+                 "    faults to detected-or-redundant. $FACTOR_SAT_BUDGET "
+                 "caps conflicts per\n"
+                 "    solve; $FACTOR_SAT_FRAMES caps the detection-miter "
+                 "unroll depth.\n"
                  "  --checkpoint=<file> journals ATPG progress; --resume "
                  "replays it and continues.\n"
                  "  --retry-rounds=<n> escalates backtrack-aborted faults "
@@ -279,6 +296,19 @@ bool parse_args(int argc, char** argv, Args& out) {
             if (out.sim_width != 64 && out.sim_width != 256 &&
                 out.sim_width != 512) {
                 std::fprintf(stderr, "--sim-width must be 64, 256 or 512\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--engine=", 0) == 0) {
+            std::string m = a.substr(9);
+            if (m == "auto") {
+                out.engine = atpg::EngineKind::Auto;
+            } else if (m == "podem") {
+                out.engine = atpg::EngineKind::Podem;
+            } else if (m == "sat") {
+                out.engine = atpg::EngineKind::Sat;
+            } else {
+                std::fprintf(stderr,
+                             "--engine must be 'auto', 'podem' or 'sat'\n");
                 options_ok = false;
             }
         } else if (a.rfind("--sim-mode=", 0) == 0) {
@@ -538,6 +568,7 @@ int cmd_campaign(const Args& args, elab::ElaboratedDesign& e) {
     copts.engine.retry_rounds = args.retry_rounds;
     copts.engine.sim_width = args.sim_width;
     copts.engine.sim_mode = args.sim_mode;
+    copts.engine.engine = args.engine;
     copts.jobs = args.jobs;
     copts.total_budget_s = args.budget;
     copts.work_quota = args.work_quota;
@@ -596,6 +627,7 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
     opts.retry_rounds = args.retry_rounds;
     opts.sim_width = args.sim_width;
     opts.sim_mode = args.sim_mode;
+    opts.engine = args.engine;
 
     if (args.mut_path.empty()) {
         // Whole-design ATPG.
