@@ -1,0 +1,173 @@
+// Cold vs warm extraction through the persistent constraint cache
+// (DESIGN.md §13): the cross-run payoff of FACTOR's constraint reuse.
+//
+// Two passes over the arm2z evaluation MUTs, each with a fresh
+// elaboration, a fresh extraction session and a fresh cache object — only
+// the on-disk cache directory is shared, exactly like two consecutive CLI
+// runs:
+//
+//   cold  — empty directory: every query expands fresh, then publishes;
+//   warm  — same directory: the session imports the published snapshot
+//           and every extraction walk is answered from it.
+//
+// The report (factor.bench.v1, table "warm_cache") carries one row per
+// MUT per pass plus a totals row. Deterministic metrics — the structural
+// results (surrounding_gates, pis, pos, piers_exposed), the warm pass's
+// query reuse percentage, the cache hit count and the byte-identity flag
+// of the two passes' constraint sets — are what the CI trajectory gate
+// pins; wall times are reported but never gated.
+//
+// FACTOR_CCACHE_DIR overrides the cache directory (default: a fresh
+// temporary directory, removed on exit).
+#include "harness.hpp"
+
+#include "cache/ccache.hpp"
+#include "core/writer.hpp"
+#include "util/stopwatch.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace factor;
+
+struct PassResult {
+    double extraction_s = 0.0;
+    uint64_t expansions = 0;   // fresh query expansions across the pass
+    uint64_t query_hits = 0;   // queries answered from the (warm) graph
+    uint64_t cache_hits = 0;   // ConstraintCache entry-level hits
+    std::vector<obs::Doc> rows;          // one per MUT, bench metrics
+    std::vector<std::string> verilog;    // one per MUT, constraint bytes
+};
+
+PassResult run_pass(const std::string& cache_dir, const char* label) {
+    PassResult pass;
+    auto ctx = bench::load_arm2z();
+    const std::set<std::string> piers(designs::arm2z_piers().begin(),
+                                      designs::arm2z_piers().end());
+
+    util::DiagEngine& diags = ctx->diags;
+    cache::CacheOptions copts;
+    copts.dir = cache_dir;
+    cache::ConstraintCache cache(copts, diags);
+
+    core::ExtractionSession session(*ctx->elaborated, core::Mode::Composed,
+                                    diags);
+    (void)cache.warm_start(session, piers);
+
+    for (const auto& mut : ctx->muts) {
+        size_t misses_before = session.total_cache_misses();
+        size_t hits_before = session.total_cache_hits();
+        core::TransformOptions topts;
+        topts.pier_allowlist = designs::arm2z_piers();
+        auto tm = ctx->builder().build(*mut.node, session, topts);
+
+        uint64_t expansions = session.total_cache_misses() - misses_before;
+        uint64_t hits = session.total_cache_hits() - hits_before;
+        pass.extraction_s += tm.extraction_seconds;
+        pass.expansions += expansions;
+        pass.query_hits += hits;
+
+        obs::Doc doc;
+        doc.add("extraction_seconds", tm.extraction_seconds)
+            .add("synthesis_seconds", tm.synthesis_seconds)
+            .add("surrounding_gates",
+                 static_cast<uint64_t>(tm.surrounding_gates))
+            .add("pis", static_cast<uint64_t>(tm.num_pis))
+            .add("pos", static_cast<uint64_t>(tm.num_pos))
+            .add("piers_exposed", static_cast<uint64_t>(tm.piers_exposed))
+            .add("query_expansions", expansions)
+            .add("query_hits", hits);
+        std::printf("%-16s %-5s %9s %12s %11s %10s\n", mut.name.c_str(),
+                    label, doc.cell("extraction_seconds", 4).c_str(),
+                    doc.cell("surrounding_gates").c_str(),
+                    doc.cell("query_expansions").c_str(),
+                    doc.cell("query_hits").c_str());
+        core::ConstraintWriter writer(*ctx->elaborated, tm.constraints);
+        pass.verilog.push_back(writer.write_verilog());
+        pass.rows.push_back(std::move(doc));
+
+        bench::JsonReport::global().add_row(
+            "warm_cache", mut.name + "/" + label, pass.rows.back());
+    }
+    cache.absorb(session);
+    (void)cache.publish();
+    pass.cache_hits = cache.hits();
+    return pass;
+}
+
+} // namespace
+
+int main() {
+    // Resolve the shared cache directory: an override for repeated runs,
+    // else a fresh temp directory so the cold pass is genuinely cold.
+    std::string dir;
+    bool scratch = false;
+    if (const char* env = std::getenv("FACTOR_CCACHE_DIR");
+        env != nullptr && env[0] != '\0') {
+        dir = env;
+    } else {
+        const char* tmp = std::getenv("TMPDIR");
+        std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") +
+                            "/factor_bench_ccache.XXXXXX";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr) {
+            std::fprintf(stderr, "cannot create cache scratch dir\n");
+            return 1;
+        }
+        dir = buf.data();
+        scratch = true;
+    }
+
+    std::printf("Warm-cache extraction (persistent constraint cache)\n");
+    std::printf("%-16s %-5s %9s %12s %11s %10s\n", "Module", "Pass",
+                "Extr(s)", "Surrounding", "Expansions", "QueryHits");
+
+    PassResult cold = run_pass(dir, "cold");
+    PassResult warm = run_pass(dir, "warm");
+
+    // Byte-identity of the two passes' constraint sets — the cache's
+    // correctness contract, pinned as a gated 0/1 metric.
+    bool identical = cold.verilog.size() == warm.verilog.size();
+    for (size_t i = 0; identical && i < cold.verilog.size(); ++i) {
+        identical = cold.verilog[i] == warm.verilog[i];
+    }
+    double reuse =
+        warm.expansions + warm.query_hits == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(warm.query_hits) /
+                  static_cast<double>(warm.expansions + warm.query_hits);
+
+    obs::Doc totals;
+    totals.add("cold_extraction_seconds", cold.extraction_s)
+        .add("warm_extraction_seconds", warm.extraction_s)
+        .add("cold_expansions", cold.expansions)
+        .add("warm_expansions", warm.expansions)
+        .add("warm_reuse_percent", reuse)
+        .add("cache_hits", warm.cache_hits)
+        .add("transforms_identical", static_cast<uint64_t>(identical ? 1 : 0));
+    std::printf("\ntotals: cold %.4fs (%llu expansions) -> warm %.4fs "
+                "(%llu expansions, %.1f%% reuse, %s)\n",
+                cold.extraction_s,
+                static_cast<unsigned long long>(cold.expansions),
+                warm.extraction_s,
+                static_cast<unsigned long long>(warm.expansions), reuse,
+                identical ? "byte-identical" : "DIVERGED");
+    bench::JsonReport::global().add_row("warm_cache", "totals",
+                                        std::move(totals));
+    bench::JsonReport::global().write("bench_warm_cache");
+
+    if (scratch) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+    return identical ? 0 : 1;
+}

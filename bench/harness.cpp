@@ -54,7 +54,7 @@ bool JsonReport::write(const std::string& bench_name) {
             << ",\"metrics\":" << r.doc.to_json() << '}';
     }
     out << "],\"registry\":" << obs::Registry::global().to_json() << "}\n";
-    if (!util::write_file_atomic(path, out.str())) {
+    if (!util::atomic_publish(path, out.str())) {
         std::fprintf(stderr, "cannot write bench report to '%s'\n",
                      path.c_str());
         return false;

@@ -1,0 +1,633 @@
+#include "cache/ccache.hpp"
+
+#include "obs/inject.hpp"
+#include "obs/obs.hpp"
+#include "rtl/printer.hpp"
+#include "util/crc32.hpp"
+#include "util/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace factor::cache {
+
+using core::GraphSnapshot;
+
+namespace {
+
+// ------------------------------------------------------------- field codecs
+//
+// Instance paths are dotted identifier chains (specializations add '$' and
+// '_'), signals are identifiers: none of them can contain ':', ',' or '|',
+// so delimited packing into flat journal fields is unambiguous. Indices
+// and directions sit at the *end* of each packed element and are parsed
+// from the right, which keeps the codec honest even if a future name ever
+// grew a delimiter: damage parses as corruption, never as a wrong binding.
+
+bool parse_u32(std::string_view s, uint32_t& out) {
+    if (s.empty() || s.size() > 9) return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9') return false;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (v > UINT32_MAX) return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+std::string enc_items(const std::vector<GraphSnapshot::Item>& items) {
+    std::string out;
+    for (const auto& it : items) {
+        if (!out.empty()) out += ',';
+        out += it.path;
+        out += ':';
+        out += std::to_string(it.index);
+    }
+    return out;
+}
+
+bool dec_items(std::string_view s, std::vector<GraphSnapshot::Item>& out) {
+    out.clear();
+    size_t start = 0;
+    while (start <= s.size()) {
+        if (s.empty()) break;
+        size_t end = s.find(',', start);
+        std::string_view elem =
+            s.substr(start, end == std::string_view::npos ? end : end - start);
+        size_t colon = elem.rfind(':');
+        if (colon == std::string_view::npos || colon == 0) return false;
+        GraphSnapshot::Item item;
+        item.path = std::string(elem.substr(0, colon));
+        if (!parse_u32(elem.substr(colon + 1), item.index)) return false;
+        out.push_back(std::move(item));
+        if (end == std::string_view::npos) break;
+        start = end + 1;
+    }
+    return true;
+}
+
+std::string enc_keys(const std::vector<GraphSnapshot::Key>& keys) {
+    std::string out;
+    for (const auto& k : keys) {
+        if (!out.empty()) out += '|';
+        out += k.path;
+        out += ':';
+        out += k.signal;
+        out += ':';
+        out += k.dir == 0 ? '0' : '1';
+    }
+    return out;
+}
+
+bool dec_keys(std::string_view s, std::vector<GraphSnapshot::Key>& out) {
+    out.clear();
+    size_t start = 0;
+    while (start <= s.size()) {
+        if (s.empty()) break;
+        size_t end = s.find('|', start);
+        std::string_view elem =
+            s.substr(start, end == std::string_view::npos ? end : end - start);
+        size_t c2 = elem.rfind(':');
+        if (c2 == std::string_view::npos || c2 + 2 != elem.size()) return false;
+        size_t c1 = elem.rfind(':', c2 - 1);
+        if (c1 == std::string_view::npos || c1 == 0 || c1 + 1 == c2) {
+            return false;
+        }
+        char d = elem[c2 + 1];
+        if (d != '0' && d != '1') return false;
+        GraphSnapshot::Key key;
+        key.path = std::string(elem.substr(0, c1));
+        key.signal = std::string(elem.substr(c1 + 1, c2 - c1 - 1));
+        key.dir = d - '0';
+        out.push_back(std::move(key));
+        if (end == std::string_view::npos) break;
+        start = end + 1;
+    }
+    return true;
+}
+
+std::string enc_trace(const std::vector<std::string>& trace) {
+    std::string out;
+    for (const auto& t : trace) {
+        if (!out.empty()) out += '\n';
+        out += t;
+    }
+    return out;
+}
+
+std::vector<std::string> dec_trace(std::string_view s) {
+    std::vector<std::string> out;
+    if (s.empty()) return out;
+    size_t start = 0;
+    while (true) {
+        size_t end = s.find('\n', start);
+        out.emplace_back(
+            s.substr(start, end == std::string_view::npos ? end : end - start));
+        if (end == std::string_view::npos) break;
+        start = end + 1;
+    }
+    return out;
+}
+
+std::string field(const util::JournalRecord& rec, std::string_view key) {
+    const std::string* v = rec.get(key);
+    return v == nullptr ? std::string() : *v;
+}
+
+// -------------------------------------------------------------- file lock
+
+/// Advisory flock with a bounded wait. flock is per open file description,
+/// so two FileLocks conflict even within one process — which is what lets
+/// the two-process race tests run single-process.
+class FileLock {
+  public:
+    FileLock() = default;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+    ~FileLock() { release(); }
+
+    [[nodiscard]] bool acquire(const std::string& path, int op,
+                               int timeout_ms) {
+        release();
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+        if (fd_ < 0) return false;
+        int waited_ms = 0;
+        bool counted = false;
+        while (true) {
+            if (::flock(fd_, op | LOCK_NB) == 0) return true;
+            if (errno != EWOULDBLOCK && errno != EINTR) break;
+            if (!counted) {
+                obs::counter("ccache.lock_waits").add(1);
+                counted = true;
+            }
+            if (waited_ms >= timeout_ms) break;
+            struct timespec ts{0, 10 * 1000 * 1000}; // 10ms
+            ::nanosleep(&ts, nullptr);
+            waited_ms += 10;
+        }
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+
+    void release() {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace
+
+// ------------------------------------------------------------ entry codec
+
+std::string encode_entry(const std::string& fingerprint,
+                         const GraphSnapshot& snap) {
+    std::string out;
+    util::Fnv64 digest;
+    size_t issues = 0;
+    auto emit = [&](const util::JournalRecord& rec) {
+        std::string frame = util::journal_frame(rec);
+        digest.mix(frame);
+        out += frame;
+        out += '\n';
+    };
+
+    util::JournalRecord header;
+    header.set("t", "h").set("sch", kCcacheSchema).set("fp", fingerprint);
+    emit(header);
+
+    for (const auto& n : snap.nodes) {
+        util::JournalRecord rec;
+        rec.set("t", "n")
+            .set("p", n.key.path)
+            .set("s", n.key.signal)
+            .set_u64("d", static_cast<uint64_t>(n.key.dir))
+            .set("a", enc_items(n.assigns))
+            .set("st", enc_items(n.stmts))
+            .set("nx", enc_keys(n.next));
+        emit(rec);
+        for (const auto& issue : n.issues) {
+            util::JournalRecord irec;
+            irec.set("t", "i")
+                .set_u64("k", static_cast<uint64_t>(issue.kind))
+                .set("p", issue.instance_path)
+                .set("s", issue.signal)
+                .set("tr", enc_trace(issue.trace));
+            emit(irec);
+            ++issues;
+        }
+    }
+
+    util::JournalRecord footer;
+    footer.set("t", "f")
+        .set_u64("n", snap.nodes.size())
+        .set_u64("i", issues)
+        .set("dg", digest.hex());
+    out += util::journal_frame(footer);
+    out += '\n';
+    return out;
+}
+
+bool decode_entry(const std::string& path,
+                  const std::string& expect_fingerprint, GraphSnapshot& out,
+                  std::string& why, bool* missing) {
+    out.nodes.clear();
+    if (missing != nullptr) *missing = false;
+    if (::access(path.c_str(), F_OK) != 0) {
+        if (missing != nullptr) *missing = true;
+        why = "no entry at '" + path + "'";
+        return false;
+    }
+    util::JournalLoad load = util::journal_load(path);
+    if (!load.ok) {
+        why = "unreadable: " + load.error;
+        return false;
+    }
+    if (load.dropped_lines > 0) {
+        why = std::to_string(load.dropped_lines) +
+              " corrupt line(s) (bad framing or CRC)";
+        return false;
+    }
+    if (load.records.size() < 2) {
+        why = "too short to hold a header and footer";
+        return false;
+    }
+
+    const util::JournalRecord& header = load.records.front();
+    if (field(header, "t") != "h") {
+        why = "first record is not a header";
+        return false;
+    }
+    if (field(header, "sch") != kCcacheSchema) {
+        why = "schema mismatch: got '" + field(header, "sch") +
+              "', want '" + kCcacheSchema + "'";
+        return false;
+    }
+    if (field(header, "fp") != expect_fingerprint) {
+        why = "fingerprint mismatch: entry is for " + field(header, "fp");
+        return false;
+    }
+
+    const util::JournalRecord& footer = load.records.back();
+    if (field(footer, "t") != "f") {
+        // The journal loader tolerates torn tails; the missing footer is
+        // how an otherwise-clean truncation is detected.
+        why = "footer missing (entry truncated?)";
+        return false;
+    }
+
+    util::Fnv64 digest;
+    size_t issues = 0;
+    for (size_t i = 0; i + 1 < load.records.size(); ++i) {
+        const util::JournalRecord& rec = load.records[i];
+        digest.mix(util::journal_frame(rec));
+        if (i == 0) continue; // header, digested only
+        std::string t = field(rec, "t");
+        if (t == "n") {
+            GraphSnapshot::Node node;
+            node.key.path = field(rec, "p");
+            node.key.signal = field(rec, "s");
+            std::string d = field(rec, "d");
+            if (node.key.path.empty() || node.key.signal.empty() ||
+                (d != "0" && d != "1")) {
+                why = "malformed node record";
+                return false;
+            }
+            node.key.dir = d[0] - '0';
+            if (!dec_items(field(rec, "a"), node.assigns) ||
+                !dec_items(field(rec, "st"), node.stmts) ||
+                !dec_keys(field(rec, "nx"), node.next)) {
+                why = "malformed item list in node record";
+                return false;
+            }
+            out.nodes.push_back(std::move(node));
+        } else if (t == "i") {
+            if (out.nodes.empty()) {
+                why = "issue record before any node record";
+                return false;
+            }
+            uint32_t kind = 0;
+            if (!parse_u32(field(rec, "k"), kind) || kind > 2) {
+                why = "malformed issue record";
+                return false;
+            }
+            core::TestabilityIssue issue;
+            issue.kind = static_cast<core::TestabilityIssue::Kind>(kind);
+            issue.instance_path = field(rec, "p");
+            issue.signal = field(rec, "s");
+            issue.trace = dec_trace(field(rec, "tr"));
+            out.nodes.back().issues.push_back(std::move(issue));
+            ++issues;
+        } else {
+            why = "unknown record type '" + t + "'";
+            return false;
+        }
+    }
+
+    if (footer.get_u64("n", UINT64_MAX) != out.nodes.size() ||
+        footer.get_u64("i", UINT64_MAX) != issues) {
+        why = "footer counts disagree with the records present";
+        return false;
+    }
+    if (field(footer, "dg") != digest.hex()) {
+        why = "footer digest mismatch";
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------------ cache
+
+ConstraintCache::ConstraintCache(CacheOptions opts, util::DiagEngine& diags)
+    : opts_(std::move(opts)), diags_(diags) {}
+
+std::string ConstraintCache::entry_path() const {
+    return opts_.dir + "/" + fp_ + ".ccache";
+}
+
+std::string ConstraintCache::lock_path() const {
+    return opts_.dir + "/.ccache.lock";
+}
+
+bool ConstraintCache::probe_dir(const std::string& dir, std::string* why) {
+    if (dir.empty()) {
+        if (why != nullptr) *why = "empty cache directory path";
+        return false;
+    }
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        if (why != nullptr) {
+            *why = "cannot create '" + dir + "': " + std::strerror(errno);
+        }
+        return false;
+    }
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (why != nullptr) *why = "'" + dir + "' is not a directory";
+        return false;
+    }
+    if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+        if (why != nullptr) {
+            *why = "'" + dir + "' is not writable + searchable";
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string ConstraintCache::fingerprint(const elab::ElaboratedDesign& design,
+                                         const std::set<std::string>& piers,
+                                         core::Mode mode) {
+    util::Fnv64 h;
+    h.mix(std::string(kCcacheSchema));
+    h.mix(design.root().module->name);
+    h.mix(uint64_t{mode == core::Mode::Composed ? 1u : 0u});
+    h.mix(static_cast<uint64_t>(piers.size()));
+    for (const auto& p : piers) h.mix(p);
+    // The full printed design — every module including parameter
+    // specializations — so any source change moves the key. The printer
+    // is the same one `--emit` uses; it is a complete rendering.
+    h.mix(rtl::to_verilog(design.design()));
+    return h.hex();
+}
+
+void ConstraintCache::quarantine_locked(const std::string& why) {
+    obs::counter("ccache.quarantined").add(1);
+    std::string qdir = opts_.dir + "/quarantine";
+    (void)::mkdir(qdir.c_str(), 0777);
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".%ld",
+                  static_cast<long>(::getpid()));
+    std::string dst = qdir + "/" + fp_ + ".ccache" + suffix;
+    if (std::rename(entry_path().c_str(), dst.c_str()) != 0) {
+        // Quarantine dir unusable: at least get the bad entry off the
+        // lookup path so the next run is not poisoned either.
+        (void)std::remove(entry_path().c_str());
+        dst = "(unlinked)";
+    }
+    diags_.warning({}, "ccache.quarantined: cache entry " + fp_ +
+                           " is damaged (" + why + "); moved to '" + dst +
+                           "', extracting cold");
+}
+
+void ConstraintCache::load_locked() {
+    have_snap_ = false;
+    obs::Span span("ccache.load");
+    span.attr("fp", fp_);
+    try {
+        obs::inject_point("ccache.lock");
+    } catch (const util::FactorError&) {
+        obs::counter("ccache.bypassed").add(1);
+        span.attr("outcome", "bypass");
+        return;
+    }
+    FileLock lock;
+    if (!lock.acquire(lock_path(), LOCK_SH, opts_.lock_timeout_ms)) {
+        obs::counter("ccache.bypassed").add(1);
+        diags_.note({}, "ccache.lock_timeout: cache '" + opts_.dir +
+                            "' is locked by another process; bypassing");
+        span.attr("outcome", "bypass");
+        return;
+    }
+    try {
+        obs::inject_point("ccache.read");
+    } catch (const util::FactorError&) {
+        obs::counter("ccache.bypassed").add(1);
+        span.attr("outcome", "bypass");
+        return;
+    }
+    std::string why;
+    bool missing = false;
+    GraphSnapshot snap;
+    if (!decode_entry(entry_path(), fp_, snap, why, &missing)) {
+        if (!missing) quarantine_locked(why);
+        span.attr("outcome", missing ? "cold" : "quarantined");
+        return;
+    }
+    snap_ = std::move(snap);
+    have_snap_ = true;
+    // LRU: a successful load refreshes the entry's eviction clock.
+    (void)::utimensat(AT_FDCWD, entry_path().c_str(), nullptr, 0);
+    span.attr("outcome", "hit");
+    span.attr("nodes", snap_.nodes.size());
+}
+
+bool ConstraintCache::warm_start(core::ExtractionSession& session,
+                                 const std::set<std::string>& piers) {
+    if (!enabled()) return false;
+    // Flat mode drops the query graph on every extraction by design (the
+    // conventional-methodology baseline); warming it would change what is
+    // being measured, so the cache only engages in Composed mode.
+    if (session.mode() != core::Mode::Composed) return false;
+    try {
+        session.set_pier_registers(piers);
+    } catch (const util::FactorError&) {
+        return false; // session already has a different warm graph
+    }
+    std::string fp = fingerprint(session.design(), piers, session.mode());
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!bound_) {
+        bound_ = true;
+        fp_ = fp;
+        load_locked();
+    }
+    if (fp != fp_ || !have_snap_) {
+        obs::counter("ccache.misses").add(1);
+        ++misses_;
+        return false;
+    }
+    if (!session.import_graph(snap_)) {
+        // The fingerprint matched but the snapshot does not bind to this
+        // design: the entry (or the fingerprint inside it) lies.
+        quarantine_locked("snapshot does not bind to the design");
+        have_snap_ = false;
+        snap_ = GraphSnapshot{};
+        obs::counter("ccache.misses").add(1);
+        ++misses_;
+        return false;
+    }
+    obs::counter("ccache.hits").add(1);
+    ++hits_;
+    return true;
+}
+
+void ConstraintCache::absorb(core::ExtractionSession& session) {
+    if (!enabled() || session.mode() != core::Mode::Composed) return;
+    GraphSnapshot snap = session.export_graph();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!bound_) return;
+    for (auto& n : snap.nodes) {
+        GraphSnapshot::Key key = n.key;
+        pending_.try_emplace(std::move(key), std::move(n));
+    }
+}
+
+bool ConstraintCache::publish() {
+    if (!enabled()) return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!bound_ || pending_.empty()) return false;
+    // Nothing newly expanded beyond what the entry already held? Skip the
+    // write (the load already refreshed the LRU clock).
+    if (have_snap_ && pending_.size() <= snap_.nodes.size()) return false;
+
+    obs::Span span("ccache.publish");
+    span.attr("fp", fp_);
+    try {
+        obs::inject_point("ccache.lock");
+    } catch (const util::FactorError&) {
+        obs::counter("ccache.bypassed").add(1);
+        span.attr("outcome", "bypass");
+        return false;
+    }
+    FileLock lock;
+    if (!lock.acquire(lock_path(), LOCK_EX, opts_.lock_timeout_ms)) {
+        obs::counter("ccache.bypassed").add(1);
+        diags_.note({}, "ccache.lock_timeout: cache '" + opts_.dir +
+                            "' is locked by another process; skipping "
+                            "publish (cache stays as-is)");
+        span.attr("outcome", "bypass");
+        return false;
+    }
+
+    // Merge whatever is on disk now — another process may have published
+    // since our load — so last-writer-wins converges to the union.
+    {
+        std::string why;
+        bool missing = false;
+        GraphSnapshot cur;
+        if (decode_entry(entry_path(), fp_, cur, why, &missing)) {
+            for (auto& n : cur.nodes) {
+                GraphSnapshot::Key key = n.key;
+                pending_.try_emplace(std::move(key), std::move(n));
+            }
+        } else if (!missing) {
+            quarantine_locked(why);
+        }
+    }
+
+    GraphSnapshot out;
+    out.nodes.reserve(pending_.size());
+    for (const auto& [key, node] : pending_) out.nodes.push_back(node);
+
+    try {
+        obs::inject_point("ccache.write");
+    } catch (const util::FactorError& e) {
+        diags_.warning({}, std::string("ccache.write_failed: ") + e.what() +
+                               "; cache entry not updated");
+        span.attr("outcome", "write_failed");
+        return false;
+    }
+    if (!util::atomic_publish(entry_path(), encode_entry(fp_, out))) {
+        diags_.warning({}, "ccache.write_failed: cannot publish '" +
+                               entry_path() + "'; cache entry not updated");
+        span.attr("outcome", "write_failed");
+        return false;
+    }
+    evict();
+    snap_ = std::move(out);
+    have_snap_ = true;
+    span.attr("outcome", "published");
+    span.attr("nodes", snap_.nodes.size());
+    return true;
+}
+
+void ConstraintCache::evict() {
+    if (opts_.max_bytes == 0) return; // 0 = unlimited
+    struct Entry {
+        std::string path;
+        uint64_t bytes;
+        time_t mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    DIR* dir = ::opendir(opts_.dir.c_str());
+    if (dir == nullptr) return;
+    while (const dirent* de = ::readdir(dir)) {
+        std::string name = de->d_name;
+        constexpr std::string_view kExt = ".ccache";
+        if (name.size() <= kExt.size() ||
+            name.compare(name.size() - kExt.size(), kExt.size(), kExt) != 0) {
+            continue;
+        }
+        std::string path = opts_.dir + "/" + name;
+        struct stat st{};
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+        total += static_cast<uint64_t>(st.st_size);
+        entries.push_back(
+            {std::move(path), static_cast<uint64_t>(st.st_size), st.st_mtime});
+    }
+    ::closedir(dir);
+    if (total <= opts_.max_bytes) return;
+    // Oldest first; path as tie-break keeps eviction deterministic when a
+    // coarse-mtime filesystem stamps several entries identically.
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+        return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+    });
+    for (const Entry& e : entries) {
+        if (total <= opts_.max_bytes) break;
+        if (std::remove(e.path.c_str()) != 0) continue;
+        total -= e.bytes;
+        obs::counter("ccache.evicted").add(1);
+    }
+}
+
+} // namespace factor::cache

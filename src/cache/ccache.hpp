@@ -1,0 +1,163 @@
+// Persistent constraint cache: FACTOR's per-module-type constraint reuse
+// (the in-memory query graph of core::ExtractionSession) carried across
+// process runs (ROADMAP open item 2, second half).
+//
+// On-disk layout, under the directory given by --constraint-cache /
+// FACTOR_CONSTRAINT_CACHE:
+//
+//   <dir>/<fingerprint>.ccache      one entry per (design, piers, mode)
+//   <dir>/.ccache.lock              advisory flock rendezvous
+//   <dir>/quarantine/               damaged entries, moved aside for autopsy
+//
+// An entry is a CRC-framed NDJSON journal (util::Journal framing, schema
+// "factor.ccache.v1"): a header record naming the schema and fingerprint,
+// one record per query-graph node (plus records for its testability
+// issues), and a footer with the node/issue counts and a running digest
+// over every preceding frame. The footer is what turns the journal
+// loader's silent torn-tail tolerance into a hard validity check: a
+// truncated entry parses cleanly but fails the footer and is treated as
+// corrupt.
+//
+// Robustness contract (the point of this subsystem):
+//   - A damaged cache can never fail a run or change its results. Every
+//     load is validated end to end (schema, fingerprint, per-record CRC,
+//     footer digest, and the all-or-nothing pointer binding of
+//     GraphSnapshot import); anything invalid is moved to quarantine/
+//     with a named "ccache.quarantined" diagnostic and the run proceeds
+//     from cold extraction.
+//   - Results are byte-identical warm vs cold: the snapshot preserves
+//     per-node edge order, so a warm session walks the query graph in
+//     exactly the order the cold session expanded it; correctness of the
+//     binding is guaranteed by fingerprinting the full elaborated design
+//     source plus the PIER set and extraction mode.
+//   - Concurrent processes coordinate with advisory flock (shared to
+//     read, exclusive to publish). A lock that cannot be acquired within
+//     the timeout degrades to cache bypass, never a stall or a failure;
+//     publishes are last-writer-wins, but the publisher merges the
+//     on-disk entry under its exclusive lock first, so concurrent
+//     campaigns converge to the union instead of ping-ponging.
+//   - Capacity is bounded by --cache-max-bytes with LRU eviction (mtime,
+//     refreshed on every successful load).
+//
+// Observability: ccache.{hits,misses,quarantined,evicted,lock_waits,
+// bypassed} counters (surfaced in factor.stats.v1 like every registry
+// counter), ccache.load / ccache.publish spans, and injection sites
+// ccache.read, ccache.write, ccache.lock for fault drills.
+#pragma once
+
+#include "core/extractor.hpp"
+#include "elab/elaborator.hpp"
+#include "util/diagnostics.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace factor::cache {
+
+inline constexpr const char* kCcacheSchema = "factor.ccache.v1";
+
+struct CacheOptions {
+    std::string dir;        // empty => cache disabled
+    uint64_t max_bytes = 256ull << 20; // LRU eviction budget
+    int lock_timeout_ms = 500;         // flock wait before bypassing
+};
+
+/// Serialize a snapshot as one complete cache entry (header + node/issue
+/// records + footer), ready for util::atomic_publish. Deterministic: the
+/// same snapshot always yields the same bytes.
+[[nodiscard]] std::string encode_entry(const std::string& fingerprint,
+                                       const core::GraphSnapshot& snap);
+
+/// Parse and fully validate an entry file. Returns true and fills `out`
+/// only when every check passes (readable, schema, fingerprint, framing
+/// CRCs, footer counts + digest, well-formed records); otherwise returns
+/// false with `why` naming the first failure. `missing` distinguishes
+/// "file does not exist" (a plain miss) from damage (a quarantine case).
+[[nodiscard]] bool decode_entry(const std::string& path,
+                                const std::string& expect_fingerprint,
+                                core::GraphSnapshot& out, std::string& why,
+                                bool* missing = nullptr);
+
+class ConstraintCache {
+  public:
+    ConstraintCache(CacheOptions opts, util::DiagEngine& diags);
+
+    [[nodiscard]] bool enabled() const { return !opts_.dir.empty(); }
+    [[nodiscard]] const CacheOptions& options() const { return opts_; }
+
+    /// Create `dir` if needed and check it is usable (writable +
+    /// searchable). The CLI calls this up front so a bogus
+    /// --constraint-cache refuses with exit 1 instead of silently losing
+    /// the cache at the end of a long run.
+    [[nodiscard]] static bool probe_dir(const std::string& dir,
+                                        std::string* why = nullptr);
+
+    /// Cache key for one elaborated design: mixes the schema version, the
+    /// extraction mode, the PIER set and the full printed design (every
+    /// module, including parameter specializations), so any source or
+    /// configuration change misses cleanly instead of reusing stale
+    /// constraints.
+    [[nodiscard]] static std::string
+    fingerprint(const elab::ElaboratedDesign& design,
+                const std::set<std::string>& piers, core::Mode mode);
+
+    /// Seed `session` from the on-disk entry for its (design, piers,
+    /// mode). Returns true on a successful warm start. Never throws and
+    /// never fails the run: damage quarantines, lock timeouts bypass,
+    /// and both degrade to a cold session. Sets `piers` on the session
+    /// (so caller-configured PIERs participate in the fingerprint); Flat
+    /// sessions never engage the cache (the query graph is rebuilt per
+    /// extraction by design). Thread-safe: campaign shards share one
+    /// cache, the entry is read from disk once and imported per shard.
+    bool warm_start(core::ExtractionSession& session,
+                    const std::set<std::string>& piers = {});
+
+    /// Fold `session`'s expanded query graph into the pending snapshot
+    /// (first writer wins per query key — expansions are deterministic,
+    /// so duplicates are identical). Call after extraction; a crashed
+    /// shard simply never absorbs, so it cannot tear the shared state.
+    void absorb(core::ExtractionSession& session);
+
+    /// Write the pending snapshot to disk (merge with the current entry
+    /// under an exclusive lock, last-writer-wins, then LRU-evict down to
+    /// max_bytes). Returns true when a new entry was published; skips
+    /// silently when there is nothing new. Never throws.
+    bool publish();
+
+    /// This process's tallies (mirrors of the ccache.* counters).
+    [[nodiscard]] uint64_t hits() const { return hits_; }
+    [[nodiscard]] uint64_t misses() const { return misses_; }
+
+  private:
+    /// Load + validate the entry for fp_ into snap_; quarantines damage.
+    /// Caller holds mu_.
+    void load_locked();
+    /// Move the entry file into <dir>/quarantine with a named diagnostic.
+    /// Caller holds mu_.
+    void quarantine_locked(const std::string& why);
+    /// Delete oldest entries until the directory fits max_bytes. Caller
+    /// holds the exclusive file lock.
+    void evict();
+
+    [[nodiscard]] std::string entry_path() const;
+    [[nodiscard]] std::string lock_path() const;
+
+    CacheOptions opts_;
+    util::DiagEngine& diags_;
+
+    std::mutex mu_;
+    bool bound_ = false;     // fp_ computed, disk entry load attempted
+    std::string fp_;
+    bool have_snap_ = false; // snap_ holds a validated on-disk entry
+    core::GraphSnapshot snap_;
+    /// Union of absorbed session graphs, keyed for dedup across shards.
+    std::map<core::GraphSnapshot::Key, core::GraphSnapshot::Node> pending_;
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace factor::cache

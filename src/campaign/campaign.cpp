@@ -1,5 +1,7 @@
 #include "campaign/campaign.hpp"
 
+#include "cache/ccache.hpp"
+
 #include "campaign/checkpoint.hpp"
 #include "core/transform.hpp"
 #include "obs/inject.hpp"
@@ -264,10 +266,14 @@ struct ShardContext {
         util::DiagEngine diags;
         core::ExtractionSession session(cx.design, cx.opts.mode, diags,
                                         &guard);
+        if (cx.opts.ccache != nullptr) {
+            (void)cx.opts.ccache->warm_start(session);
+        }
         core::TransformBuilder builder(cx.design, diags, &guard);
         core::TransformOptions topts;
         topts.expose_piers = cx.opts.expose_piers;
         core::TransformedModule tm = builder.build(*cx.mut, session, topts);
+        if (cx.opts.ccache != nullptr) cx.opts.ccache->absorb(session);
         so.mut_gates = tm.mut_gates;
         so.surrounding_gates = tm.surrounding_gates;
         so.piers_exposed = tm.piers_exposed;

@@ -43,6 +43,10 @@
 #include <string>
 #include <vector>
 
+namespace factor::cache {
+class ConstraintCache;
+} // namespace factor::cache
+
 namespace factor::campaign {
 
 /// Per-shard failure taxonomy. The first four mirror util::PhaseStatus;
@@ -112,6 +116,12 @@ struct CampaignOptions {
     /// Once it stops, no new shard or retry is launched; unattempted
     /// shards are classified budget_exhausted with attempts == 0.
     util::RunGuard* guard = nullptr;
+    /// Shared persistent constraint cache (null: disabled). Shards warm
+    /// their sessions from it and absorb back after a successful
+    /// transform; it is thread-safe across shards and a crashed shard
+    /// simply never absorbs, so it cannot tear the shared state. The
+    /// owner (the CLI) publishes once after the campaign.
+    cache::ConstraintCache* ccache = nullptr;
 };
 
 /// One shard's classified outcome plus its stable result numbers.

@@ -238,6 +238,146 @@ ConstraintSet ExtractionSession::extract_impl(const InstNode& mut) {
     return cs;
 }
 
+// ------------------------------------------------------- graph snapshots
+
+namespace {
+
+void collect_stmts(const rtl::Stmt* s,
+                   std::vector<const rtl::Stmt*>& out) {
+    if (s == nullptr) return;
+    out.push_back(s);
+    collect_stmts(s->then_s.get(), out);
+    collect_stmts(s->else_s.get(), out);
+    for (const auto& item : s->items) collect_stmts(item.body.get(), out);
+    collect_stmts(s->init.get(), out);
+    collect_stmts(s->step.get(), out);
+    collect_stmts(s->body.get(), out);
+    for (const auto& child : s->stmts) collect_stmts(child.get(), out);
+}
+
+} // namespace
+
+std::vector<const rtl::Stmt*> module_stmt_order(const rtl::Module& mod) {
+    std::vector<const rtl::Stmt*> out;
+    for (const auto& ab : mod.always_blocks) {
+        collect_stmts(ab.body.get(), out);
+    }
+    return out;
+}
+
+GraphSnapshot ExtractionSession::export_graph() const {
+    GraphSnapshot snap;
+    // Index spaces, built lazily per module type.
+    std::map<const rtl::Module*, std::map<const rtl::Stmt*, uint32_t>>
+        stmt_index;
+    auto stmt_of = [&](const rtl::Module& mod,
+                       const rtl::Stmt* s) -> const uint32_t* {
+        auto [it, fresh] = stmt_index.try_emplace(&mod);
+        if (fresh) {
+            uint32_t i = 0;
+            for (const rtl::Stmt* st : module_stmt_order(mod)) {
+                it->second.emplace(st, i++);
+            }
+        }
+        auto found = it->second.find(s);
+        return found == it->second.end() ? nullptr : &found->second;
+    };
+    auto snap_key = [](const QueryKey& k) {
+        return GraphSnapshot::Key{k.node->path(), k.signal,
+                                  k.dir == Dir::Source ? 0 : 1};
+    };
+
+    for (const auto& [key, node] : graph_) {
+        if (!node.expanded) continue;
+        GraphSnapshot::Node out;
+        out.key = snap_key(key);
+        for (const auto& [inode, assign] : node.assigns) {
+            const rtl::Module& mod = *inode->module;
+            size_t idx = static_cast<size_t>(assign - mod.assigns.data());
+            if (idx >= mod.assigns.size()) continue; // foreign pointer
+            out.assigns.push_back(
+                {inode->path(), static_cast<uint32_t>(idx)});
+        }
+        for (const auto& [inode, stmt] : node.stmts) {
+            const uint32_t* idx = stmt_of(*inode->module, stmt);
+            if (idx == nullptr) continue; // foreign pointer
+            out.stmts.push_back({inode->path(), *idx});
+        }
+        out.issues = node.issues;
+        out.next.reserve(node.next.size());
+        for (const auto& nk : node.next) out.next.push_back(snap_key(nk));
+        snap.nodes.push_back(std::move(out));
+    }
+    // graph_ is keyed by pointer, so its iteration order varies run to
+    // run; sort by the stable key so snapshot bytes are deterministic.
+    std::sort(snap.nodes.begin(), snap.nodes.end(),
+              [](const GraphSnapshot::Node& a, const GraphSnapshot::Node& b) {
+                  return a.key < b.key;
+              });
+    return snap;
+}
+
+bool ExtractionSession::import_graph(const GraphSnapshot& snap) {
+    std::map<std::string, const InstNode*> nodes;
+    auto resolve_node = [&](const std::string& path) -> const InstNode* {
+        auto [it, fresh] = nodes.try_emplace(path, nullptr);
+        if (fresh) it->second = design_.find_by_path(path);
+        return it->second;
+    };
+    std::map<const rtl::Module*, std::vector<const rtl::Stmt*>> stmt_order;
+    auto resolve_stmt = [&](const rtl::Module& mod,
+                            uint32_t idx) -> const rtl::Stmt* {
+        auto [it, fresh] = stmt_order.try_emplace(&mod);
+        if (fresh) it->second = module_stmt_order(mod);
+        return idx < it->second.size() ? it->second[idx] : nullptr;
+    };
+
+    // Resolve into a staging map first: either the whole snapshot binds to
+    // this design or nothing is touched.
+    std::map<QueryKey, QueryNode> staged;
+    for (const auto& n : snap.nodes) {
+        const InstNode* knode = resolve_node(n.key.path);
+        if (knode == nullptr) return false;
+        QueryKey key{knode, n.key.signal,
+                     n.key.dir == 0 ? Dir::Source : Dir::Prop};
+        QueryNode qn;
+        qn.expanded = true;
+        for (const auto& item : n.assigns) {
+            const InstNode* inode = resolve_node(item.path);
+            if (inode == nullptr ||
+                item.index >= inode->module->assigns.size()) {
+                return false;
+            }
+            qn.assigns.emplace_back(inode,
+                                    &inode->module->assigns[item.index]);
+        }
+        for (const auto& item : n.stmts) {
+            const InstNode* inode = resolve_node(item.path);
+            if (inode == nullptr) return false;
+            const rtl::Stmt* stmt = resolve_stmt(*inode->module, item.index);
+            if (stmt == nullptr) return false;
+            qn.stmts.emplace_back(inode, stmt);
+        }
+        qn.issues = n.issues;
+        qn.next.reserve(n.next.size());
+        for (const auto& nk : n.next) {
+            const InstNode* nnode = resolve_node(nk.path);
+            if (nnode == nullptr) return false;
+            qn.next.push_back(QueryKey{
+                nnode, nk.signal, nk.dir == 0 ? Dir::Source : Dir::Prop});
+        }
+        if (!staged.emplace(std::move(key), std::move(qn)).second) {
+            return false; // duplicate key: not a valid snapshot
+        }
+    }
+    // Merge: nodes this session already expanded win (they are known
+    // consistent with every mark handed out so far).
+    for (auto& [key, qn] : staged) {
+        graph_.try_emplace(key, std::move(qn));
+    }
+    return true;
+}
+
 void ExtractionSession::visit(const QueryKey& key, ConstraintSet& out,
                               std::set<QueryKey>& visited) {
     // Iterative DFS; the query graph is cyclic and can be deep.

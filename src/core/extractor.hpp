@@ -48,6 +48,46 @@ namespace factor::core {
 
 enum class Mode { Flat, Composed };
 
+/// A pointer-free image of a session's expanded query graph, the unit the
+/// persistent constraint cache stores and restores (src/cache/). Instances
+/// are named by hierarchical path, RTL items by deterministic indices
+/// within their owning module (assign order / pre-order statement walk of
+/// the always blocks), so a snapshot is meaningful for any elaboration of
+/// the *same* design source — the cache layer guarantees "same" with a
+/// design fingerprint. Nodes are sorted by key, and per-node edge order is
+/// preserved, so exporting, importing and re-exporting is byte-stable and
+/// a warm session walks the graph in exactly the cold session's order.
+struct GraphSnapshot {
+    struct Key {
+        std::string path;   // instance path; top node = top module name
+        std::string signal;
+        int dir = 0;        // 0 = source query, 1 = propagation query
+        [[nodiscard]] auto operator<=>(const Key&) const = default;
+    };
+    /// One marked RTL item: a continuous assign (`index` into
+    /// Module::assigns) or a statement (`index` into the module's pre-order
+    /// statement enumeration).
+    struct Item {
+        std::string path;
+        uint32_t index = 0;
+    };
+    struct Node {
+        Key key;
+        std::vector<Item> assigns;
+        std::vector<Item> stmts;
+        std::vector<TestabilityIssue> issues;
+        std::vector<Key> next;
+    };
+    std::vector<Node> nodes; // sorted by key
+
+    [[nodiscard]] bool empty() const { return nodes.empty(); }
+};
+
+/// Deterministic pre-order enumeration of every statement in `mod`'s
+/// always blocks — the index space GraphSnapshot::Item uses for `stmts`.
+[[nodiscard]] std::vector<const rtl::Stmt*>
+module_stmt_order(const rtl::Module& mod);
+
 /// An extraction session over one elaborated design. In Composed mode the
 /// session owns the cross-MUT query graph; Flat mode rebuilds it for every
 /// extraction.
@@ -91,6 +131,20 @@ class ExtractionSession {
     /// expansions.
     [[nodiscard]] size_t total_cache_hits() const { return hits_; }
     [[nodiscard]] size_t total_cache_misses() const { return misses_; }
+
+    /// Snapshot every expanded query node as a pointer-free image (see
+    /// GraphSnapshot). Deterministic: nodes sorted by key, per-node order
+    /// preserved.
+    [[nodiscard]] GraphSnapshot export_graph() const;
+
+    /// Warm-start the session from a snapshot of the same design: resolve
+    /// every path/index back to pointers and seed the query graph, so
+    /// subsequent extractions answer those queries as cache hits. All-or-
+    /// nothing — if anything fails to resolve (snapshot from a different
+    /// design, or corrupt), the graph is left exactly as it was and false
+    /// is returned; an import can never tear the session. Keys already
+    /// expanded in this session win over the snapshot's version.
+    [[nodiscard]] bool import_graph(const GraphSnapshot& snap);
 
   private:
     enum class Dir { Source, Prop };

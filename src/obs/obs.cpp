@@ -356,7 +356,7 @@ std::string Tracer::stop() {
     if (!path_.empty()) {
         // Atomic publish: a crash mid-write (or a concurrent reader) must
         // never observe a torn trace file.
-        (void)util::write_file_atomic(path_, ndjson);
+        (void)util::atomic_publish(path_, ndjson);
     }
     events_.clear();
     path_.clear();

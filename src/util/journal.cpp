@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace factor::util {
@@ -271,14 +272,30 @@ bool JournalWriter::publish() {
         fail("flush failed before publishing '" + path_ + "'");
         return false;
     }
+    // Push the flushed bytes to stable storage before the rename makes
+    // them the journal: fsync through a second descriptor (ofstream does
+    // not expose its own), which flushes the same inode.
+    int fd = ::open(temp_path_.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        (void)::fsync(fd);
+        ::close(fd);
+    }
     // POSIX rename is atomic and does not disturb the open descriptor: the
     // stream keeps appending to the same inode under its new name.
     if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
         fail("cannot publish '" + temp_path_ + "' over '" + path_ + "'");
         return false;
     }
+    fsync_parent_dir(path_);
     temp_path_.clear();
     return true;
+}
+
+std::string journal_frame(const JournalRecord& rec) {
+    std::string json = journal_serialize(rec);
+    char frame[10];
+    std::snprintf(frame, sizeof frame, "%08x ", crc32(json));
+    return frame + json;
 }
 
 bool JournalWriter::append(const JournalRecord& rec) {
@@ -286,10 +303,7 @@ bool JournalWriter::append(const JournalRecord& rec) {
         fail("journal is not open");
         return false;
     }
-    std::string json = journal_serialize(rec);
-    char frame[10];
-    std::snprintf(frame, sizeof frame, "%08x ", crc32(json));
-    out_ << frame << json << '\n';
+    out_ << journal_frame(rec) << '\n';
     out_.flush();
     if (!out_) {
         fail("short write to '" +
@@ -358,7 +372,17 @@ JournalLoad journal_load(const std::string& path) {
 
 // ------------------------------------------------------------------ files
 
-bool write_file_atomic(const std::string& path, std::string_view content) {
+void fsync_parent_dir(const std::string& path) {
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+bool atomic_publish(const std::string& path, std::string_view content) {
     char suffix[32];
     std::snprintf(suffix, sizeof suffix, ".tmp.%ld",
                   static_cast<long>(::getpid()));
@@ -376,10 +400,19 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
             return false;
         }
     }
+    // Durability half: the rename below orders against these fsyncs, so
+    // after a power cut `path` is either the old complete file or the new
+    // complete file — never empty, never torn.
+    int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        (void)::fsync(fd);
+        ::close(fd);
+    }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
     }
+    fsync_parent_dir(path);
     return true;
 }
 

@@ -108,13 +108,28 @@ struct JournalLoad {
 /// truncation rule). A readable empty file is ok with zero records.
 [[nodiscard]] JournalLoad journal_load(const std::string& path);
 
+/// Frame one record exactly as JournalWriter::append does ("<crc32 hex8>
+/// <flat JSON>"), without the trailing newline. One-shot writers (e.g. the
+/// constraint cache) build whole journals in memory with this and publish
+/// them via atomic_publish, sharing the framing with the streaming writer
+/// so the loaders cannot diverge.
+[[nodiscard]] std::string journal_frame(const JournalRecord& rec);
+
 // --------------------------------------------------------------- file I/O
 
-/// Write `content` to `path` atomically: write to "<path>.tmp.<pid>", flush
-/// and verify the stream, then rename over `path`. A crash or a full disk
-/// can leave a stale temp file but never a half-written `path` — downstream
-/// tooling either sees the old complete document or the new complete one.
-[[nodiscard]] bool write_file_atomic(const std::string& path,
-                                     std::string_view content);
+/// Publish `content` at `path` atomically AND durably: write to
+/// "<path>.tmp.<pid>", flush, fsync the file, rename it over `path`, then
+/// fsync the parent directory so the rename itself survives power loss. A
+/// crash or a full disk can leave a stale temp file but never a
+/// half-written `path` — downstream tooling either sees the old complete
+/// document or the new complete one, before and after a power cut. Shared
+/// by every report writer (stats/bench/profile/campaign/trace stops,
+/// checkpoint rewrites, constraint-cache entries).
+[[nodiscard]] bool atomic_publish(const std::string& path,
+                                  std::string_view content);
+
+/// fsync the directory containing `path` (no-op on failure: directory
+/// fsync is best-effort hardening, not a correctness requirement).
+void fsync_parent_dir(const std::string& path);
 
 } // namespace factor::util

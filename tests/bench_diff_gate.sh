@@ -6,7 +6,7 @@
 set -u
 
 BENCH_DIFF="${1:?usage: bench_diff_gate.sh <path-to-bench_diff>}"
-WORK="$(mktemp -d)"
+WORK="$(mktemp -d "${TEST_TMPDIR:-${TMPDIR:-/tmp}}/factor_bench_diff.XXXXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
 fails=0

@@ -9,7 +9,7 @@
 set -u
 
 FACTOR=${1:?usage: cli_exit_codes.sh <factor-binary>}
-TMP=$(mktemp -d)
+TMP=$(mktemp -d "${TEST_TMPDIR:-${TMPDIR:-/tmp}}/factor_cli.XXXXXXXX")
 trap 'rm -rf "$TMP"' EXIT
 
 fails=0
@@ -151,6 +151,62 @@ check_rc "campaign with positional MUT path" 2 $?
 "$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
   --campaign=all >/dev/null 2>&1
 check_rc "campaign outside atpg command" 2 $?
+
+# --- persistent constraint cache: warm hit, corruption degrades, refusal ----
+CC="$TMP/cc"
+"$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
+  --constraint-cache="$CC" --stats-json="$TMP/cc_cold.json" \
+  >"$TMP/cc_cold.v" 2>/dev/null
+check_rc "ccache cold run" 0 $?
+check_json "ccache cold run" "$TMP/cc_cold.json" \
+  '"ccache_hits":0' '"ccache_misses":1'
+
+"$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
+  --constraint-cache="$CC" --stats-json="$TMP/cc_warm.json" \
+  >"$TMP/cc_warm.v" 2>/dev/null
+check_rc "ccache warm run" 0 $?
+check_json "ccache warm run" "$TMP/cc_warm.json" \
+  '"ccache_hits":1' '"ccache.hits":1'
+if cmp -s "$TMP/cc_cold.v" "$TMP/cc_warm.v"; then
+  echo "ok: ccache warm output byte-identical to cold"
+else
+  echo "FAIL: ccache warm output differs from cold" >&2
+  fails=$((fails + 1))
+fi
+
+# Flip one byte mid-entry: the damaged entry is quarantined, the run
+# degrades to cold extraction with identical output, and exits 0.
+entry=$(echo "$CC"/*.ccache)
+printf 'X' | dd of="$entry" bs=1 seek=100 conv=notrunc 2>/dev/null
+"$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
+  --constraint-cache="$CC" --stats-json="$TMP/cc_heal.json" \
+  >"$TMP/cc_heal.v" 2>/dev/null
+check_rc "ccache corrupt entry degrades" 0 $?
+check_json "ccache corrupt entry degrades" "$TMP/cc_heal.json" \
+  '"ccache.quarantined":1'
+if cmp -s "$TMP/cc_cold.v" "$TMP/cc_heal.v"; then
+  echo "ok: ccache degraded output byte-identical to cold"
+else
+  echo "FAIL: ccache degraded output differs from cold" >&2
+  fails=$((fails + 1))
+fi
+if ls "$CC/quarantine"/*.ccache.* >/dev/null 2>&1; then
+  echo "ok: damaged entry moved to quarantine"
+else
+  echo "FAIL: quarantine directory has no damaged entry" >&2
+  fails=$((fails + 1))
+fi
+
+# An unusable cache directory refuses up front with an input error.
+"$FACTOR" extract mini_soc mini_soc.alu --builtin=mini_soc \
+  --constraint-cache=/nonexistent/x/y >/dev/null 2>&1
+check_rc "ccache unusable directory" 1 $?
+
+# The environment spelling engages the same cache.
+FACTOR_CONSTRAINT_CACHE="$CC" "$FACTOR" extract mini_soc mini_soc.alu \
+  --builtin=mini_soc --stats-json="$TMP/cc_env.json" >/dev/null 2>/dev/null
+check_rc "ccache via environment" 0 $?
+check_json "ccache via environment" "$TMP/cc_env.json" '"ccache_hits":1'
 
 # --- SIGINT mid-ATPG: exit 3 and the stats doc still lands ------------------
 "$FACTOR" atpg --builtin=arm2z --budget=60 \

@@ -1,0 +1,558 @@
+// Persistent constraint cache: crash-safety, corruption self-healing and
+// concurrent-process coordination (DESIGN.md §13).
+//
+// The contract under test:
+//   - a warm run is byte-identical to a cold run (same constraint Verilog,
+//     zero fresh query expansions);
+//   - every flavor of on-disk damage — truncation, bit flips, wrong
+//     schema, wrong fingerprint, snapshots that do not bind to the design
+//     — is quarantined with a named diagnostic and the run degrades to
+//     cold extraction, never a crash or a wrong result;
+//   - concurrent processes coordinate via advisory flock: a held lock
+//     degrades to cache bypass after the timeout, and a publisher merges
+//     the on-disk entry so concurrent campaigns converge to the union;
+//   - capacity is bounded with oldest-first (LRU) eviction;
+//   - the ccache.{read,write,lock} injection sites are contained.
+//
+// FACTOR_FUZZ_CORPUS_DIR is provided as a compile definition by
+// tests/CMakeLists.txt and points at tests/fuzz/ in the source tree.
+#include "helpers.hpp"
+
+#include "cache/ccache.hpp"
+#include "campaign/campaign.hpp"
+#include "core/writer.hpp"
+#include "designs/designs.hpp"
+#include "obs/inject.hpp"
+#include "obs/obs.hpp"
+#include "util/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/file.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace factor::test {
+namespace {
+
+using cache::CacheOptions;
+using cache::ConstraintCache;
+using core::ExtractionSession;
+using core::GraphSnapshot;
+using core::Mode;
+
+class Ccache : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        obs::Registry::global().reset();
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("factor_test_ccache_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override {
+        obs::FaultInjector::global().disarm();
+        std::filesystem::remove_all(dir_);
+    }
+
+    [[nodiscard]] CacheOptions opts() const {
+        CacheOptions o;
+        o.dir = dir_;
+        return o;
+    }
+
+    /// Extract the mini_soc ALU through `cache` and return the constraint
+    /// Verilog — the byte-level artifact warm and cold runs must agree on.
+    [[nodiscard]] std::string run_alu(Bundle& b, ConstraintCache& cache,
+                                      bool* warm = nullptr) {
+        ExtractionSession session(*b.elaborated, Mode::Composed, b.diags);
+        bool hit = cache.warm_start(session);
+        if (warm != nullptr) *warm = hit;
+        const auto* alu = b.elaborated->find_by_path("mini_soc.alu");
+        EXPECT_NE(alu, nullptr);
+        auto cs = session.extract(*alu);
+        cache.absorb(session);
+        core::ConstraintWriter writer(*b.elaborated, cs);
+        return writer.write_verilog();
+    }
+
+    [[nodiscard]] std::string entry_path(const Bundle& b) const {
+        return dir_ + "/" +
+               ConstraintCache::fingerprint(*b.elaborated, {},
+                                            Mode::Composed) +
+               ".ccache";
+    }
+
+    [[nodiscard]] static std::string slurp(const std::string& path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    std::string dir_;
+};
+
+// ---- snapshot + entry codec ---------------------------------------------
+
+TEST_F(Ccache, SnapshotEncodeDecodeImportRoundTripIsByteStable) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ASSERT_NE(alu, nullptr);
+    (void)session.extract(*alu);
+
+    GraphSnapshot snap = session.export_graph();
+    ASSERT_FALSE(snap.empty());
+    const std::string fp =
+        ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed);
+    const std::string bytes = cache::encode_entry(fp, snap);
+
+    // encode -> publish -> decode reproduces the snapshot exactly.
+    const std::string path = dir_ + "/roundtrip.ccache";
+    ASSERT_TRUE(util::atomic_publish(path, bytes));
+    GraphSnapshot back;
+    std::string why;
+    ASSERT_TRUE(cache::decode_entry(path, fp, back, why)) << why;
+    EXPECT_EQ(cache::encode_entry(fp, back), bytes);
+
+    // import into a fresh session -> export reproduces it again: the
+    // pointer <-> path/index mapping loses nothing.
+    ExtractionSession fresh(*b->elaborated, Mode::Composed, b->diags);
+    ASSERT_TRUE(fresh.import_graph(back));
+    EXPECT_EQ(cache::encode_entry(fp, fresh.export_graph()), bytes);
+}
+
+TEST_F(Ccache, DecodeDistinguishesMissingFromDamage) {
+    GraphSnapshot out;
+    std::string why;
+    bool missing = false;
+    EXPECT_FALSE(cache::decode_entry(dir_ + "/absent.ccache", "x", out, why,
+                                     &missing));
+    EXPECT_TRUE(missing);
+
+    const std::string path = dir_ + "/damaged.ccache";
+    std::ofstream(path) << "definitely not a journal\n";
+    missing = true;
+    EXPECT_FALSE(cache::decode_entry(path, "x", out, why, &missing));
+    EXPECT_FALSE(missing);
+    EXPECT_FALSE(why.empty());
+}
+
+TEST_F(Ccache, FingerprintPinsDesignPiersAndMode) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    const std::string base =
+        ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed);
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(base,
+              ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed));
+    EXPECT_NE(base,
+              ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Flat));
+    EXPECT_NE(base, ConstraintCache::fingerprint(*b->elaborated, {"acc"},
+                                                 Mode::Composed));
+    auto b2 = compile(designs::traffic_source(), designs::kTrafficTop);
+    ASSERT_TRUE(b2);
+    EXPECT_NE(base,
+              ConstraintCache::fingerprint(*b2->elaborated, {}, Mode::Composed));
+}
+
+// ---- warm vs cold -------------------------------------------------------
+
+TEST_F(Ccache, WarmRunIsByteIdenticalToColdRun) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    ConstraintCache cold(opts(), b->diags);
+    bool warm = true;
+    const std::string cold_verilog = run_alu(*b, cold, &warm);
+    EXPECT_FALSE(warm);
+    EXPECT_EQ(cold.hits(), 0u);
+    EXPECT_EQ(cold.misses(), 1u);
+    ASSERT_TRUE(cold.publish());
+    ASSERT_TRUE(std::filesystem::exists(entry_path(*b)));
+
+    // A second process: fresh compile, fresh cache, same directory.
+    auto b2 = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b2);
+    ConstraintCache warm_cache(opts(), b2->diags);
+    ExtractionSession session(*b2->elaborated, Mode::Composed, b2->diags);
+    ASSERT_TRUE(warm_cache.warm_start(session));
+    EXPECT_EQ(warm_cache.hits(), 1u);
+    const auto* alu = b2->elaborated->find_by_path("mini_soc.alu");
+    ASSERT_NE(alu, nullptr);
+    auto cs = session.extract(*alu);
+    // Every query the walk needed was answered from the imported graph.
+    EXPECT_EQ(session.total_cache_misses(), 0u);
+    EXPECT_GT(session.total_cache_hits(), 0u);
+    core::ConstraintWriter writer(*b2->elaborated, cs);
+    EXPECT_EQ(writer.write_verilog(), cold_verilog);
+    EXPECT_GT(obs::counter("ccache.hits").value(), 0u);
+
+    // Nothing new to publish: the warm run learned no fresh expansions.
+    warm_cache.absorb(session);
+    EXPECT_FALSE(warm_cache.publish());
+}
+
+TEST_F(Ccache, FlatSessionsNeverEngageTheCache) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cache(opts(), b->diags);
+    ExtractionSession flat(*b->elaborated, Mode::Flat, b->diags);
+    EXPECT_FALSE(cache.warm_start(flat));
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(Ccache, PublishMergesWithTheOnDiskEntry) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    const std::string fp =
+        ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed);
+
+    // Writer 1 publishes the ALU slice.
+    ConstraintCache c1(opts(), b->diags);
+    (void)run_alu(*b, c1);
+    ASSERT_TRUE(c1.publish());
+    GraphSnapshot after1;
+    std::string why;
+    ASSERT_TRUE(cache::decode_entry(entry_path(*b), fp, after1, why)) << why;
+
+    // Writer 2 never saw writer 1's in-memory state: it warm-starts from
+    // disk, extracts a different MUT, and publishes. The entry must grow
+    // to the union, not flip to writer 2's view.
+    ConstraintCache c2(opts(), b->diags);
+    ExtractionSession s2(*b->elaborated, Mode::Composed, b->diags);
+    ASSERT_TRUE(c2.warm_start(s2));
+    const auto* ctrl = b->elaborated->find_by_path("mini_soc.ctrl");
+    ASSERT_NE(ctrl, nullptr);
+    (void)s2.extract(*ctrl);
+    c2.absorb(s2);
+    if (c2.publish()) {
+        GraphSnapshot after2;
+        ASSERT_TRUE(cache::decode_entry(entry_path(*b), fp, after2, why))
+            << why;
+        EXPECT_GE(after2.nodes.size(), after1.nodes.size());
+    }
+}
+
+// ---- corruption self-healing --------------------------------------------
+
+TEST_F(Ccache, TruncatedEntryQuarantinesAndRunSelfHeals) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    const std::string cold_verilog = run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+
+    // Chop the tail: the journal still loads (torn-tail tolerance), but
+    // the footer is gone, so the entry must be treated as corrupt.
+    const std::string path = entry_path(*b);
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+
+    ConstraintCache healed(opts(), b->diags);
+    bool warm = true;
+    const std::string verilog = run_alu(*b, healed, &warm);
+    EXPECT_FALSE(warm);
+    EXPECT_EQ(verilog, cold_verilog); // degraded, not different
+    EXPECT_GE(obs::counter("ccache.quarantined").value(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::is_empty(dir_ + "/quarantine"));
+
+    // The run that hit the damage republishes a valid entry (self-heal).
+    ASSERT_TRUE(healed.publish());
+    GraphSnapshot back;
+    std::string why;
+    EXPECT_TRUE(cache::decode_entry(
+        path, ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed),
+        back, why))
+        << why;
+}
+
+TEST_F(Ccache, BitFlippedEntryQuarantines) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    const std::string cold_verilog = run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+
+    const std::string path = entry_path(*b);
+    std::string bytes = slurp(path);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream(path, std::ios::binary) << bytes;
+
+    ConstraintCache healed(opts(), b->diags);
+    bool warm = true;
+    EXPECT_EQ(run_alu(*b, healed, &warm), cold_verilog);
+    EXPECT_FALSE(warm);
+    EXPECT_GE(obs::counter("ccache.quarantined").value(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(Ccache, WrongFingerprintEntryQuarantines) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ASSERT_NE(alu, nullptr);
+    (void)session.extract(*alu);
+
+    // A structurally valid entry written under this design's address but
+    // carrying another fingerprint — e.g. a hash collision in a shared
+    // directory, or a renamed file. It must not warm-start.
+    ASSERT_TRUE(util::atomic_publish(
+        entry_path(*b),
+        cache::encode_entry("0123456789abcdef", session.export_graph())));
+
+    ConstraintCache cache(opts(), b->diags);
+    ExtractionSession fresh(*b->elaborated, Mode::Composed, b->diags);
+    EXPECT_FALSE(cache.warm_start(fresh));
+    EXPECT_GE(obs::counter("ccache.quarantined").value(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(entry_path(*b)));
+}
+
+TEST_F(Ccache, SnapshotThatDoesNotBindQuarantines) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    const auto* alu = b->elaborated->find_by_path("mini_soc.alu");
+    ASSERT_NE(alu, nullptr);
+    (void)session.extract(*alu);
+
+    // Valid framing, valid digest, correct fingerprint — but one node
+    // names an instance path that does not exist. The all-or-nothing
+    // import must reject it and the cache must quarantine.
+    GraphSnapshot snap = session.export_graph();
+    ASSERT_FALSE(snap.empty());
+    snap.nodes.front().key.path = "ghost.instance";
+    const std::string fp =
+        ConstraintCache::fingerprint(*b->elaborated, {}, Mode::Composed);
+    ASSERT_TRUE(
+        util::atomic_publish(entry_path(*b), cache::encode_entry(fp, snap)));
+
+    ConstraintCache cache(opts(), b->diags);
+    ExtractionSession fresh(*b->elaborated, Mode::Composed, b->diags);
+    EXPECT_FALSE(cache.warm_start(fresh));
+    // The session is untouched by the failed import: cold extraction runs.
+    auto cs = fresh.extract(*alu);
+    EXPECT_GT(cs.item_count(), 0u);
+    EXPECT_GE(obs::counter("ccache.quarantined").value(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(entry_path(*b)));
+}
+
+TEST_F(Ccache, FuzzCorpusEntriesAreNeverAcceptedAndNeverFailTheRun) {
+    const std::filesystem::path corpus = FACTOR_FUZZ_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(corpus));
+
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    const std::string cold_verilog = run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+    const std::string path = entry_path(*b);
+
+    size_t checked = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+        if (entry.path().extension() != ".ccache") continue;
+        ++checked;
+        SCOPED_TRACE(entry.path().string());
+
+        // The decoder refuses every corpus file with a named reason. The
+        // corpus headers carry fingerprint feedfacefeedface so that files
+        // exercising deeper checks (footer counts, digest, record shape)
+        // get past the fingerprint gate.
+        GraphSnapshot out;
+        std::string why;
+        bool accepted = true;
+        EXPECT_NO_THROW(accepted = cache::decode_entry(
+                            entry.path().string(), "feedfacefeedface", out,
+                            why));
+        EXPECT_FALSE(accepted) << "corpus entry accepted";
+        EXPECT_FALSE(why.empty());
+
+        // End to end: drop the damage over the real entry; the run must
+        // quarantine, degrade to cold extraction and produce identical
+        // results, never crash.
+        std::filesystem::copy_file(
+            entry.path(), path,
+            std::filesystem::copy_options::overwrite_existing);
+        ConstraintCache cache(opts(), b->diags);
+        bool warm = true;
+        std::string verilog;
+        EXPECT_NO_THROW(verilog = run_alu(*b, cache, &warm));
+        EXPECT_FALSE(warm);
+        EXPECT_EQ(verilog, cold_verilog);
+        EXPECT_FALSE(std::filesystem::exists(path));
+    }
+    EXPECT_GE(checked, 8u) << "ccache fuzz corpus unexpectedly small";
+}
+
+// ---- concurrency --------------------------------------------------------
+
+TEST_F(Ccache, HeldLockDegradesToBypassNeverAStall) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    (void)run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+    const std::string before = slurp(entry_path(*b));
+
+    // Another "process" holds the exclusive lock. flock is per open file
+    // description, so a second fd in this process genuinely contends.
+    int fd = ::open((dir_ + "/.ccache.lock").c_str(), O_RDWR | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+    CacheOptions o = opts();
+    o.lock_timeout_ms = 50;
+    ConstraintCache blocked(o, b->diags);
+    bool warm = true;
+    const std::string verilog = run_alu(*b, blocked, &warm);
+    EXPECT_FALSE(warm); // bypassed, not served and not stuck
+    EXPECT_FALSE(blocked.publish());
+    EXPECT_GE(obs::counter("ccache.lock_waits").value(), 1u);
+    EXPECT_GE(obs::counter("ccache.bypassed").value(), 2u);
+    EXPECT_EQ(slurp(entry_path(*b)), before); // entry untouched
+
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+
+    // Lock released: the same directory warm-starts again.
+    ConstraintCache after(opts(), b->diags);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    EXPECT_TRUE(after.warm_start(session));
+    (void)verilog;
+}
+
+TEST_F(Ccache, CampaignShardsShareTheCacheAndStayIdentical) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    campaign::CampaignOptions copts;
+    copts.spec = "all";
+    copts.engine.max_backtracks = 200;
+
+    ConstraintCache cold(opts(), b->diags);
+    copts.ccache = &cold;
+    auto cold_run = campaign::run_campaign(*b->elaborated, copts);
+    ASSERT_FALSE(cold_run.refused) << cold_run.refusal;
+    ASSERT_TRUE(cold.publish());
+
+    ConstraintCache warm(opts(), b->diags);
+    copts.ccache = &warm;
+    auto warm_run = campaign::run_campaign(*b->elaborated, copts);
+    ASSERT_FALSE(warm_run.refused) << warm_run.refusal;
+    EXPECT_GT(warm.hits(), 0u);
+
+    // Every shard's stable row is identical warm vs cold.
+    ASSERT_EQ(warm_run.shards.size(), cold_run.shards.size());
+    for (size_t i = 0; i < cold_run.shards.size(); ++i) {
+        EXPECT_EQ(warm_run.shards[i].doc(false).to_json(),
+                  cold_run.shards[i].doc(false).to_json())
+            << "shard " << i;
+    }
+}
+
+// ---- eviction -----------------------------------------------------------
+
+TEST_F(Ccache, EvictionRemovesOldestEntriesFirst) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+
+    // Two stale neighbor entries, 200 KiB each, with distinct old mtimes.
+    const std::string oldest = dir_ + "/0000000000000001.ccache";
+    const std::string newer = dir_ + "/0000000000000002.ccache";
+    std::ofstream(oldest) << std::string(200 << 10, 'a');
+    std::ofstream(newer) << std::string(200 << 10, 'b');
+    auto now = std::filesystem::last_write_time(newer);
+    std::filesystem::last_write_time(oldest, now - std::chrono::hours(2));
+    std::filesystem::last_write_time(newer, now - std::chrono::hours(1));
+
+    CacheOptions o = opts();
+    o.max_bytes = 300 << 10;
+    ConstraintCache cache(o, b->diags);
+    (void)run_alu(*b, cache);
+    ASSERT_TRUE(cache.publish());
+
+    // The publish overflowed the budget: the oldest entry goes first, and
+    // eviction stops as soon as the directory fits.
+    EXPECT_FALSE(std::filesystem::exists(oldest));
+    EXPECT_TRUE(std::filesystem::exists(newer));
+    EXPECT_TRUE(std::filesystem::exists(entry_path(*b)));
+    EXPECT_EQ(obs::counter("ccache.evicted").value(), 1u);
+}
+
+// ---- fault injection ----------------------------------------------------
+
+TEST_F(Ccache, InjectedReadFaultBypassesWithoutQuarantine) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    const std::string cold_verilog = run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+
+    obs::FaultInjector::global().configure("ccache.read");
+    ConstraintCache cache(opts(), b->diags);
+    bool warm = true;
+    EXPECT_EQ(run_alu(*b, cache, &warm), cold_verilog);
+    EXPECT_FALSE(warm);
+    EXPECT_FALSE(obs::FaultInjector::global().armed()); // it fired
+    EXPECT_GE(obs::counter("ccache.bypassed").value(), 1u);
+    // An I/O error is not damage: the entry is left in place for the next
+    // run, not quarantined.
+    EXPECT_TRUE(std::filesystem::exists(entry_path(*b)));
+    EXPECT_EQ(obs::counter("ccache.quarantined").value(), 0u);
+}
+
+TEST_F(Ccache, InjectedWriteFaultLosesTheCacheNotTheRun) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cache(opts(), b->diags);
+    (void)run_alu(*b, cache);
+    obs::FaultInjector::global().configure("ccache.write");
+    EXPECT_FALSE(cache.publish());
+    EXPECT_FALSE(obs::FaultInjector::global().armed());
+    EXPECT_FALSE(std::filesystem::exists(entry_path(*b)));
+}
+
+TEST_F(Ccache, InjectedLockFaultBypasses) {
+    auto b = compile(designs::mini_soc_source(), designs::kMiniSocTop);
+    ASSERT_TRUE(b);
+    ConstraintCache cold(opts(), b->diags);
+    (void)run_alu(*b, cold);
+    ASSERT_TRUE(cold.publish());
+
+    obs::FaultInjector::global().configure("ccache.lock");
+    ConstraintCache cache(opts(), b->diags);
+    ExtractionSession session(*b->elaborated, Mode::Composed, b->diags);
+    EXPECT_FALSE(cache.warm_start(session));
+    EXPECT_GE(obs::counter("ccache.bypassed").value(), 1u);
+}
+
+// ---- directory probing --------------------------------------------------
+
+TEST_F(Ccache, ProbeDirCreatesAndRefusesByName) {
+    std::string why;
+    EXPECT_TRUE(ConstraintCache::probe_dir(dir_ + "/sub", &why)) << why;
+    EXPECT_TRUE(std::filesystem::is_directory(dir_ + "/sub"));
+    EXPECT_FALSE(ConstraintCache::probe_dir("/nonexistent/x/y", &why));
+    EXPECT_FALSE(why.empty());
+    // A file where the directory should be.
+    std::ofstream(dir_ + "/plain") << "x";
+    EXPECT_FALSE(ConstraintCache::probe_dir(dir_ + "/plain", &why));
+}
+
+} // namespace
+} // namespace factor::test

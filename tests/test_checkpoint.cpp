@@ -146,8 +146,8 @@ TEST_F(Checkpoint, JournalCrcFlipDropsRecordAndEverythingAfter) {
 
 TEST_F(Checkpoint, WriteFileAtomicPublishesWholeDocument) {
     const std::string path = ckpt_path("atomic_txt");
-    ASSERT_TRUE(util::write_file_atomic(path, "first\n"));
-    ASSERT_TRUE(util::write_file_atomic(path, "second version\n"));
+    ASSERT_TRUE(util::atomic_publish(path, "first\n"));
+    ASSERT_TRUE(util::atomic_publish(path, "second version\n"));
     std::ifstream in(path);
     std::ostringstream buf;
     buf << in.rdbuf();

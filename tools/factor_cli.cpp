@@ -52,6 +52,7 @@
 //   5  partial campaign: >= 1 shard failed/crashed AND >= 1 shard
 //      succeeded; the report classifies every shard
 #include "atpg/engine.hpp"
+#include "cache/ccache.hpp"
 #include "campaign/campaign.hpp"
 #include "atpg/scoap.hpp"
 #include "core/extractor.hpp"
@@ -122,6 +123,8 @@ struct Args {
     uint64_t max_gates = 0;
     uint64_t max_nodes = 0;
     bool piers = true;
+    std::string cache_dir; // --constraint-cache / $FACTOR_CONSTRAINT_CACHE
+    uint64_t cache_max_bytes = 256ull << 20; // --cache-max-bytes (0 = off)
 };
 
 void usage() {
@@ -143,6 +146,7 @@ void usage() {
                  "       [--shard-retries=<n>] [--backoff=<seconds>]\n"
                  "       [--sim-width=64|256|512] [--sim-mode=full|event] "
                  "[--engine=auto|podem|sat]\n"
+                 "       [--constraint-cache=<dir>] [--cache-max-bytes=<n>]\n"
                  "  --jobs=<n> sets the parallel ATPG worker count "
                  "(default: $FACTOR_JOBS or hardware).\n"
                  "  --sim-width picks the parallel-pattern fault-sim width "
@@ -173,6 +177,13 @@ void usage() {
                  "isolated shard; budgets are\n"
                  "    carved per shard, budget-exhausted shards retry with "
                  "backoff and x4 budgets.\n"
+                 "  --constraint-cache=<dir> (default: "
+                 "$FACTOR_CONSTRAINT_CACHE) reuses extracted\n"
+                 "    constraints across runs; damaged entries are "
+                 "quarantined, never fatal.\n"
+                 "    --cache-max-bytes=<n> bounds the directory with LRU "
+                 "eviction (0: unlimited,\n"
+                 "    default 256 MiB).\n"
                  "  <top> defaults to the builtin name when --builtin is "
                  "given.\n"
                  "  exit codes: 0 ok, 1 input error, 2 usage, 3 budget/"
@@ -321,6 +332,15 @@ bool parse_args(int argc, char** argv, Args& out) {
                 std::fprintf(stderr, "--sim-mode must be 'full' or 'event'\n");
                 options_ok = false;
             }
+        } else if (a.rfind("--constraint-cache=", 0) == 0) {
+            out.cache_dir = a.substr(19);
+            if (out.cache_dir.empty()) {
+                std::fprintf(stderr,
+                             "--constraint-cache needs a directory path\n");
+                options_ok = false;
+            }
+        } else if (a.rfind("--cache-max-bytes=", 0) == 0) {
+            out.cache_max_bytes = std::strtoull(a.c_str() + 18, nullptr, 10);
         } else if (a.rfind("--shard-retries=", 0) == 0) {
             out.shard_retries = std::strtoull(a.c_str() + 16, nullptr, 10);
         } else if (a.rfind("--backoff=", 0) == 0) {
@@ -438,6 +458,10 @@ util::PhaseLog g_phases;
 /// by the SIGINT handler.
 util::RunGuard* g_guard = nullptr;
 
+/// The persistent constraint cache (--constraint-cache), owned by
+/// run_pipeline for the lifetime of one run; null when disabled.
+cache::ConstraintCache* g_ccache = nullptr;
+
 /// Write the stable stats document ("factor.stats.v1"): the invoking
 /// command, the command's result metrics, the per-phase status array and a
 /// snapshot of every counter, gauge and histogram touched during the run.
@@ -462,7 +486,7 @@ bool write_stats_json(const Args& args, int exit_code) {
         << ",\"phases\":" << g_phases.to_json()
         << ",\"result\":" << g_result.to_json()
         << ",\"registry\":" << obs::Registry::global().to_json() << "}\n";
-    if (!util::write_file_atomic(args.stats_path, out.str())) {
+    if (!util::atomic_publish(args.stats_path, out.str())) {
         std::fprintf(stderr, "cannot write stats to '%s'\n",
                      args.stats_path.c_str());
         return false;
@@ -509,7 +533,9 @@ int cmd_extract(const Args& args, elab::ElaboratedDesign& e,
         return kExitInput;
     }
     core::ExtractionSession session(e, args.mode, diags, g_guard);
+    if (g_ccache != nullptr) (void)g_ccache->warm_start(session);
     auto cs = session.extract(*mut);
+    if (g_ccache != nullptr) g_ccache->absorb(session);
     int rc = record_extract_phase(cs);
     g_result.add("constraint_items", static_cast<uint64_t>(cs.item_count()));
     g_result.add("testability_issues", static_cast<uint64_t>(cs.issues.size()));
@@ -529,7 +555,9 @@ int cmd_report(const Args& args, elab::ElaboratedDesign& e,
         return kExitInput;
     }
     core::ExtractionSession session(e, args.mode, diags, g_guard);
+    if (g_ccache != nullptr) (void)g_ccache->warm_start(session);
     auto cs = session.extract(*mut);
+    if (g_ccache != nullptr) g_ccache->absorb(session);
     int rc = record_extract_phase(cs);
     std::printf("%s", core::make_testability_report(cs).text.c_str());
     return rc;
@@ -577,6 +605,7 @@ int cmd_campaign(const Args& args, elab::ElaboratedDesign& e) {
     copts.checkpoint_path = args.checkpoint_path;
     copts.resume = args.resume;
     copts.guard = g_guard;
+    copts.ccache = g_ccache;
 
     campaign::CampaignResult r = campaign::run_campaign(e, copts);
     g_result = r.totals_doc();
@@ -588,7 +617,7 @@ int cmd_campaign(const Args& args, elab::ElaboratedDesign& e) {
     }
     std::printf("%s", r.to_text().c_str());
     if (!args.campaign_report_path.empty()) {
-        if (!util::write_file_atomic(args.campaign_report_path,
+        if (!util::atomic_publish(args.campaign_report_path,
                                      r.to_json())) {
             std::fprintf(stderr, "cannot write campaign report to '%s'\n",
                          args.campaign_report_path.c_str());
@@ -644,9 +673,11 @@ int cmd_atpg(const Args& args, elab::ElaboratedDesign& e,
         return kExitInput;
     }
     core::ExtractionSession session(e, args.mode, diags, g_guard);
+    if (g_ccache != nullptr) (void)g_ccache->warm_start(session);
     core::TransformOptions topts;
     topts.expose_piers = args.piers;
     auto tm = builder.build(*mut, session, topts);
+    if (g_ccache != nullptr) g_ccache->absorb(session);
     g_phases.record("transform", tm.status, tm.status_detail,
                     tm.extraction_seconds + tm.synthesis_seconds);
     if (tm.status == util::PhaseStatus::Failed) {
@@ -727,7 +758,7 @@ int finish(const Args& args, int rc) {
         std::string doc =
             obs::Profiler::global().to_json(g_run_watch.seconds());
         doc += '\n';
-        if (!util::write_file_atomic(args.profile_path, doc)) {
+        if (!util::atomic_publish(args.profile_path, doc)) {
             std::fprintf(stderr, "cannot write profile to '%s'\n",
                          args.profile_path.c_str());
             if (rc == kExitOk) rc = kExitInput;
@@ -753,6 +784,11 @@ void apply_env_fallbacks(Args& args) {
     if (args.trace_path.empty()) {
         if (const char* p = std::getenv("FACTOR_TRACE")) {
             args.trace_path = p;
+        }
+    }
+    if (args.cache_dir.empty()) {
+        if (const char* p = std::getenv("FACTOR_CONSTRAINT_CACHE")) {
+            args.cache_dir = p;
         }
     }
 }
@@ -793,6 +829,20 @@ bool refuse_unwritable_sinks(const Args& args) {
 int run_pipeline(const Args& args, util::RunGuard& guard) {
     rtl::Design design;
     util::DiagEngine diags;
+
+    std::unique_ptr<cache::ConstraintCache> ccache;
+    if (!args.cache_dir.empty()) {
+        cache::CacheOptions copts;
+        copts.dir = args.cache_dir;
+        copts.max_bytes = args.cache_max_bytes;
+        ccache = std::make_unique<cache::ConstraintCache>(copts, diags);
+        g_ccache = ccache.get();
+    }
+    // The cache borrows this frame's DiagEngine; never leave the pointer
+    // behind on any return path.
+    struct CcacheScope {
+        ~CcacheScope() { g_ccache = nullptr; }
+    } ccache_scope;
 
     {
         util::Stopwatch w;
@@ -848,7 +898,17 @@ int run_pipeline(const Args& args, util::RunGuard& guard) {
         g_phases.record(args.command, util::PhaseStatus::Failed, e.what());
         std::fprintf(stderr, "internal error in '%s': %s\n",
                      args.command.c_str(), e.what());
-        return kExitInternal;
+        rc = kExitInternal; // fall through: the cache still publishes
+    }
+
+    // Publish the constraint cache on every way out of the command —
+    // including internal errors and budget stops: whatever was absorbed
+    // before the failure is complete (query expansion is atomic) and
+    // worth keeping for the next run.
+    if (g_ccache != nullptr) {
+        (void)g_ccache->publish();
+        g_result.add("ccache_hits", g_ccache->hits());
+        g_result.add("ccache_misses", g_ccache->misses());
     }
 
     // A tripped guard (budget or SIGINT) classifies an otherwise-clean run.
@@ -881,6 +941,17 @@ int main(int argc, char** argv) {
         return finish(args, kExitUsage);
     }
     if (!refuse_unwritable_sinks(args)) return kExitInput;
+    if (!args.cache_dir.empty()) {
+        // Same upfront-refusal contract as the output sinks: an unusable
+        // cache directory is a configuration error the caller should hear
+        // about now, not a silently-cold cache discovered at exit.
+        std::string why;
+        if (!cache::ConstraintCache::probe_dir(args.cache_dir, &why)) {
+            std::fprintf(stderr, "factor: ccache.unusable_dir: %s\n",
+                         why.c_str());
+            return kExitInput;
+        }
+    }
     if (!args.trace_path.empty()) {
         obs::Tracer::global().start(args.trace_path);
     }
